@@ -1,0 +1,147 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p adgen-bench --bin repro            # everything
+//! cargo run -p adgen-bench --bin repro -- fig3    # one artefact
+//! ```
+//!
+//! Artefacts: `table1 table2 fig3 fig4 synthtime fig8 fig9 fig10 power ablation sharing interconnect
+//! table3`. Results are printed and, for the sweeps, also written as
+//! CSV under `results/`.
+
+use std::path::PathBuf;
+
+use adgen_bench::experiments::{
+    ablation, fig3_4, fig8_9_10, interconnect, power_study, sharing, synth_time, table3,
+    PAPER_ARRAY_SIZES, PAPER_SEQUENCE_LENGTHS,
+};
+use adgen_bench::report;
+use adgen_core::mapper::map_sequence;
+use adgen_seq::{workloads, ArrayShape, Layout};
+
+const ARTEFACTS: [&str; 14] = [
+    "all",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "synthtime",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table3",
+    "power",
+    "ablation",
+    "sharing",
+    "interconnect",
+];
+
+fn main() {
+    let what: Vec<String> = {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.is_empty() {
+            vec!["all".to_string()]
+        } else {
+            args
+        }
+    };
+    for a in &what {
+        if !ARTEFACTS.contains(&a.as_str()) {
+            eprintln!(
+                "warning: unknown artefact `{a}` (known: {})",
+                ARTEFACTS.join(" ")
+            );
+        }
+    }
+    let run = |name: &str| what.iter().any(|a| a == name || a == "all");
+    let results_dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&results_dir);
+
+    if run("table1") {
+        print_table1();
+    }
+    if run("table2") {
+        print_table2();
+    }
+    if run("fig3") || run("fig4") {
+        let rows = fig3_4(&PAPER_SEQUENCE_LENGTHS);
+        println!("{}", report::render_fig3_4(&rows));
+        if report::write_fig3_4_csv(&rows, &results_dir.join("fig3_4.csv")).is_ok() {
+            println!("(written to results/fig3_4.csv)\n");
+        }
+    }
+    if run("synthtime") {
+        let rows = synth_time(&PAPER_SEQUENCE_LENGTHS);
+        println!("{}", report::render_synth_time(&rows));
+    }
+    if run("fig8") || run("fig9") || run("fig10") {
+        let rows = fig8_9_10(&PAPER_ARRAY_SIZES);
+        if run("fig8") {
+            println!("{}", report::render_fig8(&rows));
+        }
+        if run("fig9") {
+            println!("{}", report::render_fig9(&rows));
+        }
+        if run("fig10") {
+            println!("{}", report::render_fig10(&rows));
+        }
+        if report::write_fig8_10_csv(&rows, &results_dir.join("fig8_10.csv")).is_ok() {
+            println!("(written to results/fig8_10.csv)\n");
+        }
+    }
+    if run("table3") {
+        let rows = table3(&[16, 32, 64]);
+        println!("{}", report::render_table3(&rows));
+    }
+    if run("power") {
+        let rows = power_study(&[16, 64]);
+        println!("{}", report::render_power(&rows));
+    }
+    if run("ablation") {
+        let rows = ablation(&[16, 64]);
+        println!("{}", report::render_ablation(&rows));
+    }
+    if run("sharing") {
+        let rows = sharing(&[16, 64, 256]);
+        println!("{}", report::render_sharing(&rows));
+    }
+    if run("interconnect") {
+        let rows = interconnect(&[0.0, 30.0, 60.0, 120.0, 240.0]);
+        println!("{}", report::render_interconnect(&rows));
+    }
+}
+
+fn print_table1() {
+    let shape = ArrayShape::new(4, 4);
+    let lin = workloads::motion_est_read(shape, 2, 2, 0);
+    let (rows, cols) = lin.decompose(shape, Layout::RowMajor).expect("in range");
+    println!("Table 1: address sequences (img 4x4, mb 2x2, m=0)");
+    println!("  LinAS = {lin}");
+    println!("  RowAS = {rows}");
+    println!("  ColAS = {cols}\n");
+}
+
+fn print_table2() {
+    let shape = ArrayShape::new(4, 4);
+    let lin = workloads::motion_est_read(shape, 2, 2, 0);
+    let (rows, _) = lin.decompose(shape, Layout::RowMajor).expect("in range");
+    let m = map_sequence(&rows).expect("paper example maps");
+    println!("Table 2: mapping parameters for the row address sequence");
+    println!("  I  = {rows}");
+    println!("  D  = {:?}", m.division_counts);
+    println!("  R  = {}", m.reduced);
+    println!("  U  = {:?}", m.unique);
+    println!("  O  = {:?}", m.occurrences);
+    println!("  Z  = {:?}", m.first_positions);
+    println!(
+        "  S  = {:?}",
+        m.spec
+            .registers
+            .iter()
+            .map(|r| r.lines().to_vec())
+            .collect::<Vec<_>>()
+    );
+    println!("  P  = {:?}", m.pass_counts);
+    println!("  dC = {}", m.spec.div_count);
+    println!("  pC = {}\n", m.spec.pass_count);
+}

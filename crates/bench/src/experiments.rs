@@ -1,0 +1,665 @@
+//! The experiment kernels, one per paper artefact.
+//!
+//! Parameter choices (documented in `DESIGN.md` §4): array sizes
+//! follow the paper (16×16 … 256×256 for Figs. 8–10, sequence lengths
+//! 8 … 256 for Figs. 3–4); the macroblock for motion estimation
+//! scales as `max(2, N/8)` so the block structure stays proportional
+//! to the frame as in block-based codecs.
+
+use std::time::Instant;
+
+use adgen_cntag::{component_delays, CntAgNetlist, CntAgSpec};
+use adgen_core::composite::Srag2d;
+use adgen_core::{SragNetlist, SragSpec};
+use adgen_explorer::{compare_srag_cntag, ComparisonRow};
+use adgen_netlist::{AreaReport, Library, TimingAnalysis};
+use adgen_seq::{workloads, AddressSequence, ArrayShape, Layout};
+use adgen_synth::{Encoding, Fsm, OutputStyle};
+
+/// The array sizes of paper Figs. 8–10.
+pub const PAPER_ARRAY_SIZES: [u32; 5] = [16, 32, 64, 128, 256];
+
+/// The sequence lengths of paper Figs. 3–4.
+pub const PAPER_SEQUENCE_LENGTHS: [u32; 6] = [8, 16, 32, 64, 128, 256];
+
+/// Macroblock edge used for an `n × n` frame.
+pub fn macroblock_for(n: u32) -> u32 {
+    (n / 8).max(2)
+}
+
+/// One point of Figs. 3 and 4: shift register vs symbolic FSM on the
+/// incremental sequence `0 … n-1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig34Row {
+    /// Sequence length `N`.
+    pub n: u32,
+    /// Shift-register (one-hot ring) delay, ns.
+    pub shift_register_delay_ns: f64,
+    /// Binary-encoded symbolic FSM delay, ns.
+    pub fsm_delay_ns: f64,
+    /// Shift-register area, cell units.
+    pub shift_register_area: f64,
+    /// FSM area, cell units.
+    pub fsm_area: f64,
+}
+
+/// Computes Figs. 3 and 4 for the given sequence lengths.
+///
+/// # Panics
+///
+/// Panics if synthesis of either arm fails (an internal error: the
+/// incremental sequence is always implementable).
+pub fn fig3_4(lengths: &[u32]) -> Vec<Fig34Row> {
+    let library = Library::vcl018();
+    lengths
+        .iter()
+        .map(|&n| {
+            let ring = SragNetlist::elaborate(&SragSpec::ring(n)).expect("ring elaborates");
+            let ring_t = TimingAnalysis::run(&ring.netlist, &library).expect("ring times");
+            let ring_a = AreaReport::of(&ring.netlist, &library);
+
+            let seq: Vec<u32> = (0..n).collect();
+            let fsm = Fsm::cyclic_sequence(&seq)
+                .expect("nonempty")
+                .synthesize(
+                    Encoding::Binary,
+                    OutputStyle::SelectLines {
+                        num_lines: n as usize,
+                    },
+                )
+                .expect("FSM synthesizes");
+            let fsm_t = TimingAnalysis::run(&fsm.netlist, &library).expect("FSM times");
+            let fsm_a = AreaReport::of(&fsm.netlist, &library);
+
+            Fig34Row {
+                n,
+                shift_register_delay_ns: ring_t.critical_path_ns(),
+                fsm_delay_ns: fsm_t.critical_path_ns(),
+                shift_register_area: ring_a.total(),
+                fsm_area: fsm_a.total(),
+            }
+        })
+        .collect()
+}
+
+/// One point of the §3 synthesis-runtime comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthTimeRow {
+    /// Sequence length `N`.
+    pub n: u32,
+    /// Wall-clock to synthesize the symbolic FSM, seconds.
+    pub fsm_seconds: f64,
+    /// Wall-clock to generate the shift-register solution, seconds.
+    pub shift_register_seconds: f64,
+}
+
+/// Measures synthesis wall-clock for both arms of §3 (the paper
+/// reports 6 h vs 36 min at N = 256 on a Sun Ultra-5; the absolute
+/// times differ wildly across tooling, the *growth* is the claim).
+///
+/// # Panics
+///
+/// Panics if either arm fails to synthesize.
+pub fn synth_time(lengths: &[u32]) -> Vec<SynthTimeRow> {
+    lengths
+        .iter()
+        .map(|&n| {
+            let started = Instant::now();
+            let _ring = SragNetlist::elaborate(&SragSpec::ring(n)).expect("ring");
+            let shift_register_seconds = started.elapsed().as_secs_f64();
+
+            let seq: Vec<u32> = (0..n).collect();
+            let started = Instant::now();
+            let _fsm = Fsm::cyclic_sequence(&seq)
+                .expect("nonempty")
+                .synthesize(
+                    Encoding::Binary,
+                    OutputStyle::SelectLines {
+                        num_lines: n as usize,
+                    },
+                )
+                .expect("FSM");
+            let fsm_seconds = started.elapsed().as_secs_f64();
+            SynthTimeRow {
+                n,
+                fsm_seconds,
+                shift_register_seconds,
+            }
+        })
+        .collect()
+}
+
+/// One point of Figs. 8, 9 and 10: write/read generators for the
+/// motion-estimation workload on an `n × n` array, plus the CntAG
+/// component breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig8910Row {
+    /// Array edge (`img_width = img_height = n`).
+    pub n: u32,
+    /// SRAG delay on the write (incremental) sequence, ns.
+    pub srag_write_delay_ns: f64,
+    /// CntAG delay on the write sequence, ns.
+    pub cntag_write_delay_ns: f64,
+    /// SRAG delay on the read (block-matching) sequence, ns.
+    pub srag_read_delay_ns: f64,
+    /// CntAG delay on the read sequence, ns.
+    pub cntag_read_delay_ns: f64,
+    /// SRAG write-generator area, cell units.
+    pub srag_write_area: f64,
+    /// CntAG write-generator area, cell units.
+    pub cntag_write_area: f64,
+    /// SRAG read-generator area, cell units.
+    pub srag_read_area: f64,
+    /// CntAG read-generator area, cell units.
+    pub cntag_read_area: f64,
+    /// Fig. 9: read-side CntAG counter delay, ns.
+    pub counter_delay_ns: f64,
+    /// Fig. 9: row-decoder delay, ns.
+    pub row_decoder_delay_ns: f64,
+    /// Fig. 9: column-decoder delay, ns.
+    pub col_decoder_delay_ns: f64,
+}
+
+/// Computes Figs. 8–10 for the given array sizes.
+///
+/// # Panics
+///
+/// Panics if mapping or elaboration fails (the motion-estimation
+/// streams are always SRAG-mappable).
+pub fn fig8_9_10(sizes: &[u32]) -> Vec<Fig8910Row> {
+    let library = Library::vcl018();
+    sizes
+        .iter()
+        .map(|&n| {
+            let shape = ArrayShape::new(n, n);
+            let mb = macroblock_for(n);
+
+            let write_seq = workloads::motion_est_write(shape);
+            let read_seq = workloads::motion_est_read(shape, mb, mb, 0);
+            let write_cmp = compare_srag_cntag(
+                &write_seq,
+                shape,
+                &CntAgSpec::raster(shape),
+                &library,
+            )
+            .expect("write generators");
+            let read_program = CntAgSpec::motion_est(shape, mb, mb, 0);
+            let read_cmp =
+                compare_srag_cntag(&read_seq, shape, &read_program, &library)
+                    .expect("read generators");
+            let comps = component_delays(&read_program, &library).expect("components");
+
+            Fig8910Row {
+                n,
+                srag_write_delay_ns: write_cmp.srag_delay_ps / 1000.0,
+                cntag_write_delay_ns: write_cmp.cntag_delay_ps / 1000.0,
+                srag_read_delay_ns: read_cmp.srag_delay_ps / 1000.0,
+                cntag_read_delay_ns: read_cmp.cntag_delay_ps / 1000.0,
+                srag_write_area: write_cmp.srag_area,
+                cntag_write_area: write_cmp.cntag_area,
+                srag_read_area: read_cmp.srag_area,
+                cntag_read_area: read_cmp.cntag_area,
+                counter_delay_ns: comps.counter_ps / 1000.0,
+                row_decoder_delay_ns: comps.row_decoder_ps / 1000.0,
+                col_decoder_delay_ns: comps.col_decoder_ps / 1000.0,
+            }
+        })
+        .collect()
+}
+
+/// One row of paper Table 3: average delay-reduction and
+/// area-increase factors for a named workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Workload name as in the paper.
+    pub example: &'static str,
+    /// Average CntAG-delay / SRAG-delay over the size sweep.
+    pub avg_delay_reduction: f64,
+    /// Average SRAG-area / CntAG-area over the size sweep.
+    pub avg_area_increase: f64,
+    /// The per-size comparisons behind the averages.
+    pub rows: Vec<(u32, ComparisonRow)>,
+}
+
+/// Computes Table 3 over the given array sizes (the paper does not
+/// state its sizes; 16–64 keeps the sweep matched to Figs. 8–10's
+/// lower half and runs in seconds).
+///
+/// # Panics
+///
+/// Panics if mapping or elaboration fails for a workload that must
+/// map.
+/// A named workload builder for the Table 3 sweep.
+type WorkloadBuilder = Box<dyn Fn(ArrayShape) -> (AddressSequence, CntAgSpec)>;
+
+pub fn table3(sizes: &[u32]) -> Vec<Table3Row> {
+    let library = Library::vcl018();
+    let cases: Vec<(&'static str, WorkloadBuilder)> = vec![
+        (
+            "dct",
+            Box::new(|shape| (workloads::transpose_scan(shape), CntAgSpec::transpose(shape))),
+        ),
+        (
+            "zoombytwo",
+            Box::new(|shape| (workloads::zoom_by_two(shape), CntAgSpec::zoom_by_two(shape))),
+        ),
+        (
+            "motion_est",
+            Box::new(|shape| {
+                let mb = macroblock_for(shape.width());
+                (
+                    workloads::motion_est_read(shape, mb, mb, 0),
+                    CntAgSpec::motion_est(shape, mb, mb, 0),
+                )
+            }),
+        ),
+        (
+            "fifo",
+            Box::new(|shape| (workloads::fifo(shape), CntAgSpec::raster(shape))),
+        ),
+    ];
+    cases
+        .into_iter()
+        .map(|(example, build)| {
+            let rows: Vec<(u32, ComparisonRow)> = sizes
+                .iter()
+                .map(|&n| {
+                    let shape = ArrayShape::new(n, n);
+                    let (seq, program) = build(shape);
+                    let cmp = compare_srag_cntag(&seq, shape, &program, &library)
+                        .unwrap_or_else(|e| panic!("{example}@{n}: {e}"));
+                    (n, cmp)
+                })
+                .collect();
+            let avg_delay_reduction = rows
+                .iter()
+                .map(|(_, r)| r.delay_reduction_factor())
+                .sum::<f64>()
+                / rows.len() as f64;
+            let avg_area_increase = rows
+                .iter()
+                .map(|(_, r)| r.area_increase_factor())
+                .sum::<f64>()
+                / rows.len() as f64;
+            Table3Row {
+                example,
+                avg_delay_reduction,
+                avg_area_increase,
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// One row of the deferred §7 power study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerRow {
+    /// Workload name.
+    pub example: &'static str,
+    /// Array edge.
+    pub n: u32,
+    /// The four power measurements.
+    pub comparison: adgen_explorer::PowerComparisonRow,
+}
+
+/// Runs the power study over the named workloads at the given sizes
+/// (100 MHz, 512 streaming accesses each).
+///
+/// # Panics
+///
+/// Panics if a workload fails to map or simulate.
+pub fn power_study(sizes: &[u32]) -> Vec<PowerRow> {
+    let library = Library::vcl018();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let shape = ArrayShape::new(n, n);
+        let mb = macroblock_for(n);
+        let cases: [(&'static str, AddressSequence, CntAgSpec); 3] = [
+            ("fifo", workloads::fifo(shape), CntAgSpec::raster(shape)),
+            (
+                "motion_est",
+                workloads::motion_est_read(shape, mb, mb, 0),
+                CntAgSpec::motion_est(shape, mb, mb, 0),
+            ),
+            (
+                "zoombytwo",
+                workloads::zoom_by_two(shape),
+                CntAgSpec::zoom_by_two(shape),
+            ),
+        ];
+        for (example, seq, program) in cases {
+            let comparison = adgen_explorer::compare_power(
+                &seq, shape, &program, &library, 100.0, 512,
+            )
+            .unwrap_or_else(|e| panic!("{example}@{n}: {e}"));
+            rows.push(PowerRow {
+                example,
+                n,
+                comparison,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the control-style / control-sharing ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Workload name.
+    pub example: &'static str,
+    /// Array edge.
+    pub n: u32,
+    /// Delay (ns) with binary-counter control (paper Fig. 5).
+    pub binary_delay_ns: f64,
+    /// Area with binary-counter control.
+    pub binary_area: f64,
+    /// Delay (ns) with one-hot ring control (§4 alternative).
+    pub ring_delay_ns: f64,
+    /// Area with ring control.
+    pub ring_area: f64,
+    /// Delay (ns) with interacting synthesized FSMs (§4 alternative).
+    pub fsm_delay_ns: f64,
+    /// Area with FSM control.
+    pub fsm_area: f64,
+    /// Delay/area with the row divider chained off the column SRAG
+    /// (§7 control reuse); `None` when the pattern is not chainable.
+    pub chained: Option<(f64, f64)>,
+}
+
+/// Runs the design-choice ablations the paper sketches: counter vs
+/// ring control (§4) and row-off-column control chaining (§7).
+///
+/// # Panics
+///
+/// Panics if mapping or elaboration fails.
+pub fn ablation(sizes: &[u32]) -> Vec<AblationRow> {
+    use adgen_core::arch::ControlStyle;
+    let library = Library::vcl018();
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let shape = ArrayShape::new(n, n);
+        let mb = macroblock_for(n);
+        let cases: [(&'static str, AddressSequence); 2] = [
+            ("fifo", workloads::fifo(shape)),
+            ("motion_est", workloads::motion_est_read(shape, mb, mb, 0)),
+        ];
+        for (example, seq) in cases {
+            let pair = Srag2d::map(&seq, shape, Layout::RowMajor)
+                .unwrap_or_else(|e| panic!("{example}@{n}: {e}"));
+            let measure = |netlist: &adgen_netlist::Netlist| {
+                let t = TimingAnalysis::run(netlist, &library).expect("times");
+                let a = AreaReport::of(netlist, &library);
+                (t.critical_path_ns(), a.total())
+            };
+            let binary = pair
+                .elaborate_with_style(ControlStyle::BinaryCounters)
+                .expect("binary control");
+            let ring = pair
+                .elaborate_with_style(ControlStyle::RingCounters)
+                .expect("ring control");
+            let fsm = pair
+                .elaborate_with_style(ControlStyle::InteractingFsms)
+                .expect("fsm control");
+            let (binary_delay_ns, binary_area) = measure(&binary.netlist);
+            let (ring_delay_ns, ring_area) = measure(&ring.netlist);
+            let (fsm_delay_ns, fsm_area) = measure(&fsm.netlist);
+            let chained = pair
+                .elaborate_chained()
+                .expect("chaining elaborates")
+                .map(|c| measure(&c.netlist));
+            rows.push(AblationRow {
+                example,
+                n,
+                binary_delay_ns,
+                binary_area,
+                ring_delay_ns,
+                ring_area,
+                fsm_delay_ns,
+                fsm_area,
+                chained,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the §7 time-sharing study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharingRow {
+    /// Array edge.
+    pub n: u32,
+    /// Area of four separate 1-D generators (write row/col + read
+    /// row/col), cell units.
+    pub separate_area: f64,
+    /// Area of the two time-shared generators, cell units.
+    pub shared_area: f64,
+}
+
+impl SharingRow {
+    /// Fraction of area saved by sharing.
+    pub fn saving(&self) -> f64 {
+        1.0 - self.shared_area / self.separate_area
+    }
+}
+
+/// Runs the §7 time-sharing study: a raster write stream and a
+/// DCT-scan read stream over the same buffer share one set of shift
+/// registers per dimension.
+///
+/// # Panics
+///
+/// Panics if mapping or elaboration fails (both streams are rings in
+/// both dimensions, so sharing is always applicable).
+pub fn sharing(sizes: &[u32]) -> Vec<SharingRow> {
+    use adgen_core::mapper::map_sequence;
+    use adgen_core::shared::TimeSharedSragNetlist;
+    let library = Library::vcl018();
+    sizes
+        .iter()
+        .map(|&n| {
+            let shape = ArrayShape::new(n, n);
+            let dims = |seq: &AddressSequence| {
+                let (rows, cols) = seq.decompose(shape, Layout::RowMajor).expect("in range");
+                (
+                    map_sequence(&rows).expect("rows map").spec,
+                    map_sequence(&cols).expect("cols map").spec,
+                )
+            };
+            let (wr, wc) = dims(&workloads::fifo(shape));
+            let (rr, rc) = dims(&workloads::transpose_scan(shape));
+            let area = |spec: &adgen_core::SragSpec| {
+                let d = SragNetlist::elaborate(spec).expect("elaborates");
+                AreaReport::of(&d.netlist, &library).total()
+            };
+            let separate_area = area(&wr) + area(&wc) + area(&rr) + area(&rc);
+            let shared = |a: &adgen_core::SragSpec, b: &adgen_core::SragSpec| {
+                let d = TimeSharedSragNetlist::elaborate(a, b)
+                    .expect("elaborates")
+                    .expect("share-compatible");
+                AreaReport::of(&d.netlist, &library).total()
+            };
+            let shared_area = shared(&wr, &rr) + shared(&wc, &rc);
+            SharingRow {
+                n,
+                separate_area,
+                shared_area,
+            }
+        })
+        .collect()
+}
+
+/// One point of the §7 interconnect-sensitivity study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterconnectRow {
+    /// External select-line load, femtofarads.
+    pub load_ff: f64,
+    /// SRAG delay, ns.
+    pub srag_delay_ns: f64,
+    /// CntAG delay, ns.
+    pub cntag_delay_ns: f64,
+}
+
+/// Sweeps the external select-line capacitance (the interconnect term
+/// both designs drive into the cell array) on the 64×64
+/// motion-estimation read generators — quantifying §7's "the
+/// interconnect and routing costs should also be considered".
+///
+/// # Panics
+///
+/// Panics if mapping or elaboration fails.
+pub fn interconnect(loads_ff: &[f64]) -> Vec<InterconnectRow> {
+    let library = Library::vcl018();
+    let shape = ArrayShape::new(64, 64);
+    let mb = macroblock_for(64);
+    let seq = workloads::motion_est_read(shape, mb, mb, 0);
+    let program = CntAgSpec::motion_est(shape, mb, mb, 0);
+    loads_ff
+        .iter()
+        .map(|&load_ff| {
+            let cmp = adgen_explorer::compare_srag_cntag_with_load(
+                &seq, shape, &program, &library, load_ff,
+            )
+            .expect("comparable");
+            InterconnectRow {
+                load_ff,
+                srag_delay_ns: cmp.srag_delay_ps / 1000.0,
+                cntag_delay_ns: cmp.cntag_delay_ps / 1000.0,
+            }
+        })
+        .collect()
+}
+
+/// Sanity accessor used by benches and tests: builds and verifies a
+/// small CntAG so the bench harness has a cheap correctness canary.
+///
+/// # Panics
+///
+/// Panics if the canary fails.
+pub fn canary() {
+    let shape = ArrayShape::new(4, 4);
+    let seq = workloads::motion_est_read(shape, 2, 2, 0);
+    let pair = Srag2d::map(&seq, shape, Layout::RowMajor).expect("canary maps");
+    let design = pair.elaborate().expect("canary elaborates");
+    let cnt = CntAgNetlist::elaborate(&CntAgSpec::motion_est(shape, 2, 2, 0))
+        .expect("canary baseline");
+    assert!(design.netlist.num_flip_flops() > 0);
+    assert!(cnt.netlist.num_flip_flops() > 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_4_shift_register_is_faster() {
+        let rows = fig3_4(&[8, 16, 32]);
+        for r in &rows {
+            assert!(
+                r.fsm_delay_ns > r.shift_register_delay_ns,
+                "N={}: fsm {} vs sr {}",
+                r.n,
+                r.fsm_delay_ns,
+                r.shift_register_delay_ns
+            );
+        }
+        // FSM delay grows with N; shift register stays nearly flat.
+        let fsm_growth = rows.last().unwrap().fsm_delay_ns / rows[0].fsm_delay_ns;
+        let sr_growth =
+            rows.last().unwrap().shift_register_delay_ns / rows[0].shift_register_delay_ns;
+        assert!(fsm_growth > sr_growth);
+    }
+
+    #[test]
+    fn fig8_trends_hold_at_small_sizes() {
+        let rows = fig8_9_10(&[16, 32]);
+        for r in &rows {
+            assert!(r.srag_read_delay_ns < r.cntag_read_delay_ns, "read @{}", r.n);
+            assert!(
+                r.srag_read_area > r.cntag_read_area,
+                "area trade-off @{}",
+                r.n
+            );
+        }
+    }
+
+    #[test]
+    fn table3_factors_in_paper_direction() {
+        let rows = table3(&[16, 32]);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.avg_delay_reduction > 1.0,
+                "{}: delay reduction {}",
+                r.example,
+                r.avg_delay_reduction
+            );
+            assert!(
+                r.avg_area_increase > 1.0,
+                "{}: area increase {}",
+                r.example,
+                r.avg_area_increase
+            );
+        }
+    }
+
+    #[test]
+    fn synth_time_rows_are_positive() {
+        let rows = synth_time(&[8, 16]);
+        for r in &rows {
+            assert!(r.fsm_seconds > 0.0);
+            assert!(r.shift_register_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn canary_passes() {
+        canary();
+    }
+
+    #[test]
+    fn power_rows_have_positive_totals() {
+        let rows = power_study(&[16]);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.comparison.srag.total_uw() > 0.0, "{}", r.example);
+            assert!(r.comparison.cntag.total_uw() > 0.0, "{}", r.example);
+            // Gating never hurts the SRAG side.
+            assert!(
+                r.comparison.srag_gated.total_uw() <= r.comparison.srag.total_uw() + 1e-9,
+                "{}",
+                r.example
+            );
+        }
+    }
+
+    #[test]
+    fn ablation_ring_beats_binary_on_fifo() {
+        let rows = ablation(&[16]);
+        let fifo = rows.iter().find(|r| r.example == "fifo").unwrap();
+        assert!(fifo.ring_delay_ns < fifo.binary_delay_ns);
+        assert!(fifo.ring_area > fifo.binary_area);
+        let (chain_delay, chain_area) = fifo.chained.expect("fifo chains");
+        assert!(chain_area < fifo.binary_area);
+        assert!(chain_delay > 0.0);
+    }
+
+    #[test]
+    fn interconnect_hurts_the_cntag_more() {
+        let rows = interconnect(&[0.0, 120.0]);
+        let srag_growth = rows[1].srag_delay_ns - rows[0].srag_delay_ns;
+        let cntag_growth = rows[1].cntag_delay_ns - rows[0].cntag_delay_ns;
+        assert!(
+            cntag_growth > srag_growth,
+            "cntag +{cntag_growth} vs srag +{srag_growth}"
+        );
+    }
+
+    #[test]
+    fn sharing_saves_at_least_a_third() {
+        let rows = sharing(&[16, 32]);
+        for r in &rows {
+            assert!(r.saving() > 0.33, "n={} saving {}", r.n, r.saving());
+            assert!(r.shared_area > 0.0);
+        }
+    }
+}

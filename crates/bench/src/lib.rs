@@ -1,0 +1,12 @@
+//! Measurement kernels regenerating every table and figure of the
+//! paper's evaluation. The `repro` binary prints them; the Criterion
+//! benches time them; `EXPERIMENTS.md` records paper-vs-measured.
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    ablation, fig3_4, fig8_9_10, interconnect, power_study, sharing, synth_time, table3,
+    AblationRow, Fig34Row, Fig8910Row, InterconnectRow, PowerRow, SharingRow, SynthTimeRow,
+    Table3Row,
+};

@@ -1,0 +1,390 @@
+//! Plain-text and CSV rendering of experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::experiments::{Fig34Row, Fig8910Row, SynthTimeRow, Table3Row};
+
+/// Renders Figs. 3 and 4 as one combined table.
+pub fn render_fig3_4(rows: &[Fig34Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Fig. 3 (delay) and Fig. 4 (area): shift register vs symbolic FSM, incremental sequence"
+    );
+    let _ = writeln!(
+        s,
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "N", "SR delay/ns", "FSM delay/ns", "SR area", "FSM area", "FSM/SR dly"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>6} {:>12.3} {:>12.3} {:>12.0} {:>12.0} {:>10.2}",
+            r.n,
+            r.shift_register_delay_ns,
+            r.fsm_delay_ns,
+            r.shift_register_area,
+            r.fsm_area,
+            r.fsm_delay_ns / r.shift_register_delay_ns
+        );
+    }
+    s
+}
+
+/// Renders the §3 synthesis-runtime comparison.
+pub fn render_synth_time(rows: &[SynthTimeRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Synthesis wall-clock (paper §3: 6 h FSM vs 36 min SR at N=256)");
+    let _ = writeln!(s, "{:>6} {:>14} {:>14} {:>8}", "N", "FSM/s", "SR/s", "ratio");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>6} {:>14.4} {:>14.4} {:>8.1}",
+            r.n,
+            r.fsm_seconds,
+            r.shift_register_seconds,
+            r.fsm_seconds / r.shift_register_seconds
+        );
+    }
+    s
+}
+
+/// Renders Fig. 8 (delay vs array size).
+pub fn render_fig8(rows: &[Fig8910Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Fig. 8: address generator delay vs array size (ns)");
+    let _ = writeln!(
+        s,
+        "{:>9} {:>11} {:>11} {:>11} {:>11}",
+        "array", "SRAG(W)", "CntAG(W)", "SRAG(R)", "CntAG(R)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>5}x{:<3} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
+            r.n, r.n, r.srag_write_delay_ns, r.cntag_write_delay_ns, r.srag_read_delay_ns,
+            r.cntag_read_delay_ns
+        );
+    }
+    s
+}
+
+/// Renders Fig. 9 (CntAG component delays).
+pub fn render_fig9(rows: &[Fig8910Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Fig. 9: CntAG component delays vs array size (ns)");
+    let _ = writeln!(
+        s,
+        "{:>9} {:>10} {:>12} {:>12}",
+        "array", "counter", "row dec", "col dec"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>5}x{:<3} {:>10.3} {:>12.3} {:>12.3}",
+            r.n, r.n, r.counter_delay_ns, r.row_decoder_delay_ns, r.col_decoder_delay_ns
+        );
+    }
+    s
+}
+
+/// Renders Fig. 10 (area vs array size).
+pub fn render_fig10(rows: &[Fig8910Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "Fig. 10: address generator area vs array size (cell units)");
+    let _ = writeln!(
+        s,
+        "{:>9} {:>11} {:>11} {:>11} {:>11}",
+        "array", "SRAG(W)", "CntAG(W)", "SRAG(R)", "CntAG(R)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>5}x{:<3} {:>11.0} {:>11.0} {:>11.0} {:>11.0}",
+            r.n, r.n, r.srag_write_area, r.cntag_write_area, r.srag_read_area, r.cntag_read_area
+        );
+    }
+    s
+}
+
+/// Renders Table 3 (average factors per workload).
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Table 3: average delay reduction and area increase (SRAG vs CntAG)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:>16} {:>15}",
+        "example", "delay reduction", "area increase"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<12} {:>16.2} {:>15.2}",
+            r.example, r.avg_delay_reduction, r.avg_area_increase
+        );
+    }
+    s
+}
+
+/// Renders the §7 power study.
+pub fn render_power(rows: &[crate::experiments::PowerRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Power study (paper §7 future work): total / switching / clock, µW at 100 MHz"
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:>6} {:>22} {:>22} {:>7} {:>7}",
+        "example", "array", "SRAG (tot/sw/clk)", "CntAG (tot/sw/clk)", "free", "gated"
+    );
+    for r in rows {
+        let c = &r.comparison;
+        let _ = writeln!(
+            s,
+            "{:<12} {:>3}x{:<3} {:>8.1}/{:>5.1}/{:>6.1} {:>8.1}/{:>5.1}/{:>6.1} {:>7.2} {:>7.2}",
+            r.example,
+            r.n,
+            r.n,
+            c.srag.total_uw(),
+            c.srag.dynamic_uw,
+            c.srag.clock_uw,
+            c.cntag.total_uw(),
+            c.cntag.dynamic_uw,
+            c.cntag.clock_uw,
+            c.power_reduction_factor(),
+            c.gated_power_reduction_factor()
+        );
+    }
+    s
+}
+
+/// Renders the control-style / control-sharing ablation.
+pub fn render_ablation(rows: &[crate::experiments::AblationRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Control ablation: binary counters vs one-hot rings (§4) and chained row divider (§7)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<12} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "example", "array", "bin ns", "bin area", "ring ns", "ring area", "fsm ns", "fsm area",
+        "chain ns", "chain ar"
+    );
+    for r in rows {
+        let (cn, ca) = match r.chained {
+            Some((d, a)) => (format!("{d:.3}"), format!("{a:.0}")),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let _ = writeln!(
+            s,
+            "{:<12} {:>3}x{:<3} {:>9.3} {:>9.0} {:>9.3} {:>9.0} {:>9.3} {:>9.0} {:>9} {:>9}",
+            r.example,
+            r.n,
+            r.n,
+            r.binary_delay_ns,
+            r.binary_area,
+            r.ring_delay_ns,
+            r.ring_area,
+            r.fsm_delay_ns,
+            r.fsm_area,
+            cn,
+            ca
+        );
+    }
+    s
+}
+
+/// Renders the §7 time-sharing study.
+pub fn render_sharing(rows: &[crate::experiments::SharingRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Time-sharing study (paper §7): raster write + DCT read sharing one generator"
+    );
+    let _ = writeln!(
+        s,
+        "{:>9} {:>14} {:>12} {:>8}",
+        "array", "separate area", "shared area", "saving"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>5}x{:<3} {:>14.0} {:>12.0} {:>7.0}%",
+            r.n,
+            r.n,
+            r.separate_area,
+            r.shared_area,
+            100.0 * r.saving()
+        );
+    }
+    s
+}
+
+/// Renders the §7 interconnect-sensitivity sweep.
+pub fn render_interconnect(rows: &[crate::experiments::InterconnectRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Interconnect sensitivity (paper §7): select-line load sweep, 64x64 motion est (ns)"
+    );
+    let _ = writeln!(s, "{:>10} {:>9} {:>9} {:>8}", "load/fF", "SRAG", "CntAG", "factor");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:>10.0} {:>9.3} {:>9.3} {:>8.2}",
+            r.load_ff,
+            r.srag_delay_ns,
+            r.cntag_delay_ns,
+            r.cntag_delay_ns / r.srag_delay_ns
+        );
+    }
+    s
+}
+
+/// Writes the Figs. 8–10 sweep as CSV.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_fig8_10_csv(rows: &[Fig8910Row], path: &Path) -> io::Result<()> {
+    let mut s = String::from(
+        "n,srag_write_delay_ns,cntag_write_delay_ns,srag_read_delay_ns,cntag_read_delay_ns,\
+         srag_write_area,cntag_write_area,srag_read_area,cntag_read_area,\
+         counter_delay_ns,row_decoder_delay_ns,col_decoder_delay_ns\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.n,
+            r.srag_write_delay_ns,
+            r.cntag_write_delay_ns,
+            r.srag_read_delay_ns,
+            r.cntag_read_delay_ns,
+            r.srag_write_area,
+            r.cntag_write_area,
+            r.srag_read_area,
+            r.cntag_read_area,
+            r.counter_delay_ns,
+            r.row_decoder_delay_ns,
+            r.col_decoder_delay_ns
+        );
+    }
+    fs::write(path, s)
+}
+
+/// Writes the Figs. 3–4 sweep as CSV.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_fig3_4_csv(rows: &[Fig34Row], path: &Path) -> io::Result<()> {
+    let mut s =
+        String::from("n,shift_register_delay_ns,fsm_delay_ns,shift_register_area,fsm_area\n");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{},{},{},{},{}",
+            r.n, r.shift_register_delay_ns, r.fsm_delay_ns, r.shift_register_area, r.fsm_area
+        );
+    }
+    fs::write(path, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample34() -> Vec<Fig34Row> {
+        vec![Fig34Row {
+            n: 8,
+            shift_register_delay_ns: 0.5,
+            fsm_delay_ns: 1.2,
+            shift_register_area: 200.0,
+            fsm_area: 180.0,
+        }]
+    }
+
+    #[test]
+    fn fig3_4_rendering_contains_values() {
+        let text = render_fig3_4(&sample34());
+        assert!(text.contains("0.500"));
+        assert!(text.contains("1.200"));
+        assert!(text.contains("2.40"));
+    }
+
+    #[test]
+    fn csv_round_trips_through_fs() {
+        let dir = std::env::temp_dir().join("adgen_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig34.csv");
+        write_fig3_4_csv(&sample34(), &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("n,"));
+        assert!(text.lines().count() == 2);
+    }
+
+    #[test]
+    fn fig8_10_csv_has_header_and_rows() {
+        let rows = vec![Fig8910Row {
+            n: 16,
+            srag_write_delay_ns: 1.0,
+            cntag_write_delay_ns: 1.5,
+            srag_read_delay_ns: 1.2,
+            cntag_read_delay_ns: 1.6,
+            srag_write_area: 1000.0,
+            cntag_write_area: 500.0,
+            srag_read_area: 1100.0,
+            cntag_read_area: 520.0,
+            counter_delay_ns: 1.0,
+            row_decoder_delay_ns: 0.5,
+            col_decoder_delay_ns: 0.5,
+        }];
+        let dir = std::env::temp_dir().join("adgen_report_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig8_10.csv");
+        write_fig8_10_csv(&rows, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("n,srag_write_delay_ns"));
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("16,1,1.5,1.2,1.6,1000,500,1100,520,1,0.5,0.5"));
+    }
+
+    #[test]
+    fn sharing_and_interconnect_render() {
+        let text = render_sharing(&[crate::experiments::SharingRow {
+            n: 16,
+            separate_area: 2000.0,
+            shared_area: 1200.0,
+        }]);
+        assert!(text.contains("40%"));
+        let text = render_interconnect(&[crate::experiments::InterconnectRow {
+            load_ff: 30.0,
+            srag_delay_ns: 1.5,
+            cntag_delay_ns: 2.1,
+        }]);
+        assert!(text.contains("1.40"));
+    }
+
+    #[test]
+    fn table3_rendering() {
+        let rows = vec![Table3Row {
+            example: "dct",
+            avg_delay_reduction: 1.7,
+            avg_area_increase: 3.2,
+            rows: vec![],
+        }];
+        let text = render_table3(&rows);
+        assert!(text.contains("dct"));
+        assert!(text.contains("1.70"));
+        assert!(text.contains("3.20"));
+    }
+}

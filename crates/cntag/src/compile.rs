@@ -1,0 +1,259 @@
+//! Compiling affine loop nests into counter-cascade programs.
+//!
+//! The hand-written constructors on [`CntAgSpec`] cover the paper's
+//! workloads; this module derives the same programs *automatically*
+//! from the kernel's loop nest, the way an address-generator
+//! synthesis flow (\[4\], \[5\] in the paper) would: each loop becomes a
+//! counter stage, and an affine subscript whose coefficients are
+//! powers of two becomes a pure bit-concatenation of counter bits —
+//! no adders required.
+//!
+//! Applicability: every loop must start at 0; every loop referenced
+//! by a subscript must have a power-of-two trip count; subscript
+//! coefficients must be powers of two with non-overlapping bit
+//! fields; constant offsets must be zero. Kernels outside this class
+//! (e.g. the zoom's `r2/2` division) need the hand-written programs
+//! or a different generator style.
+
+use adgen_seq::{AffineIndex, ArrayShape, Layout, LoopNest};
+use adgen_synth::SynthError;
+
+use crate::spec::{BitSource, CntAgSpec, CounterStage};
+
+/// Derives a [`CntAgSpec`] from a loop nest and the affine row and
+/// column subscripts of the accessed array.
+///
+/// # Errors
+///
+/// Returns [`SynthError::EmptyStateSpace`] for an empty nest and
+/// [`SynthError::WidthTooLarge`] when a subscript violates the
+/// power-of-two bit-field discipline described in the
+/// [module docs](self) (the error's `width` field carries the
+/// offending coefficient or bound, truncated to `u32`).
+pub fn compile_loop_nest(
+    nest: &LoopNest,
+    row: &AffineIndex,
+    col: &AffineIndex,
+    shape: ArrayShape,
+) -> Result<CntAgSpec, SynthError> {
+    if nest.loops().is_empty() {
+        return Err(SynthError::EmptyStateSpace);
+    }
+    // Stage 0 is the innermost loop.
+    let loops: Vec<_> = nest.loops().iter().rev().collect();
+    let stages: Vec<CounterStage> = loops
+        .iter()
+        .map(|l| CounterStage {
+            modulus: l.trip_count().max(1),
+        })
+        .collect();
+
+    let field_sources = {
+        let stages = &stages;
+        let loops = &loops;
+        move |expr: &AffineIndex| -> Result<Vec<BitSource>, SynthError> {
+        if expr.offset() != 0 {
+            return Err(SynthError::WidthTooLarge {
+                width: expr.offset().unsigned_abs() as u32,
+                max: 0,
+            });
+        }
+        // (shift, stage, width) per referenced variable.
+        let mut fields: Vec<(u32, usize, u32)> = Vec::new();
+        for (name, coeff) in expr.terms() {
+            if coeff == 0 {
+                continue;
+            }
+            let stage = loops
+                .iter()
+                .position(|l| l.name() == name)
+                .ok_or(SynthError::EmptyStateSpace)?;
+            let l = loops[stage];
+            if l.trip_count() == 0 {
+                continue; // zero-trip loop contributes nothing
+            }
+            if coeff < 0 || !(coeff as u64).is_power_of_two() {
+                return Err(SynthError::WidthTooLarge {
+                    width: coeff.unsigned_abs() as u32,
+                    max: 0,
+                });
+            }
+            if nest.loops()[nest.loops().len() - 1 - stage].trip_count() > 1
+                && !l.trip_count().is_power_of_two()
+            {
+                return Err(SynthError::WidthTooLarge {
+                    width: l.trip_count() as u32,
+                    max: 0,
+                });
+            }
+            let shift = (coeff as u64).trailing_zeros();
+            let width = stages[stage].width();
+            if width > 0 {
+                fields.push((shift, stage, width));
+            }
+        }
+        fields.sort_by_key(|&(shift, _, _)| shift);
+        // Bit fields must tile from bit 0 without gaps or overlap so
+        // the word is a pure concatenation.
+        let mut sources = Vec::new();
+        let mut next_bit = 0u32;
+        for (shift, stage, width) in fields {
+            if shift != next_bit {
+                return Err(SynthError::WidthTooLarge {
+                    width: shift,
+                    max: next_bit,
+                });
+            }
+            for bit in 0..width {
+                sources.push(BitSource { stage, bit });
+            }
+            next_bit += width;
+        }
+        Ok(sources)
+        }
+    };
+
+    let row_bits = field_sources(row)?;
+    let col_bits = field_sources(col)?;
+    let spec = CntAgSpec {
+        stages,
+        row_bits,
+        col_bits,
+        shape,
+        layout: Layout::RowMajor,
+    };
+    spec.validate();
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adgen_seq::{workloads, AddressGenerator, LoopVar};
+
+    use crate::spec::CntAgSimulator;
+
+    /// The paper's Fig. 7 kernel (m = 0) as a loop nest; the compiled
+    /// counter program must generate the same trace as both the
+    /// direct workload generator and the loop-nest interpreter.
+    #[test]
+    fn compiles_motion_estimation_kernel() {
+        let shape = ArrayShape::new(8, 8);
+        let (mbw, mbh) = (2i64, 2i64);
+        let w = i64::from(shape.width());
+        let nest = LoopNest::new(vec![
+            LoopVar::new("g", 0, i64::from(shape.height()) / mbh),
+            LoopVar::new("h", 0, w / mbw),
+            LoopVar::new("k", 0, mbh),
+            LoopVar::new("l", 0, mbw),
+        ]);
+        // row = g*mbh + k, col = h*mbw + l.
+        let row = AffineIndex::new(&[("g", mbh), ("k", 1)], 0);
+        let col = AffineIndex::new(&[("h", mbw), ("l", 1)], 0);
+        let spec = compile_loop_nest(&nest, &row, &col, shape).unwrap();
+
+        let reference = workloads::motion_est_read(shape, 2, 2, 0);
+        let mut sim = CntAgSimulator::new(spec);
+        assert_eq!(sim.collect_sequence(reference.len()), reference);
+
+        // And against the loop-nest interpreter itself.
+        let linear = AffineIndex::new(&[("g", mbh * w), ("k", w), ("h", mbw), ("l", 1)], 0);
+        let traced = nest.trace(&linear).unwrap();
+        assert_eq!(traced, reference);
+    }
+
+    #[test]
+    fn compiles_raster_kernel() {
+        let shape = ArrayShape::new(16, 4);
+        let nest = LoopNest::new(vec![
+            LoopVar::new("r", 0, i64::from(shape.height())),
+            LoopVar::new("c", 0, i64::from(shape.width())),
+        ]);
+        let spec = compile_loop_nest(
+            &nest,
+            &AffineIndex::new(&[("r", 1)], 0),
+            &AffineIndex::new(&[("c", 1)], 0),
+            shape,
+        )
+        .unwrap();
+        let mut sim = CntAgSimulator::new(spec);
+        assert_eq!(sim.collect_sequence(64), workloads::raster(shape));
+    }
+
+    #[test]
+    fn compiles_transpose_kernel() {
+        let shape = ArrayShape::new(8, 8);
+        let nest = LoopNest::new(vec![
+            LoopVar::new("c", 0, 8),
+            LoopVar::new("r", 0, 8),
+        ]);
+        let spec = compile_loop_nest(
+            &nest,
+            &AffineIndex::new(&[("r", 1)], 0),
+            &AffineIndex::new(&[("c", 1)], 0),
+            shape,
+        )
+        .unwrap();
+        let mut sim = CntAgSimulator::new(spec);
+        assert_eq!(sim.collect_sequence(64), workloads::transpose_scan(shape));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_coefficient() {
+        let shape = ArrayShape::new(8, 8);
+        let nest = LoopNest::new(vec![LoopVar::new("i", 0, 8)]);
+        let err = compile_loop_nest(
+            &nest,
+            &AffineIndex::new(&[("i", 3)], 0),
+            &AffineIndex::new(&[], 0),
+            shape,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SynthError::WidthTooLarge { .. }));
+    }
+
+    #[test]
+    fn rejects_overlapping_bit_fields() {
+        let shape = ArrayShape::new(8, 8);
+        let nest = LoopNest::new(vec![
+            LoopVar::new("a", 0, 4),
+            LoopVar::new("b", 0, 4),
+        ]);
+        // Both fields start at bit 0.
+        let err = compile_loop_nest(
+            &nest,
+            &AffineIndex::new(&[("a", 1), ("b", 1)], 0),
+            &AffineIndex::new(&[], 0),
+            shape,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SynthError::WidthTooLarge { .. }));
+    }
+
+    #[test]
+    fn rejects_constant_offset() {
+        let shape = ArrayShape::new(4, 4);
+        let nest = LoopNest::new(vec![LoopVar::new("i", 0, 4)]);
+        assert!(compile_loop_nest(
+            &nest,
+            &AffineIndex::new(&[("i", 1)], 1),
+            &AffineIndex::new(&[], 0),
+            shape,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_nest_rejected() {
+        let shape = ArrayShape::new(4, 4);
+        assert!(matches!(
+            compile_loop_nest(
+                &LoopNest::new(vec![]),
+                &AffineIndex::new(&[], 0),
+                &AffineIndex::new(&[], 0),
+                shape,
+            ),
+            Err(SynthError::EmptyStateSpace)
+        ));
+    }
+}

@@ -1,0 +1,417 @@
+//! Counter-cascade programs and their behavioural model.
+
+use adgen_seq::{AddressGenerator, ArrayShape, Layout};
+
+/// One counter in the cascade. Stage 0 advances on every `next`;
+/// stage `i + 1` advances when stage `i` wraps — exactly the nested
+/// loop structure of the source kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterStage {
+    /// The stage counts `0 … modulus-1` then wraps.
+    pub modulus: u64,
+}
+
+impl CounterStage {
+    /// Counter width in bits (0 for a modulus-1 pass-through stage).
+    pub fn width(&self) -> u32 {
+        if self.modulus <= 1 {
+            0
+        } else {
+            64 - (self.modulus - 1).leading_zeros()
+        }
+    }
+}
+
+/// Where one bit of an address word comes from: bit `bit` of stage
+/// `stage`'s count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitSource {
+    /// Index into [`CntAgSpec::stages`].
+    pub stage: usize,
+    /// Bit position within that stage's count (0 = LSB).
+    pub bit: u32,
+}
+
+/// A complete counter-based address generator program.
+///
+/// The paper's workloads all have power-of-two geometry, so every
+/// row/column address bit is exactly one counter bit — no adders are
+/// needed, which is what makes the counter-based style the strongest
+/// conventional baseline for these kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CntAgSpec {
+    /// The counter cascade, fastest stage first.
+    pub stages: Vec<CounterStage>,
+    /// Sources of the row-address bits, LSB first.
+    pub row_bits: Vec<BitSource>,
+    /// Sources of the column-address bits, LSB first.
+    pub col_bits: Vec<BitSource>,
+    /// The memory array being addressed.
+    pub shape: ArrayShape,
+    /// How linear addresses map to (row, column).
+    pub layout: Layout,
+}
+
+impl CntAgSpec {
+    /// Validates the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bit source references a missing stage or bit, or
+    /// if the address words cannot cover the array.
+    pub fn validate(&self) {
+        for b in self.row_bits.iter().chain(&self.col_bits) {
+            assert!(b.stage < self.stages.len(), "bit source stage out of range");
+            assert!(
+                b.bit < self.stages[b.stage].width(),
+                "bit source bit {} out of range for stage {} (modulus {})",
+                b.bit,
+                b.stage,
+                self.stages[b.stage].modulus
+            );
+        }
+        assert!(
+            1u64 << self.row_bits.len() >= u64::from(self.shape.height()),
+            "row word too narrow"
+        );
+        assert!(
+            1u64 << self.col_bits.len() >= u64::from(self.shape.width()),
+            "col word too narrow"
+        );
+    }
+
+    /// Raster/FIFO scan program: column counter (fastest) then row
+    /// counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not power-of-two in both dimensions.
+    pub fn raster(shape: ArrayShape) -> Self {
+        assert!(
+            shape.width().is_power_of_two() && shape.height().is_power_of_two(),
+            "raster program requires power-of-two dimensions"
+        );
+        let stages = vec![
+            CounterStage {
+                modulus: u64::from(shape.width()),
+            },
+            CounterStage {
+                modulus: u64::from(shape.height()),
+            },
+        ];
+        let col_bits = (0..stages[0].width())
+            .map(|bit| BitSource { stage: 0, bit })
+            .collect();
+        let row_bits = (0..stages[1].width())
+            .map(|bit| BitSource { stage: 1, bit })
+            .collect();
+        let spec = CntAgSpec {
+            stages,
+            row_bits,
+            col_bits,
+            shape,
+            layout: Layout::RowMajor,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Transpose / separable-DCT column-order scan: row counter
+    /// fastest, then column counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is not power-of-two in both dimensions.
+    pub fn transpose(shape: ArrayShape) -> Self {
+        assert!(
+            shape.width().is_power_of_two() && shape.height().is_power_of_two(),
+            "transpose program requires power-of-two dimensions"
+        );
+        let stages = vec![
+            CounterStage {
+                modulus: u64::from(shape.height()),
+            },
+            CounterStage {
+                modulus: u64::from(shape.width()),
+            },
+        ];
+        let row_bits = (0..stages[0].width())
+            .map(|bit| BitSource { stage: 0, bit })
+            .collect();
+        let col_bits = (0..stages[1].width())
+            .map(|bit| BitSource { stage: 1, bit })
+            .collect();
+        let spec = CntAgSpec {
+            stages,
+            row_bits,
+            col_bits,
+            shape,
+            layout: Layout::RowMajor,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Block-matching motion-estimation read program (paper Fig. 7):
+    /// the loop nest `g, h, search, k, l` as a counter cascade with
+    /// `row = {k, g}` and `col = {l, h}` bit concatenation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all dimensions are powers of two and the
+    /// macroblock divides the image.
+    pub fn motion_est(shape: ArrayShape, mb_width: u32, mb_height: u32, m: u32) -> Self {
+        assert!(
+            shape.width().is_power_of_two()
+                && shape.height().is_power_of_two()
+                && mb_width.is_power_of_two()
+                && mb_height.is_power_of_two(),
+            "motion-est program requires power-of-two geometry"
+        );
+        assert!(
+            shape.width().is_multiple_of(mb_width) && shape.height().is_multiple_of(mb_height),
+            "macroblock must divide image"
+        );
+        let search = if m == 0 {
+            1
+        } else {
+            u64::from(2 * m) * u64::from(2 * m)
+        };
+        // Cascade, fastest first: l, k, search, h, g.
+        let stages = vec![
+            CounterStage {
+                modulus: u64::from(mb_width),
+            },
+            CounterStage {
+                modulus: u64::from(mb_height),
+            },
+            CounterStage { modulus: search },
+            CounterStage {
+                modulus: u64::from(shape.width() / mb_width),
+            },
+            CounterStage {
+                modulus: u64::from(shape.height() / mb_height),
+            },
+        ];
+        let mut col_bits: Vec<BitSource> = Vec::new();
+        for bit in 0..stages[0].width() {
+            col_bits.push(BitSource { stage: 0, bit });
+        }
+        for bit in 0..stages[3].width() {
+            col_bits.push(BitSource { stage: 3, bit });
+        }
+        let mut row_bits: Vec<BitSource> = Vec::new();
+        for bit in 0..stages[1].width() {
+            row_bits.push(BitSource { stage: 1, bit });
+        }
+        for bit in 0..stages[4].width() {
+            row_bits.push(BitSource { stage: 4, bit });
+        }
+        let spec = CntAgSpec {
+            stages,
+            row_bits,
+            col_bits,
+            shape,
+            layout: Layout::RowMajor,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Zoom-by-two read program: doubled counters with the LSB
+    /// dropped from each address word.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are powers of two.
+    pub fn zoom_by_two(shape: ArrayShape) -> Self {
+        assert!(
+            shape.width().is_power_of_two() && shape.height().is_power_of_two(),
+            "zoom program requires power-of-two dimensions"
+        );
+        let stages = vec![
+            CounterStage {
+                modulus: 2 * u64::from(shape.width()),
+            },
+            CounterStage {
+                modulus: 2 * u64::from(shape.height()),
+            },
+        ];
+        let col_bits = (1..stages[0].width())
+            .map(|bit| BitSource { stage: 0, bit })
+            .collect();
+        let row_bits = (1..stages[1].width())
+            .map(|bit| BitSource { stage: 1, bit })
+            .collect();
+        let spec = CntAgSpec {
+            stages,
+            row_bits,
+            col_bits,
+            shape,
+            layout: Layout::RowMajor,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Total state bits across the cascade.
+    pub fn num_state_bits(&self) -> u32 {
+        self.stages.iter().map(CounterStage::width).sum()
+    }
+}
+
+/// Behavioural counter-cascade simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CntAgSimulator {
+    spec: CntAgSpec,
+    counts: Vec<u64>,
+}
+
+impl CntAgSimulator {
+    /// Creates a simulator in the reset state.
+    pub fn new(spec: CntAgSpec) -> Self {
+        spec.validate();
+        let counts = vec![0; spec.stages.len()];
+        CntAgSimulator { spec, counts }
+    }
+
+    /// The program being simulated.
+    pub fn spec(&self) -> &CntAgSpec {
+        &self.spec
+    }
+
+    /// Current row address.
+    pub fn row(&self) -> u32 {
+        self.word(&self.spec.row_bits)
+    }
+
+    /// Current column address.
+    pub fn col(&self) -> u32 {
+        self.word(&self.spec.col_bits)
+    }
+
+    fn word(&self, bits: &[BitSource]) -> u32 {
+        bits.iter()
+            .enumerate()
+            .map(|(pos, b)| ((self.counts[b.stage] >> b.bit) & 1) as u32 * (1 << pos))
+            .sum()
+    }
+}
+
+impl AddressGenerator for CntAgSimulator {
+    fn reset(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+
+    fn advance(&mut self) {
+        for (count, stage) in self.counts.iter_mut().zip(&self.spec.stages) {
+            *count += 1;
+            if *count == stage.modulus {
+                *count = 0; // wrap and carry into the next stage
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn current(&self) -> u32 {
+        self.spec
+            .shape
+            .to_linear(self.row(), self.col(), self.spec.layout)
+            .expect("counter words stay within the array")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adgen_seq::workloads;
+
+    #[test]
+    fn raster_program_matches_workload() {
+        let shape = ArrayShape::new(8, 4);
+        let reference = workloads::raster(shape);
+        let mut sim = CntAgSimulator::new(CntAgSpec::raster(shape));
+        assert_eq!(sim.collect_sequence(reference.len()), reference);
+    }
+
+    #[test]
+    fn transpose_program_matches_workload() {
+        let shape = ArrayShape::new(8, 8);
+        let reference = workloads::transpose_scan(shape);
+        let mut sim = CntAgSimulator::new(CntAgSpec::transpose(shape));
+        assert_eq!(sim.collect_sequence(reference.len()), reference);
+    }
+
+    #[test]
+    fn motion_est_program_matches_workload_m0() {
+        let shape = ArrayShape::new(8, 8);
+        let reference = workloads::motion_est_read(shape, 2, 2, 0);
+        let mut sim = CntAgSimulator::new(CntAgSpec::motion_est(shape, 2, 2, 0));
+        assert_eq!(sim.collect_sequence(reference.len()), reference);
+    }
+
+    #[test]
+    fn motion_est_program_matches_workload_with_search() {
+        let shape = ArrayShape::new(8, 8);
+        let reference = workloads::motion_est_read(shape, 2, 2, 1);
+        let mut sim = CntAgSimulator::new(CntAgSpec::motion_est(shape, 2, 2, 1));
+        assert_eq!(sim.collect_sequence(reference.len()), reference);
+    }
+
+    #[test]
+    fn zoom_program_matches_workload() {
+        let shape = ArrayShape::new(8, 4);
+        let reference = workloads::zoom_by_two(shape);
+        let mut sim = CntAgSimulator::new(CntAgSpec::zoom_by_two(shape));
+        assert_eq!(sim.collect_sequence(reference.len()), reference);
+    }
+
+    #[test]
+    fn sequences_are_periodic() {
+        let shape = ArrayShape::new(4, 4);
+        let reference = workloads::motion_est_read(shape, 2, 2, 0);
+        let mut sim = CntAgSimulator::new(CntAgSpec::motion_est(shape, 2, 2, 0));
+        let two = sim.collect_sequence(2 * reference.len());
+        assert_eq!(&two.as_slice()[..reference.len()], reference.as_slice());
+        assert_eq!(&two.as_slice()[reference.len()..], reference.as_slice());
+    }
+
+    #[test]
+    fn reset_restarts() {
+        let mut sim = CntAgSimulator::new(CntAgSpec::raster(ArrayShape::new(4, 4)));
+        sim.advance();
+        sim.advance();
+        assert_eq!(sim.current(), 2);
+        sim.reset();
+        assert_eq!(sim.current(), 0);
+    }
+
+    #[test]
+    fn state_bit_budget() {
+        let spec = CntAgSpec::raster(ArrayShape::new(256, 256));
+        assert_eq!(spec.num_state_bits(), 16);
+        let spec = CntAgSpec::motion_est(ArrayShape::new(16, 16), 2, 2, 0);
+        // l:1 k:1 search:0 h:3 g:3
+        assert_eq!(spec.num_state_bits(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let _ = CntAgSpec::raster(ArrayShape::new(6, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn invalid_bit_source_rejected() {
+        let spec = CntAgSpec {
+            stages: vec![CounterStage { modulus: 4 }],
+            row_bits: vec![BitSource { stage: 0, bit: 5 }],
+            col_bits: vec![BitSource { stage: 0, bit: 0 }],
+            shape: ArrayShape::new(2, 2),
+            layout: Layout::RowMajor,
+        };
+        spec.validate();
+    }
+}

@@ -1,0 +1,279 @@
+//! Architectural description of an SRAG (paper §4, Fig. 5).
+
+use std::fmt;
+
+/// How the SRAG's `enable`/`pass` steering signals are derived
+/// (paper §4, last paragraph: "it is not necessary to use counters
+/// for deriving the enable and the pass signals. It is possible to
+/// use shift registers or interacting FSMs").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ControlStyle {
+    /// `DivCnt`/`PassCnt` as binary modulo counters with carry
+    /// networks and terminal-count comparators — the structure of
+    /// paper Fig. 5, minimal state bits.
+    #[default]
+    BinaryCounters,
+    /// One-hot ring counters: `dC` and `pC` flip-flops respectively,
+    /// but the wrap detection is a single AND gate — faster control
+    /// at higher flip-flop cost.
+    RingCounters,
+    /// Small synthesized (binary-encoded, espresso-minimized) state
+    /// machines emitting a terminal-count flag — the "interacting
+    /// FSMs" option; what a behavioural-synthesis flow would produce
+    /// from an RTL `if (count == dC-1)` description.
+    InteractingFsms,
+}
+
+/// One shift register `Sᵢ`: an ordered list of select-line indices,
+/// one per flip-flop, in token-travel order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShiftRegisterSpec {
+    lines: Vec<u32>,
+}
+
+impl ShiftRegisterSpec {
+    /// Creates a register mapping the given select lines to its
+    /// flip-flops `sᵢ,₀ … sᵢ,ₘ₋₁`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is empty or contains duplicates (an address
+    /// maps to exactly one flip-flop, paper §5).
+    pub fn new(lines: Vec<u32>) -> Self {
+        assert!(!lines.is_empty(), "shift register must have flip-flops");
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), lines.len(), "duplicate select line in register");
+        ShiftRegisterSpec { lines }
+    }
+
+    /// The select lines in flip-flop order.
+    pub fn lines(&self) -> &[u32] {
+        &self.lines
+    }
+
+    /// Number of flip-flops (`Mᵢ`).
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the register is empty (never true for constructed
+    /// registers; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// Complete architecture of one (one-dimensional) SRAG.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SragSpec {
+    /// The shift registers `S₀ … S_N₋₁` in token order.
+    pub registers: Vec<ShiftRegisterSpec>,
+    /// The common division count `dC`: how many `next` pulses each
+    /// address is held for.
+    pub div_count: usize,
+    /// The common pass count `pC`: how many shift-enables each
+    /// register keeps the token for before passing it on.
+    pub pass_count: usize,
+    /// Number of select lines the SRAG drives (at least
+    /// `max(line) + 1`).
+    pub num_lines: usize,
+}
+
+impl SragSpec {
+    /// Builds and validates a specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no registers, `div_count` or `pass_count`
+    /// is zero, a line index is `>= num_lines`, a line appears in more
+    /// than one register, or `pass_count` is not a multiple of every
+    /// register length (the paper's `pC = Mᵢ × iterationsᵢ`
+    /// restriction).
+    pub fn new(
+        registers: Vec<ShiftRegisterSpec>,
+        div_count: usize,
+        pass_count: usize,
+        num_lines: usize,
+    ) -> Self {
+        assert!(!registers.is_empty(), "SRAG needs at least one register");
+        assert!(div_count > 0, "div_count must be nonzero");
+        assert!(pass_count > 0, "pass_count must be nonzero");
+        let mut seen = std::collections::HashSet::new();
+        for r in &registers {
+            assert!(
+                pass_count.is_multiple_of(r.len()),
+                "pass_count {pass_count} must be a multiple of register length {}",
+                r.len()
+            );
+            for &l in r.lines() {
+                assert!((l as usize) < num_lines, "line {l} out of range");
+                assert!(seen.insert(l), "line {l} mapped twice");
+            }
+        }
+        SragSpec {
+            registers,
+            div_count,
+            pass_count,
+            num_lines,
+        }
+    }
+
+    /// A single circular shift register over lines `0..n` — the
+    /// degenerate SRAG that implements the incremental sequence of
+    /// paper §3's shift-register arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn ring(n: u32) -> Self {
+        SragSpec::new(
+            vec![ShiftRegisterSpec::new((0..n).collect())],
+            1,
+            n as usize,
+            n as usize,
+        )
+    }
+
+    /// Total number of flip-flops across all registers.
+    pub fn num_flip_flops(&self) -> usize {
+        self.registers.iter().map(ShiftRegisterSpec::len).sum()
+    }
+
+    /// Number of shift registers (`N`).
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// The length of one full period of the generated address
+    /// sequence: every register emits `pass_count` reduced elements,
+    /// each held for `div_count` next pulses.
+    pub fn period(&self) -> usize {
+        self.num_registers() * self.pass_count * self.div_count
+    }
+
+    /// Number of `next` pulses between consecutive visits of the
+    /// token to flip-flop `s₀,₀`: one ring lap (`M₀ × dC`) for a
+    /// single register, a full period otherwise. This is the firing
+    /// interval of the elaborated netlist's cycle-wrap hook.
+    pub fn token_return_interval(&self) -> usize {
+        if self.num_registers() == 1 {
+            self.registers[0].len() * self.div_count
+        } else {
+            self.period()
+        }
+    }
+
+    /// Iterations each register keeps the token
+    /// (`pass_count / Mᵢ`), per register.
+    pub fn iterations(&self) -> Vec<usize> {
+        self.registers
+            .iter()
+            .map(|r| self.pass_count / r.len())
+            .collect()
+    }
+}
+
+impl fmt::Display for SragSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SRAG{{S=")?;
+        for (i, r) in self.registers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in r.lines().iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(
+            f,
+            " dC={} pC={} lines={}}}",
+            self.div_count, self.pass_count, self.num_lines
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table2_spec_is_valid() {
+        let spec = SragSpec::new(
+            vec![
+                ShiftRegisterSpec::new(vec![0, 1]),
+                ShiftRegisterSpec::new(vec![2, 3]),
+            ],
+            2,
+            4,
+            4,
+        );
+        assert_eq!(spec.num_flip_flops(), 4);
+        assert_eq!(spec.num_registers(), 2);
+        assert_eq!(spec.period(), 16);
+        assert_eq!(spec.iterations(), vec![2, 2]);
+    }
+
+    #[test]
+    fn ring_spec() {
+        let s = SragSpec::ring(8);
+        assert_eq!(s.num_registers(), 1);
+        assert_eq!(s.num_flip_flops(), 8);
+        assert_eq!(s.period(), 8);
+        assert_eq!(s.div_count, 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = SragSpec::new(
+            vec![
+                ShiftRegisterSpec::new(vec![5, 1]),
+                ShiftRegisterSpec::new(vec![4, 0]),
+            ],
+            2,
+            2,
+            8,
+        );
+        let t = s.to_string();
+        assert!(t.contains("(5,1);(4,0)"));
+        assert!(t.contains("dC=2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn pass_count_must_divide() {
+        let _ = SragSpec::new(vec![ShiftRegisterSpec::new(vec![0, 1, 2])], 1, 4, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapped twice")]
+    fn duplicate_line_across_registers() {
+        let _ = SragSpec::new(
+            vec![
+                ShiftRegisterSpec::new(vec![0, 1]),
+                ShiftRegisterSpec::new(vec![1, 2]),
+            ],
+            1,
+            2,
+            3,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_line_within_register() {
+        let _ = ShiftRegisterSpec::new(vec![3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn line_out_of_range() {
+        let _ = SragSpec::new(vec![ShiftRegisterSpec::new(vec![9])], 1, 1, 4);
+    }
+}

@@ -1,0 +1,161 @@
+//! Error type for SRAG mapping and elaboration.
+
+use std::error::Error;
+use std::fmt;
+
+use adgen_netlist::NetlistError;
+use adgen_synth::SynthError;
+
+/// Errors from the SRAG mapping procedure and netlist elaboration.
+///
+/// The three mapping variants correspond to the restrictions the paper
+/// states in §4: every address must repeat the same number of
+/// consecutive times (`DivCnt`), every shift register must produce the
+/// same number of reduced-sequence elements (`PassCnt`), and the
+/// grouped shift registers must actually reproduce the input sequence
+/// (the §5 verification step).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SragError {
+    /// The input sequence is empty.
+    EmptySequence,
+    /// Consecutive repetition counts differ between addresses, so no
+    /// single `dC` exists.
+    DivCntViolation {
+        /// Repetition count of the first run.
+        expected: usize,
+        /// The differing repetition count found.
+        found: usize,
+        /// The address whose run differs.
+        address: u32,
+        /// Index (in the input sequence) where the offending run starts.
+        position: usize,
+    },
+    /// Register workloads differ, so no single `pC` exists.
+    PassCntViolation {
+        /// `pC` implied by the first register.
+        expected: usize,
+        /// The differing product found.
+        found: usize,
+        /// Index of the offending shift register.
+        register: usize,
+    },
+    /// The initial grouping heuristic produced a machine that does not
+    /// reproduce the sequence (e.g. `1,2,3,4,3,2,1,4`): the §5
+    /// verification step failed.
+    GroupingFailure {
+        /// First position of the reduced sequence where the generated
+        /// stream diverges.
+        position: usize,
+        /// Address expected (from the input sequence).
+        expected: u32,
+        /// Address the mapped SRAG would generate.
+        generated: u32,
+    },
+    /// Elaboration to gates failed.
+    Netlist(NetlistError),
+    /// A structural generator failed.
+    Synth(SynthError),
+    /// A sequence operation (e.g. the row/column decomposition of a
+    /// 2-D mapping) failed.
+    Seq(adgen_seq::SeqError),
+}
+
+impl fmt::Display for SragError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SragError::EmptySequence => write!(f, "address sequence is empty"),
+            SragError::DivCntViolation {
+                expected,
+                found,
+                address,
+                position,
+            } => write!(
+                f,
+                "DivCnt restriction violated: address {address} at position {position} \
+                 repeats {found} times but the common division count is {expected}"
+            ),
+            SragError::PassCntViolation {
+                expected,
+                found,
+                register,
+            } => write!(
+                f,
+                "PassCnt restriction violated: shift register {register} produces \
+                 {found} elements per pass but the common pass count is {expected}"
+            ),
+            SragError::GroupingFailure {
+                position,
+                expected,
+                generated,
+            } => write!(
+                f,
+                "grouping verification failed at reduced position {position}: \
+                 sequence needs address {expected} but the mapped SRAG generates {generated}"
+            ),
+            SragError::Netlist(e) => write!(f, "netlist error: {e}"),
+            SragError::Synth(e) => write!(f, "synthesis error: {e}"),
+            SragError::Seq(e) => write!(f, "sequence error: {e}"),
+        }
+    }
+}
+
+impl Error for SragError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SragError::Netlist(e) => Some(e),
+            SragError::Synth(e) => Some(e),
+            SragError::Seq(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SragError {
+    fn from(e: NetlistError) -> Self {
+        SragError::Netlist(e)
+    }
+}
+
+impl From<SynthError> for SragError {
+    fn from(e: SynthError) -> Self {
+        SragError::Synth(e)
+    }
+}
+
+impl From<adgen_seq::SeqError> for SragError {
+    fn from(e: adgen_seq::SeqError) -> Self {
+        SragError::Seq(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_specific() {
+        let e = SragError::DivCntViolation {
+            expected: 2,
+            found: 3,
+            address: 5,
+            position: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("DivCnt") && s.contains('5') && s.contains('4'));
+
+        let e = SragError::GroupingFailure {
+            position: 6,
+            expected: 1,
+            generated: 3,
+        };
+        assert!(e.to_string().contains("verification failed"));
+    }
+
+    #[test]
+    fn error_chaining() {
+        let e = SragError::from(NetlistError::UndrivenNet { net: "x".into() });
+        assert!(e.source().is_some());
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<SragError>();
+    }
+}

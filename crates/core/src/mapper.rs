@@ -1,0 +1,396 @@
+//! The automatic mapping procedure of paper §5 (the authors'
+//! `SRAdGen` tool).
+//!
+//! Given a one-dimensional address sequence `I`, the mapper derives
+//!
+//! * `D` — consecutive repetition counts, which must all equal the
+//!   common division count `dC`,
+//! * `R` — the run-collapsed (reduced) sequence,
+//! * `U`, `O`, `Z` — the unique addresses of `R` in first-appearance
+//!   order with their occurrence counts and first positions,
+//! * `S` — the grouping of select lines onto shift registers, and
+//! * `P` — the per-register workloads, which must all equal the
+//!   common pass count `pC`,
+//!
+//! and finally *verifies* the grouped machine against the input
+//! (initial grouping may fail, e.g. for `1,2,3,4,3,2,1,4`; paper §5).
+
+use adgen_seq::{AddressGenerator, AddressSequence};
+
+use crate::arch::{ShiftRegisterSpec, SragSpec};
+use crate::error::SragError;
+use crate::sim::SragSimulator;
+
+/// The result of a successful mapping: the architecture plus every
+/// intermediate set, so paper Table 2 can be reproduced verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// The mapped architecture.
+    pub spec: SragSpec,
+    /// `D`: run length of each run of `I`.
+    pub division_counts: Vec<usize>,
+    /// `R`: the reduced sequence.
+    pub reduced: AddressSequence,
+    /// `U`: unique addresses in first-appearance order.
+    pub unique: Vec<u32>,
+    /// `O`: occurrence count of each unique address in `R`.
+    pub occurrences: Vec<usize>,
+    /// `Z`: first position of each unique address in `R`.
+    pub first_positions: Vec<usize>,
+    /// `P`: reduced elements produced by each shift register per pass.
+    pub pass_counts: Vec<usize>,
+}
+
+/// Maps an address sequence onto an SRAG, or explains precisely which
+/// architectural restriction the sequence violates.
+///
+/// # Errors
+///
+/// * [`SragError::EmptySequence`] for an empty input.
+/// * [`SragError::DivCntViolation`] if consecutive repetition counts
+///   differ (paper's single-`DivCnt` restriction).
+/// * [`SragError::PassCntViolation`] if register workloads differ
+///   (paper's single-`PassCnt` restriction).
+/// * [`SragError::GroupingFailure`] if the §5 verification step finds
+///   the grouped machine does not reproduce the sequence.
+///
+/// # Example
+///
+/// ```
+/// use adgen_core::mapper::map_sequence;
+/// use adgen_seq::AddressSequence;
+///
+/// # fn main() -> Result<(), adgen_core::SragError> {
+/// let cols = AddressSequence::from_vec(vec![0,1,0,1,2,3,2,3,0,1,0,1,2,3,2,3]);
+/// let m = map_sequence(&cols)?;
+/// assert_eq!(m.spec.div_count, 1);
+/// assert_eq!(m.spec.pass_count, 4);
+/// assert_eq!(m.spec.num_registers(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn map_sequence(sequence: &AddressSequence) -> Result<Mapping, SragError> {
+    if sequence.is_empty() {
+        return Err(SragError::EmptySequence);
+    }
+
+    // Step 1: division counts D; all must be equal, giving dC.
+    let runs = sequence.run_length_encode();
+    let div_count = runs[0].1;
+    {
+        let mut position = 0usize;
+        for &(address, len) in &runs {
+            if len != div_count {
+                return Err(SragError::DivCntViolation {
+                    expected: div_count,
+                    found: len,
+                    address,
+                    position,
+                });
+            }
+            position += len;
+        }
+    }
+    let division_counts: Vec<usize> = runs.iter().map(|&(_, l)| l).collect();
+
+    // Step 2: reduced sequence R.
+    let reduced = sequence.collapse_runs();
+
+    // Step 3: unique sequence U with occurrences O and first positions Z.
+    let entries = reduced.unique_in_order();
+    let unique: Vec<u32> = entries.iter().map(|e| e.address).collect();
+    let occurrences: Vec<usize> = entries.iter().map(|e| e.occurrences).collect();
+    let first_positions: Vec<usize> = entries.iter().map(|e| e.first_position).collect();
+
+    // Step 4: initial grouping. Consecutive unique addresses uₖ,uₖ₊₁
+    // join the same register iff they occur equally often and first
+    // appear at consecutive positions of R.
+    let mut groups: Vec<Vec<u32>> = vec![vec![unique[0]]];
+    for k in 1..unique.len() {
+        let joinable = occurrences[k] == occurrences[k - 1]
+            && first_positions[k] == first_positions[k - 1] + 1;
+        if joinable {
+            groups.last_mut().expect("nonempty groups").push(unique[k]);
+        } else {
+            groups.push(vec![unique[k]]);
+        }
+    }
+
+    // Step 5: pass counts P — "the length of R that is produced by
+    // each of the shift registers" (per token visit): run-length
+    // encode R at the granularity of register membership. Every
+    // segment must have the same length for a single PassCnt to
+    // exist.
+    let segments = register_segments(&reduced, &groups);
+    let pass_count = segments[0].1;
+    if let Some(&(register, found)) = segments.iter().find(|&&(_, len)| len != pass_count) {
+        return Err(SragError::PassCntViolation {
+            expected: pass_count,
+            found,
+            register,
+        });
+    }
+    let pass_counts: Vec<usize> = vec![pass_count; groups.len()];
+    // Each register's occurrences must be uniform for pC = Mᵢ ×
+    // iterations to hold; a mixed register cannot produce its segment
+    // by recirculation. Report as a grouping failure at the first
+    // divergence found by verification below — but catch the obvious
+    // arithmetic case early as a PassCnt violation.
+    for (register, g) in groups.iter().enumerate() {
+        if !pass_count.is_multiple_of(g.len()) {
+            return Err(SragError::PassCntViolation {
+                expected: pass_count,
+                found: g.len(),
+                register,
+            });
+        }
+    }
+
+    let num_lines = sequence.max_address().expect("nonempty") as usize + 1;
+    let spec = SragSpec::new(
+        groups.into_iter().map(ShiftRegisterSpec::new).collect(),
+        div_count,
+        pass_count,
+        num_lines,
+    );
+
+    // Step 6: verification — the grouped machine must reproduce R
+    // (and hence I). Simulate one full period.
+    let mut sim = SragSimulator::new(spec.clone());
+    sim.reset();
+    for (position, &expected) in reduced.iter().enumerate() {
+        let generated = sim.current();
+        if generated != expected {
+            return Err(SragError::GroupingFailure {
+                position,
+                expected,
+                generated,
+            });
+        }
+        for _ in 0..div_count {
+            sim.advance();
+        }
+    }
+
+    Ok(Mapping {
+        spec,
+        division_counts,
+        reduced,
+        unique,
+        occurrences,
+        first_positions,
+        pass_counts,
+    })
+}
+
+/// Run-length encodes `reduced` at register granularity: one
+/// `(register, length)` entry per maximal run of consecutive elements
+/// belonging to the same group. Used to derive the paper's `P` set —
+/// the reduced-sequence length each register produces per token
+/// visit.
+pub(crate) fn register_segments(
+    reduced: &AddressSequence,
+    groups: &[Vec<u32>],
+) -> Vec<(usize, usize)> {
+    let group_of = |a: u32| -> usize {
+        groups
+            .iter()
+            .position(|g| g.contains(&a))
+            .expect("every reduced element is in some group")
+    };
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    for &a in reduced.iter() {
+        let g = group_of(a);
+        match segments.last_mut() {
+            Some((last, len)) if *last == g => *len += 1,
+            _ => segments.push((g, 1)),
+        }
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row_as() -> AddressSequence {
+        AddressSequence::from_vec(vec![0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3])
+    }
+
+    /// Paper Table 2 end to end.
+    #[test]
+    fn paper_table2_parameters() {
+        let m = map_sequence(&row_as()).unwrap();
+        assert_eq!(m.division_counts, vec![2; 8]);
+        assert_eq!(m.reduced.as_slice(), &[0, 1, 0, 1, 2, 3, 2, 3]);
+        assert_eq!(m.unique, vec![0, 1, 2, 3]);
+        assert_eq!(m.occurrences, vec![2, 2, 2, 2]);
+        assert_eq!(m.first_positions, vec![0, 1, 4, 5]);
+        assert_eq!(m.pass_counts, vec![4, 4]);
+        assert_eq!(m.spec.div_count, 2);
+        assert_eq!(m.spec.pass_count, 4);
+        let regs: Vec<&[u32]> = m.spec.registers.iter().map(|r| r.lines()).collect();
+        assert_eq!(regs, vec![&[0u32, 1][..], &[2u32, 3][..]]);
+    }
+
+    #[test]
+    fn mapped_machine_reproduces_input() {
+        let s = row_as();
+        let m = map_sequence(&s).unwrap();
+        let mut sim = SragSimulator::new(m.spec);
+        assert_eq!(sim.collect_sequence(s.len()), s);
+    }
+
+    #[test]
+    fn incremental_maps_to_ring() {
+        let s = AddressSequence::from_vec((0..16).collect());
+        let m = map_sequence(&s).unwrap();
+        assert_eq!(m.spec.num_registers(), 1);
+        assert_eq!(m.spec.div_count, 1);
+        assert_eq!(m.spec.pass_count, 16);
+        assert_eq!(m.spec.num_flip_flops(), 16);
+    }
+
+    #[test]
+    fn div_cnt_violation_reported_with_position() {
+        // Paper's counter-example: 5,5,5,1,1,… has dC 3 for address 5
+        // but 2 elsewhere.
+        let s = AddressSequence::from_vec(vec![
+            5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2,
+        ]);
+        let err = map_sequence(&s).unwrap_err();
+        match err {
+            SragError::DivCntViolation {
+                expected,
+                found,
+                address,
+                position,
+            } => {
+                assert_eq!(expected, 3);
+                assert_eq!(found, 2);
+                assert_eq!(address, 1);
+                assert_eq!(position, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pass_cnt_violation_reported() {
+        // Paper's counter-example: S₀ would need pC 12, S₁ pC 8.
+        let s = AddressSequence::from_vec(vec![
+            5, 1, 4, 0, 5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2,
+        ]);
+        let err = map_sequence(&s).unwrap_err();
+        match err {
+            SragError::PassCntViolation {
+                expected, found, ..
+            } => {
+                assert_eq!(expected.max(found), 12);
+                assert_eq!(expected.min(found), 8);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grouping_failure_detected_by_verification() {
+        // Paper's §5 example where initial grouping fails.
+        let s = AddressSequence::from_vec(vec![1, 2, 3, 4, 3, 2, 1, 4]);
+        let err = map_sequence(&s).unwrap_err();
+        assert!(
+            matches!(err, SragError::GroupingFailure { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn empty_sequence_rejected() {
+        assert!(matches!(
+            map_sequence(&AddressSequence::new()),
+            Err(SragError::EmptySequence)
+        ));
+    }
+
+    #[test]
+    fn single_address_sequence() {
+        let s = AddressSequence::from_vec(vec![3, 3, 3]);
+        let m = map_sequence(&s).unwrap();
+        assert_eq!(m.spec.div_count, 3);
+        assert_eq!(m.spec.num_flip_flops(), 1);
+        let mut sim = SragSimulator::new(m.spec);
+        assert_eq!(sim.collect_sequence(6).as_slice(), &[3, 3, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn paper_fig5_sequences_map() {
+        let a = AddressSequence::from_vec(vec![
+            5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2,
+        ]);
+        let m = map_sequence(&a).unwrap();
+        assert_eq!(m.spec.div_count, 2);
+        let b = AddressSequence::from_vec(vec![
+            5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2,
+        ]);
+        let m = map_sequence(&b).unwrap();
+        assert_eq!(m.spec.div_count, 1);
+        assert_eq!(m.spec.pass_count, 8);
+        assert_eq!(m.spec.num_registers(), 2);
+    }
+
+    #[test]
+    fn column_sequence_of_table1_maps() {
+        let cols =
+            AddressSequence::from_vec(vec![0, 1, 0, 1, 2, 3, 2, 3, 0, 1, 0, 1, 2, 3, 2, 3]);
+        let m = map_sequence(&cols).unwrap();
+        assert_eq!(m.spec.div_count, 1);
+        assert_eq!(m.spec.pass_count, 4);
+        let mut sim = SragSimulator::new(m.spec);
+        assert_eq!(sim.collect_sequence(cols.len()), cols);
+    }
+
+    #[test]
+    fn rotate90_maps_with_descending_line_order() {
+        use adgen_seq::{workloads, ArrayShape, Layout};
+        // The SRAG does not care about numeric line order: the
+        // rotate-90 scan's descending row stream maps onto a ring
+        // whose flip-flops are wired 7,6,…,0.
+        let shape = ArrayShape::new(8, 8);
+        let lin = workloads::rotate90(shape);
+        let (rows, cols) = lin.decompose(shape, Layout::RowMajor).unwrap();
+        let m = map_sequence(&rows).unwrap();
+        assert_eq!(m.spec.num_registers(), 1);
+        assert_eq!(
+            m.spec.registers[0].lines(),
+            &[7, 6, 5, 4, 3, 2, 1, 0],
+            "descending ring"
+        );
+        let mut sim = SragSimulator::new(m.spec);
+        assert_eq!(sim.collect_sequence(rows.len()), rows);
+        // Column stream maps too (each column held H cycles).
+        let mc = map_sequence(&cols).unwrap();
+        assert_eq!(mc.spec.div_count, 8);
+    }
+
+    #[test]
+    fn mapping_round_trip_property_examples() {
+        use adgen_seq::{workloads, ArrayShape, Layout};
+        // Every paper workload's row and column streams must map and
+        // round-trip.
+        let shape = ArrayShape::new(8, 8);
+        let sequences = [
+            workloads::motion_est_read(shape, 2, 2, 0),
+            workloads::fifo(shape),
+            workloads::zoom_by_two(shape),
+            workloads::transpose_scan(shape),
+        ];
+        for lin in sequences {
+            let (rows, cols) = lin.decompose(shape, Layout::RowMajor).unwrap();
+            for dim in [rows, cols] {
+                let m = map_sequence(&dim).expect("workload dimension must map");
+                let mut sim = SragSimulator::new(m.spec);
+                assert_eq!(sim.collect_sequence(dim.len()), dim);
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Candidate enumeration and evaluation for one address sequence.
+
+use adgen_cntag::{
+    component_delays, ArithAgNetlist, ArithAgSpec, CntAgNetlist, CntAgSpec, RomAgNetlist,
+    RomAgSpec,
+};
+use adgen_core::composite::Srag2d;
+use adgen_core::multi_counter::{
+    map_sequence_relaxed, MultiCounterSragNetlist,
+};
+use adgen_netlist::{AreaReport, Library, TimingAnalysis};
+use adgen_seq::{AddressSequence, ArrayShape, Layout};
+use adgen_synth::{Encoding, Fsm, OutputStyle};
+
+/// An address-generator architecture family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Two-hot shift-register generator (the paper's contribution).
+    Srag,
+    /// SRAG with relaxed per-register/per-address counters (§4
+    /// extension).
+    MultiCounterSrag,
+    /// Counter cascade + decoders (the conventional baseline).
+    CntAg,
+    /// Accumulator + delta-ROM arithmetic generator (the weaker
+    /// conventional style the paper cites).
+    ArithAg,
+    /// Index counter + full address ROM: the universal table-lookup
+    /// fallback.
+    RomAg,
+    /// Symbolic FSM synthesized with the given encoding (paper §3).
+    SymbolicFsm(Encoding),
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Architecture::Srag => write!(f, "SRAG"),
+            Architecture::MultiCounterSrag => write!(f, "MC-SRAG"),
+            Architecture::CntAg => write!(f, "CntAG"),
+            Architecture::ArithAg => write!(f, "ArithAG"),
+            Architecture::RomAg => write!(f, "RomAG"),
+            Architecture::SymbolicFsm(e) => write!(f, "FSM({e:?})"),
+        }
+    }
+}
+
+/// A successfully evaluated implementation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Which architecture produced it.
+    pub architecture: Architecture,
+    /// Critical-path delay in picoseconds.
+    pub delay_ps: f64,
+    /// Area in cell units.
+    pub area: f64,
+    /// Number of flip-flops.
+    pub flip_flops: usize,
+}
+
+/// The outcome of exploring one sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Implementable candidates with their measurements.
+    pub candidates: Vec<Candidate>,
+    /// Architectures that could not implement the sequence, with the
+    /// reason.
+    pub rejected: Vec<(Architecture, String)>,
+}
+
+impl Evaluation {
+    /// The candidate for `architecture`, if it was implementable.
+    pub fn candidate(&self, architecture: Architecture) -> Option<&Candidate> {
+        self.candidates
+            .iter()
+            .find(|c| c.architecture == architecture)
+    }
+}
+
+/// Knobs for [`evaluate`].
+#[derive(Debug, Clone)]
+pub struct EvaluateOptions {
+    /// Counter-cascade program for the CntAG baseline, when one
+    /// exists for the workload (arbitrary sequences have none).
+    pub cntag_program: Option<CntAgSpec>,
+    /// Upper bound on sequence length for attempting symbolic-FSM
+    /// synthesis (logic minimization cost grows steeply; the paper
+    /// reports six hours at N = 256 on its tooling).
+    pub fsm_state_limit: usize,
+    /// Encodings to try for the symbolic FSM.
+    pub fsm_encodings: Vec<Encoding>,
+}
+
+impl Default for EvaluateOptions {
+    fn default() -> Self {
+        EvaluateOptions {
+            cntag_program: None,
+            fsm_state_limit: 64,
+            fsm_encodings: vec![Encoding::Binary],
+        }
+    }
+}
+
+/// Evaluates every architecture family on `sequence` over a
+/// `shape`-sized array (row-major layout), returning measured
+/// candidates and per-architecture rejection reasons.
+pub fn evaluate(
+    sequence: &AddressSequence,
+    shape: ArrayShape,
+    library: &Library,
+    options: &EvaluateOptions,
+) -> Evaluation {
+    let mut candidates = Vec::new();
+    let mut rejected = Vec::new();
+
+    // SRAG.
+    match Srag2d::map(sequence, shape, Layout::RowMajor).and_then(|m| m.elaborate()) {
+        Ok(design) => match TimingAnalysis::run(&design.netlist, library) {
+            Ok(t) => candidates.push(Candidate {
+                architecture: Architecture::Srag,
+                delay_ps: t.critical_path_ps(),
+                area: AreaReport::of(&design.netlist, library).total(),
+                flip_flops: design.netlist.num_flip_flops(),
+            }),
+            Err(e) => rejected.push((Architecture::Srag, e.to_string())),
+        },
+        Err(e) => rejected.push((Architecture::Srag, e.to_string())),
+    }
+
+    // Multi-counter SRAG: evaluated on the two decomposed streams.
+    let mc = sequence
+        .decompose(shape, Layout::RowMajor)
+        .map_err(adgen_core::SragError::from)
+        .and_then(|(rows, cols)| {
+            let r = map_sequence_relaxed(&rows)?;
+            let c = map_sequence_relaxed(&cols)?;
+            let rn = MultiCounterSragNetlist::elaborate(&r)?;
+            let cn = MultiCounterSragNetlist::elaborate(&c)?;
+            let rt = TimingAnalysis::run(&rn.netlist, library)?;
+            let ct = TimingAnalysis::run(&cn.netlist, library)?;
+            Ok(Candidate {
+                architecture: Architecture::MultiCounterSrag,
+                delay_ps: rt.critical_path_ps().max(ct.critical_path_ps()),
+                area: AreaReport::of(&rn.netlist, library).total()
+                    + AreaReport::of(&cn.netlist, library).total(),
+                flip_flops: rn.netlist.num_flip_flops() + cn.netlist.num_flip_flops(),
+            })
+        });
+    match mc {
+        Ok(c) => candidates.push(c),
+        Err(e) => rejected.push((Architecture::MultiCounterSrag, e.to_string())),
+    }
+
+    // CntAG baseline, when a counter program exists.
+    match &options.cntag_program {
+        Some(program) => {
+            let result = CntAgNetlist::elaborate(program).and_then(|design| {
+                let comps = component_delays(program, library)?;
+                Ok(Candidate {
+                    architecture: Architecture::CntAg,
+                    delay_ps: comps.total_ps(),
+                    area: AreaReport::of(&design.netlist, library).total(),
+                    flip_flops: design.netlist.num_flip_flops(),
+                })
+            });
+            match result {
+                Ok(c) => candidates.push(c),
+                Err(e) => rejected.push((Architecture::CntAg, e.to_string())),
+            }
+        }
+        None => rejected.push((
+            Architecture::CntAg,
+            "no counter-cascade program known for this sequence".to_string(),
+        )),
+    }
+
+    // Arithmetic generator: applicable whenever the delta stream has
+    // a short period and the shape is power-of-two.
+    let arith = if shape.width().is_power_of_two() && shape.height().is_power_of_two() {
+        ArithAgSpec::from_sequence(sequence, shape)
+            .and_then(|spec| ArithAgNetlist::elaborate(&spec))
+            .map_err(|e| e.to_string())
+            .and_then(|design| {
+                let delay = design
+                    .serial_delay_ps(library)
+                    .map_err(|e| e.to_string())?;
+                Ok(Candidate {
+                    architecture: Architecture::ArithAg,
+                    delay_ps: delay,
+                    area: AreaReport::of(&design.netlist, library).total(),
+                    flip_flops: design.netlist.num_flip_flops(),
+                })
+            })
+    } else {
+        Err("array dimensions are not powers of two".to_string())
+    };
+    match arith {
+        Ok(c) => candidates.push(c),
+        Err(e) => rejected.push((Architecture::ArithAg, e)),
+    }
+
+    // Table-lookup generator: the universal fallback.
+    let rom = if shape.width().is_power_of_two() && shape.height().is_power_of_two() {
+        RomAgSpec::from_sequence(sequence, shape)
+            .and_then(|spec| RomAgNetlist::elaborate(&spec))
+            .map_err(|e| e.to_string())
+            .and_then(|design| {
+                let delay = design
+                    .serial_delay_ps(library)
+                    .map_err(|e| e.to_string())?;
+                Ok(Candidate {
+                    architecture: Architecture::RomAg,
+                    delay_ps: delay,
+                    area: AreaReport::of(&design.netlist, library).total(),
+                    flip_flops: design.netlist.num_flip_flops(),
+                })
+            })
+    } else {
+        Err("array dimensions are not powers of two".to_string())
+    };
+    match rom {
+        Ok(c) => candidates.push(c),
+        Err(e) => rejected.push((Architecture::RomAg, e)),
+    }
+
+    // Symbolic FSMs on the decomposed streams (one machine per
+    // dimension, as in the ADDM model).
+    for &encoding in &options.fsm_encodings {
+        let arch = Architecture::SymbolicFsm(encoding);
+        if sequence.len() > options.fsm_state_limit {
+            rejected.push((
+                arch,
+                format!(
+                    "sequence length {} exceeds FSM synthesis limit {}",
+                    sequence.len(),
+                    options.fsm_state_limit
+                ),
+            ));
+            continue;
+        }
+        let result = sequence
+            .decompose(shape, Layout::RowMajor)
+            .map_err(|e| e.to_string())
+            .and_then(|(rows, cols)| {
+                let synth_dim = |s: &AddressSequence, lines: usize| {
+                    Fsm::cyclic_sequence(s.as_slice())
+                        .and_then(|f| {
+                            f.synthesize(encoding, OutputStyle::SelectLines { num_lines: lines })
+                        })
+                        .map_err(|e| e.to_string())
+                };
+                let r = synth_dim(&rows, shape.height() as usize)?;
+                let c = synth_dim(&cols, shape.width() as usize)?;
+                let rt = TimingAnalysis::run(&r.netlist, library).map_err(|e| e.to_string())?;
+                let ct = TimingAnalysis::run(&c.netlist, library).map_err(|e| e.to_string())?;
+                Ok(Candidate {
+                    architecture: arch,
+                    delay_ps: rt.critical_path_ps().max(ct.critical_path_ps()),
+                    area: AreaReport::of(&r.netlist, library).total()
+                        + AreaReport::of(&c.netlist, library).total(),
+                    flip_flops: r.netlist.num_flip_flops() + c.netlist.num_flip_flops(),
+                })
+            });
+        match result {
+            Ok(c) => candidates.push(c),
+            Err(e) => rejected.push((arch, e)),
+        }
+    }
+
+    Evaluation {
+        candidates,
+        rejected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adgen_seq::workloads;
+
+    #[test]
+    fn motion_est_yields_full_candidate_set() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(8, 8);
+        let seq = workloads::motion_est_read(shape, 2, 2, 0);
+        let options = EvaluateOptions {
+            cntag_program: Some(CntAgSpec::motion_est(shape, 2, 2, 0)),
+            ..EvaluateOptions::default()
+        };
+        let eval = evaluate(&seq, shape, &lib, &options);
+        assert!(eval.candidate(Architecture::Srag).is_some());
+        assert!(eval.candidate(Architecture::MultiCounterSrag).is_some());
+        assert!(eval.candidate(Architecture::CntAg).is_some());
+        assert!(eval.candidate(Architecture::ArithAg).is_some());
+        assert!(eval.candidate(Architecture::RomAg).is_some());
+        assert!(eval
+            .candidate(Architecture::SymbolicFsm(Encoding::Binary))
+            .is_some());
+        assert!(eval.rejected.is_empty());
+    }
+
+    #[test]
+    fn unmappable_sequence_rejects_srag_with_reason() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(4, 4);
+        // Rows stream 0,0,1 has uneven repetition — violates DivCnt
+        // for both SRAG variants.
+        let seq = AddressSequence::from_vec(vec![0, 4, 5, 1, 0, 2]);
+        let eval = evaluate(&seq, shape, &lib, &EvaluateOptions::default());
+        let srag_rejection = eval
+            .rejected
+            .iter()
+            .find(|(a, _)| *a == Architecture::Srag);
+        assert!(srag_rejection.is_some(), "rejected: {:?}", eval.rejected);
+        // The FSM still implements it.
+        assert!(eval
+            .candidate(Architecture::SymbolicFsm(Encoding::Binary))
+            .is_some());
+    }
+
+    #[test]
+    fn fsm_limit_enforced() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(16, 16);
+        let seq = workloads::fifo(shape);
+        let options = EvaluateOptions {
+            fsm_state_limit: 10,
+            ..EvaluateOptions::default()
+        };
+        let eval = evaluate(&seq, shape, &lib, &options);
+        assert!(eval
+            .rejected
+            .iter()
+            .any(|(a, reason)| matches!(a, Architecture::SymbolicFsm(_))
+                && reason.contains("limit")));
+    }
+
+    #[test]
+    fn non_power_of_two_arrays_reject_decoder_based_families_gracefully() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(6, 6);
+        // Raster over a 6-wide array: rows repeat 6x, still
+        // SRAG-mappable.
+        let seq = workloads::raster(shape);
+        let eval = evaluate(&seq, shape, &lib, &EvaluateOptions::default());
+        assert!(eval.candidate(Architecture::Srag).is_some());
+        for family in [Architecture::ArithAg, Architecture::RomAg] {
+            let (_, reason) = eval
+                .rejected
+                .iter()
+                .find(|(a, _)| *a == family)
+                .unwrap_or_else(|| panic!("{family} should be rejected"));
+            assert!(reason.contains("powers of two"), "{family}: {reason}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Architecture::Srag.to_string(), "SRAG");
+        assert_eq!(Architecture::CntAg.to_string(), "CntAG");
+        assert!(Architecture::SymbolicFsm(Encoding::Gray)
+            .to_string()
+            .contains("Gray"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Head-to-head SRAG vs CntAG evaluation — the measurement kernel
+//! behind paper Figures 8, 10 and Table 3.
+
+use adgen_cntag::netlist::SELECT_LINE_LOAD_FF;
+use adgen_cntag::{CntAgNetlist, CntAgSpec};
+use adgen_core::composite::Srag2d;
+use adgen_core::SragError;
+use adgen_netlist::{AreaReport, Library, TimingAnalysis};
+use adgen_seq::{AddressSequence, ArrayShape, Layout};
+
+/// One row of a comparison: both architectures implementing the same
+/// address sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// SRAG critical path (whole two-hot generator), picoseconds.
+    pub srag_delay_ps: f64,
+    /// CntAG delay under the paper's serial accounting (counter +
+    /// worst decoder), picoseconds.
+    pub cntag_delay_ps: f64,
+    /// SRAG total area, cell units.
+    pub srag_area: f64,
+    /// CntAG total area (counters + decoders), cell units.
+    pub cntag_area: f64,
+    /// SRAG flip-flop count.
+    pub srag_flip_flops: usize,
+    /// CntAG flip-flop count.
+    pub cntag_flip_flops: usize,
+}
+
+impl ComparisonRow {
+    /// The paper's *delay reduction factor*: CntAG delay over SRAG
+    /// delay (>1 means the SRAG is faster).
+    pub fn delay_reduction_factor(&self) -> f64 {
+        self.cntag_delay_ps / self.srag_delay_ps
+    }
+
+    /// The paper's *area increase factor*: SRAG area over CntAG area
+    /// (>1 means the SRAG is bigger).
+    pub fn area_increase_factor(&self) -> f64 {
+        self.srag_area / self.cntag_area
+    }
+}
+
+/// Maps `sequence` onto a two-hot SRAG, elaborates both it and the
+/// given counter-based program, and measures delay and area of each.
+///
+/// # Errors
+///
+/// Propagates mapping and elaboration failures (e.g. the sequence
+/// violates an SRAG restriction).
+pub fn compare_srag_cntag(
+    sequence: &AddressSequence,
+    shape: ArrayShape,
+    cntag_program: &CntAgSpec,
+    library: &Library,
+) -> Result<ComparisonRow, SragError> {
+    compare_srag_cntag_with_load(sequence, shape, cntag_program, library, SELECT_LINE_LOAD_FF)
+}
+
+/// [`compare_srag_cntag`] with an explicit select-line load on both
+/// architectures' select lines — the §7 interconnect-sensitivity
+/// study's knob (select lines grow with the array and drive its
+/// cells, so their capacitance is the interconnect term both designs
+/// must pay).
+///
+/// # Errors
+///
+/// As for [`compare_srag_cntag`].
+pub fn compare_srag_cntag_with_load(
+    sequence: &AddressSequence,
+    shape: ArrayShape,
+    cntag_program: &CntAgSpec,
+    library: &Library,
+    select_line_load_ff: f64,
+) -> Result<ComparisonRow, SragError> {
+    let srag = Srag2d::map(sequence, shape, Layout::RowMajor)?.elaborate()?;
+    let srag_timing =
+        TimingAnalysis::run_with_output_load(&srag.netlist, library, select_line_load_ff)?;
+    let srag_area = AreaReport::of(&srag.netlist, library);
+
+    let cntag = CntAgNetlist::elaborate(cntag_program)?;
+    let cntag_components =
+        adgen_cntag::netlist::component_delays_with_load(cntag_program, library, select_line_load_ff)?;
+    let cntag_area = AreaReport::of(&cntag.netlist, library);
+
+    Ok(ComparisonRow {
+        srag_delay_ps: srag_timing.critical_path_ps(),
+        cntag_delay_ps: cntag_components.total_ps(),
+        srag_area: srag_area.total(),
+        cntag_area: cntag_area.total(),
+        srag_flip_flops: srag.netlist.num_flip_flops(),
+        cntag_flip_flops: cntag.netlist.num_flip_flops(),
+    })
+}
+
+/// Power measurements for both architectures on the same stream —
+/// the study the paper's §7 defers ("we expect this decoder
+/// decoupling approach to reduce power dissipation … we have not
+/// carried out a rigorous study of it").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerComparisonRow {
+    /// SRAG power with a free-running clock.
+    pub srag: adgen_netlist::PowerReport,
+    /// CntAG power with a free-running clock.
+    pub cntag: adgen_netlist::PowerReport,
+    /// SRAG power with enable-derived clock gating — the natural
+    /// low-power implementation of its enabled shift flip-flops.
+    pub srag_gated: adgen_netlist::PowerReport,
+    /// CntAG power under the same gating rule (its plain counter
+    /// flip-flops have no enables to gate from, so this usually
+    /// equals the free-running figure).
+    pub cntag_gated: adgen_netlist::PowerReport,
+}
+
+impl PowerComparisonRow {
+    /// CntAG total power over SRAG total power with free-running
+    /// clocks (>1 means the SRAG dissipates less).
+    pub fn power_reduction_factor(&self) -> f64 {
+        self.cntag.total_uw() / self.srag.total_uw()
+    }
+
+    /// The same factor with enable-derived clock gating applied to
+    /// both designs.
+    pub fn gated_power_reduction_factor(&self) -> f64 {
+        self.cntag_gated.total_uw() / self.srag_gated.total_uw()
+    }
+}
+
+/// Measures activity-based dynamic power of the SRAG pair and the
+/// CntAG while both stream through `cycles` consecutive accesses of
+/// `sequence` at `frequency_mhz`, under both clock models.
+///
+/// # Errors
+///
+/// Propagates mapping, elaboration and simulation failures.
+pub fn compare_power(
+    sequence: &AddressSequence,
+    shape: ArrayShape,
+    cntag_program: &CntAgSpec,
+    library: &Library,
+    frequency_mhz: f64,
+    cycles: u64,
+) -> Result<PowerComparisonRow, SragError> {
+    use adgen_netlist::power::{measure_power_with_clock, ClockModel};
+    use adgen_netlist::Logic;
+    let srag = Srag2d::map(sequence, shape, Layout::RowMajor)?.elaborate()?;
+    let cntag = CntAgNetlist::elaborate(cntag_program)?;
+    let streaming = |_cycle: u64| vec![Logic::Zero, Logic::One];
+    let run = |n: &adgen_netlist::Netlist, model: ClockModel| {
+        measure_power_with_clock(n, library, frequency_mhz, cycles, model, streaming)
+            .map_err(SragError::from)
+    };
+    Ok(PowerComparisonRow {
+        srag: run(&srag.netlist, ClockModel::FreeRunning)?,
+        cntag: run(&cntag.netlist, ClockModel::FreeRunning)?,
+        srag_gated: run(&srag.netlist, ClockModel::Gated)?,
+        cntag_gated: run(&cntag.netlist, ClockModel::Gated)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adgen_seq::workloads;
+
+    #[test]
+    fn motion_est_srag_is_faster_but_bigger() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(32, 32);
+        let seq = workloads::motion_est_read(shape, 4, 4, 0);
+        let program = CntAgSpec::motion_est(shape, 4, 4, 0);
+        let row = compare_srag_cntag(&seq, shape, &program, &lib).unwrap();
+        assert!(
+            row.delay_reduction_factor() > 1.2,
+            "SRAG should be clearly faster: factor {}",
+            row.delay_reduction_factor()
+        );
+        assert!(
+            row.area_increase_factor() > 1.5,
+            "SRAG should be clearly bigger: factor {}",
+            row.area_increase_factor()
+        );
+    }
+
+    #[test]
+    fn cntag_delay_gap_widens_with_array_size() {
+        // Paper Fig. 8: the CntAG falls further behind as the array
+        // grows (its decoder deepens with the address width, while
+        // the SRAG's select path stays flip-flop-direct). On the FIFO
+        // workload both architectures' *counters* scale identically,
+        // so the robust cross-library claim is the widening absolute
+        // gap.
+        let lib = Library::vcl018();
+        let row_at = |n: u32| {
+            let shape = ArrayShape::new(n, n);
+            let seq = workloads::fifo(shape);
+            let program = CntAgSpec::raster(shape);
+            compare_srag_cntag(&seq, shape, &program, &lib).unwrap()
+        };
+        let small = row_at(16);
+        let large = row_at(128);
+        let small_gap = small.cntag_delay_ps - small.srag_delay_ps;
+        let large_gap = large.cntag_delay_ps - large.srag_delay_ps;
+        assert!(small_gap > 0.0, "SRAG must already win at 16x16");
+        assert!(
+            large_gap > small_gap,
+            "gap should widen: {small_gap} -> {large_gap}"
+        );
+    }
+
+    #[test]
+    fn power_study_decomposition() {
+        // The §7 study the paper deferred, carried out here. Findings
+        // in this model (documented in EXPERIMENTS.md): the
+        // decoder-switching argument holds — the SRAG's *signal*
+        // switching power is well below the CntAG's on streaming
+        // patterns — but the SRAG's H+W flip-flop clock load
+        // dominates its total, so the expected overall power win does
+        // not materialize even with enable-derived clock gating.
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(64, 64);
+        let seq = workloads::fifo(shape);
+        let row = compare_power(
+            &seq,
+            shape,
+            &CntAgSpec::raster(shape),
+            &lib,
+            100.0,
+            256,
+        )
+        .unwrap();
+        // Decoder switching saved:
+        assert!(
+            row.srag.dynamic_uw < row.cntag.dynamic_uw,
+            "SRAG switching {} vs CntAG {}",
+            row.srag.dynamic_uw,
+            row.cntag.dynamic_uw
+        );
+        // …but paid for in clock power:
+        assert!(
+            row.srag.clock_uw > row.cntag.clock_uw,
+            "SRAG clock {} vs CntAG {}",
+            row.srag.clock_uw,
+            row.cntag.clock_uw
+        );
+        // Gating strictly helps the SRAG side:
+        assert!(row.srag_gated.total_uw() <= row.srag.total_uw());
+        assert!(
+            row.gated_power_reduction_factor() >= row.power_reduction_factor(),
+            "gating must not hurt the SRAG: {} -> {}",
+            row.power_reduction_factor(),
+            row.gated_power_reduction_factor()
+        );
+    }
+
+    #[test]
+    fn srag_flip_flops_scale_with_dimensions() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(16, 16);
+        let seq = workloads::fifo(shape);
+        let row = compare_srag_cntag(&seq, shape, &CntAgSpec::raster(shape), &lib).unwrap();
+        // 16 row + 16 col shift FFs (plus a few counter bits).
+        assert!(row.srag_flip_flops >= 32);
+        assert!(row.cntag_flip_flops <= 10);
+    }
+}

@@ -1,0 +1,28 @@
+//! Design-space exploration over address-generator architectures.
+//!
+//! The paper closes with: *"Our final goal is to discover algorithms
+//! and heuristics which can explore the vast design space opened up
+//! by address decoder decoupling at a high level of abstraction and
+//! choose the best architecture for low level circuit optimization."*
+//! This crate is that layer: given an address sequence, it
+//! enumerates the implementable architectures (SRAG, multi-counter
+//! SRAG, counter-plus-decoder baseline, symbolic FSM), evaluates each
+//! candidate's delay and area on the `vcl018` library, computes the
+//! Pareto frontier and selects under constraints.
+//!
+//! It also hosts the SRAG-versus-CntAG comparison harness
+//! ([`compare`]) that the benchmark suite uses to regenerate the
+//! paper's Figures 8–10 and Table 3.
+
+pub mod candidates;
+pub mod compare;
+pub mod pareto;
+pub mod report;
+
+pub use candidates::{evaluate, Architecture, Candidate, Evaluation, EvaluateOptions};
+pub use compare::{
+    compare_power, compare_srag_cntag, compare_srag_cntag_with_load, ComparisonRow,
+    PowerComparisonRow,
+};
+pub use pareto::{pareto_frontier, select, Constraint};
+pub use report::render_evaluation;

@@ -1,0 +1,145 @@
+//! Pareto analysis and constraint-driven selection.
+
+use crate::candidates::Candidate;
+
+/// A selection constraint over the delay/area plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Constraint {
+    /// Fastest implementation, ties broken by area.
+    MinDelay,
+    /// Smallest implementation, ties broken by delay.
+    MinArea,
+    /// Fastest implementation whose area does not exceed the bound
+    /// (cell units).
+    MinDelayUnderArea(f64),
+    /// Smallest implementation whose delay does not exceed the bound
+    /// (picoseconds).
+    MinAreaUnderDelay(f64),
+}
+
+/// The subset of `candidates` not dominated in (delay, area): a
+/// candidate is dominated if another is at least as good in both
+/// dimensions and strictly better in one.
+pub fn pareto_frontier(candidates: &[Candidate]) -> Vec<&Candidate> {
+    candidates
+        .iter()
+        .filter(|c| {
+            !candidates.iter().any(|other| {
+                (other.delay_ps < c.delay_ps && other.area <= c.area)
+                    || (other.delay_ps <= c.delay_ps && other.area < c.area)
+            })
+        })
+        .collect()
+}
+
+/// Picks the best candidate under `constraint`, or `None` when no
+/// candidate satisfies it.
+pub fn select(candidates: &[Candidate], constraint: Constraint) -> Option<&Candidate> {
+    let by_delay = |a: &&Candidate, b: &&Candidate| {
+        a.delay_ps
+            .total_cmp(&b.delay_ps)
+            .then(a.area.total_cmp(&b.area))
+    };
+    let by_area = |a: &&Candidate, b: &&Candidate| {
+        a.area
+            .total_cmp(&b.area)
+            .then(a.delay_ps.total_cmp(&b.delay_ps))
+    };
+    match constraint {
+        Constraint::MinDelay => candidates.iter().min_by(by_delay),
+        Constraint::MinArea => candidates.iter().min_by(by_area),
+        Constraint::MinDelayUnderArea(cap) => candidates
+            .iter()
+            .filter(|c| c.area <= cap)
+            .min_by(by_delay),
+        Constraint::MinAreaUnderDelay(cap) => candidates
+            .iter()
+            .filter(|c| c.delay_ps <= cap)
+            .min_by(by_area),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::Architecture;
+
+    fn c(arch: Architecture, delay: f64, area: f64) -> Candidate {
+        Candidate {
+            architecture: arch,
+            delay_ps: delay,
+            area,
+            flip_flops: 0,
+        }
+    }
+
+    fn samples() -> Vec<Candidate> {
+        vec![
+            c(Architecture::Srag, 700.0, 9000.0),
+            c(Architecture::CntAg, 1500.0, 3000.0),
+            c(
+                Architecture::SymbolicFsm(adgen_synth::Encoding::Binary),
+                1600.0,
+                9500.0,
+            ),
+        ]
+    }
+
+    #[test]
+    fn frontier_drops_dominated() {
+        let cs = samples();
+        let front = pareto_frontier(&cs);
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().all(|c| c.architecture != Architecture::SymbolicFsm(
+            adgen_synth::Encoding::Binary
+        )));
+    }
+
+    #[test]
+    fn frontier_of_empty_is_empty() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn min_delay_and_min_area() {
+        let cs = samples();
+        assert_eq!(
+            select(&cs, Constraint::MinDelay).unwrap().architecture,
+            Architecture::Srag
+        );
+        assert_eq!(
+            select(&cs, Constraint::MinArea).unwrap().architecture,
+            Architecture::CntAg
+        );
+    }
+
+    #[test]
+    fn constrained_selection() {
+        let cs = samples();
+        // Under a 5000-unit area cap only the CntAG qualifies.
+        assert_eq!(
+            select(&cs, Constraint::MinDelayUnderArea(5000.0))
+                .unwrap()
+                .architecture,
+            Architecture::CntAg
+        );
+        // Under an 800 ps delay cap only the SRAG qualifies.
+        assert_eq!(
+            select(&cs, Constraint::MinAreaUnderDelay(800.0))
+                .unwrap()
+                .architecture,
+            Architecture::Srag
+        );
+        // Impossible constraint.
+        assert!(select(&cs, Constraint::MinAreaUnderDelay(10.0)).is_none());
+    }
+
+    #[test]
+    fn equal_candidates_both_on_frontier() {
+        let cs = vec![
+            c(Architecture::Srag, 500.0, 500.0),
+            c(Architecture::CntAg, 500.0, 500.0),
+        ];
+        assert_eq!(pareto_frontier(&cs).len(), 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Human-readable exploration reports.
+
+use std::fmt::Write as _;
+
+use adgen_seq::{AddressSequence, SequenceProfile};
+
+use crate::candidates::Evaluation;
+use crate::pareto::{pareto_frontier, select, Constraint};
+
+/// Renders an [`Evaluation`] (plus the input's regularity profile) as
+/// a plain-text report: candidate table, rejection reasons, Pareto
+/// frontier and the fastest/smallest recommendations.
+pub fn render_evaluation(sequence: &AddressSequence, evaluation: &Evaluation) -> String {
+    let mut s = String::new();
+    let profile = SequenceProfile::of(sequence);
+    let _ = writeln!(
+        s,
+        "sequence: {} accesses, {} distinct, period {}, class {:?}",
+        profile.len,
+        profile.distinct,
+        profile.minimal_period,
+        profile.class()
+    );
+    if let Some(dc) = profile.uniform_run_length {
+        let _ = writeln!(s, "uniform run length (dC candidate): {dc}");
+    }
+    let _ = writeln!(
+        s,
+        "{:<14} {:>9} {:>10} {:>6}",
+        "architecture", "delay/ns", "area", "FFs"
+    );
+    for c in &evaluation.candidates {
+        let _ = writeln!(
+            s,
+            "{:<14} {:>9.3} {:>10.0} {:>6}",
+            c.architecture.to_string(),
+            c.delay_ps / 1000.0,
+            c.area,
+            c.flip_flops
+        );
+    }
+    for (arch, reason) in &evaluation.rejected {
+        let _ = writeln!(s, "{arch:<14} rejected: {reason}");
+    }
+    let frontier = pareto_frontier(&evaluation.candidates);
+    let _ = writeln!(
+        s,
+        "pareto frontier: {}",
+        frontier
+            .iter()
+            .map(|c| c.architecture.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if let Some(best) = select(&evaluation.candidates, Constraint::MinDelay) {
+        let _ = writeln!(
+            s,
+            "fastest: {} ({:.3} ns)",
+            best.architecture,
+            best.delay_ps / 1000.0
+        );
+    }
+    if let Some(best) = select(&evaluation.candidates, Constraint::MinArea) {
+        let _ = writeln!(
+            s,
+            "smallest: {} ({:.0} cell units)",
+            best.architecture, best.area
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{evaluate, EvaluateOptions};
+    use adgen_netlist::Library;
+    use adgen_seq::{workloads, ArrayShape};
+
+    #[test]
+    fn report_mentions_candidates_and_frontier() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(8, 8);
+        let seq = workloads::fifo(shape);
+        let options = EvaluateOptions {
+            cntag_program: Some(adgen_cntag::CntAgSpec::raster(shape)),
+            ..EvaluateOptions::default()
+        };
+        let eval = evaluate(&seq, shape, &lib, &options);
+        let text = render_evaluation(&seq, &eval);
+        assert!(text.contains("SRAG"));
+        assert!(text.contains("CntAG"));
+        assert!(text.contains("pareto frontier"));
+        assert!(text.contains("fastest:"));
+        assert!(text.contains("class UniformScan"));
+    }
+
+    #[test]
+    fn report_shows_rejections() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(8, 8);
+        let seq = workloads::serpentine(shape);
+        let eval = evaluate(&seq, shape, &lib, &EvaluateOptions::default());
+        let text = render_evaluation(&seq, &eval);
+        assert!(text.contains("rejected:"));
+    }
+}

@@ -1,0 +1,147 @@
+//! The conventional binary-addressed RAM model (paper Fig. 1).
+
+use adgen_seq::{ArrayShape, Layout};
+
+use crate::error::MemError;
+
+/// A RAM with built-in row/column decoders: accesses take binary
+/// coded addresses; the decode is modelled by bounds-checked
+/// indexing. This is the memory organization the CntAG baseline
+/// drives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ram {
+    shape: ArrayShape,
+    layout: Layout,
+    cells: Vec<Option<u64>>,
+}
+
+impl Ram {
+    /// Creates a RAM of uninitialized cells.
+    pub fn new(shape: ArrayShape, layout: Layout) -> Self {
+        Ram {
+            cells: vec![None; shape.capacity() as usize],
+            shape,
+            layout,
+        }
+    }
+
+    /// The array geometry.
+    pub fn shape(&self) -> ArrayShape {
+        self.shape
+    }
+
+    /// Writes through a split row/column address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::AddressOutOfRange`] when the coordinates
+    /// exceed the array.
+    pub fn write(&mut self, row: u32, col: u32, value: u64) -> Result<(), MemError> {
+        let idx = self.index(row, col)?;
+        self.cells[idx] = Some(value);
+        Ok(())
+    }
+
+    /// Reads through a split row/column address.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::AddressOutOfRange`] or
+    /// [`MemError::UninitializedRead`].
+    pub fn read(&self, row: u32, col: u32) -> Result<u64, MemError> {
+        let idx = self.index(row, col)?;
+        self.cells[idx].ok_or(MemError::UninitializedRead { row, col })
+    }
+
+    /// Writes through a linear address (decoded internally with the
+    /// RAM's layout).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::AddressOutOfRange`].
+    pub fn write_linear(&mut self, address: u32, value: u64) -> Result<(), MemError> {
+        let (r, c) = self
+            .shape
+            .to_row_col(address, self.layout)
+            .map_err(|_| MemError::AddressOutOfRange {
+                row: address / self.shape.width().max(1),
+                col: address % self.shape.width().max(1),
+            })?;
+        self.write(r, c, value)
+    }
+
+    /// Reads through a linear address.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::AddressOutOfRange`] or
+    /// [`MemError::UninitializedRead`].
+    pub fn read_linear(&self, address: u32) -> Result<u64, MemError> {
+        let (r, c) = self
+            .shape
+            .to_row_col(address, self.layout)
+            .map_err(|_| MemError::AddressOutOfRange {
+                row: address / self.shape.width().max(1),
+                col: address % self.shape.width().max(1),
+            })?;
+        self.read(r, c)
+    }
+
+    fn index(&self, row: u32, col: u32) -> Result<usize, MemError> {
+        if row >= self.shape.height() || col >= self.shape.width() {
+            return Err(MemError::AddressOutOfRange { row, col });
+        }
+        Ok((row * self.shape.width() + col) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_address_round_trip() {
+        let mut r = Ram::new(ArrayShape::new(4, 4), Layout::RowMajor);
+        r.write(2, 3, 99).unwrap();
+        assert_eq!(r.read(2, 3).unwrap(), 99);
+    }
+
+    #[test]
+    fn linear_round_trip_row_major() {
+        let mut r = Ram::new(ArrayShape::new(4, 2), Layout::RowMajor);
+        for a in 0..8 {
+            r.write_linear(a, u64::from(a) + 100).unwrap();
+        }
+        for a in 0..8 {
+            assert_eq!(r.read_linear(a).unwrap(), u64::from(a) + 100);
+        }
+        // Linear address 5 in a 4-wide array is row 1, col 1.
+        assert_eq!(r.read(1, 1).unwrap(), 105);
+    }
+
+    #[test]
+    fn linear_round_trip_col_major() {
+        let mut r = Ram::new(ArrayShape::new(2, 3), Layout::ColMajor);
+        r.write_linear(4, 7).unwrap(); // col 1, row 1
+        assert_eq!(r.read(1, 1).unwrap(), 7);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut r = Ram::new(ArrayShape::new(2, 2), Layout::RowMajor);
+        assert!(matches!(
+            r.write(2, 0, 0),
+            Err(MemError::AddressOutOfRange { .. })
+        ));
+        assert!(r.read_linear(4).is_err());
+    }
+
+    #[test]
+    fn uninitialized_read_rejected() {
+        let r = Ram::new(ArrayShape::new(2, 2), Layout::RowMajor);
+        assert!(matches!(
+            r.read(0, 0),
+            Err(MemError::UninitializedRead { .. })
+        ));
+    }
+}

@@ -1,0 +1,109 @@
+//! Graphviz DOT export for netlist inspection and debugging.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Driver, Netlist};
+
+/// Renders `netlist` as a Graphviz `digraph`.
+///
+/// Instances become boxes labelled `name\nkind`; primary inputs and
+/// outputs become ellipses. Edges follow signal flow.
+///
+/// ```
+/// use adgen_netlist::{Netlist, CellKind, dot};
+/// # fn main() -> Result<(), adgen_netlist::NetlistError> {
+/// let mut n = Netlist::new("t");
+/// let a = n.add_input("a");
+/// let y = n.gate(CellKind::Inv, &[a])?;
+/// n.add_output(y);
+/// let text = dot::to_dot(&n);
+/// assert!(text.starts_with("digraph"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(netlist: &Netlist) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", netlist.name());
+    let _ = writeln!(s, "  rankdir=LR;");
+    for (i, &pi) in netlist.inputs().iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  pi{i} [shape=ellipse,label=\"{}\"];",
+            netlist.net(pi).name()
+        );
+    }
+    for (i, &po) in netlist.outputs().iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "  po{i} [shape=doublecircle,label=\"{}\"];",
+            netlist.net(po).name()
+        );
+    }
+    for (i, inst) in netlist.instances().iter().enumerate() {
+        let shape = if inst.kind().is_sequential() {
+            "box3d"
+        } else {
+            "box"
+        };
+        let _ = writeln!(
+            s,
+            "  i{i} [shape={shape},label=\"{}\\n{}\"];",
+            inst.name(),
+            inst.kind()
+        );
+    }
+    // Edges: driver -> each load.
+    for (i, inst) in netlist.instances().iter().enumerate() {
+        for &input in inst.inputs() {
+            match netlist.net(input).driver() {
+                Some(Driver::Inst { inst: d, .. }) => {
+                    let _ = writeln!(s, "  i{} -> i{i};", d.index());
+                }
+                Some(Driver::Input) => {
+                    if let Some(pos) = netlist.inputs().iter().position(|&p| p == input) {
+                        let _ = writeln!(s, "  pi{pos} -> i{i};");
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+    for (o, &po) in netlist.outputs().iter().enumerate() {
+        if let Some(Driver::Inst { inst: d, .. }) = netlist.net(po).driver() {
+            let _ = writeln!(s, "  i{} -> po{o};", d.index());
+        } else if let Some(pos) = netlist.inputs().iter().position(|&p| p == po) {
+            let _ = writeln!(s, "  pi{pos} -> po{o};");
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    #[test]
+    fn dot_contains_instances_and_edges() {
+        let mut n = Netlist::new("d");
+        let a = n.add_input("a");
+        let y = n.gate(CellKind::Inv, &[a]).unwrap();
+        let z = n.gate(CellKind::Inv, &[y]).unwrap();
+        n.add_output(z);
+        let text = to_dot(&n);
+        assert!(text.contains("digraph \"d\""));
+        assert!(text.contains("inv"));
+        assert!(text.contains("i0 -> i1;"));
+        assert!(text.contains("-> po0;"));
+    }
+
+    #[test]
+    fn passthrough_output_edge() {
+        let mut n = Netlist::new("p");
+        let a = n.add_input("a");
+        n.add_output(a);
+        let text = to_dot(&n);
+        assert!(text.contains("pi1 -> po0;"));
+    }
+}

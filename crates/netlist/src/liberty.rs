@@ -1,0 +1,196 @@
+//! Liberty (`.lib`) export of the technology library.
+//!
+//! Emits the `vcl018` cell set in the industry-standard Liberty
+//! format (linear delay model), so the workspace's synthetic library
+//! can be inspected with standard tooling and its parameters are
+//! documented in a form EDA engineers already read.
+
+use std::fmt::Write as _;
+
+use crate::cell::{CellKind, Library};
+
+/// Renders `library` as a Liberty file.
+///
+/// The timing model maps directly: `intrinsic_ps` becomes
+/// `intrinsic_rise/fall` (ns), `drive_res_kohm` becomes
+/// `rise_resistance`/`fall_resistance` (ns/pF — kΩ·fF/1000 per fF),
+/// and pin capacitances are in pF. Sequential cells carry `ff`
+/// groups with their clocking and setup figures.
+pub fn to_liberty(library: &Library) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "library ({}) {{", library.name());
+    let _ = writeln!(s, "  delay_model : table_lookup;");
+    let _ = writeln!(s, "  time_unit : \"1ns\";");
+    let _ = writeln!(s, "  capacitive_load_unit (1, pf);");
+    let _ = writeln!(s, "  voltage_unit : \"1V\";");
+    let _ = writeln!(s, "  nom_voltage : 1.8;");
+    let _ = writeln!(
+        s,
+        "  default_fanout_load : {:.4};",
+        library.wire_cap_per_fanout_ff / 1000.0
+    );
+    for kind in CellKind::ALL {
+        let spec = library.spec(kind);
+        let _ = writeln!(s, "  cell ({}) {{", kind.name());
+        let _ = writeln!(s, "    area : {:.2};", spec.area);
+        if kind.is_sequential() {
+            let _ = writeln!(s, "    ff (IQ, IQN) {{");
+            let _ = writeln!(s, "      clocked_on : \"clk\";");
+            let _ = writeln!(s, "      next_state : \"{}\";", ff_next_state_expr(kind));
+            let _ = writeln!(s, "    }}");
+            let _ = writeln!(s, "    pin (clk) {{");
+            let _ = writeln!(s, "      direction : input;");
+            let _ = writeln!(s, "      clock : true;");
+            let _ = writeln!(s, "      capacitance : 0.003;");
+            let _ = writeln!(s, "    }}");
+        }
+        for pin in 0..kind.num_inputs() {
+            let name = input_pin_name(kind, pin);
+            let _ = writeln!(s, "    pin ({name}) {{");
+            let _ = writeln!(s, "      direction : input;");
+            let _ = writeln!(s, "      capacitance : {:.4};", spec.input_cap_ff / 1000.0);
+            if kind.is_sequential() {
+                let _ = writeln!(s, "      timing () {{");
+                let _ = writeln!(s, "        related_pin : \"clk\";");
+                let _ = writeln!(s, "        timing_type : setup_rising;");
+                let _ = writeln!(
+                    s,
+                    "        intrinsic_rise : {:.4};",
+                    spec.setup_ps / 1000.0
+                );
+                let _ = writeln!(s, "      }}");
+            }
+            let _ = writeln!(s, "    }}");
+        }
+        let out = if kind.is_sequential() { "q" } else { "y" };
+        let _ = writeln!(s, "    pin ({out}) {{");
+        let _ = writeln!(s, "      direction : output;");
+        if !kind.is_sequential() && kind.num_inputs() > 0 {
+            let _ = writeln!(s, "      function : \"{}\";", output_function(kind));
+        } else if kind == CellKind::TieHi {
+            let _ = writeln!(s, "      function : \"1\";");
+        } else if kind == CellKind::TieLo {
+            let _ = writeln!(s, "      function : \"0\";");
+        } else if kind.is_sequential() {
+            let _ = writeln!(s, "      function : \"IQ\";");
+        }
+        let _ = writeln!(s, "      timing () {{");
+        let related: Vec<String> = if kind.is_sequential() {
+            vec!["clk".to_string()]
+        } else {
+            (0..kind.num_inputs())
+                .map(|p| input_pin_name(kind, p).to_string())
+                .collect()
+        };
+        if !related.is_empty() {
+            let _ = writeln!(s, "        related_pin : \"{}\";", related.join(" "));
+        }
+        let _ = writeln!(
+            s,
+            "        intrinsic_rise : {:.4};",
+            spec.intrinsic_ps / 1000.0
+        );
+        let _ = writeln!(
+            s,
+            "        intrinsic_fall : {:.4};",
+            spec.intrinsic_ps / 1000.0
+        );
+        let _ = writeln!(s, "        rise_resistance : {:.4};", spec.drive_res_kohm);
+        let _ = writeln!(s, "        fall_resistance : {:.4};", spec.drive_res_kohm);
+        let _ = writeln!(s, "      }}");
+        let _ = writeln!(s, "    }}");
+        let _ = writeln!(s, "  }}");
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn input_pin_name(kind: CellKind, pin: usize) -> &'static str {
+    use CellKind::*;
+    match kind {
+        Mux2 => ["d0", "d1", "sel"][pin],
+        Dff => ["d"][pin],
+        Dffe => ["d", "en"][pin],
+        Dffr => ["d", "rst"][pin],
+        Dffs => ["d", "set"][pin],
+        Dffre => ["d", "en", "rst"][pin],
+        Dffse => ["d", "en", "set"][pin],
+        _ => ["a", "b", "c", "d"][pin],
+    }
+}
+
+fn output_function(kind: CellKind) -> &'static str {
+    use CellKind::*;
+    match kind {
+        Inv => "!a",
+        Buf => "a",
+        Nand2 => "!(a b)",
+        Nand3 => "!(a b c)",
+        Nand4 => "!(a b c d)",
+        Nor2 => "!(a + b)",
+        Nor3 => "!(a + b + c)",
+        Nor4 => "!(a + b + c + d)",
+        And2 => "(a b)",
+        And3 => "(a b c)",
+        And4 => "(a b c d)",
+        Or2 => "(a + b)",
+        Or3 => "(a + b + c)",
+        Or4 => "(a + b + c + d)",
+        Xor2 => "(a ^ b)",
+        Xnor2 => "!(a ^ b)",
+        Aoi21 => "!((a b) + c)",
+        Oai21 => "!((a + b) c)",
+        Mux2 => "(d0 !sel) + (d1 sel)",
+        _ => unreachable!("no function for sequential/tie kinds"),
+    }
+}
+
+fn ff_next_state_expr(kind: CellKind) -> &'static str {
+    use CellKind::*;
+    match kind {
+        Dff => "d",
+        Dffe => "(d en) + (IQ !en)",
+        Dffr => "(d !rst)",
+        Dffs => "d + set",
+        Dffre => "(!rst) ((d en) + (IQ !en))",
+        Dffse => "set + ((d en) + (IQ !en))",
+        _ => unreachable!("combinational kind"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_every_cell_once() {
+        let text = to_liberty(&Library::vcl018());
+        assert!(text.starts_with("library (vcl018)"));
+        for kind in CellKind::ALL {
+            assert_eq!(
+                text.matches(&format!("cell ({}) ", kind.name())).count(),
+                1,
+                "{kind}"
+            );
+        }
+        // Balanced braces.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+    }
+
+    #[test]
+    fn sequential_cells_have_ff_groups_and_setup() {
+        let text = to_liberty(&Library::vcl018());
+        assert_eq!(text.matches("ff (IQ, IQN)").count(), 6);
+        assert!(text.contains("timing_type : setup_rising;"));
+        assert!(text.contains("clocked_on : \"clk\";"));
+    }
+
+    #[test]
+    fn units_are_converted() {
+        let lib = Library::vcl018();
+        let text = to_liberty(&lib);
+        // Inverter: 3.5 fF = 0.0035 pF; intrinsic 20 ps = 0.02 ns.
+        assert!(text.contains("capacitance : 0.0035;"));
+        assert!(text.contains("intrinsic_rise : 0.0200;"));
+    }
+}

@@ -1,0 +1,466 @@
+//! Levelized cycle-accurate logic simulation with `0/1/X` semantics.
+//!
+//! The simulator evaluates the combinational network once per clock
+//! cycle in topological order, then updates every flip-flop from its
+//! sampled data/control pins. Flip-flops power up as [`Logic::X`];
+//! designs are expected to assert the global reset for at least one
+//! cycle to reach a defined state — exactly the discipline the paper's
+//! generators (which all have a `Reset` input) follow.
+//!
+//! Simulation is used throughout the workspace as the ground-truth
+//! check that an elaborated netlist implements its behavioural model.
+
+use crate::cell::CellKind;
+use crate::error::NetlistError;
+use crate::graph::{InstId, NetId, Netlist};
+
+/// Three-valued logic level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Converts from `bool`.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Converts to `bool` if defined.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X => None,
+        }
+    }
+
+    fn not(self) -> Self {
+        match self {
+            Logic::Zero => Logic::One,
+            Logic::One => Logic::Zero,
+            Logic::X => Logic::X,
+        }
+    }
+
+    fn and(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
+            (Logic::One, Logic::One) => Logic::One,
+            _ => Logic::X,
+        }
+    }
+
+    fn or(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Logic::One, _) | (_, Logic::One) => Logic::One,
+            (Logic::Zero, Logic::Zero) => Logic::Zero,
+            _ => Logic::X,
+        }
+    }
+
+    fn xor(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Logic::X, _) | (_, Logic::X) => Logic::X,
+            (a, b) => Logic::from_bool(a != b),
+        }
+    }
+
+    /// `self` if both agree, otherwise `X`.
+    fn merge(self, rhs: Self) -> Self {
+        if self == rhs {
+            self
+        } else {
+            Logic::X
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+/// Cycle-accurate simulator over a validated [`Netlist`].
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<InstId>,
+    values: Vec<Logic>,
+    state: Vec<Logic>,
+    cycle: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist does not [`validate`](Netlist::validate).
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let order = netlist.comb_topo_order()?;
+        Ok(Simulator {
+            netlist,
+            order,
+            values: vec![Logic::X; netlist.nets().len()],
+            state: vec![Logic::X; netlist.instances().len()],
+            cycle: 0,
+        })
+    }
+
+    /// Number of clock cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Current value of `net` (as of the last [`step`](Self::step)).
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Values of the primary outputs, in declaration order.
+    pub fn output_values(&self) -> Vec<Logic> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect()
+    }
+
+    /// Advances one clock cycle.
+    ///
+    /// `inputs` supplies one value per primary input in declaration
+    /// order (index 0 is the global reset). The combinational network
+    /// settles, the post-settle net values become observable through
+    /// [`value`](Self::value), and every flip-flop captures its next
+    /// state at the end of the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if the slice length
+    /// does not match the number of primary inputs.
+    pub fn step(&mut self, inputs: &[Logic]) -> Result<(), NetlistError> {
+        let pis = self.netlist.inputs();
+        if inputs.len() != pis.len() {
+            return Err(NetlistError::InputWidthMismatch {
+                expected: pis.len(),
+                found: inputs.len(),
+            });
+        }
+        for (&net, &v) in pis.iter().zip(inputs) {
+            self.values[net.index()] = v;
+        }
+        // Present flip-flop state on Q pins.
+        for (idx, inst) in self.netlist.instances().iter().enumerate() {
+            if inst.kind().is_sequential() {
+                for &q in inst.outputs() {
+                    self.values[q.index()] = self.state[idx];
+                }
+            }
+        }
+        // Settle combinational logic.
+        for &id in &self.order {
+            let inst = self.netlist.instance(id);
+            let v = self.eval(inst.kind(), inst.inputs());
+            for &o in inst.outputs() {
+                self.values[o.index()] = v;
+            }
+        }
+        // Capture next state.
+        let mut next = self.state.clone();
+        for (idx, inst) in self.netlist.instances().iter().enumerate() {
+            if !inst.kind().is_sequential() {
+                continue;
+            }
+            let pins: Vec<Logic> = inst
+                .inputs()
+                .iter()
+                .map(|&i| self.values[i.index()])
+                .collect();
+            next[idx] = ff_next_state(inst.kind(), self.state[idx], &pins);
+        }
+        self.state = next;
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Convenience wrapper over [`step`](Self::step) taking `bool`s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Self::step).
+    pub fn step_bools(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
+        let v: Vec<Logic> = inputs.iter().map(|&b| Logic::from_bool(b)).collect();
+        self.step(&v)
+    }
+
+    fn eval(&self, kind: CellKind, inputs: &[NetId]) -> Logic {
+        let pins: Vec<Logic> = inputs.iter().map(|&i| self.values[i.index()]).collect();
+        eval_gate(kind, &pins)
+    }
+}
+
+/// Evaluates a combinational cell on the given pin values (crate
+/// internal; shared by the levelized and event-driven simulators).
+///
+/// # Panics
+///
+/// Panics (via `unreachable!`) on sequential kinds.
+pub(crate) fn eval_gate(kind: CellKind, pins: &[Logic]) -> Logic {
+    {
+        let v = |i: usize| pins[i];
+        match kind {
+            CellKind::Inv => v(0).not(),
+            CellKind::Buf => v(0),
+            CellKind::Nand2 => v(0).and(v(1)).not(),
+            CellKind::Nand3 => v(0).and(v(1)).and(v(2)).not(),
+            CellKind::Nand4 => v(0).and(v(1)).and(v(2)).and(v(3)).not(),
+            CellKind::Nor2 => v(0).or(v(1)).not(),
+            CellKind::Nor3 => v(0).or(v(1)).or(v(2)).not(),
+            CellKind::Nor4 => v(0).or(v(1)).or(v(2)).or(v(3)).not(),
+            CellKind::And2 => v(0).and(v(1)),
+            CellKind::And3 => v(0).and(v(1)).and(v(2)),
+            CellKind::And4 => v(0).and(v(1)).and(v(2)).and(v(3)),
+            CellKind::Or2 => v(0).or(v(1)),
+            CellKind::Or3 => v(0).or(v(1)).or(v(2)),
+            CellKind::Or4 => v(0).or(v(1)).or(v(2)).or(v(3)),
+            CellKind::Xor2 => v(0).xor(v(1)),
+            CellKind::Xnor2 => v(0).xor(v(1)).not(),
+            CellKind::Aoi21 => v(0).and(v(1)).or(v(2)).not(),
+            CellKind::Oai21 => v(0).or(v(1)).and(v(2)).not(),
+            CellKind::Mux2 => match v(2) {
+                Logic::Zero => v(0),
+                Logic::One => v(1),
+                Logic::X => v(0).merge(v(1)),
+            },
+            CellKind::TieHi => Logic::One,
+            CellKind::TieLo => Logic::Zero,
+            // Sequential outputs are presented from state, not eval'd.
+            _ => unreachable!("sequential cell in combinational order"),
+        }
+    }
+}
+
+/// Computes a flip-flop's next state from its current state and
+/// sampled pin values (crate internal; shared by both simulators).
+///
+/// # Panics
+///
+/// Panics (via `unreachable!`) on combinational kinds.
+pub(crate) fn ff_next_state(kind: CellKind, cur: Logic, pins: &[Logic]) -> Logic {
+    {
+        match kind {
+            CellKind::Dff => pins[0],
+            CellKind::Dffe => match pins[1] {
+                Logic::One => pins[0],
+                Logic::Zero => cur,
+                Logic::X => pins[0].merge(cur),
+            },
+            CellKind::Dffr => match pins[1] {
+                Logic::One => Logic::Zero,
+                Logic::Zero => pins[0],
+                Logic::X => Logic::Zero.merge(pins[0]),
+            },
+            CellKind::Dffs => match pins[1] {
+                Logic::One => Logic::One,
+                Logic::Zero => pins[0],
+                Logic::X => Logic::One.merge(pins[0]),
+            },
+            CellKind::Dffre => {
+                let no_rst = match pins[1] {
+                    Logic::One => pins[0],
+                    Logic::Zero => cur,
+                    Logic::X => pins[0].merge(cur),
+                };
+                match pins[2] {
+                    Logic::One => Logic::Zero,
+                    Logic::Zero => no_rst,
+                    Logic::X => Logic::Zero.merge(no_rst),
+                }
+            }
+            CellKind::Dffse => {
+                let no_set = match pins[1] {
+                    Logic::One => pins[0],
+                    Logic::Zero => cur,
+                    Logic::X => pins[0].merge(cur),
+                };
+                match pins[2] {
+                    Logic::One => Logic::One,
+                    Logic::Zero => no_set,
+                    Logic::X => Logic::One.merge(no_set),
+                }
+            }
+            _ => unreachable!("combinational cell treated as flip-flop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_tables() {
+        use Logic::*;
+        assert_eq!(One.and(X), X);
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(One.or(X), One);
+        assert_eq!(Zero.or(X), X);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(X.not(), X);
+        assert_eq!(One.merge(One), One);
+        assert_eq!(One.merge(Zero), X);
+        assert_eq!(Logic::from_bool(true), One);
+        assert_eq!(One.to_bool(), Some(true));
+        assert_eq!(X.to_bool(), None);
+    }
+
+    #[test]
+    fn combinational_gate_eval() {
+        let mut n = Netlist::new("comb");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.gate(CellKind::Xor2, &[a, b]).unwrap();
+        n.add_output(y);
+        let mut sim = Simulator::new(&n).unwrap();
+        for (av, bv, exp) in [
+            (false, false, Logic::Zero),
+            (false, true, Logic::One),
+            (true, false, Logic::One),
+            (true, true, Logic::Zero),
+        ] {
+            sim.step_bools(&[false, av, bv]).unwrap();
+            assert_eq!(sim.value(y), exp);
+        }
+    }
+
+    #[test]
+    fn toggle_ff_divides_by_two() {
+        let mut n = Netlist::new("tff");
+        let q = n.add_net("q");
+        let qn = n.add_net("qn");
+        n.add_instance("inv", CellKind::Inv, &[q], &[qn]).unwrap();
+        let rst = n.reset();
+        n.add_instance("ff", CellKind::Dffr, &[qn, rst], &[q])
+            .unwrap();
+        n.add_output(q);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step_bools(&[true]).unwrap(); // reset cycle
+        let mut seen = Vec::new();
+        for _ in 0..6 {
+            sim.step_bools(&[false]).unwrap();
+            seen.push(sim.value(q));
+        }
+        use Logic::*;
+        assert_eq!(seen, vec![Zero, One, Zero, One, Zero, One]);
+    }
+
+    #[test]
+    fn uninitialized_ff_is_x_until_reset() {
+        let mut n = Netlist::new("x");
+        let d = n.add_input("d");
+        let rst = n.reset();
+        let q = n.add_net("q");
+        n.add_instance("ff", CellKind::Dffr, &[d, rst], &[q])
+            .unwrap();
+        n.add_output(q);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step_bools(&[true, false]).unwrap();
+        assert_eq!(sim.value(q), Logic::X, "before any capture, Q is X");
+        sim.step_bools(&[false, false]).unwrap();
+        assert_eq!(sim.value(q), Logic::Zero, "reset captured on the first edge");
+    }
+
+    #[test]
+    fn enable_holds_state() {
+        let mut n = Netlist::new("en");
+        let d = n.add_input("d");
+        let en = n.add_input("en");
+        let q = n.add_net("q");
+        n.add_instance("ff", CellKind::Dffe, &[d, en], &[q])
+            .unwrap();
+        n.add_output(q);
+        let mut sim = Simulator::new(&n).unwrap();
+        // load 1 with en=1
+        sim.step_bools(&[false, true, true]).unwrap();
+        sim.step_bools(&[false, false, false]).unwrap();
+        assert_eq!(sim.value(q), Logic::One);
+        // hold with en=0 while d=0
+        sim.step_bools(&[false, false, false]).unwrap();
+        assert_eq!(sim.value(q), Logic::One);
+        // capture 0 with en=1
+        sim.step_bools(&[false, false, true]).unwrap();
+        assert_eq!(sim.value(q), Logic::One, "capture visible next cycle");
+        sim.step_bools(&[false, false, false]).unwrap();
+        assert_eq!(sim.value(q), Logic::Zero);
+    }
+
+    #[test]
+    fn set_ff_resets_high() {
+        let mut n = Netlist::new("set");
+        let d = n.add_input("d");
+        let rst = n.reset();
+        let q = n.add_net("q");
+        n.add_instance("ff", CellKind::Dffs, &[d, rst], &[q])
+            .unwrap();
+        n.add_output(q);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step_bools(&[true, false]).unwrap();
+        sim.step_bools(&[false, false]).unwrap();
+        assert_eq!(sim.value(q), Logic::One);
+    }
+
+    #[test]
+    fn mux_selects() {
+        let mut n = Netlist::new("mux");
+        let d0 = n.add_input("d0");
+        let d1 = n.add_input("d1");
+        let s = n.add_input("s");
+        let y = n.gate(CellKind::Mux2, &[d0, d1, s]).unwrap();
+        n.add_output(y);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step_bools(&[false, true, false, false]).unwrap();
+        assert_eq!(sim.value(y), Logic::One);
+        sim.step_bools(&[false, true, false, true]).unwrap();
+        assert_eq!(sim.value(y), Logic::Zero);
+        // X select with agreeing data stays defined.
+        sim.step(&[Logic::Zero, Logic::One, Logic::One, Logic::X])
+            .unwrap();
+        assert_eq!(sim.value(y), Logic::One);
+    }
+
+    #[test]
+    fn input_width_checked() {
+        let mut n = Netlist::new("w");
+        let a = n.add_input("a");
+        n.add_output(a);
+        let mut sim = Simulator::new(&n).unwrap();
+        let err = sim.step_bools(&[false]).unwrap_err();
+        assert!(matches!(err, NetlistError::InputWidthMismatch { .. }));
+    }
+
+    #[test]
+    fn tie_cells() {
+        let mut n = Netlist::new("tie");
+        let hi = n.gate(CellKind::TieHi, &[]).unwrap();
+        let lo = n.gate(CellKind::TieLo, &[]).unwrap();
+        let y = n.gate(CellKind::And2, &[hi, lo]).unwrap();
+        n.add_output(y);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step_bools(&[false]).unwrap();
+        assert_eq!(sim.value(y), Logic::Zero);
+        assert_eq!(sim.value(hi), Logic::One);
+    }
+}

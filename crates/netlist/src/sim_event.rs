@@ -1,0 +1,383 @@
+//! Event-driven cycle simulation: only gates whose inputs changed
+//! are re-evaluated.
+//!
+//! The levelized [`Simulator`](crate::Simulator) evaluates every gate
+//! every cycle; for the netlists in this workspace that is wasteful —
+//! an SRAG moves a single token per shift, so the vast majority of
+//! nets are quiescent. [`EventSimulator`] keeps the same cycle
+//! semantics and external API but propagates only *changes*,
+//! processing affected gates in topological-rank order so every gate
+//! is evaluated at most once per cycle.
+//!
+//! Both simulators are cross-checked for exact equivalence in the
+//! test suite; the Criterion benches quantify the speedup.
+
+use std::collections::BinaryHeap;
+
+use crate::cell::CellKind;
+use crate::error::NetlistError;
+use crate::graph::{InstId, NetId, Netlist};
+use crate::sim::{eval_gate, ff_next_state, Logic};
+
+/// Event-driven cycle-accurate simulator with the same semantics as
+/// [`Simulator`](crate::Simulator).
+#[derive(Debug, Clone)]
+pub struct EventSimulator<'a> {
+    netlist: &'a Netlist,
+    /// Topological rank per instance (combinational only; sequential
+    /// instances have rank 0 and are never queued).
+    rank: Vec<u32>,
+    values: Vec<Logic>,
+    state: Vec<Logic>,
+    queued: Vec<bool>,
+    /// Sequential instances whose sampled pins may have changed.
+    dirty_ffs: Vec<bool>,
+    cycle: u64,
+    evaluations: u64,
+}
+
+impl<'a> EventSimulator<'a> {
+    /// Prepares a simulator for `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist does not [`validate`](Netlist::validate).
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let order = netlist.comb_topo_order()?;
+        let mut rank = vec![0u32; netlist.instances().len()];
+        for (r, id) in order.iter().enumerate() {
+            rank[id.index()] = r as u32;
+        }
+        Ok(EventSimulator {
+            netlist,
+            rank,
+            values: vec![Logic::X; netlist.nets().len()],
+            state: vec![Logic::X; netlist.instances().len()],
+            queued: vec![false; netlist.instances().len()],
+            dirty_ffs: vec![true; netlist.instances().len()],
+            cycle: 0,
+            evaluations: 0,
+        })
+    }
+
+    /// Number of clock cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Total combinational gate evaluations performed — the
+    /// event-driven saving shows as this staying far below
+    /// `cycles × gates`.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Current value of `net` (as of the last [`step`](Self::step)).
+    pub fn value(&self, net: NetId) -> Logic {
+        self.values[net.index()]
+    }
+
+    /// Values of the primary outputs, in declaration order.
+    pub fn output_values(&self) -> Vec<Logic> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.values[o.index()])
+            .collect()
+    }
+
+    /// Advances one clock cycle; see
+    /// [`Simulator::step`](crate::Simulator::step) for the semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] on a wrong-width
+    /// stimulus.
+    pub fn step(&mut self, inputs: &[Logic]) -> Result<(), NetlistError> {
+        let pis = self.netlist.inputs();
+        if inputs.len() != pis.len() {
+            return Err(NetlistError::InputWidthMismatch {
+                expected: pis.len(),
+                found: inputs.len(),
+            });
+        }
+        // Min-heap of (rank, instance) via Reverse ordering.
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
+        let set_net = |values: &mut Vec<Logic>,
+                           queued: &mut Vec<bool>,
+                           dirty_ffs: &mut Vec<bool>,
+                           heap: &mut BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
+                           rank: &[u32],
+                           netlist: &Netlist,
+                           net: NetId,
+                           v: Logic| {
+            if values[net.index()] == v {
+                return;
+            }
+            values[net.index()] = v;
+            for &(load, _pin) in netlist.net(net).loads() {
+                let idx = load.index();
+                if netlist.instance(load).kind().is_sequential() {
+                    dirty_ffs[idx] = true;
+                } else if !queued[idx] {
+                    queued[idx] = true;
+                    heap.push(std::cmp::Reverse((rank[idx], idx as u32)));
+                }
+            }
+        };
+
+        // Drive primary inputs.
+        for (&net, &v) in pis.iter().zip(inputs) {
+            set_net(
+                &mut self.values,
+                &mut self.queued,
+                &mut self.dirty_ffs,
+                &mut heap,
+                &self.rank,
+                self.netlist,
+                net,
+                v,
+            );
+        }
+        // Present flip-flop state on Q pins.
+        for (idx, inst) in self.netlist.instances().iter().enumerate() {
+            if inst.kind().is_sequential() {
+                let v = self.state[idx];
+                for &q in inst.outputs() {
+                    set_net(
+                        &mut self.values,
+                        &mut self.queued,
+                        &mut self.dirty_ffs,
+                        &mut heap,
+                        &self.rank,
+                        self.netlist,
+                        q,
+                        v,
+                    );
+                }
+            } else if inst.kind() == CellKind::TieHi && self.cycle == 0 {
+                for &o in inst.outputs() {
+                    set_net(
+                        &mut self.values,
+                        &mut self.queued,
+                        &mut self.dirty_ffs,
+                        &mut heap,
+                        &self.rank,
+                        self.netlist,
+                        o,
+                        Logic::One,
+                    );
+                }
+            } else if inst.kind() == CellKind::TieLo && self.cycle == 0 {
+                for &o in inst.outputs() {
+                    set_net(
+                        &mut self.values,
+                        &mut self.queued,
+                        &mut self.dirty_ffs,
+                        &mut heap,
+                        &self.rank,
+                        self.netlist,
+                        o,
+                        Logic::Zero,
+                    );
+                }
+            }
+        }
+        // Propagate changes in rank order.
+        while let Some(std::cmp::Reverse((_, idx))) = heap.pop() {
+            let idx = idx as usize;
+            self.queued[idx] = false;
+            let inst = self.netlist.instance(InstId(idx as u32));
+            if inst.kind().num_inputs() == 0 {
+                continue;
+            }
+            let pins: Vec<Logic> = inst
+                .inputs()
+                .iter()
+                .map(|&i| self.values[i.index()])
+                .collect();
+            let v = eval_gate(inst.kind(), &pins);
+            self.evaluations += 1;
+            for &o in inst.outputs() {
+                set_net(
+                    &mut self.values,
+                    &mut self.queued,
+                    &mut self.dirty_ffs,
+                    &mut heap,
+                    &self.rank,
+                    self.netlist,
+                    o,
+                    v,
+                );
+            }
+        }
+        // Capture next state for flip-flops whose pins changed.
+        for (idx, inst) in self.netlist.instances().iter().enumerate() {
+            if !inst.kind().is_sequential() || !self.dirty_ffs[idx] {
+                continue;
+            }
+            self.dirty_ffs[idx] = false;
+            let pins: Vec<Logic> = inst
+                .inputs()
+                .iter()
+                .map(|&i| self.values[i.index()])
+                .collect();
+            self.state[idx] = ff_next_state(inst.kind(), self.state[idx], &pins);
+            // If the captured state differs from the presented value,
+            // next cycle's presentation must fire events; mark dirty
+            // so the FF is re-sampled if pins stay changed. (The Q
+            // present in the next step handles propagation; the FF
+            // itself re-captures only when pins change again, but a
+            // hold-type FF with static pins still needs re-capture
+            // when its own Q changed — its D may depend on Q.)
+            if inst
+                .inputs()
+                .iter()
+                .any(|&i| self.values[i.index()] != self.state[idx])
+            {
+                // Conservatively re-sample next cycle; cheap and safe.
+                self.dirty_ffs[idx] = true;
+            }
+        }
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// Convenience wrapper over [`step`](Self::step) taking `bool`s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Self::step).
+    pub fn step_bools(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
+        let v: Vec<Logic> = inputs.iter().map(|&b| Logic::from_bool(b)).collect();
+        self.step(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    /// Both simulators must agree on every net, every cycle, for a
+    /// stimulus with stalls and mid-stream resets.
+    fn cross_check(netlist: &Netlist, cycles: usize) {
+        let mut reference = Simulator::new(netlist).unwrap();
+        let mut event = EventSimulator::new(netlist).unwrap();
+        let num_inputs = netlist.inputs().len();
+        let mut lcg = 42u64;
+        for cycle in 0..cycles {
+            let mut inputs = vec![Logic::Zero; num_inputs];
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = lcg >> 33;
+            // Occasionally reset; other inputs pseudo-random.
+            inputs[0] = Logic::from_bool(cycle == 0 || r.is_multiple_of(17));
+            for (k, v) in inputs.iter_mut().enumerate().skip(1) {
+                *v = Logic::from_bool((r >> k) & 1 == 1);
+            }
+            reference.step(&inputs).unwrap();
+            event.step(&inputs).unwrap();
+            for i in 0..netlist.nets().len() {
+                let id = netlist.net_id_from_index(i);
+                assert_eq!(
+                    reference.value(id),
+                    event.value(id),
+                    "cycle {cycle}, net {}",
+                    netlist.net(id).name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_on_counters() {
+        let mut n = Netlist::new("cnt");
+        let en = n.add_input("en");
+        let c = adgen_test_counter(&mut n, en);
+        n.add_output(c);
+        cross_check(&n, 80);
+    }
+
+    /// Small helper: 3-bit counter carry out.
+    fn adgen_test_counter(n: &mut Netlist, en: NetId) -> NetId {
+        // Hand-rolled 3-bit counter (avoids a dev-dependency cycle on
+        // adgen-synth).
+        let rst = n.reset();
+        let q: Vec<NetId> = (0..3).map(|i| n.add_net(format!("q{i}"))).collect();
+        let c1 = en;
+        let c2 = n.gate(CellKind::And2, &[en, q[0]]).unwrap();
+        let c3 = n.gate(CellKind::And3, &[en, q[0], q[1]]).unwrap();
+        for (i, &c) in [c1, c2, c3].iter().enumerate() {
+            let d = n.gate(CellKind::Xor2, &[q[i], c]).unwrap();
+            n.add_instance(format!("ff{i}"), CellKind::Dffr, &[d, rst], &[q[i]])
+                .unwrap();
+        }
+        n.gate(CellKind::And4, &[en, q[0], q[1], q[2]]).unwrap()
+    }
+
+    #[test]
+    fn agrees_on_ring_with_muxes() {
+        let mut n = Netlist::new("ring");
+        let en = n.add_input("en");
+        let sel = n.add_input("sel");
+        let rst = n.reset();
+        let q: Vec<NetId> = (0..4).map(|i| n.add_net(format!("r{i}"))).collect();
+        for i in 0..4 {
+            let prev = q[(i + 3) % 4];
+            let alt = q[(i + 2) % 4];
+            let d = n.gate(CellKind::Mux2, &[prev, alt, sel]).unwrap();
+            let kind = if i == 0 {
+                CellKind::Dffse
+            } else {
+                CellKind::Dffre
+            };
+            n.add_instance(format!("ff{i}"), kind, &[d, en, rst], &[q[i]])
+                .unwrap();
+            n.add_output(q[i]);
+        }
+        cross_check(&n, 60);
+    }
+
+    #[test]
+    fn agrees_on_tie_cells_and_constants() {
+        let mut n = Netlist::new("ties");
+        let hi = n.gate(CellKind::TieHi, &[]).unwrap();
+        let lo = n.gate(CellKind::TieLo, &[]).unwrap();
+        let a = n.add_input("a");
+        let y = n.gate(CellKind::Aoi21, &[hi, a, lo]).unwrap();
+        n.add_output(y);
+        cross_check(&n, 20);
+    }
+
+    #[test]
+    fn evaluation_count_is_sparse_for_quiet_designs() {
+        // A wide bank of independent FFs driven by one input: after
+        // the input settles, nothing should be re-evaluated.
+        let mut n = Netlist::new("bank");
+        let d = n.add_input("d");
+        let rst = n.reset();
+        let mut gates = 0;
+        for i in 0..50 {
+            let w = n.gate(CellKind::Buf, &[d]).unwrap();
+            gates += 1;
+            let q = n.add_net(format!("q{i}"));
+            n.add_instance(format!("ff{i}"), CellKind::Dffr, &[w, rst], &[q])
+                .unwrap();
+            n.add_output(q);
+        }
+        let mut sim = EventSimulator::new(&n).unwrap();
+        sim.step_bools(&[true, false]).unwrap();
+        let after_reset = sim.evaluations();
+        for _ in 0..100 {
+            sim.step_bools(&[false, false]).unwrap();
+        }
+        // One re-evaluation burst when reset fell; then silence.
+        assert!(
+            sim.evaluations() <= after_reset + gates,
+            "evaluations {} vs baseline {}",
+            sim.evaluations(),
+            after_reset
+        );
+    }
+}

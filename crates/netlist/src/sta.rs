@@ -1,0 +1,442 @@
+//! Static timing analysis with a logical-effort/Elmore delay model.
+//!
+//! The model matches what a synthesis tool's pre-layout reports give:
+//! each gate contributes `intrinsic + R_drive × C_load`, where `C_load`
+//! sums the input capacitance of every fanout pin, a per-fanout wire
+//! estimate, and an optional external load on primary outputs.
+//!
+//! Launch points are primary inputs (arrival 0) and flip-flop `Q`
+//! outputs (arrival = clock-to-Q). Capture points are flip-flop data
+//! and control pins (plus setup) and primary outputs. The *critical
+//! path* is the worst capture-point arrival; it equals the minimum
+//! clock period at which the circuit (with its outputs sampled
+//! externally) can run — the quantity the paper plots in its delay
+//! figures.
+
+use crate::cell::Library;
+use crate::error::NetlistError;
+use crate::graph::{Driver, NetId, Netlist};
+
+/// One step along the reported critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Instance traversed (`None` for a primary-input launch).
+    pub instance: Option<String>,
+    /// Net at which the step's arrival time is observed.
+    pub net: String,
+    /// Arrival time at `net`, in picoseconds.
+    pub arrival_ps: f64,
+}
+
+/// Where the critical path terminates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A flip-flop data/control pin (setup time included in the path).
+    Register {
+        /// Capturing instance name.
+        instance: String,
+    },
+    /// A primary output net.
+    Output {
+        /// The output net's name.
+        net: String,
+    },
+}
+
+/// Result of timing a netlist. See the [module docs](self) for the
+/// delay model.
+#[derive(Debug, Clone)]
+pub struct TimingAnalysis {
+    arrival_ps: Vec<f64>,
+    critical_ps: f64,
+    endpoint: Endpoint,
+    path: Vec<PathStep>,
+    endpoints: Vec<(Endpoint, f64)>,
+}
+
+impl TimingAnalysis {
+    /// Times `netlist` against `library` with no external output load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from validation (undriven nets,
+    /// combinational cycles, …).
+    pub fn run(netlist: &Netlist, library: &Library) -> Result<Self, NetlistError> {
+        Self::run_with_output_load(netlist, library, 0.0)
+    }
+
+    /// Times `netlist` with `output_load_ff` femtofarads of external
+    /// capacitance on every primary output (e.g. modeling the select
+    /// lines of a memory array).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from validation.
+    pub fn run_with_output_load(
+        netlist: &Netlist,
+        library: &Library,
+        output_load_ff: f64,
+    ) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let order = netlist.comb_topo_order()?;
+        let num_nets = netlist.nets().len();
+
+        let is_output = {
+            let mut v = vec![false; num_nets];
+            for &o in netlist.outputs() {
+                v[o.index()] = true;
+            }
+            v
+        };
+
+        // Capacitive load seen by each net's driver.
+        let load_ff = |net: NetId| -> f64 {
+            let n = netlist.net(net);
+            let mut c = 0.0;
+            for &(inst, _pin) in n.loads() {
+                c += library.spec(netlist.instance(inst).kind()).input_cap_ff;
+                c += library.wire_cap_per_fanout_ff;
+            }
+            if is_output[net.index()] {
+                c += output_load_ff + library.wire_cap_per_fanout_ff;
+            }
+            c
+        };
+
+        let mut arrival = vec![f64::NEG_INFINITY; num_nets];
+        // For path reconstruction: the input net that determined each
+        // net's arrival (None for launch points).
+        let mut pred: Vec<Option<NetId>> = vec![None; num_nets];
+
+        for &pi in netlist.inputs() {
+            arrival[pi.index()] = 0.0;
+        }
+        for (idx, inst) in netlist.instances().iter().enumerate() {
+            if inst.kind().is_sequential() {
+                let spec = library.spec(inst.kind());
+                for &q in inst.outputs() {
+                    arrival[q.index()] = spec.intrinsic_ps + spec.drive_res_kohm * load_ff(q);
+                }
+            } else if inst.kind().num_inputs() == 0 {
+                // Tie cells launch at time zero.
+                for &o in inst.outputs() {
+                    arrival[o.index()] = 0.0;
+                }
+            }
+            let _ = idx;
+        }
+
+        for id in order {
+            let inst = netlist.instance(id);
+            if inst.kind().num_inputs() == 0 {
+                continue;
+            }
+            let spec = library.spec(inst.kind());
+            let (worst_in, worst_arr) = inst
+                .inputs()
+                .iter()
+                .map(|&i| (i, arrival[i.index()]))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("combinational gate has at least one input");
+            for &o in inst.outputs() {
+                let t = worst_arr + spec.intrinsic_ps + spec.drive_res_kohm * load_ff(o);
+                arrival[o.index()] = t;
+                pred[o.index()] = Some(worst_in);
+            }
+        }
+
+        // Capture points.
+        let mut critical = 0.0f64;
+        let mut endpoint = Endpoint::Output {
+            net: String::from("<none>"),
+        };
+        let mut end_net: Option<NetId> = None;
+        let mut endpoints: Vec<(Endpoint, f64)> = Vec::new();
+        for inst in netlist.instances() {
+            if !inst.kind().is_sequential() {
+                continue;
+            }
+            let setup = library.spec(inst.kind()).setup_ps;
+            // Report the worst pin of each register as one endpoint.
+            let t = inst
+                .inputs()
+                .iter()
+                .map(|&d| arrival[d.index()] + setup)
+                .fold(f64::NEG_INFINITY, f64::max);
+            endpoints.push((
+                Endpoint::Register {
+                    instance: inst.name().to_string(),
+                },
+                t,
+            ));
+            for &d in inst.inputs() {
+                let t = arrival[d.index()] + setup;
+                if t > critical {
+                    critical = t;
+                    endpoint = Endpoint::Register {
+                        instance: inst.name().to_string(),
+                    };
+                    end_net = Some(d);
+                }
+            }
+        }
+        for &o in netlist.outputs() {
+            let t = arrival[o.index()];
+            endpoints.push((
+                Endpoint::Output {
+                    net: netlist.net(o).name().to_string(),
+                },
+                t,
+            ));
+            if t > critical {
+                critical = t;
+                endpoint = Endpoint::Output {
+                    net: netlist.net(o).name().to_string(),
+                };
+                end_net = Some(o);
+            }
+        }
+        endpoints.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+        // Reconstruct the critical path by walking predecessors.
+        let mut path = Vec::new();
+        let mut cur = end_net;
+        while let Some(net) = cur {
+            let instance = match netlist.net(net).driver() {
+                Some(Driver::Inst { inst, .. }) => {
+                    Some(netlist.instance(inst).name().to_string())
+                }
+                _ => None,
+            };
+            path.push(PathStep {
+                instance,
+                net: netlist.net(net).name().to_string(),
+                arrival_ps: arrival[net.index()],
+            });
+            cur = pred[net.index()];
+        }
+        path.reverse();
+
+        Ok(TimingAnalysis {
+            arrival_ps: arrival,
+            critical_ps: critical,
+            endpoint,
+            path,
+            endpoints,
+        })
+    }
+
+    /// Worst capture-point arrival in picoseconds (the minimum clock
+    /// period).
+    pub fn critical_path_ps(&self) -> f64 {
+        self.critical_ps
+    }
+
+    /// [`critical_path_ps`](Self::critical_path_ps) in nanoseconds, the
+    /// unit used by the paper's figures.
+    pub fn critical_path_ns(&self) -> f64 {
+        self.critical_ps / 1000.0
+    }
+
+    /// Arrival time at `net` in picoseconds, or `None` if the net is
+    /// unreachable from any launch point.
+    pub fn arrival_ps(&self, net: NetId) -> Option<f64> {
+        let t = *self.arrival_ps.get(net.index())?;
+        if t.is_finite() {
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    /// The capture point of the critical path.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The critical path, launch to capture.
+    pub fn path(&self) -> &[PathStep] {
+        &self.path
+    }
+
+    /// The `k` worst capture points with their arrival times, sorted
+    /// most critical first — one entry per register (its worst pin)
+    /// and per primary output.
+    pub fn worst_endpoints(&self, k: usize) -> &[(Endpoint, f64)] {
+        &self.endpoints[..k.min(self.endpoints.len())]
+    }
+
+    /// Maximum clock frequency in megahertz implied by the critical
+    /// path (∞ is never returned; an empty netlist reports 0 delay and
+    /// this method returns `f64::INFINITY` in that degenerate case).
+    pub fn fmax_mhz(&self) -> f64 {
+        1.0e6 / self.critical_ps
+    }
+
+    /// Per-instance delay of a specific instance's output stage, in
+    /// picoseconds, useful for reporting. Returns `None` for unknown
+    /// instances.
+    pub fn slack_against(&self, period_ps: f64) -> f64 {
+        period_ps - self.critical_ps
+    }
+
+    /// True if the circuit meets the given clock period (ps).
+    pub fn meets(&self, period_ps: f64) -> bool {
+        self.slack_against(period_ps) >= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    fn lib() -> Library {
+        Library::vcl018()
+    }
+
+    fn inv_chain(len: usize) -> Netlist {
+        let mut n = Netlist::new("chain");
+        let mut cur = n.add_input("in");
+        for i in 0..len {
+            let out = n.add_net(format!("w{i}"));
+            n.add_instance(format!("inv{i}"), CellKind::Inv, &[cur], &[out])
+                .unwrap();
+            cur = out;
+        }
+        n.add_output(cur);
+        n
+    }
+
+    #[test]
+    fn longer_chain_is_slower() {
+        let t2 = TimingAnalysis::run(&inv_chain(2), &lib()).unwrap();
+        let t8 = TimingAnalysis::run(&inv_chain(8), &lib()).unwrap();
+        assert!(t8.critical_path_ps() > t2.critical_path_ps());
+        // Delay is roughly linear in depth.
+        let per_stage2 = t2.critical_path_ps() / 2.0;
+        let per_stage8 = t8.critical_path_ps() / 8.0;
+        assert!((per_stage2 - per_stage8).abs() / per_stage2 < 0.30);
+    }
+
+    #[test]
+    fn output_load_increases_delay() {
+        let n = inv_chain(3);
+        let t0 = TimingAnalysis::run_with_output_load(&n, &lib(), 0.0).unwrap();
+        let t1 = TimingAnalysis::run_with_output_load(&n, &lib(), 50.0).unwrap();
+        assert!(t1.critical_path_ps() > t0.critical_path_ps());
+    }
+
+    #[test]
+    fn fanout_increases_delay() {
+        // One inverter driving k loads.
+        let build = |k: usize| {
+            let mut n = Netlist::new("fan");
+            let a = n.add_input("a");
+            let y = n.add_net("y");
+            n.add_instance("drv", CellKind::Inv, &[a], &[y]).unwrap();
+            for i in 0..k {
+                let o = n.add_net(format!("o{i}"));
+                n.add_instance(format!("ld{i}"), CellKind::Inv, &[y], &[o])
+                    .unwrap();
+                n.add_output(o);
+            }
+            n
+        };
+        let t1 = TimingAnalysis::run(&build(1), &lib()).unwrap();
+        let t8 = TimingAnalysis::run(&build(8), &lib()).unwrap();
+        assert!(t8.critical_path_ps() > t1.critical_path_ps());
+    }
+
+    #[test]
+    fn register_endpoint_includes_setup() {
+        let mut n = Netlist::new("reg");
+        let d = n.add_input("d");
+        let q = n.add_net("q");
+        n.add_instance("ff", CellKind::Dff, &[d], &[q]).unwrap();
+        n.add_output(q);
+        let t = TimingAnalysis::run(&n, &lib()).unwrap();
+        // Endpoint is either the FF D pin (0 + setup = 90) or the Q
+        // output (clk-to-q ≈ 186). Q is later.
+        assert!(matches!(t.endpoint(), Endpoint::Output { .. }));
+        assert!(t.critical_path_ps() > 150.0);
+    }
+
+    #[test]
+    fn reg_to_reg_path() {
+        // ff0.q -> inv -> ff1.d : critical = clkq + inv + setup.
+        let mut n = Netlist::new("r2r");
+        let d0 = n.add_input("d0");
+        let q0 = n.add_net("q0");
+        n.add_instance("ff0", CellKind::Dff, &[d0], &[q0]).unwrap();
+        let w = n.add_net("w");
+        n.add_instance("inv", CellKind::Inv, &[q0], &[w]).unwrap();
+        let q1 = n.add_net("q1");
+        n.add_instance("ff1", CellKind::Dff, &[w], &[q1]).unwrap();
+        n.add_output(q1);
+        let t = TimingAnalysis::run(&n, &lib()).unwrap();
+        // q1 output: clkq + small load; reg-to-reg: clkq + inv + setup.
+        // The reg-to-reg path must dominate.
+        match t.endpoint() {
+            Endpoint::Register { instance } => assert_eq!(instance, "ff1"),
+            other => panic!("unexpected endpoint {other:?}"),
+        }
+        assert!(t.critical_path_ps() > 280.0);
+    }
+
+    #[test]
+    fn path_reconstruction_is_monotone() {
+        let n = inv_chain(6);
+        let t = TimingAnalysis::run(&n, &lib()).unwrap();
+        let path = t.path();
+        assert!(path.len() >= 6);
+        for w in path.windows(2) {
+            assert!(w[1].arrival_ps >= w[0].arrival_ps);
+        }
+    }
+
+    #[test]
+    fn arrival_query() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_net("y");
+        n.add_instance("g", CellKind::Inv, &[a], &[y]).unwrap();
+        n.add_output(y);
+        let t = TimingAnalysis::run(&n, &lib()).unwrap();
+        assert_eq!(t.arrival_ps(a), Some(0.0));
+        assert!(t.arrival_ps(y).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn worst_endpoints_are_sorted_and_complete() {
+        let mut n = Netlist::new("multi");
+        let a = n.add_input("a");
+        let short = n.gate(CellKind::Inv, &[a]).unwrap();
+        let mid = n.gate(CellKind::Inv, &[short]).unwrap();
+        let long = n.gate(CellKind::Inv, &[mid]).unwrap();
+        n.add_output(short);
+        n.add_output(long);
+        let rst = n.reset();
+        let q = n.add_net("q");
+        n.add_instance("ff", CellKind::Dffr, &[mid, rst], &[q])
+            .unwrap();
+        n.add_output(q);
+        let t = TimingAnalysis::run(&n, &lib()).unwrap();
+        let eps = t.worst_endpoints(10);
+        // 3 primary outputs + 1 register = 4 endpoints.
+        assert_eq!(eps.len(), 4);
+        for w in eps.windows(2) {
+            assert!(w[0].1 >= w[1].1, "sorted descending");
+        }
+        assert_eq!(eps[0].1, t.critical_path_ps());
+        // Truncation works.
+        assert_eq!(t.worst_endpoints(2).len(), 2);
+    }
+
+    #[test]
+    fn invalid_netlist_rejected() {
+        let mut n = Netlist::new("bad");
+        n.add_net("floating");
+        assert!(TimingAnalysis::run(&n, &lib()).is_err());
+    }
+}

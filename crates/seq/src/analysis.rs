@@ -1,0 +1,163 @@
+//! Sequence regularity analysis.
+//!
+//! The paper's premise is that multimedia address streams are
+//! "regular and periodic"; this module quantifies that regularity so
+//! tools can predict *which* generator architectures will accept a
+//! sequence before attempting a mapping.
+
+use crate::sequence::AddressSequence;
+
+/// Structural summary of an address sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceProfile {
+    /// Sequence length.
+    pub len: usize,
+    /// Number of distinct addresses.
+    pub distinct: usize,
+    /// Largest address, if any.
+    pub max_address: Option<u32>,
+    /// Smallest tiling period (see
+    /// [`AddressSequence::minimal_period`]).
+    pub minimal_period: usize,
+    /// The common consecutive-repetition count, when every run has
+    /// the same length — the SRAG's `dC` precondition.
+    pub uniform_run_length: Option<usize>,
+    /// Whether every occurrence of an address repeats the same number
+    /// of consecutive times — the multi-counter SRAG's relaxed
+    /// precondition.
+    pub per_address_runs_consistent: bool,
+    /// Length of the run-collapsed (reduced) sequence.
+    pub reduced_len: usize,
+    /// Whether each distinct address occurs exactly once in the
+    /// reduced sequence (a pure scan, no revisits).
+    pub single_visit: bool,
+}
+
+impl SequenceProfile {
+    /// Computes the profile of `sequence`.
+    pub fn of(sequence: &AddressSequence) -> Self {
+        let runs = sequence.run_length_encode();
+        let uniform_run_length = match runs.first() {
+            Some(&(_, first)) if runs.iter().all(|&(_, l)| l == first) => Some(first),
+            _ => None,
+        };
+        let mut per_address: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        let mut per_address_runs_consistent = true;
+        for &(a, l) in &runs {
+            match per_address.get(&a) {
+                Some(&prev) if prev != l => {
+                    per_address_runs_consistent = false;
+                    break;
+                }
+                _ => {
+                    per_address.insert(a, l);
+                }
+            }
+        }
+        let reduced = sequence.collapse_runs();
+        let distinct = sequence.num_distinct();
+        SequenceProfile {
+            len: sequence.len(),
+            distinct,
+            max_address: sequence.max_address(),
+            minimal_period: sequence.minimal_period(),
+            uniform_run_length,
+            per_address_runs_consistent,
+            reduced_len: reduced.len(),
+            single_visit: reduced.len() == distinct,
+        }
+    }
+
+    /// A coarse regularity class, most to least structured.
+    pub fn class(&self) -> RegularityClass {
+        if self.len == 0 {
+            RegularityClass::Empty
+        } else if self.uniform_run_length.is_some() && self.single_visit {
+            RegularityClass::UniformScan
+        } else if self.uniform_run_length.is_some() {
+            RegularityClass::UniformRuns
+        } else if self.per_address_runs_consistent {
+            RegularityClass::PerAddressRuns
+        } else {
+            RegularityClass::Irregular
+        }
+    }
+}
+
+/// Coarse regularity classes, aligned with the generator families'
+/// preconditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegularityClass {
+    /// No elements.
+    Empty,
+    /// Uniform run lengths and every address visited once per period:
+    /// candidate for a plain SRAG ring or counter cascade.
+    UniformScan,
+    /// Uniform run lengths with revisits: SRAG territory (subject to
+    /// grouping/pass checks).
+    UniformRuns,
+    /// Run lengths uniform only per address: needs the multi-counter
+    /// SRAG relaxation.
+    PerAddressRuns,
+    /// No run structure: FSM or table-lookup territory.
+    Irregular,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_of_paper_row_stream() {
+        let s = AddressSequence::from_vec(vec![0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3]);
+        let p = SequenceProfile::of(&s);
+        assert_eq!(p.len, 16);
+        assert_eq!(p.distinct, 4);
+        assert_eq!(p.uniform_run_length, Some(2));
+        assert!(p.per_address_runs_consistent);
+        assert_eq!(p.reduced_len, 8);
+        assert!(!p.single_visit);
+        assert_eq!(p.class(), RegularityClass::UniformRuns);
+    }
+
+    #[test]
+    fn incremental_is_a_uniform_scan() {
+        let s: AddressSequence = (0..8).collect();
+        let p = SequenceProfile::of(&s);
+        assert_eq!(p.uniform_run_length, Some(1));
+        assert!(p.single_visit);
+        assert_eq!(p.class(), RegularityClass::UniformScan);
+    }
+
+    #[test]
+    fn per_address_class_for_divcnt_counterexample() {
+        let s = AddressSequence::from_vec(vec![5, 5, 5, 1, 1, 4, 4, 0, 0]);
+        let p = SequenceProfile::of(&s);
+        assert_eq!(p.uniform_run_length, None);
+        assert!(p.per_address_runs_consistent);
+        assert_eq!(p.class(), RegularityClass::PerAddressRuns);
+    }
+
+    #[test]
+    fn irregular_class() {
+        let s = AddressSequence::from_vec(vec![5, 5, 1, 5, 5, 5, 1]);
+        let p = SequenceProfile::of(&s);
+        assert!(!p.per_address_runs_consistent);
+        assert_eq!(p.class(), RegularityClass::Irregular);
+    }
+
+    #[test]
+    fn empty_class() {
+        assert_eq!(
+            SequenceProfile::of(&AddressSequence::new()).class(),
+            RegularityClass::Empty
+        );
+    }
+
+    #[test]
+    fn minimal_period_flows_through() {
+        let s = AddressSequence::from_vec(vec![3, 7, 3, 7]);
+        assert_eq!(SequenceProfile::of(&s).minimal_period, 2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for sequence manipulation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from sequence construction and decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeqError {
+    /// An address does not fit in the given array shape.
+    AddressOutOfRange {
+        /// The offending linear address.
+        address: u32,
+        /// Number of cells in the array.
+        capacity: u32,
+        /// Position of the address in the sequence.
+        position: usize,
+    },
+    /// A generator or operation was asked for an empty/degenerate
+    /// geometry (zero rows, zero columns or zero-length sequence).
+    EmptyGeometry {
+        /// Human-readable description of what was degenerate.
+        what: &'static str,
+    },
+    /// A loop-nest definition is inconsistent (e.g. references an
+    /// unknown loop variable).
+    InvalidLoopNest {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// A text trace could not be parsed.
+    ParseTrace {
+        /// 1-based line number of the malformed token.
+        line: usize,
+        /// The token that failed to parse.
+        token: String,
+    },
+}
+
+impl fmt::Display for SeqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeqError::AddressOutOfRange {
+                address,
+                capacity,
+                position,
+            } => write!(
+                f,
+                "address {address} at position {position} exceeds array capacity {capacity}"
+            ),
+            SeqError::EmptyGeometry { what } => write!(f, "empty geometry: {what}"),
+            SeqError::InvalidLoopNest { reason } => write!(f, "invalid loop nest: {reason}"),
+            SeqError::ParseTrace { line, token } => {
+                write!(f, "trace parse error at line {line}: bad token `{token}`")
+            }
+        }
+    }
+}
+
+impl Error for SeqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SeqError::AddressOutOfRange {
+            address: 99,
+            capacity: 16,
+            position: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("99") && s.contains("16") && s.contains("3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<SeqError>();
+    }
+}

@@ -1,0 +1,240 @@
+//! A small affine loop-nest trace engine.
+//!
+//! Multimedia kernels such as the paper's block-matching motion
+//! estimation (Fig. 7) are perfect loop nests whose array subscripts
+//! are affine functions of the loop variables. [`LoopNest`] executes
+//! such a nest and records the resulting linear address stream, which
+//! is how application code turns into an [`AddressSequence`]
+//! deterministically at compile time — the premise of the paper's
+//! whole approach.
+//!
+//! # Example
+//!
+//! The paper's Table 1 `LinAS` as a loop nest
+//! (`addr = (g·2+k)·4 + h·2+l`):
+//!
+//! ```
+//! use adgen_seq::{LoopNest, LoopVar, AffineIndex};
+//!
+//! # fn main() -> Result<(), adgen_seq::SeqError> {
+//! let nest = LoopNest::new(vec![
+//!     LoopVar::new("g", 0, 2),
+//!     LoopVar::new("h", 0, 2),
+//!     LoopVar::new("k", 0, 2),
+//!     LoopVar::new("l", 0, 2),
+//! ]);
+//! // addr = 8g + 2h + 4k + l
+//! let index = AffineIndex::new(&[("g", 8), ("h", 2), ("k", 4), ("l", 1)], 0);
+//! let seq = nest.trace(&index)?;
+//! assert_eq!(
+//!     seq.as_slice(),
+//!     &[0, 1, 4, 5, 2, 3, 6, 7, 8, 9, 12, 13, 10, 11, 14, 15]
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::SeqError;
+use crate::sequence::AddressSequence;
+
+/// One loop of a [`LoopNest`]: `for v in from..to` (step 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopVar {
+    name: String,
+    from: i64,
+    to: i64,
+}
+
+impl LoopVar {
+    /// A loop `for name in from..to` (half-open, step 1). A loop with
+    /// `to <= from` executes zero times, exactly like the C loops in
+    /// the paper's kernel when the search range `m` is 0.
+    pub fn new(name: impl Into<String>, from: i64, to: i64) -> Self {
+        LoopVar {
+            name: name.into(),
+            from,
+            to,
+        }
+    }
+
+    /// The variable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of iterations.
+    pub fn trip_count(&self) -> u64 {
+        if self.to > self.from {
+            (self.to - self.from) as u64
+        } else {
+            0
+        }
+    }
+}
+
+/// An affine subscript expression `Σ coeffᵢ·varᵢ + offset`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineIndex {
+    terms: Vec<(String, i64)>,
+    offset: i64,
+}
+
+impl AffineIndex {
+    /// Builds the expression from `(variable, coefficient)` pairs plus
+    /// a constant offset.
+    pub fn new(terms: &[(&str, i64)], offset: i64) -> Self {
+        AffineIndex {
+            terms: terms
+                .iter()
+                .map(|&(n, c)| (n.to_string(), c))
+                .collect(),
+            offset,
+        }
+    }
+
+    /// The constant offset.
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// The `(variable, coefficient)` terms.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, i64)> + '_ {
+        self.terms.iter().map(|(n, c)| (n.as_str(), *c))
+    }
+
+    fn evaluate(&self, names: &[&str], values: &[i64]) -> Result<i64, SeqError> {
+        let mut acc = self.offset;
+        for (var, coeff) in &self.terms {
+            let idx = names
+                .iter()
+                .position(|n| n == var)
+                .ok_or_else(|| SeqError::InvalidLoopNest {
+                    reason: format!("index references unknown loop variable `{var}`"),
+                })?;
+            acc += coeff * values[idx];
+        }
+        Ok(acc)
+    }
+}
+
+/// A perfect loop nest, outermost loop first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopNest {
+    loops: Vec<LoopVar>,
+}
+
+impl LoopNest {
+    /// Creates the nest; `loops[0]` is outermost.
+    pub fn new(loops: Vec<LoopVar>) -> Self {
+        LoopNest { loops }
+    }
+
+    /// The loops, outermost first.
+    pub fn loops(&self) -> &[LoopVar] {
+        &self.loops
+    }
+
+    /// Total number of innermost iterations.
+    pub fn trip_count(&self) -> u64 {
+        self.loops.iter().map(LoopVar::trip_count).product()
+    }
+
+    /// Executes the nest and evaluates `index` at every innermost
+    /// iteration, producing the address trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::InvalidLoopNest`] if `index` references an
+    /// unknown variable or any evaluated address is negative.
+    pub fn trace(&self, index: &AffineIndex) -> Result<AddressSequence, SeqError> {
+        let names: Vec<&str> = self.loops.iter().map(|l| l.name()).collect();
+        let mut values: Vec<i64> = self.loops.iter().map(|l| l.from).collect();
+        let mut out = AddressSequence::new();
+        if self.trip_count() == 0 {
+            return Ok(out);
+        }
+        loop {
+            let a = index.evaluate(&names, &values)?;
+            if a < 0 {
+                return Err(SeqError::InvalidLoopNest {
+                    reason: format!("index evaluated to negative address {a}"),
+                });
+            }
+            out.push(a as u32);
+            // Odometer increment, innermost fastest.
+            let mut level = self.loops.len();
+            loop {
+                if level == 0 {
+                    return Ok(out);
+                }
+                level -= 1;
+                values[level] += 1;
+                if values[level] < self.loops[level].to {
+                    break;
+                }
+                values[level] = self.loops[level].from;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_loop_raster() {
+        let nest = LoopNest::new(vec![LoopVar::new("i", 0, 5)]);
+        let idx = AffineIndex::new(&[("i", 1)], 0);
+        assert_eq!(nest.trace(&idx).unwrap().as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_order_is_row_major() {
+        let nest = LoopNest::new(vec![LoopVar::new("r", 0, 2), LoopVar::new("c", 0, 3)]);
+        let idx = AffineIndex::new(&[("r", 3), ("c", 1)], 0);
+        assert_eq!(nest.trace(&idx).unwrap().as_slice(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn zero_trip_loop_gives_empty_trace() {
+        let nest = LoopNest::new(vec![LoopVar::new("i", 0, 0), LoopVar::new("j", 0, 4)]);
+        let idx = AffineIndex::new(&[("j", 1)], 0);
+        assert!(nest.trace(&idx).unwrap().is_empty());
+        assert_eq!(nest.trip_count(), 0);
+    }
+
+    #[test]
+    fn negative_bounds_and_offset() {
+        let nest = LoopNest::new(vec![LoopVar::new("i", -2, 2)]);
+        let idx = AffineIndex::new(&[("i", 1)], 2);
+        assert_eq!(nest.trace(&idx).unwrap().as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_variable_rejected() {
+        let nest = LoopNest::new(vec![LoopVar::new("i", 0, 2)]);
+        let idx = AffineIndex::new(&[("bogus", 1)], 0);
+        assert!(matches!(
+            nest.trace(&idx),
+            Err(SeqError::InvalidLoopNest { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_address_rejected() {
+        let nest = LoopNest::new(vec![LoopVar::new("i", 0, 3)]);
+        let idx = AffineIndex::new(&[("i", -1)], 0);
+        assert!(nest.trace(&idx).is_err());
+    }
+
+    #[test]
+    fn trip_count_products() {
+        let nest = LoopNest::new(vec![
+            LoopVar::new("a", 0, 3),
+            LoopVar::new("b", 1, 4),
+            LoopVar::new("c", -1, 1),
+        ]);
+        assert_eq!(nest.trip_count(), 3 * 3 * 2);
+    }
+}

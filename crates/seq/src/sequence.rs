@@ -1,0 +1,385 @@
+//! The [`AddressSequence`] type: an ordered stream of 1-D addresses.
+
+use std::fmt;
+
+use crate::error::SeqError;
+use crate::shape::{ArrayShape, Layout};
+
+/// An ordered, repeatable stream of one-dimensional addresses — the
+/// input to every address-generator architecture in this workspace.
+///
+/// Beyond plain storage, the type offers the sequence analyses the
+/// paper's mapping procedure (§5) is built from: run-length encoding
+/// (the `D` set), run-collapsed reduction (the `R` sequence) and
+/// first-occurrence bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct AddressSequence {
+    values: Vec<u32>,
+}
+
+impl AddressSequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a vector of addresses.
+    pub fn from_vec(values: Vec<u32>) -> Self {
+        AddressSequence { values }
+    }
+
+    /// The addresses as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the sequence has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over the addresses.
+    pub fn iter(&self) -> std::slice::Iter<'_, u32> {
+        self.values.iter()
+    }
+
+    /// Appends an address.
+    pub fn push(&mut self, address: u32) {
+        self.values.push(address);
+    }
+
+    /// Largest address, or `None` when empty.
+    pub fn max_address(&self) -> Option<u32> {
+        self.values.iter().copied().max()
+    }
+
+    /// Number of distinct addresses.
+    pub fn num_distinct(&self) -> usize {
+        let mut v = self.values.clone();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// Run-length encodes consecutive repetitions: `[5,5,1,4,4,4]` →
+    /// `[(5,2),(1,1),(4,3)]`. This is the paper's `D` computation.
+    pub fn run_length_encode(&self) -> Vec<(u32, usize)> {
+        let mut runs = Vec::new();
+        for &v in &self.values {
+            match runs.last_mut() {
+                Some((last, count)) if *last == v => *count += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        runs
+    }
+
+    /// Collapses consecutive repetitions to single elements (the
+    /// paper's reduced sequence `R`): `[0,0,1,1]` → `[0,1]`.
+    pub fn collapse_runs(&self) -> AddressSequence {
+        AddressSequence::from_vec(self.run_length_encode().into_iter().map(|(v, _)| v).collect())
+    }
+
+    /// Distinct addresses in order of first appearance (the paper's
+    /// unique sequence `U`), with their occurrence counts (`O`) and the
+    /// index of their first appearance (`Z`).
+    pub fn unique_in_order(&self) -> Vec<UniqueEntry> {
+        let mut out: Vec<UniqueEntry> = Vec::new();
+        for (pos, &v) in self.values.iter().enumerate() {
+            if let Some(e) = out.iter_mut().find(|e| e.address == v) {
+                e.occurrences += 1;
+            } else {
+                out.push(UniqueEntry {
+                    address: v,
+                    occurrences: 1,
+                    first_position: pos,
+                });
+            }
+        }
+        out
+    }
+
+    /// Splits a linear sequence into `(row, column)` sequences for an
+    /// array of `shape` linearized with `layout` — paper Table 1's
+    /// `RowAS` / `ColAS`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::AddressOutOfRange`] (with the offending
+    /// position) if any address exceeds the array capacity.
+    pub fn decompose(
+        &self,
+        shape: ArrayShape,
+        layout: Layout,
+    ) -> Result<(AddressSequence, AddressSequence), SeqError> {
+        let mut rows = Vec::with_capacity(self.len());
+        let mut cols = Vec::with_capacity(self.len());
+        for (position, &a) in self.values.iter().enumerate() {
+            let (r, c) = shape.to_row_col(a, layout).map_err(|e| match e {
+                SeqError::AddressOutOfRange {
+                    address, capacity, ..
+                } => SeqError::AddressOutOfRange {
+                    address,
+                    capacity,
+                    position,
+                },
+                other => other,
+            })?;
+            rows.push(r);
+            cols.push(c);
+        }
+        Ok((
+            AddressSequence::from_vec(rows),
+            AddressSequence::from_vec(cols),
+        ))
+    }
+
+    /// Recombines row and column sequences into a linear sequence —
+    /// the inverse of [`decompose`](Self::decompose).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::EmptyGeometry`] if the two sequences differ
+    /// in length, or [`SeqError::AddressOutOfRange`] for coordinates
+    /// outside the shape.
+    pub fn compose(
+        rows: &AddressSequence,
+        cols: &AddressSequence,
+        shape: ArrayShape,
+        layout: Layout,
+    ) -> Result<AddressSequence, SeqError> {
+        if rows.len() != cols.len() {
+            return Err(SeqError::EmptyGeometry {
+                what: "row/column sequences differ in length",
+            });
+        }
+        let mut out = Vec::with_capacity(rows.len());
+        for (position, (&r, &c)) in rows.iter().zip(cols.iter()).enumerate() {
+            let a = shape.to_linear(r, c, layout).map_err(|e| match e {
+                SeqError::AddressOutOfRange {
+                    address, capacity, ..
+                } => SeqError::AddressOutOfRange {
+                    address,
+                    capacity,
+                    position,
+                },
+                other => other,
+            })?;
+            out.push(a);
+        }
+        Ok(AddressSequence::from_vec(out))
+    }
+
+    /// The smallest period `p` dividing the length such that the
+    /// sequence equals `p`-element tiles, or the full length if none.
+    /// Returns 0 for an empty sequence.
+    pub fn minimal_period(&self) -> usize {
+        let len = self.values.len();
+        (1..=len)
+            .filter(|p| len.is_multiple_of(*p))
+            .find(|&p| (0..len).all(|i| self.values[i] == self.values[i % p]))
+            .unwrap_or(0)
+    }
+
+    /// The sequence repeated `times` times end-to-end.
+    pub fn repeated(&self, times: usize) -> AddressSequence {
+        let mut v = Vec::with_capacity(self.len() * times);
+        for _ in 0..times {
+            v.extend_from_slice(&self.values);
+        }
+        AddressSequence::from_vec(v)
+    }
+}
+
+/// One entry of [`AddressSequence::unique_in_order`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniqueEntry {
+    /// The distinct address.
+    pub address: u32,
+    /// How many times it occurs in the sequence.
+    pub occurrences: usize,
+    /// Index of its first occurrence.
+    pub first_position: usize,
+}
+
+impl fmt::Display for AddressSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<u32>> for AddressSequence {
+    fn from(values: Vec<u32>) -> Self {
+        AddressSequence::from_vec(values)
+    }
+}
+
+impl From<&[u32]> for AddressSequence {
+    fn from(values: &[u32]) -> Self {
+        AddressSequence::from_vec(values.to_vec())
+    }
+}
+
+impl FromIterator<u32> for AddressSequence {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        AddressSequence::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl Extend<u32> for AddressSequence {
+    fn extend<T: IntoIterator<Item = u32>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a AddressSequence {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.iter()
+    }
+}
+
+impl IntoIterator for AddressSequence {
+    type Item = u32;
+    type IntoIter = std::vec::IntoIter<u32>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.values.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_length_encoding() {
+        let s = AddressSequence::from_vec(vec![5, 5, 1, 1, 4, 4, 0, 0]);
+        assert_eq!(s.run_length_encode(), vec![(5, 2), (1, 2), (4, 2), (0, 2)]);
+        assert_eq!(s.collapse_runs().as_slice(), &[5, 1, 4, 0]);
+    }
+
+    #[test]
+    fn rle_of_empty() {
+        let s = AddressSequence::new();
+        assert!(s.run_length_encode().is_empty());
+        assert!(s.collapse_runs().is_empty());
+        assert_eq!(s.max_address(), None);
+    }
+
+    #[test]
+    fn unique_in_order_matches_paper_parameters() {
+        // R for the paper's RowAS: 0,1,0,1,2,3,2,3 → U = 0,1,2,3;
+        // O = 2,2,2,2; Z = 0,1,4,5.
+        let r = AddressSequence::from_vec(vec![0, 1, 0, 1, 2, 3, 2, 3]);
+        let u = r.unique_in_order();
+        assert_eq!(
+            u.iter().map(|e| e.address).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(
+            u.iter().map(|e| e.occurrences).collect::<Vec<_>>(),
+            vec![2, 2, 2, 2]
+        );
+        assert_eq!(
+            u.iter().map(|e| e.first_position).collect::<Vec<_>>(),
+            vec![0, 1, 4, 5]
+        );
+    }
+
+    #[test]
+    fn decompose_compose_round_trip() {
+        let shape = ArrayShape::new(4, 4);
+        let lin = AddressSequence::from_vec(vec![0, 1, 4, 5, 2, 3, 6, 7, 15]);
+        let (rows, cols) = lin.decompose(shape, Layout::RowMajor).unwrap();
+        let back = AddressSequence::compose(&rows, &cols, shape, Layout::RowMajor).unwrap();
+        assert_eq!(back, lin);
+    }
+
+    #[test]
+    fn decompose_reports_position() {
+        let shape = ArrayShape::new(2, 2);
+        let lin = AddressSequence::from_vec(vec![0, 1, 9]);
+        let err = lin.decompose(shape, Layout::RowMajor).unwrap_err();
+        assert_eq!(
+            err,
+            SeqError::AddressOutOfRange {
+                address: 9,
+                capacity: 4,
+                position: 2
+            }
+        );
+    }
+
+    #[test]
+    fn compose_length_mismatch() {
+        let shape = ArrayShape::new(2, 2);
+        let a = AddressSequence::from_vec(vec![0]);
+        let b = AddressSequence::from_vec(vec![0, 1]);
+        assert!(AddressSequence::compose(&a, &b, shape, Layout::RowMajor).is_err());
+    }
+
+    #[test]
+    fn collection_traits() {
+        let s: AddressSequence = (0..4).collect();
+        assert_eq!(s.as_slice(), &[0, 1, 2, 3]);
+        let mut s2 = s.clone();
+        s2.extend(4..6);
+        assert_eq!(s2.len(), 6);
+        let total: u32 = (&s2).into_iter().sum();
+        assert_eq!(total, 15);
+        let owned: Vec<u32> = s2.into_iter().collect();
+        assert_eq!(owned.len(), 6);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = AddressSequence::from_vec(vec![5, 1, 4]);
+        assert_eq!(s.to_string(), "[5,1,4]");
+        assert_eq!(AddressSequence::new().to_string(), "[]");
+    }
+
+    #[test]
+    fn repeated_tiles() {
+        let s = AddressSequence::from_vec(vec![1, 2]);
+        assert_eq!(s.repeated(3).as_slice(), &[1, 2, 1, 2, 1, 2]);
+        assert!(s.repeated(0).is_empty());
+    }
+
+    #[test]
+    fn minimal_period_detection() {
+        assert_eq!(
+            AddressSequence::from_vec(vec![1, 2, 1, 2, 1, 2]).minimal_period(),
+            2
+        );
+        assert_eq!(
+            AddressSequence::from_vec(vec![1, 2, 3]).minimal_period(),
+            3
+        );
+        assert_eq!(AddressSequence::from_vec(vec![5]).minimal_period(), 1);
+        assert_eq!(AddressSequence::new().minimal_period(), 0);
+        // Non-dividing repetition does not count: 1,2,1 has period 3.
+        assert_eq!(
+            AddressSequence::from_vec(vec![1, 2, 1]).minimal_period(),
+            3
+        );
+    }
+
+    #[test]
+    fn num_distinct_counts() {
+        let s = AddressSequence::from_vec(vec![3, 3, 1, 3, 2]);
+        assert_eq!(s.num_distinct(), 3);
+    }
+}

@@ -1,0 +1,175 @@
+//! Two-dimensional array geometry and address decomposition.
+//!
+//! The paper's memory model is a 2-D cell array of `img_height` rows ×
+//! `img_width` columns. A linear address `LA` maps to a (row, column)
+//! pair according to the chosen data [`Layout`]; the paper assumes
+//! row-major mapping (`LA = I0 × img_width + I1`, §5).
+
+use crate::error::SeqError;
+
+/// Dimensions of a 2-D memory array: `width` columns × `height` rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayShape {
+    width: u32,
+    height: u32,
+}
+
+impl ArrayShape {
+    /// Creates a shape with `width` columns and `height` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "array dimensions must be nonzero");
+        ArrayShape { width, height }
+    }
+
+    /// A square `n × n` shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn square(n: u32) -> Self {
+        Self::new(n, n)
+    }
+
+    /// Number of columns (`img_width`).
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of rows (`img_height`).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total number of cells.
+    pub fn capacity(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// Number of row-address bits a binary-coded addressing scheme
+    /// needs (`⌈log₂ height⌉`, at least 1).
+    pub fn row_bits(&self) -> u32 {
+        bits_for(self.height)
+    }
+
+    /// Number of column-address bits (`⌈log₂ width⌉`, at least 1).
+    pub fn col_bits(&self) -> u32 {
+        bits_for(self.width)
+    }
+
+    /// Converts a linear address to `(row, column)` under `layout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::AddressOutOfRange`] if `address` does not
+    /// fit (the reported `position` is 0).
+    pub fn to_row_col(&self, address: u32, layout: Layout) -> Result<(u32, u32), SeqError> {
+        if address >= self.capacity() {
+            return Err(SeqError::AddressOutOfRange {
+                address,
+                capacity: self.capacity(),
+                position: 0,
+            });
+        }
+        Ok(match layout {
+            Layout::RowMajor => (address / self.width, address % self.width),
+            Layout::ColMajor => (address % self.height, address / self.height),
+        })
+    }
+
+    /// Converts `(row, column)` back to a linear address under
+    /// `layout`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SeqError::AddressOutOfRange`] if the coordinates are
+    /// outside the shape.
+    pub fn to_linear(&self, row: u32, col: u32, layout: Layout) -> Result<u32, SeqError> {
+        if row >= self.height || col >= self.width {
+            return Err(SeqError::AddressOutOfRange {
+                address: row * self.width + col,
+                capacity: self.capacity(),
+                position: 0,
+            });
+        }
+        Ok(match layout {
+            Layout::RowMajor => row * self.width + col,
+            Layout::ColMajor => col * self.height + row,
+        })
+    }
+}
+
+/// How a 2-D array is linearized in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Layout {
+    /// `LA = row × width + col` (the paper's assumption).
+    #[default]
+    RowMajor,
+    /// `LA = col × height + row`.
+    ColMajor,
+}
+
+fn bits_for(n: u32) -> u32 {
+    debug_assert!(n > 0);
+    if n <= 2 {
+        1
+    } else {
+        32 - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_row_major() {
+        let s = ArrayShape::new(4, 3);
+        for a in 0..s.capacity() {
+            let (r, c) = s.to_row_col(a, Layout::RowMajor).unwrap();
+            assert_eq!(s.to_linear(r, c, Layout::RowMajor).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn round_trip_col_major() {
+        let s = ArrayShape::new(5, 7);
+        for a in 0..s.capacity() {
+            let (r, c) = s.to_row_col(a, Layout::ColMajor).unwrap();
+            assert_eq!(s.to_linear(r, c, Layout::ColMajor).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn paper_example_row_major() {
+        // Table 1: LA 6 in a 4-wide array → row 1, col 2.
+        let s = ArrayShape::new(4, 4);
+        assert_eq!(s.to_row_col(6, Layout::RowMajor).unwrap(), (1, 2));
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(ArrayShape::new(2, 2).row_bits(), 1);
+        assert_eq!(ArrayShape::new(4, 4).row_bits(), 2);
+        assert_eq!(ArrayShape::new(5, 5).row_bits(), 3);
+        assert_eq!(ArrayShape::new(256, 256).col_bits(), 8);
+        assert_eq!(ArrayShape::new(1, 1).row_bits(), 1);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let s = ArrayShape::new(2, 2);
+        assert!(s.to_row_col(4, Layout::RowMajor).is_err());
+        assert!(s.to_linear(2, 0, Layout::RowMajor).is_err());
+        assert!(s.to_linear(0, 2, Layout::RowMajor).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_dimension_panics() {
+        let _ = ArrayShape::new(0, 4);
+    }
+}

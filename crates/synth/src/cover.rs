@@ -1,0 +1,414 @@
+//! Covers: sums of products, with the classic unate-recursive
+//! paradigm operations (tautology, containment, complement).
+
+use crate::cube::{Cube, Tri};
+
+/// A sum-of-products representation of a Boolean function over a
+/// fixed number of input variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    num_inputs: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// The empty cover (constant 0) over `n` inputs.
+    pub fn empty(n: usize) -> Self {
+        Cover {
+            num_inputs: n,
+            cubes: Vec::new(),
+        }
+    }
+
+    /// The universal cover (constant 1) over `n` inputs.
+    pub fn one(n: usize) -> Self {
+        Cover {
+            num_inputs: n,
+            cubes: vec![Cube::full(n)],
+        }
+    }
+
+    /// Builds a cover from cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cube has a different variable count than `n`.
+    pub fn from_cubes(n: usize, cubes: Vec<Cube>) -> Self {
+        assert!(
+            cubes.iter().all(|c| c.num_vars() == n),
+            "cube arity mismatch"
+        );
+        Cover {
+            num_inputs: n,
+            cubes,
+        }
+    }
+
+    /// Builds a cover containing exactly the given minterms.
+    pub fn from_minterms(n: usize, minterms: &[u64]) -> Self {
+        Cover {
+            num_inputs: n,
+            cubes: minterms
+                .iter()
+                .map(|&m| Cube::from_minterm(n, m))
+                .collect(),
+        }
+    }
+
+    /// Number of input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of cubes.
+    pub fn num_cubes(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Total literal count over all cubes (a standard cost metric).
+    pub fn num_literals(&self) -> usize {
+        self.cubes.iter().map(Cube::num_literals).sum()
+    }
+
+    /// The cubes.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Whether the cover is constant 0.
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Adds a cube.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.num_vars(), self.num_inputs, "cube arity mismatch");
+        self.cubes.push(cube);
+    }
+
+    /// Evaluates the function at `minterm`.
+    pub fn eval(&self, minterm: u64) -> bool {
+        self.cubes.iter().any(|c| c.contains_minterm(minterm))
+    }
+
+    /// Union of two covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn union(&self, other: &Cover) -> Cover {
+        assert_eq!(self.num_inputs, other.num_inputs, "cover arity mismatch");
+        let mut cubes = self.cubes.clone();
+        cubes.extend(other.cubes.iter().cloned());
+        Cover {
+            num_inputs: self.num_inputs,
+            cubes,
+        }
+    }
+
+    /// Cofactor of the cover with respect to `var = value`.
+    pub fn cofactor(&self, var: usize, value: bool) -> Cover {
+        Cover {
+            num_inputs: self.num_inputs,
+            cubes: self
+                .cubes
+                .iter()
+                .filter_map(|c| c.cofactor(var, value))
+                .collect(),
+        }
+    }
+
+    /// Cofactor with respect to an entire cube (the Shannon cofactor
+    /// used by cube-containment checks).
+    pub fn cofactor_cube(&self, cube: &Cube) -> Cover {
+        let mut cubes = Vec::new();
+        'outer: for c in &self.cubes {
+            if !c.intersects(cube) {
+                continue;
+            }
+            let mut r = c.clone();
+            for v in 0..self.num_inputs {
+                match cube.get(v) {
+                    Tri::DontCare => {}
+                    val => {
+                        let want = val == Tri::One;
+                        match r.cofactor(v, want) {
+                            Some(c2) => r = c2,
+                            None => continue 'outer,
+                        }
+                    }
+                }
+            }
+            cubes.push(r);
+        }
+        Cover {
+            num_inputs: self.num_inputs,
+            cubes,
+        }
+    }
+
+    /// Whether the cover is a tautology (constant 1), decided by unate
+    /// recursion.
+    pub fn is_tautology(&self) -> bool {
+        // Fast exits.
+        if self.cubes.iter().any(|c| c.num_literals() == 0) {
+            return true;
+        }
+        if self.cubes.is_empty() {
+            return false;
+        }
+        // Unate reduction: a cover unate in some variable is a
+        // tautology iff the sub-cover of cubes free in that variable
+        // is; here we use the simpler binate-select recursion, which
+        // is correct for all covers.
+        match self.most_binate_var() {
+            Some(var) => {
+                self.cofactor(var, false).is_tautology()
+                    && self.cofactor(var, true).is_tautology()
+            }
+            None => {
+                // Unate in every variable: tautology iff some cube is
+                // full, which we already checked.
+                false
+            }
+        }
+    }
+
+    /// Whether `cube` is entirely contained in this cover.
+    pub fn covers_cube(&self, cube: &Cube) -> bool {
+        self.cofactor_cube(cube).is_tautology()
+    }
+
+    /// Whether this cover covers every minterm `other` covers.
+    pub fn covers_cover(&self, other: &Cover) -> bool {
+        other.cubes.iter().all(|c| self.covers_cube(c))
+    }
+
+    /// Whether the two covers denote the same function.
+    pub fn equivalent(&self, other: &Cover) -> bool {
+        self.covers_cover(other) && other.covers_cover(self)
+    }
+
+    /// The complement of the cover, computed by Shannon expansion.
+    pub fn complement(&self) -> Cover {
+        let n = self.num_inputs;
+        // Terminal cases.
+        if self.cubes.is_empty() {
+            return Cover::one(n);
+        }
+        if self.cubes.iter().any(|c| c.num_literals() == 0) {
+            return Cover::empty(n);
+        }
+        if self.cubes.len() == 1 {
+            // De Morgan on a single cube.
+            let c = &self.cubes[0];
+            let mut out = Vec::new();
+            for v in 0..n {
+                match c.get(v) {
+                    Tri::DontCare => {}
+                    lit => {
+                        let mut k = Cube::full(n);
+                        k.set(
+                            v,
+                            if lit == Tri::One {
+                                Tri::Zero
+                            } else {
+                                Tri::One
+                            },
+                        );
+                        out.push(k);
+                    }
+                }
+            }
+            return Cover::from_cubes(n, out);
+        }
+        let var = self
+            .most_binate_var()
+            .unwrap_or_else(|| self.first_used_var());
+        let f0 = self.cofactor(var, false).complement();
+        let f1 = self.cofactor(var, true).complement();
+        let mut cubes = Vec::with_capacity(f0.cubes.len() + f1.cubes.len());
+        for mut c in f0.cubes {
+            c.set(var, Tri::Zero);
+            cubes.push(c);
+        }
+        for mut c in f1.cubes {
+            c.set(var, Tri::One);
+            cubes.push(c);
+        }
+        let mut out = Cover {
+            num_inputs: n,
+            cubes,
+        };
+        out.remove_single_cube_containment();
+        out
+    }
+
+    /// Removes cubes covered by another single cube of the cover (a
+    /// cheap but effective redundancy filter).
+    pub fn remove_single_cube_containment(&mut self) {
+        let mut keep = vec![true; self.cubes.len()];
+        for i in 0..self.cubes.len() {
+            if !keep[i] {
+                continue;
+            }
+            for j in 0..self.cubes.len() {
+                if i != j && keep[j] && keep[i] && self.cubes[j].covers(&self.cubes[i]) {
+                    // Prefer keeping the larger cube j; break ties by
+                    // keeping the earlier one.
+                    if self.cubes[i].covers(&self.cubes[j]) && i < j {
+                        keep[j] = false;
+                    } else {
+                        keep[i] = false;
+                    }
+                }
+            }
+        }
+        let mut it = keep.iter();
+        self.cubes.retain(|_| *it.next().expect("keep mask"));
+    }
+
+    /// The variable appearing both complemented and uncomplemented in
+    /// the most cubes, or `None` if the cover is unate.
+    fn most_binate_var(&self) -> Option<usize> {
+        let n = self.num_inputs;
+        let mut pos = vec![0usize; n];
+        let mut neg = vec![0usize; n];
+        for c in &self.cubes {
+            for v in 0..n {
+                match c.get(v) {
+                    Tri::One => pos[v] += 1,
+                    Tri::Zero => neg[v] += 1,
+                    Tri::DontCare => {}
+                }
+            }
+        }
+        (0..n)
+            .filter(|&v| pos[v] > 0 && neg[v] > 0)
+            .max_by_key(|&v| pos[v] + neg[v])
+    }
+
+    fn first_used_var(&self) -> usize {
+        for v in 0..self.num_inputs {
+            if self
+                .cubes
+                .iter()
+                .any(|c| c.get(v) != Tri::DontCare)
+            {
+                return v;
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor2() -> Cover {
+        Cover::from_minterms(2, &[0b01, 0b10])
+    }
+
+    #[test]
+    fn eval_matches_minterms() {
+        let f = xor2();
+        assert!(!f.eval(0b00));
+        assert!(f.eval(0b01));
+        assert!(f.eval(0b10));
+        assert!(!f.eval(0b11));
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(Cover::one(3).is_tautology());
+        assert!(!Cover::empty(3).is_tautology());
+        assert!(!xor2().is_tautology());
+        // x + !x is a tautology.
+        let f = Cover::from_cubes(
+            1,
+            vec![
+                Cube::from_lits(vec![Tri::One]),
+                Cube::from_lits(vec![Tri::Zero]),
+            ],
+        );
+        assert!(f.is_tautology());
+    }
+
+    #[test]
+    fn full_minterm_cover_is_tautology() {
+        let f = Cover::from_minterms(3, &(0..8).collect::<Vec<u64>>());
+        assert!(f.is_tautology());
+        let g = Cover::from_minterms(3, &(0..7).collect::<Vec<u64>>());
+        assert!(!g.is_tautology());
+    }
+
+    #[test]
+    fn complement_is_exact_on_random_functions() {
+        // Deterministic pseudo-random functions over 5 vars.
+        let mut seed = 0x12345678u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for _ in 0..20 {
+            let minterms: Vec<u64> = (0..32).filter(|_| next() % 2 == 0).collect();
+            let f = Cover::from_minterms(5, &minterms);
+            let fc = f.complement();
+            for m in 0..32 {
+                assert_eq!(fc.eval(m), !f.eval(m), "minterm {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_of_constants() {
+        assert!(Cover::empty(4).complement().is_tautology());
+        assert!(Cover::one(4).complement().is_empty());
+    }
+
+    #[test]
+    fn covers_cube_checks() {
+        let f = Cover::from_minterms(2, &[0b00, 0b01]); // !x1
+        let c = Cube::from_lits(vec![Tri::DontCare, Tri::Zero]); // !x1
+        assert!(f.covers_cube(&c));
+        let d = Cube::full(2);
+        assert!(!f.covers_cube(&d));
+    }
+
+    #[test]
+    fn equivalence() {
+        let f = Cover::from_minterms(2, &[0b10, 0b11]);
+        let g = Cover::from_cubes(2, vec![Cube::from_lits(vec![Tri::DontCare, Tri::One])]);
+        assert!(f.equivalent(&g));
+        assert!(!f.equivalent(&xor2()));
+    }
+
+    #[test]
+    fn single_cube_containment_removal() {
+        let mut f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_lits(vec![Tri::One, Tri::DontCare]),
+                Cube::from_minterm(2, 0b01),
+                Cube::from_minterm(2, 0b10),
+            ],
+        );
+        f.remove_single_cube_containment();
+        assert_eq!(f.num_cubes(), 2);
+    }
+
+    #[test]
+    fn cofactor_cube_drops_conflicting() {
+        let f = xor2();
+        let c = Cube::from_lits(vec![Tri::One, Tri::DontCare]); // x0
+        let cf = f.cofactor_cube(&c);
+        // f | x0=1 = !x1 → single cube not mentioning x0.
+        assert!(cf.eval(0b00));
+        assert!(!cf.eval(0b10));
+    }
+}

@@ -1,0 +1,203 @@
+//! Cubes: product terms over a fixed set of Boolean variables.
+
+use std::fmt;
+
+/// Value of one variable within a [`Cube`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tri {
+    /// The variable appears complemented (must be 0).
+    Zero,
+    /// The variable appears uncomplemented (must be 1).
+    One,
+    /// The variable does not appear (don't care).
+    DontCare,
+}
+
+/// A product term (cube) over `n` variables.
+///
+/// Variable `i` corresponds to bit `i` of a minterm index (bit 0 is the
+/// least significant).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    lits: Vec<Tri>,
+}
+
+impl Cube {
+    /// The universal cube (all don't-cares) over `n` variables.
+    pub fn full(n: usize) -> Self {
+        Cube {
+            lits: vec![Tri::DontCare; n],
+        }
+    }
+
+    /// The cube matching exactly one minterm. Bit `i` of `minterm`
+    /// gives variable `i`'s value.
+    pub fn from_minterm(n: usize, minterm: u64) -> Self {
+        let lits = (0..n)
+            .map(|i| {
+                if (minterm >> i) & 1 == 1 {
+                    Tri::One
+                } else {
+                    Tri::Zero
+                }
+            })
+            .collect();
+        Cube { lits }
+    }
+
+    /// Builds a cube from explicit literals.
+    pub fn from_lits(lits: Vec<Tri>) -> Self {
+        Cube { lits }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// The literal of variable `var`.
+    pub fn get(&self, var: usize) -> Tri {
+        self.lits[var]
+    }
+
+    /// Sets the literal of variable `var`.
+    pub fn set(&mut self, var: usize, value: Tri) {
+        self.lits[var] = value;
+    }
+
+    /// Number of non-don't-care literals.
+    pub fn num_literals(&self) -> usize {
+        self.lits.iter().filter(|&&l| l != Tri::DontCare).count()
+    }
+
+    /// Whether the cube contains the given minterm.
+    pub fn contains_minterm(&self, minterm: u64) -> bool {
+        self.lits.iter().enumerate().all(|(i, &l)| match l {
+            Tri::DontCare => true,
+            Tri::One => (minterm >> i) & 1 == 1,
+            Tri::Zero => (minterm >> i) & 1 == 0,
+        })
+    }
+
+    /// Whether `self` covers `other` (every minterm of `other` is in
+    /// `self`).
+    pub fn covers(&self, other: &Cube) -> bool {
+        debug_assert_eq!(self.num_vars(), other.num_vars());
+        self.lits
+            .iter()
+            .zip(&other.lits)
+            .all(|(&s, &o)| s == Tri::DontCare || s == o)
+    }
+
+    /// The intersection of two cubes, or `None` if they are disjoint.
+    pub fn intersect(&self, other: &Cube) -> Option<Cube> {
+        debug_assert_eq!(self.num_vars(), other.num_vars());
+        let mut lits = Vec::with_capacity(self.lits.len());
+        for (&s, &o) in self.lits.iter().zip(&other.lits) {
+            let m = match (s, o) {
+                (Tri::DontCare, x) | (x, Tri::DontCare) => x,
+                (a, b) if a == b => a,
+                _ => return None,
+            };
+            lits.push(m);
+        }
+        Some(Cube { lits })
+    }
+
+    /// Whether the cubes share at least one minterm.
+    pub fn intersects(&self, other: &Cube) -> bool {
+        self.lits
+            .iter()
+            .zip(&other.lits)
+            .all(|(&s, &o)| s == Tri::DontCare || o == Tri::DontCare || s == o)
+    }
+
+    /// Cofactor with respect to `var = value`: `None` if the cube
+    /// requires the opposite value, otherwise the cube with `var`
+    /// freed.
+    pub fn cofactor(&self, var: usize, value: bool) -> Option<Cube> {
+        match (self.lits[var], value) {
+            (Tri::One, false) | (Tri::Zero, true) => None,
+            _ => {
+                let mut c = self.clone();
+                c.lits[var] = Tri::DontCare;
+                Some(c)
+            }
+        }
+    }
+
+    /// Number of minterms the cube contains (`2^(free vars)`).
+    pub fn size(&self) -> u64 {
+        1u64 << (self.num_vars() - self.num_literals())
+    }
+}
+
+impl fmt::Display for Cube {
+    /// PLA-style text, most significant variable first: `1-0` means
+    /// `x2·x̄0` over three variables.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &l in self.lits.iter().rev() {
+            let c = match l {
+                Tri::Zero => '0',
+                Tri::One => '1',
+                Tri::DontCare => '-',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minterm_membership() {
+        let c = Cube::from_minterm(3, 0b101);
+        assert!(c.contains_minterm(0b101));
+        assert!(!c.contains_minterm(0b100));
+        assert_eq!(c.num_literals(), 3);
+        assert_eq!(c.size(), 1);
+    }
+
+    #[test]
+    fn full_cube_contains_everything() {
+        let c = Cube::full(4);
+        for m in 0..16 {
+            assert!(c.contains_minterm(m));
+        }
+        assert_eq!(c.size(), 16);
+        assert_eq!(c.num_literals(), 0);
+    }
+
+    #[test]
+    fn covers_and_intersection() {
+        let a = Cube::from_lits(vec![Tri::One, Tri::DontCare]); // x0
+        let b = Cube::from_minterm(2, 0b01); // x0 & !x1
+        assert!(a.covers(&b));
+        assert!(!b.covers(&a));
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersect(&b).unwrap(), b);
+        let c = Cube::from_lits(vec![Tri::Zero, Tri::DontCare]); // !x0
+        assert!(!a.intersects(&c));
+        assert!(a.intersect(&c).is_none());
+    }
+
+    #[test]
+    fn cofactoring() {
+        let c = Cube::from_lits(vec![Tri::One, Tri::Zero, Tri::DontCare]);
+        assert!(c.cofactor(0, false).is_none());
+        let cf = c.cofactor(0, true).unwrap();
+        assert_eq!(cf.get(0), Tri::DontCare);
+        assert_eq!(cf.get(1), Tri::Zero);
+        let cf2 = c.cofactor(2, true).unwrap();
+        assert_eq!(cf2.get(2), Tri::DontCare);
+    }
+
+    #[test]
+    fn display_is_pla_order() {
+        let c = Cube::from_lits(vec![Tri::Zero, Tri::DontCare, Tri::One]); // x2 & !x0
+        assert_eq!(c.to_string(), "1-0");
+    }
+}

@@ -1,0 +1,145 @@
+//! State encodings for FSM synthesis.
+//!
+//! The paper's §3 compares a *binary encoded* symbolic state machine
+//! to a shift-register (one-hot-per-dimension) structure; Gray and
+//! one-hot codes are provided for completeness and for the encoding
+//! ablation experiments.
+
+/// A state-assignment strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Encoding {
+    /// Natural binary code, `⌈log₂ N⌉` bits (the paper's choice for
+    /// the symbolic FSM).
+    #[default]
+    Binary,
+    /// Gray code, `⌈log₂ N⌉` bits, single-bit transitions for
+    /// sequentially numbered states.
+    Gray,
+    /// One bit per state, exactly one hot.
+    OneHot,
+}
+
+impl Encoding {
+    /// Number of state bits needed for `num_states` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_states` is zero.
+    pub fn num_bits(self, num_states: usize) -> usize {
+        assert!(num_states > 0, "state space must be nonempty");
+        match self {
+            Encoding::Binary | Encoding::Gray => {
+                if num_states <= 2 {
+                    1
+                } else {
+                    (usize::BITS - (num_states - 1).leading_zeros()) as usize
+                }
+            }
+            Encoding::OneHot => num_states,
+        }
+    }
+
+    /// The code word for `state` (bit `i` of the result is state bit
+    /// `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= num_states` or (for one-hot) the code does
+    /// not fit in a `u64`.
+    pub fn code(self, state: usize, num_states: usize) -> u64 {
+        assert!(state < num_states, "state out of range");
+        match self {
+            Encoding::Binary => state as u64,
+            Encoding::Gray => (state ^ (state >> 1)) as u64,
+            Encoding::OneHot => {
+                assert!(num_states <= 64, "one-hot code exceeds 64 bits");
+                1u64 << state
+            }
+        }
+    }
+
+    /// Decodes a code word back to the state index, or `None` if the
+    /// word is not a valid code for this encoding.
+    pub fn decode(self, code: u64, num_states: usize) -> Option<usize> {
+        match self {
+            Encoding::Binary => {
+                let s = code as usize;
+                (s < num_states).then_some(s)
+            }
+            Encoding::Gray => {
+                let mut s = code;
+                let mut shift = 1;
+                while (code >> shift) != 0 {
+                    s ^= code >> shift;
+                    shift += 1;
+                }
+                let s = s as usize;
+                (s < num_states).then_some(s)
+            }
+            Encoding::OneHot => {
+                if code.count_ones() != 1 {
+                    return None;
+                }
+                let s = code.trailing_zeros() as usize;
+                (s < num_states).then_some(s)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(Encoding::Binary.num_bits(1), 1);
+        assert_eq!(Encoding::Binary.num_bits(2), 1);
+        assert_eq!(Encoding::Binary.num_bits(3), 2);
+        assert_eq!(Encoding::Binary.num_bits(256), 8);
+        assert_eq!(Encoding::Gray.num_bits(5), 3);
+        assert_eq!(Encoding::OneHot.num_bits(7), 7);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        for s in 0..16 {
+            let c = Encoding::Binary.code(s, 16);
+            assert_eq!(Encoding::Binary.decode(c, 16), Some(s));
+        }
+    }
+
+    #[test]
+    fn gray_adjacent_codes_differ_by_one_bit() {
+        for s in 0..15usize {
+            let a = Encoding::Gray.code(s, 16);
+            let b = Encoding::Gray.code(s + 1, 16);
+            assert_eq!((a ^ b).count_ones(), 1, "states {s},{}", s + 1);
+        }
+    }
+
+    #[test]
+    fn gray_round_trip() {
+        for s in 0..32 {
+            let c = Encoding::Gray.code(s, 32);
+            assert_eq!(Encoding::Gray.decode(c, 32), Some(s));
+        }
+    }
+
+    #[test]
+    fn one_hot_round_trip_and_rejects_multi_hot() {
+        for s in 0..8 {
+            let c = Encoding::OneHot.code(s, 8);
+            assert_eq!(c.count_ones(), 1);
+            assert_eq!(Encoding::OneHot.decode(c, 8), Some(s));
+        }
+        assert_eq!(Encoding::OneHot.decode(0b11, 8), None);
+        assert_eq!(Encoding::OneHot.decode(0, 8), None);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        assert_eq!(Encoding::Binary.decode(9, 8), None);
+        assert_eq!(Encoding::OneHot.decode(1 << 9, 8), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! An Espresso-style heuristic two-level minimizer.
+//!
+//! The classic loop: EXPAND cubes against the off-set, drop REDUNDANT
+//! cubes against the rest of the cover plus the don't-care set, REDUCE
+//! cubes to give EXPAND new room, and iterate while the cost improves.
+//! This is the workhorse behind the paper's "symbolic state machine"
+//! synthesis path (§3), where a logic optimizer is handed the raw
+//! next-state and output functions of an N-state FSM.
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Tri};
+
+/// Minimizes `on` under don't-care set `dc`.
+///
+/// The result covers every on-set minterm, no off-set minterm, and is
+/// irredundant. Cost is measured as `(cubes, literals)`.
+///
+/// # Panics
+///
+/// Panics if `on` and `dc` have different arities.
+pub fn minimize(on: Cover, dc: Cover) -> Cover {
+    assert_eq!(on.num_inputs(), dc.num_inputs(), "arity mismatch");
+    if on.is_empty() {
+        return on;
+    }
+    let off = on.union(&dc).complement();
+    let mut current = {
+        let mut c = on;
+        c.remove_single_cube_containment();
+        c
+    };
+    let mut best_cost = (usize::MAX, usize::MAX);
+    loop {
+        let expanded = expand(&current, &off);
+        let irr = irredundant(&expanded, &dc);
+        let cost = (irr.num_cubes(), irr.num_literals());
+        if cost >= best_cost {
+            return irr;
+        }
+        best_cost = cost;
+        let reduced = reduce(&irr, &dc);
+        current = reduced;
+    }
+}
+
+/// EXPAND: greedily frees literals of each cube while the cube stays
+/// disjoint from the off-set, then removes single-cube containments.
+fn expand(cover: &Cover, off: &Cover) -> Cover {
+    let n = cover.num_inputs();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    for cube in &mut cubes {
+        // Try to free literals in order of how many off-set cubes
+        // block them (fewest blockers first — a cheap proxy for the
+        // weight heuristics of full Espresso).
+        let mut vars: Vec<usize> = (0..n).filter(|&v| cube.get(v) != Tri::DontCare).collect();
+        vars.sort_by_key(|&v| {
+            let mut trial = cube.clone();
+            trial.set(v, Tri::DontCare);
+            off.cubes().iter().filter(|o| o.intersects(&trial)).count()
+        });
+        for v in vars {
+            let mut trial = cube.clone();
+            trial.set(v, Tri::DontCare);
+            if !off.cubes().iter().any(|o| o.intersects(&trial)) {
+                *cube = trial;
+            }
+        }
+    }
+    let mut out = Cover::from_cubes(n, cubes);
+    out.remove_single_cube_containment();
+    out
+}
+
+/// IRREDUNDANT: removes cubes covered by the remaining cover plus the
+/// don't-care set.
+fn irredundant(cover: &Cover, dc: &Cover) -> Cover {
+    let n = cover.num_inputs();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    let mut i = 0;
+    while i < cubes.len() {
+        let candidate = cubes[i].clone();
+        let rest: Vec<Cube> = cubes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let rest_cover = Cover::from_cubes(n, rest).union(dc);
+        if rest_cover.covers_cube(&candidate) {
+            cubes.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Cover::from_cubes(n, cubes)
+}
+
+/// REDUCE: shrinks each cube to the smallest cube still needed given
+/// the rest of the cover and the don't-care set, creating room for the
+/// next EXPAND to move in a different direction.
+fn reduce(cover: &Cover, dc: &Cover) -> Cover {
+    let n = cover.num_inputs();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    for i in 0..cubes.len() {
+        let rest: Vec<Cube> = cubes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let rest_cover = Cover::from_cubes(n, rest).union(dc);
+        // Try to specialize each free variable; keep the
+        // specialization if the discarded half is already covered.
+        let mut cube = cubes[i].clone();
+        for v in 0..n {
+            if cube.get(v) != Tri::DontCare {
+                continue;
+            }
+            for (keep, drop) in [(Tri::One, Tri::Zero), (Tri::Zero, Tri::One)] {
+                let mut dropped = cube.clone();
+                dropped.set(v, drop);
+                if rest_cover.covers_cube(&dropped) {
+                    cube.set(v, keep);
+                    break;
+                }
+            }
+        }
+        cubes[i] = cube;
+    }
+    Cover::from_cubes(n, cubes)
+}
+
+/// Verifies that `result` is a correct minimization of `on` with
+/// don't-cares `dc`: it covers all of `on` and nothing of the off-set.
+/// Exposed for tests and debugging.
+pub fn is_correct(result: &Cover, on: &Cover, dc: &Cover) -> bool {
+    let care_target = on.union(dc);
+    // result must cover on-set…
+    if !result.covers_cover(on) {
+        return false;
+    }
+    // …and stay within on ∪ dc.
+    care_target.covers_cover(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_functions() {
+        assert!(minimize(Cover::empty(3), Cover::empty(3)).is_empty());
+        let one = minimize(Cover::one(3), Cover::empty(3));
+        assert_eq!(one.num_cubes(), 1);
+        assert_eq!(one.num_literals(), 0);
+    }
+
+    #[test]
+    fn merges_adjacent_minterms() {
+        // f = Σ(2,3) over 2 vars = x1.
+        let on = Cover::from_minterms(2, &[0b10, 0b11]);
+        let m = minimize(on.clone(), Cover::empty(2));
+        assert_eq!(m.num_cubes(), 1);
+        assert_eq!(m.num_literals(), 1);
+        assert!(is_correct(&m, &on, &Cover::empty(2)));
+    }
+
+    #[test]
+    fn xor_stays_two_cubes() {
+        let on = Cover::from_minterms(2, &[0b01, 0b10]);
+        let m = minimize(on.clone(), Cover::empty(2));
+        assert_eq!(m.num_cubes(), 2);
+        assert!(is_correct(&m, &on, &Cover::empty(2)));
+    }
+
+    #[test]
+    fn uses_dont_cares() {
+        // on = {1}, dc = {3} over 2 vars → can expand to x0.
+        let on = Cover::from_minterms(2, &[0b01]);
+        let dc = Cover::from_minterms(2, &[0b11]);
+        let m = minimize(on.clone(), dc.clone());
+        assert_eq!(m.num_cubes(), 1);
+        assert_eq!(m.num_literals(), 1);
+        assert!(is_correct(&m, &on, &dc));
+    }
+
+    #[test]
+    fn full_truth_table_collapses_to_one() {
+        let on = Cover::from_minterms(4, &(0..16).collect::<Vec<u64>>());
+        let m = minimize(on, Cover::empty(4));
+        assert_eq!(m.num_cubes(), 1);
+        assert_eq!(m.num_literals(), 0);
+    }
+
+    #[test]
+    fn random_functions_are_minimized_correctly() {
+        let mut seed = 0xdeadbeefu64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for trial in 0..25 {
+            let n = 3 + (trial % 3) as usize; // 3..=5 vars
+            let space = 1u64 << n;
+            let on_minterms: Vec<u64> = (0..space).filter(|_| next() % 3 == 0).collect();
+            let dc_minterms: Vec<u64> = (0..space)
+                .filter(|m| !on_minterms.contains(m) && next() % 4 == 0)
+                .collect();
+            let on = Cover::from_minterms(n, &on_minterms);
+            let dc = Cover::from_minterms(n, &dc_minterms);
+            let m = minimize(on.clone(), dc.clone());
+            assert!(is_correct(&m, &on, &dc), "trial {trial}");
+            // Behaviour on care minterms is preserved.
+            for mt in 0..space {
+                if dc_minterms.contains(&mt) {
+                    continue;
+                }
+                assert_eq!(m.eval(mt), on.eval(mt), "trial {trial} minterm {mt}");
+            }
+            // And never more cubes than the input.
+            assert!(m.num_cubes() <= on.num_cubes().max(1));
+        }
+    }
+
+    #[test]
+    fn large_dont_care_sets_enable_deep_expansion() {
+        // on = one minterm, dc = everything else except one off
+        // minterm that blocks a specific literal: the minimizer must
+        // expand to a single-literal cube.
+        let n = 5;
+        let on = Cover::from_minterms(n, &[0b00001]);
+        let off_minterm = 0b00000u64; // differs only in bit 0
+        let dc_minterms: Vec<u64> = (0..(1u64 << n))
+            .filter(|&m| m != 0b00001 && m != off_minterm)
+            .collect();
+        let dc = Cover::from_minterms(n, &dc_minterms);
+        let m = minimize(on.clone(), dc.clone());
+        assert!(is_correct(&m, &on, &dc));
+        assert_eq!(m.num_cubes(), 1);
+        assert_eq!(m.num_literals(), 1, "only x0 separates on from off");
+    }
+
+    #[test]
+    fn dc_only_function_minimizes_to_nothing_or_anything_valid() {
+        // An on-set fully inside the dc-set may collapse arbitrarily,
+        // but must stay within on ∪ dc.
+        let on = Cover::from_minterms(3, &[2]);
+        let dc = Cover::from_minterms(3, &[0, 1, 3, 4, 5, 6, 7]);
+        let m = minimize(on.clone(), dc.clone());
+        assert!(is_correct(&m, &on, &dc));
+    }
+
+    #[test]
+    fn never_worse_than_input_cost() {
+        let on = Cover::from_minterms(4, &[0, 1, 2, 3, 8, 9, 10, 11]);
+        let m = minimize(on.clone(), Cover::empty(4));
+        // Σ(0..4)∪Σ(8..12) = !x2 — one cube, one literal.
+        assert_eq!(m.num_cubes(), 1);
+        assert_eq!(m.num_literals(), 1);
+    }
+}

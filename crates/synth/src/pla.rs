@@ -1,0 +1,248 @@
+//! Berkeley PLA format reader/writer — the lingua franca of two-level
+//! logic tools, so covers can be exchanged with the original
+//! `espresso` and friends.
+//!
+//! Supported subset: `.i`, `.o` (single output), `.p` (optional),
+//! `.e`/`.end`, comment lines (`#`), cube lines of the form
+//! `<input-plane> <output>` where the input plane uses `0`, `1`, `-`
+//! and the output is `1` (on-set), `-`/`2` (don't-care set) or `0`
+//! (off-set, ignored on read as espresso does for type `fd`).
+//!
+//! Input-plane character order follows the file convention: the
+//! *first* character is the most significant variable, matching
+//! [`Cube`]'s `Display`.
+
+use std::fmt::Write as _;
+
+use crate::cover::Cover;
+use crate::cube::{Cube, Tri};
+use crate::error::SynthError;
+
+/// A parsed single-output PLA: on-set and don't-care covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pla {
+    /// The on-set.
+    pub on: Cover,
+    /// The don't-care set.
+    pub dc: Cover,
+}
+
+/// Serializes an on-set/don't-care pair as a single-output PLA file.
+pub fn to_pla(on: &Cover, dc: &Cover) -> String {
+    let n = on.num_inputs();
+    let mut s = String::new();
+    let _ = writeln!(s, ".i {n}");
+    let _ = writeln!(s, ".o 1");
+    let _ = writeln!(s, ".p {}", on.num_cubes() + dc.num_cubes());
+    for c in on.cubes() {
+        let _ = writeln!(s, "{c} 1");
+    }
+    for c in dc.cubes() {
+        let _ = writeln!(s, "{c} -");
+    }
+    s.push_str(".e\n");
+    s
+}
+
+/// Parses a single-output PLA file.
+///
+/// # Errors
+///
+/// Returns [`SynthError::ParsePla`] with the offending line number
+/// for malformed headers, wrong plane widths, unsupported multiple
+/// outputs or illegal characters.
+pub fn parse_pla(text: &str) -> Result<Pla, SynthError> {
+    let mut num_inputs: Option<usize> = None;
+    let mut on_cubes = Vec::new();
+    let mut dc_cubes = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".i ") {
+            let n = rest.trim().parse::<usize>().map_err(|e| SynthError::ParsePla {
+                line: line_no,
+                reason: format!("bad .i count: {e}"),
+            })?;
+            num_inputs = Some(n);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".o ") {
+            let o = rest.trim().parse::<usize>().map_err(|e| SynthError::ParsePla {
+                line: line_no,
+                reason: format!("bad .o count: {e}"),
+            })?;
+            if o != 1 {
+                return Err(SynthError::ParsePla {
+                    line: line_no,
+                    reason: format!("only single-output PLAs are supported, got {o}"),
+                });
+            }
+            continue;
+        }
+        if line.starts_with(".p")
+            || line.starts_with(".ilb")
+            || line.starts_with(".ob")
+            || line.starts_with(".type")
+        {
+            continue; // informational
+        }
+        if line == ".e" || line == ".end" {
+            break;
+        }
+        if line.starts_with('.') {
+            return Err(SynthError::ParsePla {
+                line: line_no,
+                reason: format!("unsupported directive `{line}`"),
+            });
+        }
+        // Cube line.
+        let n = num_inputs.ok_or(SynthError::ParsePla {
+            line: line_no,
+            reason: "cube before .i declaration".to_string(),
+        })?;
+        let mut parts = line.split_whitespace();
+        let plane = parts.next().ok_or(SynthError::ParsePla {
+            line: line_no,
+            reason: "missing input plane".to_string(),
+        })?;
+        let output = parts.next().ok_or(SynthError::ParsePla {
+            line: line_no,
+            reason: "missing output value".to_string(),
+        })?;
+        if parts.next().is_some() {
+            return Err(SynthError::ParsePla {
+                line: line_no,
+                reason: "trailing fields (multi-output?)".to_string(),
+            });
+        }
+        if plane.len() != n {
+            return Err(SynthError::ParsePla {
+                line: line_no,
+                reason: format!("plane has {} columns, .i says {n}", plane.len()),
+            });
+        }
+        // File order is MSB first; Cube variable 0 is the LSB.
+        let mut lits = vec![Tri::DontCare; n];
+        for (pos, ch) in plane.chars().enumerate() {
+            let var = n - 1 - pos;
+            lits[var] = match ch {
+                '0' => Tri::Zero,
+                '1' => Tri::One,
+                '-' | '2' => Tri::DontCare,
+                other => {
+                    return Err(SynthError::ParsePla {
+                        line: line_no,
+                        reason: format!("illegal plane character `{other}`"),
+                    });
+                }
+            };
+        }
+        let cube = Cube::from_lits(lits);
+        match output {
+            "1" => on_cubes.push(cube),
+            "-" | "2" | "~" => dc_cubes.push(cube),
+            "0" => {} // explicit off-set entry: ignored, as in type fd
+            other => {
+                return Err(SynthError::ParsePla {
+                    line: line_no,
+                    reason: format!("illegal output value `{other}`"),
+                });
+            }
+        }
+    }
+    let n = num_inputs.ok_or(SynthError::ParsePla {
+        line: 0,
+        reason: "missing .i declaration".to_string(),
+    })?;
+    Ok(Pla {
+        on: Cover::from_cubes(n, on_cubes),
+        dc: Cover::from_cubes(n, dc_cubes),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::espresso;
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let on = Cover::from_minterms(3, &[1, 3, 6]);
+        let dc = Cover::from_minterms(3, &[7]);
+        let text = to_pla(&on, &dc);
+        let parsed = parse_pla(&text).unwrap();
+        for m in 0..8 {
+            assert_eq!(parsed.on.eval(m), on.eval(m), "on minterm {m}");
+            assert_eq!(parsed.dc.eval(m), dc.eval(m), "dc minterm {m}");
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_pla() {
+        let text = "\
+# a majority gate
+.i 3
+.o 1
+.p 3
+11- 1
+1-1 1
+-11 1
+.e
+";
+        let pla = parse_pla(text).unwrap();
+        assert_eq!(pla.on.num_cubes(), 3);
+        // majority(a,b,c): file columns are x2 x1 x0.
+        for m in 0u64..8 {
+            let bits = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+            assert_eq!(pla.on.eval(m), bits >= 2, "minterm {m}");
+        }
+    }
+
+    #[test]
+    fn msb_first_column_order() {
+        // Plane `10` means x1=1, x0=0 → minterm 2 only.
+        let pla = parse_pla(".i 2\n.o 1\n10 1\n.e\n").unwrap();
+        assert!(pla.on.eval(0b10));
+        assert!(!pla.on.eval(0b01));
+    }
+
+    #[test]
+    fn off_set_lines_are_ignored() {
+        let pla = parse_pla(".i 1\n.o 1\n1 1\n0 0\n.e\n").unwrap();
+        assert_eq!(pla.on.num_cubes(), 1);
+        assert!(pla.dc.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_pla(".i 2\n.o 1\n1-X 1\n").unwrap_err();
+        match err {
+            SynthError::ParsePla { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("columns") || reason.contains("illegal"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            parse_pla(".i 2\n.o 3\n"),
+            Err(SynthError::ParsePla { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_pla("11 1\n"),
+            Err(SynthError::ParsePla { .. })
+        ));
+    }
+
+    #[test]
+    fn minimized_cover_exports_cleanly() {
+        let on = Cover::from_minterms(4, &[0, 1, 2, 3, 8, 9, 10, 11]);
+        let min = espresso::minimize(on, Cover::empty(4));
+        let text = to_pla(&min, &Cover::empty(4));
+        let parsed = parse_pla(&text).unwrap();
+        assert!(parsed.on.equivalent(&min));
+        assert!(text.contains(".i 4"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Design-space exploration across architectures — the paper's
+//! stated "final goal" (§7): pick the best address generator for a
+//! given access pattern under delay/area constraints.
+//!
+//! For each paper workload the explorer evaluates the SRAG, the
+//! multi-counter SRAG, the counter-plus-decoder baseline and a
+//! symbolic FSM, prints the measured candidates, the Pareto frontier,
+//! and constraint-driven selections.
+//!
+//! Run with: `cargo run --example design_space`
+
+use adgen::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = Library::vcl018();
+    let shape = ArrayShape::new(16, 16);
+
+    let cases: Vec<(&str, AddressSequence, CntAgSpec)> = vec![
+        ("fifo", workloads::fifo(shape), CntAgSpec::raster(shape)),
+        (
+            "motion_est",
+            workloads::motion_est_read(shape, 4, 4, 0),
+            CntAgSpec::motion_est(shape, 4, 4, 0),
+        ),
+        (
+            "dct",
+            workloads::transpose_scan(shape),
+            CntAgSpec::transpose(shape),
+        ),
+        (
+            "zoombytwo",
+            workloads::zoom_by_two(shape),
+            CntAgSpec::zoom_by_two(shape),
+        ),
+    ];
+
+    for (name, sequence, program) in cases {
+        println!("== workload `{name}` ({} accesses) ==", sequence.len());
+        let options = EvaluateOptions {
+            cntag_program: Some(program),
+            fsm_state_limit: 300,
+            ..EvaluateOptions::default()
+        };
+        let eval = evaluate(&sequence, shape, &library, &options);
+        for c in &eval.candidates {
+            println!(
+                "  {:<12} {:>8.3} ns {:>9.0} units {:>5} FFs",
+                c.architecture.to_string(),
+                c.delay_ps / 1000.0,
+                c.area,
+                c.flip_flops
+            );
+        }
+        for (arch, reason) in &eval.rejected {
+            println!("  {arch:<12} rejected: {reason}");
+        }
+        let front = pareto_frontier(&eval.candidates);
+        println!(
+            "  pareto frontier: {}",
+            front
+                .iter()
+                .map(|c| c.architecture.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        if let Some(best) = select(&eval.candidates, Constraint::MinDelay) {
+            println!("  fastest: {}", best.architecture);
+        }
+        if let Some(best) = select(&eval.candidates, Constraint::MinArea) {
+            println!("  smallest: {}", best.architecture);
+        }
+        // A mid-range area budget: half way between the extremes.
+        let areas: Vec<f64> = eval.candidates.iter().map(|c| c.area).collect();
+        if let (Some(&min), Some(&max)) = (
+            areas
+                .iter()
+                .min_by(|a, b| a.total_cmp(b)),
+            areas
+                .iter()
+                .max_by(|a, b| a.total_cmp(b)),
+        ) {
+            let budget = (min + max) / 2.0;
+            match select(&eval.candidates, Constraint::MinDelayUnderArea(budget)) {
+                Some(best) => println!(
+                    "  fastest within {budget:.0} cell units: {}",
+                    best.architecture
+                ),
+                None => println!("  nothing fits within {budget:.0} cell units"),
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Observability tour: record a VCD waveform of the SRAG token
+//! marching through its select lines, and measure switching power of
+//! the SRAG against the conventional generator under both clock
+//! models — the paper's deferred §7 power study, runnable in one
+//! command.
+//!
+//! Run with: `cargo run --example waves_and_power`
+//! The waveform lands in `results/srag_token.vcd` (open in GTKWave).
+
+use adgen::netlist::vcd::VcdTrace;
+use adgen::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let shape = ArrayShape::new(8, 8);
+    let seq = workloads::motion_est_read(shape, 2, 2, 0);
+    let pair = Srag2d::map(&seq, shape, Layout::RowMajor)?;
+    let design = pair.elaborate()?;
+
+    // 1. Waveform: two full periods of the token walk.
+    let mut sim = Simulator::new(&design.netlist)?;
+    let mut trace = VcdTrace::new(&design.netlist);
+    sim.step_bools(&[true, false])?;
+    trace.sample(&sim);
+    for _ in 0..2 * seq.len() {
+        sim.step_bools(&[false, true])?;
+        trace.sample(&sim);
+    }
+    std::fs::create_dir_all("results")?;
+    let path = "results/srag_token.vcd";
+    std::fs::write(path, trace.finish())?;
+    println!(
+        "wrote {path} ({} cycles, {} signals)",
+        2 * seq.len() + 1,
+        design.netlist.nets().len()
+    );
+
+    // 2. Power: the §7 study on this workload.
+    let library = Library::vcl018();
+    let row = compare_power(
+        &seq,
+        shape,
+        &CntAgSpec::motion_est(shape, 2, 2, 0),
+        &library,
+        100.0,
+        512,
+    )?;
+    println!("\npower at 100 MHz over 512 streaming accesses:");
+    println!(
+        "  SRAG : {:>6.1} µW total ({:>5.1} switching + {:>5.1} clock)",
+        row.srag.total_uw(),
+        row.srag.dynamic_uw,
+        row.srag.clock_uw
+    );
+    println!(
+        "  CntAG: {:>6.1} µW total ({:>5.1} switching + {:>5.1} clock)",
+        row.cntag.total_uw(),
+        row.cntag.dynamic_uw,
+        row.cntag.clock_uw
+    );
+    println!(
+        "  factor (CntAG/SRAG): {:.2} free-running, {:.2} with enable-gated clocks",
+        row.power_reduction_factor(),
+        row.gated_power_reduction_factor()
+    );
+    if row.srag.dynamic_uw < row.cntag.dynamic_uw {
+        println!(
+            "  → the decoder-switching saving shows ({:.1} vs {:.1} µW switching), but the",
+            row.srag.dynamic_uw, row.cntag.dynamic_uw
+        );
+        println!("    SRAG's H+W flip-flop clock load dominates its total.");
+    } else {
+        println!(
+            "  → at this small array even the switching term favours the CntAG ({:.1} vs {:.1} µW):",
+            row.cntag.dynamic_uw, row.srag.dynamic_uw
+        );
+        println!("    its decoders are tiny while the SRAG's enable tree toggles every cycle.");
+    }
+    println!("    See EXPERIMENTS.md for the full study across sizes and workloads.");
+    Ok(())
+}

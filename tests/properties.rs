@@ -1,0 +1,254 @@
+//! Property-based tests on the core invariants, spanning crates:
+//! mapper round-trips, logic-minimizer correctness, structural
+//! generator equivalence and timing-model monotonicity.
+
+use adgen::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: an SRAG-mappable sequence built from its own generative
+/// model (register partition × iterations × dC), so the mapper can be
+/// round-tripped against arbitrary valid inputs.
+fn mappable_sequence() -> impl Strategy<Value = Vec<u32>> {
+    // num_registers in 1..4, register length 1..5, iterations 1..4,
+    // dC 1..4; visits cycle registers in order.
+    (
+        1usize..4,
+        1usize..5,
+        1usize..4,
+        1usize..4,
+        1usize..3, // full periods emitted
+    )
+        .prop_map(|(regs, len, iters, dc, periods)| {
+            let mut out = Vec::new();
+            for _ in 0..periods {
+                for r in 0..regs {
+                    for _ in 0..iters {
+                        for j in 0..len {
+                            let address = (r * len + j) as u32;
+                            for _ in 0..dc {
+                                out.push(address);
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mapper_round_trips_generated_sequences(seq in mappable_sequence()) {
+        let s = AddressSequence::from_vec(seq);
+        let m = map_sequence(&s).expect("generatively valid sequences must map");
+        let mut sim = SragSimulator::new(m.spec);
+        prop_assert_eq!(sim.collect_sequence(s.len()), s);
+    }
+
+    #[test]
+    fn relaxed_mapper_accepts_whatever_base_accepts(seq in mappable_sequence()) {
+        use adgen::core::multi_counter::{map_sequence_relaxed, MultiCounterSragSimulator};
+        let s = AddressSequence::from_vec(seq);
+        if map_sequence(&s).is_ok() {
+            let spec = map_sequence_relaxed(&s)
+                .expect("relaxed mapper must accept base-mappable sequences");
+            let mut sim = MultiCounterSragSimulator::new(spec);
+            prop_assert_eq!(sim.collect_sequence(s.len()), s);
+        }
+    }
+
+    #[test]
+    fn espresso_preserves_function(minterms in proptest::collection::btree_set(0u64..32, 0..20)) {
+        use adgen::synth::cover::Cover;
+        use adgen::synth::espresso;
+        let on_list: Vec<u64> = minterms.iter().copied().collect();
+        let on = Cover::from_minterms(5, &on_list);
+        let minimized = espresso::minimize(on.clone(), Cover::empty(5));
+        for m in 0..32u64 {
+            prop_assert_eq!(minimized.eval(m), on.eval(m), "minterm {}", m);
+        }
+        prop_assert!(minimized.num_cubes() <= on.num_cubes().max(1));
+    }
+
+    #[test]
+    fn complement_is_involutive_on_care_set(minterms in proptest::collection::btree_set(0u64..16, 0..16)) {
+        use adgen::synth::cover::Cover;
+        let on_list: Vec<u64> = minterms.iter().copied().collect();
+        let f = Cover::from_minterms(4, &on_list);
+        let ff = f.complement().complement();
+        for m in 0..16u64 {
+            prop_assert_eq!(ff.eval(m), f.eval(m));
+        }
+    }
+
+    #[test]
+    fn decoder_matches_arithmetic(bits in 1usize..6, value in 0u64..64) {
+        use adgen::synth::mapgen::build_decoder;
+        prop_assume!(value < (1u64 << bits));
+        let mut n = Netlist::new("dec");
+        let addr: Vec<_> = (0..bits).map(|b| n.add_input(format!("a{b}"))).collect();
+        let outs = build_decoder(&mut n, &addr).unwrap();
+        for &o in &outs {
+            n.add_output(o);
+        }
+        let mut sim = Simulator::new(&n).unwrap();
+        let mut ins = vec![Logic::Zero];
+        for b in 0..bits {
+            ins.push(Logic::from_bool((value >> b) & 1 == 1));
+        }
+        sim.step(&ins).unwrap();
+        for (i, &o) in outs.iter().enumerate() {
+            prop_assert_eq!(sim.value(o).to_bool(), Some(i as u64 == value));
+        }
+    }
+
+    #[test]
+    fn counter_is_a_counter(width in 1u32..7, steps in 1usize..40) {
+        use adgen::synth::mapgen::build_counter;
+        let mut n = Netlist::new("cnt");
+        let en = n.add_input("en");
+        let c = build_counter(&mut n, width, en, "c").unwrap();
+        for &q in &c.q {
+            n.add_output(q);
+        }
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step_bools(&[true, false]).unwrap();
+        let modulus = 1u64 << width;
+        for step in 0..steps {
+            sim.step_bools(&[false, true]).unwrap();
+            let value: u64 = c
+                .q
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| (sim.value(b).to_bool().unwrap() as u64) << i)
+                .sum();
+            prop_assert_eq!(value, step as u64 % modulus);
+        }
+    }
+
+    #[test]
+    fn sta_output_load_is_monotone(load_a in 0.0f64..50.0, load_b in 0.0f64..50.0) {
+        let spec = SragSpec::ring(8);
+        let design = SragNetlist::elaborate(&spec).unwrap();
+        let lib = Library::vcl018();
+        let (lo, hi) = if load_a <= load_b { (load_a, load_b) } else { (load_b, load_a) };
+        let t_lo = TimingAnalysis::run_with_output_load(&design.netlist, &lib, lo).unwrap();
+        let t_hi = TimingAnalysis::run_with_output_load(&design.netlist, &lib, hi).unwrap();
+        prop_assert!(t_hi.critical_path_ps() >= t_lo.critical_path_ps());
+    }
+
+    #[test]
+    fn decompose_compose_round_trip(width in 1u32..12, height in 1u32..12, seed in 0u64..1000) {
+        let shape = ArrayShape::new(width, height);
+        let mut lcg = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let seq: Vec<u32> = (0..50)
+            .map(|_| {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((lcg >> 33) % u64::from(shape.capacity())) as u32
+            })
+            .collect();
+        let s = AddressSequence::from_vec(seq);
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let (rows, cols) = s.decompose(shape, layout).unwrap();
+            let back = AddressSequence::compose(&rows, &cols, shape, layout).unwrap();
+            prop_assert_eq!(&back, &s);
+        }
+    }
+
+    #[test]
+    fn addm_rejects_every_multi_hot_pattern(
+        width in 2u32..8,
+        height in 2u32..8,
+        a in 0usize..8,
+        b in 0usize..8,
+    ) {
+        use adgen::memory::Addm;
+        prop_assume!(a != b);
+        prop_assume!((a as u32) < height && (b as u32) < height);
+        let shape = ArrayShape::new(width, height);
+        let mut mem = Addm::new(shape);
+        let mut rows = vec![false; height as usize];
+        rows[a] = true;
+        rows[b] = true;
+        let mut cols = vec![false; width as usize];
+        cols[0] = true;
+        let err = mem.write(&rows, &cols, 1).unwrap_err();
+        let is_multi_hot = matches!(err, MemError::MultiHotRowSelect { asserted: 2 });
+        prop_assert!(is_multi_hot);
+    }
+
+    #[test]
+    fn random_srag_specs_are_gate_level_equivalent(
+        regs in 1usize..4,
+        len in 1usize..4,
+        iters in 1usize..3,
+        dc in 1usize..4,
+        shuffle_seed in 0u64..1000,
+    ) {
+        use adgen::core::arch::ShiftRegisterSpec;
+        // Random line assignment: a permutation of 0..regs*len driven
+        // by a small LCG, so registers hold arbitrary (not
+        // consecutive) lines.
+        let total = regs * len;
+        let mut lines: Vec<u32> = (0..total as u32).collect();
+        let mut lcg = shuffle_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..total).rev() {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = ((lcg >> 33) % (i as u64 + 1)) as usize;
+            lines.swap(i, j);
+        }
+        let registers: Vec<ShiftRegisterSpec> = lines
+            .chunks(len)
+            .map(|c| ShiftRegisterSpec::new(c.to_vec()))
+            .collect();
+        let spec = SragSpec::new(registers, dc, len * iters, total);
+        let design = SragNetlist::elaborate(&spec).unwrap();
+        let mut gate = Simulator::new(&design.netlist).unwrap();
+        gate.step_bools(&[true, false]).unwrap();
+        let mut model = SragSimulator::new(spec.clone());
+        model.reset();
+        for step in 0..2 * spec.period() {
+            gate.step_bools(&[false, true]).unwrap();
+            prop_assert_eq!(
+                design.observed_address(&gate),
+                Some(model.current()),
+                "step {}",
+                step
+            );
+            model.advance();
+        }
+    }
+
+    #[test]
+    fn arith_generator_handles_any_short_period_sequence(
+        seed in 0u64..5000,
+        len in 1usize..24,
+    ) {
+        use adgen::cntag::{ArithAgSimulator, ArithAgSpec};
+        let shape = ArrayShape::new(8, 8);
+        let mut lcg = seed.wrapping_mul(2654435761).wrapping_add(7);
+        let seq: AddressSequence = (0..len)
+            .map(|_| {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((lcg >> 33) % 64) as u32
+            })
+            .collect();
+        let spec = ArithAgSpec::from_sequence(&seq, shape).unwrap();
+        let mut model = ArithAgSimulator::new(spec);
+        prop_assert_eq!(model.collect_sequence(2 * seq.len()), seq.repeated(2));
+    }
+
+    #[test]
+    fn srag_simulator_is_always_one_hot(seq in mappable_sequence(), stalls in 0usize..3) {
+        let s = AddressSequence::from_vec(seq);
+        let m = map_sequence(&s).expect("valid");
+        let mut sim = SragSimulator::new(m.spec);
+        for _ in 0..(s.len() * (stalls + 1)) {
+            let hot = sim.select_lines().iter().filter(|&&b| b).count();
+            prop_assert_eq!(hot, 1);
+            sim.advance();
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Large-configuration stress tests. The default suite keeps these
+//! `#[ignore]`d to stay fast; run them with `cargo test -- --ignored`.
+
+use adgen::prelude::*;
+
+#[test]
+#[ignore = "large configuration; run with --ignored"]
+fn srag_512x512_maps_elaborates_and_times() {
+    let shape = ArrayShape::new(512, 512);
+    let seq = workloads::fifo(shape);
+    let pair = Srag2d::map(&seq, shape, Layout::RowMajor).unwrap();
+    let design = pair.elaborate().unwrap();
+    assert_eq!(design.row_lines.len(), 512);
+    assert_eq!(design.col_lines.len(), 512);
+    let lib = Library::vcl018();
+    let t = TimingAnalysis::run(&design.netlist, &lib).unwrap();
+    let a = AreaReport::of(&design.netlist, &lib);
+    assert!(t.critical_path_ns() > 0.0);
+    assert!(a.total() > 20_000.0);
+    // Spot-check the first 2000 cycles at gate level.
+    let mut sim = Simulator::new(&design.netlist).unwrap();
+    sim.step_bools(&[true, false]).unwrap();
+    for (i, &expected) in seq.iter().take(2000).enumerate() {
+        sim.step_bools(&[false, true]).unwrap();
+        assert_eq!(design.observed_address(&sim), Some(expected), "step {i}");
+    }
+}
+
+#[test]
+#[ignore = "large configuration; run with --ignored"]
+fn cntag_512x512_components() {
+    use adgen::cntag::component_delays;
+    let shape = ArrayShape::new(512, 512);
+    let lib = Library::vcl018();
+    let c = component_delays(&CntAgSpec::raster(shape), &lib).unwrap();
+    assert!(c.row_decoder_ps > 0.0);
+    assert!(c.total_ps() > c.counter_ps);
+}
+
+#[test]
+#[ignore = "large configuration; run with --ignored"]
+fn full_period_verification_256x256() {
+    // One complete 65 536-access period, gate level.
+    let shape = ArrayShape::new(256, 256);
+    let mb = 32;
+    let seq = workloads::motion_est_read(shape, mb, mb, 0);
+    let pair = Srag2d::map(&seq, shape, Layout::RowMajor).unwrap();
+    let design = pair.elaborate().unwrap();
+    let mut sim = Simulator::new(&design.netlist).unwrap();
+    sim.step_bools(&[true, false]).unwrap();
+    for (i, &expected) in seq.iter().enumerate() {
+        sim.step_bools(&[false, true]).unwrap();
+        assert_eq!(design.observed_address(&sim), Some(expected), "step {i}");
+    }
+}
