@@ -1,54 +1,39 @@
-//! Criterion bench for the Fig. 3/4 kernels: synthesizing and timing
+//! Std-only bench for the Fig. 3/4 kernels: synthesizing and timing
 //! the shift-register and symbolic-FSM address generators at each
 //! paper sequence length.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use adgen_bench::stopwatch::bench;
 use adgen_core::{SragNetlist, SragSpec};
 use adgen_netlist::{Library, TimingAnalysis};
 use adgen_synth::{Encoding, Fsm, OutputStyle};
 
-fn bench_shift_register(c: &mut Criterion) {
+fn main() {
     let library = Library::vcl018();
-    let mut group = c.benchmark_group("fig3_4/shift_register");
+
     for n in [8u32, 32, 128] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let design = SragNetlist::elaborate(&SragSpec::ring(n)).expect("ring");
-                TimingAnalysis::run(&design.netlist, &library)
-                    .expect("times")
-                    .critical_path_ps()
-            });
+        bench(&format!("fig3_4/shift_register/{n}"), 20, || {
+            let design = SragNetlist::elaborate(&SragSpec::ring(n)).expect("ring");
+            TimingAnalysis::run(&design.netlist, &library)
+                .expect("times")
+                .critical_path_ps()
         });
     }
-    group.finish();
-}
 
-fn bench_symbolic_fsm(c: &mut Criterion) {
-    let library = Library::vcl018();
-    let mut group = c.benchmark_group("fig3_4/symbolic_fsm");
-    group.sample_size(10);
     for n in [8u32, 32, 128] {
         let seq: Vec<u32> = (0..n).collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| {
-                let design = Fsm::cyclic_sequence(&seq)
-                    .expect("nonempty")
-                    .synthesize(
-                        Encoding::Binary,
-                        OutputStyle::SelectLines {
-                            num_lines: n as usize,
-                        },
-                    )
-                    .expect("synthesizes");
-                TimingAnalysis::run(&design.netlist, &library)
-                    .expect("times")
-                    .critical_path_ps()
-            });
+        bench(&format!("fig3_4/symbolic_fsm/{n}"), 5, || {
+            let design = Fsm::cyclic_sequence(&seq)
+                .expect("nonempty")
+                .synthesize(
+                    Encoding::Binary,
+                    OutputStyle::SelectLines {
+                        num_lines: n as usize,
+                    },
+                )
+                .expect("synthesizes");
+            TimingAnalysis::run(&design.netlist, &library)
+                .expect("times")
+                .critical_path_ps()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_shift_register, bench_symbolic_fsm);
-criterion_main!(benches);

@@ -1,42 +1,29 @@
-//! Criterion bench for the Fig. 8–10 kernels: full map → elaborate →
+//! Std-only bench for the Fig. 8–10 kernels: full map → elaborate →
 //! time/area comparison of SRAG vs CntAG per array size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use adgen_bench::experiments::{fig8_9_10, macroblock_for};
+use adgen_bench::stopwatch::bench;
 use adgen_cntag::CntAgSpec;
 use adgen_explorer::compare_srag_cntag;
 use adgen_netlist::Library;
 use adgen_seq::{workloads, ArrayShape};
 
-fn bench_read_comparison(c: &mut Criterion) {
+fn main() {
     let library = Library::vcl018();
-    let mut group = c.benchmark_group("fig8_10/read_comparison");
-    group.sample_size(10);
+
     for n in [16u32, 32, 64] {
         let shape = ArrayShape::new(n, n);
         let mb = macroblock_for(n);
         let seq = workloads::motion_est_read(shape, mb, mb, 0);
         let program = CntAgSpec::motion_est(shape, mb, mb, 0);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                compare_srag_cntag(&seq, shape, &program, &library)
-                    .expect("comparable")
-                    .delay_reduction_factor()
-            });
+        bench(&format!("fig8_10/read_comparison/{n}"), 5, || {
+            compare_srag_cntag(&seq, shape, &program, &library)
+                .expect("comparable")
+                .delay_reduction_factor()
         });
     }
-    group.finish();
-}
 
-fn bench_full_sweep_small(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_10/full_sweep");
-    group.sample_size(10);
-    group.bench_function("sizes_16_32", |b| {
-        b.iter(|| fig8_9_10(&[16, 32]).len());
+    bench("fig8_10/full_sweep/sizes_16_32", 5, || {
+        fig8_9_10(&[16, 32], 1).len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_read_comparison, bench_full_sweep_small);
-criterion_main!(benches);

@@ -1,85 +1,63 @@
-//! Criterion bench for the mapping procedure itself (the paper's
+//! Std-only bench for the mapping procedure itself (the paper's
 //! SRAdGen tool) and for gate-level simulation throughput.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use adgen_bench::stopwatch::bench;
 use adgen_core::composite::Srag2d;
 use adgen_core::mapper::map_sequence;
 use adgen_netlist::{EventSimulator, Simulator};
 use adgen_seq::{workloads, ArrayShape, Layout};
 
-fn bench_mapper(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mapper/map_sequence");
+fn main() {
     for n in [16u32, 64, 256] {
         let shape = ArrayShape::new(n, n);
         let mb = (n / 8).max(2);
         let seq = workloads::motion_est_read(shape, mb, mb, 0);
         let (rows, _) = seq.decompose(shape, Layout::RowMajor).expect("in range");
-        group.throughput(Throughput::Elements(rows.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| map_sequence(&rows).expect("maps").spec.num_flip_flops());
-        });
+        bench(
+            &format!("mapper/map_sequence/{n} ({} addrs)", rows.len()),
+            10,
+            || map_sequence(&rows).expect("maps").spec.num_flip_flops(),
+        );
     }
-    group.finish();
-}
 
-fn bench_gate_level_simulation(c: &mut Criterion) {
     let shape = ArrayShape::new(32, 32);
     let seq = workloads::motion_est_read(shape, 4, 4, 0);
     let design = Srag2d::map(&seq, shape, Layout::RowMajor)
         .expect("maps")
         .elaborate()
         .expect("elaborates");
-    let mut group = c.benchmark_group("simulation/srag_pair_32x32");
-    group.throughput(Throughput::Elements(100));
-    group.bench_function("100_cycles", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(&design.netlist).expect("valid");
-            sim.step_bools(&[true, false]).expect("reset");
-            for _ in 0..100 {
-                sim.step_bools(&[false, true]).expect("step");
-            }
-            sim.cycle()
-        });
+    bench("simulation/srag_pair_32x32/100_cycles", 10, || {
+        let mut sim = Simulator::new(&design.netlist).expect("valid");
+        sim.step_bools(&[true, false]).expect("reset");
+        for _ in 0..100 {
+            sim.step_bools(&[false, true]).expect("step");
+        }
+        sim.cycle()
     });
-    group.finish();
-}
 
-fn bench_event_vs_levelized(c: &mut Criterion) {
-    let shape = ArrayShape::new(32, 32);
     let seq = workloads::fifo(shape);
     let design = Srag2d::map(&seq, shape, Layout::RowMajor)
         .expect("maps")
         .elaborate()
         .expect("elaborates");
-    let mut group = c.benchmark_group("simulation/engines_srag_32x32_500cycles");
-    group.bench_function("levelized", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(&design.netlist).expect("valid");
-            sim.step_bools(&[true, false]).expect("reset");
-            for _ in 0..500 {
-                sim.step_bools(&[false, true]).expect("step");
-            }
-            sim.cycle()
-        });
+    bench("simulation/engines_srag_32x32_500c/levelized", 10, || {
+        let mut sim = Simulator::new(&design.netlist).expect("valid");
+        sim.step_bools(&[true, false]).expect("reset");
+        for _ in 0..500 {
+            sim.step_bools(&[false, true]).expect("step");
+        }
+        sim.cycle()
     });
-    group.bench_function("event_driven", |b| {
-        b.iter(|| {
+    bench(
+        "simulation/engines_srag_32x32_500c/event_driven",
+        10,
+        || {
             let mut sim = EventSimulator::new(&design.netlist).expect("valid");
             sim.step_bools(&[true, false]).expect("reset");
             for _ in 0..500 {
                 sim.step_bools(&[false, true]).expect("step");
             }
             sim.cycle()
-        });
-    });
-    group.finish();
+        },
+    );
 }
-
-criterion_group!(
-    benches,
-    bench_mapper,
-    bench_gate_level_simulation,
-    bench_event_vs_levelized
-);
-criterion_main!(benches);

@@ -1,16 +1,14 @@
-//! Criterion bench for the synthesis substrate itself: two-level
+//! Std-only bench for the synthesis substrate itself: two-level
 //! minimization, structural generation and netlist export — the
 //! pieces every experiment kernel is built from.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use adgen_bench::stopwatch::bench;
 use adgen_netlist::{to_verilog, Netlist};
 use adgen_synth::cover::Cover;
 use adgen_synth::mapgen::{build_counter, build_decoder};
 use adgen_synth::{espresso, Encoding, Fsm, OutputStyle};
 
-fn bench_espresso(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthesis/espresso");
+fn main() {
     for vars in [4usize, 6, 8] {
         // A structured function: even minterms plus a band, so there
         // is real minimization work.
@@ -19,50 +17,29 @@ fn bench_espresso(c: &mut Criterion) {
             .filter(|m| m % 2 == 0 || (*m > space / 3 && *m < space / 2))
             .collect();
         let on = Cover::from_minterms(vars, &minterms);
-        group.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
-            b.iter(|| espresso::minimize(on.clone(), Cover::empty(vars)).num_cubes());
+        bench(&format!("synthesis/espresso/{vars}"), 20, || {
+            espresso::minimize(on.clone(), Cover::empty(vars)).num_cubes()
         });
     }
-    group.finish();
-}
 
-fn bench_structural_generators(c: &mut Criterion) {
-    let mut group = c.benchmark_group("synthesis/generators");
-    group.bench_function("counter_16bit", |b| {
-        b.iter(|| {
-            let mut n = Netlist::new("cnt");
-            let en = n.add_input("en");
-            build_counter(&mut n, 16, en, "c").expect("builds");
-            n.num_instances()
-        });
+    bench("synthesis/generators/counter_16bit", 20, || {
+        let mut n = Netlist::new("cnt");
+        let en = n.add_input("en");
+        build_counter(&mut n, 16, en, "c").expect("builds");
+        n.num_instances()
     });
-    group.bench_function("decoder_8to256", |b| {
-        b.iter(|| {
-            let mut n = Netlist::new("dec");
-            let addr: Vec<_> = (0..8).map(|i| n.add_input(format!("a{i}"))).collect();
-            build_decoder(&mut n, &addr).expect("builds").len()
-        });
+    bench("synthesis/generators/decoder_8to256", 20, || {
+        let mut n = Netlist::new("dec");
+        let addr: Vec<_> = (0..8).map(|i| n.add_input(format!("a{i}"))).collect();
+        build_decoder(&mut n, &addr).expect("builds").len()
     });
-    group.finish();
-}
 
-fn bench_verilog_export(c: &mut Criterion) {
     let seq: Vec<u32> = (0..64).collect();
     let design = Fsm::cyclic_sequence(&seq)
         .expect("nonempty")
         .synthesize(Encoding::Binary, OutputStyle::SelectLines { num_lines: 64 })
         .expect("synthesizes");
-    let mut group = c.benchmark_group("synthesis/export");
-    group.bench_function("verilog_fsm64", |b| {
-        b.iter(|| to_verilog(&design.netlist, true).len());
+    bench("synthesis/export/verilog_fsm64", 20, || {
+        to_verilog(&design.netlist, true).len()
     });
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_espresso,
-    bench_structural_generators,
-    bench_verilog_export
-);
-criterion_main!(benches);

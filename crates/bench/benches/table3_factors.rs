@@ -1,14 +1,13 @@
-//! Criterion bench for the Table 3 kernel: per-workload SRAG vs
+//! Std-only bench for the Table 3 kernel: per-workload SRAG vs
 //! CntAG factor computation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use adgen_bench::stopwatch::bench;
 use adgen_cntag::CntAgSpec;
 use adgen_explorer::compare_srag_cntag;
 use adgen_netlist::Library;
 use adgen_seq::{workloads, AddressSequence, ArrayShape};
 
-fn bench_per_workload(c: &mut Criterion) {
+fn main() {
     let library = Library::vcl018();
     let shape = ArrayShape::new(32, 32);
     let cases: Vec<(&str, AddressSequence, CntAgSpec)> = vec![
@@ -29,18 +28,10 @@ fn bench_per_workload(c: &mut Criterion) {
         ),
         ("fifo", workloads::fifo(shape), CntAgSpec::raster(shape)),
     ];
-    let mut group = c.benchmark_group("table3");
-    group.sample_size(10);
     for (name, seq, program) in cases {
-        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
-            b.iter(|| {
-                let row = compare_srag_cntag(&seq, shape, &program, &library).expect("maps");
-                (row.delay_reduction_factor(), row.area_increase_factor())
-            });
+        bench(&format!("table3/{name}"), 5, || {
+            let row = compare_srag_cntag(&seq, shape, &program, &library).expect("maps");
+            (row.delay_reduction_factor(), row.area_increase_factor())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_per_workload);
-criterion_main!(benches);

@@ -1,19 +1,23 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! cargo run -p adgen-bench --bin repro            # everything
-//! cargo run -p adgen-bench --bin repro -- fig3    # one artefact
+//! cargo run --release -p adgen-bench --bin repro              # everything, all cores
+//! cargo run --release -p adgen-bench --bin repro -- fig3      # one artefact
+//! cargo run --release -p adgen-bench --bin repro -- --jobs 4  # pin the worker count
 //! ```
 //!
 //! Artefacts: `table1 table2 fig3 fig4 synthtime fig8 fig9 fig10 power ablation sharing interconnect
 //! table3`. Results are printed and, for the sweeps, also written as
-//! CSV under `results/`.
+//! CSV under `results/`. Each run also emits `BENCH_repro.json` with
+//! the worker count and per-experiment wall-clock seconds.
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use adgen_bench::experiments::{
     ablation, fig3_4, fig8_9_10, interconnect, power_study, sharing, synth_time, table3,
-    PAPER_ARRAY_SIZES, PAPER_SEQUENCE_LENGTHS,
+    SynthTimeRow, PAPER_ARRAY_SIZES, PAPER_SEQUENCE_LENGTHS,
 };
 use adgen_bench::report;
 use adgen_core::mapper::map_sequence;
@@ -37,14 +41,25 @@ const ARTEFACTS: [&str; 14] = [
 ];
 
 fn main() {
-    let what: Vec<String> = {
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        if args.is_empty() {
-            vec!["all".to_string()]
+    let mut jobs = 0usize; // 0 = all available cores
+    let mut what: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" || a == "-j" {
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("error: {a} needs a value");
+                std::process::exit(2);
+            });
+            jobs = parse_jobs(&v);
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            jobs = parse_jobs(v);
         } else {
-            args
+            what.push(a);
         }
-    };
+    }
+    if what.is_empty() {
+        what.push("all".to_string());
+    }
     for a in &what {
         if !ARTEFACTS.contains(&a.as_str()) {
             eprintln!(
@@ -57,6 +72,13 @@ fn main() {
     let results_dir = PathBuf::from("results");
     let _ = std::fs::create_dir_all(&results_dir);
 
+    let effective_jobs = adgen_exec::resolve_jobs(jobs);
+    println!("repro: {effective_jobs} worker(s)\n");
+
+    // (experiment, wall-clock seconds), in execution order.
+    let mut timings: Vec<(&'static str, f64)> = Vec::new();
+    let mut synthtime_rows: Vec<SynthTimeRow> = Vec::new();
+
     if run("table1") {
         print_table1();
     }
@@ -64,18 +86,27 @@ fn main() {
         print_table2();
     }
     if run("fig3") || run("fig4") {
-        let rows = fig3_4(&PAPER_SEQUENCE_LENGTHS);
+        let started = Instant::now();
+        let rows = fig3_4(&PAPER_SEQUENCE_LENGTHS, jobs);
+        timings.push(("fig3_4", started.elapsed().as_secs_f64()));
         println!("{}", report::render_fig3_4(&rows));
         if report::write_fig3_4_csv(&rows, &results_dir.join("fig3_4.csv")).is_ok() {
             println!("(written to results/fig3_4.csv)\n");
         }
     }
     if run("synthtime") {
-        let rows = synth_time(&PAPER_SEQUENCE_LENGTHS);
+        // Serial on purpose: the per-point wall-clocks are the
+        // artefact, and concurrent points would perturb them.
+        let started = Instant::now();
+        let rows = synth_time(&PAPER_SEQUENCE_LENGTHS, 1);
+        timings.push(("synthtime", started.elapsed().as_secs_f64()));
         println!("{}", report::render_synth_time(&rows));
+        synthtime_rows = rows;
     }
     if run("fig8") || run("fig9") || run("fig10") {
-        let rows = fig8_9_10(&PAPER_ARRAY_SIZES);
+        let started = Instant::now();
+        let rows = fig8_9_10(&PAPER_ARRAY_SIZES, jobs);
+        timings.push(("fig8_9_10", started.elapsed().as_secs_f64()));
         if run("fig8") {
             println!("{}", report::render_fig8(&rows));
         }
@@ -90,25 +121,80 @@ fn main() {
         }
     }
     if run("table3") {
-        let rows = table3(&[16, 32, 64]);
+        let started = Instant::now();
+        let rows = table3(&[16, 32, 64], jobs);
+        timings.push(("table3", started.elapsed().as_secs_f64()));
         println!("{}", report::render_table3(&rows));
     }
     if run("power") {
-        let rows = power_study(&[16, 64]);
+        let started = Instant::now();
+        let rows = power_study(&[16, 64], jobs);
+        timings.push(("power", started.elapsed().as_secs_f64()));
         println!("{}", report::render_power(&rows));
     }
     if run("ablation") {
-        let rows = ablation(&[16, 64]);
+        let started = Instant::now();
+        let rows = ablation(&[16, 64], jobs);
+        timings.push(("ablation", started.elapsed().as_secs_f64()));
         println!("{}", report::render_ablation(&rows));
     }
     if run("sharing") {
-        let rows = sharing(&[16, 64, 256]);
+        let started = Instant::now();
+        let rows = sharing(&[16, 64, 256], jobs);
+        timings.push(("sharing", started.elapsed().as_secs_f64()));
         println!("{}", report::render_sharing(&rows));
     }
     if run("interconnect") {
-        let rows = interconnect(&[0.0, 30.0, 60.0, 120.0, 240.0]);
+        let started = Instant::now();
+        let rows = interconnect(&[0.0, 30.0, 60.0, 120.0, 240.0], jobs);
+        timings.push(("interconnect", started.elapsed().as_secs_f64()));
         println!("{}", report::render_interconnect(&rows));
     }
+
+    if !timings.is_empty() {
+        let json = bench_json(effective_jobs, &timings, &synthtime_rows);
+        match std::fs::write("BENCH_repro.json", &json) {
+            Ok(()) => println!("(wall-clock written to BENCH_repro.json)"),
+            Err(e) => eprintln!("warning: could not write BENCH_repro.json: {e}"),
+        }
+    }
+}
+
+fn parse_jobs(v: &str) -> usize {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid --jobs value `{v}`");
+        std::process::exit(2);
+    })
+}
+
+/// Renders the machine-readable benchmark record: worker count,
+/// per-experiment wall-clock, and (when the synthtime artefact ran)
+/// the per-N synthesis times that carry the packed-kernel speedup.
+fn bench_json(jobs: usize, timings: &[(&'static str, f64)], synthtime: &[SynthTimeRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"jobs\": {jobs},");
+    let _ = writeln!(s, "  \"experiments\": [");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{name}\", \"wall_clock_s\": {secs:.6}}}{comma}"
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"synthtime\": [");
+    for (i, r) in synthtime.iter().enumerate() {
+        let comma = if i + 1 < synthtime.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"n\": {}, \"fsm_s\": {:.6}, \"shift_register_s\": {:.6}}}{comma}",
+            r.n, r.fsm_seconds, r.shift_register_seconds
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
 }
 
 fn print_table1() {

@@ -5,8 +5,17 @@
 //! 8 … 256 for Figs. 3–4); the macroblock for motion estimation
 //! scales as `max(2, N/8)` so the block structure stays proportional
 //! to the frame as in block-based codecs.
+//!
+//! Every sweep takes a `jobs` argument and fans its independent
+//! (workload × array-size) points across that many worker threads via
+//! [`adgen_exec::par_map`] (`0` means all available cores, `1` runs
+//! serially on the caller's thread). Results are always returned in
+//! input order, byte-identical across `jobs` values — see the
+//! determinism test in `tests/properties.rs`.
 
 use std::time::Instant;
+
+use adgen_exec::par_map;
 
 use adgen_cntag::{component_delays, CntAgNetlist, CntAgSpec};
 use adgen_core::composite::Srag2d;
@@ -43,43 +52,41 @@ pub struct Fig34Row {
     pub fsm_area: f64,
 }
 
-/// Computes Figs. 3 and 4 for the given sequence lengths.
+/// Computes Figs. 3 and 4 for the given sequence lengths, one worker
+/// per length.
 ///
 /// # Panics
 ///
 /// Panics if synthesis of either arm fails (an internal error: the
 /// incremental sequence is always implementable).
-pub fn fig3_4(lengths: &[u32]) -> Vec<Fig34Row> {
+pub fn fig3_4(lengths: &[u32], jobs: usize) -> Vec<Fig34Row> {
     let library = Library::vcl018();
-    lengths
-        .iter()
-        .map(|&n| {
-            let ring = SragNetlist::elaborate(&SragSpec::ring(n)).expect("ring elaborates");
-            let ring_t = TimingAnalysis::run(&ring.netlist, &library).expect("ring times");
-            let ring_a = AreaReport::of(&ring.netlist, &library);
+    par_map(lengths, jobs, |_, &n| {
+        let ring = SragNetlist::elaborate(&SragSpec::ring(n)).expect("ring elaborates");
+        let ring_t = TimingAnalysis::run(&ring.netlist, &library).expect("ring times");
+        let ring_a = AreaReport::of(&ring.netlist, &library);
 
-            let seq: Vec<u32> = (0..n).collect();
-            let fsm = Fsm::cyclic_sequence(&seq)
-                .expect("nonempty")
-                .synthesize(
-                    Encoding::Binary,
-                    OutputStyle::SelectLines {
-                        num_lines: n as usize,
-                    },
-                )
-                .expect("FSM synthesizes");
-            let fsm_t = TimingAnalysis::run(&fsm.netlist, &library).expect("FSM times");
-            let fsm_a = AreaReport::of(&fsm.netlist, &library);
+        let seq: Vec<u32> = (0..n).collect();
+        let fsm = Fsm::cyclic_sequence(&seq)
+            .expect("nonempty")
+            .synthesize(
+                Encoding::Binary,
+                OutputStyle::SelectLines {
+                    num_lines: n as usize,
+                },
+            )
+            .expect("FSM synthesizes");
+        let fsm_t = TimingAnalysis::run(&fsm.netlist, &library).expect("FSM times");
+        let fsm_a = AreaReport::of(&fsm.netlist, &library);
 
-            Fig34Row {
-                n,
-                shift_register_delay_ns: ring_t.critical_path_ns(),
-                fsm_delay_ns: fsm_t.critical_path_ns(),
-                shift_register_area: ring_a.total(),
-                fsm_area: fsm_a.total(),
-            }
-        })
-        .collect()
+        Fig34Row {
+            n,
+            shift_register_delay_ns: ring_t.critical_path_ns(),
+            fsm_delay_ns: fsm_t.critical_path_ns(),
+            shift_register_area: ring_a.total(),
+            fsm_area: fsm_a.total(),
+        }
+    })
 }
 
 /// One point of the §3 synthesis-runtime comparison.
@@ -97,36 +104,37 @@ pub struct SynthTimeRow {
 /// reports 6 h vs 36 min at N = 256 on a Sun Ultra-5; the absolute
 /// times differ wildly across tooling, the *growth* is the claim).
 ///
+/// With `jobs > 1` the points run concurrently, so the reported
+/// wall-clocks include scheduler contention; pass `jobs = 1` when the
+/// per-point timings themselves are the artefact.
+///
 /// # Panics
 ///
 /// Panics if either arm fails to synthesize.
-pub fn synth_time(lengths: &[u32]) -> Vec<SynthTimeRow> {
-    lengths
-        .iter()
-        .map(|&n| {
-            let started = Instant::now();
-            let _ring = SragNetlist::elaborate(&SragSpec::ring(n)).expect("ring");
-            let shift_register_seconds = started.elapsed().as_secs_f64();
+pub fn synth_time(lengths: &[u32], jobs: usize) -> Vec<SynthTimeRow> {
+    par_map(lengths, jobs, |_, &n| {
+        let started = Instant::now();
+        let _ring = SragNetlist::elaborate(&SragSpec::ring(n)).expect("ring");
+        let shift_register_seconds = started.elapsed().as_secs_f64();
 
-            let seq: Vec<u32> = (0..n).collect();
-            let started = Instant::now();
-            let _fsm = Fsm::cyclic_sequence(&seq)
-                .expect("nonempty")
-                .synthesize(
-                    Encoding::Binary,
-                    OutputStyle::SelectLines {
-                        num_lines: n as usize,
-                    },
-                )
-                .expect("FSM");
-            let fsm_seconds = started.elapsed().as_secs_f64();
-            SynthTimeRow {
-                n,
-                fsm_seconds,
-                shift_register_seconds,
-            }
-        })
-        .collect()
+        let seq: Vec<u32> = (0..n).collect();
+        let started = Instant::now();
+        let _fsm = Fsm::cyclic_sequence(&seq)
+            .expect("nonempty")
+            .synthesize(
+                Encoding::Binary,
+                OutputStyle::SelectLines {
+                    num_lines: n as usize,
+                },
+            )
+            .expect("FSM");
+        let fsm_seconds = started.elapsed().as_secs_f64();
+        SynthTimeRow {
+            n,
+            fsm_seconds,
+            shift_register_seconds,
+        }
+    })
 }
 
 /// One point of Figs. 8, 9 and 10: write/read generators for the
@@ -160,51 +168,43 @@ pub struct Fig8910Row {
     pub col_decoder_delay_ns: f64,
 }
 
-/// Computes Figs. 8–10 for the given array sizes.
+/// Computes Figs. 8–10 for the given array sizes, one worker per
+/// size.
 ///
 /// # Panics
 ///
 /// Panics if mapping or elaboration fails (the motion-estimation
 /// streams are always SRAG-mappable).
-pub fn fig8_9_10(sizes: &[u32]) -> Vec<Fig8910Row> {
+pub fn fig8_9_10(sizes: &[u32], jobs: usize) -> Vec<Fig8910Row> {
     let library = Library::vcl018();
-    sizes
-        .iter()
-        .map(|&n| {
-            let shape = ArrayShape::new(n, n);
-            let mb = macroblock_for(n);
+    par_map(sizes, jobs, |_, &n| {
+        let shape = ArrayShape::new(n, n);
+        let mb = macroblock_for(n);
 
-            let write_seq = workloads::motion_est_write(shape);
-            let read_seq = workloads::motion_est_read(shape, mb, mb, 0);
-            let write_cmp = compare_srag_cntag(
-                &write_seq,
-                shape,
-                &CntAgSpec::raster(shape),
-                &library,
-            )
+        let write_seq = workloads::motion_est_write(shape);
+        let read_seq = workloads::motion_est_read(shape, mb, mb, 0);
+        let write_cmp = compare_srag_cntag(&write_seq, shape, &CntAgSpec::raster(shape), &library)
             .expect("write generators");
-            let read_program = CntAgSpec::motion_est(shape, mb, mb, 0);
-            let read_cmp =
-                compare_srag_cntag(&read_seq, shape, &read_program, &library)
-                    .expect("read generators");
-            let comps = component_delays(&read_program, &library).expect("components");
+        let read_program = CntAgSpec::motion_est(shape, mb, mb, 0);
+        let read_cmp =
+            compare_srag_cntag(&read_seq, shape, &read_program, &library).expect("read generators");
+        let comps = component_delays(&read_program, &library).expect("components");
 
-            Fig8910Row {
-                n,
-                srag_write_delay_ns: write_cmp.srag_delay_ps / 1000.0,
-                cntag_write_delay_ns: write_cmp.cntag_delay_ps / 1000.0,
-                srag_read_delay_ns: read_cmp.srag_delay_ps / 1000.0,
-                cntag_read_delay_ns: read_cmp.cntag_delay_ps / 1000.0,
-                srag_write_area: write_cmp.srag_area,
-                cntag_write_area: write_cmp.cntag_area,
-                srag_read_area: read_cmp.srag_area,
-                cntag_read_area: read_cmp.cntag_area,
-                counter_delay_ns: comps.counter_ps / 1000.0,
-                row_decoder_delay_ns: comps.row_decoder_ps / 1000.0,
-                col_decoder_delay_ns: comps.col_decoder_ps / 1000.0,
-            }
-        })
-        .collect()
+        Fig8910Row {
+            n,
+            srag_write_delay_ns: write_cmp.srag_delay_ps / 1000.0,
+            cntag_write_delay_ns: write_cmp.cntag_delay_ps / 1000.0,
+            srag_read_delay_ns: read_cmp.srag_delay_ps / 1000.0,
+            cntag_read_delay_ns: read_cmp.cntag_delay_ps / 1000.0,
+            srag_write_area: write_cmp.srag_area,
+            cntag_write_area: write_cmp.cntag_area,
+            srag_read_area: read_cmp.srag_area,
+            cntag_read_area: read_cmp.cntag_area,
+            counter_delay_ns: comps.counter_ps / 1000.0,
+            row_decoder_delay_ns: comps.row_decoder_ps / 1000.0,
+            col_decoder_delay_ns: comps.col_decoder_ps / 1000.0,
+        }
+    })
 }
 
 /// One row of paper Table 3: average delay-reduction and
@@ -229,15 +229,21 @@ pub struct Table3Row {
 ///
 /// Panics if mapping or elaboration fails for a workload that must
 /// map.
-/// A named workload builder for the Table 3 sweep.
-type WorkloadBuilder = Box<dyn Fn(ArrayShape) -> (AddressSequence, CntAgSpec)>;
+/// A named workload builder for the Table 3 sweep (`Sync` so the
+/// parallel point sweep can share it across workers).
+type WorkloadBuilder = Box<dyn Fn(ArrayShape) -> (AddressSequence, CntAgSpec) + Send + Sync>;
 
-pub fn table3(sizes: &[u32]) -> Vec<Table3Row> {
+pub fn table3(sizes: &[u32], jobs: usize) -> Vec<Table3Row> {
     let library = Library::vcl018();
     let cases: Vec<(&'static str, WorkloadBuilder)> = vec![
         (
             "dct",
-            Box::new(|shape| (workloads::transpose_scan(shape), CntAgSpec::transpose(shape))),
+            Box::new(|shape| {
+                (
+                    workloads::transpose_scan(shape),
+                    CntAgSpec::transpose(shape),
+                )
+            }),
         ),
         (
             "zoombytwo",
@@ -258,18 +264,27 @@ pub fn table3(sizes: &[u32]) -> Vec<Table3Row> {
             Box::new(|shape| (workloads::fifo(shape), CntAgSpec::raster(shape))),
         ),
     ];
+    // Every (workload, size) point is independent: flatten the cross
+    // product, fan it out, then regroup per workload in case order.
+    let points: Vec<(usize, u32)> = (0..cases.len())
+        .flat_map(|c| sizes.iter().map(move |&n| (c, n)))
+        .collect();
+    let comparisons = par_map(&points, jobs, |_, &(c, n)| {
+        let (example, build) = &cases[c];
+        let shape = ArrayShape::new(n, n);
+        let (seq, program) = build(shape);
+        compare_srag_cntag(&seq, shape, &program, &library)
+            .unwrap_or_else(|e| panic!("{example}@{n}: {e}"))
+    });
     cases
-        .into_iter()
-        .map(|(example, build)| {
-            let rows: Vec<(u32, ComparisonRow)> = sizes
+        .iter()
+        .enumerate()
+        .map(|(c, (example, _))| {
+            let rows: Vec<(u32, ComparisonRow)> = points
                 .iter()
-                .map(|&n| {
-                    let shape = ArrayShape::new(n, n);
-                    let (seq, program) = build(shape);
-                    let cmp = compare_srag_cntag(&seq, shape, &program, &library)
-                        .unwrap_or_else(|e| panic!("{example}@{n}: {e}"));
-                    (n, cmp)
-                })
+                .zip(&comparisons)
+                .filter(|((pc, _), _)| *pc == c)
+                .map(|(&(_, n), cmp)| (n, cmp.clone()))
                 .collect();
             let avg_delay_reduction = rows
                 .iter()
@@ -308,38 +323,33 @@ pub struct PowerRow {
 /// # Panics
 ///
 /// Panics if a workload fails to map or simulate.
-pub fn power_study(sizes: &[u32]) -> Vec<PowerRow> {
+pub fn power_study(sizes: &[u32], jobs: usize) -> Vec<PowerRow> {
     let library = Library::vcl018();
-    let mut rows = Vec::new();
-    for &n in sizes {
+    let names: [&'static str; 3] = ["fifo", "motion_est", "zoombytwo"];
+    let points: Vec<(u32, usize)> = sizes
+        .iter()
+        .flat_map(|&n| (0..names.len()).map(move |c| (n, c)))
+        .collect();
+    par_map(&points, jobs, |_, &(n, c)| {
         let shape = ArrayShape::new(n, n);
         let mb = macroblock_for(n);
-        let cases: [(&'static str, AddressSequence, CntAgSpec); 3] = [
-            ("fifo", workloads::fifo(shape), CntAgSpec::raster(shape)),
-            (
-                "motion_est",
+        let example = names[c];
+        let (seq, program) = match example {
+            "fifo" => (workloads::fifo(shape), CntAgSpec::raster(shape)),
+            "motion_est" => (
                 workloads::motion_est_read(shape, mb, mb, 0),
                 CntAgSpec::motion_est(shape, mb, mb, 0),
             ),
-            (
-                "zoombytwo",
-                workloads::zoom_by_two(shape),
-                CntAgSpec::zoom_by_two(shape),
-            ),
-        ];
-        for (example, seq, program) in cases {
-            let comparison = adgen_explorer::compare_power(
-                &seq, shape, &program, &library, 100.0, 512,
-            )
+            _ => (workloads::zoom_by_two(shape), CntAgSpec::zoom_by_two(shape)),
+        };
+        let comparison = adgen_explorer::compare_power(&seq, shape, &program, &library, 100.0, 512)
             .unwrap_or_else(|e| panic!("{example}@{n}: {e}"));
-            rows.push(PowerRow {
-                example,
-                n,
-                comparison,
-            });
+        PowerRow {
+            example,
+            n,
+            comparison,
         }
-    }
-    rows
+    })
 }
 
 /// One row of the control-style / control-sharing ablation.
@@ -372,55 +382,57 @@ pub struct AblationRow {
 /// # Panics
 ///
 /// Panics if mapping or elaboration fails.
-pub fn ablation(sizes: &[u32]) -> Vec<AblationRow> {
+pub fn ablation(sizes: &[u32], jobs: usize) -> Vec<AblationRow> {
     use adgen_core::arch::ControlStyle;
     let library = Library::vcl018();
-    let mut rows = Vec::new();
-    for &n in sizes {
+    let names: [&'static str; 2] = ["fifo", "motion_est"];
+    let points: Vec<(u32, usize)> = sizes
+        .iter()
+        .flat_map(|&n| (0..names.len()).map(move |c| (n, c)))
+        .collect();
+    par_map(&points, jobs, |_, &(n, c)| {
         let shape = ArrayShape::new(n, n);
         let mb = macroblock_for(n);
-        let cases: [(&'static str, AddressSequence); 2] = [
-            ("fifo", workloads::fifo(shape)),
-            ("motion_est", workloads::motion_est_read(shape, mb, mb, 0)),
-        ];
-        for (example, seq) in cases {
-            let pair = Srag2d::map(&seq, shape, Layout::RowMajor)
-                .unwrap_or_else(|e| panic!("{example}@{n}: {e}"));
-            let measure = |netlist: &adgen_netlist::Netlist| {
-                let t = TimingAnalysis::run(netlist, &library).expect("times");
-                let a = AreaReport::of(netlist, &library);
-                (t.critical_path_ns(), a.total())
-            };
-            let binary = pair
-                .elaborate_with_style(ControlStyle::BinaryCounters)
-                .expect("binary control");
-            let ring = pair
-                .elaborate_with_style(ControlStyle::RingCounters)
-                .expect("ring control");
-            let fsm = pair
-                .elaborate_with_style(ControlStyle::InteractingFsms)
-                .expect("fsm control");
-            let (binary_delay_ns, binary_area) = measure(&binary.netlist);
-            let (ring_delay_ns, ring_area) = measure(&ring.netlist);
-            let (fsm_delay_ns, fsm_area) = measure(&fsm.netlist);
-            let chained = pair
-                .elaborate_chained()
-                .expect("chaining elaborates")
-                .map(|c| measure(&c.netlist));
-            rows.push(AblationRow {
-                example,
-                n,
-                binary_delay_ns,
-                binary_area,
-                ring_delay_ns,
-                ring_area,
-                fsm_delay_ns,
-                fsm_area,
-                chained,
-            });
+        let example = names[c];
+        let seq = match example {
+            "fifo" => workloads::fifo(shape),
+            _ => workloads::motion_est_read(shape, mb, mb, 0),
+        };
+        let pair = Srag2d::map(&seq, shape, Layout::RowMajor)
+            .unwrap_or_else(|e| panic!("{example}@{n}: {e}"));
+        let measure = |netlist: &adgen_netlist::Netlist| {
+            let t = TimingAnalysis::run(netlist, &library).expect("times");
+            let a = AreaReport::of(netlist, &library);
+            (t.critical_path_ns(), a.total())
+        };
+        let binary = pair
+            .elaborate_with_style(ControlStyle::BinaryCounters)
+            .expect("binary control");
+        let ring = pair
+            .elaborate_with_style(ControlStyle::RingCounters)
+            .expect("ring control");
+        let fsm = pair
+            .elaborate_with_style(ControlStyle::InteractingFsms)
+            .expect("fsm control");
+        let (binary_delay_ns, binary_area) = measure(&binary.netlist);
+        let (ring_delay_ns, ring_area) = measure(&ring.netlist);
+        let (fsm_delay_ns, fsm_area) = measure(&fsm.netlist);
+        let chained = pair
+            .elaborate_chained()
+            .expect("chaining elaborates")
+            .map(|c| measure(&c.netlist));
+        AblationRow {
+            example,
+            n,
+            binary_delay_ns,
+            binary_area,
+            ring_delay_ns,
+            ring_area,
+            fsm_delay_ns,
+            fsm_area,
+            chained,
         }
-    }
-    rows
+    })
 }
 
 /// One row of the §7 time-sharing study.
@@ -450,42 +462,39 @@ impl SharingRow {
 ///
 /// Panics if mapping or elaboration fails (both streams are rings in
 /// both dimensions, so sharing is always applicable).
-pub fn sharing(sizes: &[u32]) -> Vec<SharingRow> {
+pub fn sharing(sizes: &[u32], jobs: usize) -> Vec<SharingRow> {
     use adgen_core::mapper::map_sequence;
     use adgen_core::shared::TimeSharedSragNetlist;
     let library = Library::vcl018();
-    sizes
-        .iter()
-        .map(|&n| {
-            let shape = ArrayShape::new(n, n);
-            let dims = |seq: &AddressSequence| {
-                let (rows, cols) = seq.decompose(shape, Layout::RowMajor).expect("in range");
-                (
-                    map_sequence(&rows).expect("rows map").spec,
-                    map_sequence(&cols).expect("cols map").spec,
-                )
-            };
-            let (wr, wc) = dims(&workloads::fifo(shape));
-            let (rr, rc) = dims(&workloads::transpose_scan(shape));
-            let area = |spec: &adgen_core::SragSpec| {
-                let d = SragNetlist::elaborate(spec).expect("elaborates");
-                AreaReport::of(&d.netlist, &library).total()
-            };
-            let separate_area = area(&wr) + area(&wc) + area(&rr) + area(&rc);
-            let shared = |a: &adgen_core::SragSpec, b: &adgen_core::SragSpec| {
-                let d = TimeSharedSragNetlist::elaborate(a, b)
-                    .expect("elaborates")
-                    .expect("share-compatible");
-                AreaReport::of(&d.netlist, &library).total()
-            };
-            let shared_area = shared(&wr, &rr) + shared(&wc, &rc);
-            SharingRow {
-                n,
-                separate_area,
-                shared_area,
-            }
-        })
-        .collect()
+    par_map(sizes, jobs, |_, &n| {
+        let shape = ArrayShape::new(n, n);
+        let dims = |seq: &AddressSequence| {
+            let (rows, cols) = seq.decompose(shape, Layout::RowMajor).expect("in range");
+            (
+                map_sequence(&rows).expect("rows map").spec,
+                map_sequence(&cols).expect("cols map").spec,
+            )
+        };
+        let (wr, wc) = dims(&workloads::fifo(shape));
+        let (rr, rc) = dims(&workloads::transpose_scan(shape));
+        let area = |spec: &adgen_core::SragSpec| {
+            let d = SragNetlist::elaborate(spec).expect("elaborates");
+            AreaReport::of(&d.netlist, &library).total()
+        };
+        let separate_area = area(&wr) + area(&wc) + area(&rr) + area(&rc);
+        let shared = |a: &adgen_core::SragSpec, b: &adgen_core::SragSpec| {
+            let d = TimeSharedSragNetlist::elaborate(a, b)
+                .expect("elaborates")
+                .expect("share-compatible");
+            AreaReport::of(&d.netlist, &library).total()
+        };
+        let shared_area = shared(&wr, &rr) + shared(&wc, &rc);
+        SharingRow {
+            n,
+            separate_area,
+            shared_area,
+        }
+    })
 }
 
 /// One point of the §7 interconnect-sensitivity study.
@@ -504,27 +513,30 @@ pub struct InterconnectRow {
 /// motion-estimation read generators — quantifying §7's "the
 /// interconnect and routing costs should also be considered".
 ///
+/// The generators are mapped and elaborated **once** for the whole
+/// sweep (see [`adgen_explorer::compare_srag_cntag_load_sweep`]);
+/// each load point then only re-runs the cached timing analysis.
+///
 /// # Panics
 ///
 /// Panics if mapping or elaboration fails.
-pub fn interconnect(loads_ff: &[f64]) -> Vec<InterconnectRow> {
+pub fn interconnect(loads_ff: &[f64], jobs: usize) -> Vec<InterconnectRow> {
     let library = Library::vcl018();
     let shape = ArrayShape::new(64, 64);
     let mb = macroblock_for(64);
     let seq = workloads::motion_est_read(shape, mb, mb, 0);
     let program = CntAgSpec::motion_est(shape, mb, mb, 0);
+    let rows = adgen_explorer::compare_srag_cntag_load_sweep(
+        &seq, shape, &program, &library, loads_ff, jobs,
+    )
+    .expect("comparable");
     loads_ff
         .iter()
-        .map(|&load_ff| {
-            let cmp = adgen_explorer::compare_srag_cntag_with_load(
-                &seq, shape, &program, &library, load_ff,
-            )
-            .expect("comparable");
-            InterconnectRow {
-                load_ff,
-                srag_delay_ns: cmp.srag_delay_ps / 1000.0,
-                cntag_delay_ns: cmp.cntag_delay_ps / 1000.0,
-            }
+        .zip(rows)
+        .map(|(&load_ff, cmp)| InterconnectRow {
+            load_ff,
+            srag_delay_ns: cmp.srag_delay_ps / 1000.0,
+            cntag_delay_ns: cmp.cntag_delay_ps / 1000.0,
         })
         .collect()
 }
@@ -540,8 +552,8 @@ pub fn canary() {
     let seq = workloads::motion_est_read(shape, 2, 2, 0);
     let pair = Srag2d::map(&seq, shape, Layout::RowMajor).expect("canary maps");
     let design = pair.elaborate().expect("canary elaborates");
-    let cnt = CntAgNetlist::elaborate(&CntAgSpec::motion_est(shape, 2, 2, 0))
-        .expect("canary baseline");
+    let cnt =
+        CntAgNetlist::elaborate(&CntAgSpec::motion_est(shape, 2, 2, 0)).expect("canary baseline");
     assert!(design.netlist.num_flip_flops() > 0);
     assert!(cnt.netlist.num_flip_flops() > 0);
 }
@@ -552,7 +564,7 @@ mod tests {
 
     #[test]
     fn fig3_4_shift_register_is_faster() {
-        let rows = fig3_4(&[8, 16, 32]);
+        let rows = fig3_4(&[8, 16, 32], 2);
         for r in &rows {
             assert!(
                 r.fsm_delay_ns > r.shift_register_delay_ns,
@@ -571,9 +583,13 @@ mod tests {
 
     #[test]
     fn fig8_trends_hold_at_small_sizes() {
-        let rows = fig8_9_10(&[16, 32]);
+        let rows = fig8_9_10(&[16, 32], 2);
         for r in &rows {
-            assert!(r.srag_read_delay_ns < r.cntag_read_delay_ns, "read @{}", r.n);
+            assert!(
+                r.srag_read_delay_ns < r.cntag_read_delay_ns,
+                "read @{}",
+                r.n
+            );
             assert!(
                 r.srag_read_area > r.cntag_read_area,
                 "area trade-off @{}",
@@ -584,7 +600,7 @@ mod tests {
 
     #[test]
     fn table3_factors_in_paper_direction() {
-        let rows = table3(&[16, 32]);
+        let rows = table3(&[16, 32], 2);
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(
@@ -604,7 +620,7 @@ mod tests {
 
     #[test]
     fn synth_time_rows_are_positive() {
-        let rows = synth_time(&[8, 16]);
+        let rows = synth_time(&[8, 16], 1);
         for r in &rows {
             assert!(r.fsm_seconds > 0.0);
             assert!(r.shift_register_seconds > 0.0);
@@ -618,7 +634,7 @@ mod tests {
 
     #[test]
     fn power_rows_have_positive_totals() {
-        let rows = power_study(&[16]);
+        let rows = power_study(&[16], 2);
         assert_eq!(rows.len(), 3);
         for r in &rows {
             assert!(r.comparison.srag.total_uw() > 0.0, "{}", r.example);
@@ -634,7 +650,7 @@ mod tests {
 
     #[test]
     fn ablation_ring_beats_binary_on_fifo() {
-        let rows = ablation(&[16]);
+        let rows = ablation(&[16], 2);
         let fifo = rows.iter().find(|r| r.example == "fifo").unwrap();
         assert!(fifo.ring_delay_ns < fifo.binary_delay_ns);
         assert!(fifo.ring_area > fifo.binary_area);
@@ -645,7 +661,7 @@ mod tests {
 
     #[test]
     fn interconnect_hurts_the_cntag_more() {
-        let rows = interconnect(&[0.0, 120.0]);
+        let rows = interconnect(&[0.0, 120.0], 2);
         let srag_growth = rows[1].srag_delay_ns - rows[0].srag_delay_ns;
         let cntag_growth = rows[1].cntag_delay_ns - rows[0].cntag_delay_ns;
         assert!(
@@ -656,7 +672,7 @@ mod tests {
 
     #[test]
     fn sharing_saves_at_least_a_third() {
-        let rows = sharing(&[16, 32]);
+        let rows = sharing(&[16, 32], 2);
         for r in &rows {
             assert!(r.saving() > 0.33, "n={} saving {}", r.n, r.saving());
             assert!(r.shared_area > 0.0);

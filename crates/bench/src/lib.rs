@@ -1,9 +1,11 @@
 //! Measurement kernels regenerating every table and figure of the
-//! paper's evaluation. The `repro` binary prints them; the Criterion
-//! benches time them; `EXPERIMENTS.md` records paper-vs-measured.
+//! paper's evaluation. The `repro` binary prints them; the std-only
+//! `benches/` programs time them; `EXPERIMENTS.md` records
+//! paper-vs-measured.
 
 pub mod experiments;
 pub mod report;
+pub mod stopwatch;
 
 pub use experiments::{
     ablation, fig3_4, fig8_9_10, interconnect, power_study, sharing, synth_time, table3,

@@ -37,8 +37,15 @@ pub fn render_fig3_4(rows: &[Fig34Row]) -> String {
 /// Renders the §3 synthesis-runtime comparison.
 pub fn render_synth_time(rows: &[SynthTimeRow]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Synthesis wall-clock (paper §3: 6 h FSM vs 36 min SR at N=256)");
-    let _ = writeln!(s, "{:>6} {:>14} {:>14} {:>8}", "N", "FSM/s", "SR/s", "ratio");
+    let _ = writeln!(
+        s,
+        "Synthesis wall-clock (paper §3: 6 h FSM vs 36 min SR at N=256)"
+    );
+    let _ = writeln!(
+        s,
+        "{:>6} {:>14} {:>14} {:>8}",
+        "N", "FSM/s", "SR/s", "ratio"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -65,7 +72,11 @@ pub fn render_fig8(rows: &[Fig8910Row]) -> String {
         let _ = writeln!(
             s,
             "{:>5}x{:<3} {:>11.3} {:>11.3} {:>11.3} {:>11.3}",
-            r.n, r.n, r.srag_write_delay_ns, r.cntag_write_delay_ns, r.srag_read_delay_ns,
+            r.n,
+            r.n,
+            r.srag_write_delay_ns,
+            r.cntag_write_delay_ns,
+            r.srag_read_delay_ns,
             r.cntag_read_delay_ns
         );
     }
@@ -94,7 +105,10 @@ pub fn render_fig9(rows: &[Fig8910Row]) -> String {
 /// Renders Fig. 10 (area vs array size).
 pub fn render_fig10(rows: &[Fig8910Row]) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "Fig. 10: address generator area vs array size (cell units)");
+    let _ = writeln!(
+        s,
+        "Fig. 10: address generator area vs array size (cell units)"
+    );
     let _ = writeln!(
         s,
         "{:>9} {:>11} {:>11} {:>11} {:>11}",
@@ -175,8 +189,16 @@ pub fn render_ablation(rows: &[crate::experiments::AblationRow]) -> String {
     let _ = writeln!(
         s,
         "{:<12} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "example", "array", "bin ns", "bin area", "ring ns", "ring area", "fsm ns", "fsm area",
-        "chain ns", "chain ar"
+        "example",
+        "array",
+        "bin ns",
+        "bin area",
+        "ring ns",
+        "ring area",
+        "fsm ns",
+        "fsm area",
+        "chain ns",
+        "chain ar"
     );
     for r in rows {
         let (cn, ca) = match r.chained {
@@ -235,7 +257,11 @@ pub fn render_interconnect(rows: &[crate::experiments::InterconnectRow]) -> Stri
         s,
         "Interconnect sensitivity (paper §7): select-line load sweep, 64x64 motion est (ns)"
     );
-    let _ = writeln!(s, "{:>10} {:>9} {:>9} {:>8}", "load/fF", "SRAG", "CntAG", "factor");
+    let _ = writeln!(
+        s,
+        "{:>10} {:>9} {:>9} {:>8}",
+        "load/fF", "SRAG", "CntAG", "factor"
+    );
     for r in rows {
         let _ = writeln!(
             s,

@@ -402,10 +402,8 @@ mod tests {
         let lib = Library::vcl018();
         let shape = ArrayShape::new(32, 32);
         let seq = workloads::fifo(shape);
-        let arith = ArithAgNetlist::elaborate(
-            &ArithAgSpec::from_sequence(&seq, shape).unwrap(),
-        )
-        .unwrap();
+        let arith =
+            ArithAgNetlist::elaborate(&ArithAgSpec::from_sequence(&seq, shape).unwrap()).unwrap();
         let arith_delay = TimingAnalysis::run(&arith.netlist, &lib)
             .unwrap()
             .critical_path_ps();

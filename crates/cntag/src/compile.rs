@@ -52,64 +52,64 @@ pub fn compile_loop_nest(
         let stages = &stages;
         let loops = &loops;
         move |expr: &AffineIndex| -> Result<Vec<BitSource>, SynthError> {
-        if expr.offset() != 0 {
-            return Err(SynthError::WidthTooLarge {
-                width: expr.offset().unsigned_abs() as u32,
-                max: 0,
-            });
-        }
-        // (shift, stage, width) per referenced variable.
-        let mut fields: Vec<(u32, usize, u32)> = Vec::new();
-        for (name, coeff) in expr.terms() {
-            if coeff == 0 {
-                continue;
-            }
-            let stage = loops
-                .iter()
-                .position(|l| l.name() == name)
-                .ok_or(SynthError::EmptyStateSpace)?;
-            let l = loops[stage];
-            if l.trip_count() == 0 {
-                continue; // zero-trip loop contributes nothing
-            }
-            if coeff < 0 || !(coeff as u64).is_power_of_two() {
+            if expr.offset() != 0 {
                 return Err(SynthError::WidthTooLarge {
-                    width: coeff.unsigned_abs() as u32,
+                    width: expr.offset().unsigned_abs() as u32,
                     max: 0,
                 });
             }
-            if nest.loops()[nest.loops().len() - 1 - stage].trip_count() > 1
-                && !l.trip_count().is_power_of_two()
-            {
-                return Err(SynthError::WidthTooLarge {
-                    width: l.trip_count() as u32,
-                    max: 0,
-                });
+            // (shift, stage, width) per referenced variable.
+            let mut fields: Vec<(u32, usize, u32)> = Vec::new();
+            for (name, coeff) in expr.terms() {
+                if coeff == 0 {
+                    continue;
+                }
+                let stage = loops
+                    .iter()
+                    .position(|l| l.name() == name)
+                    .ok_or(SynthError::EmptyStateSpace)?;
+                let l = loops[stage];
+                if l.trip_count() == 0 {
+                    continue; // zero-trip loop contributes nothing
+                }
+                if coeff < 0 || !(coeff as u64).is_power_of_two() {
+                    return Err(SynthError::WidthTooLarge {
+                        width: coeff.unsigned_abs() as u32,
+                        max: 0,
+                    });
+                }
+                if nest.loops()[nest.loops().len() - 1 - stage].trip_count() > 1
+                    && !l.trip_count().is_power_of_two()
+                {
+                    return Err(SynthError::WidthTooLarge {
+                        width: l.trip_count() as u32,
+                        max: 0,
+                    });
+                }
+                let shift = (coeff as u64).trailing_zeros();
+                let width = stages[stage].width();
+                if width > 0 {
+                    fields.push((shift, stage, width));
+                }
             }
-            let shift = (coeff as u64).trailing_zeros();
-            let width = stages[stage].width();
-            if width > 0 {
-                fields.push((shift, stage, width));
+            fields.sort_by_key(|&(shift, _, _)| shift);
+            // Bit fields must tile from bit 0 without gaps or overlap so
+            // the word is a pure concatenation.
+            let mut sources = Vec::new();
+            let mut next_bit = 0u32;
+            for (shift, stage, width) in fields {
+                if shift != next_bit {
+                    return Err(SynthError::WidthTooLarge {
+                        width: shift,
+                        max: next_bit,
+                    });
+                }
+                for bit in 0..width {
+                    sources.push(BitSource { stage, bit });
+                }
+                next_bit += width;
             }
-        }
-        fields.sort_by_key(|&(shift, _, _)| shift);
-        // Bit fields must tile from bit 0 without gaps or overlap so
-        // the word is a pure concatenation.
-        let mut sources = Vec::new();
-        let mut next_bit = 0u32;
-        for (shift, stage, width) in fields {
-            if shift != next_bit {
-                return Err(SynthError::WidthTooLarge {
-                    width: shift,
-                    max: next_bit,
-                });
-            }
-            for bit in 0..width {
-                sources.push(BitSource { stage, bit });
-            }
-            next_bit += width;
-        }
-        Ok(sources)
+            Ok(sources)
         }
     };
 
@@ -183,10 +183,7 @@ mod tests {
     #[test]
     fn compiles_transpose_kernel() {
         let shape = ArrayShape::new(8, 8);
-        let nest = LoopNest::new(vec![
-            LoopVar::new("c", 0, 8),
-            LoopVar::new("r", 0, 8),
-        ]);
+        let nest = LoopNest::new(vec![LoopVar::new("c", 0, 8), LoopVar::new("r", 0, 8)]);
         let spec = compile_loop_nest(
             &nest,
             &AffineIndex::new(&[("r", 1)], 0),
@@ -215,10 +212,7 @@ mod tests {
     #[test]
     fn rejects_overlapping_bit_fields() {
         let shape = ArrayShape::new(8, 8);
-        let nest = LoopNest::new(vec![
-            LoopVar::new("a", 0, 4),
-            LoopVar::new("b", 0, 4),
-        ]);
+        let nest = LoopNest::new(vec![LoopVar::new("a", 0, 4), LoopVar::new("b", 0, 4)]);
         // Both fields start at bit 0.
         let err = compile_loop_nest(
             &nest,

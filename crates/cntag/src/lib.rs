@@ -37,6 +37,8 @@ pub mod spec;
 
 pub use arith::{ArithAgNetlist, ArithAgSimulator, ArithAgSpec};
 pub use compile::compile_loop_nest;
+pub use netlist::{
+    component_delays, CntAgNetlist, ComponentDelays, ComponentNetlists, ComponentTimer,
+};
 pub use rom::{RomAgNetlist, RomAgSimulator, RomAgSpec};
-pub use netlist::{component_delays, CntAgNetlist, ComponentDelays};
 pub use spec::{BitSource, CntAgSimulator, CntAgSpec, CounterStage};

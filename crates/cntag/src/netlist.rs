@@ -2,7 +2,7 @@
 //! including the row/column address decoders, plus the
 //! per-component delay breakdown of paper Fig. 9.
 
-use adgen_netlist::{Library, NetId, Netlist, Simulator, TimingAnalysis};
+use adgen_netlist::{Library, NetId, Netlist, Simulator, TimingAnalysis, TimingContext};
 use adgen_synth::fsm::MAX_FANOUT;
 use adgen_synth::mapgen::{build_decoder, build_mod_counter};
 use adgen_synth::techmap::insert_fanout_buffers;
@@ -65,7 +65,10 @@ impl CntAgNetlist {
 
         // Address words.
         let pick = |sources: &[crate::spec::BitSource]| -> Vec<NetId> {
-            sources.iter().map(|b| stage_q[b.stage][b.bit as usize]).collect()
+            sources
+                .iter()
+                .map(|b| stage_q[b.stage][b.bit as usize])
+                .collect()
         };
         let row_addr = pick(&spec.row_bits);
         let col_addr = pick(&spec.col_bits);
@@ -178,37 +181,110 @@ pub fn component_delays_with_load(
     library: &Library,
     select_line_load_ff: f64,
 ) -> Result<ComponentDelays, SynthError> {
-    spec.validate();
-    // Counter-only netlist.
-    let counter_ps = {
-        let mut n = Netlist::new("cntag_counter");
-        let next = n.add_input("next");
-        let mut enable = next;
-        for (i, stage) in spec.stages.iter().enumerate() {
-            let c = build_mod_counter(&mut n, stage.modulus, enable, &format!("st{i}"))?;
-            for &q in &c.q {
-                n.add_output(q);
+    let components = ComponentNetlists::elaborate(spec)?;
+    let timer = components.timer(library)?;
+    Ok(timer.delays_at(select_line_load_ff))
+}
+
+/// The CntAG's isolated component netlists (counter cascade, row and
+/// column decoders), elaborated once so a load or frequency sweep
+/// does not rebuild them per point. Pair with [`Self::timer`] to get
+/// a reusable [`ComponentTimer`].
+#[derive(Debug, Clone)]
+pub struct ComponentNetlists {
+    counter: Netlist,
+    row_decoder: Netlist,
+    col_decoder: Netlist,
+}
+
+impl ComponentNetlists {
+    /// Elaborates the three component netlists of `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates structural-generation failures.
+    pub fn elaborate(spec: &CntAgSpec) -> Result<Self, SynthError> {
+        spec.validate();
+        let counter = {
+            let mut n = Netlist::new("cntag_counter");
+            let next = n.add_input("next");
+            let mut enable = next;
+            for (i, stage) in spec.stages.iter().enumerate() {
+                let c = build_mod_counter(&mut n, stage.modulus, enable, &format!("st{i}"))?;
+                for &q in &c.q {
+                    n.add_output(q);
+                }
+                enable = c.wrap;
             }
-            enable = c.wrap;
+            insert_fanout_buffers(&mut n, MAX_FANOUT)?;
+            n
+        };
+        Ok(ComponentNetlists {
+            counter,
+            row_decoder: standalone_decoder(spec.row_bits.len(), spec.shape.height() as usize)?,
+            col_decoder: standalone_decoder(spec.col_bits.len(), spec.shape.width() as usize)?,
+        })
+    }
+
+    /// Builds timing contexts over the component netlists. The
+    /// counter's delay is load-independent and computed here once;
+    /// each [`ComponentTimer::delays_at`] call then only re-times the
+    /// two decoders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation/timing failures.
+    pub fn timer<'a>(&'a self, library: &'a Library) -> Result<ComponentTimer<'a>, SynthError> {
+        Ok(ComponentTimer {
+            counter_ps: TimingContext::new(&self.counter, library)?
+                .run()
+                .critical_path_ps(),
+            row: TimingContext::new(&self.row_decoder, library)?,
+            col: TimingContext::new(&self.col_decoder, library)?,
+        })
+    }
+}
+
+/// Reusable per-load timer over a [`ComponentNetlists`].
+#[derive(Debug, Clone)]
+pub struct ComponentTimer<'a> {
+    counter_ps: f64,
+    row: TimingContext<'a>,
+    col: TimingContext<'a>,
+}
+
+impl ComponentTimer<'_> {
+    /// The component delays with `select_line_load_ff` femtofarads of
+    /// external load on every select line.
+    pub fn delays_at(&self, select_line_load_ff: f64) -> ComponentDelays {
+        ComponentDelays {
+            counter_ps: self.counter_ps,
+            row_decoder_ps: self
+                .row
+                .run_with_output_load(select_line_load_ff)
+                .critical_path_ps(),
+            col_decoder_ps: self
+                .col
+                .run_with_output_load(select_line_load_ff)
+                .critical_path_ps(),
         }
-        insert_fanout_buffers(&mut n, MAX_FANOUT)?;
-        TimingAnalysis::run(&n, library)?.critical_path_ps()
-    };
-    Ok(ComponentDelays {
-        counter_ps,
-        row_decoder_ps: decoder_delay_with_load_ps(
-            spec.row_bits.len(),
-            spec.shape.height() as usize,
-            library,
-            select_line_load_ff,
-        )?,
-        col_decoder_ps: decoder_delay_with_load_ps(
-            spec.col_bits.len(),
-            spec.shape.width() as usize,
-            library,
-            select_line_load_ff,
-        )?,
-    })
+    }
+}
+
+/// A standalone `address_bits → lines_kept` decoder block with
+/// registered-address inputs, shared by the one-shot and memoized
+/// delay paths.
+fn standalone_decoder(address_bits: usize, lines_kept: usize) -> Result<Netlist, SynthError> {
+    let mut n = Netlist::new("component_decoder");
+    let addr: Vec<NetId> = (0..address_bits)
+        .map(|b| n.add_input(format!("a{b}")))
+        .collect();
+    let outs = build_decoder(&mut n, &addr)?;
+    for &o in outs.iter().take(lines_kept) {
+        n.add_output(o);
+    }
+    insert_fanout_buffers(&mut n, MAX_FANOUT)?;
+    Ok(n)
 }
 
 /// Input-to-output delay of a standalone `address_bits → lines_kept`
@@ -238,19 +314,8 @@ pub fn decoder_delay_with_load_ps(
     library: &Library,
     select_line_load_ff: f64,
 ) -> Result<f64, SynthError> {
-    let mut n = Netlist::new("component_decoder");
-    let addr: Vec<NetId> = (0..address_bits)
-        .map(|b| n.add_input(format!("a{b}")))
-        .collect();
-    let outs = build_decoder(&mut n, &addr)?;
-    for &o in outs.iter().take(lines_kept) {
-        n.add_output(o);
-    }
-    insert_fanout_buffers(&mut n, MAX_FANOUT)?;
-    Ok(
-        TimingAnalysis::run_with_output_load(&n, library, select_line_load_ff)?
-            .critical_path_ps(),
-    )
+    let n = standalone_decoder(address_bits, lines_kept)?;
+    Ok(TimingAnalysis::run_with_output_load(&n, library, select_line_load_ff)?.critical_path_ps())
 }
 
 #[cfg(test)]
@@ -333,8 +398,7 @@ mod tests {
         // library and is documented in EXPERIMENTS.md.
         let lib = Library::vcl018();
         let small = component_delays(&CntAgSpec::raster(ArrayShape::new(16, 16)), &lib).unwrap();
-        let large =
-            component_delays(&CntAgSpec::raster(ArrayShape::new(256, 256)), &lib).unwrap();
+        let large = component_delays(&CntAgSpec::raster(ArrayShape::new(256, 256)), &lib).unwrap();
         let decoder_growth = large.row_decoder_ps / small.row_decoder_ps;
         let counter_growth = large.counter_ps / small.counter_ps;
         assert!(

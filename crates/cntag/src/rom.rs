@@ -193,8 +193,7 @@ impl RomAgNetlist {
             spec.shape.height() as usize,
             library,
         )?;
-        let col =
-            crate::netlist::decoder_delay_ps(col_bits, spec.shape.width() as usize, library)?;
+        let col = crate::netlist::decoder_delay_ps(col_bits, spec.shape.width() as usize, library)?;
         Ok(core + row.max(col))
     }
 
@@ -297,8 +296,8 @@ mod tests {
         let lib = Library::vcl018();
         let shape = ArrayShape::new(16, 16);
         let area_of = |seq: &AddressSequence| {
-            let d = RomAgNetlist::elaborate(&RomAgSpec::from_sequence(seq, shape).unwrap())
-                .unwrap();
+            let d =
+                RomAgNetlist::elaborate(&RomAgSpec::from_sequence(seq, shape).unwrap()).unwrap();
             AreaReport::of(&d.netlist, &lib).total()
         };
         let regular = area_of(&workloads::motion_est_read(shape, 2, 2, 0));

@@ -44,7 +44,11 @@ impl ShiftRegisterSpec {
         let mut sorted = lines.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), lines.len(), "duplicate select line in register");
+        assert_eq!(
+            sorted.len(),
+            lines.len(),
+            "duplicate select line in register"
+        );
         ShiftRegisterSpec { lines }
     }
 

@@ -181,10 +181,7 @@ impl Srag2d {
     /// # Errors
     ///
     /// Propagates construction failures.
-    pub fn elaborate_with_style(
-        &self,
-        style: ControlStyle,
-    ) -> Result<Srag2dNetlist, SragError> {
+    pub fn elaborate_with_style(&self, style: ControlStyle) -> Result<Srag2dNetlist, SragError> {
         let mut n = Netlist::new(format!(
             "srag2d_{:?}_{}x{}",
             style,
@@ -357,11 +354,7 @@ mod tests {
         sim.step_bools(&[true, false]).unwrap();
         for (i, &expected) in lin.iter().enumerate() {
             sim.step_bools(&[false, true]).unwrap();
-            assert_eq!(
-                design.observed_address(&sim),
-                Some(expected),
-                "step {i}"
-            );
+            assert_eq!(design.observed_address(&sim), Some(expected), "step {i}");
         }
     }
 
@@ -443,7 +436,9 @@ mod tests {
         let shape = ArrayShape::new(4, 4);
         let lin = workloads::motion_est_read(shape, 2, 2, 0);
         let pair = Srag2d::map(&lin, shape, Layout::RowMajor).unwrap();
-        let design = pair.elaborate_with_style(ControlStyle::RingCounters).unwrap();
+        let design = pair
+            .elaborate_with_style(ControlStyle::RingCounters)
+            .unwrap();
         let mut sim = Simulator::new(&design.netlist).unwrap();
         sim.step_bools(&[true, false]).unwrap();
         for (i, &expected) in lin.iter().enumerate() {
@@ -490,8 +485,7 @@ mod tests {
         let shape = ArrayShape::new(16, 16);
         let lin = workloads::fifo(shape);
         let pair = Srag2d::map(&lin, shape, Layout::RowMajor).unwrap();
-        let ffs =
-            pair.row().spec.num_flip_flops() + pair.col().spec.num_flip_flops();
+        let ffs = pair.row().spec.num_flip_flops() + pair.col().spec.num_flip_flops();
         assert_eq!(ffs, 32, "two-hot: H + W flip-flops, not H x W");
     }
 }

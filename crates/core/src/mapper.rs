@@ -255,9 +255,7 @@ mod tests {
     fn div_cnt_violation_reported_with_position() {
         // Paper's counter-example: 5,5,5,1,1,… has dC 3 for address 5
         // but 2 elsewhere.
-        let s = AddressSequence::from_vec(vec![
-            5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2,
-        ]);
+        let s = AddressSequence::from_vec(vec![5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]);
         let err = map_sequence(&s).unwrap_err();
         match err {
             SragError::DivCntViolation {
@@ -324,14 +322,10 @@ mod tests {
 
     #[test]
     fn paper_fig5_sequences_map() {
-        let a = AddressSequence::from_vec(vec![
-            5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2,
-        ]);
+        let a = AddressSequence::from_vec(vec![5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]);
         let m = map_sequence(&a).unwrap();
         assert_eq!(m.spec.div_count, 2);
-        let b = AddressSequence::from_vec(vec![
-            5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2,
-        ]);
+        let b = AddressSequence::from_vec(vec![5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2]);
         let m = map_sequence(&b).unwrap();
         assert_eq!(m.spec.div_count, 1);
         assert_eq!(m.spec.pass_count, 8);
@@ -340,8 +334,7 @@ mod tests {
 
     #[test]
     fn column_sequence_of_table1_maps() {
-        let cols =
-            AddressSequence::from_vec(vec![0, 1, 0, 1, 2, 3, 2, 3, 0, 1, 0, 1, 2, 3, 2, 3]);
+        let cols = AddressSequence::from_vec(vec![0, 1, 0, 1, 2, 3, 2, 3, 0, 1, 0, 1, 2, 3, 2, 3]);
         let m = map_sequence(&cols).unwrap();
         assert_eq!(m.spec.div_count, 1);
         assert_eq!(m.spec.pass_count, 4);

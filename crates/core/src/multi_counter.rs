@@ -168,9 +168,7 @@ impl AddressGenerator for MultiCounterSragSimulator {
 /// * [`SragError::PassCntViolation`] if a register's workload is not
 ///   a multiple of its length.
 /// * [`SragError::GroupingFailure`] if verification fails.
-pub fn map_sequence_relaxed(
-    sequence: &AddressSequence,
-) -> Result<MultiCounterSragSpec, SragError> {
+pub fn map_sequence_relaxed(sequence: &AddressSequence) -> Result<MultiCounterSragSpec, SragError> {
     if sequence.is_empty() {
         return Err(SragError::EmptySequence);
     }
@@ -391,8 +389,7 @@ impl MultiCounterSragNetlist {
             pass.push(lo);
         } else {
             for (i, r) in spec.registers.iter().enumerate() {
-                let token_here = or_tree(&mut n, &q[i][..r.len()])
-                    .map_err(SragError::from)?;
+                let token_here = or_tree(&mut n, &q[i][..r.len()]).map_err(SragError::from)?;
                 let count_en = n
                     .gate(CellKind::And2, &[enable, token_here])
                     .map_err(SragError::from)?;
@@ -423,9 +420,7 @@ impl MultiCounterSragNetlist {
                     let prev = (i + num_regs - 1) % num_regs;
                     let tail = q[prev][spec.registers[prev].len() - 1];
                     let recirc = q[i][r.len() - 1];
-                    let stay = n
-                        .gate(CellKind::Inv, &[pass[i]])
-                        .map_err(SragError::from)?;
+                    let stay = n.gate(CellKind::Inv, &[pass[i]]).map_err(SragError::from)?;
                     let kept = n
                         .gate(CellKind::And2, &[recirc, stay])
                         .map_err(SragError::from)?;
@@ -482,9 +477,7 @@ mod tests {
     /// The paper's DivCnt counter-example now maps.
     #[test]
     fn paper_divcnt_counterexample_maps() {
-        let s = AddressSequence::from_vec(vec![
-            5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2,
-        ]);
+        let s = AddressSequence::from_vec(vec![5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]);
         let spec = map_sequence_relaxed(&s).unwrap();
         let mut sim = MultiCounterSragSimulator::new(spec);
         assert_eq!(sim.collect_sequence(s.len()), s);
@@ -514,9 +507,7 @@ mod tests {
 
     #[test]
     fn uniform_sequences_still_map() {
-        let s = AddressSequence::from_vec(vec![
-            0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3,
-        ]);
+        let s = AddressSequence::from_vec(vec![0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3]);
         let spec = map_sequence_relaxed(&s).unwrap();
         let mut sim = MultiCounterSragSimulator::new(spec);
         assert_eq!(sim.collect_sequence(s.len()), s);
@@ -533,9 +524,7 @@ mod tests {
 
     #[test]
     fn gate_level_matches_behaviour_divcnt_case() {
-        let s = AddressSequence::from_vec(vec![
-            5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2,
-        ]);
+        let s = AddressSequence::from_vec(vec![5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]);
         let spec = map_sequence_relaxed(&s).unwrap();
         let design = MultiCounterSragNetlist::elaborate(&spec).unwrap();
         let mut sim = Simulator::new(&design.netlist).unwrap();
@@ -602,9 +591,7 @@ mod tests {
 
     #[test]
     fn period_accounts_for_non_uniform_counts() {
-        let s = AddressSequence::from_vec(vec![
-            5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2,
-        ]);
+        let s = AddressSequence::from_vec(vec![5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]);
         let spec = map_sequence_relaxed(&s).unwrap();
         assert_eq!(spec.period(), s.len());
     }

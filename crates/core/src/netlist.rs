@@ -60,10 +60,7 @@ impl SragNetlist {
     /// # Errors
     ///
     /// Propagates construction failures.
-    pub fn elaborate_with_style(
-        spec: &SragSpec,
-        style: ControlStyle,
-    ) -> Result<Self, SragError> {
+    pub fn elaborate_with_style(spec: &SragSpec, style: ControlStyle) -> Result<Self, SragError> {
         let mut n = Netlist::new(format!(
             "srag_{}r_{}ff",
             spec.num_registers(),
@@ -163,9 +160,9 @@ pub fn build_into_parts(
     // style; returns the wrap signal (high when the divider is at its
     // terminal count and the stimulus is asserted).
     let divider = |n: &mut Netlist,
-                       count: usize,
-                       stimulus: NetId,
-                       name: String|
+                   count: usize,
+                   stimulus: NetId,
+                   name: String|
      -> Result<NetId, SragError> {
         Ok(match style {
             ControlStyle::BinaryCounters => {
@@ -207,7 +204,12 @@ pub fn build_into_parts(
 
     // PassCnt: count enables up to pC (only needed with >1 register).
     let pass = if spec.num_registers() > 1 {
-        Some(divider(n, spec.pass_count, enable, format!("{prefix}passcnt"))?)
+        Some(divider(
+            n,
+            spec.pass_count,
+            enable,
+            format!("{prefix}passcnt"),
+        )?)
     } else {
         None
     };
@@ -282,9 +284,8 @@ pub fn build_into_parts(
             .map_err(SragError::from)?,
         Some(p) => {
             let token_in_last = or_tree(n, &q[last]).map_err(SragError::from)?;
-            
-            n
-                .gate(CellKind::And2, &[p, token_in_last])
+
+            n.gate(CellKind::And2, &[p, token_in_last])
                 .map_err(SragError::from)?
         }
     };
@@ -365,9 +366,7 @@ mod tests {
 
     #[test]
     fn mapped_table2_machine_matches_gate_level() {
-        let rows = AddressSequence::from_vec(vec![
-            0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3,
-        ]);
+        let rows = AddressSequence::from_vec(vec![0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3]);
         let m = map_sequence(&rows).unwrap();
         let design = SragNetlist::elaborate(&m.spec).unwrap();
         let got = run_gate_level(&design, rows.len());
@@ -451,10 +450,9 @@ mod tests {
             8,
             8,
         );
-        let binary = SragNetlist::elaborate_with_style(&spec, ControlStyle::BinaryCounters)
-            .unwrap();
-        let ring =
-            SragNetlist::elaborate_with_style(&spec, ControlStyle::RingCounters).unwrap();
+        let binary =
+            SragNetlist::elaborate_with_style(&spec, ControlStyle::BinaryCounters).unwrap();
+        let ring = SragNetlist::elaborate_with_style(&spec, ControlStyle::RingCounters).unwrap();
         assert_eq!(run_gate_level(&binary, 60), run_gate_level(&ring, 60));
         // Ring control trades flip-flops for logic: more FFs than the
         // binary-counter version.
@@ -474,8 +472,7 @@ mod tests {
         );
         let binary =
             SragNetlist::elaborate_with_style(&spec, ControlStyle::BinaryCounters).unwrap();
-        let fsm =
-            SragNetlist::elaborate_with_style(&spec, ControlStyle::InteractingFsms).unwrap();
+        let fsm = SragNetlist::elaborate_with_style(&spec, ControlStyle::InteractingFsms).unwrap();
         assert_eq!(run_gate_level(&binary, 96), run_gate_level(&fsm, 96));
     }
 
@@ -495,10 +492,9 @@ mod tests {
             32,
         );
         let lib = Library::vcl018();
-        let binary = SragNetlist::elaborate_with_style(&spec, ControlStyle::BinaryCounters)
-            .unwrap();
-        let ring =
-            SragNetlist::elaborate_with_style(&spec, ControlStyle::RingCounters).unwrap();
+        let binary =
+            SragNetlist::elaborate_with_style(&spec, ControlStyle::BinaryCounters).unwrap();
+        let ring = SragNetlist::elaborate_with_style(&spec, ControlStyle::RingCounters).unwrap();
         let tb = TimingAnalysis::run(&binary.netlist, &lib).unwrap();
         let tr = TimingAnalysis::run(&ring.netlist, &lib).unwrap();
         assert!(
@@ -516,8 +512,7 @@ mod tests {
         let mut n = Netlist::new("wrap");
         let next = n.add_input("next");
         let parts =
-            build_into_parts(&mut n, &spec, next, "", ControlStyle::BinaryCounters, None)
-                .unwrap();
+            build_into_parts(&mut n, &spec, next, "", ControlStyle::BinaryCounters, None).unwrap();
         n.add_output(parts.cycle_wrap);
         insert_fanout_buffers(&mut n, MAX_FANOUT).unwrap();
         let mut sim = Simulator::new(&n).unwrap();
@@ -529,10 +524,7 @@ mod tests {
         }
         assert_eq!(
             fired,
-            vec![
-                false, false, false, true, false, false, false, true, false, false, false,
-                true
-            ]
+            vec![false, false, false, true, false, false, false, true, false, false, false, true]
         );
     }
 

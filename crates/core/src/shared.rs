@@ -60,10 +60,7 @@ impl TimeSharedSragNetlist {
         if !share_compatible(a, b) {
             return Ok(None);
         }
-        let mut n = Netlist::new(format!(
-            "srag_shared_{}ff",
-            a.num_flip_flops()
-        ));
+        let mut n = Netlist::new(format!("srag_shared_{}ff", a.num_flip_flops()));
         let next = n.add_input("next");
         let mode = n.add_input("mode");
         let rst = n.reset();

@@ -1,0 +1,135 @@
+//! A scoped thread pool with deterministic result ordering.
+//!
+//! Work items are claimed by an atomic cursor, so threads self-balance
+//! across items of very different cost (a 256×256 synthesis next to a
+//! 16×16 one). Results are written back into per-item slots, so the
+//! output order is the input order — byte-identical to a serial run —
+//! no matter how the items were scheduled.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of hardware threads available, with a serial fallback of 1.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing jobs knob: `0` means "use every core".
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        available_jobs()
+    } else {
+        jobs
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` threads (`0` = all cores),
+/// returning results in input order.
+///
+/// Equivalent to `items.iter().enumerate().map(|(i, t)| f(i, t))`,
+/// including the ordering of the output — parallelism is purely a
+/// wall-clock optimization, never a semantic one.
+///
+/// # Panics
+///
+/// If `f` panics on any item the panic is propagated to the caller
+/// once all threads have stopped (the behaviour of
+/// [`std::thread::scope`]).
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = resolve_jobs(jobs).min(items.len().max(1));
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let r = f(i, item);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                // Re-raise the worker's own panic payload so callers
+                // (and #[should_panic] tests) see the original message.
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map(&items, 1, |i, &x| (i as u64) * 1000 + x * x);
+        let parallel = par_map(&items, 8, |i, &x| (i as u64) * 1000 + x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_jobs_means_all_cores() {
+        assert_eq!(resolve_jobs(0), available_jobs());
+        assert_eq!(resolve_jobs(3), 3);
+        let out = par_map(&[1, 2, 3], 0, |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7], 4, |i, &x| (i, x)), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn unbalanced_items_self_schedule() {
+        // Items of wildly different cost still come back in order.
+        let items: Vec<u64> = vec![1_000_000, 1, 1, 1, 500_000, 1, 1, 1];
+        let out = par_map(&items, 4, |i, &n| {
+            let mut acc = 0u64;
+            for k in 0..n {
+                acc = acc.wrapping_add(k ^ i as u64);
+            }
+            (i, acc)
+        });
+        for (i, pair) in out.iter().enumerate() {
+            assert_eq!(pair.0, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map(&items, 4, |_, &x| {
+            if x == 9 {
+                panic!("worker boom");
+            }
+            x
+        });
+    }
+}

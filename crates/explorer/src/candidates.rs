@@ -1,13 +1,10 @@
 //! Candidate enumeration and evaluation for one address sequence.
 
 use adgen_cntag::{
-    component_delays, ArithAgNetlist, ArithAgSpec, CntAgNetlist, CntAgSpec, RomAgNetlist,
-    RomAgSpec,
+    component_delays, ArithAgNetlist, ArithAgSpec, CntAgNetlist, CntAgSpec, RomAgNetlist, RomAgSpec,
 };
 use adgen_core::composite::Srag2d;
-use adgen_core::multi_counter::{
-    map_sequence_relaxed, MultiCounterSragNetlist,
-};
+use adgen_core::multi_counter::{map_sequence_relaxed, MultiCounterSragNetlist};
 use adgen_netlist::{AreaReport, Library, TimingAnalysis};
 use adgen_seq::{AddressSequence, ArrayShape, Layout};
 use adgen_synth::{Encoding, Fsm, OutputStyle};
@@ -110,166 +107,191 @@ pub fn evaluate(
     library: &Library,
     options: &EvaluateOptions,
 ) -> Evaluation {
+    evaluate_jobs(sequence, shape, library, options, 1)
+}
+
+/// [`evaluate`] with the architecture families fanned across `jobs`
+/// worker threads (`0` means all available cores). The result is
+/// identical to the serial evaluation: candidates and rejections both
+/// come back in the fixed family order (SRAG, MC-SRAG, CntAG,
+/// ArithAG, RomAG, then each requested FSM encoding) regardless of
+/// which thread finished first.
+pub fn evaluate_jobs(
+    sequence: &AddressSequence,
+    shape: ArrayShape,
+    library: &Library,
+    options: &EvaluateOptions,
+    jobs: usize,
+) -> Evaluation {
+    let mut families = vec![
+        Architecture::Srag,
+        Architecture::MultiCounterSrag,
+        Architecture::CntAg,
+        Architecture::ArithAg,
+        Architecture::RomAg,
+    ];
+    families.extend(
+        options
+            .fsm_encodings
+            .iter()
+            .map(|&e| Architecture::SymbolicFsm(e)),
+    );
+
+    let results = adgen_exec::par_map(&families, jobs, |_, &arch| {
+        evaluate_family(arch, sequence, shape, library, options)
+    });
+
     let mut candidates = Vec::new();
     let mut rejected = Vec::new();
-
-    // SRAG.
-    match Srag2d::map(sequence, shape, Layout::RowMajor).and_then(|m| m.elaborate()) {
-        Ok(design) => match TimingAnalysis::run(&design.netlist, library) {
-            Ok(t) => candidates.push(Candidate {
-                architecture: Architecture::Srag,
-                delay_ps: t.critical_path_ps(),
-                area: AreaReport::of(&design.netlist, library).total(),
-                flip_flops: design.netlist.num_flip_flops(),
-            }),
-            Err(e) => rejected.push((Architecture::Srag, e.to_string())),
-        },
-        Err(e) => rejected.push((Architecture::Srag, e.to_string())),
-    }
-
-    // Multi-counter SRAG: evaluated on the two decomposed streams.
-    let mc = sequence
-        .decompose(shape, Layout::RowMajor)
-        .map_err(adgen_core::SragError::from)
-        .and_then(|(rows, cols)| {
-            let r = map_sequence_relaxed(&rows)?;
-            let c = map_sequence_relaxed(&cols)?;
-            let rn = MultiCounterSragNetlist::elaborate(&r)?;
-            let cn = MultiCounterSragNetlist::elaborate(&c)?;
-            let rt = TimingAnalysis::run(&rn.netlist, library)?;
-            let ct = TimingAnalysis::run(&cn.netlist, library)?;
-            Ok(Candidate {
-                architecture: Architecture::MultiCounterSrag,
-                delay_ps: rt.critical_path_ps().max(ct.critical_path_ps()),
-                area: AreaReport::of(&rn.netlist, library).total()
-                    + AreaReport::of(&cn.netlist, library).total(),
-                flip_flops: rn.netlist.num_flip_flops() + cn.netlist.num_flip_flops(),
-            })
-        });
-    match mc {
-        Ok(c) => candidates.push(c),
-        Err(e) => rejected.push((Architecture::MultiCounterSrag, e.to_string())),
-    }
-
-    // CntAG baseline, when a counter program exists.
-    match &options.cntag_program {
-        Some(program) => {
-            let result = CntAgNetlist::elaborate(program).and_then(|design| {
-                let comps = component_delays(program, library)?;
-                Ok(Candidate {
-                    architecture: Architecture::CntAg,
-                    delay_ps: comps.total_ps(),
-                    area: AreaReport::of(&design.netlist, library).total(),
-                    flip_flops: design.netlist.num_flip_flops(),
-                })
-            });
-            match result {
-                Ok(c) => candidates.push(c),
-                Err(e) => rejected.push((Architecture::CntAg, e.to_string())),
-            }
-        }
-        None => rejected.push((
-            Architecture::CntAg,
-            "no counter-cascade program known for this sequence".to_string(),
-        )),
-    }
-
-    // Arithmetic generator: applicable whenever the delta stream has
-    // a short period and the shape is power-of-two.
-    let arith = if shape.width().is_power_of_two() && shape.height().is_power_of_two() {
-        ArithAgSpec::from_sequence(sequence, shape)
-            .and_then(|spec| ArithAgNetlist::elaborate(&spec))
-            .map_err(|e| e.to_string())
-            .and_then(|design| {
-                let delay = design
-                    .serial_delay_ps(library)
-                    .map_err(|e| e.to_string())?;
-                Ok(Candidate {
-                    architecture: Architecture::ArithAg,
-                    delay_ps: delay,
-                    area: AreaReport::of(&design.netlist, library).total(),
-                    flip_flops: design.netlist.num_flip_flops(),
-                })
-            })
-    } else {
-        Err("array dimensions are not powers of two".to_string())
-    };
-    match arith {
-        Ok(c) => candidates.push(c),
-        Err(e) => rejected.push((Architecture::ArithAg, e)),
-    }
-
-    // Table-lookup generator: the universal fallback.
-    let rom = if shape.width().is_power_of_two() && shape.height().is_power_of_two() {
-        RomAgSpec::from_sequence(sequence, shape)
-            .and_then(|spec| RomAgNetlist::elaborate(&spec))
-            .map_err(|e| e.to_string())
-            .and_then(|design| {
-                let delay = design
-                    .serial_delay_ps(library)
-                    .map_err(|e| e.to_string())?;
-                Ok(Candidate {
-                    architecture: Architecture::RomAg,
-                    delay_ps: delay,
-                    area: AreaReport::of(&design.netlist, library).total(),
-                    flip_flops: design.netlist.num_flip_flops(),
-                })
-            })
-    } else {
-        Err("array dimensions are not powers of two".to_string())
-    };
-    match rom {
-        Ok(c) => candidates.push(c),
-        Err(e) => rejected.push((Architecture::RomAg, e)),
-    }
-
-    // Symbolic FSMs on the decomposed streams (one machine per
-    // dimension, as in the ADDM model).
-    for &encoding in &options.fsm_encodings {
-        let arch = Architecture::SymbolicFsm(encoding);
-        if sequence.len() > options.fsm_state_limit {
-            rejected.push((
-                arch,
-                format!(
-                    "sequence length {} exceeds FSM synthesis limit {}",
-                    sequence.len(),
-                    options.fsm_state_limit
-                ),
-            ));
-            continue;
-        }
-        let result = sequence
-            .decompose(shape, Layout::RowMajor)
-            .map_err(|e| e.to_string())
-            .and_then(|(rows, cols)| {
-                let synth_dim = |s: &AddressSequence, lines: usize| {
-                    Fsm::cyclic_sequence(s.as_slice())
-                        .and_then(|f| {
-                            f.synthesize(encoding, OutputStyle::SelectLines { num_lines: lines })
-                        })
-                        .map_err(|e| e.to_string())
-                };
-                let r = synth_dim(&rows, shape.height() as usize)?;
-                let c = synth_dim(&cols, shape.width() as usize)?;
-                let rt = TimingAnalysis::run(&r.netlist, library).map_err(|e| e.to_string())?;
-                let ct = TimingAnalysis::run(&c.netlist, library).map_err(|e| e.to_string())?;
-                Ok(Candidate {
-                    architecture: arch,
-                    delay_ps: rt.critical_path_ps().max(ct.critical_path_ps()),
-                    area: AreaReport::of(&r.netlist, library).total()
-                        + AreaReport::of(&c.netlist, library).total(),
-                    flip_flops: r.netlist.num_flip_flops() + c.netlist.num_flip_flops(),
-                })
-            });
+    for (arch, result) in families.into_iter().zip(results) {
         match result {
             Ok(c) => candidates.push(c),
             Err(e) => rejected.push((arch, e)),
         }
     }
-
     Evaluation {
         candidates,
         rejected,
+    }
+}
+
+/// Evaluates one architecture family; `Err` carries the rejection
+/// reason.
+fn evaluate_family(
+    arch: Architecture,
+    sequence: &AddressSequence,
+    shape: ArrayShape,
+    library: &Library,
+    options: &EvaluateOptions,
+) -> Result<Candidate, String> {
+    match arch {
+        // SRAG.
+        Architecture::Srag => Srag2d::map(sequence, shape, Layout::RowMajor)
+            .and_then(|m| m.elaborate())
+            .map_err(|e| e.to_string())
+            .and_then(|design| {
+                let t = TimingAnalysis::run(&design.netlist, library).map_err(|e| e.to_string())?;
+                Ok(Candidate {
+                    architecture: Architecture::Srag,
+                    delay_ps: t.critical_path_ps(),
+                    area: AreaReport::of(&design.netlist, library).total(),
+                    flip_flops: design.netlist.num_flip_flops(),
+                })
+            }),
+
+        // Multi-counter SRAG: evaluated on the two decomposed streams.
+        Architecture::MultiCounterSrag => sequence
+            .decompose(shape, Layout::RowMajor)
+            .map_err(adgen_core::SragError::from)
+            .and_then(|(rows, cols)| {
+                let r = map_sequence_relaxed(&rows)?;
+                let c = map_sequence_relaxed(&cols)?;
+                let rn = MultiCounterSragNetlist::elaborate(&r)?;
+                let cn = MultiCounterSragNetlist::elaborate(&c)?;
+                let rt = TimingAnalysis::run(&rn.netlist, library)?;
+                let ct = TimingAnalysis::run(&cn.netlist, library)?;
+                Ok(Candidate {
+                    architecture: Architecture::MultiCounterSrag,
+                    delay_ps: rt.critical_path_ps().max(ct.critical_path_ps()),
+                    area: AreaReport::of(&rn.netlist, library).total()
+                        + AreaReport::of(&cn.netlist, library).total(),
+                    flip_flops: rn.netlist.num_flip_flops() + cn.netlist.num_flip_flops(),
+                })
+            })
+            .map_err(|e| e.to_string()),
+
+        // CntAG baseline, when a counter program exists.
+        Architecture::CntAg => match &options.cntag_program {
+            Some(program) => CntAgNetlist::elaborate(program)
+                .and_then(|design| {
+                    let comps = component_delays(program, library)?;
+                    Ok(Candidate {
+                        architecture: Architecture::CntAg,
+                        delay_ps: comps.total_ps(),
+                        area: AreaReport::of(&design.netlist, library).total(),
+                        flip_flops: design.netlist.num_flip_flops(),
+                    })
+                })
+                .map_err(|e| e.to_string()),
+            None => Err("no counter-cascade program known for this sequence".to_string()),
+        },
+
+        // Arithmetic generator: applicable whenever the delta stream
+        // has a short period and the shape is power-of-two.
+        Architecture::ArithAg => {
+            if !(shape.width().is_power_of_two() && shape.height().is_power_of_two()) {
+                return Err("array dimensions are not powers of two".to_string());
+            }
+            ArithAgSpec::from_sequence(sequence, shape)
+                .and_then(|spec| ArithAgNetlist::elaborate(&spec))
+                .map_err(|e| e.to_string())
+                .and_then(|design| {
+                    let delay = design.serial_delay_ps(library).map_err(|e| e.to_string())?;
+                    Ok(Candidate {
+                        architecture: Architecture::ArithAg,
+                        delay_ps: delay,
+                        area: AreaReport::of(&design.netlist, library).total(),
+                        flip_flops: design.netlist.num_flip_flops(),
+                    })
+                })
+        }
+
+        // Table-lookup generator: the universal fallback.
+        Architecture::RomAg => {
+            if !(shape.width().is_power_of_two() && shape.height().is_power_of_two()) {
+                return Err("array dimensions are not powers of two".to_string());
+            }
+            RomAgSpec::from_sequence(sequence, shape)
+                .and_then(|spec| RomAgNetlist::elaborate(&spec))
+                .map_err(|e| e.to_string())
+                .and_then(|design| {
+                    let delay = design.serial_delay_ps(library).map_err(|e| e.to_string())?;
+                    Ok(Candidate {
+                        architecture: Architecture::RomAg,
+                        delay_ps: delay,
+                        area: AreaReport::of(&design.netlist, library).total(),
+                        flip_flops: design.netlist.num_flip_flops(),
+                    })
+                })
+        }
+
+        // Symbolic FSMs on the decomposed streams (one machine per
+        // dimension, as in the ADDM model).
+        Architecture::SymbolicFsm(encoding) => {
+            if sequence.len() > options.fsm_state_limit {
+                return Err(format!(
+                    "sequence length {} exceeds FSM synthesis limit {}",
+                    sequence.len(),
+                    options.fsm_state_limit
+                ));
+            }
+            sequence
+                .decompose(shape, Layout::RowMajor)
+                .map_err(|e| e.to_string())
+                .and_then(|(rows, cols)| {
+                    let synth_dim = |s: &AddressSequence, lines: usize| {
+                        Fsm::cyclic_sequence(s.as_slice())
+                            .and_then(|f| {
+                                f.synthesize(
+                                    encoding,
+                                    OutputStyle::SelectLines { num_lines: lines },
+                                )
+                            })
+                            .map_err(|e| e.to_string())
+                    };
+                    let r = synth_dim(&rows, shape.height() as usize)?;
+                    let c = synth_dim(&cols, shape.width() as usize)?;
+                    let rt = TimingAnalysis::run(&r.netlist, library).map_err(|e| e.to_string())?;
+                    let ct = TimingAnalysis::run(&c.netlist, library).map_err(|e| e.to_string())?;
+                    Ok(Candidate {
+                        architecture: arch,
+                        delay_ps: rt.critical_path_ps().max(ct.critical_path_ps()),
+                        area: AreaReport::of(&r.netlist, library).total()
+                            + AreaReport::of(&c.netlist, library).total(),
+                        flip_flops: r.netlist.num_flip_flops() + c.netlist.num_flip_flops(),
+                    })
+                })
+        }
     }
 }
 
@@ -307,10 +329,7 @@ mod tests {
         // for both SRAG variants.
         let seq = AddressSequence::from_vec(vec![0, 4, 5, 1, 0, 2]);
         let eval = evaluate(&seq, shape, &lib, &EvaluateOptions::default());
-        let srag_rejection = eval
-            .rejected
-            .iter()
-            .find(|(a, _)| *a == Architecture::Srag);
+        let srag_rejection = eval.rejected.iter().find(|(a, _)| *a == Architecture::Srag);
         assert!(srag_rejection.is_some(), "rejected: {:?}", eval.rejected);
         // The FSM still implements it.
         assert!(eval
@@ -328,11 +347,9 @@ mod tests {
             ..EvaluateOptions::default()
         };
         let eval = evaluate(&seq, shape, &lib, &options);
-        assert!(eval
-            .rejected
-            .iter()
-            .any(|(a, reason)| matches!(a, Architecture::SymbolicFsm(_))
-                && reason.contains("limit")));
+        assert!(eval.rejected.iter().any(
+            |(a, reason)| matches!(a, Architecture::SymbolicFsm(_)) && reason.contains("limit")
+        ));
     }
 
     #[test]
@@ -351,6 +368,23 @@ mod tests {
                 .find(|(a, _)| *a == family)
                 .unwrap_or_else(|| panic!("{family} should be rejected"));
             assert!(reason.contains("powers of two"), "{family}: {reason}");
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(8, 8);
+        let seq = workloads::motion_est_read(shape, 2, 2, 0);
+        let options = EvaluateOptions {
+            cntag_program: Some(CntAgSpec::motion_est(shape, 2, 2, 0)),
+            fsm_encodings: vec![Encoding::Binary, Encoding::Gray],
+            ..EvaluateOptions::default()
+        };
+        let serial = evaluate(&seq, shape, &lib, &options);
+        for jobs in [0, 2, 7] {
+            let parallel = evaluate_jobs(&seq, shape, &lib, &options, jobs);
+            assert_eq!(parallel, serial, "jobs = {jobs}");
         }
     }
 

@@ -2,10 +2,10 @@
 //! behind paper Figures 8, 10 and Table 3.
 
 use adgen_cntag::netlist::SELECT_LINE_LOAD_FF;
-use adgen_cntag::{CntAgNetlist, CntAgSpec};
+use adgen_cntag::{CntAgNetlist, CntAgSpec, ComponentNetlists};
 use adgen_core::composite::Srag2d;
 use adgen_core::SragError;
-use adgen_netlist::{AreaReport, Library, TimingAnalysis};
+use adgen_netlist::{AreaReport, Library, TimingAnalysis, TimingContext};
 use adgen_seq::{AddressSequence, ArrayShape, Layout};
 
 /// One row of a comparison: both architectures implementing the same
@@ -79,8 +79,11 @@ pub fn compare_srag_cntag_with_load(
     let srag_area = AreaReport::of(&srag.netlist, library);
 
     let cntag = CntAgNetlist::elaborate(cntag_program)?;
-    let cntag_components =
-        adgen_cntag::netlist::component_delays_with_load(cntag_program, library, select_line_load_ff)?;
+    let cntag_components = adgen_cntag::netlist::component_delays_with_load(
+        cntag_program,
+        library,
+        select_line_load_ff,
+    )?;
     let cntag_area = AreaReport::of(&cntag.netlist, library);
 
     Ok(ComparisonRow {
@@ -91,6 +94,49 @@ pub fn compare_srag_cntag_with_load(
         srag_flip_flops: srag.netlist.num_flip_flops(),
         cntag_flip_flops: cntag.netlist.num_flip_flops(),
     })
+}
+
+/// [`compare_srag_cntag_with_load`] swept over many select-line
+/// loads, memoizing the elaborated netlists: the SRAG pair and the
+/// CntAG component blocks are mapped and elaborated **once**, their
+/// timing state is cached in a [`TimingContext`] /
+/// [`adgen_cntag::ComponentTimer`], and only the load-dependent
+/// timing sweep runs per point (fanned across `jobs` worker threads;
+/// `0` means all available cores). Rows come back in `loads_ff`
+/// order regardless of `jobs`.
+///
+/// # Errors
+///
+/// As for [`compare_srag_cntag`].
+pub fn compare_srag_cntag_load_sweep(
+    sequence: &AddressSequence,
+    shape: ArrayShape,
+    cntag_program: &CntAgSpec,
+    library: &Library,
+    loads_ff: &[f64],
+    jobs: usize,
+) -> Result<Vec<ComparisonRow>, SragError> {
+    let srag = Srag2d::map(sequence, shape, Layout::RowMajor)?.elaborate()?;
+    let srag_ctx = TimingContext::new(&srag.netlist, library)?;
+    let srag_area = AreaReport::of(&srag.netlist, library).total();
+    let srag_flip_flops = srag.netlist.num_flip_flops();
+
+    let cntag = CntAgNetlist::elaborate(cntag_program)?;
+    let components = ComponentNetlists::elaborate(cntag_program)?;
+    let timer = components.timer(library)?;
+    let cntag_area = AreaReport::of(&cntag.netlist, library).total();
+    let cntag_flip_flops = cntag.netlist.num_flip_flops();
+
+    Ok(adgen_exec::par_map(loads_ff, jobs, |_, &load_ff| {
+        ComparisonRow {
+            srag_delay_ps: srag_ctx.run_with_output_load(load_ff).critical_path_ps(),
+            cntag_delay_ps: timer.delays_at(load_ff).total_ps(),
+            srag_area,
+            cntag_area,
+            srag_flip_flops,
+            cntag_flip_flops,
+        }
+    }))
 }
 
 /// Power measurements for both architectures on the same stream —
@@ -220,15 +266,7 @@ mod tests {
         let lib = Library::vcl018();
         let shape = ArrayShape::new(64, 64);
         let seq = workloads::fifo(shape);
-        let row = compare_power(
-            &seq,
-            shape,
-            &CntAgSpec::raster(shape),
-            &lib,
-            100.0,
-            256,
-        )
-        .unwrap();
+        let row = compare_power(&seq, shape, &CntAgSpec::raster(shape), &lib, 100.0, 256).unwrap();
         // Decoder switching saved:
         assert!(
             row.srag.dynamic_uw < row.cntag.dynamic_uw,
@@ -251,6 +289,25 @@ mod tests {
             row.power_reduction_factor(),
             row.gated_power_reduction_factor()
         );
+    }
+
+    #[test]
+    fn load_sweep_matches_per_point_comparisons() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(16, 16);
+        let seq = workloads::motion_est_read(shape, 2, 2, 0);
+        let program = CntAgSpec::motion_est(shape, 2, 2, 0);
+        let loads = [0.0, 30.0, 90.0, 240.0];
+        for jobs in [1, 4] {
+            let swept =
+                compare_srag_cntag_load_sweep(&seq, shape, &program, &lib, &loads, jobs).unwrap();
+            assert_eq!(swept.len(), loads.len());
+            for (row, &load) in swept.iter().zip(&loads) {
+                let fresh =
+                    compare_srag_cntag_with_load(&seq, shape, &program, &lib, load).unwrap();
+                assert_eq!(row, &fresh, "load {load} jobs {jobs}");
+            }
+        }
     }
 
     #[test]

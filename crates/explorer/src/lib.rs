@@ -19,10 +19,12 @@ pub mod compare;
 pub mod pareto;
 pub mod report;
 
-pub use candidates::{evaluate, Architecture, Candidate, Evaluation, EvaluateOptions};
+pub use candidates::{
+    evaluate, evaluate_jobs, Architecture, Candidate, EvaluateOptions, Evaluation,
+};
 pub use compare::{
-    compare_power, compare_srag_cntag, compare_srag_cntag_with_load, ComparisonRow,
-    PowerComparisonRow,
+    compare_power, compare_srag_cntag, compare_srag_cntag_load_sweep, compare_srag_cntag_with_load,
+    ComparisonRow, PowerComparisonRow,
 };
 pub use pareto::{pareto_frontier, select, Constraint};
 pub use report::render_evaluation;

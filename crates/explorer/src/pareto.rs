@@ -48,10 +48,9 @@ pub fn select(candidates: &[Candidate], constraint: Constraint) -> Option<&Candi
     match constraint {
         Constraint::MinDelay => candidates.iter().min_by(by_delay),
         Constraint::MinArea => candidates.iter().min_by(by_area),
-        Constraint::MinDelayUnderArea(cap) => candidates
-            .iter()
-            .filter(|c| c.area <= cap)
-            .min_by(by_delay),
+        Constraint::MinDelayUnderArea(cap) => {
+            candidates.iter().filter(|c| c.area <= cap).min_by(by_delay)
+        }
         Constraint::MinAreaUnderDelay(cap) => candidates
             .iter()
             .filter(|c| c.delay_ps <= cap)
@@ -90,9 +89,9 @@ mod tests {
         let cs = samples();
         let front = pareto_frontier(&cs);
         assert_eq!(front.len(), 2);
-        assert!(front.iter().all(|c| c.architecture != Architecture::SymbolicFsm(
-            adgen_synth::Encoding::Binary
-        )));
+        assert!(front
+            .iter()
+            .all(|c| c.architecture != Architecture::SymbolicFsm(adgen_synth::Encoding::Binary)));
     }
 
     #[test]

@@ -139,9 +139,7 @@ mod tests {
     fn multi_hot_row_rejected() {
         let shape = ArrayShape::new(2, 2);
         let mut m = Addm::new(shape);
-        let err = m
-            .write(&[true, true], &one_hot(2, 0), 1)
-            .unwrap_err();
+        let err = m.write(&[true, true], &one_hot(2, 0), 1).unwrap_err();
         assert_eq!(err, MemError::MultiHotRowSelect { asserted: 2 });
     }
 

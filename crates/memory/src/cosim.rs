@@ -56,13 +56,18 @@ pub fn run_addm(
     writer.reset();
     for &value in data {
         let a = writer.current();
-        let (r, c) = shape
-            .to_row_col(a, Layout::RowMajor)
-            .map_err(|_| MemError::AddressOutOfRange {
-                row: a / shape.width(),
-                col: a % shape.width(),
-            })?;
-        mem.write(&one_hot(shape.height(), r), &one_hot(shape.width(), c), value)?;
+        let (r, c) =
+            shape
+                .to_row_col(a, Layout::RowMajor)
+                .map_err(|_| MemError::AddressOutOfRange {
+                    row: a / shape.width(),
+                    col: a % shape.width(),
+                })?;
+        mem.write(
+            &one_hot(shape.height(), r),
+            &one_hot(shape.width(), c),
+            value,
+        )?;
         reference[a as usize] = Some(value);
         writer.advance();
     }
@@ -70,17 +75,16 @@ pub fn run_addm(
     let mut reads = 0;
     for step in 0..read_len {
         let a = reader.current();
-        let (r, c) = shape
-            .to_row_col(a, Layout::RowMajor)
-            .map_err(|_| MemError::AddressOutOfRange {
-                row: a / shape.width(),
-                col: a % shape.width(),
-            })?;
+        let (r, c) =
+            shape
+                .to_row_col(a, Layout::RowMajor)
+                .map_err(|_| MemError::AddressOutOfRange {
+                    row: a / shape.width(),
+                    col: a % shape.width(),
+                })?;
         let got = mem.read(&one_hot(shape.height(), r), &one_hot(shape.width(), c))?;
-        let expected = reference[a as usize].ok_or(MemError::UninitializedRead {
-            row: r,
-            col: c,
-        })?;
+        let expected =
+            reference[a as usize].ok_or(MemError::UninitializedRead { row: r, col: c })?;
         assert_eq!(
             got, expected,
             "data corruption at read {step}, linear address {a}"
@@ -214,10 +218,8 @@ pub fn run_addm_gate_level(
         let row = rs.iter().position(|&b| b).unwrap_or(0) as u32;
         let col = cs.iter().position(|&b| b).unwrap_or(0) as u32;
         let linear = row * shape.width() + col;
-        let expected = reference[linear as usize].ok_or(MemError::UninitializedRead {
-            row,
-            col,
-        })?;
+        let expected =
+            reference[linear as usize].ok_or(MemError::UninitializedRead { row, col })?;
         assert_eq!(got, expected, "gate-level corruption at read {step}");
         reads += 1;
     }
@@ -230,8 +232,8 @@ pub fn run_addm_gate_level(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adgen_core::composite::Srag2d;
     use adgen_cntag::{CntAgSimulator, CntAgSpec};
+    use adgen_core::composite::Srag2d;
     use adgen_seq::{workloads, ReplayGenerator};
 
     #[test]
@@ -270,7 +272,10 @@ mod tests {
                 workloads::motion_est_read(shape, 2, 2, 0),
                 CntAgSpec::motion_est(shape, 2, 2, 0),
             ),
-            (workloads::transpose_scan(shape), CntAgSpec::transpose(shape)),
+            (
+                workloads::transpose_scan(shape),
+                CntAgSpec::transpose(shape),
+            ),
             (workloads::zoom_by_two(shape), CntAgSpec::zoom_by_two(shape)),
         ];
         for (seq, cnt_spec) in cases {

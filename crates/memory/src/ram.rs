@@ -60,13 +60,12 @@ impl Ram {
     ///
     /// [`MemError::AddressOutOfRange`].
     pub fn write_linear(&mut self, address: u32, value: u64) -> Result<(), MemError> {
-        let (r, c) = self
-            .shape
-            .to_row_col(address, self.layout)
-            .map_err(|_| MemError::AddressOutOfRange {
+        let (r, c) = self.shape.to_row_col(address, self.layout).map_err(|_| {
+            MemError::AddressOutOfRange {
                 row: address / self.shape.width().max(1),
                 col: address % self.shape.width().max(1),
-            })?;
+            }
+        })?;
         self.write(r, c, value)
     }
 
@@ -77,13 +76,12 @@ impl Ram {
     /// [`MemError::AddressOutOfRange`] or
     /// [`MemError::UninitializedRead`].
     pub fn read_linear(&self, address: u32) -> Result<u64, MemError> {
-        let (r, c) = self
-            .shape
-            .to_row_col(address, self.layout)
-            .map_err(|_| MemError::AddressOutOfRange {
+        let (r, c) = self.shape.to_row_col(address, self.layout).map_err(|_| {
+            MemError::AddressOutOfRange {
                 row: address / self.shape.width().max(1),
                 col: address % self.shape.width().max(1),
-            })?;
+            }
+        })?;
         self.read(r, c)
     }
 

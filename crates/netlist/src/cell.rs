@@ -387,9 +387,7 @@ mod tests {
     fn stacked_gates_are_slower_and_weaker() {
         let lib = Library::vcl018();
         assert!(lib.spec(CellKind::Nand4).intrinsic_ps > lib.spec(CellKind::Nand2).intrinsic_ps);
-        assert!(
-            lib.spec(CellKind::Nor4).drive_res_kohm > lib.spec(CellKind::Nor2).drive_res_kohm
-        );
+        assert!(lib.spec(CellKind::Nor4).drive_res_kohm > lib.spec(CellKind::Nor2).drive_res_kohm);
         assert!(lib.spec(CellKind::Nand4).area > lib.spec(CellKind::Nand2).area);
     }
 }

@@ -77,10 +77,9 @@ impl fmt::Display for NetlistError {
             NetlistError::DuplicateInstanceName { name } => {
                 write!(f, "duplicate instance name `{name}`")
             }
-            NetlistError::InputWidthMismatch { expected, found } => write!(
-                f,
-                "expected {expected} primary input values, found {found}"
-            ),
+            NetlistError::InputWidthMismatch { expected, found } => {
+                write!(f, "expected {expected} primary input values, found {found}")
+            }
         }
     }
 }

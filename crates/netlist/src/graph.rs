@@ -602,9 +602,7 @@ mod tests {
         let a = n.add_input("a");
         let b = n.add_input("b");
         let y = n.add_net("y");
-        let g = n
-            .add_instance("g", CellKind::Inv, &[a], &[y])
-            .unwrap();
+        let g = n.add_instance("g", CellKind::Inv, &[a], &[y]).unwrap();
         assert_eq!(n.net(a).loads().len(), 1);
         n.rewire_input(g, 0, b).unwrap();
         assert!(n.net(a).loads().is_empty());

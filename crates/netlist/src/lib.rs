@@ -60,12 +60,12 @@ pub mod verilog;
 pub use cell::{CellKind, CellSpec, Library};
 pub use equiv::{check_equivalence_exhaustive, check_equivalence_random, CounterExample};
 pub use error::NetlistError;
-pub use liberty::to_liberty;
 pub use graph::{Driver, InstId, Instance, Net, NetId, Netlist};
+pub use liberty::to_liberty;
 pub use power::{measure_power, PowerReport};
 pub use sim::{Logic, Simulator};
 pub use sim_event::EventSimulator;
-pub use sta::TimingAnalysis;
+pub use sta::{TimingAnalysis, TimingContext};
 pub use stats::AreaReport;
 pub use vcd::VcdTrace;
 pub use verilog::to_verilog;

@@ -53,11 +53,7 @@ pub fn to_liberty(library: &Library) -> String {
                 let _ = writeln!(s, "      timing () {{");
                 let _ = writeln!(s, "        related_pin : \"clk\";");
                 let _ = writeln!(s, "        timing_type : setup_rising;");
-                let _ = writeln!(
-                    s,
-                    "        intrinsic_rise : {:.4};",
-                    spec.setup_ps / 1000.0
-                );
+                let _ = writeln!(s, "        intrinsic_rise : {:.4};", spec.setup_ps / 1000.0);
                 let _ = writeln!(s, "      }}");
             }
             let _ = writeln!(s, "    }}");

@@ -232,8 +232,7 @@ mod tests {
     fn toggle_ff_switches_every_cycle() {
         let lib = Library::vcl018();
         let n = toggle_ff();
-        let report =
-            measure_power(&n, &lib, 100.0, 64, |_| vec![Logic::Zero]).unwrap();
+        let report = measure_power(&n, &lib, 100.0, 64, |_| vec![Logic::Zero]).unwrap();
         // q and qn each toggle every cycle → about 2 toggles/cycle.
         assert!(
             (report.toggles_per_cycle - 2.0).abs() < 0.1,
@@ -283,10 +282,7 @@ mod tests {
         n.add_output(q);
         // The plain DFF starts at X; the first defined value is not a
         // toggle.
-        let report = measure_power(&n, &lib, 100.0, 4, |_| {
-            vec![Logic::Zero, Logic::Zero]
-        })
-        .unwrap();
+        let report = measure_power(&n, &lib, 100.0, 4, |_| vec![Logic::Zero, Logic::Zero]).unwrap();
         assert_eq!(report.toggles_per_cycle, 0.0);
     }
 
@@ -302,17 +298,9 @@ mod tests {
             .unwrap();
         n.add_output(q);
         let idle = |_| vec![Logic::Zero, Logic::Zero, Logic::Zero];
-        let free = measure_power_with_clock(
-            &n,
-            &lib,
-            100.0,
-            16,
-            ClockModel::FreeRunning,
-            idle,
-        )
-        .unwrap();
-        let gated =
-            measure_power_with_clock(&n, &lib, 100.0, 16, ClockModel::Gated, idle).unwrap();
+        let free =
+            measure_power_with_clock(&n, &lib, 100.0, 16, ClockModel::FreeRunning, idle).unwrap();
+        let gated = measure_power_with_clock(&n, &lib, 100.0, 16, ClockModel::Gated, idle).unwrap();
         assert!(free.clock_uw > 0.0);
         assert_eq!(gated.clock_uw, 0.0, "never-enabled FF draws no clock");
     }
@@ -321,11 +309,10 @@ mod tests {
     fn gating_does_not_affect_ungateable_ffs() {
         let lib = Library::vcl018();
         let n = toggle_ff(); // uses a Dffr — no enable pin
-        let free =
-            measure_power_with_clock(&n, &lib, 100.0, 16, ClockModel::FreeRunning, |_| {
-                vec![Logic::Zero]
-            })
-            .unwrap();
+        let free = measure_power_with_clock(&n, &lib, 100.0, 16, ClockModel::FreeRunning, |_| {
+            vec![Logic::Zero]
+        })
+        .unwrap();
         let gated = measure_power_with_clock(&n, &lib, 100.0, 16, ClockModel::Gated, |_| {
             vec![Logic::Zero]
         })

@@ -380,7 +380,11 @@ mod tests {
         sim.step_bools(&[true, false]).unwrap();
         assert_eq!(sim.value(q), Logic::X, "before any capture, Q is X");
         sim.step_bools(&[false, false]).unwrap();
-        assert_eq!(sim.value(q), Logic::Zero, "reset captured on the first edge");
+        assert_eq!(
+            sim.value(q),
+            Logic::Zero,
+            "reset captured on the first edge"
+        );
     }
 
     #[test]

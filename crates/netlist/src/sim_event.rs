@@ -105,13 +105,13 @@ impl<'a> EventSimulator<'a> {
         // Min-heap of (rank, instance) via Reverse ordering.
         let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
         let set_net = |values: &mut Vec<Logic>,
-                           queued: &mut Vec<bool>,
-                           dirty_ffs: &mut Vec<bool>,
-                           heap: &mut BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
-                           rank: &[u32],
-                           netlist: &Netlist,
-                           net: NetId,
-                           v: Logic| {
+                       queued: &mut Vec<bool>,
+                       dirty_ffs: &mut Vec<bool>,
+                       heap: &mut BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
+                       rank: &[u32],
+                       netlist: &Netlist,
+                       net: NetId,
+                       v: Logic| {
             if values[net.index()] == v {
                 return;
             }

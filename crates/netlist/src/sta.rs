@@ -15,7 +15,7 @@
 
 use crate::cell::Library;
 use crate::error::NetlistError;
-use crate::graph::{Driver, NetId, Netlist};
+use crate::graph::{Driver, InstId, NetId, Netlist};
 
 /// One step along the reported critical path.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +69,10 @@ impl TimingAnalysis {
     /// capacitance on every primary output (e.g. modeling the select
     /// lines of a memory array).
     ///
+    /// One-shot convenience over [`TimingContext`]; when timing the
+    /// same netlist at several output loads, build the context once and
+    /// call [`TimingContext::run_with_output_load`] repeatedly.
+    ///
     /// # Errors
     ///
     /// Propagates [`NetlistError`] from validation.
@@ -77,153 +81,7 @@ impl TimingAnalysis {
         library: &Library,
         output_load_ff: f64,
     ) -> Result<Self, NetlistError> {
-        netlist.validate()?;
-        let order = netlist.comb_topo_order()?;
-        let num_nets = netlist.nets().len();
-
-        let is_output = {
-            let mut v = vec![false; num_nets];
-            for &o in netlist.outputs() {
-                v[o.index()] = true;
-            }
-            v
-        };
-
-        // Capacitive load seen by each net's driver.
-        let load_ff = |net: NetId| -> f64 {
-            let n = netlist.net(net);
-            let mut c = 0.0;
-            for &(inst, _pin) in n.loads() {
-                c += library.spec(netlist.instance(inst).kind()).input_cap_ff;
-                c += library.wire_cap_per_fanout_ff;
-            }
-            if is_output[net.index()] {
-                c += output_load_ff + library.wire_cap_per_fanout_ff;
-            }
-            c
-        };
-
-        let mut arrival = vec![f64::NEG_INFINITY; num_nets];
-        // For path reconstruction: the input net that determined each
-        // net's arrival (None for launch points).
-        let mut pred: Vec<Option<NetId>> = vec![None; num_nets];
-
-        for &pi in netlist.inputs() {
-            arrival[pi.index()] = 0.0;
-        }
-        for (idx, inst) in netlist.instances().iter().enumerate() {
-            if inst.kind().is_sequential() {
-                let spec = library.spec(inst.kind());
-                for &q in inst.outputs() {
-                    arrival[q.index()] = spec.intrinsic_ps + spec.drive_res_kohm * load_ff(q);
-                }
-            } else if inst.kind().num_inputs() == 0 {
-                // Tie cells launch at time zero.
-                for &o in inst.outputs() {
-                    arrival[o.index()] = 0.0;
-                }
-            }
-            let _ = idx;
-        }
-
-        for id in order {
-            let inst = netlist.instance(id);
-            if inst.kind().num_inputs() == 0 {
-                continue;
-            }
-            let spec = library.spec(inst.kind());
-            let (worst_in, worst_arr) = inst
-                .inputs()
-                .iter()
-                .map(|&i| (i, arrival[i.index()]))
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-                .expect("combinational gate has at least one input");
-            for &o in inst.outputs() {
-                let t = worst_arr + spec.intrinsic_ps + spec.drive_res_kohm * load_ff(o);
-                arrival[o.index()] = t;
-                pred[o.index()] = Some(worst_in);
-            }
-        }
-
-        // Capture points.
-        let mut critical = 0.0f64;
-        let mut endpoint = Endpoint::Output {
-            net: String::from("<none>"),
-        };
-        let mut end_net: Option<NetId> = None;
-        let mut endpoints: Vec<(Endpoint, f64)> = Vec::new();
-        for inst in netlist.instances() {
-            if !inst.kind().is_sequential() {
-                continue;
-            }
-            let setup = library.spec(inst.kind()).setup_ps;
-            // Report the worst pin of each register as one endpoint.
-            let t = inst
-                .inputs()
-                .iter()
-                .map(|&d| arrival[d.index()] + setup)
-                .fold(f64::NEG_INFINITY, f64::max);
-            endpoints.push((
-                Endpoint::Register {
-                    instance: inst.name().to_string(),
-                },
-                t,
-            ));
-            for &d in inst.inputs() {
-                let t = arrival[d.index()] + setup;
-                if t > critical {
-                    critical = t;
-                    endpoint = Endpoint::Register {
-                        instance: inst.name().to_string(),
-                    };
-                    end_net = Some(d);
-                }
-            }
-        }
-        for &o in netlist.outputs() {
-            let t = arrival[o.index()];
-            endpoints.push((
-                Endpoint::Output {
-                    net: netlist.net(o).name().to_string(),
-                },
-                t,
-            ));
-            if t > critical {
-                critical = t;
-                endpoint = Endpoint::Output {
-                    net: netlist.net(o).name().to_string(),
-                };
-                end_net = Some(o);
-            }
-        }
-        endpoints.sort_by(|a, b| b.1.total_cmp(&a.1));
-
-        // Reconstruct the critical path by walking predecessors.
-        let mut path = Vec::new();
-        let mut cur = end_net;
-        while let Some(net) = cur {
-            let instance = match netlist.net(net).driver() {
-                Some(Driver::Inst { inst, .. }) => {
-                    Some(netlist.instance(inst).name().to_string())
-                }
-                _ => None,
-            };
-            path.push(PathStep {
-                instance,
-                net: netlist.net(net).name().to_string(),
-                arrival_ps: arrival[net.index()],
-            });
-            cur = pred[net.index()];
-        }
-        path.reverse();
-
-        Ok(TimingAnalysis {
-            arrival_ps: arrival,
-            critical_ps: critical,
-            endpoint,
-            path,
-            endpoints,
-        })
+        Ok(TimingContext::new(netlist, library)?.run_with_output_load(output_load_ff))
     }
 
     /// Worst capture-point arrival in picoseconds (the minimum clock
@@ -283,6 +141,242 @@ impl TimingAnalysis {
     /// True if the circuit meets the given clock period (ps).
     pub fn meets(&self, period_ps: f64) -> bool {
         self.slack_against(period_ps) >= 0.0
+    }
+}
+
+/// Reusable timing state for repeated analyses of one netlist.
+///
+/// Construction validates the netlist, computes the combinational
+/// topological order, interns every instance's cell spec numbers
+/// (intrinsic delay, drive resistance, setup), records the sequential
+/// and tie-cell instance indices, and precomputes each net's base
+/// capacitive load from its fanout (a CSR-free flattening of the
+/// per-net load walk). Each [`run_with_output_load`] call is then a
+/// pure array sweep — no name lookups, no per-instance kind scans, no
+/// re-validation — which matters when a sweep times the same elaborated
+/// netlist at many output loads (e.g. the per-array-size delay
+/// figures).
+#[derive(Debug, Clone)]
+pub struct TimingContext<'a> {
+    netlist: &'a Netlist,
+    /// Combinational instances in topological order.
+    order: Vec<InstId>,
+    /// Per-net: true if the net is a primary output.
+    is_output: Vec<bool>,
+    /// Per-net: fanout load in fF, excluding any external output load
+    /// (but including the output's own wire-cap term).
+    base_load_ff: Vec<f64>,
+    /// Indices of sequential instances (launch *and* capture points).
+    seq: Vec<InstId>,
+    /// Indices of zero-input combinational (tie) instances.
+    ties: Vec<InstId>,
+    /// Per-instance interned spec numbers, indexed by `InstId::index`.
+    intrinsic_ps: Vec<f64>,
+    drive_res_kohm: Vec<f64>,
+    setup_ps: Vec<f64>,
+}
+
+impl<'a> TimingContext<'a> {
+    /// Validates `netlist` and precomputes everything that does not
+    /// depend on the external output load.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from validation (undriven nets,
+    /// combinational cycles, …).
+    pub fn new(netlist: &'a Netlist, library: &'a Library) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let order = netlist.comb_topo_order()?;
+        let num_nets = netlist.nets().len();
+        let num_insts = netlist.instances().len();
+
+        let mut is_output = vec![false; num_nets];
+        for &o in netlist.outputs() {
+            is_output[o.index()] = true;
+        }
+
+        let mut intrinsic_ps = Vec::with_capacity(num_insts);
+        let mut drive_res_kohm = Vec::with_capacity(num_insts);
+        let mut setup_ps = Vec::with_capacity(num_insts);
+        let mut input_cap_ff = Vec::with_capacity(num_insts);
+        let mut seq = Vec::new();
+        let mut ties = Vec::new();
+        for (idx, inst) in netlist.instances().iter().enumerate() {
+            let spec = library.spec(inst.kind());
+            intrinsic_ps.push(spec.intrinsic_ps);
+            drive_res_kohm.push(spec.drive_res_kohm);
+            setup_ps.push(spec.setup_ps);
+            input_cap_ff.push(spec.input_cap_ff);
+            let id = InstId(idx as u32);
+            if inst.kind().is_sequential() {
+                seq.push(id);
+            } else if inst.kind().num_inputs() == 0 {
+                ties.push(id);
+            }
+        }
+
+        let wire = library.wire_cap_per_fanout_ff;
+        let mut base_load_ff = vec![0.0f64; num_nets];
+        for (i, net) in netlist.nets().iter().enumerate() {
+            let mut c = 0.0;
+            for &(inst, _pin) in net.loads() {
+                c += input_cap_ff[inst.index()] + wire;
+            }
+            if is_output[i] {
+                c += wire;
+            }
+            base_load_ff[i] = c;
+        }
+
+        Ok(TimingContext {
+            netlist,
+            order,
+            is_output,
+            base_load_ff,
+            seq,
+            ties,
+            intrinsic_ps,
+            drive_res_kohm,
+            setup_ps,
+        })
+    }
+
+    /// Times the netlist with no external output load.
+    pub fn run(&self) -> TimingAnalysis {
+        self.run_with_output_load(0.0)
+    }
+
+    /// Times the netlist with `output_load_ff` femtofarads of external
+    /// capacitance on every primary output.
+    pub fn run_with_output_load(&self, output_load_ff: f64) -> TimingAnalysis {
+        let netlist = self.netlist;
+        let num_nets = netlist.nets().len();
+        let load_ff = |net: NetId| -> f64 {
+            let i = net.index();
+            self.base_load_ff[i]
+                + if self.is_output[i] {
+                    output_load_ff
+                } else {
+                    0.0
+                }
+        };
+
+        let mut arrival = vec![f64::NEG_INFINITY; num_nets];
+        // For path reconstruction: the input net that determined each
+        // net's arrival (None for launch points).
+        let mut pred: Vec<Option<NetId>> = vec![None; num_nets];
+
+        for &pi in netlist.inputs() {
+            arrival[pi.index()] = 0.0;
+        }
+        for &id in &self.seq {
+            let idx = id.index();
+            for &q in netlist.instances()[idx].outputs() {
+                arrival[q.index()] = self.intrinsic_ps[idx] + self.drive_res_kohm[idx] * load_ff(q);
+            }
+        }
+        for &id in &self.ties {
+            // Tie cells launch at time zero.
+            for &o in netlist.instances()[id.index()].outputs() {
+                arrival[o.index()] = 0.0;
+            }
+        }
+
+        for &id in &self.order {
+            let idx = id.index();
+            let inst = &netlist.instances()[idx];
+            if inst.inputs().is_empty() {
+                continue;
+            }
+            let (worst_in, worst_arr) = inst
+                .inputs()
+                .iter()
+                .map(|&i| (i, arrival[i.index()]))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("combinational gate has at least one input");
+            for &o in inst.outputs() {
+                let t = worst_arr + self.intrinsic_ps[idx] + self.drive_res_kohm[idx] * load_ff(o);
+                arrival[o.index()] = t;
+                pred[o.index()] = Some(worst_in);
+            }
+        }
+
+        // Capture points.
+        let mut critical = 0.0f64;
+        let mut endpoint = Endpoint::Output {
+            net: String::from("<none>"),
+        };
+        let mut end_net: Option<NetId> = None;
+        let mut endpoints: Vec<(Endpoint, f64)> = Vec::new();
+        for &id in &self.seq {
+            let idx = id.index();
+            let inst = &netlist.instances()[idx];
+            let setup = self.setup_ps[idx];
+            // Report the worst pin of each register as one endpoint.
+            let t = inst
+                .inputs()
+                .iter()
+                .map(|&d| arrival[d.index()] + setup)
+                .fold(f64::NEG_INFINITY, f64::max);
+            endpoints.push((
+                Endpoint::Register {
+                    instance: inst.name().to_string(),
+                },
+                t,
+            ));
+            for &d in inst.inputs() {
+                let t = arrival[d.index()] + setup;
+                if t > critical {
+                    critical = t;
+                    endpoint = Endpoint::Register {
+                        instance: inst.name().to_string(),
+                    };
+                    end_net = Some(d);
+                }
+            }
+        }
+        for &o in netlist.outputs() {
+            let t = arrival[o.index()];
+            endpoints.push((
+                Endpoint::Output {
+                    net: netlist.net(o).name().to_string(),
+                },
+                t,
+            ));
+            if t > critical {
+                critical = t;
+                endpoint = Endpoint::Output {
+                    net: netlist.net(o).name().to_string(),
+                };
+                end_net = Some(o);
+            }
+        }
+        endpoints.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+        // Reconstruct the critical path by walking predecessors.
+        let mut path = Vec::new();
+        let mut cur = end_net;
+        while let Some(net) = cur {
+            let instance = match netlist.net(net).driver() {
+                Some(Driver::Inst { inst, .. }) => Some(netlist.instance(inst).name().to_string()),
+                _ => None,
+            };
+            path.push(PathStep {
+                instance,
+                net: netlist.net(net).name().to_string(),
+                arrival_ps: arrival[net.index()],
+            });
+            cur = pred[net.index()];
+        }
+        path.reverse();
+
+        TimingAnalysis {
+            arrival_ps: arrival,
+            critical_ps: critical,
+            endpoint,
+            path,
+            endpoints,
+        }
     }
 }
 
@@ -438,5 +532,29 @@ mod tests {
         let mut n = Netlist::new("bad");
         n.add_net("floating");
         assert!(TimingAnalysis::run(&n, &lib()).is_err());
+        assert!(TimingContext::new(&n, &lib()).is_err());
+    }
+
+    #[test]
+    fn context_reuse_matches_one_shot_runs() {
+        let mut n = Netlist::new("mix");
+        let a = n.add_input("a");
+        let w = n.gate(CellKind::Nand2, &[a, a]).unwrap();
+        let y = n.gate(CellKind::Inv, &[w]).unwrap();
+        let q = n.add_net("q");
+        n.add_instance("ff", CellKind::Dff, &[y], &[q]).unwrap();
+        let z = n.gate(CellKind::Inv, &[q]).unwrap();
+        n.add_output(z);
+
+        let library = lib();
+        let ctx = TimingContext::new(&n, &library).unwrap();
+        for load in [0.0, 12.5, 80.0] {
+            let fresh = TimingAnalysis::run_with_output_load(&n, &library, load).unwrap();
+            let reused = ctx.run_with_output_load(load);
+            assert_eq!(reused.critical_path_ps(), fresh.critical_path_ps());
+            assert_eq!(reused.endpoint(), fresh.endpoint());
+            assert_eq!(reused.path(), fresh.path());
+            assert_eq!(reused.worst_endpoints(8), fresh.worst_endpoints(8));
+        }
     }
 }

@@ -57,11 +57,7 @@ impl VcdTrace {
         let mut ids = Vec::with_capacity(netlist.nets().len());
         for (i, net) in netlist.nets().iter().enumerate() {
             let id = id_code(i);
-            let _ = writeln!(
-                header,
-                "$var wire 1 {id} {} $end",
-                sanitize(net.name())
-            );
+            let _ = writeln!(header, "$var wire 1 {id} {} $end", sanitize(net.name()));
             ids.push(id);
         }
         let _ = writeln!(header, "$upscope $end");
@@ -196,10 +192,7 @@ mod tests {
         // change blocks, so only #0 and the final timestamp appear.
         // (Count timestamp lines, not '#' characters — '#' is also a
         // legal signal id code.)
-        let timestamps = text
-            .lines()
-            .filter(|l| l.starts_with('#'))
-            .count();
+        let timestamps = text.lines().filter(|l| l.starts_with('#')).count();
         assert_eq!(timestamps, 2, "{text}");
     }
 

@@ -26,9 +26,10 @@ pub fn parse_trace(text: &str) -> Result<AddressSequence, SeqError> {
             if token.is_empty() {
                 continue;
             }
-            let value = if let Some(hex) = token.strip_prefix("0x").or_else(|| {
-                token.strip_prefix("0X")
-            }) {
+            let value = if let Some(hex) = token
+                .strip_prefix("0x")
+                .or_else(|| token.strip_prefix("0X"))
+            {
                 u32::from_str_radix(hex, 16)
             } else {
                 token.parse::<u32>()

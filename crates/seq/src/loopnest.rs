@@ -84,10 +84,7 @@ impl AffineIndex {
     /// a constant offset.
     pub fn new(terms: &[(&str, i64)], offset: i64) -> Self {
         AffineIndex {
-            terms: terms
-                .iter()
-                .map(|&(n, c)| (n.to_string(), c))
-                .collect(),
+            terms: terms.iter().map(|&(n, c)| (n.to_string(), c)).collect(),
             offset,
         }
     }
@@ -105,12 +102,13 @@ impl AffineIndex {
     fn evaluate(&self, names: &[&str], values: &[i64]) -> Result<i64, SeqError> {
         let mut acc = self.offset;
         for (var, coeff) in &self.terms {
-            let idx = names
-                .iter()
-                .position(|n| n == var)
-                .ok_or_else(|| SeqError::InvalidLoopNest {
-                    reason: format!("index references unknown loop variable `{var}`"),
-                })?;
+            let idx =
+                names
+                    .iter()
+                    .position(|n| n == var)
+                    .ok_or_else(|| SeqError::InvalidLoopNest {
+                        reason: format!("index references unknown loop variable `{var}`"),
+                    })?;
             acc += coeff * values[idx];
         }
         Ok(acc)

@@ -82,7 +82,12 @@ impl AddressSequence {
     /// Collapses consecutive repetitions to single elements (the
     /// paper's reduced sequence `R`): `[0,0,1,1]` → `[0,1]`.
     pub fn collapse_runs(&self) -> AddressSequence {
-        AddressSequence::from_vec(self.run_length_encode().into_iter().map(|(v, _)| v).collect())
+        AddressSequence::from_vec(
+            self.run_length_encode()
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect(),
+        )
     }
 
     /// Distinct addresses in order of first appearance (the paper's
@@ -364,17 +369,11 @@ mod tests {
             AddressSequence::from_vec(vec![1, 2, 1, 2, 1, 2]).minimal_period(),
             2
         );
-        assert_eq!(
-            AddressSequence::from_vec(vec![1, 2, 3]).minimal_period(),
-            3
-        );
+        assert_eq!(AddressSequence::from_vec(vec![1, 2, 3]).minimal_period(), 3);
         assert_eq!(AddressSequence::from_vec(vec![5]).minimal_period(), 1);
         assert_eq!(AddressSequence::new().minimal_period(), 0);
         // Non-dividing repetition does not count: 1,2,1 has period 3.
-        assert_eq!(
-            AddressSequence::from_vec(vec![1, 2, 1]).minimal_period(),
-            3
-        );
+        assert_eq!(AddressSequence::from_vec(vec![1, 2, 1]).minimal_period(), 3);
     }
 
     #[test]

@@ -50,7 +50,12 @@ pub fn raster(shape: ArrayShape) -> AddressSequence {
 ///
 /// Panics if the macroblock dimensions are zero or do not divide the
 /// image dimensions.
-pub fn motion_est_read(shape: ArrayShape, mb_width: u32, mb_height: u32, m: u32) -> AddressSequence {
+pub fn motion_est_read(
+    shape: ArrayShape,
+    mb_width: u32,
+    mb_height: u32,
+    m: u32,
+) -> AddressSequence {
     assert!(mb_width > 0 && mb_height > 0, "macroblock must be nonzero");
     assert!(
         shape.width().is_multiple_of(mb_width) && shape.height().is_multiple_of(mb_height),

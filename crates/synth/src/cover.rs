@@ -1,5 +1,12 @@
 //! Covers: sums of products, with the classic unate-recursive
 //! paradigm operations (tautology, containment, complement).
+//!
+//! All cube-against-cube work runs on the bit-packed representation of
+//! [`Cube`], so containment, cofactoring and binate-variable selection
+//! are word-parallel. Tautology checks additionally carry a
+//! vanishing-size pruner: if the cubes' minterm counts sum to less
+//! than `2^n` the cover cannot possibly be a tautology, which cuts the
+//! deepest (and most common) branches of the unate recursion.
 
 use crate::cube::{Cube, Tri};
 
@@ -48,10 +55,7 @@ impl Cover {
     pub fn from_minterms(n: usize, minterms: &[u64]) -> Self {
         Cover {
             num_inputs: n,
-            cubes: minterms
-                .iter()
-                .map(|&m| Cube::from_minterm(n, m))
-                .collect(),
+            cubes: minterms.iter().map(|&m| Cube::from_minterm(n, m)).collect(),
         }
     }
 
@@ -123,64 +127,32 @@ impl Cover {
     }
 
     /// Cofactor with respect to an entire cube (the Shannon cofactor
-    /// used by cube-containment checks).
+    /// used by cube-containment checks). Word-parallel per cube.
     pub fn cofactor_cube(&self, cube: &Cube) -> Cover {
-        let mut cubes = Vec::new();
-        'outer: for c in &self.cubes {
-            if !c.intersects(cube) {
-                continue;
-            }
-            let mut r = c.clone();
-            for v in 0..self.num_inputs {
-                match cube.get(v) {
-                    Tri::DontCare => {}
-                    val => {
-                        let want = val == Tri::One;
-                        match r.cofactor(v, want) {
-                            Some(c2) => r = c2,
-                            None => continue 'outer,
-                        }
-                    }
-                }
-            }
-            cubes.push(r);
-        }
         Cover {
             num_inputs: self.num_inputs,
-            cubes,
+            cubes: self
+                .cubes
+                .iter()
+                .filter_map(|c| c.cofactor_cube(cube))
+                .collect(),
         }
     }
 
     /// Whether the cover is a tautology (constant 1), decided by unate
-    /// recursion.
+    /// recursion with a vanishing-size pruner.
     pub fn is_tautology(&self) -> bool {
-        // Fast exits.
-        if self.cubes.iter().any(|c| c.num_literals() == 0) {
-            return true;
-        }
-        if self.cubes.is_empty() {
-            return false;
-        }
-        // Unate reduction: a cover unate in some variable is a
-        // tautology iff the sub-cover of cubes free in that variable
-        // is; here we use the simpler binate-select recursion, which
-        // is correct for all covers.
-        match self.most_binate_var() {
-            Some(var) => {
-                self.cofactor(var, false).is_tautology()
-                    && self.cofactor(var, true).is_tautology()
-            }
-            None => {
-                // Unate in every variable: tautology iff some cube is
-                // full, which we already checked.
-                false
-            }
-        }
+        tautology(self.num_inputs, &self.cubes)
     }
 
     /// Whether `cube` is entirely contained in this cover.
     pub fn covers_cube(&self, cube: &Cube) -> bool {
-        self.cofactor_cube(cube).is_tautology()
+        let cf: Vec<Cube> = self
+            .cubes
+            .iter()
+            .filter_map(|c| c.cofactor_cube(cube))
+            .collect();
+        tautology(self.num_inputs, &cf)
     }
 
     /// Whether this cover covers every minterm `other` covers.
@@ -207,28 +179,14 @@ impl Cover {
             // De Morgan on a single cube.
             let c = &self.cubes[0];
             let mut out = Vec::new();
-            for v in 0..n {
-                match c.get(v) {
-                    Tri::DontCare => {}
-                    lit => {
-                        let mut k = Cube::full(n);
-                        k.set(
-                            v,
-                            if lit == Tri::One {
-                                Tri::Zero
-                            } else {
-                                Tri::One
-                            },
-                        );
-                        out.push(k);
-                    }
-                }
-            }
+            c.for_each_literal(|v, lit| {
+                let mut k = Cube::full(n);
+                k.set(v, if lit == Tri::One { Tri::Zero } else { Tri::One });
+                out.push(k);
+            });
             return Cover::from_cubes(n, out);
         }
-        let var = self
-            .most_binate_var()
-            .unwrap_or_else(|| self.first_used_var());
+        let var = most_binate_var(n, &self.cubes).unwrap_or_else(|| self.first_used_var());
         let f0 = self.cofactor(var, false).complement();
         let f1 = self.cofactor(var, true).complement();
         let mut cubes = Vec::with_capacity(f0.cubes.len() + f1.cubes.len());
@@ -272,38 +230,127 @@ impl Cover {
         self.cubes.retain(|_| *it.next().expect("keep mask"));
     }
 
-    /// The variable appearing both complemented and uncomplemented in
-    /// the most cubes, or `None` if the cover is unate.
-    fn most_binate_var(&self) -> Option<usize> {
-        let n = self.num_inputs;
-        let mut pos = vec![0usize; n];
-        let mut neg = vec![0usize; n];
-        for c in &self.cubes {
-            for v in 0..n {
-                match c.get(v) {
-                    Tri::One => pos[v] += 1,
-                    Tri::Zero => neg[v] += 1,
-                    Tri::DontCare => {}
+    /// Compacts the cover by greedily merging distance-1 sibling cubes
+    /// ([`Cube::sibling_merge`]) and dropping contained cubes, in
+    /// place. The denoted function is unchanged; only the
+    /// representation shrinks. Used to condense minterm-enumerated
+    /// off-sets before EXPAND scans them.
+    ///
+    /// Greedy (first-match) merging keeps the cube count strictly
+    /// non-increasing — unlike exhaustive Quine–McCluskey pairing,
+    /// whose intermediate implicant lists blow up combinatorially on
+    /// dense inputs.
+    pub fn merge_siblings(&mut self) {
+        // Sweep to a fixpoint: a merge at row i can enable a merge at
+        // an earlier row (e.g. minterm pairs 0∪1 and 2∪3 must then
+        // merge with each other), so one forward pass is not enough.
+        loop {
+            let mut changed = false;
+            let mut i = 0;
+            while i < self.cubes.len() {
+                let mut grew = false;
+                let mut j = i + 1;
+                while j < self.cubes.len() {
+                    if self.cubes[i].covers(&self.cubes[j]) {
+                        self.cubes.swap_remove(j);
+                        changed = true;
+                    } else if self.cubes[j].covers(&self.cubes[i]) {
+                        self.cubes.swap(i, j);
+                        self.cubes.swap_remove(j);
+                        grew = true;
+                    } else if let Some(m) = self.cubes[i].sibling_merge(&self.cubes[j]) {
+                        self.cubes[i] = m;
+                        self.cubes.swap_remove(j);
+                        grew = true;
+                    } else {
+                        j += 1;
+                    }
+                }
+                if grew {
+                    changed = true;
+                    // Re-scan row i: the bigger cube may now absorb or
+                    // merge with cubes it previously missed.
+                } else {
+                    i += 1;
                 }
             }
+            if !changed {
+                return;
+            }
         }
-        (0..n)
-            .filter(|&v| pos[v] > 0 && neg[v] > 0)
-            .max_by_key(|&v| pos[v] + neg[v])
     }
 
     fn first_used_var(&self) -> usize {
         for v in 0..self.num_inputs {
-            if self
-                .cubes
-                .iter()
-                .any(|c| c.get(v) != Tri::DontCare)
-            {
+            if self.cubes.iter().any(|c| c.get(v) != Tri::DontCare) {
                 return v;
             }
         }
         0
     }
+}
+
+/// Unate-recursive tautology over a cube list (shared by
+/// [`Cover::is_tautology`] and [`Cover::covers_cube`], which builds
+/// its cofactored cube list directly without an intermediate cover).
+pub(crate) fn tautology(n: usize, cubes: &[Cube]) -> bool {
+    // Fast exits.
+    if cubes.iter().any(|c| c.num_literals() == 0) {
+        return true;
+    }
+    if cubes.is_empty() {
+        return false;
+    }
+    // Vanishing-size pruner: the union of the cubes has at most
+    // Σ |cube| minterms; short of 2^n it cannot be a tautology. This
+    // resolves the common "sparse branch" case without recursion.
+    if n < 128 {
+        let mut total = 0u128;
+        for c in cubes {
+            total += 1u128 << (n - c.num_literals());
+            if total >= 1u128 << n {
+                break;
+            }
+        }
+        if total < 1u128 << n {
+            return false;
+        }
+    }
+    // Unate reduction via binate-select recursion, correct for all
+    // covers: a cover unate in every variable (with no full cube) is
+    // never a tautology.
+    match most_binate_var(n, cubes) {
+        Some(var) => {
+            let branch = |value| {
+                let cf: Vec<Cube> = cubes
+                    .iter()
+                    .filter_map(|c| c.cofactor(var, value))
+                    .collect();
+                tautology(n, &cf)
+            };
+            branch(false) && branch(true)
+        }
+        None => false,
+    }
+}
+
+/// The variable appearing both complemented and uncomplemented in the
+/// most cubes, or `None` if the cover is unate. Literal positions are
+/// harvested from the packed masks, so the scan costs O(literals)
+/// rather than O(cubes × n).
+pub(crate) fn most_binate_var(n: usize, cubes: &[Cube]) -> Option<usize> {
+    let mut pos = vec![0usize; n];
+    let mut neg = vec![0usize; n];
+    for c in cubes {
+        c.for_each_literal(|v, t| match t {
+            Tri::One => pos[v] += 1,
+            Tri::Zero => neg[v] += 1,
+            Tri::DontCare => unreachable!("for_each_literal yields bound vars"),
+        });
+    }
+    (0..n)
+        .filter(|&v| pos[v] > 0 && neg[v] > 0)
+        .max_by_key(|&v| pos[v] + neg[v])
 }
 
 #[cfg(test)]
@@ -348,11 +395,28 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_cubes_do_not_fool_the_pruner() {
+        // Σ sizes ≥ 2^n but the union is not everything: the pruner
+        // must not give a false positive, only skip work.
+        let f = Cover::from_cubes(
+            2,
+            vec![
+                Cube::from_lits(vec![Tri::One, Tri::DontCare]), // x0
+                Cube::from_lits(vec![Tri::One, Tri::DontCare]), // x0 again
+                Cube::from_lits(vec![Tri::One, Tri::One]),      // x0·x1
+            ],
+        );
+        assert!(!f.is_tautology());
+    }
+
+    #[test]
     fn complement_is_exact_on_random_functions() {
         // Deterministic pseudo-random functions over 5 vars.
         let mut seed = 0x12345678u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             seed >> 33
         };
         for _ in 0..20 {
@@ -410,5 +474,38 @@ mod tests {
         // f | x0=1 = !x1 → single cube not mentioning x0.
         assert!(cf.eval(0b00));
         assert!(!cf.eval(0b10));
+    }
+
+    #[test]
+    fn tautology_matches_eval_on_random_covers() {
+        // Differential check of the pruned unate recursion against
+        // brute-force evaluation.
+        let mut seed = 0xabcdefu64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for trial in 0..60 {
+            let n = 3 + (trial % 3) as usize;
+            let space = 1u64 << n;
+            // Mix of random cubes (not just minterms) for real sharing.
+            let cubes: Vec<Cube> = (0..(next() % 10 + 1))
+                .map(|_| {
+                    let lits = (0..n)
+                        .map(|_| match next() % 3 {
+                            0 => Tri::Zero,
+                            1 => Tri::One,
+                            _ => Tri::DontCare,
+                        })
+                        .collect();
+                    Cube::from_lits(lits)
+                })
+                .collect();
+            let f = Cover::from_cubes(n, cubes);
+            let brute = (0..space).all(|m| f.eval(m));
+            assert_eq!(f.is_tautology(), brute, "trial {trial}");
+        }
     }
 }

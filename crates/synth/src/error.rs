@@ -50,10 +50,16 @@ impl fmt::Display for SynthError {
             SynthError::Netlist(e) => write!(f, "netlist error: {e}"),
             SynthError::EmptyStateSpace => write!(f, "finite state machine has no states"),
             SynthError::StateOutOfRange { state, num_states } => {
-                write!(f, "state {state} out of range for {num_states}-state machine")
+                write!(
+                    f,
+                    "state {state} out of range for {num_states}-state machine"
+                )
             }
             SynthError::OutputOutOfRange { value, limit } => {
-                write!(f, "output value {value} exceeds representable limit {limit}")
+                write!(
+                    f,
+                    "output value {value} exceeds representable limit {limit}"
+                )
             }
             SynthError::WidthTooLarge { width, max } => {
                 write!(f, "bit width {width} exceeds supported maximum {max}")
@@ -93,7 +99,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SynthError::EmptyStateSpace.to_string().contains("no states"));
+        assert!(SynthError::EmptyStateSpace
+            .to_string()
+            .contains("no states"));
         let s = SynthError::StateOutOfRange {
             state: 9,
             num_states: 4,

@@ -6,8 +6,24 @@
 //! This is the workhorse behind the paper's "symbolic state machine"
 //! synthesis path (§3), where a logic optimizer is handed the raw
 //! next-state and output functions of an N-state FSM.
+//!
+//! The inner loops run on the bit-packed cube kernel:
+//!
+//! * EXPAND is reformulated over per-off-cube *conflict sets* (the
+//!   variables where a cube and an off-cube clash). Freeing a literal
+//!   set `F` makes the cube hit off-cube `o` exactly when
+//!   `conflicts(o) ⊆ F`, so the greedy expansion reduces to counter
+//!   maintenance instead of re-intersecting the whole off-set per
+//!   candidate literal — the same result as the naive greedy, at a
+//!   fraction of the cost.
+//! * IRREDUNDANT and REDUCE build their "rest of the cover" cofactor
+//!   lists directly with word-parallel [`Cube::cofactor_cube`] instead
+//!   of materializing intermediate covers.
+//! * Callers that already know the off-set (FSM and ROM synthesis
+//!   enumerate it for free) use [`minimize_with_off`] and skip the
+//!   Shannon complement entirely.
 
-use crate::cover::Cover;
+use crate::cover::{tautology, Cover};
 use crate::cube::{Cube, Tri};
 
 /// Minimizes `on` under don't-care set `dc`.
@@ -23,10 +39,51 @@ pub fn minimize(on: Cover, dc: Cover) -> Cover {
     if on.is_empty() {
         return on;
     }
-    let off = on.union(&dc).complement();
+    let mut care = on.union(&dc);
+    care.merge_siblings();
+    minimize_with_off(on, dc, care.complement())
+}
+
+/// Minimizes `on` under don't-care set `dc`, with the off-set supplied
+/// by the caller instead of computed by complementation.
+///
+/// `off` must cover exactly the minterms in neither `on` nor `dc`
+/// (a cover of the complement — it need not be minimal or disjoint).
+/// Callers that enumerate their function row by row (FSM next-state
+/// and output logic, ROM contents) know the off-set for free, and
+/// skipping the Shannon complement is the single largest saving in
+/// the synthesis hot path.
+///
+/// # Panics
+///
+/// Panics on arity mismatch between the three covers.
+pub fn minimize_with_off(on: Cover, dc: Cover, mut off: Cover) -> Cover {
+    assert_eq!(on.num_inputs(), dc.num_inputs(), "arity mismatch");
+    assert_eq!(on.num_inputs(), off.num_inputs(), "arity mismatch");
+    if on.is_empty() {
+        return on;
+    }
+    // EXPAND cost scales with the number of off-cubes, and callers
+    // typically enumerate the off-set minterm by minterm. Pick the
+    // cheaper compact form: condense the supplied off-set when it is
+    // the smaller description, otherwise complement on ∪ dc (fast
+    // precisely when that side is small — e.g. a one-minterm select
+    // line, whose enumerated off-set is the whole rest of the space).
+    if off.num_cubes() > on.num_inputs() {
+        if off.num_cubes() < on.num_cubes() + dc.num_cubes() {
+            off.merge_siblings();
+        } else {
+            let mut care = on.union(&dc);
+            care.merge_siblings();
+            off = care.complement();
+        }
+    }
+    // Condensing the starting cover (minterm-enumerated in every
+    // caller) both shrinks the first EXPAND and deepens it: merged
+    // cubes already carry the easy free variables.
     let mut current = {
         let mut c = on;
-        c.remove_single_cube_containment();
+        c.merge_siblings();
         c
     };
     let mut best_cost = (usize::MAX, usize::MAX);
@@ -45,30 +102,109 @@ pub fn minimize(on: Cover, dc: Cover) -> Cover {
 
 /// EXPAND: greedily frees literals of each cube while the cube stays
 /// disjoint from the off-set, then removes single-cube containments.
+///
+/// For each cube the conflict set of every off-cube (variables where
+/// the two demand opposite values) is computed once, word-parallel.
+/// An off-cube with conflict set `C` starts intersecting the expanded
+/// cube exactly when all of `C` has been freed, so a candidate
+/// variable `v` may be freed iff no off-cube's outstanding conflicts
+/// are `{v}`. Literals are tried fewest-blockers-first (off-cubes
+/// whose entire conflict set is that single variable), matching the
+/// ordering heuristic of the previous implementation exactly.
 fn expand(cover: &Cover, off: &Cover) -> Cover {
     let n = cover.num_inputs();
     let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Scratch, reused across cubes.
+    let mut conflict_vars: Vec<Vec<u32>> = Vec::new();
+    let mut per_var: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut remaining: Vec<u32> = Vec::new();
+    let mut blockers: Vec<u32> = vec![0; n];
+    let mut freed: Vec<bool> = vec![false; n];
+
     for cube in &mut cubes {
-        // Try to free literals in order of how many off-set cubes
-        // block them (fewest blockers first — a cheap proxy for the
-        // weight heuristics of full Espresso).
+        conflict_vars.clear();
+        remaining.clear();
+        for list in &mut per_var {
+            list.clear();
+        }
+        blockers[..n].fill(0);
+        freed[..n].fill(false);
+
+        // Conflict sets: variables where cube ∩ off-cube is empty.
+        for o in off.cubes() {
+            let mut vars: Vec<u32> = Vec::new();
+            o.for_each_literal(|v, lit| {
+                let want = lit == Tri::One;
+                match cube.get(v) {
+                    Tri::One if !want => vars.push(v as u32),
+                    Tri::Zero if want => vars.push(v as u32),
+                    _ => {}
+                }
+            });
+            debug_assert!(
+                !vars.is_empty(),
+                "cube intersects the off-set before expansion"
+            );
+            let id = conflict_vars.len() as u32;
+            for &v in &vars {
+                per_var[v as usize].push(id);
+            }
+            if vars.len() == 1 {
+                blockers[vars[0] as usize] += 1;
+            }
+            remaining.push(vars.len() as u32);
+            conflict_vars.push(vars);
+        }
+
+        // Candidate order: bound variables, fewest single-variable
+        // blockers first (stable, so ties stay in variable order).
         let mut vars: Vec<usize> = (0..n).filter(|&v| cube.get(v) != Tri::DontCare).collect();
-        vars.sort_by_key(|&v| {
-            let mut trial = cube.clone();
-            trial.set(v, Tri::DontCare);
-            off.cubes().iter().filter(|o| o.intersects(&trial)).count()
-        });
+        vars.sort_by_key(|&v| blockers[v]);
+
         for v in vars {
-            let mut trial = cube.clone();
-            trial.set(v, Tri::DontCare);
-            if !off.cubes().iter().any(|o| o.intersects(&trial)) {
-                *cube = trial;
+            if blockers[v] != 0 {
+                continue; // some off-cube's last conflict is exactly v
+            }
+            // Free v: off-cubes conflicting at v lose one conflict.
+            freed[v] = true;
+            cube.set(v, Tri::DontCare);
+            for &id in &per_var[v] {
+                remaining[id as usize] -= 1;
+                if remaining[id as usize] == 1 {
+                    // Find the one conflict variable not yet freed;
+                    // it becomes blocked.
+                    let last = conflict_vars[id as usize]
+                        .iter()
+                        .find(|&&u| !freed[u as usize])
+                        .expect("one conflict remains");
+                    blockers[*last as usize] += 1;
+                }
             }
         }
     }
     let mut out = Cover::from_cubes(n, cubes);
     out.remove_single_cube_containment();
     out
+}
+
+/// Whether cube `i` of `cubes` is covered by the other cubes plus the
+/// don't-care set (the containment check shared by IRREDUNDANT and
+/// REDUCE), via cofactor-and-tautology on the packed kernel.
+fn covered_by_rest(cubes: &[Cube], skip: usize, dc: &Cover, candidate: &Cube, n: usize) -> bool {
+    let mut cf: Vec<Cube> = Vec::with_capacity(cubes.len() + dc.num_cubes());
+    for (j, c) in cubes.iter().enumerate() {
+        if j != skip {
+            if let Some(r) = c.cofactor_cube(candidate) {
+                cf.push(r);
+            }
+        }
+    }
+    for c in dc.cubes() {
+        if let Some(r) = c.cofactor_cube(candidate) {
+            cf.push(r);
+        }
+    }
+    tautology(n, &cf)
 }
 
 /// IRREDUNDANT: removes cubes covered by the remaining cover plus the
@@ -79,14 +215,7 @@ fn irredundant(cover: &Cover, dc: &Cover) -> Cover {
     let mut i = 0;
     while i < cubes.len() {
         let candidate = cubes[i].clone();
-        let rest: Vec<Cube> = cubes
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, c)| c.clone())
-            .collect();
-        let rest_cover = Cover::from_cubes(n, rest).union(dc);
-        if rest_cover.covers_cube(&candidate) {
+        if covered_by_rest(&cubes, i, dc, &candidate, n) {
             cubes.remove(i);
         } else {
             i += 1;
@@ -102,13 +231,6 @@ fn reduce(cover: &Cover, dc: &Cover) -> Cover {
     let n = cover.num_inputs();
     let mut cubes: Vec<Cube> = cover.cubes().to_vec();
     for i in 0..cubes.len() {
-        let rest: Vec<Cube> = cubes
-            .iter()
-            .enumerate()
-            .filter(|&(j, _)| j != i)
-            .map(|(_, c)| c.clone())
-            .collect();
-        let rest_cover = Cover::from_cubes(n, rest).union(dc);
         // Try to specialize each free variable; keep the
         // specialization if the discarded half is already covered.
         let mut cube = cubes[i].clone();
@@ -119,7 +241,7 @@ fn reduce(cover: &Cover, dc: &Cover) -> Cover {
             for (keep, drop) in [(Tri::One, Tri::Zero), (Tri::Zero, Tri::One)] {
                 let mut dropped = cube.clone();
                 dropped.set(v, drop);
-                if rest_cover.covers_cube(&dropped) {
+                if covered_by_rest(&cubes, i, dc, &dropped, n) {
                     cube.set(v, keep);
                     break;
                 }
@@ -146,6 +268,7 @@ pub fn is_correct(result: &Cover, on: &Cover, dc: &Cover) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use adgen_exec::Prng;
 
     #[test]
     fn trivial_functions() {
@@ -221,6 +344,44 @@ mod tests {
             }
             // And never more cubes than the input.
             assert!(m.num_cubes() <= on.num_cubes().max(1));
+        }
+    }
+
+    #[test]
+    fn explicit_off_set_matches_complement_route() {
+        // minimize_with_off must agree (in function, and — since both
+        // run the identical deterministic loop — in exact cover) with
+        // minimize when handed the true off-set.
+        let mut rng = Prng::new(0x0FF5E7);
+        for trial in 0..40 {
+            let n = 3 + (trial % 4); // 3..=6 vars
+            let space = 1u64 << n;
+            let mut on_minterms = Vec::new();
+            let mut dc_minterms = Vec::new();
+            let mut off_minterms = Vec::new();
+            for m in 0..space {
+                match rng.next_range(3) {
+                    0 => on_minterms.push(m),
+                    1 => dc_minterms.push(m),
+                    _ => off_minterms.push(m),
+                }
+            }
+            let on = Cover::from_minterms(n, &on_minterms);
+            let dc = Cover::from_minterms(n, &dc_minterms);
+            let off = Cover::from_minterms(n, &off_minterms);
+            let via_complement = minimize(on.clone(), dc.clone());
+            let via_off = minimize_with_off(on.clone(), dc.clone(), off);
+            assert!(is_correct(&via_off, &on, &dc), "trial {trial}");
+            for m in 0..space {
+                if dc_minterms.contains(&m) {
+                    continue;
+                }
+                assert_eq!(
+                    via_off.eval(m),
+                    via_complement.eval(m),
+                    "trial {trial} minterm {m}"
+                );
+            }
         }
     }
 

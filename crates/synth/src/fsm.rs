@@ -200,6 +200,26 @@ impl Fsm {
         let dc_minterms: Vec<u64> = (0..(1u64 << bits)).filter(|m| !used.contains(m)).collect();
         let dc = Cover::from_minterms(bits, &dc_minterms);
 
+        // Every function below is defined row-by-row over the used
+        // codes, so its off-set is known explicitly (the used codes
+        // where the function is 0) and the minimizer can skip the
+        // Shannon complement — the dominant cost at large N.
+        let partition = |pred: &dyn Fn(usize) -> bool| -> (Cover, Cover) {
+            let mut on = Vec::new();
+            let mut off = Vec::new();
+            for (s, &code) in codes.iter().enumerate().take(n) {
+                if pred(s) {
+                    on.push(code);
+                } else {
+                    off.push(code);
+                }
+            }
+            (
+                Cover::from_minterms(bits, &on),
+                Cover::from_minterms(bits, &off),
+            )
+        };
+
         // State register.
         let q: Vec<NetId> = (0..bits)
             .map(|b| netlist.add_net(format!("{prefix}state_q{b}")))
@@ -210,12 +230,8 @@ impl Fsm {
         let code0 = codes[0];
         let rst = netlist.reset();
         for b in 0..bits {
-            let on_minterms: Vec<u64> = (0..n)
-                .filter(|&s| (codes[self.next_state[s]] >> b) & 1 == 1)
-                .map(|s| codes[s])
-                .collect();
-            let on = Cover::from_minterms(bits, &on_minterms);
-            let minimized = espresso::minimize(on, dc.clone());
+            let (on, off) = partition(&|s| (codes[self.next_state[s]] >> b) & 1 == 1);
+            let minimized = espresso::minimize_with_off(on, dc.clone(), off);
             let d = map_sop(netlist, &minimized, &q, &qn)?;
             // Reset loads the code of state 0.
             let kind = if (code0 >> b) & 1 == 1 {
@@ -236,12 +252,8 @@ impl Fsm {
         match style {
             OutputStyle::SelectLines { num_lines } => {
                 for line in 0..num_lines {
-                    let on_minterms: Vec<u64> = (0..n)
-                        .filter(|&s| self.output[s] == line as u64)
-                        .map(|s| codes[s])
-                        .collect();
-                    let on = Cover::from_minterms(bits, &on_minterms);
-                    let minimized = espresso::minimize(on, dc.clone());
+                    let (on, off) = partition(&|s| self.output[s] == line as u64);
+                    let minimized = espresso::minimize_with_off(on, dc.clone(), off);
                     let y = map_sop(netlist, &minimized, &q, &qn)?;
                     let y = ensure_driven_output(netlist, y)?;
                     netlist.add_output(y);
@@ -250,12 +262,8 @@ impl Fsm {
             }
             OutputStyle::BinaryAddress { bits: abits } => {
                 for b in 0..abits {
-                    let on_minterms: Vec<u64> = (0..n)
-                        .filter(|&s| (self.output[s] >> b) & 1 == 1)
-                        .map(|s| codes[s])
-                        .collect();
-                    let on = Cover::from_minterms(bits, &on_minterms);
-                    let minimized = espresso::minimize(on, dc.clone());
+                    let (on, off) = partition(&|s| (self.output[s] >> b) & 1 == 1);
+                    let minimized = espresso::minimize_with_off(on, dc.clone(), off);
                     let y = map_sop(netlist, &minimized, &q, &qn)?;
                     let y = ensure_driven_output(netlist, y)?;
                     netlist.add_output(y);
@@ -289,7 +297,12 @@ impl Fsm {
             } else {
                 CellKind::Dffre
             };
-            netlist.add_instance(format!("{prefix}hot_ff{s}"), kind, &[d, next_in, rst], &[q[s]])?;
+            netlist.add_instance(
+                format!("{prefix}hot_ff{s}"),
+                kind,
+                &[d, next_in, rst],
+                &[q[s]],
+            )?;
         }
         let mut outs = Vec::new();
         match style {
@@ -591,7 +604,11 @@ mod tests {
         sim.step_bools(&[false, false]).unwrap();
         assert_eq!(design.observed_address(&sim), Some(1), "held without next");
         sim.step_bools(&[false, true]).unwrap();
-        assert_eq!(design.observed_address(&sim), Some(1), "advance visible next cycle");
+        assert_eq!(
+            design.observed_address(&sim),
+            Some(1),
+            "advance visible next cycle"
+        );
         sim.step_bools(&[false, false]).unwrap();
         assert_eq!(design.observed_address(&sim), Some(2));
     }

@@ -72,7 +72,12 @@ pub fn build_counter(
     }
     for i in 0..w {
         let d = n.gate(CellKind::Xor2, &[q[i], c[i]])?;
-        n.add_instance(format!("{prefix}_ff{i}"), CellKind::Dffr, &[d, rst], &[q[i]])?;
+        n.add_instance(
+            format!("{prefix}_ff{i}"),
+            CellKind::Dffr,
+            &[d, rst],
+            &[q[i]],
+        )?;
     }
     let carry = n.gate(CellKind::And2, &[enable, p[w - 1]])?;
     Ok(Counter { q, carry })
@@ -164,7 +169,12 @@ pub fn build_mod_counter(
         wrap = n.gate(CellKind::And2, &[enable, p[w - 1]])?;
         for i in 0..w {
             let d = n.gate(CellKind::Xor2, &[q[i], c[i]])?;
-            n.add_instance(format!("{prefix}_ff{i}"), CellKind::Dffr, &[d, rst], &[q[i]])?;
+            n.add_instance(
+                format!("{prefix}_ff{i}"),
+                CellKind::Dffr,
+                &[d, rst],
+                &[q[i]],
+            )?;
         }
     } else {
         // Increment with synchronous clear at the terminal count.
@@ -174,7 +184,12 @@ pub fn build_mod_counter(
         for i in 0..w {
             let inc = n.gate(CellKind::Xor2, &[q[i], c[i]])?;
             let d = n.gate(CellKind::And2, &[not_wrap, inc])?;
-            n.add_instance(format!("{prefix}_ff{i}"), CellKind::Dffr, &[d, rst], &[q[i]])?;
+            n.add_instance(
+                format!("{prefix}_ff{i}"),
+                CellKind::Dffr,
+                &[d, rst],
+                &[q[i]],
+            )?;
         }
     }
     Ok(ModCounter { q, wrap, modulus })
@@ -245,11 +260,7 @@ pub fn build_ring_counter(
 /// # Panics
 ///
 /// Panics if `value` does not fit in `q.len()` bits.
-pub fn build_equality_const(
-    n: &mut Netlist,
-    q: &[NetId],
-    value: u64,
-) -> Result<NetId, SynthError> {
+pub fn build_equality_const(n: &mut Netlist, q: &[NetId], value: u64) -> Result<NetId, SynthError> {
     assert!(
         q.len() >= 64 || value < (1u64 << q.len()),
         "constant does not fit the word"
@@ -337,11 +348,7 @@ pub fn build_decoder(n: &mut Netlist, addr: &[NetId]) -> Result<Vec<NetId>, Synt
 /// # Panics
 ///
 /// Panics if the words differ in width or are empty.
-pub fn build_adder(
-    n: &mut Netlist,
-    a: &[NetId],
-    b: &[NetId],
-) -> Result<Vec<NetId>, SynthError> {
+pub fn build_adder(n: &mut Netlist, a: &[NetId], b: &[NetId]) -> Result<Vec<NetId>, SynthError> {
     assert_eq!(a.len(), b.len(), "adder operand width mismatch");
     assert!(!a.is_empty(), "adder needs at least one bit");
     let mut sum = Vec::with_capacity(a.len());
@@ -416,14 +423,20 @@ pub fn build_rom(
     let neg = literal_rails(n, index)?;
     let mut outputs = Vec::with_capacity(width as usize);
     for bit in 0..width {
-        let on_minterms: Vec<u64> = words
-            .iter()
-            .enumerate()
-            .filter(|&(_, &w)| (w >> bit) & 1 == 1)
-            .map(|(i, _)| i as u64)
-            .collect();
+        // The off-set is known row by row (stored words with the bit
+        // clear), so skip the complement inside the minimizer.
+        let mut on_minterms = Vec::new();
+        let mut off_minterms = Vec::new();
+        for (i, &w) in words.iter().enumerate() {
+            if (w >> bit) & 1 == 1 {
+                on_minterms.push(i as u64);
+            } else {
+                off_minterms.push(i as u64);
+            }
+        }
         let on = Cover::from_minterms(bits, &on_minterms);
-        let minimized = espresso::minimize(on, dc.clone());
+        let off = Cover::from_minterms(bits, &off_minterms);
+        let minimized = espresso::minimize_with_off(on, dc.clone(), off);
         outputs.push(map_sop(n, &minimized, index, &neg)?);
     }
     Ok(outputs)
@@ -468,12 +481,7 @@ mod tests {
     fn read_word(sim: &Simulator<'_>, word: &[NetId]) -> u64 {
         word.iter()
             .enumerate()
-            .map(|(i, &b)| {
-                (sim.value(b)
-                    .to_bool()
-                    .expect("defined value") as u64)
-                    << i
-            })
+            .map(|(i, &b)| (sim.value(b).to_bool().expect("defined value") as u64) << i)
             .sum()
     }
 

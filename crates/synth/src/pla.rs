@@ -62,18 +62,24 @@ pub fn parse_pla(text: &str) -> Result<Pla, SynthError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix(".i ") {
-            let n = rest.trim().parse::<usize>().map_err(|e| SynthError::ParsePla {
-                line: line_no,
-                reason: format!("bad .i count: {e}"),
-            })?;
+            let n = rest
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| SynthError::ParsePla {
+                    line: line_no,
+                    reason: format!("bad .i count: {e}"),
+                })?;
             num_inputs = Some(n);
             continue;
         }
         if let Some(rest) = line.strip_prefix(".o ") {
-            let o = rest.trim().parse::<usize>().map_err(|e| SynthError::ParsePla {
-                line: line_no,
-                reason: format!("bad .o count: {e}"),
-            })?;
+            let o = rest
+                .trim()
+                .parse::<usize>()
+                .map_err(|e| SynthError::ParsePla {
+                    line: line_no,
+                    reason: format!("bad .o count: {e}"),
+                })?;
             if o != 1 {
                 return Err(SynthError::ParsePla {
                     line: line_no,

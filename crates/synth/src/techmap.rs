@@ -14,7 +14,14 @@ use crate::cube::Tri;
 ///
 /// Propagates netlist construction errors.
 pub fn and_tree(n: &mut Netlist, nets: &[NetId]) -> Result<NetId, NetlistError> {
-    reduce_tree(n, nets, CellKind::And2, CellKind::And3, CellKind::And4, CellKind::TieHi)
+    reduce_tree(
+        n,
+        nets,
+        CellKind::And2,
+        CellKind::And3,
+        CellKind::And4,
+        CellKind::TieHi,
+    )
 }
 
 /// Builds a balanced OR tree over `nets` with fan-in ≤ 4.
@@ -25,7 +32,14 @@ pub fn and_tree(n: &mut Netlist, nets: &[NetId]) -> Result<NetId, NetlistError> 
 ///
 /// Propagates netlist construction errors.
 pub fn or_tree(n: &mut Netlist, nets: &[NetId]) -> Result<NetId, NetlistError> {
-    reduce_tree(n, nets, CellKind::Or2, CellKind::Or3, CellKind::Or4, CellKind::TieLo)
+    reduce_tree(
+        n,
+        nets,
+        CellKind::Or2,
+        CellKind::Or3,
+        CellKind::Or4,
+        CellKind::TieLo,
+    )
 }
 
 fn reduce_tree(
@@ -240,11 +254,7 @@ mod tests {
                 ins.push(Logic::from_bool((m >> b) & 1 == 1));
             }
             sim.step(&ins).unwrap();
-            assert_eq!(
-                sim.value(y),
-                Logic::from_bool(cover.eval(m)),
-                "minterm {m}"
-            );
+            assert_eq!(sim.value(y), Logic::from_bool(cover.eval(m)), "minterm {m}");
         }
     }
 
@@ -290,7 +300,10 @@ mod tests {
         let after = TimingAnalysis::run(&n, &Library::vcl018())
             .unwrap()
             .critical_path_ps();
-        assert!(after < before, "buffering should reduce delay: {before} -> {after}");
+        assert!(
+            after < before,
+            "buffering should reduce delay: {before} -> {after}"
+        );
     }
 
     #[test]

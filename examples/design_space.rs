@@ -72,12 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // A mid-range area budget: half way between the extremes.
         let areas: Vec<f64> = eval.candidates.iter().map(|c| c.area).collect();
         if let (Some(&min), Some(&max)) = (
-            areas
-                .iter()
-                .min_by(|a, b| a.total_cmp(b)),
-            areas
-                .iter()
-                .max_by(|a, b| a.total_cmp(b)),
+            areas.iter().min_by(|a, b| a.total_cmp(b)),
+            areas.iter().max_by(|a, b| a.total_cmp(b)),
         ) {
             let budget = (min + max) / 2.0;
             match select(&eval.candidates, Constraint::MinDelayUnderArea(budget)) {

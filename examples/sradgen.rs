@@ -88,11 +88,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match map_sequence_relaxed(&sequence) {
             Ok(spec) => {
                 println!("mapped onto a multi-counter SRAG:");
-                println!("  registers   = {:?}", spec
-                    .registers
-                    .iter()
-                    .map(|r| r.lines().to_vec())
-                    .collect::<Vec<_>>());
+                println!(
+                    "  registers   = {:?}",
+                    spec.registers
+                        .iter()
+                        .map(|r| r.lines().to_vec())
+                        .collect::<Vec<_>>()
+                );
                 println!("  div counts  = {:?}", spec.div_counts);
                 println!("  pass counts = {:?}", spec.pass_counts);
                 let design = MultiCounterSragNetlist::elaborate(&spec)?;
@@ -131,7 +133,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             Err(e) => {
                 println!("mapping failed: {e}");
-                println!("hint: retry with --relaxed to allow per-address and per-register counters");
+                println!(
+                    "hint: retry with --relaxed to allow per-address and per-register counters"
+                );
                 std::process::exit(1);
             }
         }
@@ -139,10 +143,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn summarize(
-    netlist: &Netlist,
-    library: &Library,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn summarize(netlist: &Netlist, library: &Library) -> Result<(), Box<dyn std::error::Error>> {
     let timing = TimingAnalysis::run(netlist, library)?;
     let area = AreaReport::of(netlist, library);
     println!(

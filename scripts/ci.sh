@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate for the adgen workspace.
+#
+# Runs the same checks the PR driver enforces:
+#   1. formatting        (cargo fmt --check)
+#   2. lints             (clippy, warnings are errors)
+#   3. tier-1 build      (release, all targets)
+#   4. tier-1 tests      (full workspace)
+#
+# The workspace has zero external dependencies, so every step works
+# without network access. Run from anywhere inside the repo.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> CI OK"

@@ -52,9 +52,11 @@
 //! | [`cntag`] | `adgen-cntag` | counter/arithmetic/ROM baselines, loop-nest compiler |
 //! | [`memory`] | `adgen-memory` | ADDM / RAM models, behavioural & gate-level co-simulation |
 //! | [`explorer`] | `adgen-explorer` | candidates, Pareto, selection, reports, power comparisons |
+//! | [`exec`] | `adgen-exec` | scoped thread pool with deterministic ordering, seedable PRNG |
 
 pub use adgen_cntag as cntag;
 pub use adgen_core as core;
+pub use adgen_exec as exec;
 pub use adgen_explorer as explorer;
 pub use adgen_memory as memory;
 pub use adgen_netlist as netlist;

@@ -80,10 +80,8 @@ fn power_measurement_runs_on_every_architecture() {
         .elaborate()
         .unwrap();
     let cnt = CntAgNetlist::elaborate(&CntAgSpec::raster(shape)).unwrap();
-    let arith = ArithAgNetlist::elaborate(
-        &ArithAgSpec::from_sequence(&seq, shape).unwrap(),
-    )
-    .unwrap();
+    let arith =
+        ArithAgNetlist::elaborate(&ArithAgSpec::from_sequence(&seq, shape).unwrap()).unwrap();
     for netlist in [&srag.netlist, &cnt.netlist, &arith.netlist] {
         for model in [ClockModel::FreeRunning, ClockModel::Gated] {
             let report = measure_power_with_clock(netlist, &lib, 100.0, 64, model, |_| {
@@ -101,9 +99,15 @@ fn control_styles_and_chaining_preserve_the_sequence() {
     let shape = ArrayShape::new(8, 8);
     let seq = workloads::fifo(shape);
     let pair = Srag2d::map(&seq, shape, Layout::RowMajor).unwrap();
-    let designs = [pair.elaborate_with_style(ControlStyle::BinaryCounters).unwrap(),
-        pair.elaborate_with_style(ControlStyle::RingCounters).unwrap(),
-        pair.elaborate_chained().unwrap().expect("fifo is chainable")];
+    let designs = [
+        pair.elaborate_with_style(ControlStyle::BinaryCounters)
+            .unwrap(),
+        pair.elaborate_with_style(ControlStyle::RingCounters)
+            .unwrap(),
+        pair.elaborate_chained()
+            .unwrap()
+            .expect("fifo is chainable"),
+    ];
     for (variant, design) in designs.iter().enumerate() {
         let mut sim = Simulator::new(&design.netlist).unwrap();
         sim.step_bools(&[true, false]).unwrap();
@@ -137,7 +141,9 @@ fn explorer_puts_srag_on_the_frontier_for_paper_workloads() {
         let eval = evaluate(&seq, shape, &lib, &options);
         let frontier = pareto_frontier(&eval.candidates);
         assert!(
-            frontier.iter().any(|c| c.architecture == Architecture::Srag),
+            frontier
+                .iter()
+                .any(|c| c.architecture == Architecture::Srag),
             "{name}: SRAG missing from frontier"
         );
         // Constraint-driven selection picks the SRAG when delay is

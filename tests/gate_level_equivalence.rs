@@ -147,8 +147,15 @@ fn mid_stream_reset_recovers_all_architectures() {
     let srag = pair.elaborate().unwrap();
     let cnt = CntAgNetlist::elaborate(&CntAgSpec::motion_est(shape, 2, 2, 0)).unwrap();
     for netlist_and_decode in [
-        (&srag.netlist, Box::new(|s: &Simulator<'_>| srag.observed_address(s)) as Box<dyn Fn(&Simulator<'_>) -> Option<u32>>),
-        (&cnt.netlist, Box::new(|s: &Simulator<'_>| cnt.observed_address(s))),
+        (
+            &srag.netlist,
+            Box::new(|s: &Simulator<'_>| srag.observed_address(s))
+                as Box<dyn Fn(&Simulator<'_>) -> Option<u32>>,
+        ),
+        (
+            &cnt.netlist,
+            Box::new(|s: &Simulator<'_>| cnt.observed_address(s)),
+        ),
     ] {
         let (netlist, decode) = netlist_and_decode;
         let mut sim = Simulator::new(netlist).unwrap();

@@ -85,8 +85,7 @@ fn fig5_example_sequences() {
 #[test]
 fn paper_restriction_counterexamples_fail_exactly_as_described() {
     // §4: per-address dC mismatch (3 for address 5, 2 elsewhere).
-    let s =
-        AddressSequence::from_vec(vec![5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]);
+    let s = AddressSequence::from_vec(vec![5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]);
     assert!(matches!(
         map_sequence(&s),
         Err(SragError::DivCntViolation { .. })
@@ -110,8 +109,7 @@ fn paper_restriction_counterexamples_fail_exactly_as_described() {
 #[test]
 fn relaxed_mapper_accepts_both_counterexamples() {
     use adgen::core::multi_counter::map_sequence_relaxed;
-    let a =
-        AddressSequence::from_vec(vec![5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]);
+    let a = AddressSequence::from_vec(vec![5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]);
     assert!(map_sequence_relaxed(&a).is_ok());
     let b = AddressSequence::from_vec(vec![
         5, 1, 4, 0, 5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2,

@@ -60,8 +60,8 @@ fn cntag_and_arith_netlists_simulate_identically() {
     let cnt = CntAgNetlist::elaborate(&CntAgSpec::motion_est(shape, 2, 2, 0)).unwrap();
     cross_check(&cnt.netlist, 150, 99);
     let seq = workloads::serpentine(shape);
-    let arith = ArithAgNetlist::elaborate(&ArithAgSpec::from_sequence(&seq, shape).unwrap())
-        .unwrap();
+    let arith =
+        ArithAgNetlist::elaborate(&ArithAgSpec::from_sequence(&seq, shape).unwrap()).unwrap();
     cross_check(&arith.netlist, 150, 5);
 }
 
