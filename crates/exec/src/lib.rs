@@ -16,4 +16,4 @@ pub mod pool;
 pub mod prng;
 
 pub use pool::{available_jobs, par_map, resolve_jobs};
-pub use prng::Prng;
+pub use prng::{splitmix64, Prng};

@@ -2,6 +2,17 @@
 //! xorshift64*), good enough for randomized property tests and
 //! synthetic workload generation. Not cryptographic.
 
+/// One round of splitmix64: a bijective scramble of `x` with good
+/// avalanche behaviour. The workhorse for deriving independent
+/// per-stream seeds from a (seed, index) pair — e.g. the fuzzer's
+/// per-case seeds, which must not depend on scheduling.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// Deterministic pseudo-random number generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Prng {
@@ -13,13 +24,17 @@ impl Prng {
     /// valid: seeds are scrambled through splitmix64 first.
     pub fn new(seed: u64) -> Self {
         // One splitmix64 round guarantees a non-zero xorshift state.
-        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
         Prng {
-            state: z | 1, // never zero
+            state: splitmix64(seed) | 1, // never zero
         }
+    }
+
+    /// A generator for stream `index` of master seed `seed`: two
+    /// chained splitmix64 rounds decorrelate neighbouring indices, so
+    /// `for_stream(s, 0)` and `for_stream(s, 1)` are statistically
+    /// independent while remaining pure functions of their arguments.
+    pub fn for_stream(seed: u64, index: u64) -> Self {
+        Prng::new(splitmix64(seed) ^ splitmix64(index.wrapping_mul(0xa076_1d64_78bd_642f)))
     }
 
     /// Next 64 uniformly distributed bits.
@@ -109,6 +124,35 @@ mod tests {
             let f = r.next_f64();
             assert!((0.0..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_distinct() {
+        let a: Vec<u64> = {
+            let mut r = Prng::for_stream(1, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Prng::for_stream(1, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Prng::for_stream(1, 8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let d: Vec<u64> = {
+            let mut r = Prng::for_stream(2, 7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn splitmix_scrambles() {
+        assert_ne!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
     }
 
     #[test]

@@ -1,0 +1,138 @@
+//! Command-line front end of the differential fuzzer.
+//!
+//! ```text
+//! cargo run -p adgen-fuzz -- --iters 500 --seed 1 --jobs 4
+//! cargo run -p adgen-fuzz -- --seed 1 --iters 500 --case 137   # replay one case
+//! cargo run -p adgen-fuzz -- --iters 200 --dev-break mapper    # demo failure path
+//! ```
+//!
+//! Exit status is 0 when every oracle agreed, 1 on any mismatch, 2 on
+//! bad usage.
+
+use std::process::ExitCode;
+
+use adgen_fuzz::{run_fuzz, BreakMode, FuzzConfig};
+
+const USAGE: &str =
+    "usage: fuzz [--iters N] [--seed S] [--jobs J] [--case I] [--dev-break mapper|cube]
+
+  --iters N           number of cases to run (default 200)
+  --seed S            master seed (default 1)
+  --jobs J            worker threads, 0 = all cores (default 0)
+  --case I            replay only case index I of the run (verbose)
+  --dev-break MODE    deliberately corrupt one oracle (mapper|cube)
+                      to demonstrate detection + shrinking";
+
+fn parse_args(args: &[String]) -> Result<FuzzConfig, String> {
+    let mut config = FuzzConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--iters" => {
+                config.iters = value_for("--iters")?
+                    .parse()
+                    .map_err(|_| "--iters expects an integer".to_string())?;
+            }
+            "--seed" => {
+                config.seed = value_for("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--jobs" => {
+                config.jobs = value_for("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs expects an integer".to_string())?;
+            }
+            "--case" => {
+                config.only_case = Some(
+                    value_for("--case")?
+                        .parse()
+                        .map_err(|_| "--case expects an integer".to_string())?,
+                );
+            }
+            "--dev-break" => {
+                let v = value_for("--dev-break")?;
+                config.break_mode = BreakMode::parse(&v)
+                    .ok_or_else(|| format!("unknown --dev-break mode '{v}'"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if config.break_mode != BreakMode::None {
+        println!(
+            "dev mode: oracle deliberately broken ({:?}) — failures below are expected",
+            config.break_mode
+        );
+    }
+
+    let report = run_fuzz(&config);
+
+    if let Some(index) = config.only_case {
+        // Verbose single-case replay.
+        let o = &report.outcomes[0];
+        println!("case {index} (case_seed {:#018x})", o.case_seed);
+        println!("  kind:  {}", o.kind);
+        println!("  input: {}", o.input);
+        match &o.failure {
+            None => {
+                println!("  result: PASS — all oracles agree");
+                return ExitCode::SUCCESS;
+            }
+            Some(info) => {
+                println!("  result: FAIL");
+                println!("  divergence: {}", info.detail);
+                println!("  minimal counterexample: {}", info.minimal);
+                println!("  minimal divergence: {}", info.minimal_detail);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    println!(
+        "fuzz: {} cases, seed {}, jobs {}",
+        report.iters, report.seed, config.jobs
+    );
+    for (kind, total, failed) in report.kind_summary() {
+        println!("  {kind:<14} {total:>5} run  {failed:>3} failed");
+    }
+
+    let failures: Vec<_> = report.failures().collect();
+    if failures.is_empty() {
+        println!("OK: zero oracle mismatches");
+        return ExitCode::SUCCESS;
+    }
+
+    println!("\n{} FAILURE(S):", failures.len());
+    for o in &failures {
+        let info = o.failure.as_ref().expect("failing outcome has info");
+        println!("\n[{}] {} case: {}", o.index, o.kind, o.input);
+        println!("  divergence: {}", info.detail);
+        println!("  minimal counterexample: {}", info.minimal);
+        println!("  minimal divergence: {}", info.minimal_detail);
+        println!("  {}", report.repro_line(o));
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,204 @@
+//! The fuzz-case vocabulary: every randomized input the differential
+//! fuzzer can generate, as plain shrinkable data.
+//!
+//! A case is a *value* — no handles, no closures — so it can be
+//! regenerated from a seed, mutated by the shrinker, and printed as a
+//! reproduction recipe. Each variant names the layer pair (or triple)
+//! its oracle cross-checks; the checks themselves live in
+//! [`crate::check`].
+
+use adgen_core::arch::ControlStyle;
+
+/// Which of the paper's loop-nest workloads a structural case runs.
+///
+/// Only kernels that both the SRAG mapper and the counter-cascade
+/// baseline can realize are eligible, so every architecture in the
+/// oracle matrix produces the same stream by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Raster / FIFO scan.
+    Fifo,
+    /// Block-matching motion estimation (`mb`×`mb` macroblocks,
+    /// search range `m`).
+    MotionEst,
+    /// Zoom-by-two read pattern.
+    ZoomByTwo,
+    /// Transpose / separable-DCT column scan.
+    Transpose,
+}
+
+impl WorkloadKind {
+    /// Short stable label used in failure reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadKind::Fifo => "fifo",
+            WorkloadKind::MotionEst => "motion_est",
+            WorkloadKind::ZoomByTwo => "zoom_by_two",
+            WorkloadKind::Transpose => "transpose",
+        }
+    }
+}
+
+/// A literal code for shrinkable cube storage: 0 = Zero, 1 = One,
+/// 2 = DontCare. Kept as `u8` so cube cases stay `Eq + Clone` plain
+/// data.
+pub type LitCode = u8;
+
+/// One generated fuzz input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FuzzCase {
+    /// Raw 1-D sequence → mapper accept/reject vs. the brute-force
+    /// restriction checker, plus round-trip on accept.
+    Mapper {
+        /// The raw address sequence under test.
+        seq: Vec<u32>,
+    },
+    /// Workload → behavioural SRAG pair vs. counter-cascade CntAG vs.
+    /// the reference trace, over two full periods.
+    SragVsCntag {
+        /// Workload kernel.
+        kind: WorkloadKind,
+        /// Array width (power of two).
+        width: u32,
+        /// Array height (power of two).
+        height: u32,
+        /// Macroblock edge (motion estimation only).
+        mb: u32,
+        /// Search range (motion estimation only).
+        m: u32,
+    },
+    /// Workload → behavioural SRAG pair vs. gate-level elaboration
+    /// (levelized and event-driven simulators, plus netlist-level
+    /// equivalence between control styles / chaining).
+    GateLevel {
+        /// Workload kernel.
+        kind: WorkloadKind,
+        /// Array width (power of two).
+        width: u32,
+        /// Array height (power of two).
+        height: u32,
+        /// Macroblock edge (motion estimation only).
+        mb: u32,
+        /// Control style of the primary elaboration.
+        style: ControlStyle,
+    },
+    /// Two random cubes → every packed `Cube` operation vs. the
+    /// `Vec<Tri>` oracle, including spill-word widths.
+    Cube {
+        /// Literals of cube `a`, one [`LitCode`] per variable.
+        a: Vec<LitCode>,
+        /// Literals of cube `b`; same arity as `a`.
+        b: Vec<LitCode>,
+        /// Minterms probed for containment agreement.
+        minterms: Vec<u64>,
+    },
+    /// Random on/dc minterm sets → espresso minimization checked
+    /// exhaustively against truth-table semantics.
+    Espresso {
+        /// Number of input variables (small enough to enumerate).
+        n: usize,
+        /// On-set minterms.
+        on: Vec<u64>,
+        /// Don't-care minterms (disjoint from `on`).
+        dc: Vec<u64>,
+    },
+    /// Wide (>32-variable) covers → packed `Cover` operations vs. the
+    /// naive oracle on sampled minterms.
+    WideCover {
+        /// Number of input variables (33..=64: always spills words).
+        n: usize,
+        /// Cubes of the cover, as literal codes.
+        cubes: Vec<Vec<LitCode>>,
+        /// Minterms probed for evaluation agreement.
+        minterms: Vec<u64>,
+    },
+    /// Workload → write-then-read co-simulation through the ADDM
+    /// (two-hot select discipline) and the conventional RAM, driven by
+    /// behavioural SRAG pairs and replay generators.
+    Cosim {
+        /// Read-side workload kernel.
+        kind: WorkloadKind,
+        /// Array width (power of two).
+        width: u32,
+        /// Array height (power of two).
+        height: u32,
+        /// Macroblock edge (motion estimation only).
+        mb: u32,
+    },
+}
+
+impl FuzzCase {
+    /// Stable kind label for reports and the determinism test.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FuzzCase::Mapper { .. } => "mapper",
+            FuzzCase::SragVsCntag { .. } => "srag-vs-cntag",
+            FuzzCase::GateLevel { .. } => "gate-level",
+            FuzzCase::Cube { .. } => "cube",
+            FuzzCase::Espresso { .. } => "espresso",
+            FuzzCase::WideCover { .. } => "wide-cover",
+            FuzzCase::Cosim { .. } => "cosim",
+        }
+    }
+
+    /// One-line description of the concrete input, for counterexample
+    /// reports.
+    pub fn describe(&self) -> String {
+        match self {
+            FuzzCase::Mapper { seq } => format!("sequence {seq:?}"),
+            FuzzCase::SragVsCntag {
+                kind,
+                width,
+                height,
+                mb,
+                m,
+            } => format!("{} {width}x{height} mb={mb} m={m}", kind.label()),
+            FuzzCase::GateLevel {
+                kind,
+                width,
+                height,
+                mb,
+                style,
+            } => format!("{} {width}x{height} mb={mb} style={style:?}", kind.label()),
+            FuzzCase::Cube { a, b, minterms } => format!(
+                "cubes a={} b={} over {} vars, {} minterm probes",
+                lits_to_string(a),
+                lits_to_string(b),
+                a.len(),
+                minterms.len()
+            ),
+            FuzzCase::Espresso { n, on, dc } => {
+                format!("{n} vars, on={on:?} dc={dc:?}")
+            }
+            FuzzCase::WideCover { n, cubes, minterms } => format!(
+                "{n} vars, {} cubes [{}], {} minterm probes",
+                cubes.len(),
+                cubes
+                    .iter()
+                    .map(|c| lits_to_string(c))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                minterms.len()
+            ),
+            FuzzCase::Cosim {
+                kind,
+                width,
+                height,
+                mb,
+            } => format!("{} {width}x{height} mb={mb}", kind.label()),
+        }
+    }
+}
+
+/// PLA-style rendering of a literal-code vector (most significant
+/// variable first, matching `Cube`'s `Display`).
+pub fn lits_to_string(lits: &[LitCode]) -> String {
+    lits.iter()
+        .rev()
+        .map(|&l| match l {
+            0 => '0',
+            1 => '1',
+            _ => '-',
+        })
+        .collect()
+}

@@ -1,0 +1,56 @@
+//! The fuzzer's own reproducibility guarantee: a run is a pure
+//! function of (seed, iters) — worker count must not leak into any
+//! outcome, and every case must be regenerable from its seed pair
+//! alone. Mirrors `crates/bench/tests/determinism.rs` for the
+//! experiment engine.
+
+use adgen_fuzz::{case_seed, generate_case, run_fuzz, FuzzConfig};
+
+fn config(jobs: usize) -> FuzzConfig {
+    FuzzConfig {
+        iters: 64,
+        seed: 20260806,
+        jobs,
+        ..FuzzConfig::default()
+    }
+}
+
+#[test]
+fn same_seed_same_outcomes_at_any_job_count() {
+    let serial = run_fuzz(&config(1));
+    let parallel = run_fuzz(&config(4));
+    assert_eq!(
+        serial.outcomes, parallel.outcomes,
+        "fuzz outcomes must be byte-identical at any --jobs value"
+    );
+}
+
+#[test]
+fn different_seeds_generate_different_runs() {
+    let a = run_fuzz(&config(1));
+    let b = run_fuzz(&FuzzConfig {
+        seed: 20260807,
+        ..config(1)
+    });
+    assert_ne!(
+        a.outcomes.iter().map(|o| &o.input).collect::<Vec<_>>(),
+        b.outcomes.iter().map(|o| &o.input).collect::<Vec<_>>(),
+        "distinct master seeds must produce distinct case streams"
+    );
+}
+
+#[test]
+fn cases_are_pure_functions_of_their_seed_pair() {
+    let report = run_fuzz(&config(2));
+    for outcome in &report.outcomes {
+        let expected = case_seed(20260806, outcome.index);
+        assert_eq!(outcome.case_seed, expected);
+        let regenerated = generate_case(expected);
+        assert_eq!(
+            regenerated.describe(),
+            outcome.input,
+            "case {} must regenerate from SEED/CASE alone",
+            outcome.index
+        );
+    }
+}

@@ -386,6 +386,52 @@ mod tests {
         assert!(f.is_tautology());
     }
 
+    /// Cofactoring the empty cover (the constant-0 function) must
+    /// stay empty for every variable, polarity and cube divisor —
+    /// the base case the espresso recursions bottom out on.
+    #[test]
+    fn empty_cover_cofactors_stay_empty() {
+        for n in [1usize, 2, 5, 33] {
+            let empty = Cover::empty(n);
+            assert!(empty.is_empty());
+            assert!(!empty.is_tautology(), "n={n}");
+            for v in [0, n - 1] {
+                for val in [false, true] {
+                    let cf = empty.cofactor(v, val);
+                    assert!(cf.is_empty(), "n={n} var {v} val {val}");
+                    assert_eq!(cf.num_inputs(), n);
+                }
+            }
+            let mut divisor = Cube::full(n);
+            divisor.set(0, Tri::One);
+            let cf = empty.cofactor_cube(&divisor);
+            assert!(cf.is_empty(), "n={n}");
+            // And the complement of nothing is everything.
+            assert!(empty.complement().is_tautology(), "n={n}");
+        }
+    }
+
+    /// Cofactoring a nonempty cover can also *become* empty — when
+    /// the literal contradicts every cube. The result must behave as
+    /// constant 0, not as an error.
+    #[test]
+    fn cofactor_can_empty_a_nonempty_cover() {
+        // f = x0 (single cube); f | x0=0 is empty.
+        let f = Cover::from_cubes(
+            3,
+            vec![Cube::from_lits(vec![
+                Tri::One,
+                Tri::DontCare,
+                Tri::DontCare,
+            ])],
+        );
+        let zero = f.cofactor(0, false);
+        assert!(zero.is_empty());
+        assert!(!zero.eval(0));
+        let one = f.cofactor(0, true);
+        assert!(one.is_tautology(), "x0 | x0=1 is the universal function");
+    }
+
     #[test]
     fn full_minterm_cover_is_tautology() {
         let f = Cover::from_minterms(3, &(0..8).collect::<Vec<u64>>());

@@ -643,6 +643,91 @@ mod tests {
         }
     }
 
+    /// The packed layout stores 32 variables per word: n = 32 is the
+    /// last purely inline arity, 33 the first spilled one, 64 the
+    /// last single-spill-word arity and 65 the first needing two
+    /// spill words. Exercise each boundary with bound literals on
+    /// both sides of every word seam.
+    #[test]
+    fn word_boundary_arities() {
+        for n in [32usize, 33, 64, 65] {
+            let mut c = Cube::full(n);
+            // Bind the first and last variable and both sides of each
+            // 32-variable seam that exists at this arity.
+            let mut bound = vec![0, n - 1];
+            for seam in [32usize, 64] {
+                if n > seam {
+                    bound.push(seam - 1);
+                    bound.push(seam);
+                }
+            }
+            bound.sort_unstable();
+            bound.dedup();
+            for (i, &v) in bound.iter().enumerate() {
+                c.set(v, if i % 2 == 0 { Tri::One } else { Tri::Zero });
+            }
+            assert_eq!(c.num_literals(), bound.len(), "n={n}");
+            for v in 0..n {
+                let expected = match bound.iter().position(|&b| b == v) {
+                    Some(i) if i % 2 == 0 => Tri::One,
+                    Some(_) => Tri::Zero,
+                    None => Tri::DontCare,
+                };
+                assert_eq!(c.get(v), expected, "n={n} var {v}");
+            }
+            // Freeing the last bound literal one by one walks back to
+            // the full cube regardless of which word the literal
+            // lives in.
+            let mut d = c.clone();
+            for &v in bound.iter().rev() {
+                d.set(v, Tri::DontCare);
+            }
+            assert!(d.covers(&c), "n={n}: freed cube must cover original");
+            assert_eq!(d.num_literals(), 0, "n={n}");
+            // from_minterm at the same arities: variables >= 64 read
+            // bit 0 of a nonexistent chunk, i.e. Zero.
+            let m = Cube::from_minterm(n, u64::MAX);
+            for v in 0..n {
+                let expected = if v < 64 { Tri::One } else { Tri::Zero };
+                assert_eq!(m.get(v), expected, "n={n} var {v}");
+            }
+            assert_eq!(m.num_literals(), n, "minterm cube binds all vars");
+        }
+    }
+
+    /// An all-don't-care cube is the universal cube at every arity:
+    /// it covers and intersects everything, has no literals, and
+    /// cofactoring it by any variable is a no-op.
+    #[test]
+    fn all_dont_care_cubes_are_universal() {
+        for n in [1usize, 31, 32, 33, 64, 65] {
+            let full = Cube::full(n);
+            assert_eq!(full.num_literals(), 0, "n={n}");
+            if n < 64 {
+                // `size` is `2^(free vars)` and only representable in
+                // a u64 below 64 free variables.
+                assert_eq!(full.size(), 1u64 << n, "n={n}");
+            }
+            let mut probe = Cube::full(n);
+            probe.set(0, Tri::One);
+            probe.set(n - 1, Tri::Zero);
+            assert!(full.covers(&probe), "n={n}");
+            assert!(full.intersects(&probe), "n={n}");
+            assert_eq!(full.intersect(&probe), Some(probe.clone()), "n={n}");
+            for v in [0, n / 2, n - 1] {
+                for val in [false, true] {
+                    assert_eq!(
+                        full.cofactor(v, val),
+                        Some(full.clone()),
+                        "n={n} var {v} val {val}"
+                    );
+                }
+            }
+            assert!(full.contains_minterm(0), "n={n}");
+            assert!(full.contains_minterm(u64::MAX), "n={n}");
+        }
+    }
+
     #[test]
     fn for_each_literal_enumerates_bound_vars() {
         let c = Cube::from_lits(vec![

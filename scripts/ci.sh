@@ -6,6 +6,10 @@
 #   2. lints             (clippy, warnings are errors)
 #   3. tier-1 build      (release, all targets)
 #   4. tier-1 tests      (full workspace)
+#   5. fuzz smoke        (fixed-seed differential fuzz, 200 cases)
+#
+# Set CI_SLOW=1 to additionally run the #[ignore]d large
+# configurations (512x512 / 256x256 scale tests).
 #
 # The workspace has zero external dependencies, so every step works
 # without network access. Run from anywhere inside the repo.
@@ -24,5 +28,13 @@ cargo build --release --workspace --all-targets
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> fuzz smoke (fixed seed, deterministic)"
+cargo run --release -p adgen-fuzz -- --iters 200 --seed 1
+
+if [[ "${CI_SLOW:-0}" == "1" ]]; then
+  echo "==> slow tier: ignored scale tests"
+  cargo test --workspace --release -q -- --ignored
+fi
 
 echo "==> CI OK"

@@ -1,7 +1,62 @@
-//! Large-configuration stress tests. The default suite keeps these
-//! `#[ignore]`d to stay fast; run them with `cargo test -- --ignored`.
+//! Large-configuration stress tests. The default suite keeps the
+//! 512×512/256×256 cases `#[ignore]`d to stay fast (run them with
+//! `cargo test -- --ignored`, e.g. via `CI_SLOW=1 scripts/ci.sh`);
+//! each has a bounded 64×64 twin below that always runs, so the same
+//! code paths are exercised on every `cargo test`.
 
 use adgen::prelude::*;
+
+#[test]
+fn srag_64x64_maps_elaborates_and_times() {
+    // Bounded twin of `srag_512x512_maps_elaborates_and_times`.
+    let shape = ArrayShape::new(64, 64);
+    let seq = workloads::fifo(shape);
+    let pair = Srag2d::map(&seq, shape, Layout::RowMajor).unwrap();
+    let design = pair.elaborate().unwrap();
+    assert_eq!(design.row_lines.len(), 64);
+    assert_eq!(design.col_lines.len(), 64);
+    let lib = Library::vcl018();
+    let t = TimingAnalysis::run(&design.netlist, &lib).unwrap();
+    let a = AreaReport::of(&design.netlist, &lib);
+    assert!(t.critical_path_ns() > 0.0);
+    assert!(a.total() > 1_000.0);
+    // Spot-check the first 500 cycles at gate level.
+    let mut sim = Simulator::new(&design.netlist).unwrap();
+    sim.step_bools(&[true, false]).unwrap();
+    for (i, &expected) in seq.iter().take(500).enumerate() {
+        sim.step_bools(&[false, true]).unwrap();
+        assert_eq!(design.observed_address(&sim), Some(expected), "step {i}");
+    }
+}
+
+#[test]
+fn cntag_64x64_components() {
+    // Bounded twin of `cntag_512x512_components`.
+    use adgen::cntag::component_delays;
+    let shape = ArrayShape::new(64, 64);
+    let lib = Library::vcl018();
+    let c = component_delays(&CntAgSpec::raster(shape), &lib).unwrap();
+    assert!(c.row_decoder_ps > 0.0);
+    assert!(c.total_ps() > c.counter_ps);
+}
+
+#[test]
+fn full_period_verification_64x64() {
+    // Bounded twin of `full_period_verification_256x256`: one
+    // complete 4096-access period, gate level.
+    let shape = ArrayShape::new(64, 64);
+    let mb = 8;
+    let seq = workloads::motion_est_read(shape, mb, mb, 0);
+    assert_eq!(seq.len(), 4096);
+    let pair = Srag2d::map(&seq, shape, Layout::RowMajor).unwrap();
+    let design = pair.elaborate().unwrap();
+    let mut sim = Simulator::new(&design.netlist).unwrap();
+    sim.step_bools(&[true, false]).unwrap();
+    for (i, &expected) in seq.iter().enumerate() {
+        sim.step_bools(&[false, true]).unwrap();
+        assert_eq!(design.observed_address(&sim), Some(expected), "step {i}");
+    }
+}
 
 #[test]
 #[ignore = "large configuration; run with --ignored"]
