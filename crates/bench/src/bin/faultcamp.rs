@@ -1,0 +1,320 @@
+//! `faultcamp` — gate-level fault-injection campaign on the paper's
+//! Fig. 7 motion-estimation workload.
+//!
+//! Three variants of the same address stream are put under the same
+//! select-ring fault universe (stuck-at-0/1 on every select line plus
+//! seed-reproducible SEUs on the state flip-flops):
+//!
+//! * `srag-plain`    — the paper's SRAG pair: select lines straight
+//!   from flip-flops, no protection;
+//! * `srag-hardened` — the self-checking variant: one-hot checker,
+//!   `alarm` output, watchdog resync;
+//! * `cntag`         — the counter-plus-decoder baseline, whose
+//!   decoder structurally remaps every fault to *some* legal select.
+//!
+//! ```text
+//! cargo run --release -p adgen-bench --bin faultcamp              # 8x8 array
+//! cargo run --release -p adgen-bench --bin faultcamp -- --smoke   # 4x4, CI-sized
+//! cargo run --release -p adgen-bench --bin faultcamp -- --jobs 4 --seed 7
+//! cargo run --release -p adgen-bench --bin faultcamp -- --fault seu@i3#c9
+//! ```
+//!
+//! `--fault TOKEN` replays a single fault against the hardened pair
+//! and prints its classification plus the reproduction line — the
+//! fuzz-style `SEED=… FAULT=…` repro loop.
+//!
+//! Campaign runs write `BENCH_fault.json` with per-variant coverage
+//! and the area/delay price of hardening. The process exits nonzero
+//! if the hardened pair fails to self-detect every effective fault in
+//! the universe (its design contract).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use adgen_cntag::netlist::SELECT_LINE_LOAD_FF;
+use adgen_cntag::{CntAgNetlist, CntAgSpec};
+use adgen_core::composite::Srag2d;
+use adgen_explorer::compare_resilience;
+use adgen_fault::{
+    classify, flip_flop_ids, replay, repro_line, run_campaign, sample_seus, CampaignReport,
+    CampaignSpec, Classification, Fault,
+};
+use adgen_netlist::{AreaReport, Library, NetId, Netlist, TimingAnalysis};
+use adgen_seq::{workloads, ArrayShape, Layout};
+
+/// One row of the JSON report.
+struct VariantResult {
+    name: &'static str,
+    report: CampaignReport,
+    area: f64,
+    delay_ps: f64,
+}
+
+fn main() -> ExitCode {
+    let mut jobs = 0usize;
+    let mut seed = 2026u64;
+    let mut smoke = false;
+    let mut fault_token: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--jobs" | "-j" => jobs = parse_or_die(&mut args, &a),
+            "--seed" => seed = parse_or_die(&mut args, &a),
+            "--fault" => {
+                fault_token = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --fault needs a token (e.g. sa0@n12, seu@i3#c9)");
+                    std::process::exit(2);
+                }))
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: faultcamp [--smoke] [--jobs N] [--seed N] [--fault TOKEN]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Fig. 7 configuration: block-matching motion estimation, 2x2
+    // macroblocks. The smoke size keeps the full select-line
+    // stuck-at list but on the 4x4 array.
+    let shape = if smoke {
+        ArrayShape::new(4, 4)
+    } else {
+        ArrayShape::new(8, 8)
+    };
+    let seq = workloads::motion_est_read(shape, 2, 2, 0);
+    let cycles = seq.len() as u32;
+    let seu_samples = if smoke { 16 } else { 48 };
+    let lib = Library::vcl018();
+
+    if let Some(token) = fault_token {
+        return replay_single(&seq, shape, &token, cycles, seed);
+    }
+
+    println!(
+        "faultcamp: motion_est {}x{} mb=2, {} cycles, {} SEU samples, seed {}",
+        shape.width(),
+        shape.height(),
+        cycles,
+        seu_samples,
+        seed
+    );
+
+    let (row, plain_report, hard_report) =
+        compare_resilience(&seq, shape, &lib, cycles, seu_samples, seed, jobs)
+            .expect("paper workload maps and elaborates");
+
+    let cntag = CntAgNetlist::elaborate(&CntAgSpec::motion_est(shape, 2, 2, 0))
+        .expect("paper workload elaborates as CntAG");
+    let cnt_lines: Vec<NetId> = cntag
+        .row_lines
+        .iter()
+        .chain(&cntag.col_lines)
+        .copied()
+        .collect();
+    let cnt_report = cntag_campaign(&cntag.netlist, &cnt_lines, cycles, seu_samples, seed, jobs);
+    let cnt_timing =
+        TimingAnalysis::run_with_output_load(&cntag.netlist, &lib, SELECT_LINE_LOAD_FF)
+            .expect("CntAG times");
+
+    let variants = [
+        VariantResult {
+            name: "srag-plain",
+            report: plain_report,
+            area: row.plain_area,
+            delay_ps: row.plain_delay_ps,
+        },
+        VariantResult {
+            name: "srag-hardened",
+            report: hard_report,
+            area: row.hardened_area,
+            delay_ps: row.hardened_delay_ps,
+        },
+        VariantResult {
+            name: "cntag",
+            report: cnt_report,
+            area: AreaReport::of(&cntag.netlist, &lib).total(),
+            delay_ps: cnt_timing.critical_path_ps(),
+        },
+    ];
+
+    println!();
+    for v in &variants {
+        println!("  {:<14} {}", v.name, v.report.summary());
+        println!(
+            "  {:<14} area {:.1}, critical path {:.1} ps",
+            "", v.area, v.delay_ps
+        );
+    }
+    println!(
+        "\n  hardening premium: {:.2}x area, {:.2}x delay",
+        row.area_overhead_factor(),
+        row.delay_overhead_factor()
+    );
+
+    let json = fault_json(shape, cycles, seed, seu_samples, &variants, &row);
+    match std::fs::write("BENCH_fault.json", &json) {
+        Ok(()) => println!("  (written to BENCH_fault.json)"),
+        Err(e) => eprintln!("warning: could not write BENCH_fault.json: {e}"),
+    }
+
+    // Design contract of the hardened pair: every effective fault in
+    // the select-ring universe is self-detected; none stays silent.
+    let hardened = &variants[1].report;
+    if hardened.alarm_coverage_pct() < 100.0 || hardened.silent() > 0 {
+        eprintln!(
+            "FAIL: hardened SRAG self-detection incomplete: {}",
+            hardened.summary()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("  hardened self-detection: complete");
+    ExitCode::SUCCESS
+}
+
+/// The CntAG side of the comparison, under the analogous universe:
+/// stuck-ats on every select line plus SEUs sampled over the counter
+/// flip-flops. No alarm output exists — detection means a corrupted
+/// primary output.
+fn cntag_campaign(
+    netlist: &Netlist,
+    select_lines: &[NetId],
+    cycles: u32,
+    seu_samples: usize,
+    seed: u64,
+    jobs: usize,
+) -> CampaignReport {
+    let mut faults: Vec<Fault> = select_lines
+        .iter()
+        .flat_map(|&net| {
+            [
+                Fault::StuckAt { net, value: false },
+                Fault::StuckAt { net, value: true },
+            ]
+        })
+        .collect();
+    let ffs = flip_flop_ids(netlist);
+    faults.extend(sample_seus(
+        &ffs,
+        cycles.saturating_sub(1).max(1),
+        seu_samples,
+        seed,
+    ));
+    let spec = CampaignSpec {
+        netlist,
+        cycles,
+        alarm_output: None,
+    };
+    run_campaign(&spec, &faults, jobs)
+}
+
+/// `--fault TOKEN`: replays one fault against the hardened pair and
+/// prints the classification and the reproduction line.
+fn replay_single(
+    seq: &adgen_seq::AddressSequence,
+    shape: ArrayShape,
+    token: &str,
+    cycles: u32,
+    seed: u64,
+) -> ExitCode {
+    let hardened = Srag2d::map(seq, shape, Layout::RowMajor)
+        .expect("paper workload maps")
+        .elaborate_hardened()
+        .expect("paper workload elaborates");
+    let Some(fault) = Fault::parse(token, &hardened.netlist) else {
+        eprintln!("error: `{token}` is not a valid fault for this netlist");
+        eprintln!("       (forms: sa0@nN, sa1@nN, seu@iN#cC with in-range indices)");
+        return ExitCode::from(2);
+    };
+    let spec = CampaignSpec {
+        netlist: &hardened.netlist,
+        cycles,
+        alarm_output: Some(hardened.alarm_output_index()),
+    };
+    let golden = replay(&spec, None);
+    let faulty = replay(&spec, Some(fault));
+    let class = classify(&golden, &faulty, spec.alarm_output);
+    println!(
+        "fault {} — {}",
+        fault.id(),
+        fault.describe(&hardened.netlist)
+    );
+    match class {
+        Classification::Detected { cycle, alarm } => println!(
+            "  detected at cycle {cycle} ({})",
+            if alarm {
+                "by alarm"
+            } else {
+                "output corruption"
+            }
+        ),
+        Classification::Silent => println!("  silent state corruption (latent)"),
+        Classification::Benign => println!("  benign: indistinguishable from golden run"),
+    }
+    println!("  {}", repro_line(seed, &fault));
+    ExitCode::SUCCESS
+}
+
+fn parse_or_die<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let v = args.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    });
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid {flag} value `{v}`");
+        std::process::exit(2);
+    })
+}
+
+/// Hand-rolled machine-readable record, mirroring `BENCH_repro.json`.
+fn fault_json(
+    shape: ArrayShape,
+    cycles: u32,
+    seed: u64,
+    seu_samples: usize,
+    variants: &[VariantResult],
+    row: &adgen_explorer::ResilienceRow,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"workload\": \"motion_est {}x{} mb=2 m=0\",",
+        shape.width(),
+        shape.height()
+    );
+    let _ = writeln!(s, "  \"cycles\": {cycles},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"seu_samples\": {seu_samples},");
+    let _ = writeln!(s, "  \"variants\": [");
+    for (i, v) in variants.iter().enumerate() {
+        let comma = if i + 1 < variants.len() { "," } else { "" };
+        let r = &v.report;
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"faults\": {}, \"detected\": {}, \"alarmed\": {}, \
+             \"silent\": {}, \"benign\": {}, \"coverage_pct\": {:.2}, \
+             \"alarm_coverage_pct\": {:.2}, \"area\": {:.2}, \"delay_ps\": {:.2}}}{comma}",
+            v.name,
+            r.outcomes.len(),
+            r.detected(),
+            r.alarmed(),
+            r.silent(),
+            r.benign(),
+            r.coverage_pct(),
+            r.alarm_coverage_pct(),
+            v.area,
+            v.delay_ps
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"hardening_overhead\": {{\"area_factor\": {:.4}, \"delay_factor\": {:.4}}}",
+        row.area_overhead_factor(),
+        row.delay_overhead_factor()
+    );
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -62,6 +62,7 @@
 pub mod arch;
 pub mod composite;
 pub mod error;
+pub mod harden;
 pub mod mapper;
 pub mod multi_counter;
 pub mod netlist;
@@ -72,6 +73,7 @@ pub mod sim;
 pub use arch::{ShiftRegisterSpec, SragSpec};
 pub use composite::Srag2d;
 pub use error::SragError;
+pub use harden::{HardenedSrag2dNetlist, HardenedSragNetlist};
 pub use mapper::{map_sequence, Mapping};
 pub use netlist::SragNetlist;
 pub use sim::SragSimulator;

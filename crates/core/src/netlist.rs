@@ -116,6 +116,28 @@ pub struct SragParts {
     /// dimension's divider off a faster one (paper §7: reuse of
     /// control circuitry between the row and column sequences).
     pub cycle_wrap: NetId,
+    /// The shift-register Q nets in token order (register by
+    /// register) — the nets a select-ring fault campaign targets.
+    pub ring_ffs: Vec<NetId>,
+    /// One-hot violation flag of the hardening checker; `Some` only
+    /// when built with [`BuildOptions::harden`].
+    pub alarm: Option<NetId>,
+}
+
+/// Construction options for [`build_into_parts_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildOptions {
+    /// Control-circuit style for `DivCnt`/`PassCnt`.
+    pub style: ControlStyle,
+    /// Replaces the internal `DivCnt` with an externally divided
+    /// enable; `next` is then ignored for enable generation.
+    pub external_enable: Option<NetId>,
+    /// Elaborates the self-checking ring: an exactly-one-hot checker
+    /// over the shift-register Q nets whose violation flag (`alarm`)
+    /// is ORed into the ring flip-flops' reset/set pins, so an
+    /// invalid state both raises the alarm and reloads the reset
+    /// token pattern on the next clock edge (watchdog resync).
+    pub harden: bool,
 }
 
 /// Builds an SRAG for `spec` into an existing netlist, driven by the
@@ -154,6 +176,34 @@ pub fn build_into_parts(
     style: ControlStyle,
     external_enable: Option<NetId>,
 ) -> Result<SragParts, SragError> {
+    build_into_parts_with(
+        n,
+        spec,
+        next,
+        prefix,
+        &BuildOptions {
+            style,
+            external_enable,
+            harden: false,
+        },
+    )
+}
+
+/// Option-struct variant of [`build_into_parts`]; the only way to
+/// request the hardened (self-checking) ring.
+///
+/// # Errors
+///
+/// Propagates construction failures.
+pub fn build_into_parts_with(
+    n: &mut Netlist,
+    spec: &SragSpec,
+    next: NetId,
+    prefix: &str,
+    opts: &BuildOptions,
+) -> Result<SragParts, SragError> {
+    let style = opts.style;
+    let external_enable = opts.external_enable;
     let rst = n.reset();
 
     // A modulo-`count` divider of `stimulus` in the chosen control
@@ -226,6 +276,44 @@ pub fn build_into_parts(
                 .collect()
         })
         .collect();
+    let flat_q: Vec<NetId> = q.iter().flatten().copied().collect();
+
+    // Hardening: a chained exactly-one-hot checker over the ring Q
+    // nets. `p1` = at least one hot so far, `p2` = at least two;
+    // `alarm` = ¬p1 ∨ p2 (not exactly one token). The alarm is ORed
+    // into the ring flip-flops' reset/set pins, so the cycle after an
+    // invalid state becomes visible the ring reloads its reset token
+    // pattern — detection and resync in one mechanism. The loop
+    // Q → checker → reset pin is broken by the flip-flops, so the
+    // combinational network stays acyclic.
+    let (ring_rst, alarm) = if opts.harden {
+        let mut p1 = flat_q[0];
+        let mut p2: Option<NetId> = None;
+        for &l in &flat_q[1..] {
+            let both = n.gate(CellKind::And2, &[p1, l]).map_err(SragError::from)?;
+            p2 = Some(match p2 {
+                None => both,
+                Some(prev) => n
+                    .gate(CellKind::Or2, &[prev, both])
+                    .map_err(SragError::from)?,
+            });
+            p1 = n.gate(CellKind::Or2, &[p1, l]).map_err(SragError::from)?;
+        }
+        let none_hot = n.gate(CellKind::Inv, &[p1]).map_err(SragError::from)?;
+        let alarm = match p2 {
+            Some(p2) => n
+                .gate(CellKind::Or2, &[none_hot, p2])
+                .map_err(SragError::from)?,
+            None => none_hot,
+        };
+        let resync = n
+            .gate(CellKind::Or2, &[rst, alarm])
+            .map_err(SragError::from)?;
+        (resync, Some(alarm))
+    } else {
+        (rst, None)
+    };
+
     let num_regs = spec.num_registers();
     for (i, r) in spec.registers.iter().enumerate() {
         for j in 0..r.len() {
@@ -251,7 +339,7 @@ pub fn build_into_parts(
             n.add_instance(
                 format!("{prefix}sr{i}_ff{j}"),
                 kind,
-                &[d, enable, rst],
+                &[d, enable, ring_rst],
                 &[q[i][j]],
             )?;
         }
@@ -294,6 +382,8 @@ pub fn build_into_parts(
         select_lines,
         enable,
         cycle_wrap,
+        ring_ffs: flat_q,
+        alarm,
     })
 }
 

@@ -18,6 +18,7 @@ pub mod candidates;
 pub mod compare;
 pub mod pareto;
 pub mod report;
+pub mod resilience;
 
 pub use candidates::{
     evaluate, evaluate_jobs, Architecture, Candidate, EvaluateOptions, Evaluation,
@@ -28,3 +29,4 @@ pub use compare::{
 };
 pub use pareto::{pareto_frontier, select, Constraint};
 pub use report::render_evaluation;
+pub use resilience::{compare_resilience, ResilienceRow};

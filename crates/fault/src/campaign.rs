@@ -1,0 +1,290 @@
+//! Deterministic fault-injection campaign engine.
+//!
+//! A campaign fixes a netlist, a cycle budget, and a stimulus (the
+//! canonical address-generator drive: one reset cycle, then `next`
+//! held high), runs the fault-free *golden* trace once, then replays
+//! every fault in a list against it and classifies the outcome:
+//!
+//! * [`Classification::Detected`] — the faulty run diverged at a
+//!   primary output, or the design's own alarm output fired. The
+//!   recorded cycle is the first detection; `alarm` distinguishes
+//!   self-checking detection from plain output divergence.
+//! * [`Classification::Silent`] — every output matched the golden
+//!   trace for the whole window, but the final flip-flop states
+//!   differ: latent corruption that a longer run could still expose.
+//! * [`Classification::Benign`] — the faulty run is
+//!   indistinguishable from the golden run, outputs and state.
+//!
+//! Replays fan out over [`adgen_exec::par_map`], whose output order
+//! equals fault-list order regardless of the job count, so a
+//! campaign report is byte-identical across `--jobs` settings. Each
+//! fault is pure data ([`Fault::id`]), so any single outcome can be
+//! reproduced from the `FAULT=` token in its repro line.
+
+use adgen_exec::par_map;
+use adgen_netlist::{EventSimulator, Logic, Netlist, Simulator};
+
+use crate::model::Fault;
+
+/// What a campaign runs: the design plus the observation window.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignSpec<'a> {
+    /// The design under test. Inputs must be `[reset, next, ...]`
+    /// (the shared convention of every generator in this workspace);
+    /// inputs past `next` are held low.
+    pub netlist: &'a Netlist,
+    /// Number of observed post-reset cycles.
+    pub cycles: u32,
+    /// Primary-output index of a self-checking alarm, if the design
+    /// has one. The alarm output is excluded from divergence
+    /// comparison; it seeing `1` classifies the fault as
+    /// alarm-detected.
+    pub alarm_output: Option<usize>,
+}
+
+/// The observable behaviour of one run: primary-output values for
+/// cycles `1..=cycles` (the reset cycle is not compared — alarms and
+/// outputs may float before initialization), plus the final
+/// flip-flop states for latent-corruption detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Output values per observed cycle.
+    pub outputs: Vec<Vec<Logic>>,
+    /// Flip-flop states after the last cycle, in instance order.
+    pub final_states: Vec<Logic>,
+}
+
+/// Outcome of one fault replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classification {
+    /// Observable divergence from the golden run.
+    Detected {
+        /// First cycle (1-based) at which the fault was observable.
+        cycle: u32,
+        /// Whether the design's alarm output made the detection (as
+        /// opposed to plain output corruption).
+        alarm: bool,
+    },
+    /// Outputs matched all window, but final state differs — the
+    /// fault is latent in the machine state.
+    Silent,
+    /// No observable or latent difference from the golden run.
+    Benign,
+}
+
+fn stimulus(num_inputs: usize, cycle: u32) -> Vec<bool> {
+    let mut v = vec![false; num_inputs];
+    if cycle == 0 {
+        v[0] = true;
+    } else if num_inputs > 1 {
+        v[1] = true;
+    }
+    v
+}
+
+/// Runs the campaign stimulus on the levelized simulator with an
+/// optional injected fault; `None` produces the golden trace.
+///
+/// # Panics
+///
+/// Panics if the netlist fails simulator construction or stepping —
+/// campaign inputs are validated netlists, so this indicates a bug.
+pub fn replay(spec: &CampaignSpec<'_>, fault: Option<Fault>) -> Trace {
+    let mut sim = Simulator::new(spec.netlist).expect("campaign netlist must be simulable");
+    if let Some(Fault::StuckAt { net, value }) = fault {
+        sim.force_net(net, if value { Logic::One } else { Logic::Zero });
+    }
+    let num_inputs = spec.netlist.inputs().len();
+    sim.step_bools(&stimulus(num_inputs, 0))
+        .expect("reset step");
+    let mut outputs = Vec::with_capacity(spec.cycles as usize);
+    for cycle in 1..=spec.cycles {
+        if let Some(Fault::Seu { ff, cycle: c }) = fault {
+            if c == cycle {
+                sim.upset_flip_flop(ff);
+            }
+        }
+        sim.step_bools(&stimulus(num_inputs, cycle)).expect("step");
+        outputs.push(sim.output_values());
+    }
+    Trace {
+        outputs,
+        final_states: sim.flip_flop_states(),
+    }
+}
+
+/// [`replay`] on the event-driven simulator — same trace by
+/// construction; campaigns use the levelized engine (faster for
+/// full-activity generators), the differential tests and fuzzer use
+/// this to cross-check the injection hooks themselves.
+///
+/// # Panics
+///
+/// As [`replay`].
+pub fn replay_event(spec: &CampaignSpec<'_>, fault: Option<Fault>) -> Trace {
+    let mut sim = EventSimulator::new(spec.netlist).expect("campaign netlist must be simulable");
+    if let Some(Fault::StuckAt { net, value }) = fault {
+        sim.force_net(net, if value { Logic::One } else { Logic::Zero });
+    }
+    let num_inputs = spec.netlist.inputs().len();
+    sim.step_bools(&stimulus(num_inputs, 0))
+        .expect("reset step");
+    let mut outputs = Vec::with_capacity(spec.cycles as usize);
+    for cycle in 1..=spec.cycles {
+        if let Some(Fault::Seu { ff, cycle: c }) = fault {
+            if c == cycle {
+                sim.upset_flip_flop(ff);
+            }
+        }
+        sim.step_bools(&stimulus(num_inputs, cycle)).expect("step");
+        outputs.push(sim.output_values());
+    }
+    Trace {
+        outputs,
+        final_states: sim.flip_flop_states(),
+    }
+}
+
+/// Compares a faulty trace against the golden one.
+pub fn classify(golden: &Trace, faulty: &Trace, alarm_output: Option<usize>) -> Classification {
+    for (i, (g, f)) in golden.outputs.iter().zip(&faulty.outputs).enumerate() {
+        let cycle = i as u32 + 1;
+        if let Some(a) = alarm_output {
+            if f[a] == Logic::One {
+                return Classification::Detected { cycle, alarm: true };
+            }
+        }
+        let diverged = g
+            .iter()
+            .zip(f)
+            .enumerate()
+            .any(|(j, (gv, fv))| Some(j) != alarm_output && gv != fv);
+        if diverged {
+            return Classification::Detected {
+                cycle,
+                alarm: false,
+            };
+        }
+    }
+    if golden.final_states == faulty.final_states {
+        Classification::Benign
+    } else {
+        Classification::Silent
+    }
+}
+
+/// One classified fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Its classification against the golden run.
+    pub class: Classification,
+}
+
+/// The classified fault list, in fault-list order (jobs-invariant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Observation window used.
+    pub cycles: u32,
+    /// One outcome per input fault, same order.
+    pub outcomes: Vec<FaultOutcome>,
+}
+
+impl CampaignReport {
+    /// Faults observably detected (output divergence or alarm).
+    pub fn detected(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.class, Classification::Detected { .. }))
+            .count()
+    }
+
+    /// Detected faults whose first detection was the alarm output.
+    pub fn alarmed(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.class, Classification::Detected { alarm: true, .. }))
+            .count()
+    }
+
+    /// Faults that silently corrupted machine state.
+    pub fn silent(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.class == Classification::Silent)
+            .count()
+    }
+
+    /// Faults with no effect at all.
+    pub fn benign(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.class == Classification::Benign)
+            .count()
+    }
+
+    /// Detected / (total − benign), as a percentage; benign faults
+    /// cannot be detected by any observer, so they are excluded from
+    /// the denominator. 100 when every effective fault is benign.
+    pub fn coverage_pct(&self) -> f64 {
+        let effective = self.outcomes.len() - self.benign();
+        if effective == 0 {
+            100.0
+        } else {
+            100.0 * self.detected() as f64 / effective as f64
+        }
+    }
+
+    /// Alarm-detected / (total − benign), as a percentage — the
+    /// self-checking coverage. Zero for designs without an alarm.
+    pub fn alarm_coverage_pct(&self) -> f64 {
+        let effective = self.outcomes.len() - self.benign();
+        if effective == 0 {
+            100.0
+        } else {
+            100.0 * self.alarmed() as f64 / effective as f64
+        }
+    }
+
+    /// One-line summary, stable across job counts.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} faults: {} detected ({} by alarm), {} silent, {} benign; coverage {:.1}%, alarm coverage {:.1}%",
+            self.outcomes.len(),
+            self.detected(),
+            self.alarmed(),
+            self.silent(),
+            self.benign(),
+            self.coverage_pct(),
+            self.alarm_coverage_pct(),
+        )
+    }
+}
+
+/// Replays and classifies every fault in `faults`, fanning out over
+/// `jobs` worker threads. Output order equals `faults` order for any
+/// job count.
+pub fn run_campaign(spec: &CampaignSpec<'_>, faults: &[Fault], jobs: usize) -> CampaignReport {
+    let golden = replay(spec, None);
+    let outcomes = par_map(faults, jobs, |_, &fault| {
+        let faulty = replay(spec, Some(fault));
+        FaultOutcome {
+            fault,
+            class: classify(&golden, &faulty, spec.alarm_output),
+        }
+    });
+    CampaignReport {
+        cycles: spec.cycles,
+        outcomes,
+    }
+}
+
+/// Fuzz-style reproduction line for one fault: paste the `--fault`
+/// token back into the campaign binary to replay exactly this fault.
+pub fn repro_line(seed: u64, fault: &Fault) -> String {
+    format!(
+        "SEED={seed} FAULT={id} reproduce: cargo run --release -p adgen-bench --bin faultcamp -- --seed {seed} --fault {id}",
+        id = fault.id()
+    )
+}

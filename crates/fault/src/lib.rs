@@ -1,0 +1,45 @@
+//! Gate-level fault-injection campaigns for address generators.
+//!
+//! The paper's SRAG removes the address decoder entirely and drives
+//! memory select lines straight from flip-flop outputs. That buys
+//! speed and area — and loses the decoder's implicit immunity:
+//! a decoder maps *every* counter state to *some* legal one-hot
+//! pattern, while a shift-register ring has `2ⁿ − n` illegal states
+//! that a single stuck-at or particle strike can reach and then
+//! circulate forever. This crate measures that exposure and
+//! validates the hardened (self-checking) SRAG variants that close
+//! it:
+//!
+//! * [`model`] — stuck-at-0/1 on any net and single-event upsets on
+//!   any flip-flop, as plain replayable data with stable `FAULT=`
+//!   tokens,
+//! * [`campaign`] — the deterministic campaign engine: golden run,
+//!   per-fault replay on the levelized simulator, detected / silent /
+//!   benign classification, jobs-invariant parallel fan-out, and
+//!   fuzz-style reproduction lines.
+//!
+//! # Example
+//!
+//! Exhaustive stuck-at campaign on a plain 4-line SRAG ring:
+//!
+//! ```
+//! use adgen_core::{SragNetlist, SragSpec};
+//! use adgen_fault::{enumerate_stuck_at, run_campaign, CampaignSpec};
+//!
+//! let design = SragNetlist::elaborate(&SragSpec::ring(4)).unwrap();
+//! let spec = CampaignSpec { netlist: &design.netlist, cycles: 16, alarm_output: None };
+//! let faults = enumerate_stuck_at(&design.netlist);
+//! let report = run_campaign(&spec, &faults, 1);
+//! assert_eq!(report.outcomes.len(), faults.len());
+//! // A plain SRAG has no alarm: nothing is ever self-detected.
+//! assert_eq!(report.alarmed(), 0);
+//! ```
+
+pub mod campaign;
+pub mod model;
+
+pub use campaign::{
+    classify, replay, replay_event, repro_line, run_campaign, CampaignReport, CampaignSpec,
+    Classification, FaultOutcome, Trace,
+};
+pub use model::{driving_flip_flops, enumerate_stuck_at, flip_flop_ids, sample_seus, Fault};

@@ -1,0 +1,175 @@
+//! Campaign-engine guarantees: the fault-free replay reproduces the
+//! golden address stream exactly, an injected select-line stuck-at
+//! is detected and classified, the levelized and event-driven
+//! replays agree under injection, and campaign output is
+//! byte-identical across worker counts. Mirrors
+//! `crates/fuzz/tests/determinism.rs` for the fault engine.
+
+use adgen_core::{HardenedSragNetlist, SragNetlist, SragSpec};
+use adgen_fault::{
+    classify, driving_flip_flops, enumerate_stuck_at, replay, replay_event, run_campaign,
+    sample_seus, CampaignSpec, Classification, Fault,
+};
+use adgen_netlist::{Logic, Simulator};
+
+fn ring_spec(n: u32) -> SragSpec {
+    SragSpec::ring(n)
+}
+
+#[test]
+fn fault_free_campaign_reproduces_golden_stream() {
+    let design = SragNetlist::elaborate(&ring_spec(6)).unwrap();
+    let spec = CampaignSpec {
+        netlist: &design.netlist,
+        cycles: 18,
+        alarm_output: None,
+    };
+    let golden = replay(&spec, None);
+    // Replay is deterministic...
+    assert_eq!(golden, replay(&spec, None));
+    // ...classified as benign against itself...
+    assert_eq!(classify(&golden, &golden, None), Classification::Benign);
+    // ...and equals a directly-driven simulation of the same design:
+    // the one-hot select walks the ring, wrapping every 6 cycles.
+    let mut sim = Simulator::new(&design.netlist).unwrap();
+    sim.step_bools(&[true, false]).unwrap();
+    for (cycle, outputs) in golden.outputs.iter().enumerate() {
+        sim.step_bools(&[false, true]).unwrap();
+        assert_eq!(outputs, &sim.output_values(), "cycle {}", cycle + 1);
+        assert_eq!(design.observed_address(&sim), Some((cycle as u32) % 6));
+    }
+}
+
+#[test]
+fn select_line_stuck_at_is_detected() {
+    let design = SragNetlist::elaborate(&ring_spec(4)).unwrap();
+    let spec = CampaignSpec {
+        netlist: &design.netlist,
+        cycles: 12,
+        alarm_output: None,
+    };
+    for (line, &net) in design.select_lines.iter().enumerate() {
+        for value in [false, true] {
+            let report = run_campaign(&spec, &[Fault::StuckAt { net, value }], 1);
+            match report.outcomes[0].class {
+                Classification::Detected { cycle, alarm } => {
+                    assert!(!alarm, "plain SRAG has no alarm output");
+                    // The corruption is visible as soon as the token
+                    // does (sa0) or does not (sa1) sit on the line.
+                    assert!(
+                        cycle <= 4,
+                        "line {line} sa{} seen at cycle {cycle}",
+                        u8::from(value)
+                    );
+                }
+                other => panic!(
+                    "line {line} stuck-at-{} classified {other:?}",
+                    u8::from(value)
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn levelized_and_event_replays_agree_under_injection() {
+    let hard = HardenedSragNetlist::elaborate(&ring_spec(5)).unwrap();
+    let spec = CampaignSpec {
+        netlist: &hard.netlist,
+        cycles: 15,
+        alarm_output: Some(hard.alarm_output_index()),
+    };
+    assert_eq!(replay(&spec, None), replay_event(&spec, None));
+    let ffs = driving_flip_flops(&hard.netlist, &hard.ring_ffs);
+    let mut faults = sample_seus(&ffs, 15, 6, 0xc0ffee);
+    faults.extend(enumerate_stuck_at(&hard.netlist).into_iter().step_by(7));
+    for fault in faults {
+        assert_eq!(
+            replay(&spec, Some(fault)),
+            replay_event(&spec, Some(fault)),
+            "simulators disagree on fault {}",
+            fault.id()
+        );
+    }
+}
+
+#[test]
+fn campaign_output_is_identical_across_job_counts() {
+    let hard = HardenedSragNetlist::elaborate(&ring_spec(4)).unwrap();
+    let spec = CampaignSpec {
+        netlist: &hard.netlist,
+        cycles: 16,
+        alarm_output: Some(hard.alarm_output_index()),
+    };
+    let faults = enumerate_stuck_at(&hard.netlist);
+    let serial = run_campaign(&spec, &faults, 1);
+    let parallel = run_campaign(&spec, &faults, 4);
+    assert_eq!(
+        serial, parallel,
+        "campaign outcomes must be byte-identical at any --jobs value"
+    );
+    assert_eq!(serial.summary(), parallel.summary());
+}
+
+#[test]
+fn hardened_ring_alarms_every_sampled_seu() {
+    let hard = HardenedSragNetlist::elaborate(&ring_spec(6)).unwrap();
+    let cycles = 24;
+    let spec = CampaignSpec {
+        netlist: &hard.netlist,
+        cycles,
+        alarm_output: Some(hard.alarm_output_index()),
+    };
+    let ffs = driving_flip_flops(&hard.netlist, &hard.ring_ffs);
+    let faults = sample_seus(&ffs, cycles - 1, 32, 2026);
+    let report = run_campaign(&spec, &faults, 2);
+    for outcome in &report.outcomes {
+        match outcome.class {
+            Classification::Detected { alarm: true, .. } | Classification::Benign => {}
+            other => panic!(
+                "ring SEU {} escaped the checker: {other:?}",
+                outcome.fault.id()
+            ),
+        }
+    }
+    assert_eq!(report.alarm_coverage_pct(), 100.0);
+}
+
+#[test]
+fn plain_ring_suffers_silent_or_unalarmed_corruption() {
+    let design = SragNetlist::elaborate(&ring_spec(6)).unwrap();
+    let cycles = 24;
+    let spec = CampaignSpec {
+        netlist: &design.netlist,
+        cycles,
+        alarm_output: None,
+    };
+    let ffs = driving_flip_flops(&design.netlist, &design.select_lines);
+    let faults = sample_seus(&ffs, cycles - 1, 32, 2026);
+    let report = run_campaign(&spec, &faults, 2);
+    assert_eq!(report.alarmed(), 0, "plain SRAG cannot self-detect");
+    assert!(
+        report
+            .outcomes
+            .iter()
+            .all(|o| o.class != Classification::Benign),
+        "an SEU on a plain ring always corrupts the one-hot token"
+    );
+}
+
+#[test]
+fn forced_alarm_value_is_logic_stable() {
+    // The alarm probe treats only a hard `1` as detection: an X on
+    // the alarm (possible only pre-reset, which the window excludes)
+    // must not count.
+    let hard = HardenedSragNetlist::elaborate(&ring_spec(3)).unwrap();
+    let spec = CampaignSpec {
+        netlist: &hard.netlist,
+        cycles: 9,
+        alarm_output: Some(hard.alarm_output_index()),
+    };
+    let golden = replay(&spec, None);
+    for row in &golden.outputs {
+        assert_eq!(row[hard.alarm_output_index()], Logic::Zero);
+    }
+}

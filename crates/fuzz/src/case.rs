@@ -125,6 +125,24 @@ pub enum FuzzCase {
         /// Macroblock edge (motion estimation only).
         mb: u32,
     },
+    /// Single injected fault on a hardened SRAG select ring → the
+    /// one-hot checker must raise `alarm` within one ring period of
+    /// the fault activating, or the fault must be proven benign by
+    /// bounded equivalence against the golden run.
+    FaultAlarm {
+        /// Ring length (number of select lines), `1..=10`.
+        n: u32,
+        /// Divide count (cycles per token step), `1..=3`.
+        dc: u32,
+        /// Fault model: 0 = stuck-at-0, 1 = stuck-at-1, 2 = SEU.
+        kind: u8,
+        /// Which select line (stuck-at) or ring flip-flop (SEU) is
+        /// faulted; `< n`.
+        target: u32,
+        /// Activation cycle of an SEU (ignored for stuck-ats, which
+        /// are present from reset).
+        cycle: u32,
+    },
 }
 
 impl FuzzCase {
@@ -138,6 +156,7 @@ impl FuzzCase {
             FuzzCase::Espresso { .. } => "espresso",
             FuzzCase::WideCover { .. } => "wide-cover",
             FuzzCase::Cosim { .. } => "cosim",
+            FuzzCase::FaultAlarm { .. } => "fault-alarm",
         }
     }
 
@@ -186,6 +205,20 @@ impl FuzzCase {
                 height,
                 mb,
             } => format!("{} {width}x{height} mb={mb}", kind.label()),
+            FuzzCase::FaultAlarm {
+                n,
+                dc,
+                kind,
+                target,
+                cycle,
+            } => {
+                let fault = match kind {
+                    0 => format!("sa0 on line {target}"),
+                    1 => format!("sa1 on line {target}"),
+                    _ => format!("seu on ff {target} at cycle {cycle}"),
+                };
+                format!("ring n={n} dc={dc}, {fault}")
+            }
         }
     }
 }

@@ -10,19 +10,23 @@
 //! | `espresso` | minimized cover | exhaustive truth-table semantics |
 //! | `wide-cover` | packed `Cover` ops (spill words) | naive cover evaluation |
 //! | `cosim` | ADDM + RAM co-simulation | replay-generator reference run |
+//! | `fault-alarm` | hardened SRAG under an injected ring fault | one-period alarm deadline or bounded golden equivalence, levelized vs event-driven replay |
 //!
 //! A check returns `Err(detail)` on the first divergence; the runner
 //! turns that into a shrunk counterexample and a reproduction line.
 
 use adgen_cntag::{CntAgSimulator, CntAgSpec};
-use adgen_core::arch::ControlStyle;
+use adgen_core::arch::{ControlStyle, ShiftRegisterSpec, SragSpec};
 use adgen_core::composite::{GateLevelGenerator, Srag2d};
 use adgen_core::mapper::map_sequence;
 use adgen_core::sim::SragSimulator;
-use adgen_core::SragError;
+use adgen_core::{HardenedSragNetlist, SragError};
 use adgen_exec::splitmix64;
+use adgen_fault::{
+    classify, driving_flip_flops, replay, replay_event, CampaignSpec, Classification, Fault,
+};
 use adgen_memory::cosim::{run_addm, run_ram};
-use adgen_netlist::{check_equivalence_random, EventSimulator, Simulator};
+use adgen_netlist::{check_equivalence_random, EventSimulator, Logic, Simulator};
 use adgen_seq::{
     workloads, AddressGenerator, AddressSequence, ArrayShape, Layout, ReplayGenerator,
 };
@@ -65,6 +69,13 @@ pub fn check_case(case: &FuzzCase, break_mode: BreakMode) -> CheckResult {
             height,
             mb,
         } => check_cosim(*kind, *width, *height, *mb),
+        FuzzCase::FaultAlarm {
+            n,
+            dc,
+            kind,
+            target,
+            cycle,
+        } => check_fault_alarm(*n, *dc, *kind, *target, *cycle),
     }
 }
 
@@ -540,6 +551,93 @@ fn check_cosim(kind: WorkloadKind, width: u32, height: u32, mb: u32) -> CheckRes
         ));
     }
     Ok(())
+}
+
+// ----------------------------------------------------------- fault alarm
+
+/// The self-checking contract of the hardened SRAG, per fault: an
+/// injected stuck-at on a select line or SEU on a ring flip-flop must
+/// raise `alarm` within one ring period of activating — or be proven
+/// benign by bounded equivalence (the faulty trace, outputs and final
+/// state, equals the golden run over the whole window). The levelized
+/// and event-driven replays must also agree on the faulty trace,
+/// cross-checking the injection hooks themselves.
+fn check_fault_alarm(n: u32, dc: u32, fault_kind: u8, target: u32, cycle: u32) -> CheckResult {
+    let spec = SragSpec::new(
+        vec![ShiftRegisterSpec::new((0..n).collect())],
+        dc as usize,
+        n as usize,
+        n as usize,
+    );
+    let hard = HardenedSragNetlist::elaborate(&spec)
+        .map_err(|e| format!("hardened elaboration failed: {e}"))?;
+
+    let period = n * dc; // one full token lap
+    let activation = if fault_kind == 2 { cycle } else { 1 };
+    let deadline = activation + period;
+    let camp = CampaignSpec {
+        netlist: &hard.netlist,
+        cycles: deadline + period,
+        alarm_output: Some(hard.alarm_output_index()),
+    };
+    let fault = match fault_kind {
+        0 | 1 => Fault::StuckAt {
+            net: hard.select_lines[target as usize],
+            value: fault_kind == 1,
+        },
+        _ => {
+            let ffs = driving_flip_flops(&hard.netlist, &[hard.ring_ffs[target as usize]]);
+            let ff = *ffs
+                .first()
+                .ok_or_else(|| format!("ring net {target} has no flip-flop driver"))?;
+            Fault::Seu { ff, cycle }
+        }
+    };
+
+    let golden = replay(&camp, None);
+    let alarm = hard.alarm_output_index();
+    if let Some(at) = golden
+        .outputs
+        .iter()
+        .position(|row| row[alarm] == Logic::One)
+    {
+        return Err(format!("golden run raises alarm at cycle {}", at + 1));
+    }
+
+    let faulty = replay(&camp, Some(fault));
+    let faulty_evt = replay_event(&camp, Some(fault));
+    if faulty != faulty_evt {
+        return Err("levelized and event-driven faulty replays disagree".into());
+    }
+
+    match classify(&golden, &faulty, camp.alarm_output) {
+        Classification::Detected {
+            cycle: c,
+            alarm: true,
+        } => {
+            if c < activation {
+                Err(format!(
+                    "alarm fired at cycle {c}, before the fault activates at {activation}"
+                ))
+            } else if c > deadline {
+                Err(format!(
+                    "alarm missed its deadline: fired at cycle {c}, fault active from \
+                     {activation}, ring period {period}"
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        Classification::Detected {
+            cycle: c,
+            alarm: false,
+        } => Err(format!(
+            "outputs corrupted at cycle {c} without the alarm firing first"
+        )),
+        Classification::Silent => Err("fault silently corrupted ring state".into()),
+        // Bounded equivalence: identical outputs and final state.
+        Classification::Benign => Ok(()),
+    }
 }
 
 impl OracleCube {

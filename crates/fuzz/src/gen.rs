@@ -28,7 +28,8 @@ pub fn generate_case(case_seed: u64) -> FuzzCase {
         60..=64 => gen_wide_cover(&mut rng),
         65..=79 => gen_srag_vs_cntag(&mut rng),
         80..=89 => gen_gate_level(&mut rng),
-        _ => gen_cosim(&mut rng),
+        90..=94 => gen_cosim(&mut rng),
+        _ => gen_fault_alarm(&mut rng),
     }
 }
 
@@ -270,5 +271,24 @@ fn gen_cosim(rng: &mut Prng) -> FuzzCase {
         width,
         height,
         mb,
+    }
+}
+
+/// A single fault on a hardened select ring: any length/divide-count
+/// combination, all three fault models, any line or flip-flop, with
+/// SEU activation anywhere in the first two ring periods.
+fn gen_fault_alarm(rng: &mut Prng) -> FuzzCase {
+    let n = rng.next_in(1, 11) as u32;
+    let dc = rng.next_in(1, 4) as u32;
+    let kind = rng.next_range(3) as u8;
+    let target = rng.next_range(u64::from(n)) as u32;
+    let period = n * dc;
+    let cycle = rng.next_in(1, u64::from(2 * period) + 1) as u32;
+    FuzzCase::FaultAlarm {
+        n,
+        dc,
+        kind,
+        target,
+        cycle,
     }
 }

@@ -282,6 +282,66 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
             }
             out
         }
+        FuzzCase::FaultAlarm {
+            n,
+            dc,
+            kind,
+            target,
+            cycle,
+        } => {
+            let mut out = Vec::new();
+            // Shorter ring first (clamping the target into range).
+            if *n > 1 {
+                for nn in [n / 2, n - 1] {
+                    out.push(FuzzCase::FaultAlarm {
+                        n: nn,
+                        dc: *dc,
+                        kind: *kind,
+                        target: (*target).min(nn - 1),
+                        cycle: *cycle,
+                    });
+                }
+            }
+            if *dc > 1 {
+                out.push(FuzzCase::FaultAlarm {
+                    n: *n,
+                    dc: 1,
+                    kind: *kind,
+                    target: *target,
+                    cycle: *cycle,
+                });
+            }
+            if *cycle > 1 {
+                for c in [cycle / 2, cycle - 1] {
+                    out.push(FuzzCase::FaultAlarm {
+                        n: *n,
+                        dc: *dc,
+                        kind: *kind,
+                        target: *target,
+                        cycle: c,
+                    });
+                }
+            }
+            if *target > 0 {
+                out.push(FuzzCase::FaultAlarm {
+                    n: *n,
+                    dc: *dc,
+                    kind: *kind,
+                    target: 0,
+                    cycle: *cycle,
+                });
+            }
+            if *kind > 0 {
+                out.push(FuzzCase::FaultAlarm {
+                    n: *n,
+                    dc: *dc,
+                    kind: kind - 1,
+                    target: *target,
+                    cycle: *cycle,
+                });
+            }
+            out
+        }
     }
 }
 

@@ -163,12 +163,14 @@ fn one_hot(n: u32, i: u32) -> Vec<bool> {
 ///
 /// Select-discipline and data errors as for [`run_addm`], plus
 /// [`MemError::UndefinedSelect`] when a select net is X at access
-/// time.
+/// time and [`MemError::Netlist`] when a generator netlist fails to
+/// build a simulator or step (e.g. a malformed or mis-sized input
+/// vector) — simulation failures are environment errors, not
+/// panics, so campaign and fuzz harnesses can observe them.
 ///
 /// # Panics
 ///
-/// Panics on data corruption (generator bug) or if a netlist fails to
-/// simulate (elaboration bug).
+/// Panics on data corruption (generator bug).
 pub fn run_addm_gate_level(
     writer: &adgen_core::composite::Srag2dNetlist,
     reader: &adgen_core::composite::Srag2dNetlist,
@@ -194,10 +196,10 @@ pub fn run_addm_gate_level(
             .collect()
     };
 
-    let mut wsim = Simulator::new(&writer.netlist).expect("writer netlist valid");
-    wsim.step_bools(&[true, false]).expect("reset");
+    let mut wsim = Simulator::new(&writer.netlist)?;
+    wsim.step_bools(&[true, false])?;
     for &value in data {
-        wsim.step_bools(&[false, true]).expect("step");
+        wsim.step_bools(&[false, true])?;
         let rs = lines_to_bools(&wsim, &writer.row_lines, "row")?;
         let cs = lines_to_bools(&wsim, &writer.col_lines, "column")?;
         let row = rs.iter().position(|&b| b).unwrap_or(0) as u32;
@@ -207,11 +209,11 @@ pub fn run_addm_gate_level(
         reference[linear as usize] = Some(value);
     }
 
-    let mut rsim = Simulator::new(&reader.netlist).expect("reader netlist valid");
-    rsim.step_bools(&[true, false]).expect("reset");
+    let mut rsim = Simulator::new(&reader.netlist)?;
+    rsim.step_bools(&[true, false])?;
     let mut reads = 0;
     for step in 0..read_len {
-        rsim.step_bools(&[false, true]).expect("step");
+        rsim.step_bools(&[false, true])?;
         let rs = lines_to_bools(&rsim, &reader.row_lines, "row")?;
         let cs = lines_to_bools(&rsim, &reader.col_lines, "column")?;
         let got = mem.read(&rs, &cs)?;

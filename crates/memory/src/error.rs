@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use adgen_netlist::NetlistError;
+
 /// Errors from memory-array accesses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemError {
@@ -49,6 +51,14 @@ pub enum MemError {
         /// `"row"` or `"column"`.
         dimension: &'static str,
     },
+    /// The gate-level generator driving the array failed to simulate.
+    Netlist(NetlistError),
+}
+
+impl From<NetlistError> for MemError {
+    fn from(e: NetlistError) -> Self {
+        MemError::Netlist(e)
+    }
 }
 
 impl fmt::Display for MemError {
@@ -80,11 +90,21 @@ impl fmt::Display for MemError {
             MemError::UndefinedSelect { dimension } => {
                 write!(f, "{dimension} select line is undefined (X) during access")
             }
+            MemError::Netlist(e) => {
+                write!(f, "gate-level generator failed to simulate: {e}")
+            }
         }
     }
 }
 
-impl Error for MemError {}
+impl Error for MemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MemError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

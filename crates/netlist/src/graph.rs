@@ -307,6 +307,20 @@ impl Netlist {
         NetId(index as u32)
     }
 
+    /// The [`InstId`] of the instance stored at position `index` (ids
+    /// are dense indices in creation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn inst_id_from_index(&self, index: usize) -> InstId {
+        assert!(
+            index < self.instances().len(),
+            "instance index out of range"
+        );
+        InstId(index as u32)
+    }
+
     /// The instance with id `id`.
     ///
     /// # Panics

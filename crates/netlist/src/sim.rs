@@ -99,6 +99,8 @@ pub struct Simulator<'a> {
     order: Vec<InstId>,
     values: Vec<Logic>,
     state: Vec<Logic>,
+    /// Active net overrides (stuck-at faults); tiny in practice.
+    forced: Vec<(NetId, Logic)>,
     cycle: u64,
 }
 
@@ -116,8 +118,72 @@ impl<'a> Simulator<'a> {
             order,
             values: vec![Logic::X; netlist.nets().len()],
             state: vec![Logic::X; netlist.instances().len()],
+            forced: Vec::new(),
             cycle: 0,
         })
+    }
+
+    /// Pins `net` at `value` for every subsequent cycle — the
+    /// stuck-at fault model. The override replaces whatever the net's
+    /// driver (primary input, gate, tie cell or flip-flop Q) produces,
+    /// as seen both by combinational fanout and by flip-flop pin
+    /// sampling. Forcing an already-forced net replaces its value.
+    pub fn force_net(&mut self, net: NetId, value: Logic) {
+        match self.forced.iter_mut().find(|(n, _)| *n == net) {
+            Some(slot) => slot.1 = value,
+            None => self.forced.push((net, value)),
+        }
+    }
+
+    /// Removes every active [`force_net`](Self::force_net) override;
+    /// the nets resume following their drivers on the next
+    /// [`step`](Self::step).
+    pub fn clear_forces(&mut self) {
+        self.forced.clear();
+    }
+
+    fn forced_value(&self, net: NetId) -> Option<Logic> {
+        self.forced.iter().find(|(n, _)| *n == net).map(|&(_, v)| v)
+    }
+
+    /// Flips the stored state of flip-flop `inst` — a single-event
+    /// upset. `0 ↔ 1`; an `X` state is left unchanged. Returns whether
+    /// a flip happened. The corrupted value is presented on Q during
+    /// the next [`step`](Self::step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not a sequential instance.
+    pub fn upset_flip_flop(&mut self, inst: InstId) -> bool {
+        assert!(
+            self.netlist.instance(inst).kind().is_sequential(),
+            "single-event upsets only apply to flip-flops"
+        );
+        let slot = &mut self.state[inst.index()];
+        match *slot {
+            Logic::Zero => {
+                *slot = Logic::One;
+                true
+            }
+            Logic::One => {
+                *slot = Logic::Zero;
+                true
+            }
+            Logic::X => false,
+        }
+    }
+
+    /// Stored state of every sequential instance, in instance order —
+    /// the campaign engine compares these against a golden run to
+    /// recognize latent (silent) corruption.
+    pub fn flip_flop_states(&self) -> Vec<Logic> {
+        self.netlist
+            .instances()
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| inst.kind().is_sequential())
+            .map(|(idx, _)| self.state[idx])
+            .collect()
     }
 
     /// Number of clock cycles simulated so far.
@@ -170,12 +236,25 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
+        for &(net, v) in &self.forced {
+            self.values[net.index()] = v;
+        }
         // Settle combinational logic.
-        for &id in &self.order {
-            let inst = self.netlist.instance(id);
-            let v = self.eval(inst.kind(), inst.inputs());
-            for &o in inst.outputs() {
-                self.values[o.index()] = v;
+        if self.forced.is_empty() {
+            for &id in &self.order {
+                let inst = self.netlist.instance(id);
+                let v = self.eval(inst.kind(), inst.inputs());
+                for &o in inst.outputs() {
+                    self.values[o.index()] = v;
+                }
+            }
+        } else {
+            for &id in &self.order {
+                let inst = self.netlist.instance(id);
+                let v = self.eval(inst.kind(), inst.inputs());
+                for &o in inst.outputs() {
+                    self.values[o.index()] = self.forced_value(o).unwrap_or(v);
+                }
             }
         }
         // Capture next state.
@@ -453,6 +532,76 @@ mod tests {
         let mut sim = Simulator::new(&n).unwrap();
         let err = sim.step_bools(&[false]).unwrap_err();
         assert!(matches!(err, NetlistError::InputWidthMismatch { .. }));
+    }
+
+    #[test]
+    fn forced_net_overrides_driver_and_ff_sampling() {
+        // a -> buf -> y; force y to 1 and the AND downstream sees it.
+        let mut n = Netlist::new("force");
+        let a = n.add_input("a");
+        let y = n.gate(CellKind::Buf, &[a]).unwrap();
+        let rst = n.reset();
+        let q = n.add_net("q");
+        n.add_instance("ff", CellKind::Dffr, &[y, rst], &[q])
+            .unwrap();
+        n.add_output(q);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.force_net(y, Logic::One);
+        sim.step_bools(&[true, false]).unwrap(); // reset
+        sim.step_bools(&[false, false]).unwrap();
+        assert_eq!(sim.value(y), Logic::One, "stuck-at-1 despite a=0");
+        sim.step_bools(&[false, false]).unwrap();
+        assert_eq!(sim.value(q), Logic::One, "FF sampled the forced value");
+        sim.clear_forces();
+        sim.step_bools(&[false, false]).unwrap();
+        assert_eq!(sim.value(y), Logic::Zero, "driver resumes after clear");
+    }
+
+    #[test]
+    fn forced_primary_input_is_pinned() {
+        let mut n = Netlist::new("fpi");
+        let a = n.add_input("a");
+        let y = n.gate(CellKind::Buf, &[a]).unwrap();
+        n.add_output(y);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.force_net(a, Logic::Zero);
+        sim.step_bools(&[false, true]).unwrap();
+        assert_eq!(sim.value(y), Logic::Zero);
+    }
+
+    #[test]
+    fn upset_flips_ff_state_once() {
+        let mut n = Netlist::new("seu");
+        let rst = n.reset();
+        let q = n.add_net("q");
+        // Hold-type FF with enable tied low: state is frozen at 0.
+        let lo = n.gate(CellKind::TieLo, &[]).unwrap();
+        n.add_instance("ff", CellKind::Dffre, &[q, lo, rst], &[q])
+            .unwrap();
+        n.add_output(q);
+        let ff = n.inst_id_from_index(n.num_instances() - 1);
+        let mut sim = Simulator::new(&n).unwrap();
+        sim.step_bools(&[true]).unwrap();
+        sim.step_bools(&[false]).unwrap();
+        assert_eq!(sim.value(q), Logic::Zero);
+        assert!(sim.upset_flip_flop(ff));
+        sim.step_bools(&[false]).unwrap();
+        assert_eq!(sim.value(q), Logic::One, "flip visible on Q next cycle");
+        assert_eq!(sim.flip_flop_states(), vec![Logic::One]);
+    }
+
+    #[test]
+    fn upset_leaves_x_state_alone() {
+        let mut n = Netlist::new("seux");
+        let d = n.add_input("d");
+        let rst = n.reset();
+        let q = n.add_net("q");
+        n.add_instance("ff", CellKind::Dffr, &[d, rst], &[q])
+            .unwrap();
+        n.add_output(q);
+        let ff = n.inst_id_from_index(0);
+        let mut sim = Simulator::new(&n).unwrap();
+        assert!(!sim.upset_flip_flop(ff), "power-up X cannot flip");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::collections::BinaryHeap;
 
 use crate::cell::CellKind;
 use crate::error::NetlistError;
-use crate::graph::{InstId, NetId, Netlist};
+use crate::graph::{Driver, InstId, NetId, Netlist};
 use crate::sim::{eval_gate, ff_next_state, Logic};
 
 /// Event-driven cycle-accurate simulator with the same semantics as
@@ -32,6 +32,11 @@ pub struct EventSimulator<'a> {
     queued: Vec<bool>,
     /// Sequential instances whose sampled pins may have changed.
     dirty_ffs: Vec<bool>,
+    /// Active net overrides (stuck-at faults); tiny in practice.
+    forced: Vec<(NetId, Logic)>,
+    /// Nets whose force was just cleared; their drivers re-evaluate
+    /// on the next step.
+    released: Vec<NetId>,
     cycle: u64,
     evaluations: u64,
 }
@@ -56,9 +61,71 @@ impl<'a> EventSimulator<'a> {
             state: vec![Logic::X; netlist.instances().len()],
             queued: vec![false; netlist.instances().len()],
             dirty_ffs: vec![true; netlist.instances().len()],
+            forced: Vec::new(),
+            released: Vec::new(),
             cycle: 0,
             evaluations: 0,
         })
+    }
+
+    /// Pins `net` at `value` for every subsequent cycle — the
+    /// stuck-at fault model, with the same semantics as
+    /// [`Simulator::force_net`](crate::Simulator::force_net).
+    pub fn force_net(&mut self, net: NetId, value: Logic) {
+        match self.forced.iter_mut().find(|(n, _)| *n == net) {
+            Some(slot) => slot.1 = value,
+            None => self.forced.push((net, value)),
+        }
+    }
+
+    /// Removes every active [`force_net`](Self::force_net) override.
+    /// The released nets re-evaluate from their drivers on the next
+    /// [`step`](Self::step).
+    pub fn clear_forces(&mut self) {
+        for (net, _) in std::mem::take(&mut self.forced) {
+            self.released.push(net);
+        }
+    }
+
+    /// Flips the stored state of flip-flop `inst` — a single-event
+    /// upset with the same semantics as
+    /// [`Simulator::upset_flip_flop`](crate::Simulator::upset_flip_flop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not a sequential instance.
+    pub fn upset_flip_flop(&mut self, inst: InstId) -> bool {
+        assert!(
+            self.netlist.instance(inst).kind().is_sequential(),
+            "single-event upsets only apply to flip-flops"
+        );
+        let idx = inst.index();
+        let flipped = match self.state[idx] {
+            Logic::Zero => {
+                self.state[idx] = Logic::One;
+                true
+            }
+            Logic::One => {
+                self.state[idx] = Logic::Zero;
+                true
+            }
+            Logic::X => false,
+        };
+        if flipped {
+            self.dirty_ffs[idx] = true;
+        }
+        flipped
+    }
+
+    /// Stored state of every sequential instance, in instance order.
+    pub fn flip_flop_states(&self) -> Vec<Logic> {
+        self.netlist
+            .instances()
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| inst.kind().is_sequential())
+            .map(|(idx, _)| self.state[idx])
+            .collect()
     }
 
     /// Number of clock cycles simulated so far.
@@ -110,8 +177,14 @@ impl<'a> EventSimulator<'a> {
                        heap: &mut BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
                        rank: &[u32],
                        netlist: &Netlist,
+                       forced: &[(NetId, Logic)],
                        net: NetId,
                        v: Logic| {
+            // An active stuck-at override wins over any driver.
+            let v = forced
+                .iter()
+                .find(|(n, _)| *n == net)
+                .map_or(v, |&(_, f)| f);
             if values[net.index()] == v {
                 return;
             }
@@ -136,6 +209,7 @@ impl<'a> EventSimulator<'a> {
                 &mut heap,
                 &self.rank,
                 self.netlist,
+                &self.forced,
                 net,
                 v,
             );
@@ -152,6 +226,7 @@ impl<'a> EventSimulator<'a> {
                         &mut heap,
                         &self.rank,
                         self.netlist,
+                        &self.forced,
                         q,
                         v,
                     );
@@ -165,6 +240,7 @@ impl<'a> EventSimulator<'a> {
                         &mut heap,
                         &self.rank,
                         self.netlist,
+                        &self.forced,
                         o,
                         Logic::One,
                     );
@@ -178,9 +254,61 @@ impl<'a> EventSimulator<'a> {
                         &mut heap,
                         &self.rank,
                         self.netlist,
+                        &self.forced,
                         o,
                         Logic::Zero,
                     );
+                }
+            }
+        }
+        // Seed active faults: pin each forced net and queue its loads
+        // even if no regular event touched it this cycle.
+        for i in 0..self.forced.len() {
+            let (net, v) = self.forced[i];
+            set_net(
+                &mut self.values,
+                &mut self.queued,
+                &mut self.dirty_ffs,
+                &mut heap,
+                &self.rank,
+                self.netlist,
+                &self.forced,
+                net,
+                v,
+            );
+        }
+        // Wake the drivers of just-released nets so the stale pinned
+        // values are recomputed (PI and Q drives above already handle
+        // input- and flip-flop-driven nets).
+        for net in std::mem::take(&mut self.released) {
+            if let Some(Driver::Inst { inst, .. }) = self.netlist.net(net).driver() {
+                let idx = inst.index();
+                let kind = self.netlist.instance(inst).kind();
+                if kind.is_sequential() {
+                    continue;
+                }
+                if kind.num_inputs() == 0 {
+                    // Tie cells fire events only at cycle 0; restore
+                    // their constant directly.
+                    let v = if kind == CellKind::TieHi {
+                        Logic::One
+                    } else {
+                        Logic::Zero
+                    };
+                    set_net(
+                        &mut self.values,
+                        &mut self.queued,
+                        &mut self.dirty_ffs,
+                        &mut heap,
+                        &self.rank,
+                        self.netlist,
+                        &self.forced,
+                        net,
+                        v,
+                    );
+                } else if !self.queued[idx] {
+                    self.queued[idx] = true;
+                    heap.push(std::cmp::Reverse((self.rank[idx], idx as u32)));
                 }
             }
         }
@@ -207,6 +335,7 @@ impl<'a> EventSimulator<'a> {
                     &mut heap,
                     &self.rank,
                     self.netlist,
+                    &self.forced,
                     o,
                     v,
                 );
@@ -348,6 +477,79 @@ mod tests {
         let y = n.gate(CellKind::Aoi21, &[hi, a, lo]).unwrap();
         n.add_output(y);
         cross_check(&n, 20);
+    }
+
+    #[test]
+    fn agrees_under_stuck_at_and_upset() {
+        // Ring of 4 FFs: inject a stuck-at on a Q net mid-run, clear
+        // it, then flip one FF — both simulators must stay identical
+        // on every net, every cycle.
+        let mut n = Netlist::new("fault_ring");
+        let en = n.add_input("en");
+        let rst = n.reset();
+        let q: Vec<NetId> = (0..4).map(|i| n.add_net(format!("r{i}"))).collect();
+        let mut ff_ids = Vec::new();
+        for i in 0..4 {
+            let prev = q[(i + 3) % 4];
+            let kind = if i == 0 {
+                CellKind::Dffse
+            } else {
+                CellKind::Dffre
+            };
+            n.add_instance(format!("ff{i}"), kind, &[prev, en, rst], &[q[i]])
+                .unwrap();
+            ff_ids.push(n.inst_id_from_index(n.num_instances() - 1));
+            n.add_output(q[i]);
+        }
+        let mut reference = Simulator::new(&n).unwrap();
+        let mut event = EventSimulator::new(&n).unwrap();
+        let check = |reference: &Simulator<'_>, event: &EventSimulator<'_>, tag: &str| {
+            for i in 0..n.nets().len() {
+                let id = n.net_id_from_index(i);
+                assert_eq!(
+                    reference.value(id),
+                    event.value(id),
+                    "{tag}, net {}",
+                    n.net(id).name()
+                );
+            }
+            assert_eq!(
+                reference.flip_flop_states(),
+                event.flip_flop_states(),
+                "{tag} states"
+            );
+        };
+        let drive = |reference: &mut Simulator<'_>,
+                     event: &mut EventSimulator<'_>,
+                     rst_v: bool,
+                     tag: &str| {
+            reference.step_bools(&[rst_v, true]).unwrap();
+            event.step_bools(&[rst_v, true]).unwrap();
+            check(reference, event, tag);
+        };
+        drive(&mut reference, &mut event, true, "reset");
+        for c in 0..3 {
+            drive(&mut reference, &mut event, false, &format!("pre {c}"));
+        }
+        // Stuck-at-1 on r2.
+        reference.force_net(q[2], Logic::One);
+        event.force_net(q[2], Logic::One);
+        for c in 0..6 {
+            drive(&mut reference, &mut event, false, &format!("sa1 {c}"));
+        }
+        reference.clear_forces();
+        event.clear_forces();
+        for c in 0..4 {
+            drive(&mut reference, &mut event, false, &format!("clear {c}"));
+        }
+        // Single-event upset on ff1.
+        assert_eq!(
+            reference.upset_flip_flop(ff_ids[1]),
+            event.upset_flip_flop(ff_ids[1])
+        );
+        for c in 0..6 {
+            drive(&mut reference, &mut event, false, &format!("seu {c}"));
+        }
     }
 
     #[test]

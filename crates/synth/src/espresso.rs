@@ -26,6 +26,90 @@
 use crate::cover::{tautology, Cover};
 use crate::cube::{Cube, Tri};
 
+/// Step budget bounding how much work the EXPAND / IRREDUNDANT /
+/// REDUCE loop may spend before giving up gracefully.
+///
+/// A *step* is one cube-against-cube interaction (an off-set conflict
+/// probe or a cofactor in a tautology check) — the unit the loop's
+/// cost actually scales with, so the same budget means the same
+/// effort across functions of different arity. The budget is checked
+/// at phase boundaries (every intermediate cover is functionally
+/// correct, so truncation can only cost minimality, never
+/// correctness): when it runs out, the best cover produced so far is
+/// returned with [`MinimizeOutcome::truncated`] set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EffortBudget {
+    max_steps: u64,
+}
+
+impl EffortBudget {
+    /// No bound — the loop runs to its cost fixpoint, as
+    /// [`minimize`] always has.
+    pub const UNLIMITED: EffortBudget = EffortBudget {
+        max_steps: u64::MAX,
+    };
+
+    /// A budget of `max_steps` cube-interaction steps.
+    pub fn steps(max_steps: u64) -> Self {
+        EffortBudget { max_steps }
+    }
+
+    /// The generous default used by the FSM/ROM synthesis paths:
+    /// orders of magnitude above what any generator in this workspace
+    /// needs (a 64-state CntAG spends ~10⁵ steps), so results are
+    /// bit-identical to unlimited minimization in practice, while a
+    /// pathological cover can no longer hang elaboration.
+    pub fn synthesis_default() -> Self {
+        EffortBudget::steps(50_000_000)
+    }
+}
+
+impl Default for EffortBudget {
+    fn default() -> Self {
+        EffortBudget::UNLIMITED
+    }
+}
+
+/// Result of a budgeted minimization.
+#[derive(Debug, Clone)]
+pub struct MinimizeOutcome {
+    /// A functionally correct cover: every on-set minterm covered, no
+    /// off-set minterm covered — minimal only if `truncated` is
+    /// false.
+    pub cover: Cover,
+    /// Whether the budget expired before the loop reached its cost
+    /// fixpoint (the cover is unminimized or partially minimized).
+    pub truncated: bool,
+    /// Steps actually spent.
+    pub steps: u64,
+}
+
+struct Meter {
+    left: u64,
+    spent: u64,
+}
+
+impl Meter {
+    fn new(budget: EffortBudget) -> Self {
+        Meter {
+            left: budget.max_steps,
+            spent: 0,
+        }
+    }
+
+    /// Debits `cost`; `false` means the budget is exhausted and the
+    /// phase must not run.
+    fn charge(&mut self, cost: u64) -> bool {
+        if cost > self.left {
+            self.left = 0;
+            return false;
+        }
+        self.left -= cost;
+        self.spent = self.spent.saturating_add(cost);
+        true
+    }
+}
+
 /// Minimizes `on` under don't-care set `dc`.
 ///
 /// The result covers every on-set minterm, no off-set minterm, and is
@@ -35,13 +119,26 @@ use crate::cube::{Cube, Tri};
 ///
 /// Panics if `on` and `dc` have different arities.
 pub fn minimize(on: Cover, dc: Cover) -> Cover {
+    minimize_budgeted(on, dc, EffortBudget::UNLIMITED).cover
+}
+
+/// [`minimize`] under an [`EffortBudget`].
+///
+/// # Panics
+///
+/// Panics if `on` and `dc` have different arities.
+pub fn minimize_budgeted(on: Cover, dc: Cover, budget: EffortBudget) -> MinimizeOutcome {
     assert_eq!(on.num_inputs(), dc.num_inputs(), "arity mismatch");
     if on.is_empty() {
-        return on;
+        return MinimizeOutcome {
+            cover: on,
+            truncated: false,
+            steps: 0,
+        };
     }
     let mut care = on.union(&dc);
     care.merge_siblings();
-    minimize_with_off(on, dc, care.complement())
+    minimize_with_off_budgeted(on, dc, care.complement(), budget)
 }
 
 /// Minimizes `on` under don't-care set `dc`, with the off-set supplied
@@ -57,12 +154,34 @@ pub fn minimize(on: Cover, dc: Cover) -> Cover {
 /// # Panics
 ///
 /// Panics on arity mismatch between the three covers.
-pub fn minimize_with_off(on: Cover, dc: Cover, mut off: Cover) -> Cover {
+pub fn minimize_with_off(on: Cover, dc: Cover, off: Cover) -> Cover {
+    minimize_with_off_budgeted(on, dc, off, EffortBudget::UNLIMITED).cover
+}
+
+/// [`minimize_with_off`] under an [`EffortBudget`]: each EXPAND,
+/// IRREDUNDANT and REDUCE phase is pre-charged with its cube-count
+/// cost and skipped — returning the last completed (and therefore
+/// correct) cover with `truncated` set — once the budget is spent.
+///
+/// # Panics
+///
+/// Panics on arity mismatch between the three covers.
+pub fn minimize_with_off_budgeted(
+    on: Cover,
+    dc: Cover,
+    mut off: Cover,
+    budget: EffortBudget,
+) -> MinimizeOutcome {
     assert_eq!(on.num_inputs(), dc.num_inputs(), "arity mismatch");
     assert_eq!(on.num_inputs(), off.num_inputs(), "arity mismatch");
     if on.is_empty() {
-        return on;
+        return MinimizeOutcome {
+            cover: on,
+            truncated: false,
+            steps: 0,
+        };
     }
+    let mut meter = Meter::new(budget);
     // EXPAND cost scales with the number of off-cubes, and callers
     // typically enumerate the off-set minterm by minterm. Pick the
     // cheaper compact form: condense the supplied off-set when it is
@@ -86,17 +205,43 @@ pub fn minimize_with_off(on: Cover, dc: Cover, mut off: Cover) -> Cover {
         c.merge_siblings();
         c
     };
+    let n = current.num_inputs() as u64;
     let mut best_cost = (usize::MAX, usize::MAX);
+    let truncated = |cover: Cover, meter: &Meter| MinimizeOutcome {
+        cover,
+        truncated: true,
+        steps: meter.spent,
+    };
     loop {
+        // EXPAND probes every (cube, off-cube) conflict set once.
+        let expand_cost = current.num_cubes() as u64 * (off.num_cubes() as u64 + 1);
+        if !meter.charge(expand_cost) {
+            return truncated(current, &meter);
+        }
         let expanded = expand(&current, &off);
+        // IRREDUNDANT cofactors each cube against the rest + dc.
+        let rest = expanded.num_cubes() as u64 + dc.num_cubes() as u64 + 1;
+        let irr_cost = expanded.num_cubes() as u64 * rest;
+        if !meter.charge(irr_cost) {
+            return truncated(expanded, &meter);
+        }
         let irr = irredundant(&expanded, &dc);
         let cost = (irr.num_cubes(), irr.num_literals());
         if cost >= best_cost {
-            return irr;
+            return MinimizeOutcome {
+                cover: irr,
+                truncated: false,
+                steps: meter.spent,
+            };
         }
         best_cost = cost;
-        let reduced = reduce(&irr, &dc);
-        current = reduced;
+        // REDUCE tries both specializations of up to n variables per
+        // cube, each a cofactor sweep over the rest + dc.
+        let reduce_cost = irr.num_cubes() as u64 * n * 2 * rest;
+        if !meter.charge(reduce_cost) {
+            return truncated(irr, &meter);
+        }
+        current = reduce(&irr, &dc);
     }
 }
 
@@ -411,6 +556,82 @@ mod tests {
         let dc = Cover::from_minterms(3, &[0, 1, 3, 4, 5, 6, 7]);
         let m = minimize(on.clone(), dc.clone());
         assert!(is_correct(&m, &on, &dc));
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_minimize() {
+        let mut rng = Prng::new(0xb5d6e7);
+        for trial in 0..20 {
+            let n = 3 + (trial % 3);
+            let space = 1u64 << n;
+            let on_minterms: Vec<u64> = (0..space).filter(|_| rng.one_in(3)).collect();
+            let on = Cover::from_minterms(n, &on_minterms);
+            let plain = minimize(on.clone(), Cover::empty(n));
+            let outcome = minimize_budgeted(on, Cover::empty(n), EffortBudget::UNLIMITED);
+            assert!(!outcome.truncated, "trial {trial}");
+            assert_eq!(outcome.cover.cubes(), plain.cubes(), "trial {trial}");
+            assert!(outcome.steps > 0 || plain.is_empty());
+        }
+    }
+
+    #[test]
+    fn exhausted_budget_truncates_but_stays_correct() {
+        let mut rng = Prng::new(0x717e);
+        for trial in 0..30 {
+            let n = 4 + (trial % 3);
+            let space = 1u64 << n;
+            let on_minterms: Vec<u64> = (0..space).filter(|_| rng.one_in(2)).collect();
+            let dc_minterms: Vec<u64> = (0..space)
+                .filter(|m| !on_minterms.contains(m) && rng.one_in(4))
+                .collect();
+            let on = Cover::from_minterms(n, &on_minterms);
+            let dc = Cover::from_minterms(n, &dc_minterms);
+            // Sweep budgets from nothing to plenty: every outcome
+            // must be a correct cover, and a zero budget must
+            // truncate on any nonempty function.
+            for budget in [0, 1, 10, 100, 1_000, 100_000] {
+                let outcome =
+                    minimize_budgeted(on.clone(), dc.clone(), EffortBudget::steps(budget));
+                assert!(
+                    is_correct(&outcome.cover, &on, &dc),
+                    "trial {trial} budget {budget}"
+                );
+                assert!(outcome.steps <= budget, "trial {trial} budget {budget}");
+                if budget == 0 && !on_minterms.is_empty() {
+                    assert!(outcome.truncated, "trial {trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_covers_converge_to_minimal_as_budget_grows() {
+        // The expansive function !x2 over 4 vars: unminimized it is 8
+        // minterms, minimal it is one cube. Cube count must be
+        // monotonically non-increasing in the budget, reaching the
+        // minimum with a generous one.
+        let on = Cover::from_minterms(4, &[0, 1, 2, 3, 8, 9, 10, 11]);
+        let mut last = usize::MAX;
+        for budget in [0u64, 8, 64, 512, 4_096, 1_000_000] {
+            let outcome =
+                minimize_budgeted(on.clone(), Cover::empty(4), EffortBudget::steps(budget));
+            assert!(is_correct(&outcome.cover, &on, &Cover::empty(4)));
+            assert!(outcome.cover.num_cubes() <= last, "budget {budget}");
+            last = outcome.cover.num_cubes();
+        }
+        assert_eq!(last, 1, "generous budget reaches the minimal cover");
+    }
+
+    #[test]
+    fn synthesis_default_budget_never_truncates_workspace_functions() {
+        // The largest single function the FSM path minimizes: one
+        // select line of a 64-state machine.
+        let on = Cover::from_minterms(6, &[17]);
+        let off_minterms: Vec<u64> = (0..64).filter(|&m| m != 17).collect();
+        let off = Cover::from_minterms(6, &off_minterms);
+        let outcome =
+            minimize_with_off_budgeted(on, Cover::empty(6), off, EffortBudget::synthesis_default());
+        assert!(!outcome.truncated);
     }
 
     #[test]

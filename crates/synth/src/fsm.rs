@@ -231,7 +231,13 @@ impl Fsm {
         let rst = netlist.reset();
         for b in 0..bits {
             let (on, off) = partition(&|s| (codes[self.next_state[s]] >> b) & 1 == 1);
-            let minimized = espresso::minimize_with_off(on, dc.clone(), off);
+            let minimized = espresso::minimize_with_off_budgeted(
+                on,
+                dc.clone(),
+                off,
+                espresso::EffortBudget::synthesis_default(),
+            )
+            .cover;
             let d = map_sop(netlist, &minimized, &q, &qn)?;
             // Reset loads the code of state 0.
             let kind = if (code0 >> b) & 1 == 1 {
@@ -253,7 +259,13 @@ impl Fsm {
             OutputStyle::SelectLines { num_lines } => {
                 for line in 0..num_lines {
                     let (on, off) = partition(&|s| self.output[s] == line as u64);
-                    let minimized = espresso::minimize_with_off(on, dc.clone(), off);
+                    let minimized = espresso::minimize_with_off_budgeted(
+                        on,
+                        dc.clone(),
+                        off,
+                        espresso::EffortBudget::synthesis_default(),
+                    )
+                    .cover;
                     let y = map_sop(netlist, &minimized, &q, &qn)?;
                     let y = ensure_driven_output(netlist, y)?;
                     netlist.add_output(y);
@@ -263,7 +275,13 @@ impl Fsm {
             OutputStyle::BinaryAddress { bits: abits } => {
                 for b in 0..abits {
                     let (on, off) = partition(&|s| (self.output[s] >> b) & 1 == 1);
-                    let minimized = espresso::minimize_with_off(on, dc.clone(), off);
+                    let minimized = espresso::minimize_with_off_budgeted(
+                        on,
+                        dc.clone(),
+                        off,
+                        espresso::EffortBudget::synthesis_default(),
+                    )
+                    .cover;
                     let y = map_sop(netlist, &minimized, &q, &qn)?;
                     let y = ensure_driven_output(netlist, y)?;
                     netlist.add_output(y);

@@ -52,4 +52,5 @@ pub use cover::Cover;
 pub use cube::{Cube, Tri};
 pub use encoding::Encoding;
 pub use error::SynthError;
+pub use espresso::{EffortBudget, MinimizeOutcome};
 pub use fsm::{Fsm, OutputStyle, SynthesizedFsm};

@@ -436,7 +436,13 @@ pub fn build_rom(
         }
         let on = Cover::from_minterms(bits, &on_minterms);
         let off = Cover::from_minterms(bits, &off_minterms);
-        let minimized = espresso::minimize_with_off(on, dc.clone(), off);
+        let minimized = espresso::minimize_with_off_budgeted(
+            on,
+            dc.clone(),
+            off,
+            espresso::EffortBudget::synthesis_default(),
+        )
+        .cover;
         outputs.push(map_sop(n, &minimized, index, &neg)?);
     }
     Ok(outputs)

@@ -7,9 +7,12 @@
 #   3. tier-1 build      (release, all targets)
 #   4. tier-1 tests      (full workspace)
 #   5. fuzz smoke        (fixed-seed differential fuzz, 200 cases)
+#   6. fault smoke       (fixed-seed fault campaign, 4x4 array,
+#                         full select-line stuck-at list)
 #
 # Set CI_SLOW=1 to additionally run the #[ignore]d large
-# configurations (512x512 / 256x256 scale tests).
+# configurations (512x512 / 256x256 scale tests) and the exhaustive
+# 8x8 fault-campaign sweep.
 #
 # The workspace has zero external dependencies, so every step works
 # without network access. Run from anywhere inside the repo.
@@ -32,9 +35,14 @@ cargo test --workspace -q
 echo "==> fuzz smoke (fixed seed, deterministic)"
 cargo run --release -p adgen-fuzz -- --iters 200 --seed 1
 
+echo "==> fault-campaign smoke (fixed seed, 4x4, full select-line fault list)"
+cargo run --release -p adgen-bench --bin faultcamp -- --smoke --seed 2026
+
 if [[ "${CI_SLOW:-0}" == "1" ]]; then
   echo "==> slow tier: ignored scale tests"
   cargo test --workspace --release -q -- --ignored
+  echo "==> slow tier: exhaustive 8x8 fault campaign"
+  cargo run --release -p adgen-bench --bin faultcamp -- --seed 2026
 fi
 
 echo "==> CI OK"

@@ -51,13 +51,15 @@
 //! | [`core`] | `adgen-core` | SRAG: mapper, simulator, elaboration, control styles, chaining, time-sharing |
 //! | [`cntag`] | `adgen-cntag` | counter/arithmetic/ROM baselines, loop-nest compiler |
 //! | [`memory`] | `adgen-memory` | ADDM / RAM models, behavioural & gate-level co-simulation |
-//! | [`explorer`] | `adgen-explorer` | candidates, Pareto, selection, reports, power comparisons |
+//! | [`explorer`] | `adgen-explorer` | candidates, Pareto, selection, reports, power & resilience comparisons |
+//! | [`fault`] | `adgen-fault` | stuck-at / SEU fault models, deterministic injection campaigns, coverage classification |
 //! | [`exec`] | `adgen-exec` | scoped thread pool with deterministic ordering, seedable PRNG |
 
 pub use adgen_cntag as cntag;
 pub use adgen_core as core;
 pub use adgen_exec as exec;
 pub use adgen_explorer as explorer;
+pub use adgen_fault as fault;
 pub use adgen_memory as memory;
 pub use adgen_netlist as netlist;
 pub use adgen_seq as seq;
@@ -74,10 +76,13 @@ pub mod prelude {
     pub use adgen_core::mapper::{map_sequence, Mapping};
     pub use adgen_core::multi_counter::map_sequence_relaxed;
     pub use adgen_core::shared::TimeSharedSragNetlist;
-    pub use adgen_core::{SragError, SragNetlist, SragSimulator, SragSpec};
+    pub use adgen_core::{HardenedSragNetlist, SragError, SragNetlist, SragSimulator, SragSpec};
     pub use adgen_explorer::{
-        compare_power, compare_srag_cntag, evaluate, pareto_frontier, select, Architecture,
-        ComparisonRow, Constraint, EvaluateOptions,
+        compare_power, compare_resilience, compare_srag_cntag, evaluate, pareto_frontier, select,
+        Architecture, ComparisonRow, Constraint, EvaluateOptions, ResilienceRow,
+    };
+    pub use adgen_fault::{
+        enumerate_stuck_at, run_campaign, CampaignReport, CampaignSpec, Classification, Fault,
     };
     pub use adgen_memory::{Addm, MemError, Ram};
     pub use adgen_netlist::{
