@@ -27,9 +27,17 @@
 //! and the area/delay price of hardening. The process exits nonzero
 //! if the hardened pair fails to self-detect every effective fault in
 //! the universe (its design contract).
+//!
+//! Observability (see `DESIGN.md` §9): `--trace FILE` writes a Chrome
+//! trace-event JSON, `--metrics` prints the deterministic profile and
+//! appends a `"metrics"` block to `BENCH_fault.json`. The JSON goes
+//! through a drop guard, so a campaign that panics mid-run still
+//! flushes the variants that completed, marked `"truncated": true`.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
+
+use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
 
 use adgen_cntag::netlist::SELECT_LINE_LOAD_FF;
 use adgen_cntag::{CntAgNetlist, CntAgSpec};
@@ -50,12 +58,24 @@ struct VariantResult {
     delay_ps: f64,
 }
 
+/// Everything `BENCH_fault.json` reports, accumulated per variant so
+/// a panicking campaign still flushes the finished ones.
+struct FaultState {
+    shape: ArrayShape,
+    cycles: u32,
+    seed: u64,
+    seu_samples: usize,
+    variants: Vec<VariantResult>,
+    row: Option<adgen_explorer::ResilienceRow>,
+}
+
 fn main() -> ExitCode {
     let mut jobs = 0usize;
     let mut seed = 2026u64;
     let mut smoke = false;
     let mut fault_token: Option<String> = None;
-    let mut args = std::env::args().skip(1);
+    let (raw, obs_args) = take_obs_args(std::env::args().skip(1).collect());
+    let mut args = raw.into_iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => smoke = true,
@@ -69,7 +89,10 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: faultcamp [--smoke] [--jobs N] [--seed N] [--fault TOKEN]");
+                eprintln!(
+                    "usage: faultcamp [--smoke] [--jobs N] [--seed N] [--fault TOKEN] \
+                     [--trace FILE] [--metrics]"
+                );
                 std::process::exit(2);
             }
         }
@@ -101,9 +124,38 @@ fn main() -> ExitCode {
         seed
     );
 
+    // Accumulates per-variant results and owns the obs session;
+    // flushes BENCH_fault.json on finish or panic.
+    let mut sink = ObsJsonSink::new(
+        "BENCH_fault.json",
+        obs_args,
+        FaultState {
+            shape,
+            cycles,
+            seed,
+            seu_samples,
+            variants: Vec::new(),
+            row: None,
+        },
+        render_fault_json,
+    );
+
     let (row, plain_report, hard_report) =
         compare_resilience(&seq, shape, &lib, cycles, seu_samples, seed, jobs)
             .expect("paper workload maps and elaborates");
+    sink.state().variants.push(VariantResult {
+        name: "srag-plain",
+        report: plain_report,
+        area: row.plain_area,
+        delay_ps: row.plain_delay_ps,
+    });
+    sink.state().variants.push(VariantResult {
+        name: "srag-hardened",
+        report: hard_report,
+        area: row.hardened_area,
+        delay_ps: row.hardened_delay_ps,
+    });
+    sink.state().row = Some(row.clone());
 
     let cntag = CntAgNetlist::elaborate(&CntAgSpec::motion_est(shape, 2, 2, 0))
         .expect("paper workload elaborates as CntAG");
@@ -117,30 +169,15 @@ fn main() -> ExitCode {
     let cnt_timing =
         TimingAnalysis::run_with_output_load(&cntag.netlist, &lib, SELECT_LINE_LOAD_FF)
             .expect("CntAG times");
-
-    let variants = [
-        VariantResult {
-            name: "srag-plain",
-            report: plain_report,
-            area: row.plain_area,
-            delay_ps: row.plain_delay_ps,
-        },
-        VariantResult {
-            name: "srag-hardened",
-            report: hard_report,
-            area: row.hardened_area,
-            delay_ps: row.hardened_delay_ps,
-        },
-        VariantResult {
-            name: "cntag",
-            report: cnt_report,
-            area: AreaReport::of(&cntag.netlist, &lib).total(),
-            delay_ps: cnt_timing.critical_path_ps(),
-        },
-    ];
+    sink.state().variants.push(VariantResult {
+        name: "cntag",
+        report: cnt_report,
+        area: AreaReport::of(&cntag.netlist, &lib).total(),
+        delay_ps: cnt_timing.critical_path_ps(),
+    });
 
     println!();
-    for v in &variants {
+    for v in &sink.state().variants {
         println!("  {:<14} {}", v.name, v.report.summary());
         println!(
             "  {:<14} area {:.1}, critical path {:.1} ps",
@@ -153,20 +190,15 @@ fn main() -> ExitCode {
         row.delay_overhead_factor()
     );
 
-    let json = fault_json(shape, cycles, seed, seu_samples, &variants, &row);
-    match std::fs::write("BENCH_fault.json", &json) {
-        Ok(()) => println!("  (written to BENCH_fault.json)"),
-        Err(e) => eprintln!("warning: could not write BENCH_fault.json: {e}"),
-    }
-
     // Design contract of the hardened pair: every effective fault in
     // the select-ring universe is self-detected; none stays silent.
-    let hardened = &variants[1].report;
-    if hardened.alarm_coverage_pct() < 100.0 || hardened.silent() > 0 {
-        eprintln!(
-            "FAIL: hardened SRAG self-detection incomplete: {}",
-            hardened.summary()
-        );
+    let hardened_summary = {
+        let hardened = &sink.state().variants[1].report;
+        (hardened.alarm_coverage_pct() < 100.0 || hardened.silent() > 0).then(|| hardened.summary())
+    };
+    sink.finish();
+    if let Some(summary) = hardened_summary {
+        eprintln!("FAIL: hardened SRAG self-detection incomplete: {summary}");
         return ExitCode::FAILURE;
     }
     println!("  hardened self-detection: complete");
@@ -268,14 +300,18 @@ fn parse_or_die<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, f
 }
 
 /// Hand-rolled machine-readable record, mirroring `BENCH_repro.json`.
-fn fault_json(
-    shape: ArrayShape,
-    cycles: u32,
-    seed: u64,
-    seu_samples: usize,
-    variants: &[VariantResult],
-    row: &adgen_explorer::ResilienceRow,
-) -> String {
+/// With `--metrics` a jobs-invariant counter block is appended; a
+/// panic mid-run flushes the completed variants with
+/// `"truncated": true`.
+fn render_fault_json(state: &FaultState, meta: &RunMeta) -> String {
+    let FaultState {
+        shape,
+        cycles,
+        seed,
+        seu_samples,
+        variants,
+        row,
+    } = state;
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(
@@ -287,6 +323,9 @@ fn fault_json(
     let _ = writeln!(s, "  \"cycles\": {cycles},");
     let _ = writeln!(s, "  \"seed\": {seed},");
     let _ = writeln!(s, "  \"seu_samples\": {seu_samples},");
+    if meta.truncated {
+        let _ = writeln!(s, "  \"truncated\": true,");
+    }
     let _ = writeln!(s, "  \"variants\": [");
     for (i, v) in variants.iter().enumerate() {
         let comma = if i + 1 < variants.len() { "," } else { "" };
@@ -309,12 +348,28 @@ fn fault_json(
         );
     }
     let _ = writeln!(s, "  ],");
-    let _ = writeln!(
-        s,
-        "  \"hardening_overhead\": {{\"area_factor\": {:.4}, \"delay_factor\": {:.4}}}",
-        row.area_overhead_factor(),
-        row.delay_overhead_factor()
-    );
+    match row {
+        Some(row) => {
+            let _ = writeln!(
+                s,
+                "  \"hardening_overhead\": {{\"area_factor\": {:.4}, \"delay_factor\": {:.4}}}{}",
+                row.area_overhead_factor(),
+                row.delay_overhead_factor(),
+                if meta.metrics.is_some() { "," } else { "" }
+            );
+        }
+        // Truncated before the SRAG pair finished.
+        None => {
+            let _ = writeln!(
+                s,
+                "  \"hardening_overhead\": null{}",
+                if meta.metrics.is_some() { "," } else { "" }
+            );
+        }
+    }
+    if let Some(metrics) = &meta.metrics {
+        let _ = writeln!(s, "  \"metrics\": {metrics}");
+    }
     let _ = writeln!(s, "}}");
     s
 }

@@ -10,6 +10,13 @@
 //! table3`. Results are printed and, for the sweeps, also written as
 //! CSV under `results/`. Each run also emits `BENCH_repro.json` with
 //! the worker count and per-experiment wall-clock seconds.
+//!
+//! Observability (see `DESIGN.md` §9): `--trace FILE` writes a Chrome
+//! trace-event JSON of the whole run, `--metrics` prints the
+//! deterministic self/total profile and appends a `"metrics"` block
+//! to `BENCH_repro.json`. The JSON is flushed through a drop guard,
+//! so a panicking experiment still leaves a valid record of the rows
+//! that completed, marked `"truncated": true`.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -19,6 +26,7 @@ use adgen_bench::experiments::{
     ablation, fig3_4, fig8_9_10, interconnect, power_study, sharing, synth_time, table3,
     SynthTimeRow, PAPER_ARRAY_SIZES, PAPER_SEQUENCE_LENGTHS,
 };
+use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
 use adgen_bench::report;
 use adgen_core::mapper::map_sequence;
 use adgen_seq::{workloads, ArrayShape, Layout};
@@ -40,10 +48,20 @@ const ARTEFACTS: [&str; 14] = [
     "interconnect",
 ];
 
+/// Everything `BENCH_repro.json` reports, accumulated as the run
+/// progresses so the drop guard can flush a truncated record on
+/// panic.
+struct ReproState {
+    jobs: usize,
+    timings: Vec<(&'static str, f64)>,
+    synthtime: Vec<SynthTimeRow>,
+}
+
 fn main() {
     let mut jobs = 0usize; // 0 = all available cores
     let mut what: Vec<String> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let (raw, obs_args) = take_obs_args(std::env::args().skip(1).collect());
+    let mut args = raw.into_iter();
     while let Some(a) = args.next() {
         if a == "--jobs" || a == "-j" {
             let v = args.next().unwrap_or_else(|| {
@@ -75,9 +93,19 @@ fn main() {
     let effective_jobs = adgen_exec::resolve_jobs(jobs);
     println!("repro: {effective_jobs} worker(s)\n");
 
-    // (experiment, wall-clock seconds), in execution order.
-    let mut timings: Vec<(&'static str, f64)> = Vec::new();
-    let mut synthtime_rows: Vec<SynthTimeRow> = Vec::new();
+    // Accumulates (experiment, wall-clock seconds) in execution order
+    // and owns the obs session; flushes BENCH_repro.json on finish or
+    // panic.
+    let mut sink = ObsJsonSink::new(
+        "BENCH_repro.json",
+        obs_args,
+        ReproState {
+            jobs: effective_jobs,
+            timings: Vec::new(),
+            synthtime: Vec::new(),
+        },
+        render_repro_json,
+    );
 
     if run("table1") {
         print_table1();
@@ -88,7 +116,9 @@ fn main() {
     if run("fig3") || run("fig4") {
         let started = Instant::now();
         let rows = fig3_4(&PAPER_SEQUENCE_LENGTHS, jobs);
-        timings.push(("fig3_4", started.elapsed().as_secs_f64()));
+        sink.state()
+            .timings
+            .push(("fig3_4", started.elapsed().as_secs_f64()));
         println!("{}", report::render_fig3_4(&rows));
         if report::write_fig3_4_csv(&rows, &results_dir.join("fig3_4.csv")).is_ok() {
             println!("(written to results/fig3_4.csv)\n");
@@ -99,14 +129,18 @@ fn main() {
         // artefact, and concurrent points would perturb them.
         let started = Instant::now();
         let rows = synth_time(&PAPER_SEQUENCE_LENGTHS, 1);
-        timings.push(("synthtime", started.elapsed().as_secs_f64()));
+        sink.state()
+            .timings
+            .push(("synthtime", started.elapsed().as_secs_f64()));
         println!("{}", report::render_synth_time(&rows));
-        synthtime_rows = rows;
+        sink.state().synthtime = rows;
     }
     if run("fig8") || run("fig9") || run("fig10") {
         let started = Instant::now();
         let rows = fig8_9_10(&PAPER_ARRAY_SIZES, jobs);
-        timings.push(("fig8_9_10", started.elapsed().as_secs_f64()));
+        sink.state()
+            .timings
+            .push(("fig8_9_10", started.elapsed().as_secs_f64()));
         if run("fig8") {
             println!("{}", report::render_fig8(&rows));
         }
@@ -123,41 +157,45 @@ fn main() {
     if run("table3") {
         let started = Instant::now();
         let rows = table3(&[16, 32, 64], jobs);
-        timings.push(("table3", started.elapsed().as_secs_f64()));
+        sink.state()
+            .timings
+            .push(("table3", started.elapsed().as_secs_f64()));
         println!("{}", report::render_table3(&rows));
     }
     if run("power") {
         let started = Instant::now();
         let rows = power_study(&[16, 64], jobs);
-        timings.push(("power", started.elapsed().as_secs_f64()));
+        sink.state()
+            .timings
+            .push(("power", started.elapsed().as_secs_f64()));
         println!("{}", report::render_power(&rows));
     }
     if run("ablation") {
         let started = Instant::now();
         let rows = ablation(&[16, 64], jobs);
-        timings.push(("ablation", started.elapsed().as_secs_f64()));
+        sink.state()
+            .timings
+            .push(("ablation", started.elapsed().as_secs_f64()));
         println!("{}", report::render_ablation(&rows));
     }
     if run("sharing") {
         let started = Instant::now();
         let rows = sharing(&[16, 64, 256], jobs);
-        timings.push(("sharing", started.elapsed().as_secs_f64()));
+        sink.state()
+            .timings
+            .push(("sharing", started.elapsed().as_secs_f64()));
         println!("{}", report::render_sharing(&rows));
     }
     if run("interconnect") {
         let started = Instant::now();
         let rows = interconnect(&[0.0, 30.0, 60.0, 120.0, 240.0], jobs);
-        timings.push(("interconnect", started.elapsed().as_secs_f64()));
+        sink.state()
+            .timings
+            .push(("interconnect", started.elapsed().as_secs_f64()));
         println!("{}", report::render_interconnect(&rows));
     }
 
-    if !timings.is_empty() {
-        let json = bench_json(effective_jobs, &timings, &synthtime_rows);
-        match std::fs::write("BENCH_repro.json", &json) {
-            Ok(()) => println!("(wall-clock written to BENCH_repro.json)"),
-            Err(e) => eprintln!("warning: could not write BENCH_repro.json: {e}"),
-        }
-    }
+    sink.finish();
 }
 
 fn parse_jobs(v: &str) -> usize {
@@ -170,10 +208,20 @@ fn parse_jobs(v: &str) -> usize {
 /// Renders the machine-readable benchmark record: worker count,
 /// per-experiment wall-clock, and (when the synthtime artefact ran)
 /// the per-N synthesis times that carry the packed-kernel speedup.
-fn bench_json(jobs: usize, timings: &[(&'static str, f64)], synthtime: &[SynthTimeRow]) -> String {
+/// With `--metrics` a jobs-invariant counter block is appended; a
+/// panic mid-run flushes the completed rows with `"truncated": true`.
+fn render_repro_json(state: &ReproState, meta: &RunMeta) -> String {
+    let ReproState {
+        jobs,
+        timings,
+        synthtime,
+    } = state;
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"jobs\": {jobs},");
+    if meta.truncated {
+        let _ = writeln!(s, "  \"truncated\": true,");
+    }
     let _ = writeln!(s, "  \"experiments\": [");
     for (i, (name, secs)) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
@@ -192,7 +240,12 @@ fn bench_json(jobs: usize, timings: &[(&'static str, f64)], synthtime: &[SynthTi
             r.n, r.fsm_seconds, r.shift_register_seconds
         );
     }
-    let _ = writeln!(s, "  ]");
+    if let Some(metrics) = &meta.metrics {
+        let _ = writeln!(s, "  ],");
+        let _ = writeln!(s, "  \"metrics\": {metrics}");
+    } else {
+        let _ = writeln!(s, "  ]");
+    }
     let _ = writeln!(s, "}}");
     s
 }

@@ -16,6 +16,7 @@
 use std::time::Instant;
 
 use adgen_exec::par_map;
+use adgen_obs as obs;
 
 use adgen_cntag::{component_delays, CntAgNetlist, CntAgSpec};
 use adgen_core::composite::Srag2d;
@@ -60,6 +61,7 @@ pub struct Fig34Row {
 /// Panics if synthesis of either arm fails (an internal error: the
 /// incremental sequence is always implementable).
 pub fn fig3_4(lengths: &[u32], jobs: usize) -> Vec<Fig34Row> {
+    let _span = obs::span("bench.fig3_4");
     let library = Library::vcl018();
     par_map(lengths, jobs, |_, &n| {
         let ring = SragNetlist::elaborate(&SragSpec::ring(n)).expect("ring elaborates");
@@ -112,6 +114,7 @@ pub struct SynthTimeRow {
 ///
 /// Panics if either arm fails to synthesize.
 pub fn synth_time(lengths: &[u32], jobs: usize) -> Vec<SynthTimeRow> {
+    let _span = obs::span("bench.synth_time");
     par_map(lengths, jobs, |_, &n| {
         let started = Instant::now();
         let _ring = SragNetlist::elaborate(&SragSpec::ring(n)).expect("ring");
@@ -176,6 +179,7 @@ pub struct Fig8910Row {
 /// Panics if mapping or elaboration fails (the motion-estimation
 /// streams are always SRAG-mappable).
 pub fn fig8_9_10(sizes: &[u32], jobs: usize) -> Vec<Fig8910Row> {
+    let _span = obs::span("bench.fig8_9_10");
     let library = Library::vcl018();
     par_map(sizes, jobs, |_, &n| {
         let shape = ArrayShape::new(n, n);
@@ -234,6 +238,7 @@ pub struct Table3Row {
 type WorkloadBuilder = Box<dyn Fn(ArrayShape) -> (AddressSequence, CntAgSpec) + Send + Sync>;
 
 pub fn table3(sizes: &[u32], jobs: usize) -> Vec<Table3Row> {
+    let _span = obs::span("bench.table3");
     let library = Library::vcl018();
     let cases: Vec<(&'static str, WorkloadBuilder)> = vec![
         (
@@ -324,6 +329,7 @@ pub struct PowerRow {
 ///
 /// Panics if a workload fails to map or simulate.
 pub fn power_study(sizes: &[u32], jobs: usize) -> Vec<PowerRow> {
+    let _span = obs::span("bench.power_study");
     let library = Library::vcl018();
     let names: [&'static str; 3] = ["fifo", "motion_est", "zoombytwo"];
     let points: Vec<(u32, usize)> = sizes
@@ -383,6 +389,7 @@ pub struct AblationRow {
 ///
 /// Panics if mapping or elaboration fails.
 pub fn ablation(sizes: &[u32], jobs: usize) -> Vec<AblationRow> {
+    let _span = obs::span("bench.ablation");
     use adgen_core::arch::ControlStyle;
     let library = Library::vcl018();
     let names: [&'static str; 2] = ["fifo", "motion_est"];
@@ -463,6 +470,7 @@ impl SharingRow {
 /// Panics if mapping or elaboration fails (both streams are rings in
 /// both dimensions, so sharing is always applicable).
 pub fn sharing(sizes: &[u32], jobs: usize) -> Vec<SharingRow> {
+    let _span = obs::span("bench.sharing");
     use adgen_core::mapper::map_sequence;
     use adgen_core::shared::TimeSharedSragNetlist;
     let library = Library::vcl018();
@@ -521,6 +529,7 @@ pub struct InterconnectRow {
 ///
 /// Panics if mapping or elaboration fails.
 pub fn interconnect(loads_ff: &[f64], jobs: usize) -> Vec<InterconnectRow> {
+    let _span = obs::span("bench.interconnect");
     let library = Library::vcl018();
     let shape = ArrayShape::new(64, 64);
     let mb = macroblock_for(64);
@@ -548,6 +557,7 @@ pub fn interconnect(loads_ff: &[f64], jobs: usize) -> Vec<InterconnectRow> {
 ///
 /// Panics if the canary fails.
 pub fn canary() {
+    let _span = obs::span("bench.canary");
     let shape = ArrayShape::new(4, 4);
     let seq = workloads::motion_est_read(shape, 2, 2, 0);
     let pair = Srag2d::map(&seq, shape, Layout::RowMajor).expect("canary maps");

@@ -4,6 +4,7 @@
 //! paper-vs-measured.
 
 pub mod experiments;
+pub mod obs_cli;
 pub mod report;
 pub mod stopwatch;
 

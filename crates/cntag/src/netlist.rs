@@ -3,6 +3,7 @@
 //! per-component delay breakdown of paper Fig. 9.
 
 use adgen_netlist::{Library, NetId, Netlist, Simulator, TimingAnalysis, TimingContext};
+use adgen_obs as obs;
 use adgen_synth::fsm::MAX_FANOUT;
 use adgen_synth::mapgen::{build_decoder, build_mod_counter};
 use adgen_synth::techmap::insert_fanout_buffers;
@@ -45,6 +46,10 @@ impl CntAgNetlist {
     ///
     /// Propagates structural-generation failures.
     pub fn elaborate(spec: &CntAgSpec) -> Result<Self, SynthError> {
+        let _span = obs::span_arg(
+            "cntag.elaborate",
+            u64::from(spec.shape.width()) * u64::from(spec.shape.height()),
+        );
         spec.validate();
         let mut n = Netlist::new(format!(
             "cntag_{}x{}",
@@ -204,6 +209,8 @@ impl ComponentNetlists {
     ///
     /// Propagates structural-generation failures.
     pub fn elaborate(spec: &CntAgSpec) -> Result<Self, SynthError> {
+        let _span = obs::span("cntag.components.elaborate");
+        obs::add(obs::Ctr::CntagComponentBuilds, 1);
         spec.validate();
         let counter = {
             let mut n = Netlist::new("cntag_counter");
@@ -257,6 +264,8 @@ impl ComponentTimer<'_> {
     /// The component delays with `select_line_load_ff` femtofarads of
     /// external load on every select line.
     pub fn delays_at(&self, select_line_load_ff: f64) -> ComponentDelays {
+        let _span = obs::span("cntag.components.delays_at");
+        obs::add(obs::Ctr::CntagComponentRuns, 1);
         ComponentDelays {
             counter_ps: self.counter_ps,
             row_decoder_ps: self

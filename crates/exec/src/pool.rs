@@ -5,9 +5,20 @@
 //! 16×16 one). Results are written back into per-item slots, so the
 //! output order is the input order — byte-identical to a serial run —
 //! no matter how the items were scheduled.
+//!
+//! When an [`adgen_obs`] session is active, every item runs inside an
+//! obs [`capture`](adgen_obs::capture) on its worker thread and the
+//! per-item recordings are [`splice`](adgen_obs::splice)d back into
+//! the caller **in input order** after the join, so the merged span
+//! tree and counter totals are identical at any job count. Worker
+//! busy time and per-worker item counts land in the nondeterministic
+//! timing-metric map (redacted in byte-compared reports).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+use adgen_obs as obs;
 
 /// Number of hardware threads available, with a serial fallback of 1.
 pub fn available_jobs() -> usize {
@@ -44,36 +55,82 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let jobs = resolve_jobs(jobs).min(items.len().max(1));
+    let observing = obs::enabled();
+    let _pm = if observing {
+        obs::add(obs::Ctr::ParMapCalls, 1);
+        obs::add(obs::Ctr::ParMapItems, items.len() as u64);
+        Some(obs::span("par_map"))
+    } else {
+        None
+    };
     if jobs <= 1 || items.len() <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let _item = obs::span_arg("par_map.item", i as u64);
+                f(i, t)
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(R, obs::Recording)>>> =
+        (0..items.len()).map(|_| Mutex::new(None)).collect();
+    // Shared state enters the workers by reference so `f` itself only
+    // needs `Sync`, exactly as before instrumentation.
+    let (f, cursor, slot_refs) = (&f, &cursor, &slots);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(item) = items.get(i) else { break };
-                    let r = f(i, item);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut busy_ns = 0u64;
+                    let mut claimed = 0u64;
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        let started = Instant::now();
+                        // Record the item's spans/counters on this
+                        // worker; the caller splices them back in
+                        // input order below.
+                        let pair = obs::capture(|| {
+                            let _item = obs::span_arg("par_map.item", i as u64);
+                            f(i, item)
+                        });
+                        busy_ns = busy_ns.saturating_add(
+                            started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                        );
+                        claimed += 1;
+                        *slot_refs[i].lock().expect("result slot poisoned") = Some(pair);
+                    }
+                    (w, busy_ns, claimed)
                 })
             })
             .collect();
         for handle in handles {
-            if let Err(payload) = handle.join() {
-                // Re-raise the worker's own panic payload so callers
-                // (and #[should_panic] tests) see the original message.
-                std::panic::resume_unwind(payload);
+            match handle.join() {
+                Ok((w, busy_ns, claimed)) => {
+                    if observing {
+                        obs::timing(format!("par_map.worker{w}.busy_ns"), busy_ns);
+                        obs::timing(format!("par_map.worker{w}.items"), claimed);
+                    }
+                }
+                Err(payload) => {
+                    // Re-raise the worker's own panic payload so callers
+                    // (and #[should_panic] tests) see the original message.
+                    std::panic::resume_unwind(payload);
+                }
             }
         }
     });
     slots
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
+            let (r, rec) = slot
+                .into_inner()
                 .expect("result slot poisoned")
-                .expect("worker filled every claimed slot")
+                .expect("worker filled every claimed slot");
+            obs::splice(rec);
+            r
         })
         .collect()
 }

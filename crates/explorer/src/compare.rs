@@ -6,6 +6,7 @@ use adgen_cntag::{CntAgNetlist, CntAgSpec, ComponentNetlists};
 use adgen_core::composite::Srag2d;
 use adgen_core::SragError;
 use adgen_netlist::{AreaReport, Library, TimingAnalysis, TimingContext};
+use adgen_obs as obs;
 use adgen_seq::{AddressSequence, ArrayShape, Layout};
 
 /// One row of a comparison: both architectures implementing the same
@@ -73,6 +74,10 @@ pub fn compare_srag_cntag_with_load(
     library: &Library,
     select_line_load_ff: f64,
 ) -> Result<ComparisonRow, SragError> {
+    let _span = obs::span_arg(
+        "explorer.compare",
+        u64::from(shape.width()) * u64::from(shape.height()),
+    );
     let srag = Srag2d::map(sequence, shape, Layout::RowMajor)?.elaborate()?;
     let srag_timing =
         TimingAnalysis::run_with_output_load(&srag.netlist, library, select_line_load_ff)?;

@@ -23,6 +23,7 @@
 
 use adgen_exec::par_map;
 use adgen_netlist::{EventSimulator, Logic, Netlist, Simulator};
+use adgen_obs as obs;
 
 use crate::model::Fault;
 
@@ -90,6 +91,8 @@ fn stimulus(num_inputs: usize, cycle: u32) -> Vec<bool> {
 /// Panics if the netlist fails simulator construction or stepping —
 /// campaign inputs are validated netlists, so this indicates a bug.
 pub fn replay(spec: &CampaignSpec<'_>, fault: Option<Fault>) -> Trace {
+    let _span = obs::span_arg("fault.replay", u64::from(spec.cycles));
+    obs::add(obs::Ctr::FaultReplays, 1);
     let mut sim = Simulator::new(spec.netlist).expect("campaign netlist must be simulable");
     if let Some(Fault::StuckAt { net, value }) = fault {
         sim.force_net(net, if value { Logic::One } else { Logic::Zero });
@@ -266,13 +269,24 @@ impl CampaignReport {
 /// `jobs` worker threads. Output order equals `faults` order for any
 /// job count.
 pub fn run_campaign(spec: &CampaignSpec<'_>, faults: &[Fault], jobs: usize) -> CampaignReport {
+    let _span = obs::span_arg("fault.campaign", faults.len() as u64);
     let golden = replay(spec, None);
     let outcomes = par_map(faults, jobs, |_, &fault| {
         let faulty = replay(spec, Some(fault));
-        FaultOutcome {
-            fault,
-            class: classify(&golden, &faulty, spec.alarm_output),
+        let class = classify(&golden, &faulty, spec.alarm_output);
+        if obs::enabled() {
+            match class {
+                Classification::Detected { alarm, .. } => {
+                    obs::add(obs::Ctr::FaultDetected, 1);
+                    if alarm {
+                        obs::add(obs::Ctr::FaultAlarmed, 1);
+                    }
+                }
+                Classification::Silent => obs::add(obs::Ctr::FaultSilent, 1),
+                Classification::Benign => obs::add(obs::Ctr::FaultBenign, 1),
+            }
         }
+        FaultOutcome { fault, class }
     });
     CampaignReport {
         cycles: spec.cycles,

@@ -9,22 +9,41 @@
 //! Exit status is 0 when every oracle agreed, 1 on any mismatch, 2 on
 //! bad usage.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use adgen_fuzz::{run_fuzz, BreakMode, FuzzConfig};
+use adgen_obs as obs;
 
 const USAGE: &str =
     "usage: fuzz [--iters N] [--seed S] [--jobs J] [--case I] [--dev-break mapper|cube]
+            [--trace FILE] [--metrics]
 
   --iters N           number of cases to run (default 200)
   --seed S            master seed (default 1)
   --jobs J            worker threads, 0 = all cores (default 0)
   --case I            replay only case index I of the run (verbose)
   --dev-break MODE    deliberately corrupt one oracle (mapper|cube)
-                      to demonstrate detection + shrinking";
+                      to demonstrate detection + shrinking
+  --trace FILE        write a Chrome trace-event JSON of the run
+  --metrics           print the deterministic self/total profile";
 
-fn parse_args(args: &[String]) -> Result<FuzzConfig, String> {
+/// The observability flags, parsed alongside [`FuzzConfig`].
+#[derive(Default)]
+struct ObsArgs {
+    trace: Option<PathBuf>,
+    metrics: bool,
+}
+
+impl ObsArgs {
+    fn recording(&self) -> bool {
+        self.trace.is_some() || self.metrics
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<(FuzzConfig, ObsArgs), String> {
     let mut config = FuzzConfig::default();
+    let mut obs_args = ObsArgs::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_for = |flag: &str| -> Result<String, String> {
@@ -60,16 +79,20 @@ fn parse_args(args: &[String]) -> Result<FuzzConfig, String> {
                 config.break_mode = BreakMode::parse(&v)
                     .ok_or_else(|| format!("unknown --dev-break mode '{v}'"))?;
             }
+            "--trace" => {
+                obs_args.trace = Some(PathBuf::from(value_for("--trace")?));
+            }
+            "--metrics" => obs_args.metrics = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
-    Ok(config)
+    Ok((config, obs_args))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let config = match parse_args(&args) {
+    let (config, obs_args) = match parse_args(&args) {
         Ok(c) => c,
         Err(msg) => {
             if msg.is_empty() {
@@ -88,7 +111,23 @@ fn main() -> ExitCode {
         );
     }
 
+    if obs_args.recording() {
+        obs::start();
+    }
     let report = run_fuzz(&config);
+    if obs_args.recording() {
+        let rec = obs::take();
+        let redact = obs::redact_from_env();
+        if let Some(path) = &obs_args.trace {
+            match std::fs::write(path, obs::chrome_trace(&rec, redact)) {
+                Ok(()) => println!("(trace written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+        if obs_args.metrics {
+            print!("{}", obs::profile_report(&rec, redact));
+        }
+    }
 
     if let Some(index) = config.only_case {
         // Verbose single-case replay.

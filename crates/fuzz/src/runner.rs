@@ -8,6 +8,7 @@
 //! byte-identical at any `--jobs` value.
 
 use adgen_exec::{par_map, splitmix64};
+use adgen_obs as obs;
 
 use crate::check::check_case;
 use crate::gen::generate_case;
@@ -132,20 +133,27 @@ impl FuzzReport {
 
 /// Runs the fuzzer.
 pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    let _span = obs::span_arg("fuzz.run", config.iters);
     let indices: Vec<u64> = match config.only_case {
         Some(i) => vec![i],
         None => (0..config.iters).collect(),
     };
     let break_mode = config.break_mode;
     let outcomes = par_map(&indices, config.jobs, |_, &index| {
+        obs::add(obs::Ctr::FuzzCases, 1);
         let cs = case_seed(config.seed, index);
         let case = generate_case(cs);
         let failure = match check_case(&case, break_mode) {
             Ok(()) => None,
             Err(detail) => {
-                let minimal = shrink(&case, |candidate| {
-                    check_case(candidate, break_mode).is_err()
-                });
+                obs::add(obs::Ctr::FuzzFailures, 1);
+                let minimal = {
+                    let _shrink = obs::span_arg("fuzz.shrink", index);
+                    shrink(&case, |candidate| {
+                        obs::add(obs::Ctr::FuzzShrinkSteps, 1);
+                        check_case(candidate, break_mode).is_err()
+                    })
+                };
                 let minimal_detail = check_case(&minimal, break_mode)
                     .expect_err("shrinker only keeps failing candidates");
                 Some(FailureInfo {

@@ -13,6 +13,8 @@
 //! externally) can run — the quantity the paper plots in its delay
 //! figures.
 
+use adgen_obs as obs;
+
 use crate::cell::Library;
 use crate::error::NetlistError;
 use crate::graph::{Driver, InstId, NetId, Netlist};
@@ -185,6 +187,8 @@ impl<'a> TimingContext<'a> {
     /// Propagates [`NetlistError`] from validation (undriven nets,
     /// combinational cycles, …).
     pub fn new(netlist: &'a Netlist, library: &'a Library) -> Result<Self, NetlistError> {
+        let _span = obs::span_arg("sta.ctx.build", netlist.nets().len() as u64);
+        obs::add(obs::Ctr::StaCtxBuilds, 1);
         netlist.validate()?;
         let order = netlist.comb_topo_order()?;
         let num_nets = netlist.nets().len();
@@ -249,6 +253,8 @@ impl<'a> TimingContext<'a> {
     /// Times the netlist with `output_load_ff` femtofarads of external
     /// capacitance on every primary output.
     pub fn run_with_output_load(&self, output_load_ff: f64) -> TimingAnalysis {
+        let _span = obs::span("sta.run");
+        obs::add(obs::Ctr::StaRuns, 1);
         let netlist = self.netlist;
         let num_nets = netlist.nets().len();
         let load_ff = |net: NetId| -> f64 {

@@ -1,0 +1,158 @@
+//! Chrome trace-event exporter (`chrome://tracing` / Perfetto).
+//!
+//! The recording's stitched span tree is laid out *structurally*: the
+//! exporter synthesizes timestamps by placing every child
+//! sequentially inside its parent (offset = sum of earlier siblings'
+//! durations), so nesting is always exact regardless of which worker
+//! thread originally ran a span. The result is a logical profile of
+//! the run — self-time appears as the gap after the last child — that
+//! is deterministic modulo the recorded durations. Under redaction
+//! every `ts`/`dur` is zeroed, making the file a pure function of the
+//! program's inputs (byte-comparable goldens).
+
+use crate::json;
+use crate::record::Recording;
+
+/// Renders `rec` as a Chrome trace-event JSON document.
+///
+/// With `redact` set, all timestamps and durations are zeroed (the
+/// `OBS_REDACT=1` convention); event order, names, arguments and
+/// counter values are unchanged.
+pub fn chrome_trace(rec: &Recording, redact: bool) -> String {
+    // Children lists, preserving creation (= splice input) order.
+    let n = rec.spans.len();
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut roots: Vec<u32> = Vec::new();
+    for (i, s) in rec.spans.iter().enumerate() {
+        match s.parent {
+            Some(p) => children[p as usize].push(i as u32),
+            None => roots.push(i as u32),
+        }
+    }
+
+    // Synthesized start offsets (ns): DFS with a per-parent cursor.
+    let mut start_ns: Vec<u64> = vec![0; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut cursor = 0u64;
+    for &r in &roots {
+        start_ns[r as usize] = cursor;
+        cursor = cursor.saturating_add(rec.spans[r as usize].dur_ns);
+        stack.push(r);
+        while let Some(idx) = stack.pop() {
+            let mut offset = start_ns[idx as usize];
+            for &c in &children[idx as usize] {
+                start_ns[c as usize] = offset;
+                offset = offset.saturating_add(rec.spans[c as usize].dur_ns);
+                stack.push(c);
+            }
+        }
+    }
+
+    let micros = |ns: u64| -> f64 {
+        if redact {
+            0.0
+        } else {
+            ns as f64 / 1000.0
+        }
+    };
+
+    let mut out = String::new();
+    out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [");
+    let mut first = true;
+    let mut push_event = |line: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        out.push_str(&line);
+    };
+
+    for (i, s) in rec.spans.iter().enumerate() {
+        let args = match s.arg {
+            Some(a) => format!(",\"args\":{{\"arg\":{a}}}"),
+            None => String::new(),
+        };
+        let line = format!(
+            "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":0{}}}",
+            json::escape(s.name),
+            micros(start_ns[i]),
+            micros(s.dur_ns),
+            args
+        );
+        push_event(line, &mut out);
+    }
+    for (ctr, value) in rec.nonzero_counters() {
+        let line = format!(
+            "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"C\",\"ts\":0.000,\"pid\":0,\"tid\":0,\"args\":{{\"value\":{value}}}}}",
+            json::escape(ctr.name())
+        );
+        push_event(line, &mut out);
+    }
+    if !redact {
+        for (key, value) in &rec.timings {
+            let line = format!(
+                "{{\"name\":\"{}\",\"cat\":\"obs.timing\",\"ph\":\"C\",\"ts\":0.000,\"pid\":0,\"tid\":0,\"args\":{{\"value\":{value}}}}}",
+                json::escape(key)
+            );
+            push_event(line, &mut out);
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_chrome_trace;
+    use crate::record::{add, span, span_arg, start, take, Ctr};
+
+    fn sample_recording() -> Recording {
+        start();
+        {
+            let _root = span("root");
+            {
+                let _a = span_arg("child.a", 3);
+                add(Ctr::EspressoSteps, 12);
+            }
+            let _b = span("child.b");
+        }
+        take()
+    }
+
+    #[test]
+    fn trace_passes_schema_check() {
+        let rec = sample_recording();
+        for redact in [false, true] {
+            let text = chrome_trace(&rec, redact);
+            validate_chrome_trace(&text).unwrap_or_else(|e| panic!("redact={redact}: {e}"));
+        }
+    }
+
+    #[test]
+    fn redacted_trace_is_deterministic() {
+        let a = chrome_trace(&sample_recording(), true);
+        let b = chrome_trace(&sample_recording(), true);
+        assert_eq!(a, b, "redacted traces must be byte-identical");
+        assert!(a.contains("\"name\":\"child.a\""));
+        assert!(a.contains("\"arg\":3"));
+        assert!(a.contains("espresso.steps"));
+    }
+
+    #[test]
+    fn children_nest_inside_parents_unredacted() {
+        let rec = sample_recording();
+        let text = chrome_trace(&rec, false);
+        let parsed = crate::json::parse(&text).unwrap();
+        let events = parsed.as_obj().unwrap()["traceEvents"].as_arr().unwrap();
+        // First event is the root; its ts is 0 and the first child
+        // starts at the same ts.
+        let ts = |i: usize| events[i].as_obj().unwrap()["ts"].as_num().unwrap();
+        assert_eq!(ts(0), 0.0);
+        assert_eq!(ts(1), 0.0);
+        // Second child starts after the first child's duration.
+        let dur1 = events[1].as_obj().unwrap()["dur"].as_num().unwrap();
+        assert!((ts(2) - dur1).abs() < 1e-9);
+    }
+}

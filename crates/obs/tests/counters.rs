@@ -1,0 +1,95 @@
+//! Counter-accuracy tests: every typed counter must equal the
+//! quantity its subsystem independently reports, not merely be
+//! nonzero. These are the cross-layer checks that keep the metrics
+//! honest — an instrumentation point that drifts from the code it
+//! meters fails here, not in a dashboard months later.
+
+use adgen_core::{SragNetlist, SragSpec};
+use adgen_exec::par_map;
+use adgen_netlist::{Library, TimingContext};
+use adgen_obs as obs;
+use adgen_synth::espresso::minimize_budgeted;
+use adgen_synth::{Cover, EffortBudget};
+
+/// `espresso.steps` is defined as the exact unit `EffortBudget`
+/// meters, so over one call it must equal `MinimizeOutcome::steps`.
+#[test]
+fn espresso_steps_counter_equals_budget_consumption() {
+    obs::start();
+    let on = Cover::from_minterms(4, &[0, 1, 2, 3, 8, 9, 10, 11]);
+    let outcome = minimize_budgeted(on, Cover::empty(4), EffortBudget::UNLIMITED);
+    let rec = obs::take();
+
+    assert!(outcome.steps > 0, "a real minimization consumes steps");
+    assert!(!outcome.truncated);
+    assert_eq!(rec.counter(obs::Ctr::EspressoCalls), 1);
+    assert_eq!(rec.counter(obs::Ctr::EspressoSteps), outcome.steps);
+    assert_eq!(rec.counter(obs::Ctr::EspressoTruncated), 0);
+    assert!(
+        rec.counter(obs::Ctr::CubeWordOps) > 0,
+        "phase sweeps touch cube words"
+    );
+}
+
+/// A starved budget still reports consumption exactly, and the
+/// truncation tally counts the call.
+#[test]
+fn espresso_truncation_is_counted_and_steps_still_match() {
+    obs::start();
+    let on = Cover::from_minterms(6, &(0..48).collect::<Vec<u64>>());
+    let outcome = minimize_budgeted(on, Cover::empty(6), EffortBudget::steps(1));
+    let rec = obs::take();
+
+    assert!(outcome.truncated, "1 step cannot finish a 48-minterm cover");
+    assert_eq!(rec.counter(obs::Ctr::EspressoSteps), outcome.steps);
+    assert_eq!(rec.counter(obs::Ctr::EspressoTruncated), 1);
+}
+
+/// The paper-style two-sweep scenario: one `TimingContext` reused for
+/// four load points is 1 build (memo miss) + 4 runs, i.e. 3 memo
+/// hits. `runs - builds` is exactly the hit count the STA layer
+/// advertises.
+#[test]
+fn sta_memo_hit_rate_matches_two_sweep_scenario() {
+    let design = SragNetlist::elaborate(&SragSpec::ring(8)).expect("ring elaborates");
+    let library = Library::vcl018();
+
+    obs::start();
+    let ctx = TimingContext::new(&design.netlist, &library).expect("context builds");
+    for load in [0.0, 40.0, 80.0, 120.0] {
+        let analysis = ctx.run_with_output_load(load);
+        assert!(analysis.critical_path_ps() > 0.0);
+    }
+    let rec = obs::take();
+
+    let builds = rec.counter(obs::Ctr::StaCtxBuilds);
+    let runs = rec.counter(obs::Ctr::StaRuns);
+    assert_eq!(builds, 1);
+    assert_eq!(runs, 4);
+    assert_eq!(runs - builds, 3, "memo hits = runs minus builds");
+}
+
+/// `par_map.calls` / `par_map.items` tally the fan-out exactly, and
+/// the per-item spans survive stitching with their input indices.
+#[test]
+fn par_map_counters_match_fanout() {
+    obs::start();
+    let items: Vec<u64> = (0..5).collect();
+    let doubled = par_map(&items, 2, |_, &x| x * 2);
+    let rec = obs::take();
+
+    assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+    assert_eq!(rec.counter(obs::Ctr::ParMapCalls), 1);
+    assert_eq!(rec.counter(obs::Ctr::ParMapItems), 5);
+    let item_args: Vec<Option<u64>> = rec
+        .spans
+        .iter()
+        .filter(|s| s.name == "par_map.item")
+        .map(|s| s.arg)
+        .collect();
+    assert_eq!(
+        item_args,
+        vec![Some(0), Some(1), Some(2), Some(3), Some(4)],
+        "items splice back in input order"
+    );
+}

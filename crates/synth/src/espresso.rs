@@ -23,8 +23,16 @@
 //!   enumerate it for free) use [`minimize_with_off`] and skip the
 //!   Shannon complement entirely.
 
+use adgen_obs as obs;
+
 use crate::cover::{tautology, Cover};
 use crate::cube::{Cube, Tri};
+
+/// Packed words per cube at arity `n` (the cube kernel stores 32
+/// two-bit variables per `u64`), for the word-op counter.
+fn words_per_cube(n: usize) -> u64 {
+    n.div_ceil(32).max(1) as u64
+}
 
 /// Step budget bounding how much work the EXPAND / IRREDUNDANT /
 /// REDUCE loop may spend before giving up gracefully.
@@ -169,9 +177,29 @@ pub fn minimize_with_off(on: Cover, dc: Cover, off: Cover) -> Cover {
 pub fn minimize_with_off_budgeted(
     on: Cover,
     dc: Cover,
-    mut off: Cover,
+    off: Cover,
     budget: EffortBudget,
 ) -> MinimizeOutcome {
+    let observing = obs::enabled();
+    let _span = if observing {
+        obs::add(obs::Ctr::EspressoCalls, 1);
+        Some(obs::span_arg("espresso.minimize", on.num_inputs() as u64))
+    } else {
+        None
+    };
+    let outcome = minimize_loop(on, dc, off, budget);
+    if observing {
+        obs::add(obs::Ctr::EspressoSteps, outcome.steps);
+        if outcome.truncated {
+            obs::add(obs::Ctr::EspressoTruncated, 1);
+        }
+    }
+    outcome
+}
+
+/// The EXPAND / IRREDUNDANT / REDUCE loop behind
+/// [`minimize_with_off_budgeted`].
+fn minimize_loop(on: Cover, dc: Cover, mut off: Cover, budget: EffortBudget) -> MinimizeOutcome {
     assert_eq!(on.num_inputs(), dc.num_inputs(), "arity mismatch");
     assert_eq!(on.num_inputs(), off.num_inputs(), "arity mismatch");
     if on.is_empty() {
@@ -212,20 +240,29 @@ pub fn minimize_with_off_budgeted(
         truncated: true,
         steps: meter.spent,
     };
+    let words = words_per_cube(current.num_inputs());
     loop {
         // EXPAND probes every (cube, off-cube) conflict set once.
         let expand_cost = current.num_cubes() as u64 * (off.num_cubes() as u64 + 1);
         if !meter.charge(expand_cost) {
             return truncated(current, &meter);
         }
-        let expanded = expand(&current, &off);
+        let expanded = {
+            let _s = obs::span("espresso.expand");
+            obs::add(obs::Ctr::CubeWordOps, expand_cost.saturating_mul(words));
+            expand(&current, &off)
+        };
         // IRREDUNDANT cofactors each cube against the rest + dc.
         let rest = expanded.num_cubes() as u64 + dc.num_cubes() as u64 + 1;
         let irr_cost = expanded.num_cubes() as u64 * rest;
         if !meter.charge(irr_cost) {
             return truncated(expanded, &meter);
         }
-        let irr = irredundant(&expanded, &dc);
+        let irr = {
+            let _s = obs::span("espresso.irredundant");
+            obs::add(obs::Ctr::CubeWordOps, irr_cost.saturating_mul(words));
+            irredundant(&expanded, &dc)
+        };
         let cost = (irr.num_cubes(), irr.num_literals());
         if cost >= best_cost {
             return MinimizeOutcome {
@@ -241,7 +278,11 @@ pub fn minimize_with_off_budgeted(
         if !meter.charge(reduce_cost) {
             return truncated(irr, &meter);
         }
-        current = reduce(&irr, &dc);
+        current = {
+            let _s = obs::span("espresso.reduce");
+            obs::add(obs::Ctr::CubeWordOps, reduce_cost.saturating_mul(words));
+            reduce(&irr, &dc)
+        };
     }
 }
 

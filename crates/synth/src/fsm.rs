@@ -15,6 +15,7 @@
 use std::time::{Duration, Instant};
 
 use adgen_netlist::{CellKind, NetId, Netlist};
+use adgen_obs as obs;
 
 use crate::cover::Cover;
 use crate::encoding::Encoding;
@@ -130,6 +131,7 @@ impl Fsm {
         encoding: Encoding,
         style: OutputStyle,
     ) -> Result<SynthesizedFsm, SynthError> {
+        let _span = obs::span_arg("fsm.synthesize", self.num_states() as u64);
         let started = Instant::now();
         let n = self.num_states();
         // Validate outputs against the style.
@@ -173,6 +175,7 @@ impl Fsm {
         style: OutputStyle,
         prefix: &str,
     ) -> Result<Vec<NetId>, SynthError> {
+        let _span = obs::span_arg("fsm.build_into", self.num_states() as u64);
         let limit = style.limit();
         if let Some(&bad) = self.output.iter().find(|&&v| v >= limit) {
             return Err(SynthError::OutputOutOfRange { value: bad, limit });

@@ -11,6 +11,7 @@
 //! rather than from curve fitting.
 
 use adgen_netlist::{CellKind, NetId, Netlist, NetlistError};
+use adgen_obs as obs;
 
 use crate::error::SynthError;
 use crate::techmap::and_tree;
@@ -49,6 +50,7 @@ pub fn build_counter(
     enable: NetId,
     prefix: &str,
 ) -> Result<Counter, SynthError> {
+    let _span = obs::span_arg("mapgen.build_counter", u64::from(width));
     assert!(width > 0, "counter width must be nonzero");
     if width > MAX_COUNTER_WIDTH {
         return Err(SynthError::WidthTooLarge {
@@ -220,6 +222,7 @@ pub fn build_ring_counter(
     enable: NetId,
     prefix: &str,
 ) -> Result<ModCounter, SynthError> {
+    let _span = obs::span_arg("mapgen.build_ring_counter", length);
     assert!(length > 0, "ring length must be nonzero");
     if length == 1 {
         return Ok(ModCounter {
@@ -399,6 +402,7 @@ pub fn build_rom(
     use crate::cover::Cover;
     use crate::espresso;
     use crate::techmap::{literal_rails, map_sop};
+    let _span = obs::span_arg("mapgen.build_rom", words.len() as u64);
     assert!(!words.is_empty(), "ROM must have contents");
     assert!(width > 0, "ROM width must be nonzero");
     if index.len() > 12 {

@@ -9,6 +9,10 @@
 #   5. fuzz smoke        (fixed-seed differential fuzz, 200 cases)
 #   6. fault smoke       (fixed-seed fault campaign, 4x4 array,
 #                         full select-line stuck-at list)
+#   7. obs stage         (exporter goldens + jobs-invariance tests,
+#                         then an overhead guard: the instrumented
+#                         fuzz smoke must stay within 5% + 1s of the
+#                         uninstrumented baseline)
 #
 # Set CI_SLOW=1 to additionally run the #[ignore]d large
 # configurations (512x512 / 256x256 scale tests) and the exhaustive
@@ -37,6 +41,27 @@ cargo run --release -p adgen-fuzz -- --iters 200 --seed 1
 
 echo "==> fault-campaign smoke (fixed seed, 4x4, full select-line fault list)"
 cargo run --release -p adgen-bench --bin faultcamp -- --smoke --seed 2026
+
+echo "==> obs: exporter goldens + jobs-invariance + trace schema"
+cargo test --release -q -p adgen-obs
+cargo test --release -q -p adgen-bench --test trace_schema
+cargo test --release -q --test golden_obs
+
+echo "==> obs: instrumentation overhead guard (<5% + 1s on the fuzz smoke)"
+fuzz_bin="target/release/fuzz"
+now_ns() { date +%s%N; }
+t0=$(now_ns)
+"$fuzz_bin" --iters 200 --seed 1 > /dev/null
+base_ns=$(( $(now_ns) - t0 ))
+t0=$(now_ns)
+"$fuzz_bin" --iters 200 --seed 1 --metrics > /dev/null
+obs_ns=$(( $(now_ns) - t0 ))
+limit_ns=$(( base_ns + base_ns / 20 + 1000000000 ))
+echo "    baseline ${base_ns}ns, instrumented ${obs_ns}ns, limit ${limit_ns}ns"
+if (( obs_ns > limit_ns )); then
+  echo "FAIL: instrumented fuzz smoke exceeded the overhead budget" >&2
+  exit 1
+fi
 
 if [[ "${CI_SLOW:-0}" == "1" ]]; then
   echo "==> slow tier: ignored scale tests"

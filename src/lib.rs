@@ -54,6 +54,7 @@
 //! | [`explorer`] | `adgen-explorer` | candidates, Pareto, selection, reports, power & resilience comparisons |
 //! | [`fault`] | `adgen-fault` | stuck-at / SEU fault models, deterministic injection campaigns, coverage classification |
 //! | [`exec`] | `adgen-exec` | scoped thread pool with deterministic ordering, seedable PRNG |
+//! | [`obs`] | `adgen-obs` | zero-dep observability: spans, typed counters, Chrome-trace and profile exporters |
 
 pub use adgen_cntag as cntag;
 pub use adgen_core as core;
@@ -62,6 +63,7 @@ pub use adgen_explorer as explorer;
 pub use adgen_fault as fault;
 pub use adgen_memory as memory;
 pub use adgen_netlist as netlist;
+pub use adgen_obs as obs;
 pub use adgen_seq as seq;
 pub use adgen_synth as synth;
 
