@@ -1,0 +1,422 @@
+//! `loadgen` — load generator and benchmark for `adgen-serve`.
+//!
+//! ```text
+//! cargo run --release -p adgen-bench --bin loadgen               # spawn + drive a server
+//! cargo run --release -p adgen-bench --bin loadgen -- --smoke    # small CI preset
+//! cargo run --release -p adgen-bench --bin loadgen -- --addr HOST:PORT
+//! ```
+//!
+//! By default the generator spawns an in-process server on an
+//! ephemeral loopback port, drives it with a seed-deterministic
+//! request mix for `--passes` passes (same requests every pass, so
+//! pass 2 onward measures the warm cache), and writes
+//! `BENCH_serve.json` with per-pass throughput, latency percentiles
+//! and cache hit rates. With `--addr` it drives an external server
+//! instead, metering hit rates via `Stats` snapshot deltas;
+//! `--shutdown` then also sends `Shutdown` when done (the CI smoke
+//! stage uses this for its clean-exit assertion).
+//!
+//! The generator is also a correctness harness: it remembers every
+//! cold-pass response payload and byte-compares the warm passes
+//! against it, and it exits nonzero when the warm hit rate falls
+//! below 90% — the property the CI smoke stage relies on.
+//!
+//! Observability: `--trace FILE` / `--metrics` as in `repro`; the
+//! server's dispatcher recording (spans, serve counters) is spliced
+//! into the generator's session so one trace shows both sides.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
+use adgen_exec::Prng;
+use adgen_serve::{serve, Client, Request, Response, ServeConfig, ServerHandle, StatsSnapshot};
+use adgen_synth::Encoding;
+
+/// One pass's measurements, as reported in `BENCH_serve.json`.
+struct PassRow {
+    pass: usize,
+    requests: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    hit_mem: u64,
+    hit_disk: u64,
+    miss: u64,
+    hit_rate: f64,
+}
+
+struct LoadgenState {
+    jobs: usize,
+    seed: u64,
+    passes: Vec<PassRow>,
+}
+
+struct Options {
+    addr: Option<String>,
+    requests: usize,
+    passes: usize,
+    seed: u64,
+    jobs: usize,
+    cache_dir: Option<PathBuf>,
+    smoke: bool,
+    shutdown: bool,
+}
+
+fn main() {
+    let (raw, obs_args) = take_obs_args(std::env::args().skip(1).collect());
+    let mut opt = Options {
+        addr: None,
+        requests: 48,
+        passes: 2,
+        seed: 0xADE5,
+        jobs: 0,
+        cache_dir: None,
+        smoke: false,
+        shutdown: false,
+    };
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => opt.addr = Some(expect(&a, it.next())),
+            "--requests" => opt.requests = parse(&a, it.next()),
+            "--passes" => opt.passes = parse(&a, it.next()),
+            "--seed" => opt.seed = parse(&a, it.next()),
+            "--jobs" | "-j" => opt.jobs = parse(&a, it.next()),
+            "--cache-dir" => opt.cache_dir = Some(PathBuf::from(expect(&a, it.next()))),
+            "--smoke" => opt.smoke = true,
+            "--shutdown" => opt.shutdown = true,
+            other => {
+                eprintln!(
+                    "error: unknown argument `{other}` \
+                     (known: --addr --requests --passes --seed --jobs --cache-dir \
+                     --smoke --shutdown --trace --metrics)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if opt.smoke {
+        opt.requests = opt.requests.min(12);
+    }
+    if opt.passes == 0 {
+        opt.passes = 1;
+    }
+
+    let recording = obs_args.recording();
+    let mut sink = ObsJsonSink::new(
+        "BENCH_serve.json",
+        obs_args,
+        LoadgenState {
+            jobs: adgen_exec::resolve_jobs(opt.jobs),
+            seed: opt.seed,
+            passes: Vec::new(),
+        },
+        render_serve_json,
+    );
+
+    // Spawn an in-process server unless pointed at an external one.
+    let (addr, handle) = match &opt.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let config = ServeConfig {
+                jobs: opt.jobs,
+                cache_dir: opt.cache_dir.clone(),
+                observe: recording,
+                ..ServeConfig::default()
+            };
+            let handle = match serve(config) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("error: could not start server: {e}");
+                    std::process::exit(1);
+                }
+            };
+            (handle.local_addr().to_string(), Some(handle))
+        }
+    };
+    println!(
+        "loadgen: {} requests x {} passes against {addr} (seed {:#x})",
+        opt.requests, opt.passes, opt.seed
+    );
+
+    let mix = request_mix(opt.requests, opt.seed, opt.smoke);
+    let mut failures = 0usize;
+    // Cold-pass payloads by canonical request bytes: warm passes must
+    // return byte-identical responses.
+    let mut expected: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+
+    for pass in 0..opt.passes {
+        let mut client = match Client::connect(&addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: pass {pass}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let before = stats_of(&mut client);
+
+        // Same requests each pass, pass-dependent order: warm passes
+        // prove the cache is order-insensitive.
+        let mut order: Vec<usize> = (0..mix.len()).collect();
+        Prng::for_stream(opt.seed, pass as u64 + 1).shuffle(&mut order);
+
+        let mut latencies_ns: Vec<u64> = Vec::with_capacity(mix.len());
+        let started = Instant::now();
+        for &i in &order {
+            let req = &mix[i];
+            let t0 = Instant::now();
+            let payload = match client.call_raw(req, 0) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: request failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            latencies_ns.push(t0.elapsed().as_nanos() as u64);
+            if let Ok(Response::Error(e)) = Response::decode(&payload) {
+                eprintln!("FAIL: server error for {req:?}: {e}");
+                failures += 1;
+            }
+            match expected.entry(req.encode()) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(payload);
+                }
+                std::collections::hash_map::Entry::Occupied(o) => {
+                    if *o.get() != payload {
+                        eprintln!("FAIL: warm response differs from cold for {req:?}");
+                        failures += 1;
+                    }
+                }
+            }
+        }
+        let wall_s = started.elapsed().as_secs_f64();
+        let after = stats_of(&mut client);
+
+        let hit_mem = after.cache_hit_mem - before.cache_hit_mem;
+        let hit_disk = after.cache_hit_disk - before.cache_hit_disk;
+        let miss = after.cache_miss - before.cache_miss;
+        let looked_up = hit_mem + hit_disk + miss;
+        let hit_rate = if looked_up > 0 {
+            (hit_mem + hit_disk) as f64 / looked_up as f64
+        } else {
+            0.0
+        };
+
+        latencies_ns.sort_unstable();
+        let pct = |p: usize| -> f64 {
+            let idx = (latencies_ns.len() - 1) * p / 100;
+            latencies_ns[idx] as f64 / 1.0e6
+        };
+        let row = PassRow {
+            pass,
+            requests: mix.len(),
+            wall_s,
+            throughput_rps: mix.len() as f64 / wall_s,
+            p50_ms: pct(50),
+            p95_ms: pct(95),
+            p99_ms: pct(99),
+            hit_mem,
+            hit_disk,
+            miss,
+            hit_rate,
+        };
+        println!(
+            "pass {}: {:.2} req/s, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
+             cache {}/{}/{} (mem/disk/miss), hit rate {:.1}%",
+            row.pass,
+            row.throughput_rps,
+            row.p50_ms,
+            row.p95_ms,
+            row.p99_ms,
+            row.hit_mem,
+            row.hit_disk,
+            row.miss,
+            row.hit_rate * 100.0
+        );
+        if pass > 0 && row.hit_rate < 0.9 {
+            eprintln!(
+                "FAIL: warm pass {} hit rate {:.1}% is below 90%",
+                pass,
+                row.hit_rate * 100.0
+            );
+            failures += 1;
+        }
+        sink.state().passes.push(row);
+    }
+
+    // Shut the in-process server down and fold its recording into
+    // ours so the trace and metrics show both sides. An external
+    // server is only shut down when asked (`--shutdown`, the CI
+    // smoke stage's clean-exit path).
+    if let Some(handle) = handle {
+        shutdown(&addr, handle, recording);
+    } else if opt.shutdown {
+        match Client::connect(&addr).and_then(|mut c| c.call(&Request::Shutdown, 0)) {
+            Ok(Response::ShuttingDown) => println!("loadgen: external server shutting down"),
+            Ok(other) => eprintln!("warning: unexpected shutdown response {other:?}"),
+            Err(e) => eprintln!("warning: shutdown request failed: {e}"),
+        }
+    }
+
+    sink.finish();
+    if failures > 0 {
+        eprintln!("loadgen: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("loadgen: all passes clean");
+}
+
+/// The seed-deterministic request mix: mappable and restriction-
+/// violating map requests, synthesis at two effort levels across the
+/// encodings, and (outside smoke mode) a couple of explorations.
+fn request_mix(total: usize, seed: u64, smoke: bool) -> Vec<Request> {
+    let mut prng = Prng::for_stream(seed, 0);
+    let mut mix: Vec<Request> = Vec::with_capacity(total);
+    while mix.len() < total {
+        let kind = prng.next_range(if smoke { 8 } else { 10 });
+        match kind {
+            // Mappable SRAG sequence: each of n addresses held for d
+            // `next` pulses, the whole ring repeated twice.
+            0..=3 => {
+                let n = 2 + prng.next_range(6) as u32;
+                let d = 1 + prng.next_range(3) as usize;
+                let mut sequence = Vec::with_capacity((n as usize) * d * 2);
+                for _ in 0..2 {
+                    for a in 0..n {
+                        sequence.extend(std::iter::repeat_n(a, d));
+                    }
+                }
+                mix.push(Request::MapSequence { sequence });
+            }
+            // A DivCnt-violating sequence: the mapper must answer
+            // with a typed violation, not an error.
+            4 => {
+                let n = 3 + prng.next_range(4) as u32;
+                let mut sequence: Vec<u32> = (0..n).collect();
+                sequence.push(n - 1); // uneven repetition
+                sequence.extend(0..n);
+                mix.push(Request::MapSequence { sequence });
+            }
+            // FSM synthesis of a shuffled small sequence.
+            5..=7 => {
+                let n = 4 + prng.next_range(5) as u32;
+                let mut sequence: Vec<u32> = (0..n).collect();
+                prng.shuffle(&mut sequence);
+                let encoding = match prng.next_range(3) {
+                    0 => Encoding::Binary,
+                    1 => Encoding::Gray,
+                    _ => Encoding::OneHot,
+                };
+                // Half the synthesis load runs under a tiny espresso
+                // budget, exercising the truncated-result cache keys.
+                let effort_steps = if prng.next_range(2) == 0 { 0 } else { 64 };
+                mix.push(Request::Synthesize {
+                    sequence,
+                    encoding,
+                    num_lines: n,
+                    effort_steps,
+                });
+            }
+            // Full design-space exploration of a raster workload.
+            _ => {
+                let side = 4u32;
+                let sequence: Vec<u32> = (0..side * side).collect();
+                mix.push(Request::Explore {
+                    sequence,
+                    width: side,
+                    height: side,
+                    fsm_state_limit: 0,
+                });
+            }
+        }
+    }
+    mix
+}
+
+fn stats_of(client: &mut Client) -> StatsSnapshot {
+    match client.call(&Request::Stats, 0) {
+        Ok(Response::Stats(s)) => s,
+        Ok(other) => {
+            eprintln!("error: unexpected stats response {other:?}");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: stats request failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn shutdown(addr: &str, handle: ServerHandle, recording: bool) {
+    match Client::connect(addr).and_then(|mut c| c.call(&Request::Shutdown, 0)) {
+        Ok(Response::ShuttingDown) => {}
+        Ok(other) => eprintln!("warning: unexpected shutdown response {other:?}"),
+        Err(e) => eprintln!("warning: shutdown request failed: {e}"),
+    }
+    let (stats, rec) = handle.join();
+    println!(
+        "server: queue high water {}, {} batch(es), {} deadline expiration(s)",
+        stats.queue_high_water, stats.batches, stats.deadline_expired
+    );
+    if recording {
+        if let Some(rec) = rec {
+            adgen_obs::splice(rec);
+        }
+    }
+}
+
+fn expect(flag: &str, value: Option<String>) -> String {
+    value.unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    expect(flag, value).parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} needs a valid value");
+        std::process::exit(2);
+    })
+}
+
+/// Renders `BENCH_serve.json` (hand-rolled, like the other bench
+/// records — the workspace is zero-dependency).
+fn render_serve_json(state: &LoadgenState, meta: &RunMeta) -> String {
+    let mut passes = String::new();
+    for (i, p) in state.passes.iter().enumerate() {
+        if i > 0 {
+            passes.push_str(",\n");
+        }
+        passes.push_str(&format!(
+            "    {{\"pass\": {}, \"requests\": {}, \"wall_s\": {:.6}, \
+             \"throughput_rps\": {:.3}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+             \"p99_ms\": {:.4}, \"cache\": {{\"hit_mem\": {}, \"hit_disk\": {}, \
+             \"miss\": {}, \"hit_rate\": {:.4}}}}}",
+            p.pass,
+            p.requests,
+            p.wall_s,
+            p.throughput_rps,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms,
+            p.hit_mem,
+            p.hit_disk,
+            p.miss,
+            p.hit_rate
+        ));
+    }
+    let metrics = meta
+        .metrics
+        .clone()
+        .map(|m| format!(",\n  \"metrics\": {m}"))
+        .unwrap_or_default();
+    format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
+         \"truncated\": {},\n  \"passes\": [\n{passes}\n  ]{metrics}\n}}\n",
+        state.jobs, state.seed, meta.truncated
+    )
+}

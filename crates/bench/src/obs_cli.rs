@@ -122,7 +122,16 @@ fn flush<S>(inner: SinkInner<S>, truncated: bool) {
     let metrics = match &rec {
         Some(rec) if inner.args.metrics => {
             print!("{}", obs::profile_report(rec, redact));
-            Some(obs::metrics_json_block(rec, "  "))
+            if let Some(w) = obs::worker_imbalance(rec).filter(|_| !redact) {
+                println!(
+                    "# worker imbalance: {} worker(s), busy {} / {} ns (max/min = {:.2})",
+                    w.workers,
+                    w.max_busy_ns,
+                    w.min_busy_ns,
+                    w.ratio()
+                );
+            }
+            Some(obs::metrics_json_block(rec, "  ", redact))
         }
         _ => None,
     };

@@ -6,6 +6,7 @@ use adgen_cntag::{
 use adgen_core::composite::Srag2d;
 use adgen_core::multi_counter::{map_sequence_relaxed, MultiCounterSragNetlist};
 use adgen_netlist::{AreaReport, Library, TimingAnalysis};
+use adgen_obs as obs;
 use adgen_seq::{AddressSequence, ArrayShape, Layout};
 use adgen_synth::{Encoding, Fsm, OutputStyle};
 
@@ -123,6 +124,7 @@ pub fn evaluate_jobs(
     options: &EvaluateOptions,
     jobs: usize,
 ) -> Evaluation {
+    let _eval_span = obs::span_arg("explorer.evaluate", sequence.len() as u64);
     let mut families = vec![
         Architecture::Srag,
         Architecture::MultiCounterSrag,
@@ -137,7 +139,13 @@ pub fn evaluate_jobs(
             .map(|&e| Architecture::SymbolicFsm(e)),
     );
 
-    let results = adgen_exec::par_map(&families, jobs, |_, &arch| {
+    // One span (and one counter tick) per candidate architecture
+    // enumerated — not per comparison — so a trace of an exploration
+    // shows where each family's evaluation time went. The span arg is
+    // the family's index in the fixed enumeration order.
+    let results = adgen_exec::par_map(&families, jobs, |i, &arch| {
+        let _candidate_span = obs::span_arg("explorer.candidate", i as u64);
+        obs::add(obs::Ctr::ExplorerCandidates, 1);
         evaluate_family(arch, sequence, shape, library, options)
     });
 

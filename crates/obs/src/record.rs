@@ -85,10 +85,34 @@ pub enum Ctr {
     FaultSilent,
     /// Faults classified as benign.
     FaultBenign,
+    /// Architecture candidates enumerated by the explorer (one per
+    /// family actually evaluated, implementable or rejected).
+    ExplorerCandidates,
+    /// `MapSequence` requests admitted by the serve subsystem.
+    ServeReqMap,
+    /// `Synthesize` requests admitted by the serve subsystem.
+    ServeReqSynthesize,
+    /// `Explore` requests admitted by the serve subsystem.
+    ServeReqExplore,
+    /// Control-plane requests (`Ping`/`Stats`/`Shutdown`) handled
+    /// inline by a connection thread.
+    ServeReqControl,
+    /// Result-cache lookups answered by the in-memory LRU tier.
+    ServeCacheHitMem,
+    /// Result-cache lookups answered by the on-disk store.
+    ServeCacheHitDisk,
+    /// Result-cache lookups that fell through to computation.
+    ServeCacheMiss,
+    /// Admission-queue depth high-water mark. Recorded as cumulative
+    /// increments of the maximum, so the *total* equals the high
+    /// water, jobs-invariantly.
+    ServeQueueHighWater,
+    /// Requests answered with `ServeError::Deadline`.
+    ServeDeadline,
 }
 
 /// Number of counter variants (the arena array length).
-pub const NUM_CTRS: usize = 18;
+pub const NUM_CTRS: usize = 28;
 
 impl Ctr {
     /// Every counter, in declaration order.
@@ -111,6 +135,16 @@ impl Ctr {
         Ctr::FaultAlarmed,
         Ctr::FaultSilent,
         Ctr::FaultBenign,
+        Ctr::ExplorerCandidates,
+        Ctr::ServeReqMap,
+        Ctr::ServeReqSynthesize,
+        Ctr::ServeReqExplore,
+        Ctr::ServeReqControl,
+        Ctr::ServeCacheHitMem,
+        Ctr::ServeCacheHitDisk,
+        Ctr::ServeCacheMiss,
+        Ctr::ServeQueueHighWater,
+        Ctr::ServeDeadline,
     ];
 
     /// The exported metric name.
@@ -134,6 +168,16 @@ impl Ctr {
             Ctr::FaultAlarmed => "fault.alarmed",
             Ctr::FaultSilent => "fault.silent",
             Ctr::FaultBenign => "fault.benign",
+            Ctr::ExplorerCandidates => "explorer.candidates",
+            Ctr::ServeReqMap => "serve.req.map",
+            Ctr::ServeReqSynthesize => "serve.req.synthesize",
+            Ctr::ServeReqExplore => "serve.req.explore",
+            Ctr::ServeReqControl => "serve.req.control",
+            Ctr::ServeCacheHitMem => "serve.cache.hit.mem",
+            Ctr::ServeCacheHitDisk => "serve.cache.hit.disk",
+            Ctr::ServeCacheMiss => "serve.cache.miss",
+            Ctr::ServeQueueHighWater => "serve.queue.high_water",
+            Ctr::ServeDeadline => "serve.deadline.expired",
         }
     }
 

@@ -141,11 +141,59 @@ fn render_node(nodes: &[Node], idx: usize, depth: usize, redact: bool, out: &mut
     }
 }
 
+/// Worker-balance summary of the `par_map` fan-outs in a recording,
+/// distilled from the per-worker busy-time map the pool records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerImbalance {
+    /// Workers that reported busy time.
+    pub workers: usize,
+    /// Largest per-worker busy total, nanoseconds.
+    pub max_busy_ns: u64,
+    /// Smallest per-worker busy total, nanoseconds.
+    pub min_busy_ns: u64,
+}
+
+impl WorkerImbalance {
+    /// `max / min` busy-time ratio — `1.0` is a perfectly balanced
+    /// fan-out. Infinite when a worker never got an item.
+    pub fn ratio(&self) -> f64 {
+        self.max_busy_ns as f64 / self.min_busy_ns as f64
+    }
+}
+
+/// Summarizes the per-worker `par_map.worker*.busy_ns` timing metrics
+/// (summed over every fan-out of the run) into a max/min imbalance
+/// report. `None` when the recording holds no worker busy times —
+/// e.g. a serial run, or a recording taken without an exec fan-out.
+///
+/// The numbers are wall-clock and therefore nondeterministic; callers
+/// emitting byte-compared output must elide them (the `--metrics`
+/// block does so under `OBS_REDACT=1`).
+pub fn worker_imbalance(rec: &Recording) -> Option<WorkerImbalance> {
+    let busy: Vec<u64> = rec
+        .timings
+        .iter()
+        .filter(|(k, _)| k.starts_with("par_map.worker") && k.ends_with(".busy_ns"))
+        .map(|(_, &v)| v)
+        .collect();
+    if busy.is_empty() {
+        return None;
+    }
+    Some(WorkerImbalance {
+        workers: busy.len(),
+        max_busy_ns: busy.iter().copied().max().unwrap_or(0),
+        min_busy_ns: busy.iter().copied().min().unwrap_or(0),
+    })
+}
+
 /// Renders the `metrics` block appended to `BENCH_repro.json` /
-/// `BENCH_fault.json`: the typed counter totals plus the span count.
-/// Both are jobs-invariant, so the block is byte-identical for a
-/// given seed at any `--jobs` value.
-pub fn metrics_json_block(rec: &Recording, indent: &str) -> String {
+/// `BENCH_fault.json` / `BENCH_serve.json`: the typed counter totals
+/// plus the span count, and — unless `redact` — the worker-imbalance
+/// summary of the run's `par_map` fan-outs. Counters and spans are
+/// jobs-invariant, so under redaction the block is byte-identical for
+/// a given seed at any `--jobs` value; the imbalance summary is
+/// wall-clock and is elided then (rendered as `null`).
+pub fn metrics_json_block(rec: &Recording, indent: &str, redact: bool) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "{indent}  \"spans\": {},", rec.spans.len());
@@ -155,7 +203,23 @@ pub fn metrics_json_block(rec: &Recording, indent: &str) -> String {
         let comma = if i + 1 < counters.len() { "," } else { "" };
         let _ = writeln!(s, "{indent}    \"{}\": {value}{comma}", ctr.name());
     }
-    let _ = writeln!(s, "{indent}  }}");
+    let _ = writeln!(s, "{indent}  }},");
+    match worker_imbalance(rec).filter(|_| !redact) {
+        Some(w) => {
+            let _ = writeln!(
+                s,
+                "{indent}  \"worker_imbalance\": {{\"workers\": {}, \"max_busy_ns\": {}, \
+                 \"min_busy_ns\": {}, \"ratio\": {:.4}}}",
+                w.workers,
+                w.max_busy_ns,
+                w.min_busy_ns,
+                w.ratio()
+            );
+        }
+        None => {
+            let _ = writeln!(s, "{indent}  \"worker_imbalance\": null");
+        }
+    }
     let _ = write!(s, "{indent}}}");
     s
 }
@@ -238,8 +302,40 @@ mod tests {
     #[test]
     fn metrics_block_is_valid_json() {
         let rec = nested_recording();
-        let block = metrics_json_block(&rec, "  ");
+        let block = metrics_json_block(&rec, "  ", false);
         crate::json::parse(&block).expect("metrics block parses");
         assert!(block.contains("\"fuzz.cases\": 3"));
+        // No fan-out happened, so there is nothing to summarize.
+        assert!(block.contains("\"worker_imbalance\": null"), "{block}");
+    }
+
+    #[test]
+    fn worker_imbalance_summarizes_busy_times() {
+        start();
+        crate::record::timing("par_map.worker0.busy_ns".to_string(), 400);
+        crate::record::timing("par_map.worker1.busy_ns".to_string(), 100);
+        crate::record::timing("par_map.worker0.items".to_string(), 3);
+        let rec = take();
+        let w = worker_imbalance(&rec).expect("busy times present");
+        assert_eq!(w.workers, 2);
+        assert_eq!(w.max_busy_ns, 400);
+        assert_eq!(w.min_busy_ns, 100);
+        assert!((w.ratio() - 4.0).abs() < 1e-12);
+
+        let full = metrics_json_block(&rec, "  ", false);
+        crate::json::parse(&full).expect("full metrics block parses");
+        assert!(full.contains("\"ratio\": 4.0000"), "{full}");
+        // Redaction elides the nondeterministic summary entirely.
+        let redacted = metrics_json_block(&rec, "  ", true);
+        crate::json::parse(&redacted).expect("redacted metrics block parses");
+        assert!(
+            redacted.contains("\"worker_imbalance\": null"),
+            "{redacted}"
+        );
+    }
+
+    #[test]
+    fn worker_imbalance_absent_without_fanout() {
+        assert_eq!(worker_imbalance(&Recording::default()), None);
     }
 }

@@ -1,0 +1,118 @@
+//! `adgen-serve` — the batch compilation server, from the command
+//! line.
+//!
+//! ```text
+//! adgen-serve [--addr HOST:PORT] [--jobs N] [--batch N]
+//!             [--queue-cap N] [--deadline-ms N]
+//!             [--cache-dir DIR] [--cache-entries N]
+//!             [--metrics] [--trace FILE]
+//! ```
+//!
+//! Binds (default `127.0.0.1:0`, an ephemeral port), prints
+//! `adgen-serve listening on ADDR` once ready — the line scripts wait
+//! for — and runs until a client sends `Shutdown`. With `--metrics`
+//! the dispatcher records an adgen-obs session and the profile report
+//! plus the metrics JSON block are printed at shutdown; `--trace`
+//! additionally writes a Chrome trace-event file.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use adgen_obs as obs;
+use adgen_serve::{serve, ServeConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: adgen-serve [--addr HOST:PORT] [--jobs N] [--batch N] \
+         [--queue-cap N] [--deadline-ms N] [--cache-dir DIR] \
+         [--cache-entries N] [--metrics] [--trace FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a valid value");
+        usage()
+    })
+}
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut metrics = false;
+    let mut trace: Option<PathBuf> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = parse("--addr", it.next()),
+            "--jobs" => config.jobs = parse("--jobs", it.next()),
+            "--batch" => config.batch_max = parse("--batch", it.next()),
+            "--queue-cap" => config.queue_cap = parse("--queue-cap", it.next()),
+            "--deadline-ms" => config.default_deadline_ms = parse("--deadline-ms", it.next()),
+            "--cache-dir" => {
+                config.cache_dir = Some(PathBuf::from(parse::<String>("--cache-dir", it.next())))
+            }
+            "--cache-entries" => config.cache_entries = parse("--cache-entries", it.next()),
+            "--metrics" => metrics = true,
+            "--trace" => trace = Some(PathBuf::from(parse::<String>("--trace", it.next()))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    config.observe = metrics || trace.is_some();
+
+    let handle = match serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: could not start server: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // The readiness line scripts (ci.sh, loadgen --spawn) wait for.
+    println!("adgen-serve listening on {}", handle.local_addr());
+    let _ = std::io::stdout().flush();
+
+    let (stats, recording) = handle.join();
+    println!(
+        "adgen-serve shut down: {} map, {} synthesize, {} explore, {} control; \
+         cache {} mem / {} disk hits, {} misses; {} deadline expirations; \
+         queue high water {}",
+        stats.req_map,
+        stats.req_synthesize,
+        stats.req_explore,
+        stats.req_control,
+        stats.cache_hit_mem,
+        stats.cache_hit_disk,
+        stats.cache_miss,
+        stats.deadline_expired,
+        stats.queue_high_water,
+    );
+
+    if let Some(rec) = recording {
+        let redact = obs::redact_from_env();
+        if let Some(path) = &trace {
+            match std::fs::write(path, obs::chrome_trace(&rec, redact)) {
+                Ok(()) => println!("(trace written to {})", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
+        if metrics {
+            print!("{}", obs::profile_report(&rec, redact));
+            if let Some(w) = obs::worker_imbalance(&rec).filter(|_| !redact) {
+                println!(
+                    "# worker imbalance: {} worker(s), busy {} / {} ns (max/min = {:.2})",
+                    w.workers,
+                    w.max_busy_ns,
+                    w.min_busy_ns,
+                    w.ratio()
+                );
+            }
+            println!("{}", obs::metrics_json_block(&rec, "", redact));
+        }
+    }
+}

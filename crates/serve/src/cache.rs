@@ -1,0 +1,375 @@
+//! The two-tier content-addressed result cache.
+//!
+//! Lookups hit an in-memory LRU first, then an on-disk store; disk
+//! hits are promoted back into the LRU. Entries are keyed by a
+//! 128-bit digest of the request's *canonical* encoding plus the
+//! espresso effort budget, so a truncated low-effort synthesis can
+//! never poison a full-effort lookup (and vice versa): the two live
+//! under different keys by construction.
+//!
+//! The cached value is the encoded [`Response`](crate::protocol::Response)
+//! payload — exactly the bytes that go on the wire — which keeps the
+//! disk format identical to the protocol and makes warm responses
+//! byte-for-byte equal to cold ones.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// A 128-bit content address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(pub [u8; 16]);
+
+/// FNV-1a over `bytes`, then over the 8-byte effort budget, from a
+/// caller-chosen basis so two independent streams can be derived.
+fn fnv1a64(basis: u64, bytes: &[u8], effort_steps: u64) -> u64 {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = basis;
+    for &b in bytes.iter().chain(effort_steps.to_le_bytes().iter()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+impl CacheKey {
+    /// Digests a canonical request encoding plus the effort budget it
+    /// pins. Two FNV-1a-64 streams with distinct bases make the
+    /// 128-bit key; collisions would need both 64-bit halves to
+    /// collide simultaneously.
+    pub fn for_request(canonical: &[u8], effort_steps: u64) -> CacheKey {
+        // The standard FNV offset basis, and a second basis derived
+        // by perturbing it with the golden-ratio constant so the two
+        // halves decorrelate.
+        let lo = fnv1a64(0xcbf2_9ce4_8422_2325, canonical, effort_steps);
+        let hi = fnv1a64(
+            0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15,
+            canonical,
+            effort_steps,
+        );
+        let mut key = [0u8; 16];
+        key[..8].copy_from_slice(&lo.to_le_bytes());
+        key[8..].copy_from_slice(&hi.to_le_bytes());
+        CacheKey(key)
+    }
+
+    /// Lowercase hex form — the on-disk file name.
+    pub fn hex(&self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+/// Which tier answered a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The in-memory LRU.
+    Memory,
+    /// The on-disk store (the entry was promoted into the LRU).
+    Disk,
+}
+
+/// A bounded in-memory LRU of encoded response payloads.
+///
+/// Recency is a [`VecDeque`] of keys, most recent at the back;
+/// a touched key is moved to the back, and inserts over capacity
+/// evict from the front. Entry count (not byte size) is the bound —
+/// payloads here are small and uniform enough that counting entries
+/// keeps the arithmetic exact and deterministic.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<CacheKey, Vec<u8>>,
+    order: VecDeque<CacheKey>,
+}
+
+impl LruCache {
+    /// An empty cache bounded to `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn touch(&mut self, key: CacheKey) {
+        if let Some(pos) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(key);
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: CacheKey) -> Option<Vec<u8>> {
+        if self.map.contains_key(&key) {
+            self.touch(key);
+        }
+        self.map.get(&key).cloned()
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry if over capacity. Returns the evicted key, if any.
+    pub fn put(&mut self, key: CacheKey, value: Vec<u8>) -> Option<CacheKey> {
+        self.map.insert(key, value);
+        self.touch(key);
+        if self.map.len() > self.capacity {
+            let victim = self
+                .order
+                .pop_front()
+                .expect("over-capacity cache is nonempty");
+            self.map.remove(&victim);
+            return Some(victim);
+        }
+        None
+    }
+
+    /// Keys from least to most recently used (test/diagnostic view).
+    pub fn keys_by_recency(&self) -> Vec<CacheKey> {
+        self.order.iter().copied().collect()
+    }
+}
+
+/// The content-addressed on-disk tier: one file per key, named by
+/// [`CacheKey::hex`], written atomically (temp file + rename) so a
+/// concurrent reader never sees a torn entry.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn open(dir: &Path) -> std::io::Result<DiskStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    fn path_for(&self, key: CacheKey) -> PathBuf {
+        self.dir.join(key.hex())
+    }
+
+    /// Reads the payload stored under `key`, if present.
+    pub fn get(&self, key: CacheKey) -> Option<Vec<u8>> {
+        std::fs::read(self.path_for(key)).ok()
+    }
+
+    /// Stores `value` under `key` atomically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; a failed write leaves no partial
+    /// entry behind.
+    pub fn put(&self, key: CacheKey, value: &[u8]) -> std::io::Result<()> {
+        let tmp = self.dir.join(format!("{}.tmp", key.hex()));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(value)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.path_for(key))
+    }
+
+    /// Number of committed entries on disk (ignores temp files).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_none_or(|ext| ext != "tmp"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the store holds no committed entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The two tiers composed: LRU in front, disk behind, disk hits
+/// promoted.
+#[derive(Debug)]
+pub struct ResultCache {
+    lru: LruCache,
+    disk: Option<DiskStore>,
+}
+
+impl ResultCache {
+    /// A cache with `lru_entries` in-memory slots and, when `dir` is
+    /// given, a disk tier rooted there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk-tier open failures.
+    pub fn new(lru_entries: usize, dir: Option<&Path>) -> std::io::Result<ResultCache> {
+        Ok(ResultCache {
+            lru: LruCache::new(lru_entries),
+            disk: dir.map(DiskStore::open).transpose()?,
+        })
+    }
+
+    /// Looks up `key`, reporting which tier answered. A disk hit is
+    /// promoted into the LRU so a repeat lookup hits memory.
+    pub fn get(&mut self, key: CacheKey) -> Option<(Vec<u8>, Tier)> {
+        if let Some(v) = self.lru.get(key) {
+            return Some((v, Tier::Memory));
+        }
+        let v = self.disk.as_ref()?.get(key)?;
+        self.lru.put(key, v.clone());
+        Some((v, Tier::Disk))
+    }
+
+    /// Stores `value` in both tiers. Disk write failures are
+    /// swallowed — the cache is an accelerator, not a ledger — but
+    /// the in-memory tier always takes the entry.
+    pub fn put(&mut self, key: CacheKey, value: Vec<u8>) {
+        if let Some(disk) = &self.disk {
+            let _ = disk.put(key, &value);
+        }
+        self.lru.put(key, value);
+    }
+
+    /// Entry count of the in-memory tier.
+    pub fn lru_len(&self) -> usize {
+        self.lru.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u8) -> CacheKey {
+        CacheKey([n; 16])
+    }
+
+    #[test]
+    fn lru_evicts_in_recency_order() {
+        let mut lru = LruCache::new(2);
+        assert_eq!(lru.put(key(1), vec![1]), None);
+        assert_eq!(lru.put(key(2), vec![2]), None);
+        // Touch 1 so 2 becomes the eviction victim.
+        assert_eq!(lru.get(key(1)), Some(vec![1]));
+        assert_eq!(lru.put(key(3), vec![3]), Some(key(2)));
+        assert_eq!(lru.get(key(2)), None);
+        assert_eq!(lru.get(key(1)), Some(vec![1]));
+        assert_eq!(lru.get(key(3)), Some(vec![3]));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn lru_put_refreshes_recency() {
+        let mut lru = LruCache::new(2);
+        lru.put(key(1), vec![1]);
+        lru.put(key(2), vec![2]);
+        lru.put(key(1), vec![10]); // refresh, not insert
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.keys_by_recency(), vec![key(2), key(1)]);
+        assert_eq!(lru.put(key(3), vec![3]), Some(key(2)));
+        assert_eq!(lru.get(key(1)), Some(vec![10]));
+    }
+
+    #[test]
+    fn effort_budget_separates_cache_keys() {
+        let canonical = b"same request bytes";
+        let full = CacheKey::for_request(canonical, 0);
+        let truncated = CacheKey::for_request(canonical, 1000);
+        assert_ne!(
+            full, truncated,
+            "different effort budgets must never share a key"
+        );
+        // And the digest is a pure function of its inputs.
+        assert_eq!(full, CacheKey::for_request(canonical, 0));
+    }
+
+    #[test]
+    fn distinct_requests_get_distinct_keys() {
+        // A light sanity sweep: no collisions across a few hundred
+        // structured inputs.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0u32..256 {
+            for effort in [0u64, 50_000_000] {
+                let canonical = i.to_le_bytes();
+                assert!(
+                    seen.insert(CacheKey::for_request(&canonical, effort)),
+                    "collision at i={i} effort={effort}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disk_store_round_trips() {
+        let dir =
+            std::env::temp_dir().join(format!("adgen-serve-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.is_empty());
+        let k = CacheKey::for_request(b"payload", 0);
+        assert_eq!(store.get(k), None);
+        store.put(k, b"the cached response bytes").unwrap();
+        assert_eq!(store.get(k), Some(b"the cached response bytes".to_vec()));
+        assert_eq!(store.len(), 1);
+        // Overwrite is atomic and idempotent.
+        store.put(k, b"v2").unwrap();
+        assert_eq!(store.get(k), Some(b"v2".to_vec()));
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_hits_promote_into_the_lru() {
+        let dir =
+            std::env::temp_dir().join(format!("adgen-serve-promote-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cache = ResultCache::new(4, Some(&dir)).unwrap();
+        let k = CacheKey::for_request(b"req", 0);
+        cache.put(k, b"resp".to_vec());
+
+        // A fresh cache over the same directory: first hit comes from
+        // disk, second from memory.
+        let mut cold = ResultCache::new(4, Some(&dir)).unwrap();
+        assert_eq!(cold.get(k), Some((b"resp".to_vec(), Tier::Disk)));
+        assert_eq!(cold.get(k), Some((b"resp".to_vec(), Tier::Memory)));
+        assert_eq!(cold.get(CacheKey::for_request(b"other", 0)), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memory_only_cache_works_without_a_disk_tier() {
+        let mut cache = ResultCache::new(2, None).unwrap();
+        let k = CacheKey::for_request(b"req", 0);
+        assert_eq!(cache.get(k), None);
+        cache.put(k, b"resp".to_vec());
+        assert_eq!(cache.get(k), Some((b"resp".to_vec(), Tier::Memory)));
+    }
+
+    #[test]
+    fn hex_names_are_stable_and_filename_safe() {
+        let k = CacheKey::for_request(b"abc", 42);
+        let h = k.hex();
+        assert_eq!(h.len(), 32);
+        assert!(h.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(h, k.hex(), "hex form is deterministic");
+    }
+}

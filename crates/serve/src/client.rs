@@ -1,0 +1,119 @@
+//! A minimal blocking client for the serve protocol — what the load
+//! generator, the CI smoke stage and the end-to-end tests speak.
+
+use std::net::TcpStream;
+
+use crate::protocol::{
+    self, encode_request_frame, read_frame, write_frame, Request, Response, WireError,
+    HANDSHAKE_OK, PROTOCOL_VERSION,
+};
+
+/// Why a client call failed before a typed server response arrived.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer violated the wire format (or closed mid-frame).
+    Wire(WireError),
+    /// The server rejected the handshake.
+    Rejected {
+        /// Version the server speaks.
+        server_version: u16,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Rejected { server_version } => {
+                write!(
+                    f,
+                    "handshake rejected: server speaks v{server_version}, client v{PROTOCOL_VERSION}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One authenticated-by-handshake connection. Requests are
+/// synchronous: one frame out, one frame back.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and performs the version handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] on a version mismatch, otherwise
+    /// I/O or wire errors.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        Client::connect_with_version(addr, PROTOCOL_VERSION)
+    }
+
+    /// [`connect`](Client::connect) offering an explicit version —
+    /// exists so tests can exercise the server's mismatch rejection.
+    ///
+    /// # Errors
+    ///
+    /// As for [`connect`](Client::connect).
+    pub fn connect_with_version(addr: &str, version: u16) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        protocol::write_hello(&mut stream, version)?;
+        let (status, server_version) = protocol::read_hello_reply(&mut stream)?;
+        if status != HANDSHAKE_OK {
+            return Err(ClientError::Rejected { server_version });
+        }
+        Ok(Client { stream })
+    }
+
+    /// Sends `request` with a deadline (milliseconds; `0` = server
+    /// default) and returns the raw encoded response payload — the
+    /// bytes determinism tests compare.
+    ///
+    /// # Errors
+    ///
+    /// I/O or wire errors; a typed server-side failure is a normal
+    /// payload (decode it to see the [`Response::Error`]).
+    pub fn call_raw(
+        &mut self,
+        request: &Request,
+        deadline_ms: u32,
+    ) -> Result<Vec<u8>, ClientError> {
+        write_frame(
+            &mut self.stream,
+            &encode_request_frame(request, deadline_ms),
+        )?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Wire(WireError("server closed before replying".to_string()))
+        })
+    }
+
+    /// Sends `request` and decodes the response.
+    ///
+    /// # Errors
+    ///
+    /// As for [`call_raw`](Client::call_raw), plus decode failures.
+    pub fn call(&mut self, request: &Request, deadline_ms: u32) -> Result<Response, ClientError> {
+        let payload = self.call_raw(request, deadline_ms)?;
+        Ok(Response::decode(&payload)?)
+    }
+}

@@ -1,0 +1,95 @@
+//! Typed request-level failures, carried over the wire as
+//! [`Response::Error`](crate::protocol::Response::Error).
+
+/// Why the server could not (or would not) answer a request with a
+/// result payload. Every variant round-trips through the wire
+/// protocol, so clients can match on the typed reason instead of
+/// parsing strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request's deadline expired before a result could be
+    /// delivered — either while queued or during computation. The
+    /// computed result (if any) is still cached, so an immediate
+    /// retry is cheap.
+    Deadline {
+        /// How long the request had been admitted when the server
+        /// gave up on replying with a payload, milliseconds.
+        waited_ms: u64,
+    },
+    /// The admission queue was at its in-flight cap; the request was
+    /// rejected without queueing. Retry with backoff.
+    QueueFull {
+        /// The configured cap the queue was at.
+        capacity: u32,
+    },
+    /// The client spoke a protocol version the server does not.
+    VersionMismatch {
+        /// Version offered by the client.
+        client: u16,
+        /// Version the server speaks.
+        server: u16,
+    },
+    /// The frame or payload violated the wire format.
+    Protocol(String),
+    /// The request was well-formed but semantically invalid (empty
+    /// sequence, out-of-range geometry, oversized workload).
+    BadRequest(String),
+    /// The server could not process the request for an internal
+    /// reason (e.g. it is shutting down).
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Deadline { waited_ms } => {
+                write!(f, "deadline expired after {waited_ms} ms")
+            }
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::VersionMismatch { client, server } => {
+                write!(
+                    f,
+                    "protocol version mismatch: client v{client}, server v{server}"
+                )
+            }
+            ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Internal(msg) => write!(f, "internal failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errors = [
+            ServeError::Deadline { waited_ms: 12 },
+            ServeError::QueueFull { capacity: 4 },
+            ServeError::VersionMismatch {
+                client: 2,
+                server: 1,
+            },
+            ServeError::Protocol("frame too short".to_string()),
+            ServeError::BadRequest("empty sequence".to_string()),
+            ServeError::Internal("shutting down".to_string()),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "`{msg}` should start lowercase"
+            );
+            assert!(
+                !msg.ends_with('.') && !msg.ends_with('!'),
+                "`{msg}` should not end with punctuation"
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! adgen-serve: the batch compilation service.
+//!
+//! Turns the workspace's mapping, synthesis and exploration pipelines
+//! into a long-lived TCP service: clients submit address-generation
+//! problems over a versioned, length-prefixed binary protocol
+//! ([`protocol`]), an admission queue with per-request deadlines
+//! feeds a batching dispatcher that fans work across
+//! [`adgen_exec::par_map`], and a two-tier content-addressed result
+//! cache ([`cache`]) — in-memory LRU in front of an on-disk store —
+//! answers repeats without recomputation. Cache keys bind the
+//! request's canonical bytes *and* its espresso effort budget, so a
+//! truncated low-effort synthesis can never poison a full-effort
+//! lookup.
+//!
+//! Entry points: [`serve`] to start a server in-process,
+//! [`Client`] to talk to one, and the `adgen-serve` binary for the
+//! command line. The `loadgen` benchmark in `adgen-bench` drives a
+//! server over loopback and reports throughput, latency percentiles
+//! and cache hit rates.
+
+pub mod cache;
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use cache::{CacheKey, DiskStore, LruCache, ResultCache, Tier};
+pub use client::{Client, ClientError};
+pub use error::ServeError;
+pub use protocol::{
+    MapOutcome, Request, Response, StatsSnapshot, SynthReport, MAGIC, PROTOCOL_VERSION,
+};
+pub use server::{serve, ServeConfig, ServeStats, ServerHandle, MAX_SEQUENCE_LEN};

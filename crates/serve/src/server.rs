@@ -1,0 +1,785 @@
+//! The batch compilation server: admission queue, batched dispatch
+//! over [`adgen_exec::par_map`], deadlines and the result cache.
+//!
+//! ## Threading
+//!
+//! One acceptor thread owns the listener; each connection gets a
+//! thread speaking the framed protocol. Control requests (`Ping`,
+//! `Stats`, `Shutdown`) are answered inline by the connection thread;
+//! compute requests are admitted into a bounded queue and answered by
+//! the single *dispatcher* thread, which drains the queue in batches,
+//! answers what it can from the two-tier cache and fans the misses
+//! across `par_map`. Per-job `mpsc` channels carry the encoded
+//! response payload back to the waiting connection thread.
+//!
+//! ## Deadlines
+//!
+//! Each admitted job carries a deadline (from the request envelope,
+//! or the server default). It is checked twice: at dequeue (the job
+//! sat in the queue too long — the work is skipped entirely) and
+//! after computation (the work ran long — the result is *still
+//! cached*, so an immediate retry is cheap). Either way the client
+//! receives a typed [`ServeError::Deadline`], never a hung socket.
+//!
+//! ## Observability
+//!
+//! Statistics are always-on process atomics ([`ServeStats`]), served
+//! to clients via `Stats`. When [`ServeConfig::observe`] is set the
+//! dispatcher additionally records an adgen-obs session (spans from
+//! the pipeline plus the serve counters) and returns the
+//! [`Recording`] from [`ServerHandle::join`]. The serve counters are
+//! mirrored from the atomics in one `add` each at dispatcher exit, so
+//! their totals are invariant under `--jobs` — including the queue
+//! high-water counter, whose *total* equals the high-water mark.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use adgen_core::mapper::map_sequence;
+use adgen_exec::par_map;
+use adgen_explorer::{evaluate, pareto_frontier, EvaluateOptions};
+use adgen_netlist::{AreaReport, Library, TimingAnalysis};
+use adgen_obs as obs;
+use adgen_seq::{AddressSequence, ArrayShape};
+use adgen_synth::{espresso::EffortBudget, Encoding, Fsm, OutputStyle};
+
+use crate::cache::{CacheKey, ResultCache, Tier};
+use crate::error::ServeError;
+use crate::protocol::{
+    self, decode_request_frame, read_frame, write_frame, MapOutcome, Request, Response,
+    StatsSnapshot, SynthReport, HANDSHAKE_OK, HANDSHAKE_REJECT_VERSION, PROTOCOL_VERSION,
+};
+
+/// Longest admissible address sequence. Bounds both memory and the
+/// worst-case synthesis time of a single request.
+pub const MAX_SEQUENCE_LEN: usize = 4096;
+
+/// One-hot state registers beyond this many states would overflow the
+/// encoder's 64-bit code space.
+const MAX_ONE_HOT_STATES: usize = 64;
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads for batch execution (`0` = all cores).
+    pub jobs: usize,
+    /// Most compute jobs drained into one dispatch batch.
+    pub batch_max: usize,
+    /// Admission-queue capacity; pushes beyond it are rejected with
+    /// [`ServeError::QueueFull`].
+    pub queue_cap: usize,
+    /// Deadline applied when a request's envelope says `0`;
+    /// `0` here means effectively unlimited.
+    pub default_deadline_ms: u32,
+    /// In-memory LRU capacity, entries.
+    pub cache_entries: usize,
+    /// On-disk cache directory; `None` disables the disk tier.
+    pub cache_dir: Option<PathBuf>,
+    /// Record an adgen-obs session on the dispatcher thread and
+    /// return it from [`ServerHandle::join`].
+    pub observe: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 0,
+            batch_max: 32,
+            queue_cap: 256,
+            default_deadline_ms: 0,
+            cache_entries: 1024,
+            cache_dir: None,
+            observe: false,
+        }
+    }
+}
+
+/// Always-on server statistics, shared across every thread.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    req_map: AtomicU64,
+    req_synthesize: AtomicU64,
+    req_explore: AtomicU64,
+    req_control: AtomicU64,
+    cache_hit_mem: AtomicU64,
+    cache_hit_disk: AtomicU64,
+    cache_miss: AtomicU64,
+    deadline_expired: AtomicU64,
+    queue_high_water: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl ServeStats {
+    fn observe_queue_depth(&self, depth: u64) {
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            req_map: self.req_map.load(Ordering::Relaxed),
+            req_synthesize: self.req_synthesize.load(Ordering::Relaxed),
+            req_explore: self.req_explore.load(Ordering::Relaxed),
+            req_control: self.req_control.load(Ordering::Relaxed),
+            cache_hit_mem: self.cache_hit_mem.load(Ordering::Relaxed),
+            cache_hit_disk: self.cache_hit_disk.load(Ordering::Relaxed),
+            cache_miss: self.cache_miss.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted compute job.
+struct Job {
+    request: Request,
+    key: CacheKey,
+    deadline: Duration,
+    admitted: Instant,
+    reply: mpsc::Sender<Vec<u8>>,
+}
+
+impl Job {
+    fn waited_ms(&self) -> u64 {
+        self.admitted.elapsed().as_millis() as u64
+    }
+
+    fn expired(&self) -> bool {
+        self.admitted.elapsed() > self.deadline
+    }
+}
+
+/// The bounded admission queue: a mutex-guarded deque plus a condvar
+/// the dispatcher sleeps on.
+pub(crate) struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: std::collections::VecDeque<Job>,
+    closed: bool,
+}
+
+impl AdmissionQueue {
+    fn new(capacity: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                jobs: std::collections::VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits a job, or rejects it when at capacity or closed.
+    /// Returns the post-push depth on success (for high-water
+    /// tracking).
+    fn push(&self, job: Job) -> Result<usize, ServeError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(ServeError::Internal("server is shutting down".to_string()));
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity as u32,
+            });
+        }
+        state.jobs.push_back(job);
+        let depth = state.jobs.len();
+        self.nonempty.notify_one();
+        Ok(depth)
+    }
+
+    /// Takes up to `max` jobs, blocking while the queue is empty.
+    /// `None` once the queue is closed *and* drained.
+    fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if !state.jobs.is_empty() {
+                let n = state.jobs.len().min(max.max(1));
+                return Some(state.jobs.drain(..n).collect());
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.nonempty.wait(state).expect("queue wait");
+        }
+    }
+
+    /// Closes the queue: future pushes fail, the dispatcher drains
+    /// what remains and exits.
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+/// A running server. Dropping the handle does not stop the server;
+/// send [`Request::Shutdown`] (or use the handle with
+/// [`join`](ServerHandle::join) after a client-initiated shutdown).
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    stats: Arc<ServeStats>,
+    acceptor: std::thread::JoinHandle<()>,
+    dispatcher: std::thread::JoinHandle<Option<obs::Recording>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live statistics.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Waits for shutdown, returning the final statistics and — when
+    /// the server was observing — the dispatcher's obs recording.
+    pub fn join(self) -> (StatsSnapshot, Option<obs::Recording>) {
+        self.acceptor.join().expect("acceptor thread");
+        let rec = self.dispatcher.join().expect("dispatcher thread");
+        (self.stats.snapshot(), rec)
+    }
+}
+
+/// Shared server state.
+struct Shared {
+    config: ServeConfig,
+    stats: Arc<ServeStats>,
+    queue: AdmissionQueue,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+/// Binds the listener and spawns the acceptor and dispatcher.
+///
+/// # Errors
+///
+/// Propagates bind and cache-directory failures.
+pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    // Open the cache eagerly so a bad directory fails at startup, not
+    // on the first request.
+    let cache = ResultCache::new(config.cache_entries, config.cache_dir.as_deref())?;
+
+    let stats = Arc::new(ServeStats::default());
+    let shared = Arc::new(Shared {
+        queue: AdmissionQueue::new(config.queue_cap),
+        stats: Arc::clone(&stats),
+        shutdown: AtomicBool::new(false),
+        local_addr,
+        config,
+    });
+
+    let dispatcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("adgen-serve-dispatch".to_string())
+            .spawn(move || run_dispatcher(&shared, cache))?
+    };
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("adgen-serve-accept".to_string())
+            .spawn(move || run_acceptor(shared, listener))?
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        stats,
+        acceptor,
+        dispatcher,
+    })
+}
+
+fn run_acceptor(shared: Arc<Shared>, listener: TcpListener) {
+    let mut conn_threads = Vec::new();
+    for conn in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(&shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("adgen-serve-conn".to_string())
+            .spawn(move || handle_connection(&shared, stream))
+        {
+            conn_threads.push(handle);
+        }
+    }
+    // Let in-flight connections finish their frames before the server
+    // reports itself down.
+    for handle in conn_threads {
+        let _ = handle.join();
+    }
+}
+
+fn run_dispatcher(shared: &Shared, mut cache: ResultCache) -> Option<obs::Recording> {
+    if shared.config.observe {
+        obs::start();
+    }
+    let library = Library::vcl018();
+
+    while let Some(batch) = shared.queue.pop_batch(shared.config.batch_max) {
+        shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let _batch_span = obs::span_arg("serve.batch", batch.len() as u64);
+
+        // Partition: expired at dequeue, cache hits, misses.
+        let mut misses: Vec<Job> = Vec::new();
+        for job in batch {
+            if job.expired() {
+                shared
+                    .stats
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = Response::Error(ServeError::Deadline {
+                    waited_ms: job.waited_ms(),
+                });
+                let _ = job.reply.send(err.encode());
+                continue;
+            }
+            match cache.get(job.key) {
+                Some((payload, tier)) => {
+                    let ctr = match tier {
+                        Tier::Memory => &shared.stats.cache_hit_mem,
+                        Tier::Disk => &shared.stats.cache_hit_disk,
+                    };
+                    ctr.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(payload);
+                }
+                None => {
+                    shared.stats.cache_miss.fetch_add(1, Ordering::Relaxed);
+                    misses.push(job);
+                }
+            }
+        }
+        if misses.is_empty() {
+            continue;
+        }
+
+        // Fan the misses across the worker pool. Each worker handles
+        // one request serially; batch-level parallelism is the only
+        // parallelism, which keeps responses independent of `jobs`.
+        let responses = par_map(&misses, shared.config.jobs, |_, job| {
+            execute(&job.request, &library).encode()
+        });
+
+        for (job, payload) in misses.into_iter().zip(responses) {
+            // A computed result is cached even when the deadline
+            // lapsed mid-computation: the client's retry then hits.
+            cache.put(job.key, payload.clone());
+            if job.expired() {
+                shared
+                    .stats
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = Response::Error(ServeError::Deadline {
+                    waited_ms: job.waited_ms(),
+                });
+                let _ = job.reply.send(err.encode());
+            } else {
+                let _ = job.reply.send(payload);
+            }
+        }
+    }
+
+    if shared.config.observe {
+        // Mirror the atomics into the typed obs counters — one `add`
+        // per counter, at exit, so totals are jobs-invariant. The
+        // high-water counter's total IS the high-water mark.
+        let s = shared.stats.snapshot();
+        for (ctr, v) in [
+            (obs::Ctr::ServeReqMap, s.req_map),
+            (obs::Ctr::ServeReqSynthesize, s.req_synthesize),
+            (obs::Ctr::ServeReqExplore, s.req_explore),
+            (obs::Ctr::ServeReqControl, s.req_control),
+            (obs::Ctr::ServeCacheHitMem, s.cache_hit_mem),
+            (obs::Ctr::ServeCacheHitDisk, s.cache_hit_disk),
+            (obs::Ctr::ServeCacheMiss, s.cache_miss),
+            (obs::Ctr::ServeQueueHighWater, s.queue_high_water),
+            (obs::Ctr::ServeDeadline, s.deadline_expired),
+        ] {
+            if v > 0 {
+                obs::add(ctr, v);
+            }
+        }
+        Some(obs::take())
+    } else {
+        None
+    }
+}
+
+/// Executes one compute request. Infallible at this level: failures
+/// become typed [`Response::Error`] payloads.
+fn execute(request: &Request, library: &Library) -> Response {
+    match request {
+        Request::MapSequence { sequence } => {
+            let _span = obs::span_arg("serve.exec.map", sequence.len() as u64);
+            let seq = AddressSequence::from_vec(sequence.clone());
+            match map_sequence(&seq) {
+                Ok(m) => Response::Mapped(MapOutcome::Mapped {
+                    registers: m
+                        .spec
+                        .registers
+                        .iter()
+                        .map(|r| r.lines().to_vec())
+                        .collect(),
+                    div_count: m.spec.div_count as u32,
+                    pass_count: m.spec.pass_count as u32,
+                    num_lines: m.spec.num_lines as u32,
+                }),
+                Err(e) => Response::Mapped(MapOutcome::Violation {
+                    reason: e.to_string(),
+                }),
+            }
+        }
+        Request::Synthesize {
+            sequence,
+            encoding,
+            num_lines,
+            effort_steps,
+        } => {
+            let _span = obs::span_arg("serve.exec.synthesize", sequence.len() as u64);
+            let budget = if *effort_steps == 0 {
+                EffortBudget::synthesis_default()
+            } else {
+                EffortBudget::steps(*effort_steps)
+            };
+            let style = OutputStyle::SelectLines {
+                num_lines: *num_lines as usize,
+            };
+            let synth = Fsm::cyclic_sequence(sequence)
+                .and_then(|f| f.synthesize_budgeted(*encoding, style, budget));
+            match synth {
+                Ok(s) => match TimingAnalysis::run(&s.netlist, library) {
+                    Ok(t) => Response::Synthesized(SynthReport {
+                        area: AreaReport::of(&s.netlist, library).total(),
+                        delay_ps: t.critical_path_ps(),
+                        flip_flops: s.netlist.num_flip_flops() as u32,
+                        truncated: s.truncated,
+                    }),
+                    Err(e) => Response::Error(ServeError::Internal(e.to_string())),
+                },
+                Err(e) => Response::Error(ServeError::BadRequest(e.to_string())),
+            }
+        }
+        Request::Explore {
+            sequence,
+            width,
+            height,
+            fsm_state_limit,
+        } => {
+            let _span = obs::span_arg("serve.exec.explore", sequence.len() as u64);
+            let seq = AddressSequence::from_vec(sequence.clone());
+            let shape = ArrayShape::new(*width, *height);
+            let mut options = EvaluateOptions::default();
+            if *fsm_state_limit > 0 {
+                options.fsm_state_limit = *fsm_state_limit as usize;
+            }
+            // Serial evaluation: the dispatcher's `par_map` over the
+            // batch is the only parallelism, keeping every response
+            // payload independent of the worker count.
+            let eval = evaluate(&seq, shape, library, &options);
+            let pareto = pareto_frontier(&eval.candidates)
+                .into_iter()
+                .map(|c| protocol::CandidateRow {
+                    architecture: c.architecture.to_string(),
+                    delay_ps: c.delay_ps,
+                    area: c.area,
+                    flip_flops: c.flip_flops as u32,
+                })
+                .collect();
+            Response::Explored {
+                pareto,
+                rejected: eval.rejected.len() as u32,
+            }
+        }
+        // Control kinds never reach the dispatcher.
+        Request::Ping | Request::Stats | Request::Shutdown => Response::Error(
+            ServeError::Internal("control request routed to the dispatcher".to_string()),
+        ),
+    }
+}
+
+/// Validates a compute request before admission.
+fn validate(request: &Request) -> Result<(), ServeError> {
+    let bad = |msg: String| Err(ServeError::BadRequest(msg));
+    match request {
+        Request::MapSequence { sequence } => {
+            if sequence.is_empty() {
+                return bad("sequence is empty".to_string());
+            }
+            if sequence.len() > MAX_SEQUENCE_LEN {
+                return bad(format!(
+                    "sequence length {} exceeds the admissible maximum {MAX_SEQUENCE_LEN}",
+                    sequence.len()
+                ));
+            }
+        }
+        Request::Synthesize {
+            sequence,
+            encoding,
+            num_lines,
+            ..
+        } => {
+            if sequence.is_empty() {
+                return bad("sequence is empty".to_string());
+            }
+            if sequence.len() > MAX_SEQUENCE_LEN {
+                return bad(format!(
+                    "sequence length {} exceeds the admissible maximum {MAX_SEQUENCE_LEN}",
+                    sequence.len()
+                ));
+            }
+            if *encoding == Encoding::OneHot && sequence.len() > MAX_ONE_HOT_STATES {
+                return bad(format!(
+                    "one-hot encoding is limited to {MAX_ONE_HOT_STATES} states, got {}",
+                    sequence.len()
+                ));
+            }
+            if *num_lines == 0 || *num_lines > 4096 {
+                return bad(format!("num_lines {num_lines} out of range 1..=4096"));
+            }
+        }
+        Request::Explore {
+            sequence,
+            width,
+            height,
+            ..
+        } => {
+            if sequence.is_empty() {
+                return bad("sequence is empty".to_string());
+            }
+            if sequence.len() > MAX_SEQUENCE_LEN {
+                return bad(format!(
+                    "sequence length {} exceeds the admissible maximum {MAX_SEQUENCE_LEN}",
+                    sequence.len()
+                ));
+            }
+            if *width == 0 || *height == 0 || *width > 1024 || *height > 1024 {
+                return bad(format!("array shape {width}x{height} out of range"));
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    // Without this, Nagle + delayed ACK puts a ~40 ms floor under
+    // every small response frame, burying cache-hit latency.
+    let _ = stream.set_nodelay(true);
+    // Handshake.
+    let client_version = match protocol::read_hello(&mut stream) {
+        Ok(v) => v,
+        Err(_) => return,
+    };
+    if client_version != PROTOCOL_VERSION {
+        let _ =
+            protocol::write_hello_reply(&mut stream, HANDSHAKE_REJECT_VERSION, PROTOCOL_VERSION);
+        return;
+    }
+    if protocol::write_hello_reply(&mut stream, HANDSHAKE_OK, PROTOCOL_VERSION).is_err() {
+        return;
+    }
+
+    // Frame loop.
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // clean disconnect
+            Err(_) => return,
+        };
+        let (request, deadline_ms) = match decode_request_frame(&payload) {
+            Ok(x) => x,
+            Err(e) => {
+                let resp = Response::Error(ServeError::Protocol(e.0));
+                let _ = write_frame(&mut stream, &resp.encode());
+                return;
+            }
+        };
+
+        let response_payload = if request.is_compute() {
+            handle_compute(shared, request, deadline_ms)
+        } else {
+            shared.stats.req_control.fetch_add(1, Ordering::Relaxed);
+            match request {
+                Request::Ping => Response::Pong.encode(),
+                Request::Stats => Response::Stats(shared.stats.snapshot()).encode(),
+                Request::Shutdown => {
+                    let payload = Response::ShuttingDown.encode();
+                    let _ = write_frame(&mut stream, &payload);
+                    initiate_shutdown(shared);
+                    return;
+                }
+                _ => unreachable!("compute kinds handled above"),
+            }
+        };
+        if write_frame(&mut stream, &response_payload).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_compute(shared: &Arc<Shared>, request: Request, deadline_ms: u32) -> Vec<u8> {
+    if let Err(e) = validate(&request) {
+        return Response::Error(e).encode();
+    }
+
+    let req_ctr = match &request {
+        Request::MapSequence { .. } => &shared.stats.req_map,
+        Request::Synthesize { .. } => &shared.stats.req_synthesize,
+        Request::Explore { .. } => &shared.stats.req_explore,
+        _ => unreachable!("is_compute"),
+    };
+
+    let effective_ms = if deadline_ms > 0 {
+        deadline_ms
+    } else {
+        shared.config.default_deadline_ms
+    };
+    let deadline = if effective_ms == 0 {
+        Duration::from_secs(u64::from(u32::MAX))
+    } else {
+        Duration::from_millis(u64::from(effective_ms))
+    };
+
+    let key = CacheKey::for_request(&request.encode(), request.effort_steps());
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        request,
+        key,
+        deadline,
+        admitted: Instant::now(),
+        reply: tx,
+    };
+    match shared.queue.push(job) {
+        Ok(depth) => {
+            req_ctr.fetch_add(1, Ordering::Relaxed);
+            shared.stats.observe_queue_depth(depth as u64);
+        }
+        Err(e) => return Response::Error(e).encode(),
+    }
+    match rx.recv() {
+        Ok(payload) => payload,
+        Err(_) => Response::Error(ServeError::Internal(
+            "dispatcher dropped the request".to_string(),
+        ))
+        .encode(),
+    }
+}
+
+fn initiate_shutdown(shared: &Arc<Shared>) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    shared.queue.close();
+    // Unblock the acceptor's blocking `accept` with a throwaway
+    // connection to ourselves.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_job() -> (Job, mpsc::Receiver<Vec<u8>>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                request: Request::MapSequence { sequence: vec![0] },
+                key: CacheKey([0; 16]),
+                deadline: Duration::from_secs(60),
+                admitted: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn queue_rejects_pushes_beyond_capacity() {
+        let q = AdmissionQueue::new(2);
+        let (j1, _r1) = dummy_job();
+        let (j2, _r2) = dummy_job();
+        let (j3, _r3) = dummy_job();
+        assert_eq!(q.push(j1).unwrap(), 1);
+        assert_eq!(q.push(j2).unwrap(), 2);
+        match q.push(j3) {
+            Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        // Draining frees capacity again.
+        let batch = q.pop_batch(8).unwrap();
+        assert_eq!(batch.len(), 2);
+        let (j4, _r4) = dummy_job();
+        assert_eq!(q.push(j4).unwrap(), 1);
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_and_drains() {
+        let q = AdmissionQueue::new(4);
+        let (j1, _r1) = dummy_job();
+        q.push(j1).unwrap();
+        q.close();
+        let (j2, _r2) = dummy_job();
+        assert!(matches!(q.push(j2), Err(ServeError::Internal(_))));
+        assert_eq!(q.pop_batch(8).unwrap().len(), 1, "drains remaining work");
+        assert!(q.pop_batch(8).is_none(), "then reports closed");
+    }
+
+    #[test]
+    fn pop_batch_respects_the_batch_cap() {
+        let q = AdmissionQueue::new(8);
+        for _ in 0..5 {
+            let (j, r) = dummy_job();
+            std::mem::forget(r);
+            q.push(j).unwrap();
+        }
+        assert_eq!(q.pop_batch(2).unwrap().len(), 2);
+        assert_eq!(q.pop_batch(2).unwrap().len(), 2);
+        assert_eq!(q.pop_batch(2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_requests() {
+        assert!(validate(&Request::MapSequence { sequence: vec![] }).is_err());
+        assert!(validate(&Request::Synthesize {
+            sequence: (0..100).collect(),
+            encoding: Encoding::OneHot,
+            num_lines: 128,
+            effort_steps: 0,
+        })
+        .is_err());
+        assert!(validate(&Request::Explore {
+            sequence: vec![0, 1],
+            width: 0,
+            height: 4,
+            fsm_state_limit: 0,
+        })
+        .is_err());
+        assert!(validate(&Request::MapSequence {
+            sequence: vec![0; MAX_SEQUENCE_LEN + 1],
+        })
+        .is_err());
+        assert!(validate(&Request::MapSequence {
+            sequence: vec![0, 0, 1, 1],
+        })
+        .is_ok());
+    }
+}

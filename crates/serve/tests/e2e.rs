@@ -1,0 +1,287 @@
+//! End-to-end tests: a real server on a loopback socket, driven
+//! through the public [`Client`].
+//!
+//! Covers the acceptance properties the load generator relies on —
+//! version-mismatch rejection at the handshake, jobs-invariant
+//! response payloads, cache hits on repeats (including the
+//! effort-budget key separation observed over the wire), deadline
+//! expiration with the result still cached, and a clean
+//! client-initiated shutdown with accurate final statistics.
+
+use std::path::PathBuf;
+
+use adgen_serve::{
+    serve, Client, ClientError, MapOutcome, Request, Response, ServeConfig, ServeError,
+    PROTOCOL_VERSION,
+};
+use adgen_synth::Encoding;
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        jobs: 1,
+        ..ServeConfig::default()
+    }
+}
+
+fn start(config: ServeConfig) -> (String, adgen_serve::ServerHandle) {
+    let handle = serve(config).expect("server binds an ephemeral loopback port");
+    (handle.local_addr().to_string(), handle)
+}
+
+fn shut_down(addr: &str, handle: adgen_serve::ServerHandle) -> adgen_serve::StatsSnapshot {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    assert_eq!(
+        client.call(&Request::Shutdown, 0).expect("shutdown call"),
+        Response::ShuttingDown
+    );
+    let (stats, rec) = handle.join();
+    assert!(rec.is_none(), "no recording unless observing");
+    stats
+}
+
+/// A small mixed workload touching every compute kind.
+fn mixed_requests() -> Vec<Request> {
+    vec![
+        Request::MapSequence {
+            sequence: vec![0, 0, 1, 1, 2, 2, 3, 3, 0, 0, 1, 1, 2, 2, 3, 3],
+        },
+        // Uneven hold counts: a typed restriction violation.
+        Request::MapSequence {
+            sequence: vec![0, 1, 2, 2, 0, 1, 2],
+        },
+        Request::Synthesize {
+            sequence: vec![0, 2, 1, 3],
+            encoding: Encoding::Gray,
+            num_lines: 4,
+            effort_steps: 0,
+        },
+        Request::Explore {
+            sequence: (0..16).collect(),
+            width: 4,
+            height: 4,
+            fsm_state_limit: 0,
+        },
+    ]
+}
+
+#[test]
+fn ping_stats_and_clean_shutdown() {
+    let (addr, handle) = start(test_config());
+    let mut client = Client::connect(&addr).expect("connect");
+    assert_eq!(client.call(&Request::Ping, 0).unwrap(), Response::Pong);
+    match client.call(&Request::Stats, 0).unwrap() {
+        Response::Stats(s) => {
+            assert_eq!(s.req_map + s.req_synthesize + s.req_explore, 0);
+            assert!(s.req_control >= 1, "the ping itself is counted");
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    drop(client);
+    let stats = shut_down(&addr, handle);
+    assert!(stats.req_control >= 3, "ping + stats + shutdown");
+}
+
+#[test]
+fn handshake_rejects_a_version_mismatch() {
+    let (addr, handle) = start(test_config());
+    match Client::connect_with_version(&addr, PROTOCOL_VERSION + 1) {
+        Err(ClientError::Rejected { server_version }) => {
+            assert_eq!(server_version, PROTOCOL_VERSION)
+        }
+        Err(other) => panic!("expected handshake rejection, got {other:?}"),
+        Ok(_) => panic!("expected handshake rejection, got a connection"),
+    }
+    // The mismatch did not wedge the server: a well-versioned client
+    // still gets service.
+    let mut ok = Client::connect(&addr).expect("correct version connects");
+    assert_eq!(ok.call(&Request::Ping, 0).unwrap(), Response::Pong);
+    drop(ok);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn compute_kinds_answer_with_their_typed_responses() {
+    let (addr, handle) = start(test_config());
+    let mut client = Client::connect(&addr).expect("connect");
+
+    match client.call(&mixed_requests()[0], 0).unwrap() {
+        Response::Mapped(MapOutcome::Mapped {
+            registers,
+            div_count,
+            pass_count,
+            num_lines,
+        }) => {
+            assert!(!registers.is_empty());
+            assert_eq!((div_count, pass_count, num_lines), (2, 8, 4));
+        }
+        other => panic!("expected a mapping, got {other:?}"),
+    }
+    match client.call(&mixed_requests()[1], 0).unwrap() {
+        Response::Mapped(MapOutcome::Violation { reason }) => {
+            assert!(!reason.is_empty(), "violation carries its reason")
+        }
+        other => panic!("expected a violation, got {other:?}"),
+    }
+    match client.call(&mixed_requests()[2], 0).unwrap() {
+        Response::Synthesized(r) => {
+            assert!(r.area > 0.0 && r.delay_ps > 0.0 && r.flip_flops > 0);
+            assert!(!r.truncated, "default budget never truncates here");
+        }
+        other => panic!("expected a synthesis report, got {other:?}"),
+    }
+    match client.call(&mixed_requests()[3], 0).unwrap() {
+        Response::Explored { pareto, .. } => assert!(!pareto.is_empty()),
+        other => panic!("expected exploration results, got {other:?}"),
+    }
+    // Degenerate input is a typed BadRequest, not a dropped socket.
+    match client
+        .call(&Request::MapSequence { sequence: vec![] }, 0)
+        .unwrap()
+    {
+        Response::Error(ServeError::BadRequest(_)) => {}
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    drop(client);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn response_payloads_are_invariant_under_the_worker_count() {
+    let requests = mixed_requests();
+    let mut payloads_by_jobs: Vec<Vec<Vec<u8>>> = Vec::new();
+    for jobs in [1usize, 4] {
+        let (addr, handle) = start(ServeConfig {
+            jobs,
+            ..ServeConfig::default()
+        });
+        let mut client = Client::connect(&addr).expect("connect");
+        payloads_by_jobs.push(
+            requests
+                .iter()
+                .map(|r| client.call_raw(r, 0).expect("call"))
+                .collect(),
+        );
+        drop(client);
+        shut_down(&addr, handle);
+    }
+    assert_eq!(
+        payloads_by_jobs[0], payloads_by_jobs[1],
+        "identical requests must produce byte-identical payloads at any --jobs"
+    );
+}
+
+#[test]
+fn repeats_hit_the_cache_and_effort_budgets_never_alias() {
+    let (addr, handle) = start(test_config());
+    let mut client = Client::connect(&addr).expect("connect");
+    let full = Request::Synthesize {
+        sequence: vec![0, 1, 2, 3, 4, 5],
+        encoding: Encoding::Binary,
+        num_lines: 6,
+        effort_steps: 0,
+    };
+    // The same sequence under a starvation budget: must be computed
+    // (and cached) separately, never answered from the full-effort
+    // entry.
+    let truncated = Request::Synthesize {
+        sequence: vec![0, 1, 2, 3, 4, 5],
+        encoding: Encoding::Binary,
+        num_lines: 6,
+        effort_steps: 1,
+    };
+
+    let cold_full = client.call_raw(&full, 0).unwrap();
+    let cold_truncated = client.call_raw(&truncated, 0).unwrap();
+    assert_ne!(
+        cold_full, cold_truncated,
+        "a starved espresso run yields a different (truncated) report"
+    );
+    match Response::decode(&cold_truncated).unwrap() {
+        Response::Synthesized(r) => assert!(r.truncated, "starvation budget truncates"),
+        other => panic!("expected a synthesis report, got {other:?}"),
+    }
+
+    let stats_before = match client.call(&Request::Stats, 0).unwrap() {
+        Response::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    };
+    let warm_full = client.call_raw(&full, 0).unwrap();
+    let warm_truncated = client.call_raw(&truncated, 0).unwrap();
+    let stats_after = match client.call(&Request::Stats, 0).unwrap() {
+        Response::Stats(s) => s,
+        other => panic!("expected stats, got {other:?}"),
+    };
+
+    assert_eq!(warm_full, cold_full, "warm hit is byte-identical");
+    assert_eq!(warm_truncated, cold_truncated);
+    assert_eq!(
+        stats_after.cache_hit_mem - stats_before.cache_hit_mem,
+        2,
+        "both repeats were memory hits"
+    );
+    assert_eq!(stats_after.cache_miss, 2, "only the two cold calls missed");
+    drop(client);
+    shut_down(&addr, handle);
+}
+
+#[test]
+fn disk_tier_survives_a_server_restart() {
+    let dir = std::env::temp_dir().join(format!("adgen-serve-e2e-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        jobs: 1,
+        cache_dir: Some(PathBuf::from(&dir)),
+        ..ServeConfig::default()
+    };
+    let req = Request::MapSequence {
+        sequence: vec![0, 0, 1, 1, 2, 2],
+    };
+
+    let (addr, handle) = start(config());
+    let mut client = Client::connect(&addr).expect("connect");
+    let cold = client.call_raw(&req, 0).unwrap();
+    drop(client);
+    let stats = shut_down(&addr, handle);
+    assert_eq!(stats.cache_miss, 1);
+
+    // A fresh server over the same directory answers from disk.
+    let (addr, handle) = start(config());
+    let mut client = Client::connect(&addr).expect("connect");
+    let warm = client.call_raw(&req, 0).unwrap();
+    assert_eq!(warm, cold, "disk entry is the exact wire payload");
+    drop(client);
+    let stats = shut_down(&addr, handle);
+    assert_eq!(stats.cache_hit_disk, 1, "answered by the disk tier");
+    assert_eq!(stats.cache_miss, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn an_expired_deadline_is_a_typed_error_and_the_result_is_still_cached() {
+    let (addr, handle) = start(test_config());
+    let mut client = Client::connect(&addr).expect("connect");
+    // Full synthesis + STA of a 24-state FSM takes well over the
+    // 1 ms deadline, so the dispatcher finishes the work, caches it,
+    // and answers with the typed expiration.
+    let req = Request::Synthesize {
+        sequence: (0..24).collect(),
+        encoding: Encoding::Binary,
+        num_lines: 24,
+        effort_steps: 0,
+    };
+    match client.call(&req, 1).unwrap() {
+        Response::Error(ServeError::Deadline { waited_ms: _ }) => {}
+        other => panic!("expected a deadline expiration, got {other:?}"),
+    }
+    // The retry is answered from the cache — same request, generous
+    // deadline, a real payload this time.
+    match client.call(&req, 60_000).unwrap() {
+        Response::Synthesized(r) => assert!(r.area > 0.0),
+        other => panic!("expected the cached synthesis report, got {other:?}"),
+    }
+    drop(client);
+    let stats = shut_down(&addr, handle);
+    assert_eq!(stats.deadline_expired, 1);
+    assert_eq!(stats.cache_hit_mem, 1, "the retry hit");
+    drop(addr);
+}

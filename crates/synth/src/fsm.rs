@@ -131,6 +131,27 @@ impl Fsm {
         encoding: Encoding,
         style: OutputStyle,
     ) -> Result<SynthesizedFsm, SynthError> {
+        self.synthesize_budgeted(encoding, style, espresso::EffortBudget::synthesis_default())
+    }
+
+    /// [`synthesize`](Self::synthesize) under an explicit
+    /// [`espresso::EffortBudget`] governing every logic minimization
+    /// of the run (one per next-state bit and output function). A
+    /// budget too small to reach the cost fixpoint yields a larger
+    /// but still functionally correct netlist, reported via
+    /// [`SynthesizedFsm::truncated`] — the knob the serving layer
+    /// exposes per request, and the reason truncated and full-effort
+    /// results must never share a cache entry.
+    ///
+    /// # Errors
+    ///
+    /// As for [`synthesize`](Self::synthesize).
+    pub fn synthesize_budgeted(
+        &self,
+        encoding: Encoding,
+        style: OutputStyle,
+        budget: espresso::EffortBudget,
+    ) -> Result<SynthesizedFsm, SynthError> {
         let _span = obs::span_arg("fsm.synthesize", self.num_states() as u64);
         let started = Instant::now();
         let n = self.num_states();
@@ -143,9 +164,19 @@ impl Fsm {
         let mut netlist = Netlist::new(format!("fsm_{n}s"));
         let next_in = netlist.add_input("next");
 
+        let mut truncated = false;
         let result = match encoding {
+            // One-hot needs no minimizer, so no effort can truncate.
             Encoding::OneHot => self.synthesize_one_hot(&mut netlist, next_in, style, "")?,
-            _ => self.synthesize_coded(&mut netlist, next_in, encoding, style, "")?,
+            _ => self.synthesize_coded(
+                &mut netlist,
+                next_in,
+                encoding,
+                style,
+                "",
+                budget,
+                &mut truncated,
+            )?,
         };
         insert_fanout_buffers(&mut netlist, MAX_FANOUT)?;
         netlist.validate().map_err(SynthError::from)?;
@@ -155,6 +186,7 @@ impl Fsm {
             encoding,
             style,
             synthesis_time: started.elapsed(),
+            truncated,
         })
     }
 
@@ -182,10 +214,19 @@ impl Fsm {
         }
         match encoding {
             Encoding::OneHot => self.synthesize_one_hot(netlist, advance, style, prefix),
-            _ => self.synthesize_coded(netlist, advance, encoding, style, prefix),
+            _ => self.synthesize_coded(
+                netlist,
+                advance,
+                encoding,
+                style,
+                prefix,
+                espresso::EffortBudget::synthesis_default(),
+                &mut false,
+            ),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn synthesize_coded(
         &self,
         netlist: &mut Netlist,
@@ -193,6 +234,8 @@ impl Fsm {
         encoding: Encoding,
         style: OutputStyle,
         prefix: &str,
+        budget: espresso::EffortBudget,
+        truncated: &mut bool,
     ) -> Result<Vec<NetId>, SynthError> {
         let n = self.num_states();
         let bits = encoding.num_bits(n);
@@ -234,14 +277,9 @@ impl Fsm {
         let rst = netlist.reset();
         for b in 0..bits {
             let (on, off) = partition(&|s| (codes[self.next_state[s]] >> b) & 1 == 1);
-            let minimized = espresso::minimize_with_off_budgeted(
-                on,
-                dc.clone(),
-                off,
-                espresso::EffortBudget::synthesis_default(),
-            )
-            .cover;
-            let d = map_sop(netlist, &minimized, &q, &qn)?;
+            let outcome = espresso::minimize_with_off_budgeted(on, dc.clone(), off, budget);
+            *truncated |= outcome.truncated;
+            let d = map_sop(netlist, &outcome.cover, &q, &qn)?;
             // Reset loads the code of state 0.
             let kind = if (code0 >> b) & 1 == 1 {
                 CellKind::Dffse
@@ -262,14 +300,9 @@ impl Fsm {
             OutputStyle::SelectLines { num_lines } => {
                 for line in 0..num_lines {
                     let (on, off) = partition(&|s| self.output[s] == line as u64);
-                    let minimized = espresso::minimize_with_off_budgeted(
-                        on,
-                        dc.clone(),
-                        off,
-                        espresso::EffortBudget::synthesis_default(),
-                    )
-                    .cover;
-                    let y = map_sop(netlist, &minimized, &q, &qn)?;
+                    let outcome = espresso::minimize_with_off_budgeted(on, dc.clone(), off, budget);
+                    *truncated |= outcome.truncated;
+                    let y = map_sop(netlist, &outcome.cover, &q, &qn)?;
                     let y = ensure_driven_output(netlist, y)?;
                     netlist.add_output(y);
                     outs.push(y);
@@ -278,14 +311,9 @@ impl Fsm {
             OutputStyle::BinaryAddress { bits: abits } => {
                 for b in 0..abits {
                     let (on, off) = partition(&|s| (self.output[s] >> b) & 1 == 1);
-                    let minimized = espresso::minimize_with_off_budgeted(
-                        on,
-                        dc.clone(),
-                        off,
-                        espresso::EffortBudget::synthesis_default(),
-                    )
-                    .cover;
-                    let y = map_sop(netlist, &minimized, &q, &qn)?;
+                    let outcome = espresso::minimize_with_off_budgeted(on, dc.clone(), off, budget);
+                    *truncated |= outcome.truncated;
+                    let y = map_sop(netlist, &outcome.cover, &q, &qn)?;
                     let y = ensure_driven_output(netlist, y)?;
                     netlist.add_output(y);
                     outs.push(y);
@@ -410,6 +438,11 @@ pub struct SynthesizedFsm {
     pub style: OutputStyle,
     /// Wall-clock synthesis time (logic minimization + mapping).
     pub synthesis_time: Duration,
+    /// Whether any logic minimization of the run exhausted its
+    /// [`espresso::EffortBudget`] and returned a correct but
+    /// unminimized cover. Always `false` under the default
+    /// synthesis budget for the workloads in this workspace.
+    pub truncated: bool,
 }
 
 impl SynthesizedFsm {

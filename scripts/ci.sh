@@ -13,6 +13,10 @@
 #                         then an overhead guard: the instrumented
 #                         fuzz smoke must stay within 5% + 1s of the
 #                         uninstrumented baseline)
+#   8. serve smoke       (adgen-serve on an ephemeral loopback port,
+#                         loadgen --smoke against it: warm-cache hit
+#                         rate >= 90%, byte-identical warm responses,
+#                         clean client-initiated shutdown)
 #
 # Set CI_SLOW=1 to additionally run the #[ignore]d large
 # configurations (512x512 / 256x256 scale tests) and the exhaustive
@@ -62,6 +66,33 @@ if (( obs_ns > limit_ns )); then
   echo "FAIL: instrumented fuzz smoke exceeded the overhead budget" >&2
   exit 1
 fi
+
+echo "==> serve smoke (ephemeral loopback server + loadgen --smoke)"
+serve_cache="$(mktemp -d)"
+serve_log="$(mktemp)"
+target/release/adgen-serve --cache-dir "$serve_cache" > "$serve_log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^adgen-serve listening on //p' "$serve_log")"
+  [[ -n "$addr" ]] && break
+  sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+  echo "FAIL: adgen-serve never reported readiness" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+# loadgen exits nonzero unless every warm pass hits >= 90% and warm
+# responses byte-match the cold ones; --shutdown then asks the server
+# to exit, which `wait` turns into a clean-shutdown assertion.
+target/release/loadgen --smoke --addr "$addr" --shutdown
+wait "$serve_pid"
+grep -q "adgen-serve shut down:" "$serve_log" || {
+  echo "FAIL: server exited without its shutdown summary" >&2
+  exit 1
+}
+rm -rf "$serve_cache" "$serve_log"
 
 if [[ "${CI_SLOW:-0}" == "1" ]]; then
   echo "==> slow tier: ignored scale tests"

@@ -55,6 +55,7 @@
 //! | [`fault`] | `adgen-fault` | stuck-at / SEU fault models, deterministic injection campaigns, coverage classification |
 //! | [`exec`] | `adgen-exec` | scoped thread pool with deterministic ordering, seedable PRNG |
 //! | [`obs`] | `adgen-obs` | zero-dep observability: spans, typed counters, Chrome-trace and profile exporters |
+//! | [`serve`] | `adgen-serve` | batch compilation service: binary wire protocol, admission queue with deadlines, two-tier content-addressed result cache |
 
 pub use adgen_cntag as cntag;
 pub use adgen_core as core;
@@ -65,6 +66,7 @@ pub use adgen_memory as memory;
 pub use adgen_netlist as netlist;
 pub use adgen_obs as obs;
 pub use adgen_seq as seq;
+pub use adgen_serve as serve;
 pub use adgen_synth as synth;
 
 /// The types most programs need, in one import.
