@@ -1,0 +1,342 @@
+//! `simbench` — throughput benchmark of the bit-sliced fault-replay
+//! kernel against the scalar levelized engine, on the paper's Fig. 7
+//! motion-estimation workload.
+//!
+//! Both engines run the identical select-ring fault universe (the one
+//! `compare_resilience` and `faultcamp` use) over the plain and
+//! hardened SRAG pairs. The scalar engine replays one fault per full
+//! simulation; the sliced engine packs 63 faults plus one golden lane
+//! into each 64-lane pass. The benchmark reports wall-clock for both,
+//! the stimulus-throughput speedup, and the lane utilization of the
+//! packed passes — and verifies the two engines classify every fault
+//! identically before trusting any timing.
+//!
+//! ```text
+//! cargo run --release -p adgen-bench --bin simbench              # 8x8 array
+//! cargo run --release -p adgen-bench --bin simbench -- --smoke  # 4x4, CI-sized
+//! cargo run --release -p adgen-bench --bin simbench -- --seed 7 --iters 5
+//! ```
+//!
+//! Results land in `BENCH_sim.json`. The process exits nonzero if the
+//! sliced and scalar classifications diverge (any mode), or if the
+//! full-size run fails its performance contract: at least an 8x
+//! speedup over the scalar engine on the 8x8 universe.
+//!
+//! Observability (see `DESIGN.md` §9): `--trace FILE` writes a Chrome
+//! trace-event JSON, `--metrics` prints the deterministic profile and
+//! appends a `"metrics"` block to `BENCH_sim.json`.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
+
+use adgen_core::composite::Srag2d;
+use adgen_explorer::ring_fault_universe;
+use adgen_fault::{
+    run_campaign, run_campaign_scalar, CampaignReport, CampaignSpec, SLICED_FAULT_LANES,
+};
+use adgen_netlist::NetId;
+use adgen_seq::{workloads, ArrayShape, Layout};
+
+/// Measured comparison for one design variant.
+struct VariantResult {
+    name: &'static str,
+    faults: usize,
+    passes: usize,
+    lane_utilization_pct: f64,
+    scalar_s: f64,
+    sliced_s: f64,
+    report: CampaignReport,
+    diverged: bool,
+}
+
+impl VariantResult {
+    fn speedup(&self) -> f64 {
+        self.scalar_s / self.sliced_s
+    }
+}
+
+/// Everything `BENCH_sim.json` reports.
+struct SimState {
+    shape: ArrayShape,
+    cycles: u32,
+    seed: u64,
+    seu_samples: usize,
+    iters: u32,
+    variants: Vec<VariantResult>,
+}
+
+fn main() -> ExitCode {
+    let mut seed = 2026u64;
+    let mut smoke = false;
+    let mut iters = 0u32; // 0 = mode default
+    let (raw, obs_args) = take_obs_args(std::env::args().skip(1).collect());
+    let mut args = raw.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => seed = parse_or_die(&mut args, &a),
+            "--iters" => iters = parse_or_die(&mut args, &a),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!(
+                    "usage: simbench [--smoke] [--seed N] [--iters N] [--trace FILE] [--metrics]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // The smoke run exists to gate classification agreement in CI, so
+    // one timed iteration is enough; the full run times best-of-3.
+    if iters == 0 {
+        iters = if smoke { 1 } else { 3 };
+    }
+
+    // Fig. 7 configuration, matching `faultcamp`: block-matching
+    // motion estimation with 2x2 macroblocks.
+    let shape = if smoke {
+        ArrayShape::new(4, 4)
+    } else {
+        ArrayShape::new(8, 8)
+    };
+    let seq = workloads::motion_est_read(shape, 2, 2, 0);
+    let cycles = seq.len() as u32;
+    let seu_samples = if smoke { 16 } else { 48 };
+
+    println!(
+        "simbench: motion_est {}x{} mb=2, {} cycles, {} SEU samples, seed {}, best of {}",
+        shape.width(),
+        shape.height(),
+        cycles,
+        seu_samples,
+        seed,
+        iters
+    );
+
+    let mut sink = ObsJsonSink::new(
+        "BENCH_sim.json",
+        obs_args,
+        SimState {
+            shape,
+            cycles,
+            seed,
+            seu_samples,
+            iters,
+            variants: Vec::new(),
+        },
+        render_sim_json,
+    );
+
+    let pair = Srag2d::map(&seq, shape, Layout::RowMajor).expect("paper workload maps");
+    let plain = pair.elaborate().expect("paper workload elaborates");
+    let hardened = pair
+        .elaborate_hardened()
+        .expect("paper workload elaborates hardened");
+
+    // Exactly the universes `compare_resilience` runs: stuck-ats on
+    // every select line, SEUs on the ring flip-flops.
+    let plain_ring: Vec<NetId> = plain
+        .row_lines
+        .iter()
+        .chain(&plain.col_lines)
+        .copied()
+        .collect();
+    let plain_faults = ring_fault_universe(
+        &plain.netlist,
+        &plain_ring,
+        &plain_ring,
+        cycles,
+        seu_samples,
+        seed,
+    );
+    let plain_spec = CampaignSpec {
+        netlist: &plain.netlist,
+        cycles,
+        alarm_output: None,
+    };
+    let hard_lines: Vec<NetId> = hardened
+        .row_lines
+        .iter()
+        .chain(&hardened.col_lines)
+        .copied()
+        .collect();
+    let hard_ring: Vec<NetId> = hardened
+        .row_ring_ffs
+        .iter()
+        .chain(&hardened.col_ring_ffs)
+        .copied()
+        .collect();
+    let hard_faults = ring_fault_universe(
+        &hardened.netlist,
+        &hard_lines,
+        &hard_ring,
+        cycles,
+        seu_samples,
+        seed,
+    );
+    let hard_spec = CampaignSpec {
+        netlist: &hardened.netlist,
+        cycles,
+        alarm_output: Some(hardened.alarm_output_index()),
+    };
+
+    let runs = [
+        ("srag-plain", &plain_spec, &plain_faults),
+        ("srag-hardened", &hard_spec, &hard_faults),
+    ];
+    for (name, spec, faults) in runs {
+        let v = measure_variant(name, spec, faults, iters);
+        println!(
+            "  {:<14} {:>4} faults in {:>2} packed passes ({:.1}% lane utilization)",
+            v.name, v.faults, v.passes, v.lane_utilization_pct
+        );
+        println!(
+            "  {:<14} scalar {:>9.3} ms, sliced {:>9.3} ms, speedup {:.1}x{}",
+            "",
+            v.scalar_s * 1e3,
+            v.sliced_s * 1e3,
+            v.speedup(),
+            if v.diverged { "  [DIVERGED]" } else { "" }
+        );
+        sink.state().variants.push(v);
+    }
+
+    let diverged = sink.state().variants.iter().any(|v| v.diverged);
+    let min_speedup = sink
+        .state()
+        .variants
+        .iter()
+        .map(VariantResult::speedup)
+        .fold(f64::INFINITY, f64::min);
+    sink.finish();
+
+    if diverged {
+        eprintln!("FAIL: sliced and scalar campaigns classify faults differently");
+        return ExitCode::FAILURE;
+    }
+    println!("  classifications: byte-identical across engines");
+    if !smoke && min_speedup < 8.0 {
+        eprintln!("FAIL: sliced speedup {min_speedup:.1}x below the 8x contract");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Times both engines on one (spec, universe) pair, best-of-`iters`,
+/// and cross-checks that every classification matches. The scalar
+/// engine is timed first so cache warm-up, if anything, favours it.
+fn measure_variant(
+    name: &'static str,
+    spec: &CampaignSpec,
+    faults: &[adgen_fault::Fault],
+    iters: u32,
+) -> VariantResult {
+    let mut scalar_s = f64::INFINITY;
+    let mut sliced_s = f64::INFINITY;
+    let mut scalar_report = None;
+    let mut sliced_report = None;
+    for _ in 0..iters {
+        let started = Instant::now();
+        let r = run_campaign_scalar(spec, faults, 1);
+        scalar_s = scalar_s.min(started.elapsed().as_secs_f64());
+        scalar_report = Some(r);
+
+        let started = Instant::now();
+        let r = run_campaign(spec, faults, 1);
+        sliced_s = sliced_s.min(started.elapsed().as_secs_f64());
+        sliced_report = Some(r);
+    }
+    let scalar_report = scalar_report.expect("at least one iteration");
+    let sliced_report = sliced_report.expect("at least one iteration");
+    let diverged = scalar_report != sliced_report;
+
+    // Each packed pass carries one chunk of up to 63 faults plus the
+    // golden lane; utilization is occupied lanes over 64 per pass.
+    let passes = faults.len().div_ceil(SLICED_FAULT_LANES);
+    let lane_utilization_pct = if passes == 0 {
+        0.0
+    } else {
+        100.0 * (faults.len() + passes) as f64 / (passes * 64) as f64
+    };
+    VariantResult {
+        name,
+        faults: faults.len(),
+        passes,
+        lane_utilization_pct,
+        scalar_s,
+        sliced_s,
+        report: sliced_report,
+        diverged,
+    }
+}
+
+fn parse_or_die<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let v = args.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    });
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid {flag} value `{v}`");
+        std::process::exit(2);
+    })
+}
+
+/// Hand-rolled machine-readable record, mirroring `BENCH_fault.json`.
+fn render_sim_json(state: &SimState, meta: &RunMeta) -> String {
+    let SimState {
+        shape,
+        cycles,
+        seed,
+        seu_samples,
+        iters,
+        variants,
+    } = state;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"workload\": \"motion_est {}x{} mb=2 m=0\",",
+        shape.width(),
+        shape.height()
+    );
+    let _ = writeln!(s, "  \"cycles\": {cycles},");
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"seu_samples\": {seu_samples},");
+    let _ = writeln!(s, "  \"iters\": {iters},");
+    let _ = writeln!(s, "  \"fault_lanes_per_pass\": {SLICED_FAULT_LANES},");
+    if meta.truncated {
+        let _ = writeln!(s, "  \"truncated\": true,");
+    }
+    let _ = writeln!(s, "  \"variants\": [");
+    for (i, v) in variants.iter().enumerate() {
+        let comma = if i + 1 < variants.len() { "," } else { "" };
+        let r = &v.report;
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"faults\": {}, \"passes\": {}, \
+             \"lane_utilization_pct\": {:.2}, \"scalar_ms\": {:.3}, \"sliced_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"identical\": {}, \"detected\": {}, \"alarmed\": {}, \
+             \"silent\": {}, \"benign\": {}}}{comma}",
+            v.name,
+            v.faults,
+            v.passes,
+            v.lane_utilization_pct,
+            v.scalar_s * 1e3,
+            v.sliced_s * 1e3,
+            v.speedup(),
+            !v.diverged,
+            r.detected(),
+            r.alarmed(),
+            r.silent(),
+            r.benign(),
+        );
+    }
+    let _ = writeln!(s, "  ]{}", if meta.metrics.is_some() { "," } else { "" });
+    if let Some(metrics) = &meta.metrics {
+        let _ = writeln!(s, "  \"metrics\": {metrics}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}

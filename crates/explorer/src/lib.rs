@@ -29,4 +29,4 @@ pub use compare::{
 };
 pub use pareto::{pareto_frontier, select, Constraint};
 pub use report::render_evaluation;
-pub use resilience::{compare_resilience, ResilienceRow};
+pub use resilience::{compare_resilience, ring_fault_universe, ResilienceRow};

@@ -66,10 +66,13 @@ impl ResilienceRow {
 
 /// The select-ring fault universe both variants are measured
 /// against: stuck-at-0/1 on every select line, plus `seu_samples`
-/// seed-reproducible SEUs on the ring flip-flops. Using the same
+/// seed-reproducible SEUs on the flip-flops driving `ring_nets`
+/// (`cycles.saturating_sub(1).max(1)` strike cycles). Using the same
 /// *logical* faults on both designs (the select lines and rings
 /// correspond one-to-one) keeps the two coverage figures comparable.
-fn ring_fault_list(
+/// Public so benchmark drivers (`simbench`) can replay exactly the
+/// universe [`compare_resilience`] uses.
+pub fn ring_fault_universe(
     netlist: &Netlist,
     select_lines: &[NetId],
     ring_nets: &[NetId],
@@ -128,7 +131,7 @@ pub fn compare_resilience(
         .chain(&plain.col_lines)
         .copied()
         .collect();
-    let plain_faults = ring_fault_list(
+    let plain_faults = ring_fault_universe(
         &plain.netlist,
         &plain_ring,
         &plain_ring,
@@ -155,7 +158,7 @@ pub fn compare_resilience(
         .chain(&hardened.col_ring_ffs)
         .copied()
         .collect();
-    let hard_faults = ring_fault_list(
+    let hard_faults = ring_fault_universe(
         &hardened.netlist,
         &hard_lines,
         &hard_ring,

@@ -15,17 +15,30 @@
 //! * [`Classification::Benign`] — the faulty run is
 //!   indistinguishable from the golden run, outputs and state.
 //!
-//! Replays fan out over [`adgen_exec::par_map`], whose output order
+//! Replays run on the bit-sliced simulator, packed
+//! [`SLICED_FAULT_LANES`] faults plus one shared golden lane per
+//! pass: lane 0 re-runs the fault-free machine (cross-checked against
+//! the scalar golden trace every cycle) while lanes `1..` each carry
+//! one injected fault, so one netlist walk classifies a whole batch.
+//! Chunks fan out over [`adgen_exec::par_map`], whose output order
 //! equals fault-list order regardless of the job count, so a
 //! campaign report is byte-identical across `--jobs` settings. Each
 //! fault is pure data ([`Fault::id`]), so any single outcome can be
-//! reproduced from the `FAULT=` token in its repro line.
+//! reproduced from the `FAULT=` token in its repro line — single-
+//! fault reproduction uses the scalar [`replay`], the same engine
+//! [`run_campaign_scalar`] keeps available as a differential oracle.
 
 use adgen_exec::par_map;
-use adgen_netlist::{EventSimulator, Logic, Netlist, Simulator};
+use adgen_netlist::{
+    EventSimulator, LaneMask, Logic, Netlist, SimControl, Simulator, SlicedSimulator,
+};
 use adgen_obs as obs;
 
 use crate::model::Fault;
+
+/// Faults packed per sliced pass; lane 0 is the shared golden lane,
+/// so a full pass uses all 64 lanes of one machine word.
+pub const SLICED_FAULT_LANES: usize = 63;
 
 /// What a campaign runs: the design plus the observation window.
 #[derive(Debug, Clone, Copy)]
@@ -83,17 +96,14 @@ fn stimulus(num_inputs: usize, cycle: u32) -> Vec<bool> {
     v
 }
 
-/// Runs the campaign stimulus on the levelized simulator with an
-/// optional injected fault; `None` produces the golden trace.
+/// The shared replay body: injects `fault` into any engine through
+/// the [`SimControl`] surface and records the observable trace.
 ///
 /// # Panics
 ///
-/// Panics if the netlist fails simulator construction or stepping —
-/// campaign inputs are validated netlists, so this indicates a bug.
-pub fn replay(spec: &CampaignSpec<'_>, fault: Option<Fault>) -> Trace {
-    let _span = obs::span_arg("fault.replay", u64::from(spec.cycles));
-    obs::add(obs::Ctr::FaultReplays, 1);
-    let mut sim = Simulator::new(spec.netlist).expect("campaign netlist must be simulable");
+/// Panics on a stepping failure — campaign inputs are validated
+/// netlists, so this indicates a bug.
+fn replay_on<S: SimControl>(sim: &mut S, spec: &CampaignSpec<'_>, fault: Option<Fault>) -> Trace {
     if let Some(Fault::StuckAt { net, value }) = fault {
         sim.force_net(net, if value { Logic::One } else { Logic::Zero });
     }
@@ -116,36 +126,31 @@ pub fn replay(spec: &CampaignSpec<'_>, fault: Option<Fault>) -> Trace {
     }
 }
 
+/// Runs the campaign stimulus on the levelized simulator with an
+/// optional injected fault; `None` produces the golden trace.
+///
+/// # Panics
+///
+/// Panics if the netlist fails simulator construction or stepping —
+/// campaign inputs are validated netlists, so this indicates a bug.
+pub fn replay(spec: &CampaignSpec<'_>, fault: Option<Fault>) -> Trace {
+    let _span = obs::span_arg("fault.replay", u64::from(spec.cycles));
+    obs::add(obs::Ctr::FaultReplays, 1);
+    let mut sim = Simulator::new(spec.netlist).expect("campaign netlist must be simulable");
+    replay_on(&mut sim, spec, fault)
+}
+
 /// [`replay`] on the event-driven simulator — same trace by
-/// construction; campaigns use the levelized engine (faster for
-/// full-activity generators), the differential tests and fuzzer use
-/// this to cross-check the injection hooks themselves.
+/// construction; campaigns use the bit-sliced engine (63 faults per
+/// pass), the differential tests and fuzzer use this to cross-check
+/// the injection hooks themselves.
 ///
 /// # Panics
 ///
 /// As [`replay`].
 pub fn replay_event(spec: &CampaignSpec<'_>, fault: Option<Fault>) -> Trace {
     let mut sim = EventSimulator::new(spec.netlist).expect("campaign netlist must be simulable");
-    if let Some(Fault::StuckAt { net, value }) = fault {
-        sim.force_net(net, if value { Logic::One } else { Logic::Zero });
-    }
-    let num_inputs = spec.netlist.inputs().len();
-    sim.step_bools(&stimulus(num_inputs, 0))
-        .expect("reset step");
-    let mut outputs = Vec::with_capacity(spec.cycles as usize);
-    for cycle in 1..=spec.cycles {
-        if let Some(Fault::Seu { ff, cycle: c }) = fault {
-            if c == cycle {
-                sim.upset_flip_flop(ff);
-            }
-        }
-        sim.step_bools(&stimulus(num_inputs, cycle)).expect("step");
-        outputs.push(sim.output_values());
-    }
-    Trace {
-        outputs,
-        final_states: sim.flip_flop_states(),
-    }
+    replay_on(&mut sim, spec, fault)
 }
 
 /// Compares a faulty trace against the golden one.
@@ -265,26 +270,180 @@ impl CampaignReport {
     }
 }
 
-/// Replays and classifies every fault in `faults`, fanning out over
-/// `jobs` worker threads. Output order equals `faults` order for any
-/// job count.
+/// Records the classification counters for one classified fault.
+fn count_classification(class: Classification) {
+    match class {
+        Classification::Detected { alarm, .. } => {
+            obs::add(obs::Ctr::FaultDetected, 1);
+            if alarm {
+                obs::add(obs::Ctr::FaultAlarmed, 1);
+            }
+        }
+        Classification::Silent => obs::add(obs::Ctr::FaultSilent, 1),
+        Classification::Benign => obs::add(obs::Ctr::FaultBenign, 1),
+    }
+}
+
+/// Replays and classifies up to [`SLICED_FAULT_LANES`] faults in one
+/// bit-sliced pass: lane 0 is the shared golden lane, lane `k + 1`
+/// carries `chunk[k]`. The golden lane is cross-checked against the
+/// scalar `golden` trace every observed cycle, so a sliced-kernel
+/// defect cannot silently misclassify a batch.
+///
+/// # Panics
+///
+/// Panics if `chunk` exceeds [`SLICED_FAULT_LANES`], or on any
+/// golden-lane divergence from the scalar trace.
+fn classify_chunk(spec: &CampaignSpec<'_>, golden: &Trace, chunk: &[Fault]) -> Vec<Classification> {
+    assert!(chunk.len() <= SLICED_FAULT_LANES, "chunk exceeds one word");
+    let _span = obs::span_arg("fault.replay.sliced", chunk.len() as u64);
+    obs::add(obs::Ctr::FaultReplays, chunk.len() as u64);
+    let lanes = chunk.len() + 1;
+    let mut sim =
+        SlicedSimulator::new(spec.netlist, lanes).expect("campaign netlist must be simulable");
+    for (k, fault) in chunk.iter().enumerate() {
+        if let Fault::StuckAt { net, value } = *fault {
+            let v = if value { Logic::One } else { Logic::Zero };
+            sim.force_net_lanes(net, v, &LaneMask::single(k + 1, lanes));
+        }
+    }
+    let active: u64 = if lanes == 64 { !0 } else { (1u64 << lanes) - 1 };
+    // Lanes not yet detected; the golden lane never detects.
+    let mut pending = active & !1;
+    let mut classes = vec![Classification::Benign; chunk.len()];
+    let outs = spec.netlist.outputs();
+    let num_inputs = spec.netlist.inputs().len();
+    let num_states = golden.final_states.len();
+    sim.step_bools(&stimulus(num_inputs, 0))
+        .expect("reset step");
+    for cycle in 1..=spec.cycles {
+        for (k, fault) in chunk.iter().enumerate() {
+            if let Fault::Seu { ff, cycle: c } = *fault {
+                if c == cycle {
+                    sim.upset_flip_flop_lanes(ff, &LaneMask::single(k + 1, lanes));
+                }
+            }
+        }
+        sim.step_bools(&stimulus(num_inputs, cycle)).expect("step");
+        let grow = &golden.outputs[cycle as usize - 1];
+        // The alarm firing takes precedence over plain divergence,
+        // exactly as in the scalar `classify`.
+        if let Some(a) = spec.alarm_output {
+            let (ones, _) = sim.packed_value(outs[a], 0);
+            let fired = ones & pending;
+            mark_detected(&mut classes, &mut pending, fired, cycle, true);
+        }
+        let mut diverged = 0u64;
+        for (j, &net) in outs.iter().enumerate() {
+            let (ones, xs) = sim.packed_value(net, 0);
+            // Lanes whose value differs from the golden row's value.
+            let diff = match grow[j] {
+                Logic::One => active & !ones,
+                Logic::Zero => ones | xs,
+                Logic::X => active & !xs,
+            };
+            assert_eq!(diff & 1, 0, "golden lane diverged on output {j}");
+            if Some(j) != spec.alarm_output {
+                diverged |= diff;
+            }
+        }
+        let hits = diverged & pending;
+        mark_detected(&mut classes, &mut pending, hits, cycle, false);
+        if pending == 0 && cycle < spec.cycles {
+            // Every fault already classified; the remaining window
+            // cannot change any outcome.
+            break;
+        }
+    }
+    for (k, class) in classes.iter_mut().enumerate() {
+        let lane = k + 1;
+        if pending >> lane & 1 == 0 {
+            continue;
+        }
+        let states = sim.flip_flop_states_lane(lane);
+        assert_eq!(states.len(), num_states, "state vector width");
+        *class = if states == golden.final_states {
+            Classification::Benign
+        } else {
+            Classification::Silent
+        };
+    }
+    // The golden lane's latent state must match the scalar trace too
+    // (only checked when the loop ran the full window — an early
+    // break means every lane was classified by then).
+    if pending != 0 || spec.cycles == 0 {
+        assert_eq!(
+            sim.flip_flop_states_lane(0),
+            golden.final_states,
+            "golden lane final state diverged"
+        );
+    }
+    classes
+}
+
+/// Flags `hits` lanes as detected at `cycle` and removes them from
+/// `pending`.
+fn mark_detected(
+    classes: &mut [Classification],
+    pending: &mut u64,
+    hits: u64,
+    cycle: u32,
+    alarm: bool,
+) {
+    let mut rest = hits;
+    while rest != 0 {
+        let lane = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        classes[lane - 1] = Classification::Detected { cycle, alarm };
+    }
+    *pending &= !hits;
+}
+
+/// Replays and classifies every fault in `faults` on the bit-sliced
+/// engine, [`SLICED_FAULT_LANES`] faults plus one golden lane per
+/// pass, fanning the passes out over `jobs` worker threads. Output
+/// order equals `faults` order — and classifications are identical to
+/// [`run_campaign_scalar`] — for any job count.
 pub fn run_campaign(spec: &CampaignSpec<'_>, faults: &[Fault], jobs: usize) -> CampaignReport {
+    let _span = obs::span_arg("fault.campaign", faults.len() as u64);
+    let golden = replay(spec, None);
+    let chunks: Vec<&[Fault]> = faults.chunks(SLICED_FAULT_LANES).collect();
+    let per_chunk = par_map(&chunks, jobs, |_, &chunk| {
+        let classes = classify_chunk(spec, &golden, chunk);
+        if obs::enabled() {
+            for &class in &classes {
+                count_classification(class);
+            }
+        }
+        classes
+    });
+    let outcomes = faults
+        .iter()
+        .zip(per_chunk.into_iter().flatten())
+        .map(|(&fault, class)| FaultOutcome { fault, class })
+        .collect();
+    CampaignReport {
+        cycles: spec.cycles,
+        outcomes,
+    }
+}
+
+/// The scalar campaign engine: one levelized replay per fault. Kept
+/// as the differential oracle for [`run_campaign`] (CI asserts the
+/// two classify identically) and as the baseline `simbench` measures
+/// the sliced speedup against.
+pub fn run_campaign_scalar(
+    spec: &CampaignSpec<'_>,
+    faults: &[Fault],
+    jobs: usize,
+) -> CampaignReport {
     let _span = obs::span_arg("fault.campaign", faults.len() as u64);
     let golden = replay(spec, None);
     let outcomes = par_map(faults, jobs, |_, &fault| {
         let faulty = replay(spec, Some(fault));
         let class = classify(&golden, &faulty, spec.alarm_output);
         if obs::enabled() {
-            match class {
-                Classification::Detected { alarm, .. } => {
-                    obs::add(obs::Ctr::FaultDetected, 1);
-                    if alarm {
-                        obs::add(obs::Ctr::FaultAlarmed, 1);
-                    }
-                }
-                Classification::Silent => obs::add(obs::Ctr::FaultSilent, 1),
-                Classification::Benign => obs::add(obs::Ctr::FaultBenign, 1),
-            }
+            count_classification(class);
         }
         FaultOutcome { fault, class }
     });

@@ -14,9 +14,10 @@
 //!   any flip-flop, as plain replayable data with stable `FAULT=`
 //!   tokens,
 //! * [`campaign`] — the deterministic campaign engine: golden run,
-//!   per-fault replay on the levelized simulator, detected / silent /
-//!   benign classification, jobs-invariant parallel fan-out, and
-//!   fuzz-style reproduction lines.
+//!   bit-sliced fault replay (63 faults + 1 golden lane per packed
+//!   pass, with the scalar engine kept as a differential oracle),
+//!   detected / silent / benign classification, jobs-invariant
+//!   parallel fan-out, and fuzz-style reproduction lines.
 //!
 //! # Example
 //!
@@ -39,7 +40,7 @@ pub mod campaign;
 pub mod model;
 
 pub use campaign::{
-    classify, replay, replay_event, repro_line, run_campaign, CampaignReport, CampaignSpec,
-    Classification, FaultOutcome, Trace,
+    classify, replay, replay_event, repro_line, run_campaign, run_campaign_scalar, CampaignReport,
+    CampaignSpec, Classification, FaultOutcome, Trace, SLICED_FAULT_LANES,
 };
 pub use model::{driving_flip_flops, enumerate_stuck_at, flip_flop_ids, sample_seus, Fault};

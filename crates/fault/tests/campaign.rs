@@ -8,7 +8,7 @@
 use adgen_core::{HardenedSragNetlist, SragNetlist, SragSpec};
 use adgen_fault::{
     classify, driving_flip_flops, enumerate_stuck_at, replay, replay_event, run_campaign,
-    sample_seus, CampaignSpec, Classification, Fault,
+    run_campaign_scalar, sample_seus, CampaignSpec, Classification, Fault, SLICED_FAULT_LANES,
 };
 use adgen_netlist::{Logic, Simulator};
 
@@ -155,6 +155,63 @@ fn plain_ring_suffers_silent_or_unalarmed_corruption() {
             .all(|o| o.class != Classification::Benign),
         "an SEU on a plain ring always corrupts the one-hot token"
     );
+}
+
+#[test]
+fn sliced_campaign_matches_scalar_campaign() {
+    // The sliced engine packs 63 faults + 1 golden lane per pass; its
+    // classifications must be byte-identical to one-replay-per-fault.
+    // The hardened ring exercises alarm-first detection, the plain
+    // ring exercises silent corruption; both universes span several
+    // chunks so partial last chunks and chunk seams are covered.
+    let hard = HardenedSragNetlist::elaborate(&ring_spec(5)).unwrap();
+    let plain = SragNetlist::elaborate(&ring_spec(6)).unwrap();
+    let mut universes = Vec::new();
+    {
+        let mut faults = enumerate_stuck_at(&hard.netlist);
+        let ffs = driving_flip_flops(&hard.netlist, &hard.ring_ffs);
+        faults.extend(sample_seus(&ffs, 14, 80, 0xbead));
+        universes.push((
+            CampaignSpec {
+                netlist: &hard.netlist,
+                cycles: 15,
+                alarm_output: Some(hard.alarm_output_index()),
+            },
+            faults,
+        ));
+    }
+    {
+        let mut faults = enumerate_stuck_at(&plain.netlist);
+        let ffs = driving_flip_flops(&plain.netlist, &plain.select_lines);
+        faults.extend(sample_seus(&ffs, 17, 80, 0xbead));
+        universes.push((
+            CampaignSpec {
+                netlist: &plain.netlist,
+                cycles: 18,
+                alarm_output: None,
+            },
+            faults,
+        ));
+    }
+    for (spec, faults) in &universes {
+        assert!(
+            faults.len() > SLICED_FAULT_LANES,
+            "universe must span multiple sliced passes"
+        );
+        let sliced = run_campaign(spec, faults, 1);
+        let scalar = run_campaign_scalar(spec, faults, 1);
+        assert_eq!(sliced, scalar);
+        // A chunk-sized prefix and a tiny universe keep the
+        // exactly-one-word and single-fault paths covered too.
+        for take in [1, SLICED_FAULT_LANES] {
+            let sub = &faults[..take];
+            assert_eq!(
+                run_campaign(spec, sub, 1),
+                run_campaign_scalar(spec, sub, 1),
+                "prefix of {take} faults"
+            );
+        }
+    }
 }
 
 #[test]

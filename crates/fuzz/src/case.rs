@@ -125,6 +125,27 @@ pub enum FuzzCase {
         /// Macroblock edge (motion estimation only).
         mb: u32,
     },
+    /// Workload → gate-level elaboration driven through the bit-sliced
+    /// simulator with an independent stimulus and fault plan per lane,
+    /// cross-checked lane-by-lane against scalar `Simulator` twins
+    /// (and the event-driven simulator on lane 0).
+    SlicedVsScalar {
+        /// Workload kernel.
+        kind: WorkloadKind,
+        /// Array width (power of two).
+        width: u32,
+        /// Array height (power of two).
+        height: u32,
+        /// Macroblock edge (motion estimation only).
+        mb: u32,
+        /// Lane count of the sliced simulator (`1..=128`, biased
+        /// toward word seams).
+        lanes: u32,
+        /// Clock cycles driven.
+        cycles: u32,
+        /// Seed of the per-lane stimulus / fault-plan streams.
+        salt: u64,
+    },
     /// Single injected fault on a hardened SRAG select ring → the
     /// one-hot checker must raise `alarm` within one ring period of
     /// the fault activating, or the fault must be proven benign by
@@ -156,6 +177,7 @@ impl FuzzCase {
             FuzzCase::Espresso { .. } => "espresso",
             FuzzCase::WideCover { .. } => "wide-cover",
             FuzzCase::Cosim { .. } => "cosim",
+            FuzzCase::SlicedVsScalar { .. } => "sliced-vs-scalar",
             FuzzCase::FaultAlarm { .. } => "fault-alarm",
         }
     }
@@ -205,6 +227,18 @@ impl FuzzCase {
                 height,
                 mb,
             } => format!("{} {width}x{height} mb={mb}", kind.label()),
+            FuzzCase::SlicedVsScalar {
+                kind,
+                width,
+                height,
+                mb,
+                lanes,
+                cycles,
+                salt,
+            } => format!(
+                "{} {width}x{height} mb={mb} lanes={lanes} cycles={cycles} salt={salt:#x}",
+                kind.label()
+            ),
             FuzzCase::FaultAlarm {
                 n,
                 dc,

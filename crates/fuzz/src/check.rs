@@ -10,6 +10,7 @@
 //! | `espresso` | minimized cover | exhaustive truth-table semantics |
 //! | `wide-cover` | packed `Cover` ops (spill words) | naive cover evaluation |
 //! | `cosim` | ADDM + RAM co-simulation | replay-generator reference run |
+//! | `sliced-vs-scalar` | bit-sliced simulator (per-lane stimulus, forces, SEUs) | one scalar `Simulator` twin per lane + event-driven sim on the golden lane |
 //! | `fault-alarm` | hardened SRAG under an injected ring fault | one-period alarm deadline or bounded golden equivalence, levelized vs event-driven replay |
 //!
 //! A check returns `Err(detail)` on the first divergence; the runner
@@ -21,12 +22,16 @@ use adgen_core::composite::{GateLevelGenerator, Srag2d};
 use adgen_core::mapper::map_sequence;
 use adgen_core::sim::SragSimulator;
 use adgen_core::{HardenedSragNetlist, SragError};
-use adgen_exec::splitmix64;
+use adgen_exec::{splitmix64, Prng};
 use adgen_fault::{
-    classify, driving_flip_flops, replay, replay_event, CampaignSpec, Classification, Fault,
+    classify, driving_flip_flops, flip_flop_ids, replay, replay_event, CampaignSpec,
+    Classification, Fault,
 };
 use adgen_memory::cosim::{run_addm, run_ram};
-use adgen_netlist::{check_equivalence_random, EventSimulator, Logic, Simulator};
+use adgen_netlist::{
+    check_equivalence_random, EventSimulator, InstId, LaneMask, Logic, NetId, Netlist, SimControl,
+    Simulator, SlicedSimulator,
+};
 use adgen_seq::{
     workloads, AddressGenerator, AddressSequence, ArrayShape, Layout, ReplayGenerator,
 };
@@ -69,6 +74,15 @@ pub fn check_case(case: &FuzzCase, break_mode: BreakMode) -> CheckResult {
             height,
             mb,
         } => check_cosim(*kind, *width, *height, *mb),
+        FuzzCase::SlicedVsScalar {
+            kind,
+            width,
+            height,
+            mb,
+            lanes,
+            cycles,
+            salt,
+        } => check_sliced_vs_scalar(*kind, *width, *height, *mb, *lanes, *cycles, *salt),
         FuzzCase::FaultAlarm {
             n,
             dc,
@@ -549,6 +563,180 @@ fn check_cosim(kind: WorkloadKind, width: u32, height: u32, mb: u32) -> CheckRes
         return Err(format!(
             "RAM report diverges from ADDM: {ram:?} vs {addm:?}"
         ));
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------- sliced vs scalar
+
+/// Everything one lane of the sliced simulator does over a run:
+/// stuck-at forces present from reset, SEU strikes at given cycles,
+/// and an independent stimulus vector per cycle. Lane 0 always stays
+/// clean (no forces, no upsets) so the run carries a golden lane, as
+/// the fault campaign does.
+struct LanePlan {
+    forces: Vec<(NetId, Logic)>,
+    upsets: Vec<(InstId, u32)>,
+    stim: Vec<Vec<Logic>>,
+}
+
+/// Draws the plan of `lane` from its own `Prng` stream, so a plan is
+/// a pure function of `(salt, lane)` and survives lane-count shrinks
+/// unchanged for the lanes that remain.
+fn lane_plan(salt: u64, lane: usize, cycles: u32, netlist: &Netlist, ffs: &[InstId]) -> LanePlan {
+    let mut rng = Prng::for_stream(salt, lane as u64);
+    let mut forces = Vec::new();
+    let mut upsets = Vec::new();
+    if lane > 0 {
+        for _ in 0..rng.next_range(3) {
+            let value = match rng.next_range(3) {
+                0 => Logic::Zero,
+                1 => Logic::One,
+                _ => Logic::X,
+            };
+            let net =
+                netlist.net_id_from_index(rng.next_range(netlist.nets().len() as u64) as usize);
+            forces.push((net, value));
+        }
+        if !ffs.is_empty() {
+            for _ in 0..rng.next_range(3) {
+                let ff = ffs[rng.next_range(ffs.len() as u64) as usize];
+                upsets.push((ff, rng.next_range(u64::from(cycles)) as u32));
+            }
+        }
+    }
+    let stim = (0..cycles)
+        .map(|cycle| {
+            (0..netlist.inputs().len())
+                .map(|input| {
+                    if input == 0 {
+                        // Input 0 is the reset line: pulse it on cycle
+                        // 0, then re-assert it rarely.
+                        Logic::from_bool(cycle == 0 || rng.one_in(43))
+                    } else {
+                        match rng.next_range(10) {
+                            0..=1 => Logic::Zero,
+                            9 => Logic::X,
+                            _ => Logic::One,
+                        }
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    LanePlan {
+        forces,
+        upsets,
+        stim,
+    }
+}
+
+/// The tentpole differential: a sliced simulation carrying `lanes`
+/// independently-stimulated, independently-faulted machines must
+/// agree lane-for-lane with one scalar [`Simulator`] per lane — on
+/// every output every cycle, on the per-lane effect of every SEU
+/// hook, and on the final flip-flop state. Lane 0 (always clean) is
+/// additionally mirrored by an [`EventSimulator`], tying the sliced
+/// engine into the existing scalar-vs-event oracle chain.
+fn check_sliced_vs_scalar(
+    kind: WorkloadKind,
+    width: u32,
+    height: u32,
+    mb: u32,
+    lanes: u32,
+    cycles: u32,
+    salt: u64,
+) -> CheckResult {
+    let shape = ArrayShape::new(width, height);
+    let reference = reference_sequence(kind, shape, mb, 0);
+    let pair = Srag2d::map(&reference, shape, Layout::RowMajor)
+        .map_err(|e| format!("SRAG mapping failed on a mappable workload: {e}"))?;
+    let design = pair
+        .elaborate()
+        .map_err(|e| format!("elaboration failed: {e}"))?;
+    let netlist = &design.netlist;
+    let lanes = lanes as usize;
+
+    let ffs = flip_flop_ids(netlist);
+    let plans: Vec<LanePlan> = (0..lanes)
+        .map(|lane| lane_plan(salt, lane, cycles, netlist, &ffs))
+        .collect();
+
+    let mut sliced =
+        SlicedSimulator::new(netlist, lanes).map_err(|e| format!("sliced sim: {e}"))?;
+    let mut twins = Vec::with_capacity(lanes);
+    for _ in 0..lanes {
+        twins.push(Simulator::new(netlist).map_err(|e| format!("scalar twin: {e}"))?);
+    }
+    let mut evt = EventSimulator::new(netlist).map_err(|e| format!("event sim: {e}"))?;
+
+    for (lane, plan) in plans.iter().enumerate() {
+        for &(net, value) in &plan.forces {
+            sliced.force_net_lanes(net, value, &LaneMask::single(lane, lanes));
+            twins[lane].force_net(net, value);
+        }
+    }
+
+    for cycle in 0..cycles {
+        for (lane, plan) in plans.iter().enumerate() {
+            for &(ff, at) in &plan.upsets {
+                if at == cycle {
+                    let flipped = sliced.upset_flip_flop_lanes(ff, &LaneMask::single(lane, lanes));
+                    let twin_flipped = twins[lane].upset_flip_flop(ff);
+                    if flipped.get(lane) != twin_flipped {
+                        return Err(format!(
+                            "SEU effect disagrees at cycle {cycle}, lane {lane}: sliced \
+                             flipped={}, scalar flipped={twin_flipped}",
+                            flipped.get(lane)
+                        ));
+                    }
+                }
+            }
+        }
+        let rows: Vec<Vec<Logic>> = plans
+            .iter()
+            .map(|p| p.stim[cycle as usize].clone())
+            .collect();
+        sliced
+            .step_per_lane(&rows)
+            .map_err(|e| format!("sliced step: {e}"))?;
+        for (lane, plan) in plans.iter().enumerate() {
+            twins[lane]
+                .step(&plan.stim[cycle as usize])
+                .map_err(|e| format!("scalar step: {e}"))?;
+        }
+        evt.step(&plans[0].stim[cycle as usize])
+            .map_err(|e| format!("event step: {e}"))?;
+
+        for (lane, twin) in twins.iter().enumerate() {
+            let got = sliced.output_values_lane(lane);
+            let want = twin.output_values();
+            if got != want {
+                let at = got.iter().zip(&want).position(|(a, b)| a != b).unwrap_or(0);
+                return Err(format!(
+                    "sliced lane {lane} diverges from its scalar twin at cycle {cycle}, \
+                     output {at}: {:?} vs {:?}",
+                    got[at], want[at]
+                ));
+            }
+        }
+        let evt_out = SimControl::output_values(&evt);
+        if evt_out != twins[0].output_values() {
+            return Err(format!(
+                "event sim diverges from the golden lane at cycle {cycle}"
+            ));
+        }
+    }
+
+    for (lane, twin) in twins.iter().enumerate() {
+        if sliced.flip_flop_states_lane(lane) != twin.flip_flop_states() {
+            return Err(format!(
+                "final flip-flop state of lane {lane} disagrees with its scalar twin"
+            ));
+        }
+    }
+    if SimControl::flip_flop_states(&evt) != twins[0].flip_flop_states() {
+        return Err("event sim final state disagrees with the golden lane".into());
     }
     Ok(())
 }

@@ -27,9 +27,10 @@ pub fn generate_case(case_seed: u64) -> FuzzCase {
         50..=59 => gen_espresso(&mut rng),
         60..=64 => gen_wide_cover(&mut rng),
         65..=79 => gen_srag_vs_cntag(&mut rng),
-        80..=89 => gen_gate_level(&mut rng),
-        90..=94 => gen_cosim(&mut rng),
-        _ => gen_fault_alarm(&mut rng),
+        80..=86 => gen_gate_level(&mut rng),
+        87..=91 => gen_cosim(&mut rng),
+        92..=95 => gen_fault_alarm(&mut rng),
+        _ => gen_sliced_vs_scalar(&mut rng),
     }
 }
 
@@ -271,6 +272,39 @@ fn gen_cosim(rng: &mut Prng) -> FuzzCase {
         width,
         height,
         mb,
+    }
+}
+
+/// Lane counts the sliced-vs-scalar family favours: both sides of
+/// every 64-lane word seam, plus the degenerate single-lane and
+/// mid-word shapes where masking bugs hide.
+const LANE_SEAMS: [u32; 8] = [1, 2, 63, 64, 65, 96, 127, 128];
+
+/// A small workload netlist driven through the bit-sliced simulator
+/// with independent per-lane stimulus and fault plans, checked
+/// against one scalar simulator per lane. Shapes stay small because
+/// the oracle cost is `lanes` scalar simulations.
+fn gen_sliced_vs_scalar(rng: &mut Prng) -> FuzzCase {
+    let kind = workload_kind(rng);
+    let width = pow2(rng, 1, 3);
+    let height = pow2(rng, 1, 3);
+    let mb = macroblock(rng, width, height);
+    // Three quarters of the draws sit exactly on a word seam.
+    let lanes = if rng.next_range(4) < 3 {
+        LANE_SEAMS[rng.next_range(LANE_SEAMS.len() as u64) as usize]
+    } else {
+        rng.next_in(1, 129) as u32
+    };
+    let cycles = rng.next_in(4, 33) as u32;
+    let salt = rng.next_u64();
+    FuzzCase::SlicedVsScalar {
+        kind,
+        width,
+        height,
+        mb,
+        lanes,
+        cycles,
+        salt,
     }
 }
 

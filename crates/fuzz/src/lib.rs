@@ -14,6 +14,7 @@
 //! | `espresso`     | `adgen_synth::espresso::minimize`   | exhaustive truth-table evaluation |
 //! | `wide-cover`   | multi-word (spilled) covers         | naive disjunction over literal vectors |
 //! | `cosim`        | `adgen_memory::cosim` ADDM/RAM      | cross-model report comparison |
+//! | `sliced-vs-scalar` | bit-sliced `SlicedSimulator`    | one scalar simulator per lane, event-driven sim on the golden lane |
 //! | `fault-alarm`  | hardened SRAG + `adgen_fault` replay | one-period alarm deadline, bounded golden equivalence, event-sim agreement |
 //!
 //! Runs are reproducible by construction: case `i` of master seed `S`

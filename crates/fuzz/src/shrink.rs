@@ -282,6 +282,57 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
             }
             out
         }
+        FuzzCase::SlicedVsScalar {
+            kind,
+            width,
+            height,
+            mb,
+            lanes,
+            cycles,
+            salt,
+        } => {
+            let mut out = Vec::new();
+            let rebuild = |w: u32, h: u32, mb: u32, lanes: u32, cycles: u32, kind: WorkloadKind| {
+                FuzzCase::SlicedVsScalar {
+                    kind,
+                    width: w,
+                    height: h,
+                    mb,
+                    lanes,
+                    cycles,
+                    salt: *salt,
+                }
+            };
+            for (w, h) in shape_candidates(*width, *height) {
+                out.push(rebuild(w, h, clamp_mb(*mb, w, h), *lanes, *cycles, *kind));
+            }
+            // Fewer lanes first (halving, then the word seam below).
+            if *lanes > 1 {
+                for l in [1, lanes / 2, lanes - 1] {
+                    out.push(rebuild(*width, *height, *mb, l, *cycles, *kind));
+                }
+            }
+            if *lanes > 64 {
+                out.push(rebuild(*width, *height, *mb, 64, *cycles, *kind));
+            }
+            if *cycles > 1 {
+                out.push(rebuild(*width, *height, *mb, *lanes, cycles / 2, *kind));
+            }
+            if *mb > 1 {
+                out.push(rebuild(*width, *height, mb / 2, *lanes, *cycles, *kind));
+            }
+            if *kind != WorkloadKind::Fifo {
+                out.push(rebuild(
+                    *width,
+                    *height,
+                    *mb,
+                    *lanes,
+                    *cycles,
+                    WorkloadKind::Fifo,
+                ));
+            }
+            out
+        }
         FuzzCase::FaultAlarm {
             n,
             dc,

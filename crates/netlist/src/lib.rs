@@ -52,6 +52,7 @@ pub mod liberty;
 pub mod power;
 pub mod sim;
 pub mod sim_event;
+pub mod sim_sliced;
 pub mod sta;
 pub mod stats;
 pub mod vcd;
@@ -63,8 +64,9 @@ pub use error::NetlistError;
 pub use graph::{Driver, InstId, Instance, Net, NetId, Netlist};
 pub use liberty::to_liberty;
 pub use power::{measure_power, PowerReport};
-pub use sim::{Logic, Simulator};
+pub use sim::{Logic, SimControl, Simulator};
 pub use sim_event::EventSimulator;
+pub use sim_sliced::{LaneMask, SlicedSimulator};
 pub use sta::{TimingAnalysis, TimingContext};
 pub use stats::AreaReport;
 pub use vcd::VcdTrace;

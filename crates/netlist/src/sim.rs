@@ -13,6 +13,7 @@
 use crate::cell::CellKind;
 use crate::error::NetlistError;
 use crate::graph::{InstId, NetId, Netlist};
+use adgen_obs as obs;
 
 /// Three-valued logic level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -45,7 +46,7 @@ impl Logic {
         }
     }
 
-    fn not(self) -> Self {
+    pub(crate) fn not(self) -> Self {
         match self {
             Logic::Zero => Logic::One,
             Logic::One => Logic::Zero,
@@ -53,7 +54,7 @@ impl Logic {
         }
     }
 
-    fn and(self, rhs: Self) -> Self {
+    pub(crate) fn and(self, rhs: Self) -> Self {
         match (self, rhs) {
             (Logic::Zero, _) | (_, Logic::Zero) => Logic::Zero,
             (Logic::One, Logic::One) => Logic::One,
@@ -61,7 +62,7 @@ impl Logic {
         }
     }
 
-    fn or(self, rhs: Self) -> Self {
+    pub(crate) fn or(self, rhs: Self) -> Self {
         match (self, rhs) {
             (Logic::One, _) | (_, Logic::One) => Logic::One,
             (Logic::Zero, Logic::Zero) => Logic::Zero,
@@ -69,7 +70,7 @@ impl Logic {
         }
     }
 
-    fn xor(self, rhs: Self) -> Self {
+    pub(crate) fn xor(self, rhs: Self) -> Self {
         match (self, rhs) {
             (Logic::X, _) | (_, Logic::X) => Logic::X,
             (a, b) => Logic::from_bool(a != b),
@@ -77,7 +78,7 @@ impl Logic {
     }
 
     /// `self` if both agree, otherwise `X`.
-    fn merge(self, rhs: Self) -> Self {
+    pub(crate) fn merge(self, rhs: Self) -> Self {
         if self == rhs {
             self
         } else {
@@ -92,6 +93,158 @@ impl From<bool> for Logic {
     }
 }
 
+/// The control surface every simulation engine exposes: stimulus,
+/// fault injection (stuck-ats and single-event upsets), and state
+/// readback. Fault-campaign and fuzz harnesses are written against
+/// this trait so the levelized, event-driven and bit-sliced engines
+/// are interchangeable.
+///
+/// For the bit-sliced engine the trait is the *scalar view*: forces
+/// and upsets broadcast to every lane and reads come from lane 0; the
+/// lane-masked batch hooks live on
+/// [`SlicedSimulator`](crate::sim_sliced::SlicedSimulator) itself.
+pub trait SimControl {
+    /// Pins `net` at `value` for every subsequent cycle — the
+    /// stuck-at fault model. The override replaces whatever the net's
+    /// driver produces, as seen both by combinational fanout and by
+    /// flip-flop pin sampling; re-forcing a net replaces its value.
+    fn force_net(&mut self, net: NetId, value: Logic);
+
+    /// Removes every active [`force_net`](Self::force_net) override;
+    /// nets resume following their drivers on the next
+    /// [`step`](Self::step).
+    fn clear_forces(&mut self);
+
+    /// Flips the stored state of flip-flop `inst` — a single-event
+    /// upset. `0 ↔ 1`; an `X` state is left unchanged. Returns
+    /// whether a flip happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not a sequential instance.
+    fn upset_flip_flop(&mut self, inst: InstId) -> bool;
+
+    /// Stored state of every sequential instance, in instance order.
+    fn flip_flop_states(&self) -> Vec<Logic>;
+
+    /// Number of clock cycles simulated so far.
+    fn cycle(&self) -> u64;
+
+    /// Cumulative combinational evaluation count. What one
+    /// "evaluation" means is engine-specific — gates × cycles for the
+    /// levelized engine, actual re-evaluations for the event-driven
+    /// one, gate-words for the sliced one; see DESIGN.md §11 for the
+    /// exact accounting semantics of each engine.
+    fn evaluations(&self) -> u64;
+
+    /// Current value of `net` (as of the last [`step`](Self::step)).
+    fn value(&self, net: NetId) -> Logic;
+
+    /// Values of the primary outputs, in declaration order.
+    fn output_values(&self) -> Vec<Logic>;
+
+    /// Advances one clock cycle; `inputs` supplies one value per
+    /// primary input in declaration order (index 0 is the global
+    /// reset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] on a wrong-width
+    /// stimulus.
+    fn step(&mut self, inputs: &[Logic]) -> Result<(), NetlistError>;
+
+    /// Convenience wrapper over [`step`](Self::step) taking `bool`s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Self::step).
+    fn step_bools(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
+        let v: Vec<Logic> = inputs.iter().map(|&b| Logic::from_bool(b)).collect();
+        self.step(&v)
+    }
+}
+
+/// Active stuck-at overrides, shared by the scalar engines (crate
+/// internal). An association list: fault campaigns force a handful of
+/// nets at most, so linear scans beat a map.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ForceList {
+    entries: Vec<(NetId, Logic)>,
+}
+
+impl ForceList {
+    /// Adds or replaces the override on `net`.
+    pub(crate) fn set(&mut self, net: NetId, value: Logic) {
+        match self.entries.iter_mut().find(|(n, _)| *n == net) {
+            Some(slot) => slot.1 = value,
+            None => self.entries.push((net, value)),
+        }
+    }
+
+    /// The override on `net`, if any.
+    pub(crate) fn get(&self, net: NetId) -> Option<Logic> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == net)
+            .map(|&(_, v)| v)
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn entries(&self) -> &[(NetId, Logic)] {
+        &self.entries
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Clears the list and hands back the overrides that were active
+    /// (the event-driven engine re-wakes their drivers).
+    pub(crate) fn take(&mut self) -> Vec<(NetId, Logic)> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+/// Applies a single-event upset to one stored state slot (crate
+/// internal; the shared body of every engine's `upset_flip_flop`).
+///
+/// # Panics
+///
+/// Panics if `inst` is not a sequential instance.
+pub(crate) fn upset_state_slot(netlist: &Netlist, inst: InstId, slot: &mut Logic) -> bool {
+    assert!(
+        netlist.instance(inst).kind().is_sequential(),
+        "single-event upsets only apply to flip-flops"
+    );
+    match *slot {
+        Logic::Zero => {
+            *slot = Logic::One;
+            true
+        }
+        Logic::One => {
+            *slot = Logic::Zero;
+            true
+        }
+        Logic::X => false,
+    }
+}
+
+/// Collects the stored state of every sequential instance in instance
+/// order from a per-instance state vector (crate internal; the shared
+/// body of every engine's `flip_flop_states`).
+pub(crate) fn collect_flip_flop_states(netlist: &Netlist, state: &[Logic]) -> Vec<Logic> {
+    netlist
+        .instances()
+        .iter()
+        .enumerate()
+        .filter(|(_, inst)| inst.kind().is_sequential())
+        .map(|(idx, _)| state[idx])
+        .collect()
+}
+
 /// Cycle-accurate simulator over a validated [`Netlist`].
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
@@ -100,8 +253,9 @@ pub struct Simulator<'a> {
     values: Vec<Logic>,
     state: Vec<Logic>,
     /// Active net overrides (stuck-at faults); tiny in practice.
-    forced: Vec<(NetId, Logic)>,
+    forced: ForceList,
     cycle: u64,
+    evaluations: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -118,8 +272,9 @@ impl<'a> Simulator<'a> {
             order,
             values: vec![Logic::X; netlist.nets().len()],
             state: vec![Logic::X; netlist.instances().len()],
-            forced: Vec::new(),
+            forced: ForceList::default(),
             cycle: 0,
+            evaluations: 0,
         })
     }
 
@@ -129,10 +284,7 @@ impl<'a> Simulator<'a> {
     /// as seen both by combinational fanout and by flip-flop pin
     /// sampling. Forcing an already-forced net replaces its value.
     pub fn force_net(&mut self, net: NetId, value: Logic) {
-        match self.forced.iter_mut().find(|(n, _)| *n == net) {
-            Some(slot) => slot.1 = value,
-            None => self.forced.push((net, value)),
-        }
+        self.forced.set(net, value);
     }
 
     /// Removes every active [`force_net`](Self::force_net) override;
@@ -143,7 +295,7 @@ impl<'a> Simulator<'a> {
     }
 
     fn forced_value(&self, net: NetId) -> Option<Logic> {
-        self.forced.iter().find(|(n, _)| *n == net).map(|&(_, v)| v)
+        self.forced.get(net)
     }
 
     /// Flips the stored state of flip-flop `inst` — a single-event
@@ -155,40 +307,27 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `inst` is not a sequential instance.
     pub fn upset_flip_flop(&mut self, inst: InstId) -> bool {
-        assert!(
-            self.netlist.instance(inst).kind().is_sequential(),
-            "single-event upsets only apply to flip-flops"
-        );
-        let slot = &mut self.state[inst.index()];
-        match *slot {
-            Logic::Zero => {
-                *slot = Logic::One;
-                true
-            }
-            Logic::One => {
-                *slot = Logic::Zero;
-                true
-            }
-            Logic::X => false,
-        }
+        upset_state_slot(self.netlist, inst, &mut self.state[inst.index()])
     }
 
     /// Stored state of every sequential instance, in instance order —
     /// the campaign engine compares these against a golden run to
     /// recognize latent (silent) corruption.
     pub fn flip_flop_states(&self) -> Vec<Logic> {
-        self.netlist
-            .instances()
-            .iter()
-            .enumerate()
-            .filter(|(_, inst)| inst.kind().is_sequential())
-            .map(|(idx, _)| self.state[idx])
-            .collect()
+        collect_flip_flop_states(self.netlist, &self.state)
     }
 
     /// Number of clock cycles simulated so far.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Combinational gate evaluations performed. The levelized engine
+    /// settles every gate every cycle, so this is exactly
+    /// `cycles × comb_gates` — the dense baseline the event-driven
+    /// and bit-sliced engines are measured against.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
     }
 
     /// Current value of `net` (as of the last [`step`](Self::step)).
@@ -236,7 +375,7 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        for &(net, v) in &self.forced {
+        for &(net, v) in self.forced.entries() {
             self.values[net.index()] = v;
         }
         // Settle combinational logic.
@@ -256,6 +395,10 @@ impl<'a> Simulator<'a> {
                     self.values[o.index()] = self.forced_value(o).unwrap_or(v);
                 }
             }
+        }
+        self.evaluations += self.order.len() as u64;
+        if obs::enabled() {
+            obs::add(obs::Ctr::SimEvaluations, self.order.len() as u64);
         }
         // Capture next state.
         let mut next = self.state.clone();
@@ -288,6 +431,44 @@ impl<'a> Simulator<'a> {
     fn eval(&self, kind: CellKind, inputs: &[NetId]) -> Logic {
         let pins: Vec<Logic> = inputs.iter().map(|&i| self.values[i.index()]).collect();
         eval_gate(kind, &pins)
+    }
+}
+
+impl SimControl for Simulator<'_> {
+    fn force_net(&mut self, net: NetId, value: Logic) {
+        Simulator::force_net(self, net, value);
+    }
+
+    fn clear_forces(&mut self) {
+        Simulator::clear_forces(self);
+    }
+
+    fn upset_flip_flop(&mut self, inst: InstId) -> bool {
+        Simulator::upset_flip_flop(self, inst)
+    }
+
+    fn flip_flop_states(&self) -> Vec<Logic> {
+        Simulator::flip_flop_states(self)
+    }
+
+    fn cycle(&self) -> u64 {
+        Simulator::cycle(self)
+    }
+
+    fn evaluations(&self) -> u64 {
+        Simulator::evaluations(self)
+    }
+
+    fn value(&self, net: NetId) -> Logic {
+        Simulator::value(self, net)
+    }
+
+    fn output_values(&self) -> Vec<Logic> {
+        Simulator::output_values(self)
+    }
+
+    fn step(&mut self, inputs: &[Logic]) -> Result<(), NetlistError> {
+        Simulator::step(self, inputs)
     }
 }
 

@@ -17,7 +17,11 @@ use std::collections::BinaryHeap;
 use crate::cell::CellKind;
 use crate::error::NetlistError;
 use crate::graph::{Driver, InstId, NetId, Netlist};
-use crate::sim::{eval_gate, ff_next_state, Logic};
+use crate::sim::{
+    collect_flip_flop_states, eval_gate, ff_next_state, upset_state_slot, ForceList, Logic,
+    SimControl,
+};
+use adgen_obs as obs;
 
 /// Event-driven cycle-accurate simulator with the same semantics as
 /// [`Simulator`](crate::Simulator).
@@ -33,7 +37,7 @@ pub struct EventSimulator<'a> {
     /// Sequential instances whose sampled pins may have changed.
     dirty_ffs: Vec<bool>,
     /// Active net overrides (stuck-at faults); tiny in practice.
-    forced: Vec<(NetId, Logic)>,
+    forced: ForceList,
     /// Nets whose force was just cleared; their drivers re-evaluate
     /// on the next step.
     released: Vec<NetId>,
@@ -61,7 +65,7 @@ impl<'a> EventSimulator<'a> {
             state: vec![Logic::X; netlist.instances().len()],
             queued: vec![false; netlist.instances().len()],
             dirty_ffs: vec![true; netlist.instances().len()],
-            forced: Vec::new(),
+            forced: ForceList::default(),
             released: Vec::new(),
             cycle: 0,
             evaluations: 0,
@@ -72,17 +76,14 @@ impl<'a> EventSimulator<'a> {
     /// stuck-at fault model, with the same semantics as
     /// [`Simulator::force_net`](crate::Simulator::force_net).
     pub fn force_net(&mut self, net: NetId, value: Logic) {
-        match self.forced.iter_mut().find(|(n, _)| *n == net) {
-            Some(slot) => slot.1 = value,
-            None => self.forced.push((net, value)),
-        }
+        self.forced.set(net, value);
     }
 
     /// Removes every active [`force_net`](Self::force_net) override.
     /// The released nets re-evaluate from their drivers on the next
     /// [`step`](Self::step).
     pub fn clear_forces(&mut self) {
-        for (net, _) in std::mem::take(&mut self.forced) {
+        for (net, _) in self.forced.take() {
             self.released.push(net);
         }
     }
@@ -95,22 +96,8 @@ impl<'a> EventSimulator<'a> {
     ///
     /// Panics if `inst` is not a sequential instance.
     pub fn upset_flip_flop(&mut self, inst: InstId) -> bool {
-        assert!(
-            self.netlist.instance(inst).kind().is_sequential(),
-            "single-event upsets only apply to flip-flops"
-        );
         let idx = inst.index();
-        let flipped = match self.state[idx] {
-            Logic::Zero => {
-                self.state[idx] = Logic::One;
-                true
-            }
-            Logic::One => {
-                self.state[idx] = Logic::Zero;
-                true
-            }
-            Logic::X => false,
-        };
+        let flipped = upset_state_slot(self.netlist, inst, &mut self.state[idx]);
         if flipped {
             self.dirty_ffs[idx] = true;
         }
@@ -119,13 +106,7 @@ impl<'a> EventSimulator<'a> {
 
     /// Stored state of every sequential instance, in instance order.
     pub fn flip_flop_states(&self) -> Vec<Logic> {
-        self.netlist
-            .instances()
-            .iter()
-            .enumerate()
-            .filter(|(_, inst)| inst.kind().is_sequential())
-            .map(|(idx, _)| self.state[idx])
-            .collect()
+        collect_flip_flop_states(self.netlist, &self.state)
     }
 
     /// Number of clock cycles simulated so far.
@@ -169,6 +150,7 @@ impl<'a> EventSimulator<'a> {
                 found: inputs.len(),
             });
         }
+        let evals_at_entry = self.evaluations;
         // Min-heap of (rank, instance) via Reverse ordering.
         let mut heap: BinaryHeap<std::cmp::Reverse<(u32, u32)>> = BinaryHeap::new();
         let set_net = |values: &mut Vec<Logic>,
@@ -177,14 +159,11 @@ impl<'a> EventSimulator<'a> {
                        heap: &mut BinaryHeap<std::cmp::Reverse<(u32, u32)>>,
                        rank: &[u32],
                        netlist: &Netlist,
-                       forced: &[(NetId, Logic)],
+                       forced: &ForceList,
                        net: NetId,
                        v: Logic| {
             // An active stuck-at override wins over any driver.
-            let v = forced
-                .iter()
-                .find(|(n, _)| *n == net)
-                .map_or(v, |&(_, f)| f);
+            let v = forced.get(net).unwrap_or(v);
             if values[net.index()] == v {
                 return;
             }
@@ -263,8 +242,8 @@ impl<'a> EventSimulator<'a> {
         }
         // Seed active faults: pin each forced net and queue its loads
         // even if no regular event touched it this cycle.
-        for i in 0..self.forced.len() {
-            let (net, v) = self.forced[i];
+        for i in 0..self.forced.entries().len() {
+            let (net, v) = self.forced.entries()[i];
             set_net(
                 &mut self.values,
                 &mut self.queued,
@@ -370,6 +349,9 @@ impl<'a> EventSimulator<'a> {
             }
         }
         self.cycle += 1;
+        if obs::enabled() {
+            obs::add(obs::Ctr::SimEvaluations, self.evaluations - evals_at_entry);
+        }
         Ok(())
     }
 
@@ -381,6 +363,44 @@ impl<'a> EventSimulator<'a> {
     pub fn step_bools(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
         let v: Vec<Logic> = inputs.iter().map(|&b| Logic::from_bool(b)).collect();
         self.step(&v)
+    }
+}
+
+impl SimControl for EventSimulator<'_> {
+    fn force_net(&mut self, net: NetId, value: Logic) {
+        EventSimulator::force_net(self, net, value);
+    }
+
+    fn clear_forces(&mut self) {
+        EventSimulator::clear_forces(self);
+    }
+
+    fn upset_flip_flop(&mut self, inst: InstId) -> bool {
+        EventSimulator::upset_flip_flop(self, inst)
+    }
+
+    fn flip_flop_states(&self) -> Vec<Logic> {
+        EventSimulator::flip_flop_states(self)
+    }
+
+    fn cycle(&self) -> u64 {
+        EventSimulator::cycle(self)
+    }
+
+    fn evaluations(&self) -> u64 {
+        EventSimulator::evaluations(self)
+    }
+
+    fn value(&self, net: NetId) -> Logic {
+        EventSimulator::value(self, net)
+    }
+
+    fn output_values(&self) -> Vec<Logic> {
+        EventSimulator::output_values(self)
+    }
+
+    fn step(&mut self, inputs: &[Logic]) -> Result<(), NetlistError> {
+        EventSimulator::step(self, inputs)
     }
 }
 

@@ -1,0 +1,1171 @@
+//! Bit-sliced (word-parallel) cycle simulation: 64 independent
+//! machines advance per gate operation.
+//!
+//! The levelized [`Simulator`](crate::Simulator) and the event-driven
+//! [`EventSimulator`](crate::EventSimulator) both advance **one**
+//! stimulus per call; a fault campaign replaying hundreds of faulty
+//! machines, or a fuzzer driving dozens of generated cases, pays the
+//! whole netlist walk once per machine. [`SlicedSimulator`] applies
+//! the same word-parallel trick as the packed positional-cube kernel
+//! in `adgen-synth`: each net holds one `u64` *word* per 64 lanes, so
+//! a single pass over the gates steps up to 64 independent machines —
+//! same netlist, different stimulus and different injected faults per
+//! lane.
+//!
+//! ## Slicing layout
+//!
+//! Three-valued (`0/1/X`) semantics need two bitplanes per net:
+//!
+//! * `ones` — bit set ⇔ the lane's value is [`Logic::One`];
+//! * `xs`   — bit set ⇔ the lane's value is [`Logic::X`].
+//!
+//! Both clear means [`Logic::Zero`]; `ones & xs == 0` is a canonical-
+//! form invariant every packed operator preserves. Lane `l` lives in
+//! bit `l % 64` of word `l / 64`; a simulator with `lanes` not a
+//! multiple of 64 masks the trailing word so inactive bits never leak
+//! into reads or fault hooks.
+//!
+//! ## Lane-mask fault hooks and the golden-lane convention
+//!
+//! [`force_net_lanes`](SlicedSimulator::force_net_lanes) and
+//! [`upset_flip_flop_lanes`](SlicedSimulator::upset_flip_flop_lanes)
+//! take a [`LaneMask`], so one pass carries a whole batch of faulty
+//! machines next to an unfaulted reference: the campaign engine packs
+//! 63 faults into lanes `1..` and keeps lane 0 as the shared *golden*
+//! lane, cross-checked against the scalar golden trace every cycle.
+//!
+//! Every lane is bit-exact with the scalar engines by construction;
+//! the fuzz family `sliced-vs-scalar` and the word-seam tests below
+//! pin that equivalence.
+
+use crate::cell::CellKind;
+use crate::error::NetlistError;
+use crate::graph::{InstId, NetId, Netlist};
+use crate::sim::{Logic, SimControl};
+use adgen_obs as obs;
+
+/// One 64-lane word of three-valued values: `ones` marks One lanes,
+/// `xs` marks X lanes, both clear is Zero. Invariant: `ones & xs == 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Pk {
+    ones: u64,
+    xs: u64,
+}
+
+/// All lanes Zero.
+const PK_ZERO: Pk = Pk { ones: 0, xs: 0 };
+/// All lanes One.
+const PK_ONE: Pk = Pk { ones: !0, xs: 0 };
+/// All lanes X.
+const PK_X: Pk = Pk { ones: 0, xs: !0 };
+
+impl Pk {
+    fn broadcast(v: Logic) -> Pk {
+        match v {
+            Logic::Zero => PK_ZERO,
+            Logic::One => PK_ONE,
+            Logic::X => PK_X,
+        }
+    }
+
+    fn lane(self, bit: u32) -> Logic {
+        if (self.xs >> bit) & 1 == 1 {
+            Logic::X
+        } else if (self.ones >> bit) & 1 == 1 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+}
+
+#[inline]
+fn pk_not(a: Pk) -> Pk {
+    Pk {
+        ones: !a.ones & !a.xs,
+        xs: a.xs,
+    }
+}
+
+#[inline]
+fn pk_and(a: Pk, b: Pk) -> Pk {
+    let one = a.ones & b.ones;
+    let zero = (!a.ones & !a.xs) | (!b.ones & !b.xs);
+    Pk {
+        ones: one,
+        xs: !(one | zero),
+    }
+}
+
+#[inline]
+fn pk_or(a: Pk, b: Pk) -> Pk {
+    let one = a.ones | b.ones;
+    let zero = (!a.ones & !a.xs) & (!b.ones & !b.xs);
+    Pk {
+        ones: one,
+        xs: !(one | zero),
+    }
+}
+
+#[inline]
+fn pk_xor(a: Pk, b: Pk) -> Pk {
+    let xs = a.xs | b.xs;
+    Pk {
+        ones: (a.ones ^ b.ones) & !xs,
+        xs,
+    }
+}
+
+/// Lane-wise [`Logic::merge`]: the common value where both sides
+/// agree and are defined, X everywhere else.
+#[inline]
+fn pk_merge(a: Pk, b: Pk) -> Pk {
+    let same = !a.xs & !b.xs & !(a.ones ^ b.ones);
+    Pk {
+        ones: a.ones & same,
+        xs: !same,
+    }
+}
+
+/// Lane-wise 2:1 mux with X-select merge — also the shared kernel of
+/// every flip-flop next-state function (enable, reset and set pins
+/// are selects).
+#[inline]
+fn pk_mux(d0: Pk, d1: Pk, s: Pk) -> Pk {
+    let m = pk_merge(d0, d1);
+    let s_one = s.ones;
+    let s_zero = !s.ones & !s.xs;
+    Pk {
+        ones: (d0.ones & s_zero) | (d1.ones & s_one) | (m.ones & s.xs),
+        xs: (d0.xs & s_zero) | (d1.xs & s_one) | (m.xs & s.xs),
+    }
+}
+
+/// Word-parallel combinational evaluation, lane-for-lane identical to
+/// the scalar `eval_gate`.
+fn eval_gate_pk(kind: CellKind, v: &dyn Fn(usize) -> Pk) -> Pk {
+    match kind {
+        CellKind::Inv => pk_not(v(0)),
+        CellKind::Buf => v(0),
+        CellKind::Nand2 => pk_not(pk_and(v(0), v(1))),
+        CellKind::Nand3 => pk_not(pk_and(pk_and(v(0), v(1)), v(2))),
+        CellKind::Nand4 => pk_not(pk_and(pk_and(pk_and(v(0), v(1)), v(2)), v(3))),
+        CellKind::Nor2 => pk_not(pk_or(v(0), v(1))),
+        CellKind::Nor3 => pk_not(pk_or(pk_or(v(0), v(1)), v(2))),
+        CellKind::Nor4 => pk_not(pk_or(pk_or(pk_or(v(0), v(1)), v(2)), v(3))),
+        CellKind::And2 => pk_and(v(0), v(1)),
+        CellKind::And3 => pk_and(pk_and(v(0), v(1)), v(2)),
+        CellKind::And4 => pk_and(pk_and(pk_and(v(0), v(1)), v(2)), v(3)),
+        CellKind::Or2 => pk_or(v(0), v(1)),
+        CellKind::Or3 => pk_or(pk_or(v(0), v(1)), v(2)),
+        CellKind::Or4 => pk_or(pk_or(pk_or(v(0), v(1)), v(2)), v(3)),
+        CellKind::Xor2 => pk_xor(v(0), v(1)),
+        CellKind::Xnor2 => pk_not(pk_xor(v(0), v(1))),
+        CellKind::Aoi21 => pk_not(pk_or(pk_and(v(0), v(1)), v(2))),
+        CellKind::Oai21 => pk_not(pk_and(pk_or(v(0), v(1)), v(2))),
+        CellKind::Mux2 => pk_mux(v(0), v(1), v(2)),
+        CellKind::TieHi => PK_ONE,
+        CellKind::TieLo => PK_ZERO,
+        _ => unreachable!("sequential cell in combinational order"),
+    }
+}
+
+/// Word-parallel flip-flop next state, lane-for-lane identical to the
+/// scalar `ff_next_state`. Control pins reduce to [`pk_mux`]: an X
+/// enable merges data with the held state, an X reset/set merges the
+/// forced constant with the data path — exactly the scalar X rules.
+fn ff_next_pk(kind: CellKind, cur: Pk, pin: &dyn Fn(usize) -> Pk) -> Pk {
+    match kind {
+        CellKind::Dff => pin(0),
+        CellKind::Dffe => pk_mux(cur, pin(0), pin(1)),
+        CellKind::Dffr => pk_mux(pin(0), PK_ZERO, pin(1)),
+        CellKind::Dffs => pk_mux(pin(0), PK_ONE, pin(1)),
+        CellKind::Dffre => pk_mux(pk_mux(cur, pin(0), pin(1)), PK_ZERO, pin(2)),
+        CellKind::Dffse => pk_mux(pk_mux(cur, pin(0), pin(1)), PK_ONE, pin(2)),
+        _ => unreachable!("combinational cell treated as flip-flop"),
+    }
+}
+
+/// A per-lane bit mask over the lanes of one [`SlicedSimulator`] —
+/// the batch-selection argument of the lane-masked fault hooks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneMask {
+    words: Vec<u64>,
+    lanes: usize,
+}
+
+impl LaneMask {
+    /// An empty mask over `lanes` lanes.
+    pub fn none(lanes: usize) -> Self {
+        LaneMask {
+            words: vec![0; lanes.div_ceil(64)],
+            lanes,
+        }
+    }
+
+    /// Every active lane set (trailing-word bits beyond `lanes` stay
+    /// clear).
+    pub fn all(lanes: usize) -> Self {
+        let mut m = LaneMask::none(lanes);
+        for (w, word) in m.words.iter_mut().enumerate() {
+            *word = tail_mask(lanes, w);
+        }
+        m
+    }
+
+    /// A single-lane mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes`.
+    pub fn single(lane: usize, lanes: usize) -> Self {
+        let mut m = LaneMask::none(lanes);
+        m.set(lane);
+        m
+    }
+
+    /// Number of lanes the mask ranges over.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Sets `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes`.
+    pub fn set(&mut self, lane: usize) {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        self.words[lane / 64] |= 1u64 << (lane % 64);
+    }
+
+    /// Whether `lane` is set.
+    pub fn get(&self, lane: usize) -> bool {
+        lane < self.lanes && (self.words[lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
+    /// Number of set lanes.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn word(&self, w: usize) -> u64 {
+        self.words[w]
+    }
+}
+
+/// Mask of the active bits of word `w` for a `lanes`-lane simulator.
+fn tail_mask(lanes: usize, w: usize) -> u64 {
+    let below = lanes.saturating_sub(w * 64);
+    match below {
+        0 => 0,
+        64.. => !0,
+        n => (1u64 << n) - 1,
+    }
+}
+
+/// A stuck-at override on a subset of lanes: outside `mask` the net
+/// follows its driver, inside it is pinned to the stored planes.
+#[derive(Debug, Clone)]
+struct ForceRow {
+    ones: Vec<u64>,
+    xs: Vec<u64>,
+    mask: Vec<u64>,
+}
+
+/// Sentinel for "no force on this net" in the dense index map.
+const NO_FORCE: u32 = u32::MAX;
+
+/// Bit-sliced cycle-accurate simulator: `lanes` independent machines
+/// over one shared [`Netlist`], each lane bit-exact with
+/// [`Simulator`](crate::Simulator) under the same per-lane stimulus
+/// and faults.
+#[derive(Debug, Clone)]
+pub struct SlicedSimulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<InstId>,
+    lanes: usize,
+    words: usize,
+    /// `ones` plane per net, net-major: `net.index() * words + w`.
+    val_ones: Vec<u64>,
+    /// `xs` plane per net, same layout.
+    val_xs: Vec<u64>,
+    /// Flip-flop state planes per instance, instance-major.
+    st_ones: Vec<u64>,
+    st_xs: Vec<u64>,
+    /// Dense net-index → force-row map (`NO_FORCE` = unforced).
+    force_idx: Vec<u32>,
+    forces: Vec<(NetId, ForceRow)>,
+    cycle: u64,
+    evaluations: u64,
+    word_ops: u64,
+}
+
+impl<'a> SlicedSimulator<'a> {
+    /// Prepares a simulator with `lanes` machines for `netlist`. Every
+    /// lane powers up all-X, exactly like the scalar engines.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the netlist does not [`validate`](Netlist::validate)
+    /// or `lanes` is zero (reported as a width mismatch).
+    pub fn new(netlist: &'a Netlist, lanes: usize) -> Result<Self, NetlistError> {
+        if lanes == 0 {
+            return Err(NetlistError::InputWidthMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        netlist.validate()?;
+        let order = netlist.comb_topo_order()?;
+        let words = lanes.div_ceil(64);
+        if obs::enabled() {
+            obs::add(obs::Ctr::SimSlicedPasses, 1);
+            obs::add(obs::Ctr::SimSlicedLanes, lanes as u64);
+        }
+        Ok(SlicedSimulator {
+            netlist,
+            order,
+            lanes,
+            words,
+            val_ones: vec![0; netlist.nets().len() * words],
+            val_xs: vec![!0; netlist.nets().len() * words],
+            st_ones: vec![0; netlist.instances().len() * words],
+            st_xs: vec![!0; netlist.instances().len() * words],
+            force_idx: vec![NO_FORCE; netlist.nets().len()],
+            forces: Vec::new(),
+            cycle: 0,
+            evaluations: 0,
+            word_ops: 0,
+        })
+    }
+
+    /// Number of lanes (independent machines).
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Number of 64-lane words per net.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Number of clock cycles simulated so far.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Combinational gate evaluations performed, counted per 64-lane
+    /// *word*: one evaluation advances up to 64 machines, which is
+    /// exactly where the engine's speedup comes from.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Total kernel word operations (gate evaluations plus flip-flop
+    /// captures, per word) — the sliced analogue of `cube.word_ops`.
+    pub fn word_ops(&self) -> u64 {
+        self.word_ops
+    }
+
+    #[inline]
+    fn read(&self, net: NetId, w: usize) -> Pk {
+        let at = net.index() * self.words + w;
+        Pk {
+            ones: self.val_ones[at],
+            xs: self.val_xs[at],
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, net: NetId, w: usize, v: Pk) {
+        let at = net.index() * self.words + w;
+        self.val_ones[at] = v.ones;
+        self.val_xs[at] = v.xs;
+    }
+
+    /// Value of `net` in `lane` (as of the last step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes`.
+    pub fn value_lane(&self, net: NetId, lane: usize) -> Logic {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        self.read(net, lane / 64).lane((lane % 64) as u32)
+    }
+
+    /// Primary-output values of `lane`, in declaration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes`.
+    pub fn output_values_lane(&self, lane: usize) -> Vec<Logic> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.value_lane(o, lane))
+            .collect()
+    }
+
+    /// Stored flip-flop states of `lane`, in instance order — the
+    /// same view as the scalar `flip_flop_states`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= lanes`.
+    pub fn flip_flop_states_lane(&self, lane: usize) -> Vec<Logic> {
+        assert!(lane < self.lanes, "lane {lane} out of {} lanes", self.lanes);
+        let (w, bit) = (lane / 64, (lane % 64) as u32);
+        self.netlist
+            .instances()
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| inst.kind().is_sequential())
+            .map(|(idx, _)| {
+                Pk {
+                    ones: self.st_ones[idx * self.words + w],
+                    xs: self.st_xs[idx * self.words + w],
+                }
+                .lane(bit)
+            })
+            .collect()
+    }
+
+    /// Raw `(ones, xs)` planes of `net` for word `w`, trimmed to the
+    /// active lanes — the mask-level readback the campaign engine
+    /// classifies whole fault batches with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w >= words`.
+    pub fn packed_value(&self, net: NetId, w: usize) -> (u64, u64) {
+        assert!(w < self.words, "word {w} out of {}", self.words);
+        let active = tail_mask(self.lanes, w);
+        let v = self.read(net, w);
+        (v.ones & active, v.xs & active)
+    }
+
+    /// Pins `net` at `value` on every lane in `mask` — the stuck-at
+    /// model, batched. Lanes outside `mask` keep following the net's
+    /// driver; re-forcing a masked lane replaces its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask` was built for a different lane count.
+    pub fn force_net_lanes(&mut self, net: NetId, value: Logic, mask: &LaneMask) {
+        assert_eq!(
+            mask.lanes(),
+            self.lanes,
+            "lane mask built for a different simulator"
+        );
+        let pv = Pk::broadcast(value);
+        let slot = self.force_idx[net.index()];
+        let row = if slot == NO_FORCE {
+            self.force_idx[net.index()] = self.forces.len() as u32;
+            self.forces.push((
+                net,
+                ForceRow {
+                    ones: vec![0; self.words],
+                    xs: vec![0; self.words],
+                    mask: vec![0; self.words],
+                },
+            ));
+            &mut self.forces.last_mut().expect("just pushed").1
+        } else {
+            &mut self.forces[slot as usize].1
+        };
+        for w in 0..self.words {
+            let m = mask.word(w) & tail_mask(self.lanes, w);
+            row.mask[w] |= m;
+            row.ones[w] = (row.ones[w] & !m) | (pv.ones & m);
+            row.xs[w] = (row.xs[w] & !m) | (pv.xs & m);
+        }
+    }
+
+    /// Removes every active [`force_net_lanes`](Self::force_net_lanes)
+    /// override on every lane; nets resume following their drivers on
+    /// the next step.
+    pub fn clear_forces(&mut self) {
+        for (net, _) in self.forces.drain(..) {
+            self.force_idx[net.index()] = NO_FORCE;
+        }
+    }
+
+    /// Flips the stored state of flip-flop `inst` on every lane in
+    /// `mask` whose state is defined (`0 ↔ 1`; X lanes are left
+    /// alone) — the single-event-upset model, batched. Returns the
+    /// mask of lanes that actually flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not sequential or `mask` was built for a
+    /// different lane count.
+    pub fn upset_flip_flop_lanes(&mut self, inst: InstId, mask: &LaneMask) -> LaneMask {
+        assert!(
+            self.netlist.instance(inst).kind().is_sequential(),
+            "single-event upsets only apply to flip-flops"
+        );
+        assert_eq!(
+            mask.lanes(),
+            self.lanes,
+            "lane mask built for a different simulator"
+        );
+        let mut flipped = LaneMask::none(self.lanes);
+        for w in 0..self.words {
+            let at = inst.index() * self.words + w;
+            let hit = mask.word(w) & !self.st_xs[at] & tail_mask(self.lanes, w);
+            self.st_ones[at] ^= hit;
+            flipped.words[w] = hit;
+        }
+        flipped
+    }
+
+    /// Advances one clock cycle with the same stimulus on every lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] on a wrong-width
+    /// stimulus.
+    pub fn step(&mut self, inputs: &[Logic]) -> Result<(), NetlistError> {
+        let pis = self.netlist.inputs();
+        if inputs.len() != pis.len() {
+            return Err(NetlistError::InputWidthMismatch {
+                expected: pis.len(),
+                found: inputs.len(),
+            });
+        }
+        let rows: Vec<Pk> = inputs.iter().map(|&v| Pk::broadcast(v)).collect();
+        self.step_rows(&rows);
+        Ok(())
+    }
+
+    /// Convenience wrapper over [`step`](Self::step) taking `bool`s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Self::step).
+    pub fn step_bools(&mut self, inputs: &[bool]) -> Result<(), NetlistError> {
+        let v: Vec<Logic> = inputs.iter().map(|&b| Logic::from_bool(b)).collect();
+        self.step(&v)
+    }
+
+    /// Advances one clock cycle with an independent stimulus per
+    /// lane: `per_lane[l]` supplies the full primary-input vector of
+    /// lane `l`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InputWidthMismatch`] if the outer
+    /// length is not `lanes` or any inner length is not the number of
+    /// primary inputs.
+    pub fn step_per_lane(&mut self, per_lane: &[Vec<Logic>]) -> Result<(), NetlistError> {
+        let pis = self.netlist.inputs();
+        if per_lane.len() != self.lanes {
+            return Err(NetlistError::InputWidthMismatch {
+                expected: self.lanes,
+                found: per_lane.len(),
+            });
+        }
+        if let Some(bad) = per_lane.iter().find(|v| v.len() != pis.len()) {
+            return Err(NetlistError::InputWidthMismatch {
+                expected: pis.len(),
+                found: bad.len(),
+            });
+        }
+        // Transpose the per-lane stimulus into per-input plane words.
+        let mut rows = vec![PK_ZERO; pis.len() * self.words];
+        for (lane, inputs) in per_lane.iter().enumerate() {
+            let (w, bit) = (lane / 64, lane % 64);
+            for (k, &v) in inputs.iter().enumerate() {
+                let row = &mut rows[k * self.words + w];
+                match v {
+                    Logic::Zero => {}
+                    Logic::One => row.ones |= 1u64 << bit,
+                    Logic::X => row.xs |= 1u64 << bit,
+                }
+            }
+        }
+        self.step_rows_strided(&rows);
+        Ok(())
+    }
+
+    /// The shared step body for a broadcast stimulus (one row per
+    /// primary input, applied to every word).
+    fn step_rows(&mut self, rows: &[Pk]) {
+        let words = self.words;
+        let expanded: Vec<Pk> = rows
+            .iter()
+            .flat_map(|&r| std::iter::repeat_n(r, words))
+            .collect();
+        self.step_rows_strided(&expanded);
+    }
+
+    /// One cycle from pre-packed input planes (`rows[k * words + w]`
+    /// is input `k`, word `w`): drive inputs, present state on Q,
+    /// apply forces, settle in topological order, capture next state.
+    fn step_rows_strided(&mut self, rows: &[Pk]) {
+        let words = self.words;
+        let mut step_word_ops = 0u64;
+        let mut step_evals = 0u64;
+        // Drive primary inputs.
+        for (k, &net) in self.netlist.inputs().iter().enumerate() {
+            for w in 0..words {
+                self.write(net, w, rows[k * words + w]);
+            }
+        }
+        // Present flip-flop state on Q pins.
+        for (idx, inst) in self.netlist.instances().iter().enumerate() {
+            if inst.kind().is_sequential() {
+                for &q in inst.outputs() {
+                    for w in 0..words {
+                        let at = idx * words + w;
+                        self.write(
+                            q,
+                            w,
+                            Pk {
+                                ones: self.st_ones[at],
+                                xs: self.st_xs[at],
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // Pin forced lanes before settling so flip-flop sampling and
+        // fanout both see the overrides, as in the scalar engines.
+        for fi in 0..self.forces.len() {
+            let net = self.forces[fi].0;
+            for w in 0..words {
+                let v = self.apply_force(fi, w, self.read(net, w));
+                self.write(net, w, v);
+            }
+        }
+        // Settle combinational logic in topological order.
+        for oi in 0..self.order.len() {
+            let id = self.order[oi];
+            let inst = self.netlist.instance(id);
+            let kind = inst.kind();
+            let num_outputs = inst.outputs().len();
+            for w in 0..words {
+                let v = {
+                    let inputs = inst.inputs();
+                    eval_gate_pk(kind, &|i| self.read(inputs[i], w))
+                };
+                step_evals += 1;
+                for o in 0..num_outputs {
+                    let net = self.netlist.instance(id).outputs()[o];
+                    let v = match self.force_idx[net.index()] {
+                        NO_FORCE => v,
+                        fi => self.apply_force(fi as usize, w, v),
+                    };
+                    self.write(net, w, v);
+                }
+            }
+        }
+        // Capture next state. In-place is safe: pins read settled net
+        // values, never another flip-flop's stored state.
+        for (idx, inst) in self.netlist.instances().iter().enumerate() {
+            if !inst.kind().is_sequential() {
+                continue;
+            }
+            for w in 0..words {
+                let at = idx * words + w;
+                let cur = Pk {
+                    ones: self.st_ones[at],
+                    xs: self.st_xs[at],
+                };
+                let next = {
+                    let inputs = inst.inputs();
+                    ff_next_pk(inst.kind(), cur, &|i| self.read(inputs[i], w))
+                };
+                self.st_ones[at] = next.ones;
+                self.st_xs[at] = next.xs;
+                step_word_ops += 1;
+            }
+        }
+        step_word_ops += step_evals;
+        self.evaluations += step_evals;
+        self.word_ops += step_word_ops;
+        self.cycle += 1;
+        if obs::enabled() {
+            obs::add(obs::Ctr::SimEvaluations, step_evals);
+            obs::add(obs::Ctr::SimSlicedWordOps, step_word_ops);
+        }
+    }
+
+    /// Blends force row `fi`'s pinned lanes into `v` for word `w`.
+    fn apply_force(&self, fi: usize, w: usize, v: Pk) -> Pk {
+        let row = &self.forces[fi].1;
+        let m = row.mask[w];
+        Pk {
+            ones: (v.ones & !m) | (row.ones[w] & m),
+            xs: (v.xs & !m) | (row.xs[w] & m),
+        }
+    }
+}
+
+/// The scalar view of a sliced simulator: stimulus and faults
+/// broadcast to every lane, reads come from lane 0. With this a
+/// `SlicedSimulator` drops into any harness written against the
+/// shared control surface.
+impl SimControl for SlicedSimulator<'_> {
+    fn force_net(&mut self, net: NetId, value: Logic) {
+        self.force_net_lanes(net, value, &LaneMask::all(self.lanes));
+    }
+
+    fn clear_forces(&mut self) {
+        SlicedSimulator::clear_forces(self);
+    }
+
+    fn upset_flip_flop(&mut self, inst: InstId) -> bool {
+        self.upset_flip_flop_lanes(inst, &LaneMask::all(self.lanes))
+            .get(0)
+    }
+
+    fn flip_flop_states(&self) -> Vec<Logic> {
+        self.flip_flop_states_lane(0)
+    }
+
+    fn cycle(&self) -> u64 {
+        SlicedSimulator::cycle(self)
+    }
+
+    fn evaluations(&self) -> u64 {
+        SlicedSimulator::evaluations(self)
+    }
+
+    fn value(&self, net: NetId) -> Logic {
+        self.value_lane(net, 0)
+    }
+
+    fn output_values(&self) -> Vec<Logic> {
+        self.output_values_lane(0)
+    }
+
+    fn step(&mut self, inputs: &[Logic]) -> Result<(), NetlistError> {
+        SlicedSimulator::step(self, inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    const ALL_LOGIC: [Logic; 3] = [Logic::Zero, Logic::One, Logic::X];
+
+    fn pk_of(values: &[Logic]) -> Pk {
+        let mut pk = PK_ZERO;
+        for (i, &v) in values.iter().enumerate() {
+            match v {
+                Logic::Zero => {}
+                Logic::One => pk.ones |= 1 << i,
+                Logic::X => pk.xs |= 1 << i,
+            }
+        }
+        pk
+    }
+
+    fn assert_canonical(pk: Pk) {
+        assert_eq!(pk.ones & pk.xs, 0, "ones/xs overlap: {pk:?}");
+    }
+
+    /// Every packed binary operator must agree with the scalar truth
+    /// table on all 9 value pairs, packed into one word.
+    #[test]
+    fn packed_ops_match_scalar_truth_tables() {
+        let mut avs = Vec::new();
+        let mut bvs = Vec::new();
+        for &a in &ALL_LOGIC {
+            for &b in &ALL_LOGIC {
+                avs.push(a);
+                bvs.push(b);
+            }
+        }
+        let pa = pk_of(&avs);
+        let pb = pk_of(&bvs);
+        type ScalarOp = fn(Logic, Logic) -> Logic;
+        type PackedOp = fn(Pk, Pk) -> Pk;
+        let table: [(&str, ScalarOp, PackedOp); 4] = [
+            ("and", Logic::and, pk_and),
+            ("or", Logic::or, pk_or),
+            ("xor", Logic::xor, pk_xor),
+            ("merge", Logic::merge, pk_merge),
+        ];
+        for (name, scalar, packed) in table {
+            let got = packed(pa, pb);
+            assert_canonical(got);
+            for i in 0..avs.len() {
+                assert_eq!(
+                    got.lane(i as u32),
+                    scalar(avs[i], bvs[i]),
+                    "{name}({:?}, {:?})",
+                    avs[i],
+                    bvs[i]
+                );
+            }
+        }
+        let got = pk_not(pa);
+        assert_canonical(got);
+        for (i, &av) in avs.iter().enumerate() {
+            assert_eq!(got.lane(i as u32), av.not(), "not({av:?})");
+        }
+    }
+
+    /// The packed mux over all 27 (d0, d1, s) combinations.
+    #[test]
+    fn packed_mux_matches_scalar() {
+        let mut d0s = Vec::new();
+        let mut d1s = Vec::new();
+        let mut ss = Vec::new();
+        for &a in &ALL_LOGIC {
+            for &b in &ALL_LOGIC {
+                for &s in &ALL_LOGIC {
+                    d0s.push(a);
+                    d1s.push(b);
+                    ss.push(s);
+                }
+            }
+        }
+        let got = pk_mux(pk_of(&d0s), pk_of(&d1s), pk_of(&ss));
+        assert_canonical(got);
+        for i in 0..d0s.len() {
+            let want = match ss[i] {
+                Logic::Zero => d0s[i],
+                Logic::One => d1s[i],
+                Logic::X => d0s[i].merge(d1s[i]),
+            };
+            assert_eq!(
+                got.lane(i as u32),
+                want,
+                "mux({:?}, {:?}, {:?})",
+                d0s[i],
+                d1s[i],
+                ss[i]
+            );
+        }
+    }
+
+    /// The 4-FF ring with muxes from the event-sim tests — every
+    /// sequential kind path plus combinational feedback through Q.
+    fn ring_netlist() -> (Netlist, Vec<NetId>, Vec<InstId>) {
+        let mut n = Netlist::new("ring");
+        let en = n.add_input("en");
+        let sel = n.add_input("sel");
+        let rst = n.reset();
+        let q: Vec<NetId> = (0..4).map(|i| n.add_net(format!("r{i}"))).collect();
+        let mut ffs = Vec::new();
+        for i in 0..4 {
+            let prev = q[(i + 3) % 4];
+            let alt = q[(i + 2) % 4];
+            let d = n.gate(CellKind::Mux2, &[prev, alt, sel]).unwrap();
+            let kind = if i == 0 {
+                CellKind::Dffse
+            } else {
+                CellKind::Dffre
+            };
+            n.add_instance(format!("ff{i}"), kind, &[d, en, rst], &[q[i]])
+                .unwrap();
+            ffs.push(n.inst_id_from_index(n.num_instances() - 1));
+            n.add_output(q[i]);
+        }
+        (n, q, ffs)
+    }
+
+    /// Broadcast-steps a sliced simulator against one scalar
+    /// reference, comparing every net on every lane each cycle.
+    fn cross_check_broadcast(netlist: &Netlist, lanes: usize, cycles: usize) {
+        let mut reference = Simulator::new(netlist).unwrap();
+        let mut sliced = SlicedSimulator::new(netlist, lanes).unwrap();
+        let num_inputs = netlist.inputs().len();
+        let mut lcg = 0x5eed ^ lanes as u64;
+        for cycle in 0..cycles {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = lcg >> 33;
+            let mut inputs = vec![Logic::Zero; num_inputs];
+            inputs[0] = Logic::from_bool(cycle == 0 || r.is_multiple_of(13));
+            for (k, v) in inputs.iter_mut().enumerate().skip(1) {
+                *v = match (r >> (2 * k)) & 3 {
+                    0 => Logic::Zero,
+                    1 => Logic::One,
+                    2 => Logic::X,
+                    _ => Logic::from_bool((r >> k) & 1 == 1),
+                };
+            }
+            reference.step(&inputs).unwrap();
+            sliced.step(&inputs).unwrap();
+            for i in 0..netlist.nets().len() {
+                let id = netlist.net_id_from_index(i);
+                let want = reference.value(id);
+                for lane in [0, lanes / 2, lanes - 1] {
+                    assert_eq!(
+                        sliced.value_lane(id, lane),
+                        want,
+                        "lanes={lanes} cycle {cycle}, net {}, lane {lane}",
+                        netlist.net(id).name()
+                    );
+                }
+            }
+            assert_eq!(
+                sliced.flip_flop_states_lane(lanes - 1),
+                reference.flip_flop_states(),
+                "lanes={lanes} cycle {cycle} states"
+            );
+        }
+    }
+
+    /// Word-seam lane counts: 1, 63, 64, 65 and 128 lanes must all be
+    /// lane-exact, including the partial-last-word configurations.
+    #[test]
+    fn word_seam_lane_counts_are_lane_exact() {
+        let (n, _, _) = ring_netlist();
+        for lanes in [1, 63, 64, 65, 128] {
+            cross_check_broadcast(&n, lanes, 40);
+        }
+    }
+
+    #[test]
+    fn zero_lanes_is_rejected() {
+        let (n, _, _) = ring_netlist();
+        assert!(SlicedSimulator::new(&n, 0).is_err());
+    }
+
+    /// Per-lane stimulus: every lane runs a different input stream
+    /// and must match its own scalar twin (65 lanes spills a word).
+    #[test]
+    fn per_lane_stimulus_matches_scalar_twins() {
+        let (n, _, _) = ring_netlist();
+        let lanes = 65;
+        let mut sliced = SlicedSimulator::new(&n, lanes).unwrap();
+        let mut twins: Vec<Simulator> = (0..lanes).map(|_| Simulator::new(&n).unwrap()).collect();
+        let mut lcg = 99u64;
+        for cycle in 0..30 {
+            let per_lane: Vec<Vec<Logic>> = (0..lanes)
+                .map(|lane| {
+                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let r = lcg >> 33;
+                    vec![
+                        Logic::from_bool(cycle == 0 || r.is_multiple_of(11)),
+                        match r & 3 {
+                            0 => Logic::Zero,
+                            1 => Logic::One,
+                            _ => Logic::X,
+                        },
+                        Logic::from_bool((r >> (lane % 7)) & 1 == 1),
+                    ]
+                })
+                .collect();
+            sliced.step_per_lane(&per_lane).unwrap();
+            for (lane, twin) in twins.iter_mut().enumerate() {
+                twin.step(&per_lane[lane]).unwrap();
+                for i in 0..n.nets().len() {
+                    let id = n.net_id_from_index(i);
+                    assert_eq!(
+                        sliced.value_lane(id, lane),
+                        twin.value(id),
+                        "cycle {cycle}, lane {lane}, net {}",
+                        n.net(id).name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Lane-masked stuck-ats: only the masked lanes deviate; the
+    /// others keep tracking the fault-free reference.
+    #[test]
+    fn lane_masked_force_isolates_lanes() {
+        let (n, q, _) = ring_netlist();
+        let lanes = 70; // partial last word
+        let mut sliced = SlicedSimulator::new(&n, lanes).unwrap();
+        let mut clean = Simulator::new(&n).unwrap();
+        let mut faulty = Simulator::new(&n).unwrap();
+        let mut mask = LaneMask::none(lanes);
+        mask.set(3);
+        mask.set(63);
+        mask.set(64);
+        mask.set(69);
+        sliced.force_net_lanes(q[2], Logic::One, &mask);
+        faulty.force_net(q[2], Logic::One);
+        let drive = [
+            [true, true, false],
+            [false, true, false],
+            [false, true, true],
+            [false, true, false],
+            [false, false, false],
+            [false, true, false],
+        ];
+        for inputs in drive {
+            sliced.step_bools(&inputs).unwrap();
+            clean.step_bools(&inputs).unwrap();
+            faulty.step_bools(&inputs).unwrap();
+            for lane in 0..lanes {
+                let want = if mask.get(lane) { &faulty } else { &clean };
+                for i in 0..n.nets().len() {
+                    let id = n.net_id_from_index(i);
+                    assert_eq!(
+                        sliced.value_lane(id, lane),
+                        want.value(id),
+                        "lane {lane} net {}",
+                        n.net(id).name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// All-lanes-forced across the word seam: with every lane masked
+    /// the sliced engine must equal a scalar run with the same force,
+    /// on every lane including the trailing partial word.
+    #[test]
+    fn all_lanes_forced_matches_scalar() {
+        let (n, q, _) = ring_netlist();
+        let lanes = 65;
+        let mut sliced = SlicedSimulator::new(&n, lanes).unwrap();
+        let mut scalar = Simulator::new(&n).unwrap();
+        sliced.force_net_lanes(q[1], Logic::X, &LaneMask::all(lanes));
+        scalar.force_net(q[1], Logic::X);
+        for (c, inputs) in [
+            [true, true, false],
+            [false, true, false],
+            [false, true, true],
+        ]
+        .iter()
+        .enumerate()
+        {
+            sliced.step_bools(inputs).unwrap();
+            scalar.step_bools(inputs).unwrap();
+            for lane in 0..lanes {
+                for i in 0..n.nets().len() {
+                    let id = n.net_id_from_index(i);
+                    assert_eq!(
+                        sliced.value_lane(id, lane),
+                        scalar.value(id),
+                        "cycle {c} lane {lane} net {}",
+                        n.net(id).name()
+                    );
+                }
+            }
+        }
+        // clear_forces releases every lane.
+        sliced.clear_forces();
+        scalar.clear_forces();
+        sliced.step_bools(&[false, true, false]).unwrap();
+        scalar.step_bools(&[false, true, false]).unwrap();
+        assert_eq!(sliced.value_lane(q[1], 64), scalar.value(q[1]));
+    }
+
+    /// Re-forcing a lane replaces its pinned value, as in the scalar
+    /// engines.
+    #[test]
+    fn reforcing_a_lane_replaces_its_value() {
+        let (n, q, _) = ring_netlist();
+        let lanes = 2;
+        let mut sliced = SlicedSimulator::new(&n, lanes).unwrap();
+        sliced.force_net_lanes(q[0], Logic::Zero, &LaneMask::all(lanes));
+        sliced.force_net_lanes(q[0], Logic::One, &LaneMask::single(1, lanes));
+        sliced.step_bools(&[true, true, false]).unwrap();
+        assert_eq!(sliced.value_lane(q[0], 0), Logic::Zero);
+        assert_eq!(sliced.value_lane(q[0], 1), Logic::One);
+    }
+
+    /// Lane-masked SEUs flip only defined lanes in the mask and
+    /// report exactly the flipped set.
+    #[test]
+    fn lane_masked_upset_flips_only_defined_masked_lanes() {
+        let (n, _, ffs) = ring_netlist();
+        let lanes = 66;
+        let mut sliced = SlicedSimulator::new(&n, lanes).unwrap();
+        let mut twin = Simulator::new(&n).unwrap(); // never upset
+                                                    // Before reset every state is X: nothing can flip.
+        let none = sliced.upset_flip_flop_lanes(ffs[1], &LaneMask::all(lanes));
+        assert_eq!(none.count(), 0, "power-up X cannot flip");
+        for inputs in [[true, true, false], [false, true, false]] {
+            sliced.step_bools(&inputs).unwrap();
+            twin.step_bools(&inputs).unwrap();
+        }
+        let mut mask = LaneMask::none(lanes);
+        mask.set(0);
+        mask.set(65);
+        let flipped = sliced.upset_flip_flop_lanes(ffs[1], &mask);
+        assert_eq!(flipped.count(), 2);
+        assert!(flipped.get(0) && flipped.get(65));
+        // The flip shows on Q next cycle, only on the masked lanes.
+        sliced.step_bools(&[false, false, false]).unwrap();
+        twin.step_bools(&[false, false, false]).unwrap();
+        let q1 = n.outputs()[1];
+        for lane in [0, 65] {
+            assert_ne!(sliced.value_lane(q1, lane), twin.value(q1), "lane {lane}");
+        }
+        for lane in [1, 33, 64] {
+            assert_eq!(sliced.value_lane(q1, lane), twin.value(q1), "lane {lane}");
+        }
+    }
+
+    /// The shared control surface drives all three engines through
+    /// one generic harness.
+    #[test]
+    fn sim_control_trait_is_engine_generic() {
+        fn drive<S: SimControl>(mut sim: S, q: NetId, ff: InstId) -> (Vec<Logic>, bool, u64) {
+            sim.force_net(q, Logic::One);
+            sim.step_bools(&[true, true, false]).unwrap();
+            sim.step_bools(&[false, true, false]).unwrap();
+            sim.clear_forces();
+            sim.step_bools(&[false, true, false]).unwrap();
+            let flipped = sim.upset_flip_flop(ff);
+            sim.step_bools(&[false, true, false]).unwrap();
+            let mut states = sim.flip_flop_states();
+            states.extend(sim.output_values());
+            states.push(sim.value(q));
+            (states, flipped, sim.cycle())
+        }
+        let (n, q, ffs) = ring_netlist();
+        let lev = drive(Simulator::new(&n).unwrap(), q[2], ffs[0]);
+        let evt = drive(crate::EventSimulator::new(&n).unwrap(), q[2], ffs[0]);
+        let sl1 = drive(SlicedSimulator::new(&n, 1).unwrap(), q[2], ffs[0]);
+        let sl65 = drive(SlicedSimulator::new(&n, 65).unwrap(), q[2], ffs[0]);
+        assert_eq!(lev, evt);
+        assert_eq!(lev, sl1);
+        assert_eq!(lev, sl65);
+    }
+
+    /// Word-granular evaluation accounting: per step, each gate costs
+    /// one evaluation per 64-lane word.
+    #[test]
+    fn evaluations_count_gate_words() {
+        let (n, _, _) = ring_netlist();
+        let comb_gates = n
+            .instances()
+            .iter()
+            .filter(|i| !i.kind().is_sequential())
+            .count() as u64;
+        let ffs = n.num_flip_flops() as u64;
+        for (lanes, words) in [(1usize, 1u64), (64, 1), (65, 2), (128, 2)] {
+            let mut sim = SlicedSimulator::new(&n, lanes).unwrap();
+            sim.step_bools(&[true, true, false]).unwrap();
+            sim.step_bools(&[false, true, false]).unwrap();
+            assert_eq!(sim.evaluations(), 2 * comb_gates * words, "lanes={lanes}");
+            assert_eq!(
+                sim.word_ops(),
+                2 * (comb_gates + ffs) * words,
+                "lanes={lanes}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_value_trims_inactive_lanes() {
+        let mut n = Netlist::new("tie");
+        let hi = n.gate(CellKind::TieHi, &[]).unwrap();
+        n.add_output(hi);
+        let lanes = 70;
+        let mut sim = SlicedSimulator::new(&n, lanes).unwrap();
+        sim.step_bools(&[false]).unwrap();
+        let (ones0, xs0) = sim.packed_value(hi, 0);
+        let (ones1, xs1) = sim.packed_value(hi, 1);
+        assert_eq!(ones0, !0);
+        assert_eq!(xs0, 0);
+        assert_eq!(ones1, (1u64 << 6) - 1, "trailing word masked to 6 lanes");
+        assert_eq!(xs1, 0);
+    }
+}

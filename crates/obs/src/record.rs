@@ -109,10 +109,24 @@ pub enum Ctr {
     ServeQueueHighWater,
     /// Requests answered with `ServeError::Deadline`.
     ServeDeadline,
+    /// Combinational gate evaluations across all simulation engines.
+    /// The unit is engine-specific (gates × cycles levelized, actual
+    /// re-evaluations event-driven, gate-*words* sliced); see
+    /// DESIGN.md §11.
+    SimEvaluations,
+    /// Bit-sliced kernel word operations: gate evaluations plus
+    /// flip-flop captures, one per 64-lane word — the sliced
+    /// analogue of `cube.word_ops`.
+    SimSlicedWordOps,
+    /// Lanes carried by sliced-simulator constructions; divide by
+    /// 64 × `sim.sliced.passes` for mean lane utilization.
+    SimSlicedLanes,
+    /// Sliced-simulator constructions (one per packed pass).
+    SimSlicedPasses,
 }
 
 /// Number of counter variants (the arena array length).
-pub const NUM_CTRS: usize = 28;
+pub const NUM_CTRS: usize = 32;
 
 impl Ctr {
     /// Every counter, in declaration order.
@@ -145,6 +159,10 @@ impl Ctr {
         Ctr::ServeCacheMiss,
         Ctr::ServeQueueHighWater,
         Ctr::ServeDeadline,
+        Ctr::SimEvaluations,
+        Ctr::SimSlicedWordOps,
+        Ctr::SimSlicedLanes,
+        Ctr::SimSlicedPasses,
     ];
 
     /// The exported metric name.
@@ -178,6 +196,10 @@ impl Ctr {
             Ctr::ServeCacheMiss => "serve.cache.miss",
             Ctr::ServeQueueHighWater => "serve.queue.high_water",
             Ctr::ServeDeadline => "serve.deadline.expired",
+            Ctr::SimEvaluations => "sim.evaluations",
+            Ctr::SimSlicedWordOps => "sim.sliced.word_ops",
+            Ctr::SimSlicedLanes => "sim.sliced.lanes",
+            Ctr::SimSlicedPasses => "sim.sliced.passes",
         }
     }
 

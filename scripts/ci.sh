@@ -9,18 +9,23 @@
 #   5. fuzz smoke        (fixed-seed differential fuzz, 200 cases)
 #   6. fault smoke       (fixed-seed fault campaign, 4x4 array,
 #                         full select-line stuck-at list)
-#   7. obs stage         (exporter goldens + jobs-invariance tests,
+#   7. fault sweep       (exhaustive 8x8 fault campaign — affordable
+#                         by default now that replays are bit-sliced)
+#   8. simbench smoke    (bit-sliced vs scalar fault replay on the
+#                         4x4 universe; fails if the two engines
+#                         classify any fault differently)
+#   9. obs stage         (exporter goldens + jobs-invariance tests,
 #                         then an overhead guard: the instrumented
 #                         fuzz smoke must stay within 5% + 1s of the
 #                         uninstrumented baseline)
-#   8. serve smoke       (adgen-serve on an ephemeral loopback port,
+#  10. serve smoke       (adgen-serve on an ephemeral loopback port,
 #                         loadgen --smoke against it: warm-cache hit
 #                         rate >= 90%, byte-identical warm responses,
 #                         clean client-initiated shutdown)
 #
 # Set CI_SLOW=1 to additionally run the #[ignore]d large
-# configurations (512x512 / 256x256 scale tests) and the exhaustive
-# 8x8 fault-campaign sweep.
+# configurations (512x512 / 256x256 scale tests) and the full-size
+# simbench run with its 8x speedup contract.
 #
 # The workspace has zero external dependencies, so every step works
 # without network access. Run from anywhere inside the repo.
@@ -45,6 +50,12 @@ cargo run --release -p adgen-fuzz -- --iters 200 --seed 1
 
 echo "==> fault-campaign smoke (fixed seed, 4x4, full select-line fault list)"
 cargo run --release -p adgen-bench --bin faultcamp -- --smoke --seed 2026
+
+echo "==> exhaustive 8x8 fault campaign (bit-sliced replay)"
+cargo run --release -p adgen-bench --bin faultcamp -- --seed 2026
+
+echo "==> simbench smoke (sliced vs scalar classification agreement)"
+cargo run --release -p adgen-bench --bin simbench -- --smoke --seed 2026
 
 echo "==> obs: exporter goldens + jobs-invariance + trace schema"
 cargo test --release -q -p adgen-obs
@@ -97,8 +108,8 @@ rm -rf "$serve_cache" "$serve_log"
 if [[ "${CI_SLOW:-0}" == "1" ]]; then
   echo "==> slow tier: ignored scale tests"
   cargo test --workspace --release -q -- --ignored
-  echo "==> slow tier: exhaustive 8x8 fault campaign"
-  cargo run --release -p adgen-bench --bin faultcamp -- --seed 2026
+  echo "==> slow tier: full-size simbench (8x speedup contract)"
+  cargo run --release -p adgen-bench --bin simbench -- --seed 2026
 fi
 
 echo "==> CI OK"
