@@ -4,6 +4,7 @@
 //! cargo run --release -p adgen-bench --bin loadgen               # spawn + drive a server
 //! cargo run --release -p adgen-bench --bin loadgen -- --smoke    # small CI preset
 //! cargo run --release -p adgen-bench --bin loadgen -- --addr HOST:PORT
+//! cargo run --release -p adgen-bench --bin loadgen -- --conns 1000 --overload
 //! ```
 //!
 //! By default the generator spawns an in-process server on an
@@ -16,6 +17,21 @@
 //! `--shutdown` then also sends `Shutdown` when done (the CI smoke
 //! stage uses this for its clean-exit assertion).
 //!
+//! `--conns N` opens N concurrent connections (thousands are fine —
+//! worker threads carry small stacks) and splits each pass's
+//! requests across them; every connection is established before the
+//! first request is sent, so the server holds all N at once. In the
+//! measured passes a shed (queue-full) response is retried with
+//! backoff, like a real client — which is why the warm-pass ≥ 90%
+//! hit-rate bar holds even when the admission queue is tiny.
+//! `--overload` appends a phase of unique (uncacheable) requests
+//! fired from all connections at once — sized to overrun the
+//! admission queue (`--queue-cap` bounds it when spawning) — and
+//! requires every response to be either a computed result or the
+//! typed queue-full rejection: a hang or a reset is a failure.
+//! `--reactor auto|epoll|threaded` picks the spawned server's I/O
+//! backend; `--disk-cap BYTES` bounds its disk cache tier.
+//!
 //! The generator is also a correctness harness: it remembers every
 //! cold-pass response payload and byte-compares the warm passes
 //! against it, and it exits nonzero when the warm hit rate falls
@@ -27,12 +43,23 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
 use adgen_exec::Prng;
-use adgen_serve::{serve, Client, Request, Response, ServeConfig, ServerHandle, StatsSnapshot};
+use adgen_serve::{
+    serve, Client, ReactorKind, Request, Response, ServeConfig, ServeError, ServerHandle,
+    StatsSnapshot,
+};
 use adgen_synth::Encoding;
+
+/// Stack size for connection worker threads: they hold a socket, a
+/// few small buffers and latency samples, so thousands of them fit.
+const CONN_STACK: usize = 256 * 1024;
+
+/// Requests each connection fires during the overload phase.
+const OVERLOAD_ROUNDS: usize = 4;
 
 /// One pass's measurements, as reported in `BENCH_serve.json`.
 struct PassRow {
@@ -43,16 +70,33 @@ struct PassRow {
     p50_ms: f64,
     p95_ms: f64,
     p99_ms: f64,
+    p999_ms: f64,
     hit_mem: u64,
     hit_disk: u64,
     miss: u64,
     hit_rate: f64,
+    shed: u64,
+}
+
+/// The overload phase's outcome, as reported in `BENCH_serve.json`.
+struct OverloadRow {
+    conns: usize,
+    requests: usize,
+    ok: u64,
+    shed: u64,
+    failures: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
 }
 
 struct LoadgenState {
     jobs: usize,
     seed: u64,
+    conns: usize,
     passes: Vec<PassRow>,
+    overload: Option<OverloadRow>,
 }
 
 struct Options {
@@ -61,7 +105,12 @@ struct Options {
     passes: usize,
     seed: u64,
     jobs: usize,
+    conns: usize,
     cache_dir: Option<PathBuf>,
+    disk_cap: u64,
+    queue_cap: usize,
+    reactor: ReactorKind,
+    overload: bool,
     smoke: bool,
     shutdown: bool,
 }
@@ -74,7 +123,12 @@ fn main() {
         passes: 2,
         seed: 0xADE5,
         jobs: 0,
+        conns: 1,
         cache_dir: None,
+        disk_cap: 0,
+        queue_cap: 0,
+        reactor: ReactorKind::Auto,
+        overload: false,
         smoke: false,
         shutdown: false,
     };
@@ -86,13 +140,25 @@ fn main() {
             "--passes" => opt.passes = parse(&a, it.next()),
             "--seed" => opt.seed = parse(&a, it.next()),
             "--jobs" | "-j" => opt.jobs = parse(&a, it.next()),
+            "--conns" => opt.conns = parse(&a, it.next()),
             "--cache-dir" => opt.cache_dir = Some(PathBuf::from(expect(&a, it.next()))),
+            "--disk-cap" => opt.disk_cap = parse(&a, it.next()),
+            "--queue-cap" => opt.queue_cap = parse(&a, it.next()),
+            "--reactor" => {
+                let v = expect(&a, it.next());
+                opt.reactor = ReactorKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("error: --reactor must be auto, epoll or threaded");
+                    std::process::exit(2);
+                });
+            }
+            "--overload" => opt.overload = true,
             "--smoke" => opt.smoke = true,
             "--shutdown" => opt.shutdown = true,
             other => {
                 eprintln!(
                     "error: unknown argument `{other}` \
-                     (known: --addr --requests --passes --seed --jobs --cache-dir \
+                     (known: --addr --requests --passes --seed --jobs --conns \
+                     --cache-dir --disk-cap --queue-cap --reactor --overload \
                      --smoke --shutdown --trace --metrics)"
                 );
                 std::process::exit(2);
@@ -105,6 +171,9 @@ fn main() {
     if opt.passes == 0 {
         opt.passes = 1;
     }
+    if opt.conns == 0 {
+        opt.conns = 1;
+    }
 
     let recording = obs_args.recording();
     let mut sink = ObsJsonSink::new(
@@ -113,7 +182,9 @@ fn main() {
         LoadgenState {
             jobs: adgen_exec::resolve_jobs(opt.jobs),
             seed: opt.seed,
+            conns: opt.conns,
             passes: Vec::new(),
+            overload: None,
         },
         render_serve_json,
     );
@@ -122,12 +193,17 @@ fn main() {
     let (addr, handle) = match &opt.addr {
         Some(addr) => (addr.clone(), None),
         None => {
-            let config = ServeConfig {
+            let mut config = ServeConfig {
                 jobs: opt.jobs,
                 cache_dir: opt.cache_dir.clone(),
+                disk_cap_bytes: opt.disk_cap,
+                reactor: opt.reactor,
                 observe: recording,
                 ..ServeConfig::default()
             };
+            if opt.queue_cap > 0 {
+                config.queue_cap = opt.queue_cap;
+            }
             let handle = match serve(config) {
                 Ok(h) => h,
                 Err(e) => {
@@ -135,12 +211,13 @@ fn main() {
                     std::process::exit(1);
                 }
             };
+            println!("loadgen: server reactor: {}", handle.resolved_reactor());
             (handle.local_addr().to_string(), Some(handle))
         }
     };
     println!(
-        "loadgen: {} requests x {} passes against {addr} (seed {:#x})",
-        opt.requests, opt.passes, opt.seed
+        "loadgen: {} requests x {} passes over {} connection(s) against {addr} (seed {:#x})",
+        opt.requests, opt.passes, opt.conns, opt.seed
     );
 
     let mix = request_mix(opt.requests, opt.seed, opt.smoke);
@@ -150,33 +227,27 @@ fn main() {
     let mut expected: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
 
     for pass in 0..opt.passes {
-        let mut client = match Client::connect(&addr) {
+        let mut meter = match Client::connect(&addr) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("error: pass {pass}: {e}");
                 std::process::exit(1);
             }
         };
-        let before = stats_of(&mut client);
+        let before = stats_of(&mut meter);
 
         // Same requests each pass, pass-dependent order: warm passes
         // prove the cache is order-insensitive.
         let mut order: Vec<usize> = (0..mix.len()).collect();
         Prng::for_stream(opt.seed, pass as u64 + 1).shuffle(&mut order);
 
-        let mut latencies_ns: Vec<u64> = Vec::with_capacity(mix.len());
         let started = Instant::now();
-        for &i in &order {
+        let (mut latencies_ns, results) = drive_pass(&addr, &mix, &order, opt.conns);
+        let wall_s = started.elapsed().as_secs_f64();
+        let after = stats_of(&mut meter);
+
+        for (i, payload) in results {
             let req = &mix[i];
-            let t0 = Instant::now();
-            let payload = match client.call_raw(req, 0) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("error: request failed: {e}");
-                    std::process::exit(1);
-                }
-            };
-            latencies_ns.push(t0.elapsed().as_nanos() as u64);
             if let Ok(Response::Error(e)) = Response::decode(&payload) {
                 eprintln!("FAIL: server error for {req:?}: {e}");
                 failures += 1;
@@ -193,8 +264,6 @@ fn main() {
                 }
             }
         }
-        let wall_s = started.elapsed().as_secs_f64();
-        let after = stats_of(&mut client);
 
         let hit_mem = after.cache_hit_mem - before.cache_hit_mem;
         let hit_disk = after.cache_hit_disk - before.cache_hit_disk;
@@ -207,31 +276,30 @@ fn main() {
         };
 
         latencies_ns.sort_unstable();
-        let pct = |p: usize| -> f64 {
-            let idx = (latencies_ns.len() - 1) * p / 100;
-            latencies_ns[idx] as f64 / 1.0e6
-        };
         let row = PassRow {
             pass,
             requests: mix.len(),
             wall_s,
             throughput_rps: mix.len() as f64 / wall_s,
-            p50_ms: pct(50),
-            p95_ms: pct(95),
-            p99_ms: pct(99),
+            p50_ms: percentile_ms(&latencies_ns, 500),
+            p95_ms: percentile_ms(&latencies_ns, 950),
+            p99_ms: percentile_ms(&latencies_ns, 990),
+            p999_ms: percentile_ms(&latencies_ns, 999),
             hit_mem,
             hit_disk,
             miss,
             hit_rate,
+            shed: after.shed - before.shed,
         };
         println!(
-            "pass {}: {:.2} req/s, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, \
+            "pass {}: {:.2} req/s, p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms, \
              cache {}/{}/{} (mem/disk/miss), hit rate {:.1}%",
             row.pass,
             row.throughput_rps,
             row.p50_ms,
             row.p95_ms,
             row.p99_ms,
+            row.p999_ms,
             row.hit_mem,
             row.hit_disk,
             row.miss,
@@ -246,6 +314,31 @@ fn main() {
             failures += 1;
         }
         sink.state().passes.push(row);
+    }
+
+    if opt.overload {
+        let mut meter = Client::connect(&addr).unwrap_or_else(|e| {
+            eprintln!("error: overload meter: {e}");
+            std::process::exit(1);
+        });
+        let before = stats_of(&mut meter);
+        let row = overload_phase(&addr, opt.conns, opt.seed);
+        let after = stats_of(&mut meter);
+        println!(
+            "overload: {} requests over {} conns: {} ok, {} shed, {} failure(s); \
+             p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms (server shed {} total)",
+            row.requests,
+            row.conns,
+            row.ok,
+            row.shed,
+            row.failures,
+            row.p50_ms,
+            row.p99_ms,
+            row.p999_ms,
+            after.shed - before.shed,
+        );
+        failures += row.failures as usize;
+        sink.state().overload = Some(row);
     }
 
     // Shut the in-process server down and fold its recording into
@@ -268,6 +361,185 @@ fn main() {
         std::process::exit(1);
     }
     println!("loadgen: all passes clean");
+}
+
+/// Drives one pass's shuffled `order` over `conns` concurrent
+/// connections (round-robin split). Every connection — including the
+/// idle ones when there are more connections than requests — is
+/// established and pinged before the barrier releases the first
+/// request, so the server really holds `conns` sockets at once.
+/// Returns per-request latencies and `(mix index, payload)` pairs.
+#[allow(clippy::type_complexity)]
+fn drive_pass(
+    addr: &str,
+    mix: &[Request],
+    order: &[usize],
+    conns: usize,
+) -> (Vec<u64>, Vec<(usize, Vec<u8>)>) {
+    let barrier = Arc::new(Barrier::new(conns));
+    let workers: Vec<_> = (0..conns)
+        .map(|w| {
+            let addr = addr.to_string();
+            let slice: Vec<usize> = order.iter().skip(w).step_by(conns).copied().collect();
+            let requests: Vec<(usize, Request)> =
+                slice.into_iter().map(|i| (i, mix[i].clone())).collect();
+            let barrier = Arc::clone(&barrier);
+            std::thread::Builder::new()
+                .name(format!("loadgen-conn-{w}"))
+                .stack_size(CONN_STACK)
+                .spawn(move || -> Result<_, String> {
+                    let mut client =
+                        Client::connect(&addr).map_err(|e| format!("conn {w}: {e}"))?;
+                    if requests.is_empty() {
+                        // Prove the connection is live, not just open.
+                        client
+                            .call(&Request::Ping, 0)
+                            .map_err(|e| format!("conn {w} ping: {e}"))?;
+                    }
+                    barrier.wait();
+                    let mut latencies = Vec::with_capacity(requests.len());
+                    let mut results = Vec::with_capacity(requests.len());
+                    for (i, req) in requests {
+                        let t0 = Instant::now();
+                        // A shed request is backpressure, not an
+                        // answer: back off and retry, like a real
+                        // client. Latency covers the whole wait.
+                        let mut attempts = 0;
+                        let payload = loop {
+                            let payload = client
+                                .call_raw(&req, 0)
+                                .map_err(|e| format!("conn {w}: {e}"))?;
+                            match Response::decode(&payload) {
+                                Ok(Response::Error(ServeError::QueueFull { .. }))
+                                    if attempts < 1000 =>
+                                {
+                                    attempts += 1;
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                                _ => break payload,
+                            }
+                        };
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                        results.push((i, payload));
+                    }
+                    Ok((latencies, results))
+                })
+                .expect("spawn connection worker")
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(order.len());
+    let mut results = Vec::with_capacity(order.len());
+    for worker in workers {
+        match worker.join().expect("connection worker panicked") {
+            Ok((lat, res)) => {
+                latencies.extend(lat);
+                results.extend(res);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    (latencies, results)
+}
+
+/// The overload phase: every connection fires [`OVERLOAD_ROUNDS`]
+/// unique (per connection and round, hence uncacheable) synthesis
+/// requests as fast as it can. The contract under overload is typed
+/// degradation: each response must be a computed result or the
+/// server's `QueueFull` rejection — a transport error, an unexpected
+/// error kind, or a hang (surfaced by a read timeout) is a failure.
+fn overload_phase(addr: &str, conns: usize, seed: u64) -> OverloadRow {
+    let barrier = Arc::new(Barrier::new(conns));
+    let workers: Vec<_> = (0..conns)
+        .map(|w| {
+            let addr = addr.to_string();
+            let barrier = Arc::clone(&barrier);
+            std::thread::Builder::new()
+                .name(format!("loadgen-over-{w}"))
+                .stack_size(CONN_STACK)
+                .spawn(move || {
+                    let mut ok = 0u64;
+                    let mut shed = 0u64;
+                    let mut failures = 0u64;
+                    let mut latencies = Vec::with_capacity(OVERLOAD_ROUNDS);
+                    let mut client = match Client::connect(&addr) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("FAIL: overload conn {w}: {e}");
+                            return (0, 0, OVERLOAD_ROUNDS as u64, latencies);
+                        }
+                    };
+                    // A hung server must become a visible failure,
+                    // not a stuck benchmark.
+                    let _ = client.set_read_timeout(Some(Duration::from_secs(60)));
+                    barrier.wait();
+                    for round in 0..OVERLOAD_ROUNDS {
+                        let tag = (w * OVERLOAD_ROUNDS + round) as u64;
+                        let mut sequence: Vec<u32> = (0..10).collect();
+                        Prng::for_stream(seed ^ 0x0ae8_10ad, tag).shuffle(&mut sequence);
+                        let req = Request::Synthesize {
+                            sequence,
+                            encoding: Encoding::Binary,
+                            num_lines: 10,
+                            // Unique effort budgets keep cache keys
+                            // distinct even when two shuffles collide.
+                            effort_steps: 100_000 + tag,
+                        };
+                        let t0 = Instant::now();
+                        match client.call(&req, 0) {
+                            Ok(Response::Synthesized(_)) => ok += 1,
+                            Ok(Response::Error(ServeError::QueueFull { .. })) => shed += 1,
+                            Ok(other) => {
+                                eprintln!("FAIL: overload conn {w}: unexpected {other:?}");
+                                failures += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("FAIL: overload conn {w}: {e}");
+                                failures += 1;
+                            }
+                        }
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    (ok, shed, failures, latencies)
+                })
+                .expect("spawn overload worker")
+        })
+        .collect();
+
+    let (mut ok, mut shed, mut failures) = (0u64, 0u64, 0u64);
+    let mut latencies: Vec<u64> = Vec::with_capacity(conns * OVERLOAD_ROUNDS);
+    for worker in workers {
+        let (o, s, f, lat) = worker.join().expect("overload worker panicked");
+        ok += o;
+        shed += s;
+        failures += f;
+        latencies.extend(lat);
+    }
+    latencies.sort_unstable();
+    OverloadRow {
+        conns,
+        requests: conns * OVERLOAD_ROUNDS,
+        ok,
+        shed,
+        failures,
+        p50_ms: percentile_ms(&latencies, 500),
+        p95_ms: percentile_ms(&latencies, 950),
+        p99_ms: percentile_ms(&latencies, 990),
+        p999_ms: percentile_ms(&latencies, 999),
+    }
+}
+
+/// The `per_mille`-th percentile (500 = p50, 999 = p999) of sorted
+/// nanosecond samples, in milliseconds.
+fn percentile_ms(sorted_ns: &[u64], per_mille: usize) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = (sorted_ns.len() - 1) * per_mille / 1000;
+    sorted_ns[idx] as f64 / 1.0e6
 }
 
 /// The seed-deterministic request mix: mappable and restriction-
@@ -357,10 +629,22 @@ fn shutdown(addr: &str, handle: ServerHandle, recording: bool) {
         Ok(other) => eprintln!("warning: unexpected shutdown response {other:?}"),
         Err(e) => eprintln!("warning: shutdown request failed: {e}"),
     }
-    let (stats, rec) = handle.join();
+    let (stats, rec) = match handle.join() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
-        "server: queue high water {}, {} batch(es), {} deadline expiration(s)",
-        stats.queue_high_water, stats.batches, stats.deadline_expired
+        "server: queue high water {}, {} batch(es), {} deadline expiration(s), \
+         {} shed, coalesced {}+{}",
+        stats.queue_high_water,
+        stats.batches,
+        stats.deadline_expired,
+        stats.shed,
+        stats.coalesce_leaders,
+        stats.coalesce_waiters,
     );
     if recording {
         if let Some(rec) = rec {
@@ -394,7 +678,8 @@ fn render_serve_json(state: &LoadgenState, meta: &RunMeta) -> String {
         passes.push_str(&format!(
             "    {{\"pass\": {}, \"requests\": {}, \"wall_s\": {:.6}, \
              \"throughput_rps\": {:.3}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
-             \"p99_ms\": {:.4}, \"cache\": {{\"hit_mem\": {}, \"hit_disk\": {}, \
+             \"p99_ms\": {:.4}, \"p999_ms\": {:.4}, \"shed\": {}, \
+             \"cache\": {{\"hit_mem\": {}, \"hit_disk\": {}, \
              \"miss\": {}, \"hit_rate\": {:.4}}}}}",
             p.pass,
             p.requests,
@@ -403,12 +688,34 @@ fn render_serve_json(state: &LoadgenState, meta: &RunMeta) -> String {
             p.p50_ms,
             p.p95_ms,
             p.p99_ms,
+            p.p999_ms,
+            p.shed,
             p.hit_mem,
             p.hit_disk,
             p.miss,
             p.hit_rate
         ));
     }
+    let overload = state
+        .overload
+        .as_ref()
+        .map(|o| {
+            format!(
+                ",\n  \"overload\": {{\"conns\": {}, \"requests\": {}, \"ok\": {}, \
+                 \"shed\": {}, \"failures\": {}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+                 \"p99_ms\": {:.4}, \"p999_ms\": {:.4}}}",
+                o.conns,
+                o.requests,
+                o.ok,
+                o.shed,
+                o.failures,
+                o.p50_ms,
+                o.p95_ms,
+                o.p99_ms,
+                o.p999_ms
+            )
+        })
+        .unwrap_or_default();
     let metrics = meta
         .metrics
         .clone()
@@ -416,7 +723,7 @@ fn render_serve_json(state: &LoadgenState, meta: &RunMeta) -> String {
         .unwrap_or_default();
     format!(
         "{{\n  \"benchmark\": \"serve\",\n  \"jobs\": {},\n  \"seed\": {},\n  \
-         \"truncated\": {},\n  \"passes\": [\n{passes}\n  ]{metrics}\n}}\n",
-        state.jobs, state.seed, meta.truncated
+         \"conns\": {},\n  \"truncated\": {},\n  \"passes\": [\n{passes}\n  ]{overload}{metrics}\n}}\n",
+        state.jobs, state.seed, state.conns, meta.truncated
     )
 }

@@ -109,6 +109,19 @@ pub enum Ctr {
     ServeQueueHighWater,
     /// Requests answered with `ServeError::Deadline`.
     ServeDeadline,
+    /// Requests rejected at admission because the queue was full
+    /// (`ServeError::QueueFull`).
+    ServeShed,
+    /// Single-flight miss groups that absorbed at least one duplicate
+    /// (the member whose request was actually computed).
+    ServeCoalesceLeaders,
+    /// Requests answered by another member's computation instead of
+    /// their own (single-flight duplicates).
+    ServeCoalesceWaiters,
+    /// Disk-tier cache entries evicted by the size bound.
+    ServeDiskEvictions,
+    /// Reactor event-thread wakeups triggered by compute completions.
+    ServeReactorWakeups,
     /// Combinational gate evaluations across all simulation engines.
     /// The unit is engine-specific (gates × cycles levelized, actual
     /// re-evaluations event-driven, gate-*words* sliced); see
@@ -126,7 +139,7 @@ pub enum Ctr {
 }
 
 /// Number of counter variants (the arena array length).
-pub const NUM_CTRS: usize = 32;
+pub const NUM_CTRS: usize = 37;
 
 impl Ctr {
     /// Every counter, in declaration order.
@@ -159,6 +172,11 @@ impl Ctr {
         Ctr::ServeCacheMiss,
         Ctr::ServeQueueHighWater,
         Ctr::ServeDeadline,
+        Ctr::ServeShed,
+        Ctr::ServeCoalesceLeaders,
+        Ctr::ServeCoalesceWaiters,
+        Ctr::ServeDiskEvictions,
+        Ctr::ServeReactorWakeups,
         Ctr::SimEvaluations,
         Ctr::SimSlicedWordOps,
         Ctr::SimSlicedLanes,
@@ -196,6 +214,11 @@ impl Ctr {
             Ctr::ServeCacheMiss => "serve.cache.miss",
             Ctr::ServeQueueHighWater => "serve.queue.high_water",
             Ctr::ServeDeadline => "serve.deadline.expired",
+            Ctr::ServeShed => "serve.shed",
+            Ctr::ServeCoalesceLeaders => "serve.coalesce.leaders",
+            Ctr::ServeCoalesceWaiters => "serve.coalesce.waiters",
+            Ctr::ServeDiskEvictions => "serve.disk.evictions",
+            Ctr::ServeReactorWakeups => "serve.reactor.wakeups",
             Ctr::SimEvaluations => "sim.evaluations",
             Ctr::SimSlicedWordOps => "sim.sliced.word_ops",
             Ctr::SimSlicedLanes => "sim.sliced.lanes",
@@ -230,7 +253,7 @@ pub struct SpanRecord {
 
 /// Everything one session recorded: the span arena, the typed
 /// counter totals, and the free-form timing metrics.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Recording {
     /// Spans in creation order; parents precede children.
     pub spans: Vec<SpanRecord>,
@@ -239,6 +262,17 @@ pub struct Recording {
     /// queue fill, …), summed on key collision. Always elided by the
     /// redacting exporters.
     pub timings: BTreeMap<String, u64>,
+}
+
+// Not derived: `Default` for `[u64; N]` is only provided up to N=32.
+impl Default for Recording {
+    fn default() -> Self {
+        Recording {
+            spans: Vec::new(),
+            counters: [0; NUM_CTRS],
+            timings: BTreeMap::new(),
+        }
+    }
 }
 
 impl Recording {

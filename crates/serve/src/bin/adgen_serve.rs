@@ -5,7 +5,8 @@
 //! adgen-serve [--addr HOST:PORT] [--jobs N] [--batch N]
 //!             [--queue-cap N] [--deadline-ms N]
 //!             [--cache-dir DIR] [--cache-entries N]
-//!             [--metrics] [--trace FILE]
+//!             [--disk-cap BYTES] [--reactor auto|epoll|threaded]
+//!             [--io-shards N] [--metrics] [--trace FILE]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`, an ephemeral port), prints
@@ -19,13 +20,15 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use adgen_obs as obs;
-use adgen_serve::{serve, ServeConfig};
+use adgen_serve::{serve, ReactorKind, ServeConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: adgen-serve [--addr HOST:PORT] [--jobs N] [--batch N] \
          [--queue-cap N] [--deadline-ms N] [--cache-dir DIR] \
-         [--cache-entries N] [--metrics] [--trace FILE]"
+         [--cache-entries N] [--disk-cap BYTES] \
+         [--reactor auto|epoll|threaded] [--io-shards N] \
+         [--metrics] [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -54,6 +57,15 @@ fn main() {
                 config.cache_dir = Some(PathBuf::from(parse::<String>("--cache-dir", it.next())))
             }
             "--cache-entries" => config.cache_entries = parse("--cache-entries", it.next()),
+            "--disk-cap" => config.disk_cap_bytes = parse("--disk-cap", it.next()),
+            "--reactor" => {
+                let v: String = parse("--reactor", it.next());
+                config.reactor = ReactorKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("error: --reactor must be auto, epoll or threaded");
+                    usage()
+                });
+            }
+            "--io-shards" => config.io_shards = parse("--io-shards", it.next()),
             "--metrics" => metrics = true,
             "--trace" => trace = Some(PathBuf::from(parse::<String>("--trace", it.next()))),
             "--help" | "-h" => usage(),
@@ -75,12 +87,20 @@ fn main() {
 
     // The readiness line scripts (ci.sh, loadgen --spawn) wait for.
     println!("adgen-serve listening on {}", handle.local_addr());
+    println!("adgen-serve reactor: {}", handle.resolved_reactor());
     let _ = std::io::stdout().flush();
 
-    let (stats, recording) = handle.join();
+    let (stats, recording) = match handle.join() {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
     println!(
         "adgen-serve shut down: {} map, {} synthesize, {} explore, {} control; \
-         cache {} mem / {} disk hits, {} misses; {} deadline expirations; \
+         cache {} mem / {} disk hits, {} misses, {} evictions; \
+         {} deadline expirations; {} shed; coalesced {}+{}; \
          queue high water {}",
         stats.req_map,
         stats.req_synthesize,
@@ -89,7 +109,11 @@ fn main() {
         stats.cache_hit_mem,
         stats.cache_hit_disk,
         stats.cache_miss,
+        stats.disk_evictions,
         stats.deadline_expired,
+        stats.shed,
+        stats.coalesce_leaders,
+        stats.coalesce_waiters,
         stats.queue_high_water,
     );
 

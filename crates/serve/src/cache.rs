@@ -11,6 +11,24 @@
 //! payload — exactly the bytes that go on the wire — which keeps the
 //! disk format identical to the protocol and makes warm responses
 //! byte-for-byte equal to cold ones.
+//!
+//! ## Disk layout, bound and slicing
+//!
+//! The disk tier shards entries by digest prefix —
+//! `dir/ab/cd/<32-hex-digest>` where `ab`/`cd` are the first two key
+//! bytes in hex — keeping directories small at millions of entries
+//! and giving N cooperating server processes a natural way to split
+//! one keyspace: a [`KeySlice`] restricts a store to the keys whose
+//! leading byte it owns, so each process serves its slice and never
+//! writes a neighbour's.
+//!
+//! The tier is bounded by *payload bytes*. Each entry belongs to a
+//! generation (its insertion order); when a put would exceed the
+//! bound, oldest generations are deleted first until the new entry
+//! fits. The generation order is rebuilt at open by scanning the
+//! shard directories in file-mtime order, so the bound (and the
+//! eviction order) survives a restart. An evicted entry is simply a
+//! future cache miss — it recomputes, it never errors.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
@@ -60,6 +78,19 @@ impl CacheKey {
             s.push_str(&format!("{b:02x}"));
         }
         s
+    }
+
+    /// Parses the [`hex`](CacheKey::hex) form back into a key (used
+    /// when rebuilding the disk index from file names).
+    pub fn from_hex(s: &str) -> Option<CacheKey> {
+        if s.len() != 32 {
+            return None;
+        }
+        let mut key = [0u8; 16];
+        for (i, byte) in key.iter_mut().enumerate() {
+            *byte = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok()?;
+        }
+        Some(CacheKey(key))
     }
 }
 
@@ -143,66 +174,271 @@ impl LruCache {
     }
 }
 
-/// The content-addressed on-disk tier: one file per key, named by
-/// [`CacheKey::hex`], written atomically (temp file + rename) so a
-/// concurrent reader never sees a torn entry.
+/// A slice of the cache keyspace: this store owns the keys whose
+/// leading digest byte maps to `index` (mod `of`). `of = 1` owns
+/// everything. N server processes over one cache root, each with a
+/// distinct slice, partition the keyspace without coordination — the
+/// digest-prefix directory layout means they also touch disjoint
+/// shard directories for the first-level split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySlice {
+    /// Which slice this store owns, `0..of`.
+    pub index: u32,
+    /// Total number of slices the keyspace is split into.
+    pub of: u32,
+}
+
+impl KeySlice {
+    /// The trivial slice that owns the whole keyspace.
+    pub fn full() -> KeySlice {
+        KeySlice { index: 0, of: 1 }
+    }
+
+    /// Whether `key` belongs to this slice.
+    pub fn covers(self, key: CacheKey) -> bool {
+        let of = self.of.max(1);
+        u32::from(key.0[0]) % of == self.index % of
+    }
+}
+
+impl Default for KeySlice {
+    fn default() -> Self {
+        KeySlice::full()
+    }
+}
+
+/// One entry in the disk index, in generation order. `gen` is a
+/// monotonically increasing sequence number; an overwrite mints a new
+/// generation, leaving the old record stale (detected by comparing
+/// `gen` against the live one in `sizes`).
+#[derive(Debug, Clone, Copy)]
+struct DiskEntry {
+    key: CacheKey,
+    bytes: u64,
+    generation: u64,
+}
+
+/// The content-addressed on-disk tier: one file per key at
+/// `dir/ab/cd/<hex>` (digest-prefix shards), written atomically
+/// (temp file + rename in the same shard directory) so a concurrent
+/// reader never sees a torn entry. Bounded by payload bytes with
+/// oldest-generation-first eviction; see the module docs.
 #[derive(Debug)]
 pub struct DiskStore {
     dir: PathBuf,
+    cap_bytes: u64,
+    slice: KeySlice,
+    /// Live entries: payload bytes and current generation number.
+    sizes: HashMap<CacheKey, (u64, u64)>,
+    /// Generation order, oldest first. Records whose generation no
+    /// longer matches the live one in `sizes` are stale and skipped.
+    generations: VecDeque<DiskEntry>,
+    next_generation: u64,
+    total_bytes: u64,
+    evictions: u64,
 }
 
 impl DiskStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) an unbounded full-keyspace store
+    /// rooted at `dir`.
     ///
     /// # Errors
     ///
-    /// Propagates directory-creation failures.
+    /// Propagates directory-creation and scan failures.
     pub fn open(dir: &Path) -> std::io::Result<DiskStore> {
+        DiskStore::open_bounded(dir, 0, KeySlice::full())
+    }
+
+    /// Opens a store with a byte bound (`0` = unbounded) over one
+    /// keyspace slice, rebuilding the generation index from the files
+    /// already on disk (ordered by mtime, ties broken by name, so the
+    /// eviction order survives a restart).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and scan failures.
+    pub fn open_bounded(dir: &Path, cap_bytes: u64, slice: KeySlice) -> std::io::Result<DiskStore> {
         std::fs::create_dir_all(dir)?;
-        Ok(DiskStore {
+        let mut store = DiskStore {
             dir: dir.to_path_buf(),
-        })
+            cap_bytes,
+            slice,
+            sizes: HashMap::new(),
+            generations: VecDeque::new(),
+            next_generation: 0,
+            total_bytes: 0,
+            evictions: 0,
+        };
+        store.rescan()?;
+        store.enforce_bound(None);
+        Ok(store)
+    }
+
+    /// Walks the two shard levels and rebuilds the index.
+    fn rescan(&mut self) -> std::io::Result<()> {
+        let mut found: Vec<(std::time::SystemTime, String, CacheKey, u64)> = Vec::new();
+        for shard1 in std::fs::read_dir(&self.dir)? {
+            let shard1 = match shard1 {
+                Ok(e) => e.path(),
+                Err(_) => continue,
+            };
+            if !shard1.is_dir() {
+                continue;
+            }
+            let Ok(shard2s) = std::fs::read_dir(&shard1) else {
+                continue;
+            };
+            for shard2 in shard2s.filter_map(Result::ok) {
+                let shard2 = shard2.path();
+                if !shard2.is_dir() {
+                    continue;
+                }
+                let Ok(files) = std::fs::read_dir(&shard2) else {
+                    continue;
+                };
+                for file in files.filter_map(Result::ok) {
+                    let name = file.file_name().to_string_lossy().into_owned();
+                    let Some(key) = CacheKey::from_hex(&name) else {
+                        continue; // temp files and strangers
+                    };
+                    if !self.slice.covers(key) {
+                        continue;
+                    }
+                    let Ok(meta) = file.metadata() else { continue };
+                    let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                    found.push((mtime, name, key, meta.len()));
+                }
+            }
+        }
+        found.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for (_, _, key, bytes) in found {
+            let generation = self.next_generation;
+            self.next_generation += 1;
+            self.sizes.insert(key, (bytes, generation));
+            self.generations.push_back(DiskEntry {
+                key,
+                bytes,
+                generation,
+            });
+            self.total_bytes += bytes;
+        }
+        Ok(())
     }
 
     fn path_for(&self, key: CacheKey) -> PathBuf {
-        self.dir.join(key.hex())
+        let hex = key.hex();
+        self.dir.join(&hex[0..2]).join(&hex[2..4]).join(hex)
     }
 
-    /// Reads the payload stored under `key`, if present.
+    /// Deletes oldest generations until the byte total fits the
+    /// bound. `keep` (the entry just written) is never evicted, so a
+    /// single oversized payload still caches.
+    fn enforce_bound(&mut self, keep: Option<CacheKey>) {
+        if self.cap_bytes == 0 {
+            return;
+        }
+        while self.total_bytes > self.cap_bytes {
+            let Some(entry) = self.generations.pop_front() else {
+                break;
+            };
+            // Stale generation records (overwritten or already
+            // evicted keys) carry no bytes; skip them.
+            if self.sizes.get(&entry.key) != Some(&(entry.bytes, entry.generation)) {
+                continue;
+            }
+            if keep == Some(entry.key) {
+                if self.generations.is_empty() {
+                    self.generations.push_front(entry);
+                    break;
+                }
+                // Re-queue at the back; everything older goes first.
+                self.generations.push_back(entry);
+                continue;
+            }
+            self.sizes.remove(&entry.key);
+            self.total_bytes -= entry.bytes;
+            self.evictions += 1;
+            let _ = std::fs::remove_file(self.path_for(entry.key));
+        }
+    }
+
+    /// Reads the payload stored under `key`, if present and owned by
+    /// this store's slice.
     pub fn get(&self, key: CacheKey) -> Option<Vec<u8>> {
+        if !self.slice.covers(key) {
+            return None;
+        }
         std::fs::read(self.path_for(key)).ok()
     }
 
-    /// Stores `value` under `key` atomically.
+    /// Stores `value` under `key` atomically, then evicts oldest
+    /// generations as needed to honour the byte bound. A key outside
+    /// this store's slice is silently skipped — it belongs to a
+    /// sibling process.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures; a failed write leaves no partial
     /// entry behind.
-    pub fn put(&self, key: CacheKey, value: &[u8]) -> std::io::Result<()> {
-        let tmp = self.dir.join(format!("{}.tmp", key.hex()));
+    pub fn put(&mut self, key: CacheKey, value: &[u8]) -> std::io::Result<()> {
+        if !self.slice.covers(key) {
+            return Ok(());
+        }
+        let path = self.path_for(key);
+        let shard = path.parent().expect("sharded path has a parent");
+        std::fs::create_dir_all(shard)?;
+        let tmp = shard.join(format!("{}.tmp", key.hex()));
         {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(value)?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, self.path_for(key))
+        std::fs::rename(&tmp, &path)?;
+
+        let bytes = value.len() as u64;
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        if let Some((old, _)) = self.sizes.insert(key, (bytes, generation)) {
+            // Overwrite: the old generation record is now stale.
+            self.total_bytes -= old;
+        }
+        self.total_bytes += bytes;
+        self.generations.push_back(DiskEntry {
+            key,
+            bytes,
+            generation,
+        });
+        self.enforce_bound(Some(key));
+        Ok(())
     }
 
-    /// Number of committed entries on disk (ignores temp files).
+    /// Number of committed entries on disk.
     pub fn len(&self) -> usize {
-        std::fs::read_dir(&self.dir)
-            .map(|rd| {
-                rd.filter_map(Result::ok)
-                    .filter(|e| e.path().extension().is_none_or(|ext| ext != "tmp"))
-                    .count()
-            })
-            .unwrap_or(0)
+        self.sizes.len()
     }
 
     /// Whether the store holds no committed entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.sizes.is_empty()
+    }
+
+    /// Payload bytes currently held.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Entries evicted by the byte bound since open.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Keys oldest generation first (test/diagnostic view).
+    pub fn keys_by_generation(&self) -> Vec<CacheKey> {
+        self.generations
+            .iter()
+            .filter(|e| self.sizes.get(&e.key) == Some(&(e.bytes, e.generation)))
+            .map(|e| e.key)
+            .collect()
     }
 }
 
@@ -212,19 +448,28 @@ impl DiskStore {
 pub struct ResultCache {
     lru: LruCache,
     disk: Option<DiskStore>,
+    reported_evictions: u64,
 }
 
 impl ResultCache {
     /// A cache with `lru_entries` in-memory slots and, when `dir` is
-    /// given, a disk tier rooted there.
+    /// given, a disk tier rooted there bounded to `disk_cap_bytes`
+    /// payload bytes (`0` = unbounded).
     ///
     /// # Errors
     ///
     /// Propagates disk-tier open failures.
-    pub fn new(lru_entries: usize, dir: Option<&Path>) -> std::io::Result<ResultCache> {
+    pub fn new(
+        lru_entries: usize,
+        dir: Option<&Path>,
+        disk_cap_bytes: u64,
+    ) -> std::io::Result<ResultCache> {
         Ok(ResultCache {
             lru: LruCache::new(lru_entries),
-            disk: dir.map(DiskStore::open).transpose()?,
+            disk: dir
+                .map(|d| DiskStore::open_bounded(d, disk_cap_bytes, KeySlice::full()))
+                .transpose()?,
+            reported_evictions: 0,
         })
     }
 
@@ -243,7 +488,7 @@ impl ResultCache {
     /// swallowed — the cache is an accelerator, not a ledger — but
     /// the in-memory tier always takes the entry.
     pub fn put(&mut self, key: CacheKey, value: Vec<u8>) {
-        if let Some(disk) = &self.disk {
+        if let Some(disk) = &mut self.disk {
             let _ = disk.put(key, &value);
         }
         self.lru.put(key, value);
@@ -253,6 +498,14 @@ impl ResultCache {
     pub fn lru_len(&self) -> usize {
         self.lru.len()
     }
+
+    /// Disk-tier evictions since the last call (for stats mirroring).
+    pub fn take_disk_evictions(&mut self) -> u64 {
+        let total = self.disk.as_ref().map_or(0, DiskStore::evictions);
+        let delta = total - self.reported_evictions;
+        self.reported_evictions = total;
+        delta
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +514,12 @@ mod tests {
 
     fn key(n: u8) -> CacheKey {
         CacheKey([n; 16])
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("adgen-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -319,36 +578,130 @@ mod tests {
     }
 
     #[test]
-    fn disk_store_round_trips() {
-        let dir =
-            std::env::temp_dir().join(format!("adgen-serve-cache-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let store = DiskStore::open(&dir).unwrap();
+    fn hex_round_trips() {
+        let k = CacheKey::for_request(b"round trip", 7);
+        assert_eq!(CacheKey::from_hex(&k.hex()), Some(k));
+        assert_eq!(CacheKey::from_hex("not hex"), None);
+        assert_eq!(CacheKey::from_hex(&k.hex()[..30]), None);
+    }
+
+    #[test]
+    fn disk_store_round_trips_in_sharded_layout() {
+        let dir = temp_dir("cache-test");
+        let mut store = DiskStore::open(&dir).unwrap();
         assert!(store.is_empty());
         let k = CacheKey::for_request(b"payload", 0);
         assert_eq!(store.get(k), None);
         store.put(k, b"the cached response bytes").unwrap();
         assert_eq!(store.get(k), Some(b"the cached response bytes".to_vec()));
         assert_eq!(store.len(), 1);
+
+        // The file lives under its two digest-prefix shard levels.
+        let hex = k.hex();
+        let expect = dir.join(&hex[0..2]).join(&hex[2..4]).join(&hex);
+        assert!(expect.is_file(), "entry at {expect:?}");
+
         // Overwrite is atomic and idempotent.
         store.put(k, b"v2").unwrap();
         assert_eq!(store.get(k), Some(b"v2".to_vec()));
         assert_eq!(store.len(), 1);
+        assert_eq!(store.total_bytes(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_bound_evicts_oldest_generation_first() {
+        let dir = temp_dir("cache-bound");
+        // Three 4-byte entries fit a 12-byte bound; the fourth evicts
+        // the oldest.
+        let mut store = DiskStore::open_bounded(&dir, 12, KeySlice::full()).unwrap();
+        for n in 1..=3u8 {
+            store.put(key(n), &[n; 4]).unwrap();
+        }
+        assert_eq!(store.evictions(), 0);
+        store.put(key(4), &[4; 4]).unwrap();
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.get(key(1)), None, "oldest generation evicted");
+        assert_eq!(store.keys_by_generation(), vec![key(2), key(3), key(4)]);
+        assert_eq!(store.total_bytes(), 12);
+
+        // An overwrite refreshes the generation: key 2 moves to the
+        // newest slot, so key 3 is next out.
+        store.put(key(2), &[22; 4]).unwrap();
+        store.put(key(5), &[5; 4]).unwrap();
+        assert_eq!(store.get(key(3)), None);
+        assert_eq!(store.get(key(2)), Some(vec![22; 4]));
+
+        // A single payload larger than the bound still caches.
+        store.put(key(9), &[9; 64]).unwrap();
+        assert_eq!(store.get(key(9)), Some(vec![9; 64]));
+        assert_eq!(store.keys_by_generation(), vec![key(9)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_index_survives_reopen() {
+        let dir = temp_dir("cache-reopen");
+        {
+            let mut store = DiskStore::open_bounded(&dir, 0, KeySlice::full()).unwrap();
+            for n in 1..=3u8 {
+                store.put(key(n), &[n; 4]).unwrap();
+            }
+        }
+        let reopened = DiskStore::open_bounded(&dir, 12, KeySlice::full()).unwrap();
+        assert_eq!(reopened.len(), 3);
+        assert_eq!(reopened.total_bytes(), 12);
+        for n in 1..=3u8 {
+            assert_eq!(reopened.get(key(n)), Some(vec![n; 4]));
+        }
+
+        // Reopening under a tighter bound evicts down to it, oldest
+        // generation (== oldest mtime) first.
+        let shrunk = DiskStore::open_bounded(&dir, 8, KeySlice::full()).unwrap();
+        assert!(shrunk.total_bytes() <= 8);
+        assert_eq!(shrunk.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_slices_partition_the_keyspace() {
+        let of = 4;
+        let keys: Vec<CacheKey> = (0..=255u8).map(key).collect();
+        let mut owned = 0;
+        for index in 0..of {
+            let slice = KeySlice { index, of };
+            owned += keys.iter().filter(|k| slice.covers(**k)).count();
+        }
+        assert_eq!(owned, keys.len(), "every key has exactly one owner");
+
+        // A sliced store ignores foreign keys entirely.
+        let dir = temp_dir("cache-slice");
+        let slice = KeySlice { index: 1, of: 2 };
+        let mut store = DiskStore::open_bounded(&dir, 0, slice).unwrap();
+        let mine = key(1); // 1 % 2 == 1
+        let foreign = key(2); // 2 % 2 == 0
+        store.put(mine, b"mine").unwrap();
+        store.put(foreign, b"foreign").unwrap();
+        assert_eq!(store.get(mine), Some(b"mine".to_vec()));
+        assert_eq!(store.get(foreign), None);
+        assert_eq!(store.len(), 1);
+
+        // And a rescan only indexes its own slice.
+        let full = DiskStore::open(&dir).unwrap();
+        assert_eq!(full.len(), 1, "only the owned key was ever written");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn disk_hits_promote_into_the_lru() {
-        let dir =
-            std::env::temp_dir().join(format!("adgen-serve-promote-test-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        let mut cache = ResultCache::new(4, Some(&dir)).unwrap();
+        let dir = temp_dir("promote-test");
+        let mut cache = ResultCache::new(4, Some(&dir), 0).unwrap();
         let k = CacheKey::for_request(b"req", 0);
         cache.put(k, b"resp".to_vec());
 
         // A fresh cache over the same directory: first hit comes from
         // disk, second from memory.
-        let mut cold = ResultCache::new(4, Some(&dir)).unwrap();
+        let mut cold = ResultCache::new(4, Some(&dir), 0).unwrap();
         assert_eq!(cold.get(k), Some((b"resp".to_vec(), Tier::Disk)));
         assert_eq!(cold.get(k), Some((b"resp".to_vec(), Tier::Memory)));
         assert_eq!(cold.get(CacheKey::for_request(b"other", 0)), None);
@@ -356,8 +709,21 @@ mod tests {
     }
 
     #[test]
+    fn result_cache_reports_eviction_deltas() {
+        let dir = temp_dir("evict-delta");
+        let mut cache = ResultCache::new(2, Some(&dir), 8).unwrap();
+        assert_eq!(cache.take_disk_evictions(), 0);
+        for n in 1..=4u8 {
+            cache.put(key(n), vec![n; 4]);
+        }
+        assert_eq!(cache.take_disk_evictions(), 2);
+        assert_eq!(cache.take_disk_evictions(), 0, "delta, not total");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn memory_only_cache_works_without_a_disk_tier() {
-        let mut cache = ResultCache::new(2, None).unwrap();
+        let mut cache = ResultCache::new(2, None, 0).unwrap();
         let k = CacheKey::for_request(b"req", 0);
         assert_eq!(cache.get(k), None);
         cache.put(k, b"resp".to_vec());

@@ -85,6 +85,21 @@ impl Client {
         Ok(Client { stream })
     }
 
+    /// Bounds how long a [`call`](Client::call) may block waiting for
+    /// the response frame (`None` = wait forever). Overload tests use
+    /// this to turn a hung server into a visible failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_read_timeout(
+        &mut self,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
     /// Sends `request` with a deadline (milliseconds; `0` = server
     /// default) and returns the raw encoded response payload — the
     /// bytes determinism tests compare.

@@ -37,6 +37,9 @@ pub enum ServeError {
     /// The server could not process the request for an internal
     /// reason (e.g. it is shutting down).
     Internal(String),
+    /// A server worker thread panicked; names the thread(s). Surfaced
+    /// by `ServerHandle::join` instead of re-panicking the caller.
+    WorkerPanicked(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -57,6 +60,9 @@ impl std::fmt::Display for ServeError {
             ServeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             ServeError::Internal(msg) => write!(f, "internal failure: {msg}"),
+            ServeError::WorkerPanicked(which) => {
+                write!(f, "worker thread panicked: {which}")
+            }
         }
     }
 }
@@ -79,6 +85,7 @@ mod tests {
             ServeError::Protocol("frame too short".to_string()),
             ServeError::BadRequest("empty sequence".to_string()),
             ServeError::Internal("shutting down".to_string()),
+            ServeError::WorkerPanicked("dispatcher".to_string()),
         ];
         for e in errors {
             let msg = e.to_string();

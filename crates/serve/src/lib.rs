@@ -3,14 +3,16 @@
 //! Turns the workspace's mapping, synthesis and exploration pipelines
 //! into a long-lived TCP service: clients submit address-generation
 //! problems over a versioned, length-prefixed binary protocol
-//! ([`protocol`]), an admission queue with per-request deadlines
-//! feeds a batching dispatcher that fans work across
-//! [`adgen_exec::par_map`], and a two-tier content-addressed result
-//! cache ([`cache`]) — in-memory LRU in front of an on-disk store —
-//! answers repeats without recomputation. Cache keys bind the
-//! request's canonical bytes *and* its espresso effort budget, so a
-//! truncated low-effort synthesis can never poison a full-effort
-//! lookup.
+//! ([`protocol`]), a readiness-driven reactor ([`reactor`])
+//! multiplexes thousands of connections over a few event threads, an
+//! admission queue with per-request deadlines feeds a batching
+//! dispatcher that coalesces identical misses (single-flight) and
+//! fans the distinct work across [`adgen_exec::par_map`], and a
+//! two-tier content-addressed result cache ([`cache`]) — in-memory
+//! LRU in front of a bounded, digest-sharded on-disk store — answers
+//! repeats without recomputation. Cache keys bind the request's
+//! canonical bytes *and* its espresso effort budget, so a truncated
+//! low-effort synthesis can never poison a full-effort lookup.
 //!
 //! Entry points: [`serve`] to start a server in-process,
 //! [`Client`] to talk to one, and the `adgen-serve` binary for the
@@ -22,12 +24,14 @@ pub mod cache;
 pub mod client;
 pub mod error;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
-pub use cache::{CacheKey, DiskStore, LruCache, ResultCache, Tier};
+pub use cache::{CacheKey, DiskStore, KeySlice, LruCache, ResultCache, Tier};
 pub use client::{Client, ClientError};
 pub use error::ServeError;
 pub use protocol::{
     MapOutcome, Request, Response, StatsSnapshot, SynthReport, MAGIC, PROTOCOL_VERSION,
 };
+pub use reactor::{ReactorKind, ResolvedReactor};
 pub use server::{serve, ServeConfig, ServeStats, ServerHandle, MAX_SEQUENCE_LEN};

@@ -42,8 +42,10 @@ use crate::error::ServeError;
 /// Connection magic, first bytes of both hellos.
 pub const MAGIC: [u8; 4] = *b"ADGS";
 
-/// The protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The protocol version this build speaks. v2 extended the stats
+/// snapshot with shedding/coalescing/eviction counters and added the
+/// `WorkerPanicked` error kind.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload, bytes. Anything larger is a
 /// protocol violation (the biggest legitimate payload — an `Explore`
@@ -631,6 +633,19 @@ pub struct StatsSnapshot {
     pub queue_high_water: u64,
     /// Batches the dispatcher executed.
     pub batches: u64,
+    /// Requests rejected at admission because the queue was full.
+    pub shed: u64,
+    /// Miss groups that coalesced at least one duplicate (the member
+    /// whose request was computed).
+    pub coalesce_leaders: u64,
+    /// Requests answered by another member's computation instead of
+    /// their own (single-flight duplicates).
+    pub coalesce_waiters: u64,
+    /// Disk-tier entries evicted by the size bound.
+    pub disk_evictions: u64,
+    /// Times the reactor event thread was woken by a completion
+    /// (epoll backend; the threaded backend wakes by unpark).
+    pub reactor_wakeups: u64,
 }
 
 /// A server response, one per request frame.
@@ -720,6 +735,11 @@ impl Response {
                     s.deadline_expired,
                     s.queue_high_water,
                     s.batches,
+                    s.shed,
+                    s.coalesce_leaders,
+                    s.coalesce_waiters,
+                    s.disk_evictions,
+                    s.reactor_wakeups,
                 ] {
                     e.u64(v);
                 }
@@ -752,6 +772,10 @@ impl Response {
                     ServeError::Internal(msg) => {
                         e.u8(5);
                         e.str(msg);
+                    }
+                    ServeError::WorkerPanicked(which) => {
+                        e.u8(6);
+                        e.str(which);
                     }
                 }
             }
@@ -818,6 +842,11 @@ impl Response {
                 deadline_expired: d.u64()?,
                 queue_high_water: d.u64()?,
                 batches: d.u64()?,
+                shed: d.u64()?,
+                coalesce_leaders: d.u64()?,
+                coalesce_waiters: d.u64()?,
+                disk_evictions: d.u64()?,
+                reactor_wakeups: d.u64()?,
             }),
             5 => Response::ShuttingDown,
             6 => {
@@ -833,6 +862,7 @@ impl Response {
                     3 => ServeError::Protocol(d.str()?),
                     4 => ServeError::BadRequest(d.str()?),
                     5 => ServeError::Internal(d.str()?),
+                    6 => ServeError::WorkerPanicked(d.str()?),
                     other => return Err(wire_err(format!("unknown error tag {other}"))),
                 };
                 Response::Error(err)
@@ -909,6 +939,11 @@ mod tests {
                 deadline_expired: 8,
                 queue_high_water: 9,
                 batches: 10,
+                shed: 11,
+                coalesce_leaders: 12,
+                coalesce_waiters: 13,
+                disk_evictions: 14,
+                reactor_wakeups: 15,
             }),
             Response::ShuttingDown,
             Response::Error(ServeError::Deadline { waited_ms: 100 }),
@@ -920,6 +955,7 @@ mod tests {
             Response::Error(ServeError::Protocol("bad tag".to_string())),
             Response::Error(ServeError::BadRequest("empty sequence".to_string())),
             Response::Error(ServeError::Internal("shutting down".to_string())),
+            Response::Error(ServeError::WorkerPanicked("dispatcher".to_string())),
         ]
     }
 

@@ -1,0 +1,859 @@
+//! Readiness-driven connection multiplexing: one (or a few) event
+//! threads in place of a thread per client.
+//!
+//! ## Why a reactor
+//!
+//! The first serving layer gave every accepted connection its own
+//! blocking thread. That is simple and correct, but a thread costs a
+//! stack and a scheduler slot, so "thousands of mostly-idle framed
+//! connections" — the shape a compilation cache serves once results
+//! are warm — turns into thousands of threads doing nothing. The
+//! reactor inverts this: sockets are nonblocking, a readiness source
+//! says which of them have work, and a fixed number of event threads
+//! run a per-connection state machine ([`Conn`]) over exactly the
+//! ready ones.
+//!
+//! ## Two backends, one state machine
+//!
+//! [`ReactorKind`] selects the readiness source:
+//!
+//! * **`epoll`** (Linux) — a single event thread multiplexes the
+//!   listener, a UDP wake socket and every connection through a thin
+//!   raw-FFI shim over `epoll_create1`/`epoll_ctl`/`epoll_wait`
+//!   (declared directly against the libc symbols the std runtime
+//!   already links; no external crate).
+//! * **`threaded`** (any platform) — a small shard pool. The listener
+//!   is set nonblocking and cloned into every shard, so accepts are
+//!   *sharded*: whichever shard polls first takes the connection and
+//!   services it for life. Readiness is discovered by nonblocking
+//!   read attempts with a 1 ms park between idle sweeps.
+//!
+//! Both backends drive the same [`Conn`] state machine and the same
+//! admission/dispatch path in [`crate::server`], which is what makes
+//! the backend-equivalence e2e suite meaningful: payloads must be
+//! byte-identical whichever backend carried them.
+//!
+//! ## Replies without blocking
+//!
+//! A compute request admitted from an event thread cannot block on a
+//! channel waiting for the dispatcher (that would stall every other
+//! connection). Instead each admitted request takes a *ticket* in the
+//! connection's ordered slot queue and carries a [`Reply`] handle;
+//! the dispatcher completes the ticket through a [`CompletionQueue`],
+//! which wakes the owning event thread (UDP datagram for epoll,
+//! `unpark` for a shard). Slots are flushed strictly in order, so a
+//! connection that pipelines requests still receives responses in
+//! request order, exactly like the blocking implementation did.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::error::ServeError;
+use crate::protocol::{self, Request, Response, HANDSHAKE_OK, HANDSHAKE_REJECT_VERSION};
+use crate::server::Shared;
+
+/// Bytes read per `read` call on a ready socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Most response slots (answered or in flight) a single connection
+/// may hold before the reactor stops reading from it — natural
+/// backpressure against a client that pipelines without draining.
+const MAX_PIPELINED: usize = 128;
+
+/// How the server multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReactorKind {
+    /// Pick the best backend for the platform: `epoll` where the
+    /// shim probes successfully (Linux), the threaded shard pool
+    /// everywhere else.
+    #[default]
+    Auto,
+    /// The single-threaded `epoll` event loop. Falls back to
+    /// `threaded` at startup on platforms without the syscall.
+    Epoll,
+    /// The sharded-accept nonblocking thread pool.
+    Threaded,
+}
+
+impl ReactorKind {
+    /// Parses a `--reactor` flag value.
+    pub fn parse(s: &str) -> Option<ReactorKind> {
+        match s {
+            "auto" => Some(ReactorKind::Auto),
+            "epoll" => Some(ReactorKind::Epoll),
+            "threaded" => Some(ReactorKind::Threaded),
+            _ => None,
+        }
+    }
+
+    /// The backend this kind resolves to on the current platform.
+    pub fn resolve(self) -> ResolvedReactor {
+        match self {
+            ReactorKind::Threaded => ResolvedReactor::Threaded,
+            ReactorKind::Auto | ReactorKind::Epoll => {
+                if epoll_supported() {
+                    ResolvedReactor::Epoll
+                } else {
+                    ResolvedReactor::Threaded
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ReactorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReactorKind::Auto => write!(f, "auto"),
+            ReactorKind::Epoll => write!(f, "epoll"),
+            ReactorKind::Threaded => write!(f, "threaded"),
+        }
+    }
+}
+
+/// The backend actually running, after [`ReactorKind::resolve`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolvedReactor {
+    /// The epoll event loop.
+    Epoll,
+    /// The sharded thread pool.
+    Threaded,
+}
+
+impl std::fmt::Display for ResolvedReactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolvedReactor::Epoll => write!(f, "epoll"),
+            ResolvedReactor::Threaded => write!(f, "threaded"),
+        }
+    }
+}
+
+/// Whether the epoll shim works here.
+fn epoll_supported() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        sys::Epoll::new().is_ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------
+// Completions
+// ---------------------------------------------------------------
+
+/// One finished compute result on its way back to a connection.
+pub(crate) struct Completion {
+    pub(crate) conn: u64,
+    pub(crate) ticket: u64,
+    pub(crate) payload: Vec<u8>,
+}
+
+/// How a completion push wakes the event thread that owns the
+/// connection.
+enum Waker {
+    /// Send a 1-byte datagram to the epoll loop's wake socket.
+    Udp(UdpSocket),
+    /// Unpark a shard thread.
+    Thread(std::thread::Thread),
+}
+
+/// The mailbox between the dispatcher and one event thread.
+pub(crate) struct CompletionQueue {
+    pending: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl CompletionQueue {
+    fn with_udp_waker(tx: UdpSocket) -> CompletionQueue {
+        CompletionQueue {
+            pending: Mutex::new(Vec::new()),
+            waker: Waker::Udp(tx),
+        }
+    }
+
+    pub(crate) fn for_current_thread() -> CompletionQueue {
+        CompletionQueue {
+            pending: Mutex::new(Vec::new()),
+            waker: Waker::Thread(std::thread::current()),
+        }
+    }
+
+    fn push(&self, completion: Completion) {
+        self.pending
+            .lock()
+            .expect("completion lock")
+            .push(completion);
+        match &self.waker {
+            // A failed wake datagram is recovered by the loop's tick
+            // timeout; losing it costs latency, never correctness.
+            Waker::Udp(tx) => {
+                let _ = tx.send(&[1]);
+            }
+            Waker::Thread(t) => t.unpark(),
+        }
+    }
+
+    pub(crate) fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut *self.pending.lock().expect("completion lock"))
+    }
+}
+
+/// The dispatcher's handle for answering one admitted request.
+/// Consumed by [`send`](Reply::send); a reply whose connection has
+/// since died is silently dropped by the event thread.
+pub(crate) struct Reply {
+    queue: Arc<CompletionQueue>,
+    conn: u64,
+    ticket: u64,
+}
+
+impl Reply {
+    pub(crate) fn new(queue: Arc<CompletionQueue>, conn: u64, ticket: u64) -> Reply {
+        Reply {
+            queue,
+            conn,
+            ticket,
+        }
+    }
+
+    /// Routes `payload` back to the owning event thread.
+    pub(crate) fn send(self, payload: Vec<u8>) {
+        let completion = Completion {
+            conn: self.conn,
+            ticket: self.ticket,
+            payload,
+        };
+        self.queue.push(completion);
+    }
+}
+
+// ---------------------------------------------------------------
+// The per-connection state machine
+// ---------------------------------------------------------------
+
+/// An ordered response slot: responses leave in request order even
+/// when compute results complete out of order.
+enum Slot {
+    /// Encoded response frame payload, ready to flush.
+    Ready(Vec<u8>),
+    /// Waiting on the dispatcher to complete this ticket.
+    Pending(u64),
+}
+
+/// One nonblocking connection: input buffer, handshake/frame parsing,
+/// ordered response slots and a partially-flushed output buffer.
+struct Conn {
+    stream: TcpStream,
+    id: u64,
+    completions: Arc<CompletionQueue>,
+    inbuf: Vec<u8>,
+    /// Parse cursor into `inbuf`; consumed bytes are compacted away
+    /// once the buffer is fully parsed.
+    inpos: usize,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    hello_done: bool,
+    /// Flush what is queued, then close (protocol error, handshake
+    /// reject, or a `Shutdown` acknowledgement).
+    closing: bool,
+    dead: bool,
+    slots: VecDeque<Slot>,
+    next_ticket: u64,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, id: u64, completions: Arc<CompletionQueue>) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        // Nagle + delayed ACK would put a ~40 ms floor under small
+        // response frames, burying cache-hit latency.
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            id,
+            completions,
+            inbuf: Vec::new(),
+            inpos: 0,
+            outbuf: Vec::new(),
+            outpos: 0,
+            hello_done: false,
+            closing: false,
+            dead: false,
+            slots: VecDeque::new(),
+            next_ticket: 0,
+        })
+    }
+
+    fn alive(&self) -> bool {
+        !self.dead
+    }
+
+    /// Unflushed output bytes are queued (epoll uses this to decide
+    /// whether to ask for write readiness).
+    fn wants_write(&self) -> bool {
+        self.outpos < self.outbuf.len()
+    }
+
+    /// Reads everything currently available, parses complete frames,
+    /// and flushes whatever became ready. Returns `true` when any
+    /// byte moved in either direction.
+    fn service(&mut self, shared: &Shared) -> bool {
+        let mut progress = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        while !self.closing && !self.dead && self.slots.len() < MAX_PIPELINED {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed. Anything still in flight can never
+                    // be delivered; drop the connection (the blocking
+                    // implementation behaved identically).
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    progress = true;
+                    self.inbuf.extend_from_slice(&chunk[..n]);
+                    self.parse_input(shared);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progress |= self.pump_out();
+        progress
+    }
+
+    /// Parses the handshake and every complete frame sitting in
+    /// `inbuf`.
+    fn parse_input(&mut self, shared: &Shared) {
+        if !self.hello_done {
+            if self.inbuf.len() - self.inpos < 8 {
+                return;
+            }
+            let hello = &self.inbuf[self.inpos..self.inpos + 8];
+            match protocol::read_hello(&mut std::io::Cursor::new(hello)) {
+                Ok(version) if version == protocol::PROTOCOL_VERSION => {
+                    let mut reply = Vec::with_capacity(8);
+                    protocol::write_hello_reply(
+                        &mut reply,
+                        HANDSHAKE_OK,
+                        protocol::PROTOCOL_VERSION,
+                    )
+                    .expect("vec write");
+                    self.outbuf.extend_from_slice(&reply);
+                    self.hello_done = true;
+                }
+                Ok(_) => {
+                    let mut reply = Vec::with_capacity(8);
+                    protocol::write_hello_reply(
+                        &mut reply,
+                        HANDSHAKE_REJECT_VERSION,
+                        protocol::PROTOCOL_VERSION,
+                    )
+                    .expect("vec write");
+                    self.outbuf.extend_from_slice(&reply);
+                    self.closing = true;
+                }
+                Err(_) => {
+                    // Bad magic: close without a reply, as the
+                    // blocking implementation did.
+                    self.dead = true;
+                    return;
+                }
+            }
+            self.inpos += 8;
+        }
+        while self.hello_done && !self.closing && self.slots.len() < MAX_PIPELINED {
+            let avail = self.inbuf.len() - self.inpos;
+            if avail < 4 {
+                break;
+            }
+            let len_bytes: [u8; 4] = self.inbuf[self.inpos..self.inpos + 4]
+                .try_into()
+                .expect("four bytes");
+            let len = u32::from_le_bytes(len_bytes);
+            if len > protocol::MAX_FRAME_LEN {
+                let err = Response::Error(ServeError::Protocol(format!(
+                    "frame length {len} exceeds cap {}",
+                    protocol::MAX_FRAME_LEN
+                )));
+                self.slots.push_back(Slot::Ready(err.encode()));
+                self.closing = true;
+                break;
+            }
+            if avail - 4 < len as usize {
+                break;
+            }
+            let start = self.inpos + 4;
+            let payload: Vec<u8> = self.inbuf[start..start + len as usize].to_vec();
+            self.inpos = start + len as usize;
+            self.handle_frame(shared, &payload);
+        }
+        // Compact once everything parseable is consumed, so the
+        // buffer never grows with the connection's lifetime.
+        if self.inpos > 0 {
+            self.inbuf.drain(..self.inpos);
+            self.inpos = 0;
+        }
+    }
+
+    /// Dispatches one request frame: control kinds answered inline,
+    /// compute kinds admitted with a ticket.
+    fn handle_frame(&mut self, shared: &Shared, payload: &[u8]) {
+        let (request, deadline_ms) = match protocol::decode_request_frame(payload) {
+            Ok(x) => x,
+            Err(e) => {
+                let resp = Response::Error(ServeError::Protocol(e.0));
+                self.slots.push_back(Slot::Ready(resp.encode()));
+                self.closing = true;
+                return;
+            }
+        };
+        if request.is_compute() {
+            let ticket = self.next_ticket;
+            self.next_ticket += 1;
+            let reply = Reply::new(Arc::clone(&self.completions), self.id, ticket);
+            match shared.admit(request, deadline_ms, reply) {
+                Ok(()) => self.slots.push_back(Slot::Pending(ticket)),
+                Err(e) => self
+                    .slots
+                    .push_back(Slot::Ready(Response::Error(e).encode())),
+            }
+        } else {
+            shared.stats.req_control.fetch_add(1, Ordering::Relaxed);
+            match request {
+                Request::Ping => self.slots.push_back(Slot::Ready(Response::Pong.encode())),
+                Request::Stats => self.slots.push_back(Slot::Ready(
+                    Response::Stats(shared.stats.snapshot()).encode(),
+                )),
+                Request::Shutdown => {
+                    self.slots
+                        .push_back(Slot::Ready(Response::ShuttingDown.encode()));
+                    self.closing = true;
+                    crate::server::initiate_shutdown(shared);
+                }
+                _ => unreachable!("compute kinds handled above"),
+            }
+        }
+    }
+
+    /// Marks a pending ticket as answered.
+    fn deliver(&mut self, ticket: u64, payload: Vec<u8>) {
+        for slot in &mut self.slots {
+            if matches!(slot, Slot::Pending(t) if *t == ticket) {
+                *slot = Slot::Ready(payload);
+                return;
+            }
+        }
+        // A ticket with no slot means the slot queue was already
+        // answered-and-dropped (impossible today) — ignore.
+    }
+
+    /// Moves ready slots into the output buffer (in order, stopping
+    /// at the first still-pending slot) and writes as much as the
+    /// socket accepts. Returns `true` when bytes were written.
+    fn pump_out(&mut self) -> bool {
+        while let Some(Slot::Ready(_)) = self.slots.front() {
+            let Some(Slot::Ready(payload)) = self.slots.pop_front() else {
+                unreachable!("front checked above");
+            };
+            self.outbuf
+                .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            self.outbuf.extend_from_slice(&payload);
+        }
+        let mut wrote = false;
+        while self.outpos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.outpos += n;
+                    wrote = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.outpos == self.outbuf.len() {
+            self.outbuf.clear();
+            self.outpos = 0;
+            if self.closing {
+                self.dead = true;
+            }
+        }
+        wrote
+    }
+}
+
+/// Delivers a drained batch of completions into `conns` and flushes
+/// the touched connections. Completions for connections that died in
+/// the meantime are dropped.
+fn deliver_completions(conns: &mut HashMap<u64, Conn>, completions: Vec<Completion>) {
+    for completion in completions {
+        if let Some(conn) = conns.get_mut(&completion.conn) {
+            conn.deliver(completion.ticket, completion.payload);
+            conn.pump_out();
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// The epoll backend (Linux)
+// ---------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! A minimal FFI shim over the three epoll syscalls, declared
+    //! directly against the libc symbols the std runtime links — no
+    //! external crate, no feature gates.
+
+    use std::os::fd::RawFd;
+
+    /// `struct epoll_event`. Packed on x86-64 (as glibc declares it);
+    /// naturally aligned elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct Event {
+        /// Readiness bit set (`EPOLLIN` | …).
+        pub events: u32,
+        /// The caller's token, returned verbatim.
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut Event) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut Event, maxevents: i32, timeout_ms: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Readable.
+    pub const EPOLLIN: u32 = 0x1;
+    /// Writable.
+    pub const EPOLLOUT: u32 = 0x4;
+    /// Error condition (always reported; no need to register).
+    pub const EPOLLERR: u32 = 0x8;
+    /// Hangup.
+    pub const EPOLLHUP: u32 = 0x10;
+    /// Peer shut down its write half.
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    /// An owned epoll instance.
+    pub struct Epoll {
+        fd: RawFd,
+    }
+
+    impl Epoll {
+        /// Creates the epoll instance (close-on-exec).
+        pub fn new() -> std::io::Result<Epoll> {
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Epoll { fd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> std::io::Result<()> {
+            let mut event = Event {
+                events: interest,
+                data: token,
+            };
+            let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut event) };
+            if rc < 0 {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Registers `fd` with `interest`, tagging events with
+        /// `token`.
+        pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> std::io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+        }
+
+        /// Changes the interest set of a registered `fd`.
+        pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> std::io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+        }
+
+        /// Deregisters `fd`.
+        pub fn del(&self, fd: RawFd) {
+            let mut event = Event { events: 0, data: 0 };
+            let _ = unsafe { epoll_ctl(self.fd, EPOLL_CTL_DEL, fd, &mut event) };
+        }
+
+        /// Waits up to `timeout_ms` for events, filling `events` and
+        /// returning how many arrived. Retries on `EINTR`.
+        pub fn wait(&self, events: &mut [Event], timeout_ms: i32) -> std::io::Result<usize> {
+            loop {
+                let n = unsafe {
+                    epoll_wait(
+                        self.fd,
+                        events.as_mut_ptr(),
+                        events.len() as i32,
+                        timeout_ms,
+                    )
+                };
+                if n >= 0 {
+                    return Ok(n as usize);
+                }
+                let err = std::io::Error::last_os_error();
+                if err.kind() != std::io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            let _ = unsafe { close(self.fd) };
+        }
+    }
+}
+
+/// The single epoll event thread. Constructed in [`crate::serve`] so
+/// setup failures surface at bind time, then moved into the io
+/// thread.
+#[cfg(target_os = "linux")]
+pub(crate) struct EpollIo {
+    ep: sys::Epoll,
+    listener: TcpListener,
+    wake_rx: UdpSocket,
+    completions: Arc<CompletionQueue>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollIo {
+    const TOKEN_LISTENER: u64 = 0;
+    const TOKEN_WAKER: u64 = 1;
+    const FIRST_CONN: u64 = 2;
+
+    /// Builds the epoll set: listener + wake socket registered, no
+    /// connections yet.
+    pub(crate) fn new(listener: TcpListener) -> std::io::Result<EpollIo> {
+        use std::os::fd::AsRawFd;
+
+        listener.set_nonblocking(true)?;
+        let wake_rx = UdpSocket::bind("127.0.0.1:0")?;
+        wake_rx.set_nonblocking(true)?;
+        let wake_tx = UdpSocket::bind("127.0.0.1:0")?;
+        wake_tx.connect(wake_rx.local_addr()?)?;
+
+        let ep = sys::Epoll::new()?;
+        ep.add(listener.as_raw_fd(), sys::EPOLLIN, Self::TOKEN_LISTENER)?;
+        ep.add(wake_rx.as_raw_fd(), sys::EPOLLIN, Self::TOKEN_WAKER)?;
+
+        Ok(EpollIo {
+            ep,
+            listener,
+            wake_rx,
+            completions: Arc::new(CompletionQueue::with_udp_waker(wake_tx)),
+        })
+    }
+
+    /// Runs the event loop until shutdown completes (flag set and
+    /// every connection drained).
+    pub(crate) fn run(self, shared: &Shared) {
+        use std::os::fd::AsRawFd;
+
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut next_id = Self::FIRST_CONN;
+        let mut events = vec![sys::Event { events: 0, data: 0 }; 256];
+        let mut touched: Vec<u64> = Vec::new();
+        let mut listener_registered = true;
+
+        // The 50 ms tick bounds how stale a lost wake datagram or an
+        // externally-set shutdown flag can be.
+        while let Ok(n) = self.ep.wait(&mut events, 50) {
+            touched.clear();
+            for event in &events[..n] {
+                // Copy out of the (possibly packed) event first.
+                let (token, bits) = (event.data, event.events);
+                match token {
+                    Self::TOKEN_LISTENER => {
+                        if shared.is_shutdown() {
+                            continue;
+                        }
+                        loop {
+                            match self.listener.accept() {
+                                Ok((stream, _)) => {
+                                    let id = next_id;
+                                    next_id += 1;
+                                    let Ok(conn) =
+                                        Conn::new(stream, id, Arc::clone(&self.completions))
+                                    else {
+                                        continue;
+                                    };
+                                    let interest = sys::EPOLLIN | sys::EPOLLRDHUP;
+                                    if self.ep.add(conn.stream.as_raw_fd(), interest, id).is_ok() {
+                                        conns.insert(id, conn);
+                                    }
+                                }
+                                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                                Err(_) => break,
+                            }
+                        }
+                    }
+                    Self::TOKEN_WAKER => {
+                        shared.stats.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+                        let mut buf = [0u8; 64];
+                        while self.wake_rx.recv(&mut buf).is_ok() {}
+                    }
+                    id => {
+                        if let Some(conn) = conns.get_mut(&id) {
+                            if bits
+                                & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP)
+                                != 0
+                            {
+                                conn.service(shared);
+                            } else {
+                                conn.pump_out();
+                            }
+                            touched.push(id);
+                        }
+                    }
+                }
+            }
+
+            // Completions can arrive with any event (or the tick);
+            // always drain.
+            let completed = self.completions.drain();
+            touched.extend(completed.iter().map(|c| c.conn));
+            deliver_completions(&mut conns, completed);
+
+            // Reconcile interest and reap the dead, but only for
+            // connections something happened to.
+            touched.sort_unstable();
+            touched.dedup();
+            for id in touched.drain(..) {
+                let Some(conn) = conns.get_mut(&id) else {
+                    continue;
+                };
+                if !conn.alive() {
+                    self.ep.del(conn.stream.as_raw_fd());
+                    conns.remove(&id);
+                    continue;
+                }
+                let interest = if conn.wants_write() {
+                    sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLOUT
+                } else {
+                    sys::EPOLLIN | sys::EPOLLRDHUP
+                };
+                let _ = self.ep.modify(conn.stream.as_raw_fd(), interest, id);
+            }
+
+            if shared.is_shutdown() {
+                if listener_registered {
+                    // Stop watching the listener so a backlog of
+                    // unaccepted connections cannot spin the loop
+                    // while the live ones drain.
+                    self.ep.del(self.listener.as_raw_fd());
+                    listener_registered = false;
+                }
+                if conns.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// The threaded fallback: sharded accept + nonblocking polling
+// ---------------------------------------------------------------
+
+/// Runs the sharded thread-pool backend until shutdown completes.
+/// Panics in any shard propagate out of the scope (and surface as
+/// [`ServeError::WorkerPanicked`] from `ServerHandle::join`).
+pub(crate) fn run_threaded(shared: &Shared, listener: TcpListener, shards: usize) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    let shards = shards.max(1);
+    std::thread::scope(|scope| {
+        for shard in 0..shards {
+            let listener = match listener.try_clone() {
+                Ok(l) => l,
+                Err(_) => continue,
+            };
+            std::thread::Builder::new()
+                .name(format!("adgen-serve-shard-{shard}"))
+                .spawn_scoped(scope, move || shard_loop(shared, &listener))
+                .expect("spawn shard thread");
+        }
+    });
+}
+
+/// One shard: polls the shared nonblocking listener for new
+/// connections (sharded accept), then sweeps its own connections with
+/// nonblocking reads. Parks for 1 ms between idle sweeps; completion
+/// pushes unpark it.
+fn shard_loop(shared: &Shared, listener: &TcpListener) {
+    let completions = Arc::new(CompletionQueue::for_current_thread());
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_id: u64 = 0;
+
+    loop {
+        let mut progress = false;
+
+        if !shared.is_shutdown() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let id = next_id;
+                        next_id += 1;
+                        if let Ok(conn) = Conn::new(stream, id, Arc::clone(&completions)) {
+                            conns.insert(id, conn);
+                        }
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }
+
+        let completed = completions.drain();
+        if !completed.is_empty() {
+            progress = true;
+            deliver_completions(&mut conns, completed);
+        }
+
+        for conn in conns.values_mut() {
+            progress |= conn.service(shared);
+        }
+        conns.retain(|_, conn| conn.alive());
+
+        if shared.is_shutdown() && conns.is_empty() {
+            break;
+        }
+        if !progress {
+            std::thread::park_timeout(Duration::from_millis(1));
+        }
+    }
+}

@@ -1,16 +1,34 @@
 //! The batch compilation server: admission queue, batched dispatch
-//! over [`adgen_exec::par_map`], deadlines and the result cache.
+//! over [`adgen_exec::par_map`], deadlines, single-flight coalescing
+//! and the result cache.
 //!
 //! ## Threading
 //!
-//! One acceptor thread owns the listener; each connection gets a
-//! thread speaking the framed protocol. Control requests (`Ping`,
-//! `Stats`, `Shutdown`) are answered inline by the connection thread;
-//! compute requests are admitted into a bounded queue and answered by
-//! the single *dispatcher* thread, which drains the queue in batches,
-//! answers what it can from the two-tier cache and fans the misses
-//! across `par_map`. Per-job `mpsc` channels carry the encoded
-//! response payload back to the waiting connection thread.
+//! Connection I/O is handled by a readiness-driven reactor
+//! ([`crate::reactor`]): one epoll event thread on Linux, or a small
+//! pool of sharded-accept nonblocking threads elsewhere — never a
+//! thread per connection. Control requests (`Ping`, `Stats`,
+//! `Shutdown`) are answered inline on the event thread; compute
+//! requests are admitted into a bounded queue ([`Shared::admit`]) and
+//! answered by the single *dispatcher* thread, which drains the queue
+//! in batches, answers what it can from the two-tier cache, coalesces
+//! identical misses and fans the distinct ones across `par_map`.
+//! Results travel back through per-event-thread completion queues
+//! ([`crate::reactor::Reply`]); the reactor flushes them to sockets
+//! in request order.
+//!
+//! ## Single-flight coalescing
+//!
+//! The dispatcher is the only thread that computes, so jobs in one
+//! drained batch that share a [`CacheKey`] *are* concurrent identical
+//! requests: they are grouped, the group leader's request is computed
+//! once, and every member receives the same byte-identical payload
+//! (duplicates in *later* batches are ordinary cache hits). A group
+//! counts one cache miss; the extra members count as coalesce
+//! waiters, not misses. A member whose deadline lapsed in the queue
+//! is answered with a typed error and excluded from the group — but
+//! the group still computes for its live members, so an expired
+//! leader's waiters (and its own retry) are served from cache.
 //!
 //! ## Deadlines
 //!
@@ -32,10 +50,9 @@
 //! their totals are invariant under `--jobs` — including the queue
 //! high-water counter, whose *total* equals the high-water mark.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -49,10 +66,8 @@ use adgen_synth::{espresso::EffortBudget, Encoding, Fsm, OutputStyle};
 
 use crate::cache::{CacheKey, ResultCache, Tier};
 use crate::error::ServeError;
-use crate::protocol::{
-    self, decode_request_frame, read_frame, write_frame, MapOutcome, Request, Response,
-    StatsSnapshot, SynthReport, HANDSHAKE_OK, HANDSHAKE_REJECT_VERSION, PROTOCOL_VERSION,
-};
+use crate::protocol::{self, MapOutcome, Request, Response, StatsSnapshot, SynthReport};
+use crate::reactor::{ReactorKind, Reply, ResolvedReactor};
 
 /// Longest admissible address sequence. Bounds both memory and the
 /// worst-case synthesis time of a single request.
@@ -81,6 +96,15 @@ pub struct ServeConfig {
     pub cache_entries: usize,
     /// On-disk cache directory; `None` disables the disk tier.
     pub cache_dir: Option<PathBuf>,
+    /// On-disk cache size bound in bytes; `0` means unbounded.
+    /// Oldest-generation entries are evicted once the payload bytes
+    /// on disk would exceed the bound.
+    pub disk_cap_bytes: u64,
+    /// Connection-multiplexing backend.
+    pub reactor: ReactorKind,
+    /// Event threads for the `threaded` reactor backend (`0` = a
+    /// small automatic default). The epoll backend always uses one.
+    pub io_shards: usize,
     /// Record an adgen-obs session on the dispatcher thread and
     /// return it from [`ServerHandle::join`].
     pub observe: bool,
@@ -96,6 +120,9 @@ impl Default for ServeConfig {
             default_deadline_ms: 0,
             cache_entries: 1024,
             cache_dir: None,
+            disk_cap_bytes: 0,
+            reactor: ReactorKind::Auto,
+            io_shards: 0,
             observe: false,
         }
     }
@@ -104,16 +131,21 @@ impl Default for ServeConfig {
 /// Always-on server statistics, shared across every thread.
 #[derive(Debug, Default)]
 pub struct ServeStats {
-    req_map: AtomicU64,
-    req_synthesize: AtomicU64,
-    req_explore: AtomicU64,
-    req_control: AtomicU64,
-    cache_hit_mem: AtomicU64,
-    cache_hit_disk: AtomicU64,
-    cache_miss: AtomicU64,
-    deadline_expired: AtomicU64,
-    queue_high_water: AtomicU64,
-    batches: AtomicU64,
+    pub(crate) req_map: AtomicU64,
+    pub(crate) req_synthesize: AtomicU64,
+    pub(crate) req_explore: AtomicU64,
+    pub(crate) req_control: AtomicU64,
+    pub(crate) cache_hit_mem: AtomicU64,
+    pub(crate) cache_hit_disk: AtomicU64,
+    pub(crate) cache_miss: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
+    pub(crate) queue_high_water: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) coalesce_leaders: AtomicU64,
+    pub(crate) coalesce_waiters: AtomicU64,
+    pub(crate) disk_evictions: AtomicU64,
+    pub(crate) reactor_wakeups: AtomicU64,
 }
 
 impl ServeStats {
@@ -134,6 +166,11 @@ impl ServeStats {
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            coalesce_leaders: self.coalesce_leaders.load(Ordering::Relaxed),
+            coalesce_waiters: self.coalesce_waiters.load(Ordering::Relaxed),
+            disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
         }
     }
 }
@@ -144,7 +181,7 @@ struct Job {
     key: CacheKey,
     deadline: Duration,
     admitted: Instant,
-    reply: mpsc::Sender<Vec<u8>>,
+    reply: Reply,
 }
 
 impl Job {
@@ -154,6 +191,10 @@ impl Job {
 
     fn expired(&self) -> bool {
         self.admitted.elapsed() > self.deadline
+    }
+
+    fn fail(self, err: ServeError) {
+        self.reply.send(Response::Error(err).encode());
     }
 }
 
@@ -230,8 +271,9 @@ impl AdmissionQueue {
 /// [`join`](ServerHandle::join) after a client-initiated shutdown).
 pub struct ServerHandle {
     local_addr: SocketAddr,
+    resolved_reactor: ResolvedReactor,
     stats: Arc<ServeStats>,
-    acceptor: std::thread::JoinHandle<()>,
+    io: std::thread::JoinHandle<()>,
     dispatcher: std::thread::JoinHandle<Option<obs::Recording>>,
 }
 
@@ -241,6 +283,12 @@ impl ServerHandle {
         self.local_addr
     }
 
+    /// The reactor backend actually running (after `Auto` resolution
+    /// and platform fallback).
+    pub fn resolved_reactor(&self) -> ResolvedReactor {
+        self.resolved_reactor
+    }
+
     /// The live statistics.
     pub fn stats(&self) -> &ServeStats {
         &self.stats
@@ -248,33 +296,122 @@ impl ServerHandle {
 
     /// Waits for shutdown, returning the final statistics and — when
     /// the server was observing — the dispatcher's obs recording.
-    pub fn join(self) -> (StatsSnapshot, Option<obs::Recording>) {
-        self.acceptor.join().expect("acceptor thread");
-        let rec = self.dispatcher.join().expect("dispatcher thread");
-        (self.stats.snapshot(), rec)
+    ///
+    /// # Errors
+    ///
+    /// A panicked worker thread surfaces as
+    /// [`ServeError::WorkerPanicked`] naming the thread, instead of
+    /// re-panicking the joining thread.
+    pub fn join(self) -> Result<(StatsSnapshot, Option<obs::Recording>), ServeError> {
+        let mut panicked: Vec<&str> = Vec::new();
+        if self.io.join().is_err() {
+            panicked.push("io");
+        }
+        let rec = match self.dispatcher.join() {
+            Ok(rec) => rec,
+            Err(_) => {
+                panicked.push("dispatcher");
+                None
+            }
+        };
+        if !panicked.is_empty() {
+            return Err(ServeError::WorkerPanicked(panicked.join(", ")));
+        }
+        Ok((self.stats.snapshot(), rec))
     }
 }
 
-/// Shared server state.
-struct Shared {
-    config: ServeConfig,
-    stats: Arc<ServeStats>,
+/// Shared server state, visible to the reactor backends.
+pub(crate) struct Shared {
+    pub(crate) config: ServeConfig,
+    pub(crate) stats: Arc<ServeStats>,
     queue: AdmissionQueue,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
 }
 
-/// Binds the listener and spawns the acceptor and dispatcher.
+impl Shared {
+    /// Whether a shutdown has been initiated.
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Validates and admits one compute request, minting the job that
+    /// will answer through `reply`. On `Err` the caller still owns
+    /// the response path (the reply handle is dropped unanswered —
+    /// encode the error into the connection's slot instead).
+    pub(crate) fn admit(
+        &self,
+        request: Request,
+        deadline_ms: u32,
+        reply: Reply,
+    ) -> Result<(), ServeError> {
+        validate(&request)?;
+
+        let req_ctr = match &request {
+            Request::MapSequence { .. } => &self.stats.req_map,
+            Request::Synthesize { .. } => &self.stats.req_synthesize,
+            Request::Explore { .. } => &self.stats.req_explore,
+            _ => unreachable!("is_compute"),
+        };
+
+        let effective_ms = if deadline_ms > 0 {
+            deadline_ms
+        } else {
+            self.config.default_deadline_ms
+        };
+        let deadline = if effective_ms == 0 {
+            Duration::from_secs(u64::from(u32::MAX))
+        } else {
+            Duration::from_millis(u64::from(effective_ms))
+        };
+
+        let key = CacheKey::for_request(&request.encode(), request.effort_steps());
+        let job = Job {
+            request,
+            key,
+            deadline,
+            admitted: Instant::now(),
+            reply,
+        };
+        match self.queue.push(job) {
+            Ok(depth) => {
+                req_ctr.fetch_add(1, Ordering::Relaxed);
+                self.stats.observe_queue_depth(depth as u64);
+                Ok(())
+            }
+            Err(e) => {
+                if matches!(e, ServeError::QueueFull { .. }) {
+                    self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Binds the listener and spawns the reactor and dispatcher threads.
 ///
 /// # Errors
 ///
-/// Propagates bind and cache-directory failures.
+/// Propagates bind, cache-directory and reactor-setup failures.
 pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     // Open the cache eagerly so a bad directory fails at startup, not
     // on the first request.
-    let cache = ResultCache::new(config.cache_entries, config.cache_dir.as_deref())?;
+    let cache = ResultCache::new(
+        config.cache_entries,
+        config.cache_dir.as_deref(),
+        config.disk_cap_bytes,
+    )?;
+
+    let resolved = config.reactor.resolve();
+    let io_shards = if config.io_shards == 0 {
+        adgen_exec::available_jobs().clamp(1, 4)
+    } else {
+        config.io_shards
+    };
 
     let stats = Arc::new(ServeStats::default());
     let shared = Arc::new(Shared {
@@ -292,41 +429,34 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
             .spawn(move || run_dispatcher(&shared, cache))?
     };
 
-    let acceptor = {
+    let io = {
         let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("adgen-serve-accept".to_string())
-            .spawn(move || run_acceptor(shared, listener))?
+        let builder = std::thread::Builder::new().name("adgen-serve-io".to_string());
+        match resolved {
+            ResolvedReactor::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    let io = crate::reactor::EpollIo::new(listener)?;
+                    builder.spawn(move || io.run(&shared))?
+                }
+                #[cfg(not(target_os = "linux"))]
+                {
+                    unreachable!("epoll never resolves on this platform")
+                }
+            }
+            ResolvedReactor::Threaded => {
+                builder.spawn(move || crate::reactor::run_threaded(&shared, listener, io_shards))?
+            }
+        }
     };
 
     Ok(ServerHandle {
         local_addr,
+        resolved_reactor: resolved,
         stats,
-        acceptor,
+        io,
         dispatcher,
     })
-}
-
-fn run_acceptor(shared: Arc<Shared>, listener: TcpListener) {
-    let mut conn_threads = Vec::new();
-    for conn in listener.incoming() {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = conn else { continue };
-        let shared = Arc::clone(&shared);
-        if let Ok(handle) = std::thread::Builder::new()
-            .name("adgen-serve-conn".to_string())
-            .spawn(move || handle_connection(&shared, stream))
-        {
-            conn_threads.push(handle);
-        }
-    }
-    // Let in-flight connections finish their frames before the server
-    // reports itself down.
-    for handle in conn_threads {
-        let _ = handle.join();
-    }
 }
 
 fn run_dispatcher(shared: &Shared, mut cache: ResultCache) -> Option<obs::Recording> {
@@ -339,18 +469,25 @@ fn run_dispatcher(shared: &Shared, mut cache: ResultCache) -> Option<obs::Record
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
         let _batch_span = obs::span_arg("serve.batch", batch.len() as u64);
 
-        // Partition: expired at dequeue, cache hits, misses.
-        let mut misses: Vec<Job> = Vec::new();
+        // Partition: expired at dequeue, cache hits, misses. Misses
+        // sharing a cache key coalesce into one group (single-flight:
+        // the dispatcher is the only computing thread, so same-batch
+        // duplicates are exactly the concurrent identical requests).
+        let mut groups: Vec<(CacheKey, Vec<Job>)> = Vec::new();
+        let mut group_index: std::collections::HashMap<CacheKey, usize> =
+            std::collections::HashMap::new();
         for job in batch {
             if job.expired() {
                 shared
                     .stats
                     .deadline_expired
                     .fetch_add(1, Ordering::Relaxed);
-                let err = Response::Error(ServeError::Deadline {
-                    waited_ms: job.waited_ms(),
-                });
-                let _ = job.reply.send(err.encode());
+                let waited_ms = job.waited_ms();
+                job.fail(ServeError::Deadline { waited_ms });
+                continue;
+            }
+            if let Some(&idx) = group_index.get(&job.key) {
+                groups[idx].1.push(job);
                 continue;
             }
             match cache.get(job.key) {
@@ -360,41 +497,63 @@ fn run_dispatcher(shared: &Shared, mut cache: ResultCache) -> Option<obs::Record
                         Tier::Disk => &shared.stats.cache_hit_disk,
                     };
                     ctr.fetch_add(1, Ordering::Relaxed);
-                    let _ = job.reply.send(payload);
+                    job.reply.send(payload);
                 }
                 None => {
                     shared.stats.cache_miss.fetch_add(1, Ordering::Relaxed);
-                    misses.push(job);
+                    group_index.insert(job.key, groups.len());
+                    groups.push((job.key, vec![job]));
                 }
             }
         }
-        if misses.is_empty() {
+        if groups.is_empty() {
             continue;
         }
-
-        // Fan the misses across the worker pool. Each worker handles
-        // one request serially; batch-level parallelism is the only
-        // parallelism, which keeps responses independent of `jobs`.
-        let responses = par_map(&misses, shared.config.jobs, |_, job| {
-            execute(&job.request, &library).encode()
-        });
-
-        for (job, payload) in misses.into_iter().zip(responses) {
-            // A computed result is cached even when the deadline
-            // lapsed mid-computation: the client's retry then hits.
-            cache.put(job.key, payload.clone());
-            if job.expired() {
+        for (_, members) in &groups {
+            if members.len() > 1 {
                 shared
                     .stats
-                    .deadline_expired
+                    .coalesce_leaders
                     .fetch_add(1, Ordering::Relaxed);
-                let err = Response::Error(ServeError::Deadline {
-                    waited_ms: job.waited_ms(),
-                });
-                let _ = job.reply.send(err.encode());
-            } else {
-                let _ = job.reply.send(payload);
+                shared
+                    .stats
+                    .coalesce_waiters
+                    .fetch_add(members.len() as u64 - 1, Ordering::Relaxed);
             }
+        }
+
+        // Fan the distinct misses across the worker pool. Each worker
+        // handles one request serially; group-level parallelism is
+        // the only parallelism, which keeps responses independent of
+        // `jobs`.
+        let responses = par_map(&groups, shared.config.jobs, |_, (_, members)| {
+            execute(&members[0].request, &library).encode()
+        });
+
+        for ((key, members), payload) in groups.into_iter().zip(responses) {
+            // A computed result is cached even when every member's
+            // deadline lapsed mid-computation: the client's retry
+            // (and any coalesced waiter's) then hits.
+            cache.put(key, payload.clone());
+            for job in members {
+                if job.expired() {
+                    shared
+                        .stats
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    let waited_ms = job.waited_ms();
+                    job.fail(ServeError::Deadline { waited_ms });
+                } else {
+                    job.reply.send(payload.clone());
+                }
+            }
+        }
+        let evicted = cache.take_disk_evictions();
+        if evicted > 0 {
+            shared
+                .stats
+                .disk_evictions
+                .fetch_add(evicted, Ordering::Relaxed);
         }
     }
 
@@ -413,6 +572,11 @@ fn run_dispatcher(shared: &Shared, mut cache: ResultCache) -> Option<obs::Record
             (obs::Ctr::ServeCacheMiss, s.cache_miss),
             (obs::Ctr::ServeQueueHighWater, s.queue_high_water),
             (obs::Ctr::ServeDeadline, s.deadline_expired),
+            (obs::Ctr::ServeShed, s.shed),
+            (obs::Ctr::ServeCoalesceLeaders, s.coalesce_leaders),
+            (obs::Ctr::ServeCoalesceWaiters, s.coalesce_waiters),
+            (obs::Ctr::ServeDiskEvictions, s.disk_evictions),
+            (obs::Ctr::ServeReactorWakeups, s.reactor_wakeups),
         ] {
             if v > 0 {
                 obs::add(ctr, v);
@@ -580,176 +744,72 @@ fn validate(request: &Request) -> Result<(), ServeError> {
     Ok(())
 }
 
-fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
-    // Without this, Nagle + delayed ACK puts a ~40 ms floor under
-    // every small response frame, burying cache-hit latency.
-    let _ = stream.set_nodelay(true);
-    // Handshake.
-    let client_version = match protocol::read_hello(&mut stream) {
-        Ok(v) => v,
-        Err(_) => return,
-    };
-    if client_version != PROTOCOL_VERSION {
-        let _ =
-            protocol::write_hello_reply(&mut stream, HANDSHAKE_REJECT_VERSION, PROTOCOL_VERSION);
-        return;
-    }
-    if protocol::write_hello_reply(&mut stream, HANDSHAKE_OK, PROTOCOL_VERSION).is_err() {
-        return;
-    }
-
-    // Frame loop.
-    loop {
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(p)) => p,
-            Ok(None) => return, // clean disconnect
-            Err(_) => return,
-        };
-        let (request, deadline_ms) = match decode_request_frame(&payload) {
-            Ok(x) => x,
-            Err(e) => {
-                let resp = Response::Error(ServeError::Protocol(e.0));
-                let _ = write_frame(&mut stream, &resp.encode());
-                return;
-            }
-        };
-
-        let response_payload = if request.is_compute() {
-            handle_compute(shared, request, deadline_ms)
-        } else {
-            shared.stats.req_control.fetch_add(1, Ordering::Relaxed);
-            match request {
-                Request::Ping => Response::Pong.encode(),
-                Request::Stats => Response::Stats(shared.stats.snapshot()).encode(),
-                Request::Shutdown => {
-                    let payload = Response::ShuttingDown.encode();
-                    let _ = write_frame(&mut stream, &payload);
-                    initiate_shutdown(shared);
-                    return;
-                }
-                _ => unreachable!("compute kinds handled above"),
-            }
-        };
-        if write_frame(&mut stream, &response_payload).is_err() {
-            return;
-        }
-    }
-}
-
-fn handle_compute(shared: &Arc<Shared>, request: Request, deadline_ms: u32) -> Vec<u8> {
-    if let Err(e) = validate(&request) {
-        return Response::Error(e).encode();
-    }
-
-    let req_ctr = match &request {
-        Request::MapSequence { .. } => &shared.stats.req_map,
-        Request::Synthesize { .. } => &shared.stats.req_synthesize,
-        Request::Explore { .. } => &shared.stats.req_explore,
-        _ => unreachable!("is_compute"),
-    };
-
-    let effective_ms = if deadline_ms > 0 {
-        deadline_ms
-    } else {
-        shared.config.default_deadline_ms
-    };
-    let deadline = if effective_ms == 0 {
-        Duration::from_secs(u64::from(u32::MAX))
-    } else {
-        Duration::from_millis(u64::from(effective_ms))
-    };
-
-    let key = CacheKey::for_request(&request.encode(), request.effort_steps());
-    let (tx, rx) = mpsc::channel();
-    let job = Job {
-        request,
-        key,
-        deadline,
-        admitted: Instant::now(),
-        reply: tx,
-    };
-    match shared.queue.push(job) {
-        Ok(depth) => {
-            req_ctr.fetch_add(1, Ordering::Relaxed);
-            shared.stats.observe_queue_depth(depth as u64);
-        }
-        Err(e) => return Response::Error(e).encode(),
-    }
-    match rx.recv() {
-        Ok(payload) => payload,
-        Err(_) => Response::Error(ServeError::Internal(
-            "dispatcher dropped the request".to_string(),
-        ))
-        .encode(),
-    }
-}
-
-fn initiate_shutdown(shared: &Arc<Shared>) {
+/// Flips the shutdown flag and closes the admission queue. Safe to
+/// call repeatedly; only the first call acts. The reactor backends
+/// notice the flag on their next tick and exit once every connection
+/// has drained.
+pub(crate) fn initiate_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return; // already shutting down
     }
     shared.queue.close();
-    // Unblock the acceptor's blocking `accept` with a throwaway
-    // connection to ourselves.
-    let _ = TcpStream::connect(shared.local_addr);
+    // A throwaway connection to ourselves guarantees at least one
+    // more readiness event, so even an idle event thread re-checks
+    // the flag promptly.
+    let _ = std::net::TcpStream::connect(shared.local_addr);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reactor::CompletionQueue;
 
-    fn dummy_job() -> (Job, mpsc::Receiver<Vec<u8>>) {
-        let (tx, rx) = mpsc::channel();
-        (
-            Job {
-                request: Request::MapSequence { sequence: vec![0] },
-                key: CacheKey([0; 16]),
-                deadline: Duration::from_secs(60),
-                admitted: Instant::now(),
-                reply: tx,
-            },
-            rx,
-        )
+    fn dummy_job(queue: &Arc<CompletionQueue>, ticket: u64) -> Job {
+        Job {
+            request: Request::MapSequence { sequence: vec![0] },
+            key: CacheKey([0; 16]),
+            deadline: Duration::from_secs(60),
+            admitted: Instant::now(),
+            reply: Reply::new(Arc::clone(queue), 0, ticket),
+        }
     }
 
     #[test]
     fn queue_rejects_pushes_beyond_capacity() {
+        let cq = Arc::new(CompletionQueue::for_current_thread());
         let q = AdmissionQueue::new(2);
-        let (j1, _r1) = dummy_job();
-        let (j2, _r2) = dummy_job();
-        let (j3, _r3) = dummy_job();
-        assert_eq!(q.push(j1).unwrap(), 1);
-        assert_eq!(q.push(j2).unwrap(), 2);
-        match q.push(j3) {
+        assert_eq!(q.push(dummy_job(&cq, 1)).unwrap(), 1);
+        assert_eq!(q.push(dummy_job(&cq, 2)).unwrap(), 2);
+        match q.push(dummy_job(&cq, 3)) {
             Err(ServeError::QueueFull { capacity }) => assert_eq!(capacity, 2),
-            other => panic!("expected QueueFull, got {other:?}"),
+            other => panic!("expected QueueFull, got {:?}", other.map(|_| ())),
         }
         // Draining frees capacity again.
         let batch = q.pop_batch(8).unwrap();
         assert_eq!(batch.len(), 2);
-        let (j4, _r4) = dummy_job();
-        assert_eq!(q.push(j4).unwrap(), 1);
+        assert_eq!(q.push(dummy_job(&cq, 4)).unwrap(), 1);
     }
 
     #[test]
     fn closed_queue_rejects_pushes_and_drains() {
+        let cq = Arc::new(CompletionQueue::for_current_thread());
         let q = AdmissionQueue::new(4);
-        let (j1, _r1) = dummy_job();
-        q.push(j1).unwrap();
+        q.push(dummy_job(&cq, 1)).unwrap();
         q.close();
-        let (j2, _r2) = dummy_job();
-        assert!(matches!(q.push(j2), Err(ServeError::Internal(_))));
+        assert!(matches!(
+            q.push(dummy_job(&cq, 2)),
+            Err(ServeError::Internal(_))
+        ));
         assert_eq!(q.pop_batch(8).unwrap().len(), 1, "drains remaining work");
         assert!(q.pop_batch(8).is_none(), "then reports closed");
     }
 
     #[test]
     fn pop_batch_respects_the_batch_cap() {
+        let cq = Arc::new(CompletionQueue::for_current_thread());
         let q = AdmissionQueue::new(8);
-        for _ in 0..5 {
-            let (j, r) = dummy_job();
-            std::mem::forget(r);
-            q.push(j).unwrap();
+        for ticket in 0..5 {
+            q.push(dummy_job(&cq, ticket)).unwrap();
         }
         assert_eq!(q.pop_batch(2).unwrap().len(), 2);
         assert_eq!(q.pop_batch(2).unwrap().len(), 2);
@@ -781,5 +841,125 @@ mod tests {
             sequence: vec![0, 0, 1, 1],
         })
         .is_ok());
+    }
+
+    #[test]
+    fn a_batch_of_identical_misses_computes_once_and_coalesces() {
+        // Drives the dispatcher directly over a closed queue, so the
+        // batch composition — three identical misses plus one
+        // distinct — is exact, making the single-flight accounting
+        // deterministic (unlike the e2e variant, which depends on
+        // concurrent arrival timing).
+        let dir = std::env::temp_dir().join(format!("adgen-serve-coalesce-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let shared = Shared {
+            config: ServeConfig {
+                jobs: 1,
+                cache_dir: Some(dir.clone()),
+                ..ServeConfig::default()
+            },
+            stats: Arc::new(ServeStats::default()),
+            queue: AdmissionQueue::new(16),
+            shutdown: AtomicBool::new(false),
+            local_addr: "127.0.0.1:0".parse().unwrap(),
+        };
+        let cq = Arc::new(CompletionQueue::for_current_thread());
+        let identical = Request::Synthesize {
+            sequence: vec![0, 1, 2, 3],
+            encoding: Encoding::Gray,
+            num_lines: 4,
+            effort_steps: 0,
+        };
+        for ticket in 0..3 {
+            shared
+                .admit(identical.clone(), 0, Reply::new(Arc::clone(&cq), 0, ticket))
+                .unwrap();
+        }
+        shared
+            .admit(
+                Request::MapSequence {
+                    sequence: vec![0, 0, 1, 1],
+                },
+                0,
+                Reply::new(Arc::clone(&cq), 0, 3),
+            )
+            .unwrap();
+        shared.queue.close();
+        let cache = ResultCache::new(16, shared.config.cache_dir.as_deref(), 0).unwrap();
+        run_dispatcher(&shared, cache);
+
+        let mut completions = cq.drain();
+        completions.sort_by_key(|c| c.ticket);
+        assert_eq!(completions.len(), 4, "every admitted job was answered");
+        assert_eq!(
+            completions[0].payload, completions[1].payload,
+            "waiters get the leader's exact bytes"
+        );
+        assert_eq!(completions[0].payload, completions[2].payload);
+        assert!(matches!(
+            Response::decode(&completions[0].payload).unwrap(),
+            Response::Synthesized(_)
+        ));
+        assert!(matches!(
+            Response::decode(&completions[3].payload).unwrap(),
+            Response::Mapped(_)
+        ));
+
+        let s = shared.stats.snapshot();
+        assert_eq!(s.cache_miss, 2, "one compute per DISTINCT request");
+        assert_eq!(s.coalesce_leaders, 1);
+        assert_eq!(s.coalesce_waiters, 2);
+        assert_eq!(s.cache_hit_mem + s.cache_hit_disk, 0);
+
+        // The coalesced group's single computation populated the
+        // cache: a fresh dispatcher over the same disk tier answers
+        // the identical request without recomputing.
+        let shared2 = Shared {
+            config: shared.config.clone(),
+            stats: Arc::new(ServeStats::default()),
+            queue: AdmissionQueue::new(16),
+            shutdown: AtomicBool::new(false),
+            local_addr: "127.0.0.1:0".parse().unwrap(),
+        };
+        shared2
+            .admit(identical, 0, Reply::new(Arc::clone(&cq), 0, 10))
+            .unwrap();
+        shared2.queue.close();
+        let cache2 = ResultCache::new(16, shared2.config.cache_dir.as_deref(), 0).unwrap();
+        run_dispatcher(&shared2, cache2);
+        let replay = cq.drain();
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].payload, completions[0].payload);
+        let s2 = shared2.stats.snapshot();
+        assert_eq!((s2.cache_miss, s2.cache_hit_disk), (0, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn join_reports_a_panicked_worker_as_a_typed_error() {
+        // Regression: join() used to `.expect()` the thread results,
+        // turning one worker panic into a second panic in the caller.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let io = std::thread::Builder::new()
+            .spawn(|| panic!("deliberate test panic"))
+            .unwrap();
+        while !io.is_finished() {
+            std::thread::yield_now();
+        }
+        std::panic::set_hook(prev_hook);
+        let dispatcher = std::thread::Builder::new().spawn(|| None).unwrap();
+        let handle = ServerHandle {
+            local_addr: "127.0.0.1:0".parse().unwrap(),
+            resolved_reactor: ResolvedReactor::Threaded,
+            stats: Arc::new(ServeStats::default()),
+            io,
+            dispatcher,
+        };
+        match handle.join() {
+            Err(ServeError::WorkerPanicked(which)) => assert!(which.contains("io")),
+            Err(other) => panic!("expected WorkerPanicked, got {other}"),
+            Ok(_) => panic!("expected WorkerPanicked, got Ok"),
+        }
     }
 }

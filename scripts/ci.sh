@@ -22,10 +22,18 @@
 #                         loadgen --smoke against it: warm-cache hit
 #                         rate >= 90%, byte-identical warm responses,
 #                         clean client-initiated shutdown)
+#  11. overload smoke    (loadgen --overload against BOTH reactor
+#                         backends — epoll and threaded — with a
+#                         2-slot admission queue: every response must
+#                         be a result or a typed queue-full shed, and
+#                         the warm pass must still hit >= 90%; then a
+#                         schema check of the new BENCH_serve.json
+#                         fields)
 #
 # Set CI_SLOW=1 to additionally run the #[ignore]d large
-# configurations (512x512 / 256x256 scale tests) and the full-size
-# simbench run with its 8x speedup contract.
+# configurations (512x512 / 256x256 scale tests), the full-size
+# simbench run with its 8x speedup contract, and a 1000-connection
+# overload run against the reactor.
 #
 # The workspace has zero external dependencies, so every step works
 # without network access. Run from anywhere inside the repo.
@@ -105,11 +113,28 @@ grep -q "adgen-serve shut down:" "$serve_log" || {
 }
 rm -rf "$serve_cache" "$serve_log"
 
+echo "==> overload smoke (typed shedding on both reactor backends)"
+for backend in epoll threaded; do
+  echo "    --reactor $backend"
+  target/release/loadgen --smoke --conns 32 --queue-cap 2 --overload \
+    --reactor "$backend"
+done
+# Schema check: the bench record carries the new latency/overload
+# fields consumers key on.
+for field in p999_ms shed overload conns; do
+  grep -q "\"$field\"" BENCH_serve.json || {
+    echo "FAIL: BENCH_serve.json is missing \"$field\"" >&2
+    exit 1
+  }
+done
+
 if [[ "${CI_SLOW:-0}" == "1" ]]; then
   echo "==> slow tier: ignored scale tests"
   cargo test --workspace --release -q -- --ignored
   echo "==> slow tier: full-size simbench (8x speedup contract)"
   cargo run --release -p adgen-bench --bin simbench -- --seed 2026
+  echo "==> slow tier: 1000-connection overload run"
+  target/release/loadgen --conns 1000 --overload
 fi
 
 echo "==> CI OK"

@@ -156,6 +156,11 @@ fn response_fixtures() -> Vec<(&'static str, Response)> {
                 deadline_expired: 8,
                 queue_high_water: 9,
                 batches: 10,
+                shed: 11,
+                coalesce_leaders: 12,
+                coalesce_waiters: 13,
+                disk_evictions: 14,
+                reactor_wakeups: 15,
             }),
         ),
         ("resp.shutting_down", Response::ShuttingDown),
@@ -185,6 +190,10 @@ fn response_fixtures() -> Vec<(&'static str, Response)> {
         (
             "resp.err.internal",
             Response::Error(ServeError::Internal("server is shutting down".to_string())),
+        ),
+        (
+            "resp.err.worker_panicked",
+            Response::Error(ServeError::WorkerPanicked("dispatcher".to_string())),
         ),
     ]
 }
