@@ -49,8 +49,8 @@ use std::time::{Duration, Instant};
 use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
 use adgen_exec::Prng;
 use adgen_serve::{
-    serve, Client, ReactorKind, Request, Response, ServeConfig, ServeError, ServerHandle,
-    StatsSnapshot,
+    serve, Client, ReactorKind, Request, Response, RetryPolicy, ServeConfig, ServeError,
+    ServerHandle, StatsSnapshot,
 };
 use adgen_synth::Encoding;
 
@@ -397,28 +397,25 @@ fn drive_pass(
                             .map_err(|e| format!("conn {w} ping: {e}"))?;
                     }
                     barrier.wait();
+                    // A shed request is backpressure, not an answer:
+                    // the client's typed retry backs off and re-offers
+                    // (distinct seeds per connection desynchronize the
+                    // re-offer storm). Latency covers the whole wait,
+                    // and the budget roughly matches the old ad-hoc
+                    // loop's 1000 × 2 ms worst case.
+                    let policy = RetryPolicy {
+                        max_attempts: 256,
+                        base_delay: Duration::from_millis(1),
+                        cap_delay: Duration::from_millis(8),
+                        seed: 0x10ad_6e40 ^ w as u64,
+                    };
                     let mut latencies = Vec::with_capacity(requests.len());
                     let mut results = Vec::with_capacity(requests.len());
                     for (i, req) in requests {
                         let t0 = Instant::now();
-                        // A shed request is backpressure, not an
-                        // answer: back off and retry, like a real
-                        // client. Latency covers the whole wait.
-                        let mut attempts = 0;
-                        let payload = loop {
-                            let payload = client
-                                .call_raw(&req, 0)
-                                .map_err(|e| format!("conn {w}: {e}"))?;
-                            match Response::decode(&payload) {
-                                Ok(Response::Error(ServeError::QueueFull { .. }))
-                                    if attempts < 1000 =>
-                                {
-                                    attempts += 1;
-                                    std::thread::sleep(Duration::from_millis(2));
-                                }
-                                _ => break payload,
-                            }
-                        };
+                        let payload = client
+                            .call_raw_retry(&req, 0, &policy)
+                            .map_err(|e| format!("conn {w}: {e}"))?;
                         latencies.push(t0.elapsed().as_nanos() as u64);
                         results.push((i, payload));
                     }

@@ -146,6 +146,22 @@ pub enum FuzzCase {
         /// Seed of the per-lane stimulus / fault-plan streams.
         salt: u64,
     },
+    /// Adversarial wire traffic against a live in-process serving
+    /// stack: the reactor must answer with a typed error or close
+    /// cleanly, keep serving well-behaved clients, and never panic.
+    FrameFuzz {
+        /// Reactor backend under attack: 0 = epoll, 1 = threaded.
+        backend: u8,
+        /// Attack shape: 0 = truncated frame then write-side close,
+        /// 1 = oversized length prefix, 2 = garbage where the hello
+        /// belongs, 3 = unsupported protocol version, 4 = undecodable
+        /// request payload, 5 = slowloris (partial frame, then
+        /// silence), 6 = mid-frame disconnect.
+        attack: u8,
+        /// Random bytes woven into the attack (partial bodies, bogus
+        /// hello, payload tail).
+        garbage: Vec<u8>,
+    },
     /// Single injected fault on a hardened SRAG select ring → the
     /// one-hot checker must raise `alarm` within one ring period of
     /// the fault activating, or the fault must be proven benign by
@@ -178,6 +194,7 @@ impl FuzzCase {
             FuzzCase::WideCover { .. } => "wide-cover",
             FuzzCase::Cosim { .. } => "cosim",
             FuzzCase::SlicedVsScalar { .. } => "sliced-vs-scalar",
+            FuzzCase::FrameFuzz { .. } => "frame-fuzz",
             FuzzCase::FaultAlarm { .. } => "fault-alarm",
         }
     }
@@ -239,6 +256,26 @@ impl FuzzCase {
                 "{} {width}x{height} mb={mb} lanes={lanes} cycles={cycles} salt={salt:#x}",
                 kind.label()
             ),
+            FuzzCase::FrameFuzz {
+                backend,
+                attack,
+                garbage,
+            } => {
+                let backend = match backend {
+                    0 => "epoll",
+                    _ => "threaded",
+                };
+                let attack = match attack % 7 {
+                    0 => "truncated-frame",
+                    1 => "oversized-len",
+                    2 => "bad-hello-magic",
+                    3 => "wrong-version",
+                    4 => "undecodable-payload",
+                    5 => "slowloris",
+                    _ => "mid-frame-disconnect",
+                };
+                format!("{attack} at {backend}, {} garbage bytes", garbage.len())
+            }
             FuzzCase::FaultAlarm {
                 n,
                 dc,

@@ -12,6 +12,7 @@
 //! | `cosim` | ADDM + RAM co-simulation | replay-generator reference run |
 //! | `sliced-vs-scalar` | bit-sliced simulator (per-lane stimulus, forces, SEUs) | one scalar `Simulator` twin per lane + event-driven sim on the golden lane |
 //! | `fault-alarm` | hardened SRAG under an injected ring fault | one-period alarm deadline or bounded golden equivalence, levelized vs event-driven replay |
+//! | `frame-fuzz` | a live `adgen_serve` reactor fed adversarial framing | typed-error/clean-close contract, follow-up client liveness, `conn_malformed` / `conn_timed_out` counters |
 //!
 //! A check returns `Err(detail)` on the first divergence; the runner
 //! turns that into a shrunk counterexample and a reproduction line.
@@ -35,6 +36,8 @@ use adgen_netlist::{
 use adgen_seq::{
     workloads, AddressGenerator, AddressSequence, ArrayShape, Layout, ReplayGenerator,
 };
+use adgen_serve::protocol::{self as wire, Request as ServeRequest, Response as ServeResponse};
+use adgen_serve::{serve, Client, ReactorKind, ServeConfig, ServeError};
 use adgen_synth::espresso::{is_correct, minimize};
 use adgen_synth::{Cover, Cube};
 
@@ -83,6 +86,11 @@ pub fn check_case(case: &FuzzCase, break_mode: BreakMode) -> CheckResult {
             cycles,
             salt,
         } => check_sliced_vs_scalar(*kind, *width, *height, *mb, *lanes, *cycles, *salt),
+        FuzzCase::FrameFuzz {
+            backend,
+            attack,
+            garbage,
+        } => check_frame_fuzz(*backend, *attack, garbage),
         FuzzCase::FaultAlarm {
             n,
             dc,
@@ -741,6 +749,219 @@ fn check_sliced_vs_scalar(
     Ok(())
 }
 
+// ------------------------------------------------------------ frame fuzz
+
+/// Timeout on every raw-socket read during a frame-fuzz attack; far
+/// above the 80 ms staleness deadline the server runs with, so a hit
+/// means the server genuinely failed to answer or close.
+const ATTACK_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+
+/// Boots a real server on the requested reactor backend, fires one
+/// adversarial wire exchange at it over a raw socket, and then proves
+/// the server survived: the attack socket must end in a typed error
+/// or a clean close (per attack shape), a fresh well-behaved client
+/// must still get `Pong`, the `conn_malformed` / `conn_timed_out`
+/// defense counters must have moved where the attack warrants it, and
+/// shutdown must join without a worker panic.
+fn check_frame_fuzz(backend: u8, attack: u8, garbage: &[u8]) -> CheckResult {
+    let attack = attack % 7;
+    let config = ServeConfig {
+        jobs: 1,
+        conn_idle_ms: 80,
+        reactor: if backend == 0 {
+            ReactorKind::Epoll
+        } else {
+            ReactorKind::Threaded
+        },
+        ..ServeConfig::default()
+    };
+    let handle = serve(config).map_err(|e| format!("server start: {e}"))?;
+    let addr = handle.local_addr().to_string();
+
+    let attack_result = run_frame_attack(&addr, attack, garbage);
+
+    // Whatever the attack did, a fresh well-behaved client must still
+    // be served; its `Shutdown` doubles as the join path.
+    let follow_up = (|| -> Result<(), String> {
+        let mut client = Client::connect(&addr).map_err(|e| format!("follow-up connect: {e}"))?;
+        client
+            .set_read_timeout(Some(ATTACK_TIMEOUT))
+            .map_err(|e| format!("follow-up timeout: {e}"))?;
+        match client.call(&ServeRequest::Ping, 0) {
+            Ok(ServeResponse::Pong) => {}
+            Ok(other) => return Err(format!("follow-up ping answered {other:?}")),
+            Err(e) => return Err(format!("follow-up ping failed: {e}")),
+        }
+        match client.call(&ServeRequest::Shutdown, 0) {
+            Ok(ServeResponse::ShuttingDown) => Ok(()),
+            Ok(other) => Err(format!("shutdown answered {other:?}")),
+            Err(e) => Err(format!("shutdown failed: {e}")),
+        }
+    })();
+    if follow_up.is_err() {
+        // Best-effort shutdown so the join below cannot hang behind a
+        // failure we are already going to report.
+        if let Ok(mut client) = Client::connect(&addr) {
+            let _ = client.call(&ServeRequest::Shutdown, 0);
+        }
+    }
+    let (stats, _) = handle
+        .join()
+        .map_err(|e| format!("server join after attack: {e}"))?;
+    attack_result?;
+    follow_up?;
+    match attack {
+        1 | 2 | 4 if stats.conn_malformed == 0 => {
+            Err("malformed traffic was not counted: conn_malformed stayed 0".into())
+        }
+        5 if stats.conn_timed_out == 0 => {
+            Err("slowloris reap was not counted: conn_timed_out stayed 0".into())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Runs the raw-socket half of one attack shape and checks the
+/// server's on-the-wire reaction.
+fn run_frame_attack(addr: &str, attack: u8, garbage: &[u8]) -> Result<(), String> {
+    use std::io::Write as _;
+
+    let mut sock =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("attack connect: {e}"))?;
+    sock.set_read_timeout(Some(ATTACK_TIMEOUT))
+        .map_err(|e| format!("attack timeout: {e}"))?;
+    let g0 = garbage.first().copied().unwrap_or(0);
+    match attack {
+        // Garbage where the hello belongs: silent close, no reply.
+        2 => {
+            let mut hello = [0u8; 8];
+            for (i, byte) in hello.iter_mut().enumerate() {
+                *byte = garbage.get(i).copied().unwrap_or(0x5a);
+            }
+            if hello[..4] == wire::MAGIC {
+                hello[0] ^= 0xff;
+            }
+            sock.write_all(&hello)
+                .map_err(|e| format!("bad hello write: {e}"))?;
+            expect_clean_close(&mut sock, "bad-magic hello")
+        }
+        // Unsupported version: typed handshake reject, then close.
+        3 => {
+            let version = wire::PROTOCOL_VERSION
+                .wrapping_add(1)
+                .wrapping_add(u16::from(g0 % 7));
+            wire::write_hello(&mut sock, version).map_err(|e| format!("hello write: {e}"))?;
+            let (status, server_version) = wire::read_hello_reply(&mut sock)
+                .map_err(|e| format!("reply to bad version: {e}"))?;
+            if status != wire::HANDSHAKE_REJECT_VERSION {
+                return Err(format!(
+                    "version {version} got status {status} from server v{server_version}, \
+                     want reject"
+                ));
+            }
+            expect_clean_close(&mut sock, "rejected handshake")
+        }
+        // Everything else handshakes honestly first.
+        _ => {
+            wire::write_hello(&mut sock, wire::PROTOCOL_VERSION)
+                .map_err(|e| format!("hello write: {e}"))?;
+            let (status, _) =
+                wire::read_hello_reply(&mut sock).map_err(|e| format!("hello reply: {e}"))?;
+            if status != wire::HANDSHAKE_OK {
+                return Err(format!("well-formed handshake rejected: status {status}"));
+            }
+            match attack {
+                // Declared body never fully arrives, then a clean
+                // write-side close: the server drops, no reply.
+                0 => {
+                    let declared = garbage.len() as u32 + 1;
+                    sock.write_all(&declared.to_le_bytes())
+                        .map_err(|e| format!("length write: {e}"))?;
+                    sock.write_all(garbage)
+                        .map_err(|e| format!("body write: {e}"))?;
+                    sock.shutdown(std::net::Shutdown::Write)
+                        .map_err(|e| format!("write-side close: {e}"))?;
+                    expect_clean_close(&mut sock, "truncated frame")
+                }
+                // Length prefix past the frame cap: typed error.
+                1 => {
+                    let len = wire::MAX_FRAME_LEN + 1 + u32::from(g0);
+                    sock.write_all(&len.to_le_bytes())
+                        .map_err(|e| format!("length write: {e}"))?;
+                    match read_error_reply(&mut sock, "oversized length")? {
+                        ServeError::MalformedFrame(_) => {
+                            expect_clean_close(&mut sock, "oversized length")
+                        }
+                        other => Err(format!("oversized length answered `{other}`")),
+                    }
+                }
+                // Well-framed, undecodable payload: typed error. Tag
+                // 0xff after the deadline word is never a request.
+                4 => {
+                    let mut payload = vec![0, 0, 0, 0, 0xff];
+                    payload.extend_from_slice(garbage);
+                    wire::write_frame(&mut sock, &payload)
+                        .map_err(|e| format!("frame write: {e}"))?;
+                    match read_error_reply(&mut sock, "undecodable payload")? {
+                        ServeError::MalformedFrame(_) => {
+                            expect_clean_close(&mut sock, "undecodable payload")
+                        }
+                        other => Err(format!("undecodable payload answered `{other}`")),
+                    }
+                }
+                // Partial frame, then silence: the staleness reap
+                // must answer with a typed timeout and close.
+                5 => {
+                    let declared = garbage.len() as u32 + 64;
+                    sock.write_all(&declared.to_le_bytes())
+                        .map_err(|e| format!("length write: {e}"))?;
+                    sock.write_all(garbage)
+                        .map_err(|e| format!("body write: {e}"))?;
+                    match read_error_reply(&mut sock, "slowloris")? {
+                        ServeError::IoTimeout { .. } => expect_clean_close(&mut sock, "slowloris"),
+                        other => Err(format!("slowloris answered `{other}`")),
+                    }
+                }
+                // Mid-frame disconnect: nothing to observe on this
+                // socket; the follow-up client proves survival.
+                _ => {
+                    let declared = garbage.len() as u32 + 16;
+                    sock.write_all(&declared.to_le_bytes())
+                        .map_err(|e| format!("length write: {e}"))?;
+                    sock.write_all(garbage)
+                        .map_err(|e| format!("body write: {e}"))?;
+                    drop(sock);
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// The server must close the attack socket without sending anything
+/// further: a clean EOF, not stray bytes, not a read timeout.
+fn expect_clean_close(sock: &mut std::net::TcpStream, what: &str) -> Result<(), String> {
+    use std::io::Read as _;
+    let mut buf = [0u8; 64];
+    match sock.read(&mut buf) {
+        Ok(0) => Ok(()),
+        Ok(n) => Err(format!("{what}: expected close, got {n} stray byte(s)")),
+        Err(e) => Err(format!("{what}: server did not close cleanly: {e}")),
+    }
+}
+
+/// Reads one reply frame and requires it to be a typed error.
+fn read_error_reply(sock: &mut std::net::TcpStream, what: &str) -> Result<ServeError, String> {
+    let payload = wire::read_frame(sock)
+        .map_err(|e| format!("{what}: reply frame: {e}"))?
+        .ok_or_else(|| format!("{what}: closed before any typed reply"))?;
+    match ServeResponse::decode(&payload) {
+        Ok(ServeResponse::Error(e)) => Ok(e),
+        Ok(other) => Err(format!("{what}: expected a typed error, got {other:?}")),
+        Err(e) => Err(format!("{what}: undecodable reply: {e}")),
+    }
+}
+
 // ----------------------------------------------------------- fault alarm
 
 /// The self-checking contract of the hardened SRAG, per fault: an
@@ -840,5 +1061,30 @@ impl OracleCube {
                 adgen_synth::Tri::DontCare => '-',
             })
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every attack shape on both reactor backends: the wire contract
+    /// (typed error or clean close), follow-up liveness and the
+    /// defense counters must all hold, deterministically, not just on
+    /// whatever the seeded generator happens to draw.
+    #[test]
+    fn frame_fuzz_survives_every_attack_on_both_backends() {
+        for backend in 0..2u8 {
+            for attack in 0..7u8 {
+                let case = FuzzCase::FrameFuzz {
+                    backend,
+                    attack,
+                    garbage: vec![0xa5; 9],
+                };
+                if let Err(e) = check_case(&case, BreakMode::None) {
+                    panic!("{}: {e}", case.describe());
+                }
+            }
+        }
     }
 }

@@ -22,7 +22,12 @@ use crate::case::{FuzzCase, LitCode, WorkloadKind};
 pub fn generate_case(case_seed: u64) -> FuzzCase {
     let mut rng = Prng::new(case_seed);
     match rng.next_range(100) {
-        0..=29 => gen_mapper(&mut rng),
+        0..=27 => gen_mapper(&mut rng),
+        // Each frame-fuzz case boots a real server, so the family is
+        // deliberately rare: ~2% of draws keeps a default run fast
+        // while still hitting every attack shape across a few hundred
+        // cases.
+        28..=29 => gen_frame_fuzz(&mut rng),
         30..=49 => gen_cube(&mut rng),
         50..=59 => gen_espresso(&mut rng),
         60..=64 => gen_wide_cover(&mut rng),
@@ -121,6 +126,21 @@ fn mutate_sequence(rng: &mut Prng, seq: &mut Vec<u32>) {
             let b = rng.next_range(seq.len() as u64) as usize;
             seq.swap(at, b);
         }
+    }
+}
+
+/// One adversarial wire exchange: a uniformly-drawn backend/attack
+/// pair plus a short random byte string the attack weaves into
+/// whatever it sends (bogus hello, partial frame body, payload tail).
+fn gen_frame_fuzz(rng: &mut Prng) -> FuzzCase {
+    let backend = rng.next_range(2) as u8;
+    let attack = rng.next_range(7) as u8;
+    let len = rng.next_in(1, 33) as usize;
+    let garbage = (0..len).map(|_| rng.next_range(256) as u8).collect();
+    FuzzCase::FrameFuzz {
+        backend,
+        attack,
+        garbage,
     }
 }
 

@@ -333,6 +333,35 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
             }
             out
         }
+        FuzzCase::FrameFuzz {
+            backend,
+            attack,
+            garbage,
+        } => {
+            // Backend and attack shape are semantic — changing either
+            // changes which defense is on trial — so only the garbage
+            // bytes shrink: drop halves, then single bytes.
+            let mut out = Vec::new();
+            for &(lo, hi) in &halves(garbage.len()) {
+                let mut g = garbage.clone();
+                g.drain(lo..hi);
+                out.push(FuzzCase::FrameFuzz {
+                    backend: *backend,
+                    attack: *attack,
+                    garbage: g,
+                });
+            }
+            for i in 0..garbage.len().min(32) {
+                let mut g = garbage.clone();
+                g.remove(i);
+                out.push(FuzzCase::FrameFuzz {
+                    backend: *backend,
+                    attack: *attack,
+                    garbage: g,
+                });
+            }
+            out
+        }
         FuzzCase::FaultAlarm {
             n,
             dc,

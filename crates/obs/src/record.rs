@@ -122,6 +122,16 @@ pub enum Ctr {
     ServeDiskEvictions,
     /// Reactor event-thread wakeups triggered by compute completions.
     ServeReactorWakeups,
+    /// Disk-cache entries that failed verification and were
+    /// quarantined (never served).
+    ServeCacheCorrupt,
+    /// Disk-cache writes that failed; the entry degraded to
+    /// memory-only caching.
+    ServeDiskWriteErrors,
+    /// Connections closed after sending a malformed frame.
+    ServeConnMalformed,
+    /// Connections reaped by the per-connection I/O deadline.
+    ServeConnTimedOut,
     /// Combinational gate evaluations across all simulation engines.
     /// The unit is engine-specific (gates × cycles levelized, actual
     /// re-evaluations event-driven, gate-*words* sliced); see
@@ -139,7 +149,7 @@ pub enum Ctr {
 }
 
 /// Number of counter variants (the arena array length).
-pub const NUM_CTRS: usize = 37;
+pub const NUM_CTRS: usize = 41;
 
 impl Ctr {
     /// Every counter, in declaration order.
@@ -177,6 +187,10 @@ impl Ctr {
         Ctr::ServeCoalesceWaiters,
         Ctr::ServeDiskEvictions,
         Ctr::ServeReactorWakeups,
+        Ctr::ServeCacheCorrupt,
+        Ctr::ServeDiskWriteErrors,
+        Ctr::ServeConnMalformed,
+        Ctr::ServeConnTimedOut,
         Ctr::SimEvaluations,
         Ctr::SimSlicedWordOps,
         Ctr::SimSlicedLanes,
@@ -219,6 +233,10 @@ impl Ctr {
             Ctr::ServeCoalesceWaiters => "serve.coalesce.waiters",
             Ctr::ServeDiskEvictions => "serve.disk.evictions",
             Ctr::ServeReactorWakeups => "serve.reactor.wakeups",
+            Ctr::ServeCacheCorrupt => "serve.cache.corrupt",
+            Ctr::ServeDiskWriteErrors => "serve.disk.write_errors",
+            Ctr::ServeConnMalformed => "serve.conn.malformed",
+            Ctr::ServeConnTimedOut => "serve.conn.timed_out",
             Ctr::SimEvaluations => "sim.evaluations",
             Ctr::SimSlicedWordOps => "sim.sliced.word_ops",
             Ctr::SimSlicedLanes => "sim.sliced.lanes",

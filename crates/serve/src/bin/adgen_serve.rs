@@ -6,7 +6,8 @@
 //!             [--queue-cap N] [--deadline-ms N]
 //!             [--cache-dir DIR] [--cache-entries N]
 //!             [--disk-cap BYTES] [--reactor auto|epoll|threaded]
-//!             [--io-shards N] [--metrics] [--trace FILE]
+//!             [--io-shards N] [--conn-idle-ms N]
+//!             [--faults SPEC] [--metrics] [--trace FILE]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`, an ephemeral port), prints
@@ -15,12 +16,18 @@
 //! the dispatcher records an adgen-obs session and the profile report
 //! plus the metrics JSON block are printed at shutdown; `--trace`
 //! additionally writes a Chrome trace-event file.
+//!
+//! `--conn-idle-ms N` reaps connections that make no protocol
+//! progress for `N` ms (0, the default, disables reaping). `--faults
+//! SPEC` (or the `ADGEN_SERVE_FAULTS` env var, flag wins) arms the
+//! deterministic disk-tier fault plan — `kind@site#occurrence`
+//! directives, comma-separated — used by the chaos harness.
 
 use std::io::Write;
 use std::path::PathBuf;
 
 use adgen_obs as obs;
-use adgen_serve::{serve, ReactorKind, ServeConfig};
+use adgen_serve::{serve, FaultPlan, ReactorKind, ServeConfig};
 
 fn usage() -> ! {
     eprintln!(
@@ -28,7 +35,7 @@ fn usage() -> ! {
          [--queue-cap N] [--deadline-ms N] [--cache-dir DIR] \
          [--cache-entries N] [--disk-cap BYTES] \
          [--reactor auto|epoll|threaded] [--io-shards N] \
-         [--metrics] [--trace FILE]"
+         [--conn-idle-ms N] [--faults SPEC] [--metrics] [--trace FILE]"
     );
     std::process::exit(2);
 }
@@ -66,12 +73,32 @@ fn main() {
                 });
             }
             "--io-shards" => config.io_shards = parse("--io-shards", it.next()),
+            "--conn-idle-ms" => config.conn_idle_ms = parse("--conn-idle-ms", it.next()),
+            "--faults" => {
+                let spec: String = parse("--faults", it.next());
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => config.faults = Some(std::sync::Arc::new(plan)),
+                    Err(e) => {
+                        eprintln!("error: --faults: {e}");
+                        usage();
+                    }
+                }
+            }
             "--metrics" => metrics = true,
             "--trace" => trace = Some(PathBuf::from(parse::<String>("--trace", it.next()))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown argument `{other}`");
                 usage();
+            }
+        }
+    }
+    if config.faults.is_none() {
+        match FaultPlan::from_env() {
+            Ok(plan) => config.faults = plan,
+            Err(e) => {
+                eprintln!("error: ADGEN_SERVE_FAULTS: {e}");
+                std::process::exit(2);
             }
         }
     }
@@ -101,7 +128,8 @@ fn main() {
         "adgen-serve shut down: {} map, {} synthesize, {} explore, {} control; \
          cache {} mem / {} disk hits, {} misses, {} evictions; \
          {} deadline expirations; {} shed; coalesced {}+{}; \
-         queue high water {}",
+         queue high water {}; {} corrupt quarantined; \
+         {} disk write errors; {} malformed; {} conns timed out",
         stats.req_map,
         stats.req_synthesize,
         stats.req_explore,
@@ -115,6 +143,10 @@ fn main() {
         stats.coalesce_leaders,
         stats.coalesce_waiters,
         stats.queue_high_water,
+        stats.cache_corrupt,
+        stats.disk_write_errors,
+        stats.conn_malformed,
+        stats.conn_timed_out,
     );
 
     if let Some(rec) = recording {

@@ -29,10 +29,54 @@
 //! shard directories in file-mtime order, so the bound (and the
 //! eviction order) survives a restart. An evicted entry is simply a
 //! future cache miss — it recomputes, it never errors.
+//!
+//! ## Entry frame and self-verification
+//!
+//! Every entry file is *framed*: a 32-byte header in front of the
+//! payload lets a reader prove the bytes are the ones the server
+//! wrote, under the key the file name claims —
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"ADGC"
+//!      4     2  format version (u16 LE, currently 1)
+//!      6     2  reserved (zero)
+//!      8     8  payload length (u64 LE)
+//!     16    16  FNV-1a-128 digest of payload bytes ++ key bytes
+//!     32     —  payload (the encoded Response)
+//! ```
+//!
+//! Keying the digest means a file renamed under the wrong digest
+//! fails verification even when its payload is intact. On any
+//! mismatch — bad magic, unknown version, wrong length, wrong digest,
+//! zero-byte or truncated file — the entry is *quarantined* (moved to
+//! `dir/quarantine/`, preserved for forensics), counted in
+//! [`DiskStore::corrupt`], and reported as a miss so the dispatcher
+//! recomputes. Unverified bytes are never served. Pre-frame legacy
+//! entries fail the magic check and take the same path: quarantine
+//! plus recompute *is* the migration, because cache entries are
+//! disposable by construction.
+//!
+//! Reopen-rescan applies the same discipline to the header of every
+//! file it indexes (full digests are checked lazily on read), removes
+//! crash-orphaned `*.tmp` files, and skips foreign files — so invalid
+//! entries never count toward the byte bound.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::Write;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::faults::{self, FaultKind, FaultPlan};
+
+/// Magic bytes opening every framed disk-cache entry.
+pub const ENTRY_MAGIC: [u8; 4] = *b"ADGC";
+/// Current entry frame format version.
+pub const ENTRY_VERSION: u16 = 1;
+/// Size of the entry frame header.
+pub const ENTRY_HEADER_LEN: usize = 32;
+/// Name of the quarantine directory under the cache root.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// A 128-bit content address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,6 +136,86 @@ impl CacheKey {
         }
         Some(CacheKey(key))
     }
+}
+
+/// FNV-1a-128 (two 64-bit streams with decorrelated bases, same
+/// construction as [`CacheKey::for_request`]) over the payload bytes
+/// followed by the key bytes. Including the key ties the digest to
+/// the file name: a payload filed under the wrong digest fails.
+fn entry_digest(key: CacheKey, payload: &[u8]) -> [u8; 16] {
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut lo: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut hi: u64 = lo ^ 0x9e37_79b9_7f4a_7c15;
+    for &b in payload.iter().chain(key.0.iter()) {
+        lo = (lo ^ u64::from(b)).wrapping_mul(PRIME);
+        hi = (hi ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    let mut out = [0u8; 16];
+    out[..8].copy_from_slice(&lo.to_le_bytes());
+    out[8..].copy_from_slice(&hi.to_le_bytes());
+    out
+}
+
+/// Frames `payload` for storage under `key`: header + payload, ready
+/// to write as one file.
+fn frame_entry(key: CacheKey, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENTRY_HEADER_LEN + payload.len());
+    out.extend_from_slice(&ENTRY_MAGIC);
+    out.extend_from_slice(&ENTRY_VERSION.to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&entry_digest(key, payload));
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Header-only validation: magic, version, and that `file_len`
+/// matches the declared payload length. Returns the payload length.
+/// Used by rescan, which must not read every payload at startup.
+fn check_entry_header(header: &[u8], file_len: u64) -> Result<u64, &'static str> {
+    if header.len() < ENTRY_HEADER_LEN {
+        return Err("file shorter than the entry header");
+    }
+    if header[0..4] != ENTRY_MAGIC {
+        return Err("bad entry magic (unframed or foreign file)");
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != ENTRY_VERSION {
+        return Err("unknown entry format version");
+    }
+    let payload_len = u64::from_le_bytes(header[8..16].try_into().expect("8 bytes"));
+    if file_len != ENTRY_HEADER_LEN as u64 + payload_len {
+        return Err("file length disagrees with declared payload length");
+    }
+    Ok(payload_len)
+}
+
+/// Reads up to one header's worth of bytes from `path` (short files
+/// return short buffers — `check_entry_header` rejects them).
+fn read_entry_header(path: &Path) -> Result<Vec<u8>, &'static str> {
+    let mut f = std::fs::File::open(path).map_err(|_| "unreadable entry")?;
+    let mut header = vec![0u8; ENTRY_HEADER_LEN];
+    let mut filled = 0;
+    while filled < header.len() {
+        match f.read(&mut header[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(_) => return Err("unreadable entry"),
+        }
+    }
+    header.truncate(filled);
+    Ok(header)
+}
+
+/// Full verification of a framed entry read under `key`: header
+/// checks plus the payload digest. Returns the payload.
+fn verify_entry(key: CacheKey, bytes: &[u8]) -> Result<Vec<u8>, &'static str> {
+    check_entry_header(bytes, bytes.len() as u64)?;
+    let payload = &bytes[ENTRY_HEADER_LEN..];
+    if bytes[16..32] != entry_digest(key, payload) {
+        return Err("digest mismatch");
+    }
+    Ok(payload.to_vec())
 }
 
 /// Which tier answered a lookup.
@@ -236,6 +360,12 @@ pub struct DiskStore {
     next_generation: u64,
     total_bytes: u64,
     evictions: u64,
+    /// Entries quarantined after failing verification (read or scan).
+    corrupt: u64,
+    /// Failed writes (the entry degraded to memory-only caching).
+    write_errors: u64,
+    /// Optional fault-injection plan; `None` in production.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl DiskStore {
@@ -258,6 +388,21 @@ impl DiskStore {
     ///
     /// Propagates directory-creation and scan failures.
     pub fn open_bounded(dir: &Path, cap_bytes: u64, slice: KeySlice) -> std::io::Result<DiskStore> {
+        DiskStore::open_with(dir, cap_bytes, slice, None)
+    }
+
+    /// [`open_bounded`](DiskStore::open_bounded) with a fault plan
+    /// installed at the instrumented sites (see [`crate::faults`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and scan failures.
+    pub fn open_with(
+        dir: &Path,
+        cap_bytes: u64,
+        slice: KeySlice,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<DiskStore> {
         std::fs::create_dir_all(dir)?;
         let mut store = DiskStore {
             dir: dir.to_path_buf(),
@@ -268,21 +413,30 @@ impl DiskStore {
             next_generation: 0,
             total_bytes: 0,
             evictions: 0,
+            corrupt: 0,
+            write_errors: 0,
+            faults,
         };
         store.rescan()?;
         store.enforce_bound(None);
         Ok(store)
     }
 
-    /// Walks the two shard levels and rebuilds the index.
+    /// Walks the two shard levels and rebuilds the index, validating
+    /// every candidate's frame header. Crash-orphaned `*.tmp` files
+    /// are deleted, hex-named files that fail the header check are
+    /// quarantined (a crash mid-write, a torn page, a pre-frame
+    /// legacy entry), and anything else foreign is left alone — none
+    /// of them count toward the byte bound.
     fn rescan(&mut self) -> std::io::Result<()> {
         let mut found: Vec<(std::time::SystemTime, String, CacheKey, u64)> = Vec::new();
+        let mut bad: Vec<(CacheKey, PathBuf, &'static str)> = Vec::new();
         for shard1 in std::fs::read_dir(&self.dir)? {
             let shard1 = match shard1 {
                 Ok(e) => e.path(),
                 Err(_) => continue,
             };
-            if !shard1.is_dir() {
+            if !shard1.is_dir() || shard1.file_name().is_some_and(|n| n == QUARANTINE_DIR) {
                 continue;
             }
             let Ok(shard2s) = std::fs::read_dir(&shard1) else {
@@ -298,17 +452,34 @@ impl DiskStore {
                 };
                 for file in files.filter_map(Result::ok) {
                     let name = file.file_name().to_string_lossy().into_owned();
+                    let path = file.path();
+                    if name.ends_with(".tmp") {
+                        // An interrupted put; the rename never
+                        // happened, so the entry never existed.
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
                     let Some(key) = CacheKey::from_hex(&name) else {
-                        continue; // temp files and strangers
+                        continue; // strangers are not ours to judge
                     };
                     if !self.slice.covers(key) {
                         continue;
                     }
                     let Ok(meta) = file.metadata() else { continue };
-                    let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-                    found.push((mtime, name, key, meta.len()));
+                    match read_entry_header(&path).and_then(|h| check_entry_header(&h, meta.len()))
+                    {
+                        Ok(payload_len) => {
+                            let mtime =
+                                meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                            found.push((mtime, name, key, payload_len));
+                        }
+                        Err(reason) => bad.push((key, path, reason)),
+                    }
                 }
             }
+        }
+        for (key, path, reason) in bad {
+            self.quarantine(key, &path, reason);
         }
         found.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
         for (_, _, key, bytes) in found {
@@ -323,6 +494,28 @@ impl DiskStore {
             self.total_bytes += bytes;
         }
         Ok(())
+    }
+
+    /// Moves a failed entry into `dir/quarantine/` (never deletes it:
+    /// a corrupt artifact is evidence) and counts it. The index entry,
+    /// if any, is dropped so the bytes stop counting toward the bound.
+    fn quarantine(&mut self, key: CacheKey, path: &Path, reason: &str) {
+        self.corrupt += 1;
+        if let Some((bytes, _)) = self.sizes.remove(&key) {
+            self.total_bytes -= bytes;
+        }
+        let qdir = self.dir.join(QUARANTINE_DIR);
+        let _ = std::fs::create_dir_all(&qdir);
+        let dest = qdir.join(key.hex());
+        if std::fs::rename(path, &dest).is_err() {
+            // Cross-device or permission trouble: removal still
+            // guarantees the bytes are never served again.
+            let _ = std::fs::remove_file(path);
+        }
+        eprintln!(
+            "adgen-serve: quarantined cache entry {} ({reason})",
+            key.hex()
+        );
     }
 
     fn path_for(&self, key: CacheKey) -> PathBuf {
@@ -362,38 +555,53 @@ impl DiskStore {
         }
     }
 
-    /// Reads the payload stored under `key`, if present and owned by
-    /// this store's slice.
-    pub fn get(&self, key: CacheKey) -> Option<Vec<u8>> {
+    /// Reads and *verifies* the payload stored under `key`, if
+    /// present and owned by this store's slice. An entry that fails
+    /// verification — torn write, bit flip, wrong key, legacy format
+    /// — is quarantined and reported as a miss; unverified bytes are
+    /// never returned.
+    pub fn get(&mut self, key: CacheKey) -> Option<Vec<u8>> {
         if !self.slice.covers(key) {
             return None;
         }
-        std::fs::read(self.path_for(key)).ok()
+        let path = self.path_for(key);
+        if let Some(kind) = faults::fire(&self.faults, "disk.get.read") {
+            if kind == FaultKind::ReadErr {
+                return None; // a transient read error is just a miss
+            }
+        }
+        let bytes = std::fs::read(&path).ok()?;
+        match verify_entry(key, &bytes) {
+            Ok(payload) => Some(payload),
+            Err(reason) => {
+                self.quarantine(key, &path, reason);
+                None
+            }
+        }
     }
 
-    /// Stores `value` under `key` atomically, then evicts oldest
-    /// generations as needed to honour the byte bound. A key outside
-    /// this store's slice is silently skipped — it belongs to a
-    /// sibling process.
+    /// Stores `value` under `key` atomically (framed — see the module
+    /// docs), then evicts oldest generations as needed to honour the
+    /// byte bound. A key outside this store's slice is silently
+    /// skipped — it belongs to a sibling process.
     ///
     /// # Errors
     ///
-    /// Propagates I/O failures; a failed write leaves no partial
-    /// entry behind.
+    /// Propagates I/O failures; a failed write removes its temp file,
+    /// counts toward [`write_errors`](DiskStore::write_errors), and
+    /// leaves no committed partial entry behind.
     pub fn put(&mut self, key: CacheKey, value: &[u8]) -> std::io::Result<()> {
         if !self.slice.covers(key) {
             return Ok(());
         }
         let path = self.path_for(key);
         let shard = path.parent().expect("sharded path has a parent");
-        std::fs::create_dir_all(shard)?;
         let tmp = shard.join(format!("{}.tmp", key.hex()));
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(value)?;
-            f.sync_all()?;
+        if let Err(e) = self.write_entry(shard, &tmp, &path, key, value) {
+            self.write_errors += 1;
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
         }
-        std::fs::rename(&tmp, &path)?;
 
         let bytes = value.len() as u64;
         let generation = self.next_generation;
@@ -409,6 +617,49 @@ impl DiskStore {
             generation,
         });
         self.enforce_bound(Some(key));
+        Ok(())
+    }
+
+    /// The I/O portion of a put, with the fault-plan sites threaded
+    /// through: frame, write to a temp file, sync, rename.
+    fn write_entry(
+        &self,
+        shard: &Path,
+        tmp: &Path,
+        path: &Path,
+        key: CacheKey,
+        value: &[u8],
+    ) -> std::io::Result<()> {
+        let frame = frame_entry(key, value);
+        if let Some(kind) = faults::fire(&self.faults, "disk.put.create") {
+            return Err(FaultPlan::io_error(kind));
+        }
+        std::fs::create_dir_all(shard)?;
+        let mut f = std::fs::File::create(tmp)?;
+        match faults::fire(&self.faults, "disk.put.write") {
+            Some(FaultKind::ShortWrite) => {
+                // A torn write: half the frame lands, then the
+                // "device" gives up. The caller's cleanup removes the
+                // temp file; a kill before that leaves it for rescan.
+                f.write_all(&frame[..frame.len() / 2])?;
+                let _ = f.sync_all();
+                return Err(FaultPlan::io_error(FaultKind::ShortWrite));
+            }
+            Some(kind) => return Err(FaultPlan::io_error(kind)),
+            None => {}
+        }
+        f.write_all(&frame)?;
+        if let Some(kind) = faults::fire(&self.faults, "disk.put.sync") {
+            return Err(FaultPlan::io_error(kind));
+        }
+        f.sync_all()?;
+        if let Some(kind) = faults::fire(&self.faults, "disk.put.pre_rename") {
+            return Err(FaultPlan::io_error(kind));
+        }
+        std::fs::rename(tmp, path)?;
+        // Only `kill` is meaningful here — the entry is already
+        // committed, so an error return would be a lie.
+        let _ = faults::fire(&self.faults, "disk.put.post_rename");
         Ok(())
     }
 
@@ -432,6 +683,16 @@ impl DiskStore {
         self.evictions
     }
 
+    /// Entries quarantined after failing verification since open.
+    pub fn corrupt(&self) -> u64 {
+        self.corrupt
+    }
+
+    /// Failed entry writes since open.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+
     /// Keys oldest generation first (test/diagnostic view).
     pub fn keys_by_generation(&self) -> Vec<CacheKey> {
         self.generations
@@ -449,6 +710,9 @@ pub struct ResultCache {
     lru: LruCache,
     disk: Option<DiskStore>,
     reported_evictions: u64,
+    reported_corrupt: u64,
+    reported_write_errors: u64,
+    logged_write_error: bool,
 }
 
 impl ResultCache {
@@ -464,32 +728,62 @@ impl ResultCache {
         dir: Option<&Path>,
         disk_cap_bytes: u64,
     ) -> std::io::Result<ResultCache> {
+        ResultCache::new_with(lru_entries, dir, disk_cap_bytes, None)
+    }
+
+    /// [`new`](ResultCache::new) with a fault plan threaded into the
+    /// disk tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates disk-tier open failures.
+    pub fn new_with(
+        lru_entries: usize,
+        dir: Option<&Path>,
+        disk_cap_bytes: u64,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> std::io::Result<ResultCache> {
         Ok(ResultCache {
             lru: LruCache::new(lru_entries),
             disk: dir
-                .map(|d| DiskStore::open_bounded(d, disk_cap_bytes, KeySlice::full()))
+                .map(|d| DiskStore::open_with(d, disk_cap_bytes, KeySlice::full(), faults))
                 .transpose()?,
             reported_evictions: 0,
+            reported_corrupt: 0,
+            reported_write_errors: 0,
+            logged_write_error: false,
         })
     }
 
     /// Looks up `key`, reporting which tier answered. A disk hit is
-    /// promoted into the LRU so a repeat lookup hits memory.
+    /// verified and promoted into the LRU so a repeat lookup hits
+    /// memory; a corrupt disk entry is quarantined and reported as a
+    /// miss.
     pub fn get(&mut self, key: CacheKey) -> Option<(Vec<u8>, Tier)> {
         if let Some(v) = self.lru.get(key) {
             return Some((v, Tier::Memory));
         }
-        let v = self.disk.as_ref()?.get(key)?;
+        let v = self.disk.as_mut()?.get(key)?;
         self.lru.put(key, v.clone());
         Some((v, Tier::Disk))
     }
 
-    /// Stores `value` in both tiers. Disk write failures are
-    /// swallowed — the cache is an accelerator, not a ledger — but
-    /// the in-memory tier always takes the entry.
+    /// Stores `value` in both tiers. A disk write failure degrades
+    /// that entry to memory-only caching — logged once, counted in
+    /// [`take_disk_write_errors`](ResultCache::take_disk_write_errors)
+    /// — because the cache is an accelerator, not a ledger; the
+    /// in-memory tier always takes the entry.
     pub fn put(&mut self, key: CacheKey, value: Vec<u8>) {
         if let Some(disk) = &mut self.disk {
-            let _ = disk.put(key, &value);
+            if let Err(e) = disk.put(key, &value) {
+                if !self.logged_write_error {
+                    self.logged_write_error = true;
+                    eprintln!(
+                        "adgen-serve: disk cache write failed ({e}); \
+                         affected entries degrade to memory-only caching"
+                    );
+                }
+            }
         }
         self.lru.put(key, value);
     }
@@ -504,6 +798,22 @@ impl ResultCache {
         let total = self.disk.as_ref().map_or(0, DiskStore::evictions);
         let delta = total - self.reported_evictions;
         self.reported_evictions = total;
+        delta
+    }
+
+    /// Quarantined entries since the last call (for stats mirroring).
+    pub fn take_disk_corrupt(&mut self) -> u64 {
+        let total = self.disk.as_ref().map_or(0, DiskStore::corrupt);
+        let delta = total - self.reported_corrupt;
+        self.reported_corrupt = total;
+        delta
+    }
+
+    /// Failed disk writes since the last call (for stats mirroring).
+    pub fn take_disk_write_errors(&mut self) -> u64 {
+        let total = self.disk.as_ref().map_or(0, DiskStore::write_errors);
+        let delta = total - self.reported_write_errors;
+        self.reported_write_errors = total;
         delta
     }
 }
@@ -648,7 +958,7 @@ mod tests {
                 store.put(key(n), &[n; 4]).unwrap();
             }
         }
-        let reopened = DiskStore::open_bounded(&dir, 12, KeySlice::full()).unwrap();
+        let mut reopened = DiskStore::open_bounded(&dir, 12, KeySlice::full()).unwrap();
         assert_eq!(reopened.len(), 3);
         assert_eq!(reopened.total_bytes(), 12);
         for n in 1..=3u8 {
@@ -728,6 +1038,212 @@ mod tests {
         assert_eq!(cache.get(k), None);
         cache.put(k, b"resp".to_vec());
         assert_eq!(cache.get(k), Some((b"resp".to_vec(), Tier::Memory)));
+    }
+
+    /// The on-disk path of `key` inside `dir`.
+    fn entry_path(dir: &Path, k: CacheKey) -> PathBuf {
+        let hex = k.hex();
+        dir.join(&hex[0..2]).join(&hex[2..4]).join(hex)
+    }
+
+    #[test]
+    fn entries_are_framed_on_disk() {
+        let dir = temp_dir("frame");
+        let mut store = DiskStore::open(&dir).unwrap();
+        let k = key(7);
+        store.put(k, b"payload").unwrap();
+        let raw = std::fs::read(entry_path(&dir, k)).unwrap();
+        assert_eq!(raw.len(), ENTRY_HEADER_LEN + 7);
+        assert_eq!(&raw[0..4], &ENTRY_MAGIC);
+        assert_eq!(u16::from_le_bytes([raw[4], raw[5]]), ENTRY_VERSION);
+        assert_eq!(u64::from_le_bytes(raw[8..16].try_into().unwrap()), 7);
+        assert_eq!(&raw[ENTRY_HEADER_LEN..], b"payload");
+        assert_eq!(store.total_bytes(), 7, "bound counts payload, not frame");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_served() {
+        let dir = temp_dir("corrupt");
+        let mut store = DiskStore::open(&dir).unwrap();
+        let k = key(3);
+        store.put(k, b"precious bytes").unwrap();
+
+        // Flip one payload bit on disk.
+        let path = entry_path(&dir, k);
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[ENTRY_HEADER_LEN] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+
+        assert_eq!(store.get(k), None, "corrupt bytes must never be served");
+        assert_eq!(store.corrupt(), 1);
+        assert!(!path.exists(), "entry removed from the shard tree");
+        assert!(
+            dir.join(QUARANTINE_DIR).join(k.hex()).is_file(),
+            "entry preserved in quarantine"
+        );
+        assert_eq!(store.len(), 0, "index entry dropped");
+        assert_eq!(store.total_bytes(), 0, "bytes no longer count");
+
+        // The slot is reusable: a recompute re-caches cleanly.
+        store.put(k, b"precious bytes").unwrap();
+        assert_eq!(store.get(k), Some(b"precious bytes".to_vec()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entry_filed_under_wrong_key_fails_verification() {
+        let dir = temp_dir("wrong-key");
+        let mut store = DiskStore::open(&dir).unwrap();
+        store.put(key(1), b"aaaa").unwrap();
+        // Replay a valid entry under a different name, as a confused
+        // operator (or an attacker with filesystem access) might.
+        let stolen = std::fs::read(entry_path(&dir, key(1))).unwrap();
+        let target = entry_path(&dir, key(2));
+        std::fs::create_dir_all(target.parent().unwrap()).unwrap();
+        std::fs::write(&target, &stolen).unwrap();
+
+        let mut reopened = DiskStore::open(&dir).unwrap();
+        assert_eq!(
+            reopened.get(key(2)),
+            None,
+            "digest is keyed: a renamed entry must not verify"
+        );
+        assert_eq!(reopened.get(key(1)), Some(b"aaaa".to_vec()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rescan_quarantines_invalid_and_removes_tmp_files() {
+        let dir = temp_dir("rescan-junk");
+        {
+            let mut store = DiskStore::open(&dir).unwrap();
+            store.put(key(1), b"good").unwrap();
+        }
+        // A zero-byte final file (torn crash), a legacy unframed
+        // entry, a truncated frame, an orphaned .tmp, and a foreign
+        // file — all plausible post-crash debris.
+        let zero = entry_path(&dir, key(2));
+        std::fs::create_dir_all(zero.parent().unwrap()).unwrap();
+        std::fs::write(&zero, b"").unwrap();
+        let legacy = entry_path(&dir, key(3));
+        std::fs::create_dir_all(legacy.parent().unwrap()).unwrap();
+        std::fs::write(&legacy, b"raw pre-frame payload").unwrap();
+        let truncated = entry_path(&dir, key(4));
+        std::fs::create_dir_all(truncated.parent().unwrap()).unwrap();
+        let mut frame = frame_entry(key(4), b"will be cut");
+        frame.truncate(frame.len() - 3);
+        std::fs::write(&truncated, &frame).unwrap();
+        let tmp = entry_path(&dir, key(5)).with_extension("tmp");
+        std::fs::create_dir_all(tmp.parent().unwrap()).unwrap();
+        std::fs::write(&tmp, b"half a write").unwrap();
+        let foreign = dir.join("01").join("02").join("README");
+        std::fs::create_dir_all(foreign.parent().unwrap()).unwrap();
+        std::fs::write(&foreign, b"not ours").unwrap();
+
+        let mut reopened = DiskStore::open_bounded(&dir, 4, KeySlice::full()).unwrap();
+        assert_eq!(reopened.len(), 1, "only the good entry is indexed");
+        assert_eq!(
+            reopened.total_bytes(),
+            4,
+            "junk never counts toward the bound"
+        );
+        assert_eq!(reopened.corrupt(), 3, "zero-byte + legacy + truncated");
+        assert_eq!(reopened.get(key(1)), Some(b"good".to_vec()));
+        assert!(!tmp.exists(), "orphaned tmp removed");
+        assert!(foreign.exists(), "foreign files left alone");
+        for n in [2u8, 3, 4] {
+            assert!(
+                dir.join(QUARANTINE_DIR).join(key(n).hex()).is_file(),
+                "key {n} quarantined"
+            );
+        }
+        // And the quarantine directory itself is not rescanned as a
+        // shard: a further reopen sees a clean store.
+        let again = DiskStore::open(&dir).unwrap();
+        assert_eq!(again.len(), 1);
+        assert_eq!(again.corrupt(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn enospc_injection_counts_and_leaves_no_debris() {
+        let dir = temp_dir("enospc");
+        let plan = Arc::new(FaultPlan::parse("enospc@disk.put.write#2").unwrap());
+        let mut store = DiskStore::open_with(&dir, 0, KeySlice::full(), Some(plan)).unwrap();
+        store.put(key(1), b"fits").unwrap();
+        let err = store.put(key(2), b"no room").unwrap_err();
+        assert!(err.to_string().contains("no space left"));
+        assert_eq!(store.write_errors(), 1);
+        assert_eq!(store.len(), 1, "failed entry is not indexed");
+        assert!(!entry_path(&dir, key(2)).exists());
+        assert!(!entry_path(&dir, key(2)).with_extension("tmp").exists());
+        // Later writes succeed again — the fault was one-shot.
+        store.put(key(3), b"fine").unwrap();
+        assert_eq!(store.get(key(3)), Some(b"fine".to_vec()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn short_write_injection_cleans_its_torn_tmp() {
+        let dir = temp_dir("short");
+        let plan = Arc::new(FaultPlan::parse("short@disk.put.write").unwrap());
+        let mut store = DiskStore::open_with(&dir, 0, KeySlice::full(), Some(plan)).unwrap();
+        assert!(store.put(key(1), b"will tear").is_err());
+        assert_eq!(store.write_errors(), 1);
+        assert!(!entry_path(&dir, key(1)).with_extension("tmp").exists());
+        assert_eq!(store.get(key(1)), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_error_injection_is_a_plain_miss() {
+        let dir = temp_dir("readerr");
+        let plan = Arc::new(FaultPlan::parse("readerr@disk.get.read").unwrap());
+        let mut store = DiskStore::open_with(&dir, 0, KeySlice::full(), Some(plan)).unwrap();
+        store.put(key(1), b"present").unwrap();
+        assert_eq!(store.get(key(1)), None, "injected read error is a miss");
+        assert_eq!(store.corrupt(), 0, "a transient error is not corruption");
+        assert_eq!(store.get(key(1)), Some(b"present".to_vec()), "one-shot");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn result_cache_degrades_to_memory_on_write_failure() {
+        let dir = temp_dir("degrade");
+        let plan = Arc::new(FaultPlan::parse("enospc@disk.put.write").unwrap());
+        let mut cache = ResultCache::new_with(4, Some(&dir), 0, Some(plan)).unwrap();
+        let k = CacheKey::for_request(b"req", 0);
+        cache.put(k, b"resp".to_vec());
+        assert_eq!(
+            cache.get(k),
+            Some((b"resp".to_vec(), Tier::Memory)),
+            "entry still served from memory after the disk write failed"
+        );
+        assert_eq!(cache.take_disk_write_errors(), 1);
+        assert_eq!(cache.take_disk_write_errors(), 0, "delta, not total");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn result_cache_reports_corruption_deltas() {
+        let dir = temp_dir("corrupt-delta");
+        let k = CacheKey::for_request(b"req", 0);
+        {
+            let mut seed = ResultCache::new(4, Some(&dir), 0).unwrap();
+            seed.put(k, b"resp".to_vec());
+        }
+        let path = entry_path(&dir, k);
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 1;
+        std::fs::write(&path, &raw).unwrap();
+
+        let mut cache = ResultCache::new(4, Some(&dir), 0).unwrap();
+        assert_eq!(cache.get(k), None, "corrupt disk entry is a miss");
+        assert_eq!(cache.take_disk_corrupt(), 1);
+        assert_eq!(cache.take_disk_corrupt(), 0, "delta, not total");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -40,6 +40,21 @@ pub enum ServeError {
     /// A server worker thread panicked; names the thread(s). Surfaced
     /// by `ServerHandle::join` instead of re-panicking the caller.
     WorkerPanicked(String),
+    /// The connection sent bytes that cannot be a valid frame —
+    /// oversized length prefix, undecodable payload — and will be
+    /// closed after this reply. Distinct from [`Protocol`]
+    /// (semantically wrong but parseable traffic) so defenses against
+    /// adversarial input are observable as such.
+    ///
+    /// [`Protocol`]: ServeError::Protocol
+    MalformedFrame(String),
+    /// The connection made no progress for longer than the server's
+    /// per-connection I/O deadline (slowloris, stalled peer) and is
+    /// being closed.
+    IoTimeout {
+        /// How long the connection had been idle, milliseconds.
+        idle_ms: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -62,6 +77,10 @@ impl std::fmt::Display for ServeError {
             ServeError::Internal(msg) => write!(f, "internal failure: {msg}"),
             ServeError::WorkerPanicked(which) => {
                 write!(f, "worker thread panicked: {which}")
+            }
+            ServeError::MalformedFrame(msg) => write!(f, "malformed frame: {msg}"),
+            ServeError::IoTimeout { idle_ms } => {
+                write!(f, "connection idle for {idle_ms} ms, closing")
             }
         }
     }
@@ -86,6 +105,8 @@ mod tests {
             ServeError::BadRequest("empty sequence".to_string()),
             ServeError::Internal("shutting down".to_string()),
             ServeError::WorkerPanicked("dispatcher".to_string()),
+            ServeError::MalformedFrame("frame length 99999999 over cap".to_string()),
+            ServeError::IoTimeout { idle_ms: 5000 },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -19,17 +19,27 @@
 //! command line. The `loadgen` benchmark in `adgen-bench` drives a
 //! server over loopback and reports throughput, latency percentiles
 //! and cache hit rates.
+//!
+//! The serving tier is chaos-hardened: every disk-cache entry is
+//! framed and checksummed ([`cache`] — corrupt entries are
+//! quarantined and recomputed, never served), a deterministic fault
+//! plan ([`faults`]) injects crashes and I/O errors at named sites
+//! for the `chaoscamp` harness, idle or malformed connections are
+//! reaped with typed errors, and [`Client`] retries shed or failed
+//! calls with bounded, deterministically jittered backoff.
 
 pub mod cache;
 pub mod client;
 pub mod error;
+pub mod faults;
 pub mod protocol;
 pub mod reactor;
 pub mod server;
 
 pub use cache::{CacheKey, DiskStore, KeySlice, LruCache, ResultCache, Tier};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use error::ServeError;
+pub use faults::{FaultKind, FaultPlan};
 pub use protocol::{
     MapOutcome, Request, Response, StatsSnapshot, SynthReport, MAGIC, PROTOCOL_VERSION,
 };

@@ -44,8 +44,10 @@ pub const MAGIC: [u8; 4] = *b"ADGS";
 
 /// The protocol version this build speaks. v2 extended the stats
 /// snapshot with shedding/coalescing/eviction counters and added the
-/// `WorkerPanicked` error kind.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// `WorkerPanicked` error kind. v3 added the `MalformedFrame` and
+/// `IoTimeout` error kinds and the corruption/write-error/connection-
+/// hygiene stats counters.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on a frame payload, bytes. Anything larger is a
 /// protocol violation (the biggest legitimate payload — an `Explore`
@@ -646,6 +648,16 @@ pub struct StatsSnapshot {
     /// Times the reactor event thread was woken by a completion
     /// (epoll backend; the threaded backend wakes by unpark).
     pub reactor_wakeups: u64,
+    /// Disk-cache entries that failed verification and were
+    /// quarantined (corrupt bytes detected, never served).
+    pub cache_corrupt: u64,
+    /// Disk-cache writes that failed; the entry degraded to
+    /// memory-only caching.
+    pub disk_write_errors: u64,
+    /// Connections closed after sending a malformed frame.
+    pub conn_malformed: u64,
+    /// Connections reaped by the per-connection I/O deadline.
+    pub conn_timed_out: u64,
 }
 
 /// A server response, one per request frame.
@@ -740,6 +752,10 @@ impl Response {
                     s.coalesce_waiters,
                     s.disk_evictions,
                     s.reactor_wakeups,
+                    s.cache_corrupt,
+                    s.disk_write_errors,
+                    s.conn_malformed,
+                    s.conn_timed_out,
                 ] {
                     e.u64(v);
                 }
@@ -776,6 +792,14 @@ impl Response {
                     ServeError::WorkerPanicked(which) => {
                         e.u8(6);
                         e.str(which);
+                    }
+                    ServeError::MalformedFrame(msg) => {
+                        e.u8(7);
+                        e.str(msg);
+                    }
+                    ServeError::IoTimeout { idle_ms } => {
+                        e.u8(8);
+                        e.u64(*idle_ms);
                     }
                 }
             }
@@ -847,6 +871,10 @@ impl Response {
                 coalesce_waiters: d.u64()?,
                 disk_evictions: d.u64()?,
                 reactor_wakeups: d.u64()?,
+                cache_corrupt: d.u64()?,
+                disk_write_errors: d.u64()?,
+                conn_malformed: d.u64()?,
+                conn_timed_out: d.u64()?,
             }),
             5 => Response::ShuttingDown,
             6 => {
@@ -863,6 +891,8 @@ impl Response {
                     4 => ServeError::BadRequest(d.str()?),
                     5 => ServeError::Internal(d.str()?),
                     6 => ServeError::WorkerPanicked(d.str()?),
+                    7 => ServeError::MalformedFrame(d.str()?),
+                    8 => ServeError::IoTimeout { idle_ms: d.u64()? },
                     other => return Err(wire_err(format!("unknown error tag {other}"))),
                 };
                 Response::Error(err)
@@ -944,6 +974,10 @@ mod tests {
                 coalesce_waiters: 13,
                 disk_evictions: 14,
                 reactor_wakeups: 15,
+                cache_corrupt: 16,
+                disk_write_errors: 17,
+                conn_malformed: 18,
+                conn_timed_out: 19,
             }),
             Response::ShuttingDown,
             Response::Error(ServeError::Deadline { waited_ms: 100 }),
@@ -956,6 +990,10 @@ mod tests {
             Response::Error(ServeError::BadRequest("empty sequence".to_string())),
             Response::Error(ServeError::Internal("shutting down".to_string())),
             Response::Error(ServeError::WorkerPanicked("dispatcher".to_string())),
+            Response::Error(ServeError::MalformedFrame(
+                "frame length 99999999 exceeds cap".to_string(),
+            )),
+            Response::Error(ServeError::IoTimeout { idle_ms: 5000 }),
         ]
     }
 

@@ -50,7 +50,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::error::ServeError;
 use crate::protocol::{self, Request, Response, HANDSHAKE_OK, HANDSHAKE_REJECT_VERSION};
@@ -267,6 +267,12 @@ struct Conn {
     dead: bool,
     slots: VecDeque<Slot>,
     next_ticket: u64,
+    /// Last time this connection made *protocol* progress: creation,
+    /// a completed handshake or frame parse, a completion delivery,
+    /// or response bytes accepted by the socket. Raw reads that never
+    /// complete a frame deliberately do not count, so a slowloris
+    /// trickling one byte per tick still ages toward the reap.
+    last_progress: Instant,
 }
 
 impl Conn {
@@ -288,6 +294,7 @@ impl Conn {
             dead: false,
             slots: VecDeque::new(),
             next_ticket: 0,
+            last_progress: Instant::now(),
         })
     }
 
@@ -352,6 +359,7 @@ impl Conn {
                     .expect("vec write");
                     self.outbuf.extend_from_slice(&reply);
                     self.hello_done = true;
+                    self.last_progress = Instant::now();
                 }
                 Ok(_) => {
                     let mut reply = Vec::with_capacity(8);
@@ -366,7 +374,9 @@ impl Conn {
                 }
                 Err(_) => {
                     // Bad magic: close without a reply, as the
-                    // blocking implementation did.
+                    // blocking implementation did — but count it, so
+                    // garbage aimed at the handshake is observable.
+                    shared.stats.conn_malformed.fetch_add(1, Ordering::Relaxed);
                     self.dead = true;
                     return;
                 }
@@ -383,7 +393,8 @@ impl Conn {
                 .expect("four bytes");
             let len = u32::from_le_bytes(len_bytes);
             if len > protocol::MAX_FRAME_LEN {
-                let err = Response::Error(ServeError::Protocol(format!(
+                shared.stats.conn_malformed.fetch_add(1, Ordering::Relaxed);
+                let err = Response::Error(ServeError::MalformedFrame(format!(
                     "frame length {len} exceeds cap {}",
                     protocol::MAX_FRAME_LEN
                 )));
@@ -397,6 +408,7 @@ impl Conn {
             let start = self.inpos + 4;
             let payload: Vec<u8> = self.inbuf[start..start + len as usize].to_vec();
             self.inpos = start + len as usize;
+            self.last_progress = Instant::now();
             self.handle_frame(shared, &payload);
         }
         // Compact once everything parseable is consumed, so the
@@ -413,7 +425,8 @@ impl Conn {
         let (request, deadline_ms) = match protocol::decode_request_frame(payload) {
             Ok(x) => x,
             Err(e) => {
-                let resp = Response::Error(ServeError::Protocol(e.0));
+                shared.stats.conn_malformed.fetch_add(1, Ordering::Relaxed);
+                let resp = Response::Error(ServeError::MalformedFrame(e.0));
                 self.slots.push_back(Slot::Ready(resp.encode()));
                 self.closing = true;
                 return;
@@ -452,6 +465,7 @@ impl Conn {
         for slot in &mut self.slots {
             if matches!(slot, Slot::Pending(t) if *t == ticket) {
                 *slot = Slot::Ready(payload);
+                self.last_progress = Instant::now();
                 return;
             }
         }
@@ -480,6 +494,7 @@ impl Conn {
                 }
                 Ok(n) => {
                     self.outpos += n;
+                    self.last_progress = Instant::now();
                     wrote = true;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -499,6 +514,63 @@ impl Conn {
         }
         wrote
     }
+
+    /// Applies the per-connection staleness deadline. Returns `true`
+    /// when the connection was reaped (it is dead afterwards).
+    ///
+    /// Connections with a request in flight at the dispatcher are
+    /// never reaped — the stall is the server's, not the peer's. A
+    /// reaped connection holding half a frame (a slowloris, or a
+    /// stalled sender) is told why with a typed
+    /// [`ServeError::IoTimeout`] on a best-effort flush; a connection
+    /// that is simply idle is closed silently, exactly as a polite
+    /// peer would experience an ordinary server-side close.
+    fn maybe_reap(&mut self, shared: &Shared, now: Instant, idle: Duration) -> bool {
+        if self.dead {
+            return false;
+        }
+        if self.slots.iter().any(|s| matches!(s, Slot::Pending(_))) {
+            return false;
+        }
+        let stale = now.duration_since(self.last_progress);
+        if stale < idle {
+            return false;
+        }
+        shared.stats.conn_timed_out.fetch_add(1, Ordering::Relaxed);
+        // A typed reply only makes sense after the handshake — a
+        // pre-handshake peer is expecting a hello reply, not a frame.
+        if self.hello_done && !self.inbuf.is_empty() {
+            let err = Response::Error(ServeError::IoTimeout {
+                idle_ms: stale.as_millis() as u64,
+            });
+            self.slots.push_back(Slot::Ready(err.encode()));
+            self.closing = true;
+            self.pump_out();
+        }
+        // Dead regardless of whether the reply flushed: a peer that
+        // also stopped reading must not pin the connection open.
+        self.dead = true;
+        true
+    }
+}
+
+/// Sweeps every connection through [`Conn::maybe_reap`]; no-op when
+/// the config disables reaping. Returns the ids that were reaped so
+/// the epoll backend can deregister them.
+fn reap_stale(conns: &mut HashMap<u64, Conn>, shared: &Shared) -> Vec<u64> {
+    let idle_ms = shared.config.conn_idle_ms;
+    if idle_ms == 0 || conns.is_empty() {
+        return Vec::new();
+    }
+    let now = Instant::now();
+    let idle = Duration::from_millis(idle_ms);
+    let mut reaped = Vec::new();
+    for (id, conn) in conns.iter_mut() {
+        if conn.maybe_reap(shared, now, idle) {
+            reaped.push(*id);
+        }
+    }
+    reaped
 }
 
 /// Delivers a drained batch of completions into `conns` and flushes
@@ -766,6 +838,15 @@ impl EpollIo {
                 let _ = self.ep.modify(conn.stream.as_raw_fd(), interest, id);
             }
 
+            // Staleness sweep: the 50 ms tick guarantees this runs
+            // even when no fd is ready, so idle peers cannot hide
+            // behind a silent epoll set.
+            for id in reap_stale(&mut conns, shared) {
+                if let Some(conn) = conns.remove(&id) {
+                    self.ep.del(conn.stream.as_raw_fd());
+                }
+            }
+
             if shared.is_shutdown() {
                 if listener_registered {
                     // Stop watching the listener so a backlog of
@@ -847,6 +928,7 @@ fn shard_loop(shared: &Shared, listener: &TcpListener) {
         for conn in conns.values_mut() {
             progress |= conn.service(shared);
         }
+        reap_stale(&mut conns, shared);
         conns.retain(|_, conn| conn.alive());
 
         if shared.is_shutdown() && conns.is_empty() {

@@ -108,6 +108,14 @@ pub struct ServeConfig {
     /// Record an adgen-obs session on the dispatcher thread and
     /// return it from [`ServerHandle::join`].
     pub observe: bool,
+    /// Per-connection I/O deadline, milliseconds: a connection that
+    /// makes no progress (no complete frame parsed, no completion
+    /// delivered, no bytes flushed) for this long is reaped — with a
+    /// typed [`ServeError::IoTimeout`] if it left a partial frame
+    /// behind (slowloris), silently otherwise. `0` disables reaping.
+    pub conn_idle_ms: u64,
+    /// Fault-injection plan for the disk tier; `None` in production.
+    pub faults: Option<Arc<crate::faults::FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +132,8 @@ impl Default for ServeConfig {
             reactor: ReactorKind::Auto,
             io_shards: 0,
             observe: false,
+            conn_idle_ms: 0,
+            faults: None,
         }
     }
 }
@@ -146,6 +156,10 @@ pub struct ServeStats {
     pub(crate) coalesce_waiters: AtomicU64,
     pub(crate) disk_evictions: AtomicU64,
     pub(crate) reactor_wakeups: AtomicU64,
+    pub(crate) cache_corrupt: AtomicU64,
+    pub(crate) disk_write_errors: AtomicU64,
+    pub(crate) conn_malformed: AtomicU64,
+    pub(crate) conn_timed_out: AtomicU64,
 }
 
 impl ServeStats {
@@ -171,6 +185,10 @@ impl ServeStats {
             coalesce_waiters: self.coalesce_waiters.load(Ordering::Relaxed),
             disk_evictions: self.disk_evictions.load(Ordering::Relaxed),
             reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            cache_corrupt: self.cache_corrupt.load(Ordering::Relaxed),
+            disk_write_errors: self.disk_write_errors.load(Ordering::Relaxed),
+            conn_malformed: self.conn_malformed.load(Ordering::Relaxed),
+            conn_timed_out: self.conn_timed_out.load(Ordering::Relaxed),
         }
     }
 }
@@ -400,10 +418,11 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     let local_addr = listener.local_addr()?;
     // Open the cache eagerly so a bad directory fails at startup, not
     // on the first request.
-    let cache = ResultCache::new(
+    let cache = ResultCache::new_with(
         config.cache_entries,
         config.cache_dir.as_deref(),
         config.disk_cap_bytes,
+        config.faults.clone(),
     )?;
 
     let resolved = config.reactor.resolve();
@@ -459,11 +478,31 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
+/// Mirrors the cache's take-delta counters into the shared atomics.
+/// Called at dispatcher start (entries quarantined by the open-time
+/// rescan must be visible to a `Stats` probe before any batch runs)
+/// and after every batch.
+fn mirror_cache_deltas(shared: &Shared, cache: &mut ResultCache) {
+    for (delta, ctr) in [
+        (cache.take_disk_evictions(), &shared.stats.disk_evictions),
+        (cache.take_disk_corrupt(), &shared.stats.cache_corrupt),
+        (
+            cache.take_disk_write_errors(),
+            &shared.stats.disk_write_errors,
+        ),
+    ] {
+        if delta > 0 {
+            ctr.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+}
+
 fn run_dispatcher(shared: &Shared, mut cache: ResultCache) -> Option<obs::Recording> {
     if shared.config.observe {
         obs::start();
     }
     let library = Library::vcl018();
+    mirror_cache_deltas(shared, &mut cache);
 
     while let Some(batch) = shared.queue.pop_batch(shared.config.batch_max) {
         shared.stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -548,13 +587,7 @@ fn run_dispatcher(shared: &Shared, mut cache: ResultCache) -> Option<obs::Record
                 }
             }
         }
-        let evicted = cache.take_disk_evictions();
-        if evicted > 0 {
-            shared
-                .stats
-                .disk_evictions
-                .fetch_add(evicted, Ordering::Relaxed);
-        }
+        mirror_cache_deltas(shared, &mut cache);
     }
 
     if shared.config.observe {
@@ -577,6 +610,10 @@ fn run_dispatcher(shared: &Shared, mut cache: ResultCache) -> Option<obs::Record
             (obs::Ctr::ServeCoalesceWaiters, s.coalesce_waiters),
             (obs::Ctr::ServeDiskEvictions, s.disk_evictions),
             (obs::Ctr::ServeReactorWakeups, s.reactor_wakeups),
+            (obs::Ctr::ServeCacheCorrupt, s.cache_corrupt),
+            (obs::Ctr::ServeDiskWriteErrors, s.disk_write_errors),
+            (obs::Ctr::ServeConnMalformed, s.conn_malformed),
+            (obs::Ctr::ServeConnTimedOut, s.conn_timed_out),
         ] {
             if v > 0 {
                 obs::add(ctr, v);

@@ -10,8 +10,10 @@
 //! cache hits on repeats (including the effort-budget key separation
 //! observed over the wire), deadline expiration with the result still
 //! cached, single-flight coalescing of concurrent identical misses,
-//! typed shedding under overload, and a clean client-initiated
-//! shutdown with accurate final statistics.
+//! typed shedding under overload, idle-connection reaping by the
+//! staleness tick, quarantine-and-recompute on a corrupted disk
+//! entry, and a clean client-initiated shutdown with accurate final
+//! statistics.
 
 use std::path::PathBuf;
 use std::sync::{Arc, Barrier};
@@ -112,6 +114,17 @@ fn handshake_rejects_a_version_mismatch() {
             }
             Err(other) => panic!("expected handshake rejection, got {other:?}"),
             Ok(_) => panic!("expected handshake rejection, got a connection"),
+        }
+        // Older speakers are rejected too: v2 predates the typed
+        // MalformedFrame / IoTimeout errors and the four defense
+        // counters, so a v3 server must turn it away rather than
+        // answer with frames the peer cannot decode.
+        match Client::connect_with_version(&addr, 2) {
+            Err(ClientError::Rejected { server_version }) => {
+                assert_eq!(server_version, PROTOCOL_VERSION)
+            }
+            Err(other) => panic!("expected v2 rejection, got {other:?}"),
+            Ok(_) => panic!("expected v2 rejection, got a connection"),
         }
         // The mismatch did not wedge the server: a well-versioned
         // client still gets service.
@@ -464,6 +477,119 @@ fn concurrent_identical_misses_coalesce_into_one_computation() {
             "no attempt landed all {K} identical requests in one coalesced group on {reactor}"
         );
     }
+}
+
+#[test]
+fn an_idle_connection_is_reaped_by_the_staleness_tick() {
+    for reactor in backends() {
+        let (addr, handle) = start(ServeConfig {
+            jobs: 1,
+            conn_idle_ms: 80,
+            reactor,
+            ..ServeConfig::default()
+        });
+
+        // The victim handshakes, then goes silent well past the
+        // 80 ms staleness deadline.
+        let mut idle = Client::connect(&addr).expect("connect idle victim");
+        std::thread::sleep(Duration::from_millis(400));
+
+        // The reap is observable two ways: the victim's socket is
+        // gone, and the counter moved. The probe itself is fresh and
+        // fast, so it is never at risk.
+        let mut probe = Client::connect(&addr).expect("connect probe");
+        let stats = stats_of(&mut probe);
+        assert!(
+            stats.conn_timed_out >= 1,
+            "the staleness tick counted the reap on {reactor}"
+        );
+        idle.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        assert!(
+            idle.call(&Request::Ping, 0).is_err(),
+            "the reaped connection no longer answers"
+        );
+        drop(idle);
+        drop(probe);
+        shut_down(&addr, handle);
+    }
+}
+
+#[test]
+fn a_corrupted_disk_entry_is_quarantined_and_recomputed() {
+    for (i, reactor) in backends().into_iter().enumerate() {
+        let dir = std::env::temp_dir().join(format!(
+            "adgen-serve-e2e-corrupt-{}-{i}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || ServeConfig {
+            jobs: 1,
+            reactor,
+            cache_dir: Some(PathBuf::from(&dir)),
+            ..ServeConfig::default()
+        };
+        let req = Request::MapSequence {
+            sequence: vec![0, 0, 1, 1, 2, 2],
+        };
+
+        let (addr, handle) = start(config());
+        let mut client = Client::connect(&addr).expect("connect");
+        let cold = client.call_raw(&req, 0).unwrap();
+        drop(client);
+        shut_down(&addr, handle);
+
+        // Flip one payload byte of the (only) entry while the server
+        // is down — a crash-mid-write or bit-rot stand-in.
+        let entry = find_cache_entry(&dir).expect("one disk entry written");
+        let mut bytes = std::fs::read(&entry).unwrap();
+        assert!(bytes.len() > 32, "framed entry: header + payload");
+        bytes[34] ^= 0x40;
+        std::fs::write(&entry, &bytes).unwrap();
+
+        // The restarted server must detect the damage, quarantine the
+        // entry, and recompute — never serve the corrupted bytes.
+        let (addr, handle) = start(config());
+        let mut client = Client::connect(&addr).expect("connect");
+        let again = client.call_raw(&req, 0).unwrap();
+        assert_eq!(again, cold, "recomputed payload is byte-identical");
+        drop(client);
+        let stats = shut_down(&addr, handle);
+        assert!(
+            stats.cache_corrupt >= 1,
+            "the digest mismatch was counted on {reactor}"
+        );
+        assert_eq!(stats.cache_hit_disk, 0, "corrupt bytes are never a hit");
+        assert_eq!(stats.cache_miss, 1, "the entry recomputed");
+        let quarantined = std::fs::read_dir(dir.join("quarantine"))
+            .map(|entries| entries.count())
+            .unwrap_or(0);
+        assert!(
+            quarantined >= 1,
+            "the damaged file moved to quarantine/ for post-mortem"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// The first regular file under `dir`'s shard directories (skipping
+/// `quarantine/` and temp files) — the cache holds exactly one entry
+/// in the corruption test.
+fn find_cache_entry(dir: &std::path::Path) -> Option<PathBuf> {
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).ok()?.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n != "quarantine") {
+                    stack.push(path);
+                }
+            } else if path.extension().is_none_or(|e| e != "tmp") {
+                return Some(path);
+            }
+        }
+    }
+    None
 }
 
 #[test]

@@ -29,6 +29,13 @@
 #                         the warm pass must still hit >= 90%; then a
 #                         schema check of the new BENCH_serve.json
 #                         fields)
+#  12. chaos smoke       (chaoscamp --smoke on both backends: servers
+#                         killed at disk-tier fault-plan kill points
+#                         and disk entries corrupted offline; every
+#                         restart must serve byte-identical payloads,
+#                         quarantine the damage, and re-warm to full
+#                         hit rate; then a BENCH_chaos.json schema
+#                         check)
 #
 # Set CI_SLOW=1 to additionally run the #[ignore]d large
 # configurations (512x512 / 256x256 scale tests), the full-size
@@ -128,6 +135,22 @@ for field in p999_ms shed overload conns; do
   }
 done
 
+echo "==> chaos smoke (kill-point crashes + offline corruption, both backends)"
+# chaoscamp spawns its own adgen-serve per scenario, kills it at
+# fault-plan kill points, corrupts disk entries between runs, and
+# exits nonzero unless every restart serves byte-identical payloads,
+# re-enforces the disk bound, and quarantines every mutation.
+for backend in epoll threaded; do
+  echo "    --reactor $backend"
+  target/release/chaoscamp --smoke --reactor "$backend"
+done
+for field in scenarios classification corrupt_quarantined recovered failures; do
+  grep -q "\"$field\"" BENCH_chaos.json || {
+    echo "FAIL: BENCH_chaos.json is missing \"$field\"" >&2
+    exit 1
+  }
+done
+
 if [[ "${CI_SLOW:-0}" == "1" ]]; then
   echo "==> slow tier: ignored scale tests"
   cargo test --workspace --release -q -- --ignored
@@ -135,6 +158,8 @@ if [[ "${CI_SLOW:-0}" == "1" ]]; then
   cargo run --release -p adgen-bench --bin simbench -- --seed 2026
   echo "==> slow tier: 1000-connection overload run"
   target/release/loadgen --conns 1000 --overload
+  echo "==> slow tier: full chaos campaign (every kill site, every mutation)"
+  target/release/chaoscamp
 fi
 
 echo "==> CI OK"

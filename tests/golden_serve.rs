@@ -161,6 +161,10 @@ fn response_fixtures() -> Vec<(&'static str, Response)> {
                 coalesce_waiters: 13,
                 disk_evictions: 14,
                 reactor_wakeups: 15,
+                cache_corrupt: 16,
+                disk_write_errors: 17,
+                conn_malformed: 18,
+                conn_timed_out: 19,
             }),
         ),
         ("resp.shutting_down", Response::ShuttingDown),
@@ -194,6 +198,16 @@ fn response_fixtures() -> Vec<(&'static str, Response)> {
         (
             "resp.err.worker_panicked",
             Response::Error(ServeError::WorkerPanicked("dispatcher".to_string())),
+        ),
+        (
+            "resp.err.malformed_frame",
+            Response::Error(ServeError::MalformedFrame(
+                "frame length 99999999 exceeds cap 16777216".to_string(),
+            )),
+        ),
+        (
+            "resp.err.io_timeout",
+            Response::Error(ServeError::IoTimeout { idle_ms: 5000 }),
         ),
     ]
 }
@@ -273,4 +287,15 @@ fn fixtures_cover_every_tag() {
         (0..=6).collect::<Vec<u8>>(),
         "response tags 0..=6"
     );
+
+    // Error payloads carry a sub-tag in their second byte; the
+    // fixture list must cover every variant, contiguously from 0.
+    let mut err_tags: Vec<u8> = response_fixtures()
+        .iter()
+        .filter(|(_, r)| matches!(r, Response::Error(_)))
+        .map(|(_, r)| r.encode()[1])
+        .collect();
+    err_tags.sort_unstable();
+    err_tags.dedup();
+    assert_eq!(err_tags, (0..=8).collect::<Vec<u8>>(), "error tags 0..=8");
 }
