@@ -1,0 +1,441 @@
+//! Fitting arbitrary 1-D address sequences into affine parameters —
+//! the automatic replacement for the paper §5 hand-mapping step, for
+//! the programmable family.
+//!
+//! [`fit_sequence`] first searches for an **exact** two-level fit: it
+//! tries every divisor `n` of the sequence length as the inner-level
+//! emitted count (smallest first, so single-level programs win when
+//! they exist), fits the within-pass difference pattern and the
+//! pass-start difference pattern independently, and accepts a
+//! candidate only after replaying its closed-form stream against the
+//! input. If no divisor fits, it falls back to the longest affine
+//! **prefix** it can verify and returns the rest as the *residual* —
+//! the subsequence a hybrid generator must still produce with an FSM.
+//!
+//! Either way the invariant `affine part ++ residual == input` holds
+//! by construction: nothing unverified is ever returned.
+
+use crate::error::AffineError;
+use crate::spec::{AffineLevel, AffineSpec, MAX_CNT_WIDTH};
+
+/// Mapper input cap; keeps the divisor search and verification
+/// replays bounded.
+pub const MAX_MAP_LEN: usize = 1 << 16;
+
+/// The result of fitting a sequence: a verified spec, how much of the
+/// input it covers, and the residual tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineFit {
+    /// The fitted program. Its emitted stream reproduces
+    /// `input[..covered]` exactly.
+    pub spec: AffineSpec,
+    /// Number of input addresses the affine part covers (`>= 1`).
+    pub covered: usize,
+    /// `input[covered..]` — what still needs an FSM. Empty iff the
+    /// fit is exact.
+    pub residual: Vec<u32>,
+}
+
+impl AffineFit {
+    /// Whether the whole input was captured affinely.
+    pub fn is_exact(&self) -> bool {
+        self.residual.is_empty()
+    }
+
+    /// Replays the fit: affine stream truncated to `covered`, then
+    /// the residual. Equal to the mapper's input by construction.
+    pub fn reconstruct(&self) -> Vec<u32> {
+        let mut out = self.spec.emitted_stream();
+        out.truncate(self.covered);
+        out.extend_from_slice(&self.residual);
+        out
+    }
+}
+
+/// Shape of one fitted level, before widths are chosen.
+#[derive(Debug, Clone, Copy)]
+struct LevelShape {
+    iterations: u32,
+    period: u32,
+    duty: u32,
+    incr: u32,
+    shift: u32,
+}
+
+impl LevelShape {
+    fn unit() -> Self {
+        LevelShape {
+            iterations: 1,
+            period: 1,
+            duty: 1,
+            incr: 0,
+            shift: 0,
+        }
+    }
+
+    fn into_level(self, start: u32) -> AffineLevel {
+        AffineLevel {
+            start,
+            iterations: self.iterations,
+            period: self.period,
+            duty: self.duty,
+            shift: self.shift,
+            incr: self.incr,
+        }
+    }
+}
+
+fn bits_for(v: u32) -> u32 {
+    (32 - v.leading_zeros()).max(1)
+}
+
+fn mask_for(width: u32) -> u32 {
+    if width >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << width) - 1
+    }
+}
+
+/// Fits `m` consecutive values whose successive differences are
+/// `diffs` (so `diffs.len() == m - 1`) into one level emitting `m`
+/// addresses. The recognized patterns are: a single value, a constant
+/// ramp, and a two-valued periodic ramp (constant `incr` with a
+/// `shift` correction every `period` values).
+fn fit_level(diffs: &[u32], m: usize, mask: u32) -> Option<LevelShape> {
+    debug_assert_eq!(diffs.len() + 1, m);
+    if m == 1 {
+        return Some(LevelShape::unit());
+    }
+    let x = diffs[0];
+    match diffs.iter().position(|&d| d != x) {
+        None => Some(LevelShape {
+            iterations: 1,
+            period: m as u32,
+            duty: m as u32,
+            incr: x,
+            shift: 0,
+        }),
+        Some(j) => {
+            // First irregular diff at index j: candidate period j+1,
+            // boundary value y at every (i + 1) % period == 0.
+            let period = j + 1;
+            if period < 2 || !m.is_multiple_of(period) {
+                return None;
+            }
+            let y = diffs[period - 1];
+            for (i, &d) in diffs.iter().enumerate() {
+                let expected = if (i + 1) % period == 0 { y } else { x };
+                if d != expected {
+                    return None;
+                }
+            }
+            Some(LevelShape {
+                iterations: (m / period) as u32,
+                period: period as u32,
+                duty: period as u32,
+                incr: x,
+                shift: y.wrapping_sub(x) & mask,
+            })
+        }
+    }
+}
+
+fn is_unit(shape: &LevelShape) -> bool {
+    shape.iterations == 1 && shape.period == 1
+}
+
+/// Assembles a candidate spec from two fitted level shapes, sizing
+/// the registers to fit. Returns `None` when the counts need more
+/// than [`MAX_CNT_WIDTH`] bits. A program whose inner level is idle
+/// is normalized so the work sits on the inner (fast) level.
+fn assemble(
+    start: u32,
+    mut inner: LevelShape,
+    mut outer: LevelShape,
+    addr_width: u32,
+) -> Option<AffineSpec> {
+    if is_unit(&inner) && !is_unit(&outer) {
+        std::mem::swap(&mut inner, &mut outer);
+    }
+    let max_count = inner
+        .iterations
+        .max(inner.period)
+        .max(outer.iterations)
+        .max(outer.period);
+    let cnt_width = bits_for(max_count);
+    if cnt_width > MAX_CNT_WIDTH {
+        return None;
+    }
+    let spec = AffineSpec {
+        addr_width,
+        cnt_width,
+        inner: inner.into_level(start),
+        outer: outer.into_level(0),
+    };
+    spec.validate().ok()?;
+    Some(spec)
+}
+
+/// Replay-verifies that `spec` reproduces `prefix` exactly.
+fn verifies(spec: &AffineSpec, prefix: &[u32]) -> bool {
+    let stream = spec.emitted_stream();
+    stream.len() >= prefix.len() && stream[..prefix.len()] == *prefix
+}
+
+/// Fits `seq` into a two-level affine program, exactly when a
+/// verified exact fit exists, otherwise as the longest verified
+/// prefix plus the residual tail.
+///
+/// # Errors
+///
+/// Returns [`AffineError::EmptySequence`] on an empty input and
+/// [`AffineError::SequenceTooLong`] above [`MAX_MAP_LEN`].
+pub fn fit_sequence(seq: &[u32]) -> Result<AffineFit, AffineError> {
+    if seq.is_empty() {
+        return Err(AffineError::EmptySequence);
+    }
+    if seq.len() > MAX_MAP_LEN {
+        return Err(AffineError::SequenceTooLong {
+            len: seq.len(),
+            max: MAX_MAP_LEN,
+        });
+    }
+    let max_addr = seq.iter().copied().max().unwrap_or(0);
+    let addr_width = bits_for(max_addr);
+    let mask = mask_for(addr_width);
+    let len = seq.len();
+
+    if len == 1 {
+        let spec = assemble(seq[0], LevelShape::unit(), LevelShape::unit(), addr_width)
+            .expect("unit spec always assembles");
+        return Ok(AffineFit {
+            spec,
+            covered: 1,
+            residual: Vec::new(),
+        });
+    }
+
+    let diffs: Vec<u32> = seq
+        .windows(2)
+        .map(|w| w[1].wrapping_sub(w[0]) & mask)
+        .collect();
+
+    // Exact fit: inner emitted count n must divide the length; the
+    // within-pass diff pattern must repeat across all passes; the
+    // pass-start diffs must fit a level of their own.
+    for n in 1..=len {
+        if !len.is_multiple_of(n) {
+            continue;
+        }
+        let passes = len / n;
+        let inner_pattern = &diffs[..n - 1];
+        let pattern_repeats =
+            (1..passes).all(|k| (0..n - 1).all(|j| diffs[k * n + j] == inner_pattern[j]));
+        if !pattern_repeats {
+            continue;
+        }
+        let Some(inner) = fit_level(inner_pattern, n, mask) else {
+            continue;
+        };
+        let starts: Vec<u32> = (0..passes).map(|k| seq[k * n]).collect();
+        let start_diffs: Vec<u32> = starts
+            .windows(2)
+            .map(|w| w[1].wrapping_sub(w[0]) & mask)
+            .collect();
+        let Some(outer) = fit_level(&start_diffs, passes, mask) else {
+            continue;
+        };
+        let Some(spec) = assemble(seq[0], inner, outer, addr_width) else {
+            continue;
+        };
+        if verifies(&spec, seq) {
+            return Ok(AffineFit {
+                spec,
+                covered: len,
+                residual: Vec::new(),
+            });
+        }
+    }
+
+    // Prefix fit: take the run up to the first diff irregularity as
+    // the pass shape, extend across as many pattern-identical passes
+    // as the pass-start diffs allow, verify, and return the rest as
+    // residual.
+    let first_irregular = diffs
+        .iter()
+        .position(|&d| d != diffs[0])
+        .expect("an all-regular diff sequence is caught by the n=1 exact fit");
+    let n0 = first_irregular + 1;
+    let inner_pattern = &diffs[..n0 - 1];
+    let mut passes = 1;
+    while (passes + 1) * n0 <= len
+        && (0..n0 - 1).all(|j| diffs[passes * n0 + j] == inner_pattern[j])
+    {
+        passes += 1;
+    }
+    let inner =
+        fit_level(inner_pattern, n0, mask).expect("a constant-diff run always fits one level");
+    let starts: Vec<u32> = (0..passes).map(|k| seq[k * n0]).collect();
+    for c in (1..=passes).rev() {
+        let start_diffs: Vec<u32> = starts[..c]
+            .windows(2)
+            .map(|w| w[1].wrapping_sub(w[0]) & mask)
+            .collect();
+        let Some(outer) = fit_level(&start_diffs, c, mask) else {
+            continue;
+        };
+        let Some(spec) = assemble(seq[0], inner, outer, addr_width) else {
+            continue;
+        };
+        let covered = c * n0;
+        if verifies(&spec, &seq[..covered]) {
+            return Ok(AffineFit {
+                spec,
+                covered,
+                residual: seq[covered..].to_vec(),
+            });
+        }
+    }
+
+    // Last resort: cover the first address alone. Always verifies.
+    let spec = assemble(seq[0], LevelShape::unit(), LevelShape::unit(), addr_width)
+        .expect("unit spec always assembles");
+    Ok(AffineFit {
+        spec,
+        covered: 1,
+        residual: seq[1..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adgen_exec::Prng;
+    use adgen_seq::{workloads, ArrayShape};
+
+    fn assert_exact(seq: &[u32]) -> AffineFit {
+        let fit = fit_sequence(seq).expect("fit");
+        assert!(
+            fit.is_exact(),
+            "expected exact fit, covered {}/{} (spec {:?})",
+            fit.covered,
+            seq.len(),
+            fit.spec
+        );
+        assert_eq!(fit.reconstruct(), seq, "reconstruction");
+        fit
+    }
+
+    #[test]
+    fn raster_fits_as_a_single_ramp() {
+        let seq = workloads::raster(ArrayShape::new(8, 8));
+        let fit = assert_exact(seq.as_slice());
+        assert_eq!(fit.spec.inner.incr, 1);
+        assert_eq!(fit.spec.outer, AffineLevel::unit());
+    }
+
+    #[test]
+    fn transpose_fits_two_levels() {
+        // 0 4 8 12 1 5 9 13 ... : inner stride 4, outer correction.
+        let seq = workloads::transpose_scan(ArrayShape::new(4, 4));
+        let fit = assert_exact(seq.as_slice());
+        assert!(fit.spec.inner.period > 1 || fit.spec.outer.period > 1);
+    }
+
+    #[test]
+    fn motion_estimation_read_fits_exactly() {
+        // The paper's Fig. 7 motion-estimation workload; the
+        // acceptance bar for this family.
+        let seq = workloads::motion_est_read(ArrayShape::new(8, 8), 2, 2, 0);
+        assert_exact(seq.as_slice());
+    }
+
+    #[test]
+    fn block_scan_fits_exactly() {
+        let seq = workloads::block_scan(ArrayShape::new(8, 8), 4, 4);
+        let fit = fit_sequence(seq.as_slice()).expect("fit");
+        assert_eq!(fit.reconstruct(), seq.as_slice());
+    }
+
+    #[test]
+    fn noise_tail_lands_in_the_residual() {
+        let mut seq = workloads::raster(ArrayShape::new(4, 4)).as_slice().to_vec();
+        seq.extend_from_slice(&[3, 17, 2]);
+        let fit = fit_sequence(&seq).expect("fit");
+        assert!(!fit.is_exact());
+        assert!(fit.covered >= 16, "the ramp prefix stays affine");
+        assert_eq!(fit.reconstruct(), seq);
+    }
+
+    #[test]
+    fn single_address_fits_trivially() {
+        let fit = fit_sequence(&[13]).expect("fit");
+        assert!(fit.is_exact());
+        assert_eq!(fit.spec.emitted_stream(), vec![13]);
+    }
+
+    #[test]
+    fn empty_and_oversized_inputs_are_rejected() {
+        assert_eq!(fit_sequence(&[]), Err(AffineError::EmptySequence));
+        let long = vec![0u32; MAX_MAP_LEN + 1];
+        assert!(matches!(
+            fit_sequence(&long),
+            Err(AffineError::SequenceTooLong { .. })
+        ));
+    }
+
+    /// The roundtrip property: for random valid specs, fitting the
+    /// emitted stream reconstructs it exactly — and fitting arbitrary
+    /// random sequences reconstructs them too (via the residual).
+    #[test]
+    fn property_fit_reconstructs_random_spec_streams() {
+        let mut rng = Prng::for_stream(0xaff1_4e57, 0);
+        for case in 0..60 {
+            let level = |rng: &mut Prng, mask: u32| AffineLevel {
+                start: (rng.next_u64() as u32) & mask,
+                iterations: 1 + (rng.next_u64() % 4) as u32,
+                period: 1 + (rng.next_u64() % 4) as u32,
+                duty: 0, // fixed below
+                shift: (rng.next_u64() as u32) & mask & 7,
+                incr: (rng.next_u64() as u32) & mask & 7,
+            };
+            let addr_width = 4 + (rng.next_u64() % 5) as u32;
+            let mask = mask_for(addr_width);
+            let mut inner = level(&mut rng, mask);
+            inner.duty = 1 + (rng.next_u64() % u64::from(inner.period)) as u32;
+            let mut outer = level(&mut rng, mask);
+            outer.duty = 1 + (rng.next_u64() % u64::from(outer.period)) as u32;
+            let spec = AffineSpec {
+                addr_width,
+                cnt_width: 4,
+                inner,
+                outer,
+            };
+            spec.validate()
+                .unwrap_or_else(|e| panic!("case {case}: {e}"));
+            let stream = spec.emitted_stream();
+            let fit = fit_sequence(&stream).expect("fit");
+            assert_eq!(fit.reconstruct(), stream, "case {case}: spec {spec:?}");
+        }
+    }
+
+    #[test]
+    fn property_fit_reconstructs_arbitrary_sequences() {
+        let mut rng = Prng::for_stream(0xaff1_4e58, 0);
+        for case in 0..80 {
+            let len = 1 + (rng.next_u64() % 40) as usize;
+            let seq: Vec<u32> = (0..len).map(|_| (rng.next_u64() % 97) as u32).collect();
+            let fit = fit_sequence(&seq).expect("fit");
+            assert!(fit.covered >= 1);
+            assert_eq!(fit.covered + fit.residual.len(), seq.len());
+            assert_eq!(fit.reconstruct(), seq, "case {case}");
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let seq = workloads::motion_est_read(ArrayShape::new(8, 8), 2, 2, 0);
+        assert_eq!(fit_sequence(seq.as_slice()), fit_sequence(seq.as_slice()));
+    }
+}

@@ -1,0 +1,518 @@
+//! The affine programming model: two chained levels, a closed-form
+//! reference stream, and a behavioural simulator.
+//!
+//! ## Semantics
+//!
+//! Each level is a nested-loop slot in the Versat `xaddrgen2` mold.
+//! A level with parameters `{start, iterations, period, duty, shift,
+//! incr}` runs `iterations` passes of `period` clock ticks each. On
+//! tick `t` of a pass (counting from level start across passes,
+//! `t = pass * period + p`), the level contributes the offset
+//!
+//! ```text
+//! off(t) = t * incr + pass * shift        (mod 2^addr_width)
+//! ```
+//!
+//! i.e. `incr` is added every tick and `shift` is an extra correction
+//! applied when a pass wraps. The tick is *emitted* (the memory is
+//! enabled) only while the within-pass position `p < duty`; ticks
+//! with `duty <= p < period` advance the offset silently.
+//!
+//! The two levels chain: the **inner** level runs through all of its
+//! ticks, and each time it completes a full program (all passes) the
+//! **outer** level advances by one tick. The presented address is
+//!
+//! ```text
+//! addr = inner.start + outer.start + off_inner + off_outer
+//! ```
+//!
+//! and the memory-enable is the AND of both levels' duty windows.
+//! After the outer level completes, everything wraps and the program
+//! repeats cyclically — the behaviour the rest of the workspace
+//! expects from an [`AddressGenerator`].
+
+use adgen_seq::AddressGenerator;
+
+use crate::error::AffineError;
+
+/// Widest supported address datapath.
+pub const MAX_ADDR_WIDTH: u32 = 32;
+
+/// Widest supported iteration/period/duty register.
+pub const MAX_CNT_WIDTH: u32 = 20;
+
+/// Upper bound on `program_ticks` a spec may describe; bounds every
+/// replay loop in the mapper, the fuzz oracle and the tests.
+pub const MAX_PROGRAM_TICKS: u64 = 1 << 22;
+
+/// One affine loop level.
+///
+/// `start`, `incr` and `shift` are `addr_width`-bit two's-complement
+/// values stored as raw masked `u32`s (a negative increment `d` is
+/// stored as `(2^addr_width + d) mod 2^addr_width`); `iterations`,
+/// `period` and `duty` are unsigned counts held in `cnt_width`-bit
+/// registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AffineLevel {
+    /// Base address contribution (the two levels' starts are summed).
+    pub start: u32,
+    /// Number of passes.
+    pub iterations: u32,
+    /// Clock ticks per pass.
+    pub period: u32,
+    /// Emitted ticks per pass; `1 <= duty <= period`.
+    pub duty: u32,
+    /// Extra offset applied when a pass wraps.
+    pub shift: u32,
+    /// Offset added every tick.
+    pub incr: u32,
+}
+
+impl AffineLevel {
+    /// A level that holds one value forever: one pass, one tick.
+    pub fn unit() -> Self {
+        AffineLevel {
+            start: 0,
+            iterations: 1,
+            period: 1,
+            duty: 1,
+            shift: 0,
+            incr: 0,
+        }
+    }
+
+    /// Clock ticks this level runs for (`iterations * period`).
+    pub fn ticks(&self) -> u64 {
+        u64::from(self.iterations) * u64::from(self.period)
+    }
+
+    /// Emitted (duty-window) ticks (`iterations * duty`).
+    pub fn emitted(&self) -> u64 {
+        u64::from(self.iterations) * u64::from(self.duty)
+    }
+}
+
+/// A complete two-level affine program plus its register widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AffineSpec {
+    /// Datapath width; addresses and offsets are mod `2^addr_width`.
+    pub addr_width: u32,
+    /// Width of the iteration/period/duty registers.
+    pub cnt_width: u32,
+    /// The inner (fast) level.
+    pub inner: AffineLevel,
+    /// The outer (slow) level; ticks once per completed inner program.
+    pub outer: AffineLevel,
+}
+
+impl AffineSpec {
+    /// The do-nothing program: both levels unit, presenting address 0
+    /// forever. Used as the neutral reset default when a circuit is
+    /// meant to be programmed over the chain.
+    pub fn trivial(addr_width: u32, cnt_width: u32) -> Self {
+        AffineSpec {
+            addr_width,
+            cnt_width,
+            inner: AffineLevel::unit(),
+            outer: AffineLevel::unit(),
+        }
+    }
+
+    /// The value mask for this spec's datapath.
+    pub fn mask(&self) -> u32 {
+        if self.addr_width >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.addr_width) - 1
+        }
+    }
+
+    fn cnt_limit(&self) -> u32 {
+        if self.cnt_width >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.cnt_width) - 1
+        }
+    }
+
+    /// Checks every structural constraint the hardware bakes in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffineError::InvalidSpec`] naming the violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), AffineError> {
+        let fail = |why: String| Err(AffineError::InvalidSpec(why));
+        if self.addr_width == 0 || self.addr_width > MAX_ADDR_WIDTH {
+            return fail(format!(
+                "addr_width {} outside 1..={MAX_ADDR_WIDTH}",
+                self.addr_width
+            ));
+        }
+        if self.cnt_width == 0 || self.cnt_width > MAX_CNT_WIDTH {
+            return fail(format!(
+                "cnt_width {} outside 1..={MAX_CNT_WIDTH}",
+                self.cnt_width
+            ));
+        }
+        let mask = self.mask();
+        let cnt_limit = self.cnt_limit();
+        for (tag, level) in [("inner", &self.inner), ("outer", &self.outer)] {
+            if level.iterations == 0 {
+                return fail(format!("{tag}.iterations must be >= 1"));
+            }
+            if level.period == 0 {
+                return fail(format!("{tag}.period must be >= 1"));
+            }
+            if level.duty == 0 || level.duty > level.period {
+                return fail(format!(
+                    "{tag}.duty {} outside 1..=period ({})",
+                    level.duty, level.period
+                ));
+            }
+            if level.iterations > cnt_limit || level.period > cnt_limit {
+                return fail(format!(
+                    "{tag} counts exceed the {}-bit count registers",
+                    self.cnt_width
+                ));
+            }
+            for (field, value) in [
+                ("start", level.start),
+                ("incr", level.incr),
+                ("shift", level.shift),
+            ] {
+                if value & !mask != 0 {
+                    return fail(format!(
+                        "{tag}.{field} {value:#x} exceeds the {}-bit datapath",
+                        self.addr_width
+                    ));
+                }
+            }
+        }
+        if self.program_ticks() > MAX_PROGRAM_TICKS {
+            return fail(format!(
+                "program of {} ticks exceeds the {MAX_PROGRAM_TICKS}-tick cap",
+                self.program_ticks()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Clock ticks in one full program (before it wraps).
+    pub fn program_ticks(&self) -> u64 {
+        self.inner.ticks() * self.outer.ticks()
+    }
+
+    /// Addresses emitted in one full program.
+    pub fn emitted_len(&self) -> usize {
+        (self.inner.emitted() * self.outer.emitted()) as usize
+    }
+
+    /// The closed-form reference stream: every emitted address of one
+    /// program, in order. This is the specification the behavioural
+    /// simulator, the gate-level circuit and the mapper are all
+    /// checked against.
+    pub fn emitted_stream(&self) -> Vec<u32> {
+        let mask = self.mask();
+        let base = self.inner.start.wrapping_add(self.outer.start) & mask;
+        let mut out = Vec::with_capacity(self.emitted_len());
+        for itb in 0..self.outer.iterations {
+            for pb in 0..self.outer.period {
+                if pb >= self.outer.duty {
+                    continue;
+                }
+                let tb = itb * self.outer.period + pb;
+                let off_b = tb
+                    .wrapping_mul(self.outer.incr)
+                    .wrapping_add(itb.wrapping_mul(self.outer.shift));
+                for ita in 0..self.inner.iterations {
+                    for pa in 0..self.inner.period {
+                        if pa >= self.inner.duty {
+                            continue;
+                        }
+                        let ta = ita * self.inner.period + pa;
+                        let off_a = ta
+                            .wrapping_mul(self.inner.incr)
+                            .wrapping_add(ita.wrapping_mul(self.inner.shift));
+                        out.push(base.wrapping_add(off_b).wrapping_add(off_a) & mask);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Cycle-accurate behavioural model of the affine AGU — the same
+/// state machine the gate-level elaboration implements, expressed
+/// over integers. Implements [`AddressGenerator`] by skipping
+/// non-emitted (duty-masked) ticks, so `collect_sequence` returns the
+/// emitted stream cyclically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineSimulator {
+    spec: AffineSpec,
+    /// Within-pass position of the inner level.
+    pa: u32,
+    /// Inner pass index.
+    ita: u32,
+    /// Within-pass position of the outer level.
+    pb: u32,
+    /// Outer pass index.
+    itb: u32,
+    /// Accumulated inner offset.
+    acc_a: u32,
+    /// Accumulated outer offset.
+    acc_b: u32,
+}
+
+impl AffineSimulator {
+    /// A simulator at reset for `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid specs (see [`AffineSpec::validate`]).
+    pub fn new(spec: AffineSpec) -> Result<Self, AffineError> {
+        spec.validate()?;
+        Ok(AffineSimulator {
+            spec,
+            pa: 0,
+            ita: 0,
+            pb: 0,
+            itb: 0,
+            acc_a: 0,
+            acc_b: 0,
+        })
+    }
+
+    /// The program being run.
+    pub fn spec(&self) -> &AffineSpec {
+        &self.spec
+    }
+
+    /// Whether the current tick is inside both duty windows (the
+    /// `mem_en` output of the circuit).
+    pub fn mem_en(&self) -> bool {
+        self.pa < self.spec.inner.duty && self.pb < self.spec.outer.duty
+    }
+
+    /// Whether the current tick is the last of the whole program (the
+    /// `done` output of the circuit).
+    pub fn done(&self) -> bool {
+        self.last_inner() && self.pass_end() && self.last_outer_period() && self.last_outer_pass()
+    }
+
+    /// The address presented this tick.
+    pub fn addr(&self) -> u32 {
+        let s = &self.spec;
+        s.inner
+            .start
+            .wrapping_add(s.outer.start)
+            .wrapping_add(self.acc_a)
+            .wrapping_add(self.acc_b)
+            & s.mask()
+    }
+
+    fn last_inner(&self) -> bool {
+        self.pa + 1 == self.spec.inner.period
+    }
+
+    fn pass_end(&self) -> bool {
+        self.last_inner() && self.ita + 1 == self.spec.inner.iterations
+    }
+
+    fn last_outer_period(&self) -> bool {
+        self.pb + 1 == self.spec.outer.period
+    }
+
+    fn last_outer_pass(&self) -> bool {
+        self.itb + 1 == self.spec.outer.iterations
+    }
+
+    /// Advances one clock tick (one `next` pulse at gate level),
+    /// whether or not the tick was emitted.
+    pub fn tick(&mut self) {
+        let s = self.spec;
+        let mask = s.mask();
+        let last_a = self.last_inner();
+        let pass_end = self.pass_end();
+        let last_b = self.last_outer_period();
+        let prog_end = pass_end && last_b && self.last_outer_pass();
+
+        let mut delta_a = s.inner.incr;
+        if last_a {
+            delta_a = delta_a.wrapping_add(s.inner.shift);
+        }
+        self.acc_a = if pass_end {
+            0
+        } else {
+            self.acc_a.wrapping_add(delta_a) & mask
+        };
+
+        if pass_end {
+            let mut delta_b = s.outer.incr;
+            if last_b {
+                delta_b = delta_b.wrapping_add(s.outer.shift);
+            }
+            self.acc_b = if prog_end {
+                0
+            } else {
+                self.acc_b.wrapping_add(delta_b) & mask
+            };
+            if last_b {
+                self.pb = 0;
+                self.itb = if self.last_outer_pass() {
+                    0
+                } else {
+                    self.itb + 1
+                };
+            } else {
+                self.pb += 1;
+            }
+        }
+
+        if last_a {
+            self.pa = 0;
+            self.ita = if self.ita + 1 == s.inner.iterations {
+                0
+            } else {
+                self.ita + 1
+            };
+        } else {
+            self.pa += 1;
+        }
+    }
+}
+
+impl AddressGenerator for AffineSimulator {
+    fn reset(&mut self) {
+        self.pa = 0;
+        self.ita = 0;
+        self.pb = 0;
+        self.itb = 0;
+        self.acc_a = 0;
+        self.acc_b = 0;
+    }
+
+    fn advance(&mut self) {
+        // At least one tick per program is emitted (duty >= 1 and
+        // position (0, 0) is inside both windows), so this loop is
+        // bounded by `program_ticks`, which `validate` caps.
+        self.tick();
+        while !self.mem_en() {
+            self.tick();
+        }
+    }
+
+    fn current(&self) -> u32 {
+        self.addr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raster_spec() -> AffineSpec {
+        // An 8-address ramp: one level, eight emitted ticks, +1 each.
+        AffineSpec {
+            addr_width: 3,
+            cnt_width: 4,
+            inner: AffineLevel {
+                start: 0,
+                iterations: 1,
+                period: 8,
+                duty: 8,
+                shift: 0,
+                incr: 1,
+            },
+            outer: AffineLevel::unit(),
+        }
+    }
+
+    #[test]
+    fn ramp_emits_incrementing_addresses() {
+        assert_eq!(raster_spec().emitted_stream(), (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn simulator_matches_closed_form_and_wraps() {
+        let spec = AffineSpec {
+            addr_width: 6,
+            cnt_width: 4,
+            inner: AffineLevel {
+                start: 3,
+                iterations: 3,
+                period: 4,
+                duty: 2,
+                shift: 5,
+                incr: 1,
+            },
+            outer: AffineLevel {
+                start: 1,
+                iterations: 2,
+                period: 3,
+                duty: 2,
+                shift: 60, // -4 mod 64
+                incr: 8,
+            },
+        };
+        let stream = spec.emitted_stream();
+        assert_eq!(stream.len(), spec.emitted_len());
+        let mut sim = AffineSimulator::new(spec).unwrap();
+        let twice = sim.collect_sequence(stream.len() * 2);
+        assert_eq!(&twice.as_slice()[..stream.len()], &stream[..]);
+        assert_eq!(
+            &twice.as_slice()[stream.len()..],
+            &stream[..],
+            "program wraps cyclically"
+        );
+    }
+
+    #[test]
+    fn duty_windows_mask_emission() {
+        // period 4 / duty 2: offsets still advance during the masked
+        // half, so emitted addresses jump by 3 across the gap.
+        let spec = AffineSpec {
+            addr_width: 5,
+            cnt_width: 3,
+            inner: AffineLevel {
+                start: 0,
+                iterations: 2,
+                period: 4,
+                duty: 2,
+                shift: 0,
+                incr: 1,
+            },
+            outer: AffineLevel::unit(),
+        };
+        assert_eq!(spec.emitted_stream(), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_shapes() {
+        let mut s = raster_spec();
+        s.inner.duty = 9;
+        assert!(matches!(s.validate(), Err(AffineError::InvalidSpec(_))));
+        let mut s = raster_spec();
+        s.inner.period = 0;
+        assert!(s.validate().is_err());
+        let mut s = raster_spec();
+        s.inner.start = 8; // 3-bit datapath
+        assert!(s.validate().is_err());
+        let mut s = raster_spec();
+        s.cnt_width = 3;
+        s.inner.period = 8; // needs 4 bits
+        assert!(s.validate().is_err());
+        assert!(raster_spec().validate().is_ok());
+    }
+
+    #[test]
+    fn done_marks_the_last_program_tick() {
+        let spec = raster_spec();
+        let mut sim = AffineSimulator::new(spec).unwrap();
+        for t in 0..16 {
+            assert_eq!(sim.done(), t % 8 == 7, "tick {t}");
+            sim.tick();
+        }
+    }
+}

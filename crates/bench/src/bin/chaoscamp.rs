@@ -45,7 +45,7 @@ use std::process::{Child, ChildStdout, Command, ExitCode, Stdio};
 use std::time::Duration;
 
 use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
-use adgen_serve::{Client, Request, Response, StatsSnapshot};
+use adgen_serve::{Client, Generator, Request, Response, StatsSnapshot};
 use adgen_synth::Encoding;
 
 /// Disk-cache byte bound every spawned server runs under.
@@ -270,6 +270,7 @@ fn workload(n: usize) -> Vec<Request> {
             encoding: Encoding::Binary,
             num_lines: 8,
             effort_steps: 0,
+            generator: Generator::Fsm,
         })
         .collect()
 }

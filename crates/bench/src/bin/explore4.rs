@@ -1,0 +1,237 @@
+//! `explore4` — the four-way generator shoot-out on the paper's
+//! workloads: specialized FSM vs SRAG vs CntAG vs the programmable
+//! affine AGU, priced under one cell library and one fault-universe
+//! recipe.
+//!
+//! For each workload the run produces one [`FourWayRow`] per
+//! architecture (delay, area, flip-flops, programming premium, fault
+//! coverage) and then gates on the affine family's correctness
+//! contract: [`verify_affine_bit_exact`] must reproduce the input
+//! stream bit-exactly — affine prefix plus residual — on all three
+//! simulation engines. A workload that fails the gate fails the run.
+//!
+//! ```text
+//! cargo run --release -p adgen-bench --bin explore4              # 8x8 workloads
+//! cargo run --release -p adgen-bench --bin explore4 -- --smoke   # 4x4, CI-sized
+//! cargo run --release -p adgen-bench --bin explore4 -- --jobs 4 --seed 7
+//! ```
+//!
+//! Campaign runs write `BENCH_explore.json` with one block per
+//! workload. Observability: `--trace FILE` and `--metrics` behave as
+//! in the other campaign bins (`DESIGN.md` §9).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
+
+use adgen_cntag::CntAgSpec;
+use adgen_explorer::{compare_four_way, verify_affine_bit_exact, FourWayComparison};
+use adgen_netlist::Library;
+use adgen_seq::{workloads, AddressSequence, ArrayShape};
+
+/// One workload's comparison plus the bit-exactness gate result.
+struct WorkloadResult {
+    name: &'static str,
+    comparison: FourWayComparison,
+    bit_exact: bool,
+}
+
+struct ExploreState {
+    shape: ArrayShape,
+    seed: u64,
+    seu_samples: usize,
+    workloads: Vec<WorkloadResult>,
+}
+
+fn main() -> ExitCode {
+    let mut jobs = 0usize;
+    let mut seed = 2026u64;
+    let mut smoke = false;
+    let (raw, obs_args) = take_obs_args(std::env::args().skip(1).collect());
+    let mut args = raw.into_iter();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--jobs" | "-j" => jobs = parse_or_die(&mut args, &a),
+            "--seed" => seed = parse_or_die(&mut args, &a),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!(
+                    "usage: explore4 [--smoke] [--jobs N] [--seed N] [--trace FILE] [--metrics]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let shape = if smoke {
+        ArrayShape::new(4, 4)
+    } else {
+        ArrayShape::new(8, 8)
+    };
+    let seu_samples = if smoke { 12 } else { 32 };
+    let lib = Library::vcl018();
+
+    // Fig. 7's motion-estimation kernel plus the two scan patterns
+    // the paper prices in Figs. 8–10.
+    let cases: Vec<(&'static str, AddressSequence, CntAgSpec)> = vec![
+        (
+            "motion_est",
+            workloads::motion_est_read(shape, 2, 2, 0),
+            CntAgSpec::motion_est(shape, 2, 2, 0),
+        ),
+        ("raster", workloads::raster(shape), CntAgSpec::raster(shape)),
+        (
+            "transpose",
+            workloads::transpose_scan(shape),
+            CntAgSpec::transpose(shape),
+        ),
+    ];
+
+    println!(
+        "explore4: {}x{} workloads, {} SEU samples, seed {}",
+        shape.width(),
+        shape.height(),
+        seu_samples,
+        seed
+    );
+
+    let mut sink = ObsJsonSink::new(
+        "BENCH_explore.json",
+        obs_args,
+        ExploreState {
+            shape,
+            seed,
+            seu_samples,
+            workloads: Vec::new(),
+        },
+        render_explore_json,
+    );
+
+    let mut gate_failed = false;
+    for (name, seq, program) in &cases {
+        let cycles = seq.len() as u32;
+        let comparison =
+            compare_four_way(seq, shape, program, &lib, cycles, seu_samples, seed, jobs)
+                .unwrap_or_else(|e| panic!("{name}: four-way comparison failed: {e}"));
+        let bit_exact = match verify_affine_bit_exact(seq) {
+            Ok(fit) => {
+                println!(
+                    "\n  {name}: affine fit covers {}/{} addresses ({} residual), \
+                     bit-exact on all three engines",
+                    fit.covered,
+                    seq.len(),
+                    fit.residual.len()
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("\n  {name}: AFFINE BIT-EXACTNESS GATE FAILED: {e}");
+                gate_failed = true;
+                false
+            }
+        };
+        for row in &comparison.rows {
+            println!(
+                "    {:<14} delay {:>8.1} ps  area {:>8.1}  ffs {:>3} (+{} prog)  \
+                 coverage {:>5.1}% ({} faults, {} silent)",
+                row.architecture.to_string(),
+                row.delay_ps,
+                row.area,
+                row.flip_flops,
+                row.program_flip_flops,
+                row.fault_coverage_pct,
+                row.faults,
+                row.silent_faults
+            );
+        }
+        sink.state().workloads.push(WorkloadResult {
+            name,
+            comparison,
+            bit_exact,
+        });
+    }
+
+    sink.finish();
+    if gate_failed {
+        eprintln!("FAIL: affine row is not bit-exact on every workload");
+        return ExitCode::FAILURE;
+    }
+    println!("\n  affine bit-exactness gate: passed on every workload");
+    ExitCode::SUCCESS
+}
+
+fn parse_or_die<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    let v = args.next().unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        std::process::exit(2);
+    });
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid {flag} value `{v}`");
+        std::process::exit(2);
+    })
+}
+
+/// Hand-rolled machine-readable record, one block per workload,
+/// mirroring `BENCH_fault.json`'s conventions (drop-guard flush,
+/// `"truncated"` marker, optional `"metrics"` tail).
+fn render_explore_json(state: &ExploreState, meta: &RunMeta) -> String {
+    let ExploreState {
+        shape,
+        seed,
+        seu_samples,
+        workloads,
+    } = state;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"shape\": \"{}x{}\",", shape.width(), shape.height());
+    let _ = writeln!(s, "  \"seed\": {seed},");
+    let _ = writeln!(s, "  \"seu_samples\": {seu_samples},");
+    if meta.truncated {
+        let _ = writeln!(s, "  \"truncated\": true,");
+    }
+    let _ = writeln!(s, "  \"workloads\": [");
+    for (i, w) in workloads.iter().enumerate() {
+        let comma = if i + 1 < workloads.len() { "," } else { "" };
+        let fit = &w.comparison.affine_fit;
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(
+            s,
+            "      \"affine_fit\": {{\"covered\": {}, \"residual\": {}, \"exact\": {}, \
+             \"bit_exact_three_engines\": {}}},",
+            fit.covered,
+            fit.residual.len(),
+            fit.is_exact(),
+            w.bit_exact
+        );
+        let _ = writeln!(s, "      \"rows\": [");
+        let rows = &w.comparison.rows;
+        for (j, r) in rows.iter().enumerate() {
+            let rcomma = if j + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{\"architecture\": \"{}\", \"delay_ps\": {:.2}, \"area\": {:.2}, \
+                 \"flip_flops\": {}, \"program_flip_flops\": {}, \"fault_coverage_pct\": {:.2}, \
+                 \"silent_faults\": {}, \"faults\": {}}}{rcomma}",
+                r.architecture,
+                r.delay_ps,
+                r.area,
+                r.flip_flops,
+                r.program_flip_flops,
+                r.fault_coverage_pct,
+                r.silent_faults,
+                r.faults
+            );
+        }
+        let _ = writeln!(s, "      ]");
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]{}", if meta.metrics.is_some() { "," } else { "" });
+    if let Some(metrics) = &meta.metrics {
+        let _ = writeln!(s, "  \"metrics\": {metrics}");
+    }
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -10,7 +10,10 @@
 //! * `srag-hardened` — the self-checking variant: one-hot checker,
 //!   `alarm` output, watchdog resync;
 //! * `cntag`         — the counter-plus-decoder baseline, whose
-//!   decoder structurally remaps every fault to *some* legal select.
+//!   decoder structurally remaps every fault to *some* legal select;
+//! * `affine`        — the programmable affine AGU fitted to the same
+//!   stream, under stuck-ats on its primary outputs plus SEUs over
+//!   every flip-flop (datapath *and* configuration chain).
 //!
 //! ```text
 //! cargo run --release -p adgen-bench --bin faultcamp              # 8x8 array
@@ -39,10 +42,11 @@ use std::process::ExitCode;
 
 use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
 
+use adgen_affine::{fit_sequence, AffineAgNetlist};
 use adgen_cntag::netlist::SELECT_LINE_LOAD_FF;
 use adgen_cntag::{CntAgNetlist, CntAgSpec};
 use adgen_core::composite::Srag2d;
-use adgen_explorer::compare_resilience;
+use adgen_explorer::{agu_fault_universe, compare_resilience};
 use adgen_fault::{
     classify, flip_flop_ids, replay, repro_line, run_campaign, sample_seus, CampaignReport,
     CampaignSpec, Classification, Fault,
@@ -174,6 +178,39 @@ fn main() -> ExitCode {
         report: cnt_report,
         area: AreaReport::of(&cntag.netlist, &lib).total(),
         delay_ps: cnt_timing.critical_path_ps(),
+    });
+
+    // The programmable family, fitted to the same stream. Its
+    // universe adds the configuration chain to the SEU target list —
+    // the resilience price of programmability is part of the result.
+    let fit = fit_sequence(seq.as_slice()).expect("paper workload fits affinely");
+    assert!(
+        fit.is_exact(),
+        "motion-est stream must fit without residual"
+    );
+    let affine = AffineAgNetlist::elaborate(&fit.spec).expect("fitted spec elaborates");
+    let aff_faults = agu_fault_universe(&affine.netlist, cycles, seu_samples, seed);
+    let aff_spec = CampaignSpec {
+        netlist: &affine.netlist,
+        cycles,
+        alarm_output: None,
+    };
+    let aff_report = run_campaign(&aff_spec, &aff_faults, jobs);
+    // Classification is a pure function of the fault universe: any
+    // divergence across worker counts is a scheduling bug, not a
+    // hardware property. Cheap to re-check here, where it guards the
+    // published JSON.
+    assert_eq!(
+        aff_report,
+        run_campaign(&aff_spec, &aff_faults, if jobs == 1 { 2 } else { 1 }),
+        "affine campaign classification must be jobs-invariant"
+    );
+    let aff_timing = TimingAnalysis::run(&affine.netlist, &lib).expect("affine AGU times");
+    sink.state().variants.push(VariantResult {
+        name: "affine",
+        report: aff_report,
+        area: AreaReport::of(&affine.netlist, &lib).total(),
+        delay_ps: aff_timing.critical_path_ps(),
     });
 
     println!();

@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
 use adgen_exec::Prng;
 use adgen_serve::{
-    serve, Client, ReactorKind, Request, Response, RetryPolicy, ServeConfig, ServeError,
+    serve, Client, Generator, ReactorKind, Request, Response, RetryPolicy, ServeConfig, ServeError,
     ServerHandle, StatsSnapshot,
 };
 use adgen_synth::Encoding;
@@ -484,6 +484,7 @@ fn overload_phase(addr: &str, conns: usize, seed: u64) -> OverloadRow {
                             // Unique effort budgets keep cache keys
                             // distinct even when two shuffles collide.
                             effort_steps: 100_000 + tag,
+                            generator: Generator::Fsm,
                         };
                         let t0 = Instant::now();
                         match client.call(&req, 0) {
@@ -583,11 +584,19 @@ fn request_mix(total: usize, seed: u64, smoke: bool) -> Vec<Request> {
                 // Half the synthesis load runs under a tiny espresso
                 // budget, exercising the truncated-result cache keys.
                 let effort_steps = if prng.next_range(2) == 0 { 0 } else { 64 };
+                // A quarter of the load takes the v4 affine pipeline,
+                // whose cache keys never alias the FSM entries.
+                let generator = if prng.next_range(4) == 0 {
+                    Generator::Affine
+                } else {
+                    Generator::Fsm
+                };
                 mix.push(Request::Synthesize {
                     sequence,
                     encoding,
                     num_lines: n,
                     effort_steps,
+                    generator,
                 });
             }
             // Full design-space exploration of a raster workload.

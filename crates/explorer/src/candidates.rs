@@ -1,5 +1,7 @@
 //! Candidate enumeration and evaluation for one address sequence.
 
+use adgen_affine::{fit_sequence, AffineAgNetlist};
+use adgen_cntag::netlist::decoder_delay_ps;
 use adgen_cntag::{
     component_delays, ArithAgNetlist, ArithAgSpec, CntAgNetlist, CntAgSpec, RomAgNetlist, RomAgSpec,
 };
@@ -28,6 +30,10 @@ pub enum Architecture {
     RomAg,
     /// Symbolic FSM synthesized with the given encoding (paper §3).
     SymbolicFsm(Encoding),
+    /// Runtime-programmable 2-deep affine AGU (Versat-style); pays a
+    /// programming-register premium and an FSM for any non-affine
+    /// residual, but needs no resynthesis per sequence.
+    Affine,
 }
 
 impl std::fmt::Display for Architecture {
@@ -39,6 +45,7 @@ impl std::fmt::Display for Architecture {
             Architecture::ArithAg => write!(f, "ArithAG"),
             Architecture::RomAg => write!(f, "RomAG"),
             Architecture::SymbolicFsm(e) => write!(f, "FSM({e:?})"),
+            Architecture::Affine => write!(f, "Affine"),
         }
     }
 }
@@ -115,8 +122,8 @@ pub fn evaluate(
 /// worker threads (`0` means all available cores). The result is
 /// identical to the serial evaluation: candidates and rejections both
 /// come back in the fixed family order (SRAG, MC-SRAG, CntAG,
-/// ArithAG, RomAG, then each requested FSM encoding) regardless of
-/// which thread finished first.
+/// ArithAG, RomAG, each requested FSM encoding, then Affine)
+/// regardless of which thread finished first.
 pub fn evaluate_jobs(
     sequence: &AddressSequence,
     shape: ArrayShape,
@@ -138,6 +145,7 @@ pub fn evaluate_jobs(
             .iter()
             .map(|&e| Architecture::SymbolicFsm(e)),
     );
+    families.push(Architecture::Affine);
 
     // One span (and one counter tick) per candidate architecture
     // enumerated — not per comparison — so a trace of an exploration
@@ -300,6 +308,54 @@ fn evaluate_family(
                     })
                 })
         }
+
+        // Programmable affine AGU plus an FSM for any residual; its
+        // binary address drives standalone row/column decoders, so the
+        // shape must split on powers of two like the other
+        // decoder-based families.
+        Architecture::Affine => {
+            if !(shape.width().is_power_of_two() && shape.height().is_power_of_two()) {
+                return Err("array dimensions are not powers of two".to_string());
+            }
+            let fit = fit_sequence(sequence.as_slice()).map_err(|e| e.to_string())?;
+            if fit.residual.len() > options.fsm_state_limit {
+                return Err(format!(
+                    "affine residual of {} addresses exceeds FSM synthesis limit {}",
+                    fit.residual.len(),
+                    options.fsm_state_limit
+                ));
+            }
+            let design = AffineAgNetlist::elaborate(&fit.spec).map_err(|e| e.to_string())?;
+            let t = TimingAnalysis::run(&design.netlist, library).map_err(|e| e.to_string())?;
+            let row_bits = shape.height().trailing_zeros() as usize;
+            let col_bits = shape.width().trailing_zeros() as usize;
+            let row_dec = decoder_delay_ps(row_bits, shape.height() as usize, library)
+                .map_err(|e| e.to_string())?;
+            let col_dec = decoder_delay_ps(col_bits, shape.width() as usize, library)
+                .map_err(|e| e.to_string())?;
+            let mut delay_ps = t.critical_path_ps() + row_dec.max(col_dec);
+            let mut area = AreaReport::of(&design.netlist, library).total();
+            let mut flip_flops = design.netlist.num_flip_flops();
+            if !fit.residual.is_empty() {
+                let bits = fit.spec.addr_width as usize;
+                let residual = Fsm::cyclic_sequence(&fit.residual)
+                    .and_then(|f| {
+                        f.synthesize(Encoding::Binary, OutputStyle::BinaryAddress { bits })
+                    })
+                    .map_err(|e| format!("residual FSM: {e}"))?;
+                let rt =
+                    TimingAnalysis::run(&residual.netlist, library).map_err(|e| e.to_string())?;
+                delay_ps = delay_ps.max(rt.critical_path_ps() + row_dec.max(col_dec));
+                area += AreaReport::of(&residual.netlist, library).total();
+                flip_flops += residual.netlist.num_flip_flops();
+            }
+            Ok(Candidate {
+                architecture: Architecture::Affine,
+                delay_ps,
+                area,
+                flip_flops,
+            })
+        }
     }
 }
 
@@ -326,7 +382,22 @@ mod tests {
         assert!(eval
             .candidate(Architecture::SymbolicFsm(Encoding::Binary))
             .is_some());
+        assert!(eval.candidate(Architecture::Affine).is_some());
         assert!(eval.rejected.is_empty());
+    }
+
+    #[test]
+    fn affine_pays_a_programming_premium_but_fits_motion_est() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(8, 8);
+        let seq = workloads::motion_est_read(shape, 2, 2, 0);
+        let eval = evaluate(&seq, shape, &lib, &EvaluateOptions::default());
+        let affine = eval.candidate(Architecture::Affine).expect("affine row");
+        // The programming chain alone is dozens of flip-flops — more
+        // state than the SRAG needs for this workload.
+        let srag = eval.candidate(Architecture::Srag).expect("srag row");
+        assert!(affine.flip_flops > srag.flip_flops);
+        assert!(affine.area > 0.0 && affine.delay_ps > 0.0);
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! The four-way architecture shoot-out: symbolic FSM, SRAG, CntAG
+//! and the programmable affine AGU implementing the *same* address
+//! sequence, measured on the same three axes — delay, area (with the
+//! affine programming-register premium split out) and fault
+//! resilience over a uniform output-stuck-at + SEU universe.
+//!
+//! The paper's Fig. 7 compares the dedicated architectures; the
+//! affine family buys runtime reprogrammability for a register-chain
+//! premium, and this module prices that trade explicitly. It also
+//! hosts [`verify_affine_bit_exact`], the acceptance gate that the
+//! affine row actually reproduces the input — affine part replayed at
+//! gate level on all three simulation engines, residual appended.
+
+use adgen_affine::{fit_sequence, AffineAgNetlist, AffineFit};
+use adgen_cntag::netlist::decoder_delay_ps;
+use adgen_cntag::{component_delays, CntAgNetlist, CntAgSpec};
+use adgen_core::composite::Srag2d;
+use adgen_fault::{flip_flop_ids, run_campaign, sample_seus, CampaignSpec, Fault};
+use adgen_netlist::{
+    AreaReport, EventSimulator, Library, Netlist, SimControl, Simulator, SlicedSimulator,
+    TimingAnalysis,
+};
+use adgen_seq::{AddressSequence, ArrayShape, Layout};
+use adgen_synth::{Encoding, Fsm, OutputStyle};
+
+use crate::candidates::Architecture;
+
+/// One architecture's measurements in the shoot-out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FourWayRow {
+    /// Which architecture this row measures.
+    pub architecture: Architecture,
+    /// Address-to-select delay, picoseconds: critical path plus the
+    /// standalone decoder stage for the binary-address families (FSM,
+    /// CntAG, affine); the SRAG drives its select lines directly.
+    pub delay_ps: f64,
+    /// Total area in cell units (affine includes the residual FSM).
+    pub area: f64,
+    /// Total flip-flop count.
+    pub flip_flops: usize,
+    /// Flip-flops spent purely on runtime programmability — the
+    /// affine configuration chain. Zero for the dedicated families.
+    pub program_flip_flops: usize,
+    /// Fault coverage (detected / non-benign, %) over this row's
+    /// universe.
+    pub fault_coverage_pct: f64,
+    /// Faults that corrupted state without reaching an output in the
+    /// window.
+    pub silent_faults: usize,
+    /// Universe size this row was measured against.
+    pub faults: usize,
+}
+
+/// The full shoot-out result, rows in fixed order: FSM, SRAG, CntAG,
+/// affine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FourWayComparison {
+    /// One row per architecture.
+    pub rows: Vec<FourWayRow>,
+    /// The affine fit the affine row was built from (spec, coverage,
+    /// residual).
+    pub affine_fit: AffineFit,
+}
+
+impl FourWayComparison {
+    /// The row for `architecture`, if present.
+    pub fn row(&self, architecture: Architecture) -> Option<&FourWayRow> {
+        self.rows.iter().find(|r| r.architecture == architecture)
+    }
+}
+
+/// The uniform fault universe every row is measured against:
+/// stuck-at-0/1 on each primary output plus `seu_samples`
+/// seed-reproducible SEUs over *all* of the design's flip-flops. The
+/// same logical recipe on every architecture keeps coverage figures
+/// comparable even though the concrete fault lists differ with the
+/// structure (a bigger design exposes more strike targets — that is
+/// part of the comparison, not a bias).
+pub fn agu_fault_universe(
+    netlist: &Netlist,
+    cycles: u32,
+    seu_samples: usize,
+    seed: u64,
+) -> Vec<Fault> {
+    let mut faults: Vec<Fault> = netlist
+        .outputs()
+        .iter()
+        .flat_map(|&net| {
+            [
+                Fault::StuckAt { net, value: false },
+                Fault::StuckAt { net, value: true },
+            ]
+        })
+        .collect();
+    let ffs = flip_flop_ids(netlist);
+    faults.extend(sample_seus(
+        &ffs,
+        cycles.saturating_sub(1).max(1),
+        seu_samples,
+        seed,
+    ));
+    faults
+}
+
+fn campaign_figures(
+    netlist: &Netlist,
+    cycles: u32,
+    seu_samples: usize,
+    seed: u64,
+    jobs: usize,
+) -> (f64, usize, usize) {
+    let faults = agu_fault_universe(netlist, cycles, seu_samples, seed);
+    let spec = CampaignSpec {
+        netlist,
+        cycles,
+        alarm_output: None,
+    };
+    let report = run_campaign(&spec, &faults, jobs);
+    (report.coverage_pct(), report.silent(), faults.len())
+}
+
+/// Runs the shoot-out for one sequence over a power-of-two `shape`:
+/// builds all four implementations, measures delay/area/flip-flops
+/// with the same accounting as [`crate::evaluate`], and runs the
+/// identical fault-universe recipe on each netlist (`cycles`
+/// observation window, `seu_samples` SEUs from `seed`, replays
+/// fanned over `jobs` workers — results are jobs-invariant).
+///
+/// The affine row's campaign runs on the programmable AGU itself
+/// (the architecture under comparison); its residual FSM, when one
+/// exists, is priced into area/delay but not struck.
+///
+/// # Errors
+///
+/// Returns a message if the shape is not power-of-two-sided, or any
+/// family fails to implement the sequence (the four-way comparison is
+/// only meaningful when all four rows exist).
+#[allow(clippy::too_many_arguments)]
+pub fn compare_four_way(
+    sequence: &AddressSequence,
+    shape: ArrayShape,
+    cntag_program: &CntAgSpec,
+    library: &Library,
+    cycles: u32,
+    seu_samples: usize,
+    seed: u64,
+    jobs: usize,
+) -> Result<FourWayComparison, String> {
+    if !(shape.width().is_power_of_two() && shape.height().is_power_of_two()) {
+        return Err("array dimensions are not powers of two".to_string());
+    }
+    let row_bits = shape.height().trailing_zeros() as usize;
+    let col_bits = shape.width().trailing_zeros() as usize;
+    let addr_bits = row_bits + col_bits;
+    let row_dec =
+        decoder_delay_ps(row_bits, shape.height() as usize, library).map_err(|e| e.to_string())?;
+    let col_dec =
+        decoder_delay_ps(col_bits, shape.width() as usize, library).map_err(|e| e.to_string())?;
+    let dec_ps = row_dec.max(col_dec);
+    let mut rows = Vec::with_capacity(4);
+
+    // Symbolic FSM: one machine emitting the full binary address,
+    // feeding the same standalone decoders as the other
+    // binary-address families.
+    let fsm = Fsm::cyclic_sequence(sequence.as_slice())
+        .and_then(|f| {
+            f.synthesize(
+                Encoding::Binary,
+                OutputStyle::BinaryAddress { bits: addr_bits },
+            )
+        })
+        .map_err(|e| format!("FSM: {e}"))?;
+    let fsm_t = TimingAnalysis::run(&fsm.netlist, library).map_err(|e| e.to_string())?;
+    let (cov, silent, faults) = campaign_figures(&fsm.netlist, cycles, seu_samples, seed, jobs);
+    rows.push(FourWayRow {
+        architecture: Architecture::SymbolicFsm(Encoding::Binary),
+        delay_ps: fsm_t.critical_path_ps() + dec_ps,
+        area: AreaReport::of(&fsm.netlist, library).total(),
+        flip_flops: fsm.netlist.num_flip_flops(),
+        program_flip_flops: 0,
+        fault_coverage_pct: cov,
+        silent_faults: silent,
+        faults,
+    });
+
+    // SRAG: the two-hot pair, select lines flip-flop-direct.
+    let srag = Srag2d::map(sequence, shape, Layout::RowMajor)
+        .and_then(|m| m.elaborate())
+        .map_err(|e| format!("SRAG: {e}"))?;
+    let srag_t = TimingAnalysis::run(&srag.netlist, library).map_err(|e| e.to_string())?;
+    let (cov, silent, faults) = campaign_figures(&srag.netlist, cycles, seu_samples, seed, jobs);
+    rows.push(FourWayRow {
+        architecture: Architecture::Srag,
+        delay_ps: srag_t.critical_path_ps(),
+        area: AreaReport::of(&srag.netlist, library).total(),
+        flip_flops: srag.netlist.num_flip_flops(),
+        program_flip_flops: 0,
+        fault_coverage_pct: cov,
+        silent_faults: silent,
+        faults,
+    });
+
+    // CntAG: counter cascade + decoders, the paper's serial delay
+    // accounting.
+    let cntag = CntAgNetlist::elaborate(cntag_program).map_err(|e| format!("CntAG: {e}"))?;
+    let comps = component_delays(cntag_program, library).map_err(|e| e.to_string())?;
+    let (cov, silent, faults) = campaign_figures(&cntag.netlist, cycles, seu_samples, seed, jobs);
+    rows.push(FourWayRow {
+        architecture: Architecture::CntAg,
+        delay_ps: comps.total_ps(),
+        area: AreaReport::of(&cntag.netlist, library).total(),
+        flip_flops: cntag.netlist.num_flip_flops(),
+        program_flip_flops: 0,
+        fault_coverage_pct: cov,
+        silent_faults: silent,
+        faults,
+    });
+
+    // Affine: the programmable AGU plus an FSM for the residual.
+    let fit = fit_sequence(sequence.as_slice()).map_err(|e| format!("affine: {e}"))?;
+    let affine = AffineAgNetlist::elaborate(&fit.spec).map_err(|e| format!("affine: {e}"))?;
+    let affine_t = TimingAnalysis::run(&affine.netlist, library).map_err(|e| e.to_string())?;
+    let mut delay_ps = affine_t.critical_path_ps() + dec_ps;
+    let mut area = AreaReport::of(&affine.netlist, library).total();
+    let mut flip_flops = affine.netlist.num_flip_flops();
+    if !fit.residual.is_empty() {
+        let residual = Fsm::cyclic_sequence(&fit.residual)
+            .and_then(|f| {
+                f.synthesize(
+                    Encoding::Binary,
+                    OutputStyle::BinaryAddress {
+                        bits: fit.spec.addr_width as usize,
+                    },
+                )
+            })
+            .map_err(|e| format!("affine residual FSM: {e}"))?;
+        let rt = TimingAnalysis::run(&residual.netlist, library).map_err(|e| e.to_string())?;
+        delay_ps = delay_ps.max(rt.critical_path_ps() + dec_ps);
+        area += AreaReport::of(&residual.netlist, library).total();
+        flip_flops += residual.netlist.num_flip_flops();
+    }
+    let (cov, silent, faults) = campaign_figures(&affine.netlist, cycles, seu_samples, seed, jobs);
+    rows.push(FourWayRow {
+        architecture: Architecture::Affine,
+        delay_ps,
+        area,
+        flip_flops,
+        program_flip_flops: affine.config_bits(),
+        fault_coverage_pct: cov,
+        silent_faults: silent,
+        faults,
+    });
+
+    Ok(FourWayComparison {
+        rows,
+        affine_fit: fit,
+    })
+}
+
+/// Proves the affine row reproduces `sequence` bit-exactly: fits the
+/// sequence, checks the behavioural reconstruction (affine part plus
+/// residual), elaborates the AGU, and replays the affine part at gate
+/// level on all three simulation engines — levelized, event-driven
+/// and 64-lane bit-sliced. Returns the verified fit.
+///
+/// # Errors
+///
+/// Returns a message naming the engine (or the mapper) on the first
+/// divergence.
+pub fn verify_affine_bit_exact(sequence: &AddressSequence) -> Result<AffineFit, String> {
+    let fit = fit_sequence(sequence.as_slice()).map_err(|e| e.to_string())?;
+    if fit.reconstruct() != sequence.as_slice() {
+        return Err("mapper reconstruction diverged from the input".to_string());
+    }
+    let design = AffineAgNetlist::elaborate(&fit.spec).map_err(|e| e.to_string())?;
+    let expected = &sequence.as_slice()[..fit.covered];
+    let max_ticks = 2 * fit.spec.program_ticks() + 8;
+
+    let run = |sim: &mut dyn SimControl, engine: &str| -> Result<(), String> {
+        design.reset_sim(sim).map_err(|e| e.to_string())?;
+        let emitted = design
+            .collect_emitted(sim, fit.covered, max_ticks)
+            .map_err(|e| format!("{engine}: {e}"))?;
+        if emitted != expected {
+            return Err(format!("{engine}: gate-level stream diverged from input"));
+        }
+        Ok(())
+    };
+    let mut lev = Simulator::new(&design.netlist).map_err(|e| e.to_string())?;
+    run(&mut lev, "levelized")?;
+    let mut evt = EventSimulator::new(&design.netlist).map_err(|e| e.to_string())?;
+    run(&mut evt, "event-driven")?;
+    let mut sliced = SlicedSimulator::new(&design.netlist, 64).map_err(|e| e.to_string())?;
+    run(&mut sliced, "bit-sliced")?;
+    Ok(fit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adgen_seq::workloads;
+
+    #[test]
+    fn motion_est_four_way_has_all_rows_and_prices_the_premium() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(8, 8);
+        let seq = workloads::motion_est_read(shape, 2, 2, 0);
+        let program = CntAgSpec::motion_est(shape, 2, 2, 0);
+        let cmp =
+            compare_four_way(&seq, shape, &program, &lib, seq.len() as u32, 8, 2026, 2).unwrap();
+        assert_eq!(cmp.rows.len(), 4);
+        for row in &cmp.rows {
+            assert!(row.delay_ps > 0.0 && row.area > 0.0, "{}", row.architecture);
+            assert!(row.faults > 0, "{}", row.architecture);
+        }
+        // Only the affine family pays for programmability...
+        let affine = cmp.row(Architecture::Affine).unwrap();
+        assert!(affine.program_flip_flops > 0);
+        for arch in [
+            Architecture::SymbolicFsm(Encoding::Binary),
+            Architecture::Srag,
+            Architecture::CntAg,
+        ] {
+            assert_eq!(cmp.row(arch).unwrap().program_flip_flops, 0);
+        }
+        // ...and the Fig. 7 workload fits with no residual.
+        assert!(cmp.affine_fit.is_exact());
+    }
+
+    #[test]
+    fn four_way_rows_are_jobs_invariant() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(4, 4);
+        let seq = workloads::motion_est_read(shape, 2, 2, 0);
+        let program = CntAgSpec::motion_est(shape, 2, 2, 0);
+        let a = compare_four_way(&seq, shape, &program, &lib, 16, 6, 7, 1).unwrap();
+        let b = compare_four_way(&seq, shape, &program, &lib, 16, 6, 7, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn affine_is_bit_exact_on_all_three_engines() {
+        let shape = ArrayShape::new(8, 8);
+        for seq in [
+            workloads::motion_est_read(shape, 2, 2, 0),
+            workloads::raster(shape),
+            workloads::transpose_scan(shape),
+        ] {
+            let fit = verify_affine_bit_exact(&seq).unwrap();
+            assert_eq!(fit.covered + fit.residual.len(), seq.len());
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_shape_is_rejected() {
+        let lib = Library::vcl018();
+        let shape = ArrayShape::new(6, 6);
+        let seq = workloads::raster(shape);
+        let program = CntAgSpec::raster(ArrayShape::new(8, 8));
+        let err = compare_four_way(&seq, shape, &program, &lib, 8, 2, 1, 1).unwrap_err();
+        assert!(err.contains("powers of two"));
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod candidates;
 pub mod compare;
+pub mod four_way;
 pub mod pareto;
 pub mod report;
 pub mod resilience;
@@ -26,6 +27,9 @@ pub use candidates::{
 pub use compare::{
     compare_power, compare_srag_cntag, compare_srag_cntag_load_sweep, compare_srag_cntag_with_load,
     ComparisonRow, PowerComparisonRow,
+};
+pub use four_way::{
+    agu_fault_universe, compare_four_way, verify_affine_bit_exact, FourWayComparison, FourWayRow,
 };
 pub use pareto::{pareto_frontier, select, Constraint};
 pub use report::render_evaluation;

@@ -162,6 +162,17 @@ pub enum FuzzCase {
         /// hello, payload tail).
         garbage: Vec<u8>,
     },
+    /// Raw 1-D sequence → the affine mapper's fit, replayed through
+    /// the closed-form stream, the behavioural simulator, and the
+    /// gate-level AGU on all three simulation engines (including a
+    /// serial chain-programming run and a multi-lane sliced replay).
+    AffineVsReference {
+        /// The raw address sequence under test (the fit input).
+        seq: Vec<u32>,
+        /// Lane count of the sliced replay (`1..=128`, biased toward
+        /// word seams).
+        lanes: u32,
+    },
     /// Single injected fault on a hardened SRAG select ring → the
     /// one-hot checker must raise `alarm` within one ring period of
     /// the fault activating, or the fault must be proven benign by
@@ -195,6 +206,7 @@ impl FuzzCase {
             FuzzCase::Cosim { .. } => "cosim",
             FuzzCase::SlicedVsScalar { .. } => "sliced-vs-scalar",
             FuzzCase::FrameFuzz { .. } => "frame-fuzz",
+            FuzzCase::AffineVsReference { .. } => "affine-vs-reference",
             FuzzCase::FaultAlarm { .. } => "fault-alarm",
         }
     }
@@ -275,6 +287,9 @@ impl FuzzCase {
                     _ => "mid-frame-disconnect",
                 };
                 format!("{attack} at {backend}, {} garbage bytes", garbage.len())
+            }
+            FuzzCase::AffineVsReference { seq, lanes } => {
+                format!("sequence {seq:?} lanes={lanes}")
             }
             FuzzCase::FaultAlarm {
                 n,

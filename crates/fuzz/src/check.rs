@@ -12,11 +12,13 @@
 //! | `cosim` | ADDM + RAM co-simulation | replay-generator reference run |
 //! | `sliced-vs-scalar` | bit-sliced simulator (per-lane stimulus, forces, SEUs) | one scalar `Simulator` twin per lane + event-driven sim on the golden lane |
 //! | `fault-alarm` | hardened SRAG under an injected ring fault | one-period alarm deadline or bounded golden equivalence, levelized vs event-driven replay |
+//! | `affine-vs-reference` | `fit_sequence` + gate-level affine AGU (default-baked and chain-programmed) | closed-form `emitted_stream`, behavioural `AffineSimulator`, reconstruction invariant, lane-uniform sliced replay |
 //! | `frame-fuzz` | a live `adgen_serve` reactor fed adversarial framing | typed-error/clean-close contract, follow-up client liveness, `conn_malformed` / `conn_timed_out` counters |
 //!
 //! A check returns `Err(detail)` on the first divergence; the runner
 //! turns that into a shrunk counterexample and a reproduction line.
 
+use adgen_affine::{fit_sequence, AffineAgNetlist, AffineSimulator, AffineSpec, MAX_MAP_LEN};
 use adgen_cntag::{CntAgSimulator, CntAgSpec};
 use adgen_core::arch::{ControlStyle, ShiftRegisterSpec, SragSpec};
 use adgen_core::composite::{GateLevelGenerator, Srag2d};
@@ -91,6 +93,7 @@ pub fn check_case(case: &FuzzCase, break_mode: BreakMode) -> CheckResult {
             attack,
             garbage,
         } => check_frame_fuzz(*backend, *attack, garbage),
+        FuzzCase::AffineVsReference { seq, lanes } => check_affine_vs_reference(seq, *lanes),
         FuzzCase::FaultAlarm {
             n,
             dc,
@@ -962,6 +965,156 @@ fn read_error_reply(sock: &mut std::net::TcpStream, what: &str) -> Result<ServeE
     }
 }
 
+// ------------------------------------------------ affine vs reference
+
+/// The affine family's differential chain, weakest model to
+/// strongest: the mapper's fit must reconstruct its input exactly
+/// (affine prefix ++ residual), the closed-form stream and the
+/// behavioural simulator must agree (including cyclic wrap), and the
+/// gate-level AGU must replay the covered prefix on all three
+/// simulation engines — with the program both baked in as the reset
+/// default and shifted in serially over the configuration chain. The
+/// sliced replay broadcasts one stimulus to `lanes` lanes, so every
+/// lane must stay bit-identical to the golden lane at every tick;
+/// seam-biased lane counts make word-boundary masking bugs visible.
+fn check_affine_vs_reference(seq: &[u32], lanes: u32) -> CheckResult {
+    if seq.is_empty() || seq.len() > MAX_MAP_LEN {
+        // Outside the mapper's contract; the shrinker's empty
+        // candidates land here and are rejected as non-failing.
+        return Ok(());
+    }
+    let fit =
+        fit_sequence(seq).map_err(|e| format!("mapper rejected an in-contract sequence: {e}"))?;
+
+    // Layer 1: the reconstruction invariant the mapper promises.
+    if fit.covered == 0 || fit.covered + fit.residual.len() != seq.len() {
+        return Err(format!(
+            "fit splits {} addresses as covered={} + residual={}",
+            seq.len(),
+            fit.covered,
+            fit.residual.len()
+        ));
+    }
+    if fit.reconstruct() != seq {
+        return Err("fit.reconstruct() diverges from the input sequence".into());
+    }
+    let stream = fit.spec.emitted_stream();
+    if stream.len() < fit.covered || stream[..fit.covered] != seq[..fit.covered] {
+        return Err(format!(
+            "closed-form stream (len {}) does not reproduce the covered prefix (len {})",
+            stream.len(),
+            fit.covered
+        ));
+    }
+
+    // Layer 2: behavioural simulator vs the closed form, two full
+    // programs to also witness the cyclic wrap.
+    let mut bsim =
+        AffineSimulator::new(fit.spec).map_err(|e| format!("fit produced an invalid spec: {e}"))?;
+    let twice = bsim.collect_sequence(stream.len() * 2);
+    if twice.as_slice()[..stream.len()] != stream[..] {
+        return Err("behavioural simulator diverges from the closed-form stream".into());
+    }
+    if twice.as_slice()[stream.len()..] != stream[..] {
+        return Err("behavioural simulator does not wrap cyclically".into());
+    }
+
+    // Layer 3: gate level, fitted program baked in as the reset
+    // default, on the levelized and event-driven engines.
+    let agu = AffineAgNetlist::elaborate(&fit.spec)
+        .map_err(|e| format!("affine elaboration failed: {e}"))?;
+    let max_ticks = 2 * fit.spec.program_ticks() + 8;
+    let want = &seq[..fit.covered];
+    let mut scalar = Simulator::new(&agu.netlist).map_err(|e| format!("scalar sim: {e}"))?;
+    agu.reset_sim(&mut scalar)
+        .map_err(|e| format!("scalar reset: {e}"))?;
+    let got = agu
+        .collect_emitted(&mut scalar, fit.covered, max_ticks)
+        .map_err(|e| format!("scalar replay: {e}"))?;
+    if got != want {
+        return Err(format!(
+            "levelized gate replay diverges from the covered prefix: {got:?} vs {want:?}"
+        ));
+    }
+    let mut evt = EventSimulator::new(&agu.netlist).map_err(|e| format!("event sim: {e}"))?;
+    agu.reset_sim(&mut evt)
+        .map_err(|e| format!("event reset: {e}"))?;
+    let got = agu
+        .collect_emitted(&mut evt, fit.covered, max_ticks)
+        .map_err(|e| format!("event replay: {e}"))?;
+    if got != want {
+        return Err(format!(
+            "event-driven gate replay diverges from the covered prefix: {got:?} vs {want:?}"
+        ));
+    }
+
+    // Layer 4: a trivially-defaulted circuit of the same widths,
+    // programmed serially over the configuration chain, must behave
+    // identically to the baked-in one.
+    let blank = AffineAgNetlist::elaborate(&AffineSpec::trivial(
+        fit.spec.addr_width,
+        fit.spec.cnt_width,
+    ))
+    .map_err(|e| format!("blank elaboration failed: {e}"))?;
+    let mut prog = Simulator::new(&blank.netlist).map_err(|e| format!("chain sim: {e}"))?;
+    blank
+        .reset_sim(&mut prog)
+        .map_err(|e| format!("chain reset: {e}"))?;
+    blank
+        .program(&mut prog, &fit.spec)
+        .map_err(|e| format!("chain programming: {e}"))?;
+    let got = blank
+        .collect_emitted(&mut prog, fit.covered, max_ticks)
+        .map_err(|e| format!("chain replay: {e}"))?;
+    if got != want {
+        return Err(format!(
+            "chain-programmed replay diverges from the covered prefix: {got:?} vs {want:?}"
+        ));
+    }
+
+    // Layer 5: the sliced engine under a broadcast stimulus — every
+    // lane is the same machine, so any per-lane divergence is a
+    // word-seam masking bug in the simulator itself.
+    let lanes = lanes as usize;
+    let mut sliced =
+        SlicedSimulator::new(&agu.netlist, lanes).map_err(|e| format!("sliced sim: {e}"))?;
+    agu.reset_sim(&mut sliced)
+        .map_err(|e| format!("sliced reset: {e}"))?;
+    let mut got = Vec::with_capacity(fit.covered);
+    let mut ticks = 0u64;
+    while got.len() < fit.covered {
+        if ticks >= max_ticks {
+            return Err(format!(
+                "sliced replay emitted only {} of {} addresses in {max_ticks} ticks",
+                got.len(),
+                fit.covered
+            ));
+        }
+        sliced
+            .step_bools(&adgen_affine::netlist::tick_inputs())
+            .map_err(|e| format!("sliced step: {e}"))?;
+        ticks += 1;
+        let golden = sliced.output_values_lane(0);
+        for lane in 1..lanes {
+            if sliced.output_values_lane(lane) != golden {
+                return Err(format!(
+                    "sliced lane {lane} diverges from the golden lane at tick {ticks}"
+                ));
+            }
+        }
+        let view = agu.read_outputs(&golden);
+        if view.mem_en {
+            got.push(view.addr);
+        }
+    }
+    if got != want {
+        return Err(format!(
+            "sliced gate replay diverges from the covered prefix: {got:?} vs {want:?}"
+        ));
+    }
+    Ok(())
+}
+
 // ----------------------------------------------------------- fault alarm
 
 /// The self-checking contract of the hardened SRAG, per fault: an
@@ -1080,6 +1233,34 @@ mod tests {
                     backend,
                     attack,
                     garbage: vec![0xa5; 9],
+                };
+                if let Err(e) = check_case(&case, BreakMode::None) {
+                    panic!("{}: {e}", case.describe());
+                }
+            }
+        }
+    }
+
+    /// Deterministic anchors for the affine differential: an exactly
+    /// fittable raster, a strided scan, a residual-forcing tail, a
+    /// constant hold, and noise — each replayed across the word-seam
+    /// lane counts the generator favours.
+    #[test]
+    fn affine_vs_reference_holds_on_anchor_sequences() {
+        let sequences: Vec<Vec<u32>> = vec![
+            (0..16).collect(),               // raster ramp
+            (0..8).map(|i| i * 4).collect(), // strided scan
+            vec![0, 1, 2, 3, 9, 2, 7],       // affine prefix + residual
+            vec![5; 6],                      // constant hold
+            vec![3, 1, 4, 1, 5, 9, 2, 6],    // noise
+            vec![7],                         // single address
+            Vec::new(),                      // out of contract: must pass
+        ];
+        for seq in sequences {
+            for lanes in [1, 2, 63, 64, 65] {
+                let case = FuzzCase::AffineVsReference {
+                    seq: seq.clone(),
+                    lanes,
                 };
                 if let Err(e) = check_case(&case, BreakMode::None) {
                     panic!("{}: {e}", case.describe());

@@ -5,6 +5,7 @@
 //! byte-identical at any `--jobs`, and any single case can be
 //! regenerated from its `SEED`/`CASE` pair alone.
 
+use adgen_affine::{AffineLevel, AffineSpec};
 use adgen_core::arch::{ControlStyle, ShiftRegisterSpec, SragSpec};
 use adgen_core::sim::SragSimulator;
 use adgen_exec::Prng;
@@ -22,7 +23,8 @@ use crate::case::{FuzzCase, LitCode, WorkloadKind};
 pub fn generate_case(case_seed: u64) -> FuzzCase {
     let mut rng = Prng::new(case_seed);
     match rng.next_range(100) {
-        0..=27 => gen_mapper(&mut rng),
+        0..=21 => gen_mapper(&mut rng),
+        22..=27 => gen_affine(&mut rng),
         // Each frame-fuzz case boots a real server, so the family is
         // deliberately rare: ~2% of draws keeps a default run fast
         // while still hitting every attack shape across a few hundred
@@ -127,6 +129,69 @@ fn mutate_sequence(rng: &mut Prng, seq: &mut Vec<u32>) {
             seq.swap(at, b);
         }
     }
+}
+
+// ---------------------------------------------------------------- affine
+
+/// Affine sequences mix four strategies: the emitted stream of a
+/// random valid spec (exactly fittable by construction), a mutation
+/// of such a stream (usually forcing a residual split), an
+/// SRAG-realizable workload sequence, and raw noise. Lane counts for
+/// the sliced replay are seam-biased like the sliced-vs-scalar
+/// family.
+fn gen_affine(rng: &mut Prng) -> FuzzCase {
+    let seq = match rng.next_range(10) {
+        0..=3 => affine_stream_sequence(rng),
+        4..=5 => {
+            let mut s = affine_stream_sequence(rng);
+            mutate_sequence(rng, &mut s);
+            s
+        }
+        6..=7 => srag_realizable_sequence(rng),
+        8 => boundary_sequence(rng),
+        _ => noise_sequence(rng),
+    };
+    // Three quarters of the draws sit exactly on a word seam.
+    let lanes = if rng.next_range(4) < 3 {
+        LANE_SEAMS[rng.next_range(LANE_SEAMS.len() as u64) as usize]
+    } else {
+        rng.next_in(1, 129) as u32
+    };
+    FuzzCase::AffineVsReference { seq, lanes }
+}
+
+/// One random loop level with small counts (keeps the program and
+/// every gate-level replay short) and masked affine parameters.
+fn affine_level(rng: &mut Prng, mask: u32) -> AffineLevel {
+    let period = rng.next_in(1, 5) as u32;
+    AffineLevel {
+        start: rng.next_range(16) as u32 & mask,
+        iterations: rng.next_in(1, 4) as u32,
+        period,
+        duty: rng.next_in(1, u64::from(period) + 1) as u32,
+        shift: rng.next_range(8) as u32 & mask,
+        incr: rng.next_range(4) as u32 & mask,
+    }
+}
+
+/// The emitted stream of a random valid two-level spec — a sequence
+/// the mapper can always capture exactly (though possibly with a
+/// different, equivalent program).
+fn affine_stream_sequence(rng: &mut Prng) -> Vec<u32> {
+    let addr_width = rng.next_in(3, 9) as u32;
+    let mask = (1u32 << addr_width) - 1;
+    let spec = AffineSpec {
+        addr_width,
+        cnt_width: 4,
+        inner: affine_level(rng, mask),
+        outer: if rng.one_in(3) {
+            AffineLevel::unit()
+        } else {
+            affine_level(rng, mask)
+        },
+    };
+    debug_assert!(spec.validate().is_ok());
+    spec.emitted_stream()
 }
 
 /// One adversarial wire exchange: a uniformly-drawn backend/attack

@@ -362,6 +362,28 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
             }
             out
         }
+        FuzzCase::AffineVsReference { seq, lanes } => {
+            let mut out: Vec<FuzzCase> = sequence_candidates(seq)
+                .into_iter()
+                .map(|seq| FuzzCase::AffineVsReference { seq, lanes: *lanes })
+                .collect();
+            // Fewer lanes (halving, then the word seam).
+            if *lanes > 1 {
+                for l in [1, lanes / 2, lanes - 1] {
+                    out.push(FuzzCase::AffineVsReference {
+                        seq: seq.clone(),
+                        lanes: l,
+                    });
+                }
+            }
+            if *lanes > 64 {
+                out.push(FuzzCase::AffineVsReference {
+                    seq: seq.clone(),
+                    lanes: 64,
+                });
+            }
+            out
+        }
         FuzzCase::FaultAlarm {
             n,
             dc,

@@ -41,7 +41,7 @@ pub use client::{Client, ClientError, RetryPolicy};
 pub use error::ServeError;
 pub use faults::{FaultKind, FaultPlan};
 pub use protocol::{
-    MapOutcome, Request, Response, StatsSnapshot, SynthReport, MAGIC, PROTOCOL_VERSION,
+    Generator, MapOutcome, Request, Response, StatsSnapshot, SynthReport, MAGIC, PROTOCOL_VERSION,
 };
 pub use reactor::{ReactorKind, ResolvedReactor};
 pub use server::{serve, ServeConfig, ServeStats, ServerHandle, MAX_SEQUENCE_LEN};

@@ -46,8 +46,12 @@ pub const MAGIC: [u8; 4] = *b"ADGS";
 /// snapshot with shedding/coalescing/eviction counters and added the
 /// `WorkerPanicked` error kind. v3 added the `MalformedFrame` and
 /// `IoTimeout` error kinds and the corruption/write-error/connection-
-/// hygiene stats counters.
-pub const PROTOCOL_VERSION: u16 = 3;
+/// hygiene stats counters. v4 added the trailing [`Generator`] byte
+/// to `Synthesize`, selecting the dedicated-FSM pipeline or the
+/// programmable affine AGU; the canonical bytes differ between the
+/// two, so the same sequence never aliases across generators in the
+/// result cache.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Upper bound on a frame payload, bytes. Anything larger is a
 /// protocol violation (the biggest legitimate payload — an `Explore`
@@ -372,6 +376,33 @@ impl<'a> Dec<'a> {
 // Requests
 // ---------------------------------------------------------------
 
+/// Which synthesis pipeline a [`Request::Synthesize`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Generator {
+    /// The dedicated symbolic-FSM pipeline (espresso + techmap);
+    /// the v3 behaviour and the v4 default.
+    #[default]
+    Fsm,
+    /// The runtime-programmable affine AGU: sequence fitted to affine
+    /// parameters, any residual synthesized as a side FSM.
+    Affine,
+}
+
+fn generator_tag(g: Generator) -> u8 {
+    match g {
+        Generator::Fsm => 0,
+        Generator::Affine => 1,
+    }
+}
+
+fn generator_from_tag(tag: u8) -> Result<Generator, WireError> {
+    match tag {
+        0 => Ok(Generator::Fsm),
+        1 => Ok(Generator::Affine),
+        other => Err(wire_err(format!("unknown generator tag {other}"))),
+    }
+}
+
 fn encoding_tag(e: Encoding) -> u8 {
     match e {
         Encoding::Binary => 0,
@@ -419,6 +450,10 @@ pub enum Request {
         /// synthesis default. Part of the cache key: truncated and
         /// full-effort results never alias.
         effort_steps: u64,
+        /// Which pipeline realizes the sequence. The affine pipeline
+        /// ignores `encoding` (its residual FSM is always binary) but
+        /// the field still participates in the canonical bytes.
+        generator: Generator,
     },
     /// Evaluate every architecture family on a workload and return
     /// the Pareto-optimal candidates.
@@ -455,12 +490,14 @@ impl Request {
                 encoding,
                 num_lines,
                 effort_steps,
+                generator,
             } => {
                 e.u8(2);
                 e.u32s(sequence);
                 e.u8(encoding_tag(*encoding));
                 e.u32(*num_lines);
                 e.u64(*effort_steps);
+                e.u8(generator_tag(*generator));
             }
             Request::Explore {
                 sequence,
@@ -503,6 +540,7 @@ impl Request {
                 encoding: encoding_from_tag(d.u8()?)?,
                 num_lines: d.u32()?,
                 effort_steps: d.u64()?,
+                generator: generator_from_tag(d.u8()?)?,
             }),
             3 => Ok(Request::Explore {
                 sequence: d.u32s()?,
@@ -919,6 +957,14 @@ mod tests {
                 encoding: Encoding::Gray,
                 num_lines: 4,
                 effort_steps: 5000,
+                generator: Generator::Fsm,
+            },
+            Request::Synthesize {
+                sequence: vec![0, 1, 2, 3],
+                encoding: Encoding::Binary,
+                num_lines: 4,
+                effort_steps: 0,
+                generator: Generator::Affine,
             },
             Request::Explore {
                 sequence: vec![0, 1, 2, 3],
@@ -1014,6 +1060,23 @@ mod tests {
     }
 
     #[test]
+    fn generators_never_alias_in_the_canonical_bytes() {
+        // Cache-key separation: the same sequence synthesized through
+        // the FSM and affine pipelines must be distinct requests.
+        let make = |generator| Request::Synthesize {
+            sequence: vec![0, 1, 2, 3],
+            encoding: Encoding::Binary,
+            num_lines: 4,
+            effort_steps: 0,
+            generator,
+        };
+        assert_ne!(
+            make(Generator::Fsm).encode(),
+            make(Generator::Affine).encode()
+        );
+    }
+
+    #[test]
     fn request_frames_carry_the_deadline_outside_the_canonical_bytes() {
         let req = Request::MapSequence {
             sequence: vec![1, 2, 3],
@@ -1036,6 +1099,7 @@ mod tests {
             encoding: Encoding::Binary,
             num_lines: 2,
             effort_steps: 0,
+            generator: Generator::Fsm,
         }
         .encode();
         assert!(Request::decode(&bytes[..bytes.len() - 1]).is_err());

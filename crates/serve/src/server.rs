@@ -56,6 +56,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use adgen_affine::{fit_sequence, AffineAgNetlist};
 use adgen_core::mapper::map_sequence;
 use adgen_exec::par_map;
 use adgen_explorer::{evaluate, pareto_frontier, EvaluateOptions};
@@ -654,6 +655,7 @@ fn execute(request: &Request, library: &Library) -> Response {
             encoding,
             num_lines,
             effort_steps,
+            generator: protocol::Generator::Fsm,
         } => {
             let _span = obs::span_arg("serve.exec.synthesize", sequence.len() as u64);
             let budget = if *effort_steps == 0 {
@@ -678,6 +680,14 @@ fn execute(request: &Request, library: &Library) -> Response {
                 },
                 Err(e) => Response::Error(ServeError::BadRequest(e.to_string())),
             }
+        }
+        Request::Synthesize {
+            sequence,
+            generator: protocol::Generator::Affine,
+            ..
+        } => {
+            let _span = obs::span_arg("serve.exec.synthesize.affine", sequence.len() as u64);
+            execute_affine_synthesize(sequence, library)
         }
         Request::Explore {
             sequence,
@@ -717,6 +727,53 @@ fn execute(request: &Request, library: &Library) -> Response {
     }
 }
 
+/// The affine arm of `Synthesize`: fits the sequence, elaborates the
+/// programmable AGU, and prices any residual as a side FSM — the same
+/// accounting the explorer's affine candidate uses. `truncated`
+/// propagates from the residual FSM's espresso run (always `false`
+/// for an exact fit).
+fn execute_affine_synthesize(sequence: &[u32], library: &Library) -> Response {
+    let fit = match fit_sequence(sequence) {
+        Ok(fit) => fit,
+        Err(e) => return Response::Error(ServeError::BadRequest(e.to_string())),
+    };
+    let design = match AffineAgNetlist::elaborate(&fit.spec) {
+        Ok(d) => d,
+        Err(e) => return Response::Error(ServeError::Internal(e.to_string())),
+    };
+    let timing = match TimingAnalysis::run(&design.netlist, library) {
+        Ok(t) => t,
+        Err(e) => return Response::Error(ServeError::Internal(e.to_string())),
+    };
+    let mut report = SynthReport {
+        area: AreaReport::of(&design.netlist, library).total(),
+        delay_ps: timing.critical_path_ps(),
+        flip_flops: design.netlist.num_flip_flops() as u32,
+        truncated: false,
+    };
+    if !fit.residual.is_empty() {
+        let style = OutputStyle::BinaryAddress {
+            bits: fit.spec.addr_width as usize,
+        };
+        let synth = Fsm::cyclic_sequence(&fit.residual).and_then(|f| {
+            f.synthesize_budgeted(Encoding::Binary, style, EffortBudget::synthesis_default())
+        });
+        let s = match synth {
+            Ok(s) => s,
+            Err(e) => return Response::Error(ServeError::BadRequest(e.to_string())),
+        };
+        let rt = match TimingAnalysis::run(&s.netlist, library) {
+            Ok(t) => t,
+            Err(e) => return Response::Error(ServeError::Internal(e.to_string())),
+        };
+        report.area += AreaReport::of(&s.netlist, library).total();
+        report.delay_ps = report.delay_ps.max(rt.critical_path_ps());
+        report.flip_flops += s.netlist.num_flip_flops() as u32;
+        report.truncated = s.truncated;
+    }
+    Response::Synthesized(report)
+}
+
 /// Validates a compute request before admission.
 fn validate(request: &Request) -> Result<(), ServeError> {
     let bad = |msg: String| Err(ServeError::BadRequest(msg));
@@ -736,6 +793,7 @@ fn validate(request: &Request) -> Result<(), ServeError> {
             sequence,
             encoding,
             num_lines,
+            generator,
             ..
         } => {
             if sequence.is_empty() {
@@ -747,7 +805,12 @@ fn validate(request: &Request) -> Result<(), ServeError> {
                     sequence.len()
                 ));
             }
-            if *encoding == Encoding::OneHot && sequence.len() > MAX_ONE_HOT_STATES {
+            // The one-hot code space only bounds the dedicated FSM;
+            // the affine pipeline's residual machine is always binary.
+            if *generator == protocol::Generator::Fsm
+                && *encoding == Encoding::OneHot
+                && sequence.len() > MAX_ONE_HOT_STATES
+            {
                 return bad(format!(
                     "one-hot encoding is limited to {MAX_ONE_HOT_STATES} states, got {}",
                     sequence.len()
@@ -861,8 +924,19 @@ mod tests {
             encoding: Encoding::OneHot,
             num_lines: 128,
             effort_steps: 0,
+            generator: protocol::Generator::Fsm,
         })
         .is_err());
+        // The one-hot cap is an FSM-pipeline limit; the affine
+        // pipeline ignores the encoding and admits the same length.
+        assert!(validate(&Request::Synthesize {
+            sequence: (0..100).collect(),
+            encoding: Encoding::OneHot,
+            num_lines: 128,
+            effort_steps: 0,
+            generator: protocol::Generator::Affine,
+        })
+        .is_ok());
         assert!(validate(&Request::Explore {
             sequence: vec![0, 1],
             width: 0,
@@ -906,6 +980,7 @@ mod tests {
             encoding: Encoding::Gray,
             num_lines: 4,
             effort_steps: 0,
+            generator: protocol::Generator::Fsm,
         };
         for ticket in 0..3 {
             shared

@@ -20,7 +20,7 @@ use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
 use adgen_serve::{
-    serve, Client, ClientError, MapOutcome, ReactorKind, Request, Response, ServeConfig,
+    serve, Client, ClientError, Generator, MapOutcome, ReactorKind, Request, Response, ServeConfig,
     ServeError, StatsSnapshot, PROTOCOL_VERSION,
 };
 use adgen_synth::Encoding;
@@ -79,6 +79,7 @@ fn mixed_requests() -> Vec<Request> {
             encoding: Encoding::Gray,
             num_lines: 4,
             effort_steps: 0,
+            generator: Generator::Fsm,
         },
         Request::Explore {
             sequence: (0..16).collect(),
@@ -227,6 +228,7 @@ fn repeats_hit_the_cache_and_effort_budgets_never_alias() {
             encoding: Encoding::Binary,
             num_lines: 6,
             effort_steps: 0,
+            generator: Generator::Fsm,
         };
         // The same sequence under a starvation budget: must be
         // computed (and cached) separately, never answered from the
@@ -236,6 +238,7 @@ fn repeats_hit_the_cache_and_effort_budgets_never_alias() {
             encoding: Encoding::Binary,
             num_lines: 6,
             effort_steps: 1,
+            generator: Generator::Fsm,
         };
 
         let cold_full = client.call_raw(&full, 0).unwrap();
@@ -265,6 +268,67 @@ fn repeats_hit_the_cache_and_effort_budgets_never_alias() {
         drop(client);
         shut_down(&addr, handle);
     }
+}
+
+#[test]
+fn affine_synthesis_over_the_wire_never_aliases_the_fsm_pipeline() {
+    // The v4 generator byte end-to-end: the same sequence synthesized
+    // through both pipelines on both backends. The reports must
+    // differ (the affine AGU carries its programming-register
+    // premium), the cache must key them separately (two misses, then
+    // two memory hits), and repeat payloads must be byte-identical.
+    let make = |generator| Request::Synthesize {
+        sequence: (0..16).collect(),
+        encoding: Encoding::Binary,
+        num_lines: 16,
+        effort_steps: 0,
+        generator,
+    };
+    let mut per_backend: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+    for reactor in backends() {
+        let (addr, handle) = start(test_config(reactor));
+        let mut client = Client::connect(&addr).expect("connect");
+
+        let cold_fsm = client.call_raw(&make(Generator::Fsm), 0).unwrap();
+        let cold_affine = client.call_raw(&make(Generator::Affine), 0).unwrap();
+        assert_ne!(
+            cold_fsm, cold_affine,
+            "the two pipelines report different implementations"
+        );
+        let affine_report = match Response::decode(&cold_affine).unwrap() {
+            Response::Synthesized(r) => r,
+            other => panic!("expected an affine synthesis report, got {other:?}"),
+        };
+        assert!(affine_report.area > 0.0 && affine_report.delay_ps > 0.0);
+        let fsm_report = match Response::decode(&cold_fsm).unwrap() {
+            Response::Synthesized(r) => r,
+            other => panic!("expected an FSM synthesis report, got {other:?}"),
+        };
+        // A 16-state ramp is cheap as a dedicated FSM; the
+        // programmable AGU pays its configuration chain in state.
+        assert!(affine_report.flip_flops > fsm_report.flip_flops);
+
+        let before = stats_of(&mut client);
+        let warm_fsm = client.call_raw(&make(Generator::Fsm), 0).unwrap();
+        let warm_affine = client.call_raw(&make(Generator::Affine), 0).unwrap();
+        let after = stats_of(&mut client);
+        assert_eq!(warm_fsm, cold_fsm);
+        assert_eq!(warm_affine, cold_affine);
+        assert_eq!(
+            after.cache_hit_mem - before.cache_hit_mem,
+            2,
+            "both generators cached under their own keys"
+        );
+        assert_eq!(after.cache_miss, 2, "one miss per generator, never shared");
+
+        drop(client);
+        shut_down(&addr, handle);
+        per_backend.push((cold_fsm, cold_affine));
+    }
+    assert_eq!(
+        per_backend[0], per_backend[1],
+        "backends agree byte-for-byte on both pipelines"
+    );
 }
 
 #[test]
@@ -368,6 +432,7 @@ fn an_expired_deadline_is_a_typed_error_and_the_result_is_still_cached() {
             encoding: Encoding::Binary,
             num_lines: 24,
             effort_steps: 0,
+            generator: Generator::Fsm,
         };
         match client.call(&req, 1).unwrap() {
             Response::Error(ServeError::Deadline { waited_ms: _ }) => {}
@@ -434,6 +499,7 @@ fn concurrent_identical_misses_coalesce_into_one_computation() {
                 encoding: Encoding::Gray,
                 num_lines: 4,
                 effort_steps: 0,
+                generator: Generator::Fsm,
             };
             let workers: Vec<_> = clients
                 .into_iter()

@@ -36,6 +36,13 @@
 #                         quarantine the damage, and re-warm to full
 #                         hit rate; then a BENCH_chaos.json schema
 #                         check)
+#  13. affine stage      (adgen-affine unit/property tests, an
+#                         affine-vs-reference differential fuzz smoke,
+#                         and explore4 --smoke: the four-way
+#                         FSM/SRAG/CntAG/affine comparison whose
+#                         bit-exactness gate must pass on every
+#                         workload; then a BENCH_explore.json schema
+#                         check)
 #
 # Set CI_SLOW=1 to additionally run the #[ignore]d large
 # configurations (512x512 / 256x256 scale tests), the full-size
@@ -147,6 +154,23 @@ done
 for field in scenarios classification corrupt_quarantined recovered failures; do
   grep -q "\"$field\"" BENCH_chaos.json || {
     echo "FAIL: BENCH_chaos.json is missing \"$field\"" >&2
+    exit 1
+  }
+done
+
+echo "==> affine: mapper property tests"
+cargo test --release -q -p adgen-affine
+
+echo "==> affine: affine-vs-reference differential fuzz smoke"
+# Seed 11 draws ~20 affine-vs-reference cases in 400; the family's
+# deterministic anchors also run as part of the adgen-fuzz unit tests.
+cargo run --release -p adgen-fuzz -- --iters 400 --seed 11
+
+echo "==> affine: four-way comparison smoke (bit-exactness gate)"
+target/release/explore4 --smoke --seed 2026
+for field in affine_fit bit_exact_three_engines program_flip_flops fault_coverage_pct; do
+  grep -q "\"$field\"" BENCH_explore.json || {
+    echo "FAIL: BENCH_explore.json is missing \"$field\"" >&2
     exit 1
   }
 done

@@ -45,6 +45,7 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
+//! | [`affine`] | `adgen-affine` | runtime-programmable 2-deep affine AGU: spec + behavioural model, sequence-to-parameter mapper with FSM residuals, structural elaboration |
 //! | [`netlist`] | `adgen-netlist` | netlist IR, `vcl018` library (+Liberty), STA, levelized & event-driven simulators, equivalence, power, VCD/Verilog/DOT |
 //! | [`synth`] | `adgen-synth` | espresso (+PLA), FSM synthesis, counters/rings/decoders/adders/ROMs |
 //! | [`seq`] | `adgen-seq` | sequences, regularity analysis, workloads, loop nests, trace I/O |
@@ -57,6 +58,7 @@
 //! | [`obs`] | `adgen-obs` | zero-dep observability: spans, typed counters, Chrome-trace and profile exporters |
 //! | [`serve`] | `adgen-serve` | batch compilation service: binary wire protocol, admission queue with deadlines, two-tier content-addressed result cache |
 
+pub use adgen_affine as affine;
 pub use adgen_cntag as cntag;
 pub use adgen_core as core;
 pub use adgen_exec as exec;
@@ -71,6 +73,7 @@ pub use adgen_synth as synth;
 
 /// The types most programs need, in one import.
 pub mod prelude {
+    pub use adgen_affine::{fit_sequence, AffineAgNetlist, AffineFit, AffineSimulator, AffineSpec};
     pub use adgen_cntag::{
         compile_loop_nest, ArithAgNetlist, ArithAgSimulator, ArithAgSpec, CntAgNetlist,
         CntAgSimulator, CntAgSpec,

@@ -23,7 +23,8 @@ use adgen::serve::protocol::{
     encode_request_frame, write_hello, write_hello_reply, CandidateRow, HANDSHAKE_REJECT_VERSION,
 };
 use adgen::serve::{
-    MapOutcome, Request, Response, ServeError, StatsSnapshot, SynthReport, PROTOCOL_VERSION,
+    Generator, MapOutcome, Request, Response, ServeError, StatsSnapshot, SynthReport,
+    PROTOCOL_VERSION,
 };
 use adgen::synth::Encoding;
 
@@ -79,6 +80,17 @@ fn request_fixtures() -> Vec<(&'static str, Request)> {
                 encoding: Encoding::Gray,
                 num_lines: 4,
                 effort_steps: 50_000_000,
+                generator: Generator::Fsm,
+            },
+        ),
+        (
+            "req.synthesize_affine",
+            Request::Synthesize {
+                sequence: vec![0, 2, 1, 3],
+                encoding: Encoding::Binary,
+                num_lines: 4,
+                effort_steps: 0,
+                generator: Generator::Affine,
             },
         ),
         (

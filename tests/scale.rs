@@ -59,6 +59,49 @@ fn full_period_verification_64x64() {
 }
 
 #[test]
+fn affine_64x64_fits_elaborates_and_replays() {
+    // Bounded twin of `affine_256x256_full_period_replay`.
+    let shape = ArrayShape::new(64, 64);
+    let seq = workloads::raster(shape);
+    let fit = fit_sequence(seq.as_slice()).unwrap();
+    assert!(fit.is_exact(), "a raster ramp is affine");
+    let design = AffineAgNetlist::elaborate(&fit.spec).unwrap();
+    let lib = Library::vcl018();
+    let t = TimingAnalysis::run(&design.netlist, &lib).unwrap();
+    let a = AreaReport::of(&design.netlist, &lib);
+    assert!(t.critical_path_ns() > 0.0);
+    assert!(a.total() > 500.0);
+    assert!(design.config_bits() > 0, "programming chain present");
+    // Spot-check the first 500 emitted addresses at gate level.
+    let max_ticks = 2 * fit.spec.program_ticks() + 8;
+    let mut sim = Simulator::new(&design.netlist).unwrap();
+    design.reset_sim(&mut sim).unwrap();
+    let got = design.collect_emitted(&mut sim, 500, max_ticks).unwrap();
+    assert_eq!(&got[..], &seq.as_slice()[..500]);
+}
+
+#[test]
+fn affine_64x64_chain_programming_replays() {
+    // Bounded twin of `affine_256x256_chain_programming_replays`:
+    // shift the fitted program into a blank (trivially-defaulted)
+    // circuit over the serial configuration chain, then replay.
+    let shape = ArrayShape::new(64, 64);
+    let seq = workloads::raster(shape);
+    let fit = fit_sequence(seq.as_slice()).unwrap();
+    let blank = AffineAgNetlist::elaborate(&AffineSpec::trivial(
+        fit.spec.addr_width,
+        fit.spec.cnt_width,
+    ))
+    .unwrap();
+    let mut sim = Simulator::new(&blank.netlist).unwrap();
+    blank.reset_sim(&mut sim).unwrap();
+    blank.program(&mut sim, &fit.spec).unwrap();
+    let max_ticks = 2 * fit.spec.program_ticks() + 8;
+    let got = blank.collect_emitted(&mut sim, 500, max_ticks).unwrap();
+    assert_eq!(&got[..], &seq.as_slice()[..500]);
+}
+
+#[test]
 #[ignore = "large configuration; run with --ignored"]
 fn srag_512x512_maps_elaborates_and_times() {
     let shape = ArrayShape::new(512, 512);
@@ -90,6 +133,48 @@ fn cntag_512x512_components() {
     let c = component_delays(&CntAgSpec::raster(shape), &lib).unwrap();
     assert!(c.row_decoder_ps > 0.0);
     assert!(c.total_ps() > c.counter_ps);
+}
+
+#[test]
+#[ignore = "large configuration; run with --ignored"]
+fn affine_256x256_full_period_replay() {
+    // One complete 65 536-access raster period through the fitted
+    // affine AGU, gate level.
+    let shape = ArrayShape::new(256, 256);
+    let seq = workloads::raster(shape);
+    let fit = fit_sequence(seq.as_slice()).unwrap();
+    assert!(fit.is_exact());
+    let design = AffineAgNetlist::elaborate(&fit.spec).unwrap();
+    let max_ticks = 2 * fit.spec.program_ticks() + 8;
+    let mut sim = Simulator::new(&design.netlist).unwrap();
+    design.reset_sim(&mut sim).unwrap();
+    let got = design
+        .collect_emitted(&mut sim, seq.len(), max_ticks)
+        .unwrap();
+    assert_eq!(&got[..], seq.as_slice());
+}
+
+#[test]
+#[ignore = "large configuration; run with --ignored"]
+fn affine_256x256_chain_programming_replays() {
+    // The full-size serial-programming path: a 256x256 raster program
+    // shifted into a blank circuit bit by bit, then one full period.
+    let shape = ArrayShape::new(256, 256);
+    let seq = workloads::raster(shape);
+    let fit = fit_sequence(seq.as_slice()).unwrap();
+    let blank = AffineAgNetlist::elaborate(&AffineSpec::trivial(
+        fit.spec.addr_width,
+        fit.spec.cnt_width,
+    ))
+    .unwrap();
+    let mut sim = Simulator::new(&blank.netlist).unwrap();
+    blank.reset_sim(&mut sim).unwrap();
+    blank.program(&mut sim, &fit.spec).unwrap();
+    let max_ticks = 2 * fit.spec.program_ticks() + 8;
+    let got = blank
+        .collect_emitted(&mut sim, seq.len(), max_ticks)
+        .unwrap();
+    assert_eq!(&got[..], seq.as_slice());
 }
 
 #[test]
