@@ -1,0 +1,245 @@
+//! Bank-mapping functions: how a flat address splits into a
+//! `(bank, local)` pair.
+//!
+//! Every map is a bijection between `0..capacity()` and the set of
+//! in-range `(bank, local)` pairs — [`split`](BankMap::split) and
+//! [`join`](BankMap::join) round-trip by construction, and the fuzz
+//! family re-checks the invariant on random addresses.
+
+use crate::error::BankError;
+
+/// A bank-mapping function over flat addresses.
+///
+/// The three shapes cover the classic design space: low-order
+/// interleaving (consecutive addresses rotate through the banks),
+/// high-order windowing (each bank owns one contiguous window — the
+/// natural map for SAGE-style parallel turbo windows), and an XOR
+/// fold of the two (a cheap hash that breaks up power-of-two strides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BankMap {
+    /// `bank = a % banks`, `local = a / banks`.
+    LowBits {
+        /// Number of banks (`>= 1`).
+        banks: u32,
+        /// Per-bank capacity; the map covers `banks * window`.
+        window: u32,
+    },
+    /// `bank = a / window`, `local = a % window`.
+    HighBits {
+        /// Number of banks (`>= 1`).
+        banks: u32,
+        /// Contiguous window owned by each bank.
+        window: u32,
+    },
+    /// `bank = (a ^ (a >> k)) & (banks - 1)`, `local = a >> k` with
+    /// `k = log2(banks)`; requires a power-of-two bank count.
+    XorFold {
+        /// Number of banks (a power of two `>= 1`).
+        banks: u32,
+        /// Per-bank capacity; the map covers `banks * window`.
+        window: u32,
+    },
+}
+
+impl BankMap {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero banks, zero windows, and a non-power-of-two bank
+    /// count for the XOR-fold map.
+    pub fn validate(&self) -> Result<(), BankError> {
+        let (banks, window) = (self.banks(), self.window());
+        if banks == 0 {
+            return Err(BankError::InvalidBankCount {
+                banks,
+                reason: "at least one bank is required",
+            });
+        }
+        if window == 0 {
+            return Err(BankError::InvalidBankCount {
+                banks,
+                reason: "per-bank window must be nonzero",
+            });
+        }
+        if matches!(self, BankMap::XorFold { .. }) && !banks.is_power_of_two() {
+            return Err(BankError::InvalidBankCount {
+                banks,
+                reason: "the XOR-fold map needs a power-of-two bank count",
+            });
+        }
+        if u64::from(banks) * u64::from(window) > u64::from(u32::MAX) {
+            return Err(BankError::InvalidBankCount {
+                banks,
+                reason: "banks * window overflows the address space",
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> u32 {
+        match *self {
+            BankMap::LowBits { banks, .. }
+            | BankMap::HighBits { banks, .. }
+            | BankMap::XorFold { banks, .. } => banks,
+        }
+    }
+
+    /// Per-bank capacity (local addresses run `0..window`).
+    pub fn window(&self) -> u32 {
+        match *self {
+            BankMap::LowBits { window, .. }
+            | BankMap::HighBits { window, .. }
+            | BankMap::XorFold { window, .. } => window,
+        }
+    }
+
+    /// Total addresses covered: `banks * window`.
+    pub fn capacity(&self) -> u32 {
+        self.banks() * self.window()
+    }
+
+    /// Splits a flat address into `(bank, local)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::AddressOutOfRange`] above
+    /// [`capacity`](Self::capacity).
+    pub fn split(&self, addr: u32) -> Result<(u32, u32), BankError> {
+        let capacity = self.capacity();
+        if addr >= capacity {
+            return Err(BankError::AddressOutOfRange { addr, capacity });
+        }
+        Ok(match *self {
+            BankMap::LowBits { banks, .. } => (addr % banks, addr / banks),
+            BankMap::HighBits { window, .. } => (addr / window, addr % window),
+            BankMap::XorFold { banks, .. } => {
+                let k = banks.trailing_zeros();
+                let local = addr >> k;
+                ((addr ^ local) & (banks - 1), local)
+            }
+        })
+    }
+
+    /// Rebuilds the flat address from `(bank, local)` — the inverse of
+    /// [`split`](Self::split).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankError::AddressOutOfRange`] when either index is
+    /// out of range.
+    pub fn join(&self, bank: u32, local: u32) -> Result<u32, BankError> {
+        if bank >= self.banks() {
+            return Err(BankError::AddressOutOfRange {
+                addr: bank,
+                capacity: self.banks(),
+            });
+        }
+        if local >= self.window() {
+            return Err(BankError::AddressOutOfRange {
+                addr: local,
+                capacity: self.window(),
+            });
+        }
+        Ok(match *self {
+            BankMap::LowBits { banks, .. } => local * banks + bank,
+            BankMap::HighBits { window, .. } => bank * window + local,
+            BankMap::XorFold { banks, .. } => {
+                let k = banks.trailing_zeros();
+                let low = (bank ^ local) & (banks - 1);
+                (local << k) | low
+            }
+        })
+    }
+
+    /// Short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BankMap::LowBits { .. } => "low-bits",
+            BankMap::HighBits { .. } => "high-bits",
+            BankMap::XorFold { .. } => "xor-fold",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_maps(banks: u32, window: u32) -> Vec<BankMap> {
+        vec![
+            BankMap::LowBits { banks, window },
+            BankMap::HighBits { banks, window },
+            BankMap::XorFold { banks, window },
+        ]
+    }
+
+    #[test]
+    fn split_join_round_trips_every_address() {
+        for map in all_maps(4, 16) {
+            map.validate().unwrap();
+            let mut seen = vec![false; map.capacity() as usize];
+            for a in 0..map.capacity() {
+                let (b, l) = map.split(a).unwrap();
+                assert!(b < map.banks() && l < map.window(), "{map:?} a={a}");
+                assert_eq!(map.join(b, l).unwrap(), a, "{map:?} a={a}");
+                // Bijective: no two addresses share a (bank, local).
+                let idx = (b * map.window() + l) as usize;
+                assert!(!seen[idx], "{map:?}: pair collision at a={a}");
+                seen[idx] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let map = BankMap::HighBits {
+            banks: 4,
+            window: 8,
+        };
+        assert!(matches!(
+            map.split(32),
+            Err(BankError::AddressOutOfRange {
+                addr: 32,
+                capacity: 32
+            })
+        ));
+        assert!(map.join(4, 0).is_err());
+        assert!(map.join(0, 8).is_err());
+    }
+
+    #[test]
+    fn xor_fold_requires_power_of_two_banks() {
+        let map = BankMap::XorFold {
+            banks: 3,
+            window: 8,
+        };
+        assert!(matches!(
+            map.validate(),
+            Err(BankError::InvalidBankCount { banks: 3, .. })
+        ));
+        assert!(BankMap::XorFold {
+            banks: 8,
+            window: 4
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        assert!(BankMap::LowBits {
+            banks: 0,
+            window: 4
+        }
+        .validate()
+        .is_err());
+        assert!(BankMap::LowBits {
+            banks: 4,
+            window: 0
+        }
+        .validate()
+        .is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! The interleaver workload family: permutation address streams of
+//! the kind turbo/LDPC decoders push through multi-bank memories.
+//!
+//! Every member produces a verified permutation of `0..n` as an
+//! [`AddressSequence`]; the pseudo-random member is seed-deterministic
+//! via [`adgen_exec::Prng`], so fuzz and bench runs reproduce from
+//! their printed seeds alone.
+
+use adgen_exec::Prng;
+use adgen_seq::AddressSequence;
+
+use crate::error::BankError;
+
+/// Interleaver length cap; keeps permutation generation and the
+/// downstream decompose/synthesis passes bounded.
+pub const MAX_INTERLEAVER_LEN: u32 = 1 << 16;
+
+/// One member of the interleaver workload family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interleaver {
+    /// Row-column (block) interleaver: write row-major into a
+    /// `rows x cols` rectangle, read column-major —
+    /// `pi(i) = (i % rows) * cols + i / rows`.
+    Block {
+        /// Rectangle height.
+        rows: u32,
+        /// Rectangle width.
+        cols: u32,
+    },
+    /// Quadratic permutation polynomial (turbo-style):
+    /// `pi(x) = (f1*x + f2*x^2) mod n`. For the power-of-two `n` used
+    /// here, odd `f1` and even `f2` guarantee a permutation.
+    Qpp {
+        /// Stream length (a power of two).
+        n: u32,
+        /// Linear coefficient (odd).
+        f1: u32,
+        /// Quadratic coefficient (even).
+        f2: u32,
+    },
+    /// Seed-deterministic pseudo-random permutation (Fisher–Yates
+    /// over [`Prng`]).
+    Random {
+        /// Stream length.
+        n: u32,
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+impl Interleaver {
+    /// A QPP whose per-window streams stay GF(2)-affine in the cycle
+    /// counter: `f1 = window/2 + 1`, `f2 = window` over `n`, with
+    /// `window = n / banks`. Under the high-bits map this choice is
+    /// contention-free across `banks` parallel windows *and* its
+    /// per-bank local streams decompose into counter bits plus a
+    /// single XOR fold — the configuration `bankcamp` prices.
+    ///
+    /// # Errors
+    ///
+    /// `n` and `banks` must be powers of two with `banks <= n` and
+    /// `window >= 4` (smaller windows degenerate to `f1 = window`,
+    /// which is even).
+    pub fn qpp_contention_free(n: u32, banks: u32) -> Result<Self, BankError> {
+        if !n.is_power_of_two() || !banks.is_power_of_two() || banks > n {
+            return Err(BankError::InvalidInterleaver(format!(
+                "contention-free QPP needs power-of-two n and banks with banks <= n \
+                 (got n={n}, banks={banks})"
+            )));
+        }
+        let window = n / banks;
+        if window < 4 {
+            return Err(BankError::InvalidInterleaver(format!(
+                "window {window} is too small for an odd f1 = window/2 + 1"
+            )));
+        }
+        Ok(Interleaver::Qpp {
+            n,
+            f1: window / 2 + 1,
+            f2: window,
+        })
+    }
+
+    /// Stream length.
+    pub fn len(&self) -> u32 {
+        match *self {
+            Interleaver::Block { rows, cols } => rows * cols,
+            Interleaver::Qpp { n, .. } | Interleaver::Random { n, .. } => n,
+        }
+    }
+
+    /// Whether the stream is empty (degenerate parameters).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Interleaver::Block { .. } => "block",
+            Interleaver::Qpp { .. } => "qpp",
+            Interleaver::Random { .. } => "random",
+        }
+    }
+
+    /// Generates the permutation stream and verifies it is one.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty or oversized lengths, a non-power-of-two QPP
+    /// modulus, QPP coefficients of the wrong parity, and (belt and
+    /// braces) any parameter set whose output fails the permutation
+    /// check.
+    pub fn permutation(&self) -> Result<AddressSequence, BankError> {
+        let n = self.len();
+        if n == 0 {
+            return Err(BankError::InvalidInterleaver(
+                "empty interleaver".to_string(),
+            ));
+        }
+        if n > MAX_INTERLEAVER_LEN {
+            return Err(BankError::InvalidInterleaver(format!(
+                "length {n} exceeds the cap of {MAX_INTERLEAVER_LEN}"
+            )));
+        }
+        let values: Vec<u32> = match *self {
+            Interleaver::Block { rows, cols } => {
+                (0..n).map(|i| (i % rows) * cols + i / rows).collect()
+            }
+            Interleaver::Qpp { n, f1, f2 } => {
+                if !n.is_power_of_two() {
+                    return Err(BankError::InvalidInterleaver(format!(
+                        "QPP modulus {n} is not a power of two"
+                    )));
+                }
+                if f1 % 2 == 0 || f2 % 2 == 1 {
+                    return Err(BankError::InvalidInterleaver(format!(
+                        "QPP needs odd f1 and even f2 (got f1={f1}, f2={f2})"
+                    )));
+                }
+                let m = u64::from(n);
+                (0..m)
+                    .map(|x| ((u64::from(f1) * x + u64::from(f2) * x % m * x) % m) as u32)
+                    .collect()
+            }
+            Interleaver::Random { n, seed } => {
+                let mut values: Vec<u32> = (0..n).collect();
+                Prng::for_stream(seed, u64::from(n)).shuffle(&mut values);
+                values
+            }
+        };
+        let mut seen = vec![false; n as usize];
+        for &v in &values {
+            if v >= n || seen[v as usize] {
+                return Err(BankError::InvalidInterleaver(format!(
+                    "{} parameters do not produce a permutation of 0..{n} (value {v})",
+                    self.label()
+                )));
+            }
+            seen[v as usize] = true;
+        }
+        Ok(AddressSequence::from_vec(values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_interleaver_is_the_transpose_permutation() {
+        let perm = Interleaver::Block { rows: 4, cols: 8 }
+            .permutation()
+            .unwrap();
+        assert_eq!(perm.len(), 32);
+        assert_eq!(&perm.as_slice()[..5], &[0, 8, 16, 24, 1]);
+    }
+
+    #[test]
+    fn qpp_parity_rules_enforced() {
+        assert!(Interleaver::Qpp {
+            n: 64,
+            f1: 8,
+            f2: 16
+        }
+        .permutation()
+        .is_err());
+        assert!(Interleaver::Qpp {
+            n: 64,
+            f1: 7,
+            f2: 15
+        }
+        .permutation()
+        .is_err());
+        assert!(Interleaver::Qpp {
+            n: 60,
+            f1: 7,
+            f2: 16
+        }
+        .permutation()
+        .is_err());
+        assert!(Interleaver::Qpp {
+            n: 64,
+            f1: 7,
+            f2: 16
+        }
+        .permutation()
+        .is_ok());
+    }
+
+    #[test]
+    fn contention_free_qpp_parameters() {
+        let i = Interleaver::qpp_contention_free(64, 4).unwrap();
+        assert_eq!(
+            i,
+            Interleaver::Qpp {
+                n: 64,
+                f1: 9,
+                f2: 16
+            }
+        );
+        i.permutation().unwrap();
+        let i = Interleaver::qpp_contention_free(256, 8).unwrap();
+        assert_eq!(
+            i,
+            Interleaver::Qpp {
+                n: 256,
+                f1: 17,
+                f2: 32
+            }
+        );
+        i.permutation().unwrap();
+        assert!(Interleaver::qpp_contention_free(60, 4).is_err());
+        assert!(Interleaver::qpp_contention_free(8, 4).is_err());
+    }
+
+    #[test]
+    fn random_interleaver_is_seed_deterministic() {
+        let a = Interleaver::Random { n: 128, seed: 7 }
+            .permutation()
+            .unwrap();
+        let b = Interleaver::Random { n: 128, seed: 7 }
+            .permutation()
+            .unwrap();
+        let c = Interleaver::Random { n: 128, seed: 8 }
+            .permutation()
+            .unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn degenerate_lengths_rejected() {
+        assert!(Interleaver::Block { rows: 0, cols: 8 }
+            .permutation()
+            .is_err());
+        assert!(Interleaver::Random { n: 0, seed: 1 }.permutation().is_err());
+        assert!(Interleaver::Random {
+            n: MAX_INTERLEAVER_LEN + 1,
+            seed: 1
+        }
+        .permutation()
+        .is_err());
+    }
+}

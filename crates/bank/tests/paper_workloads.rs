@@ -1,0 +1,123 @@
+//! Decompose-pass coverage on the paper's §5 workloads: the
+//! motion-estimation read stream, the raster scan and the transpose
+//! scan must all round-trip bit-exactly through [`Decomposition`],
+//! their component costs must respect the complexity ordering the
+//! pricing pass assumes, and the priced multi-bank plan must not
+//! depend on the worker count.
+
+use adgen_bank::{plan_banks, BitPlan, Decomposition};
+use adgen_netlist::Library;
+use adgen_seq::{workloads, ArrayShape};
+
+/// The three §5 address streams at the paper's 8x8 array size.
+fn paper_streams() -> Vec<(&'static str, Vec<u32>)> {
+    let shape = ArrayShape::new(8, 8);
+    vec![
+        (
+            "motion_est",
+            workloads::motion_est_read(shape, 2, 2, 0)
+                .as_slice()
+                .to_vec(),
+        ),
+        ("raster", workloads::raster(shape).as_slice().to_vec()),
+        (
+            "transpose",
+            workloads::transpose_scan(shape).as_slice().to_vec(),
+        ),
+    ]
+}
+
+#[test]
+fn paper_workloads_round_trip_exactly() {
+    for (name, stream) in paper_streams() {
+        let d = Decomposition::of(&stream).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            d.reconstruct(),
+            stream,
+            "{name}: decomposition must reconstruct the §5 stream bit-exactly"
+        );
+        assert_eq!(
+            d.linear_bits() + d.residue_bits(),
+            d.addr_bits,
+            "{name}: every address bit is either linear or residue"
+        );
+    }
+}
+
+#[test]
+fn raster_scan_is_fully_linear() {
+    // The raster stream is a plain counter: every bit must come out
+    // as a counter bit, leaving nothing for the residue FSM.
+    let stream = workloads::raster(ArrayShape::new(8, 8)).as_slice().to_vec();
+    let d = Decomposition::of(&stream).unwrap();
+    assert!(d.is_fully_linear(), "raster bits: {:?}", d.plans);
+    assert_eq!(d.residue_states(), 0);
+}
+
+#[test]
+fn component_cost_is_monotone_on_paper_streams() {
+    for (name, stream) in paper_streams() {
+        let d = Decomposition::of(&stream).unwrap();
+        // The pricing pass assumes the complexity ordering
+        // constant <= counter bit <= fold <= residue; check it on the
+        // exact components this stream produced.
+        let cost_of = |class: u8| -> Vec<u32> {
+            d.plans
+                .iter()
+                .filter(|p| {
+                    matches!(
+                        (class, p),
+                        (0, BitPlan::Constant { .. })
+                            | (1, BitPlan::CounterBit { .. })
+                            | (2, BitPlan::XorFold { .. })
+                            | (3, BitPlan::Residue { .. })
+                    )
+                })
+                .map(|p| d.component_cost(p))
+                .collect()
+        };
+        let (constants, counters, folds, residues) =
+            (cost_of(0), cost_of(1), cost_of(2), cost_of(3));
+        let max0 = constants.iter().max().copied().unwrap_or(0);
+        let min1 = counters.iter().min().copied().unwrap_or(u32::MAX);
+        let max1 = counters.iter().max().copied().unwrap_or(0);
+        let min2 = folds.iter().min().copied().unwrap_or(u32::MAX);
+        let max2 = folds.iter().max().copied().unwrap_or(0);
+        let min3 = residues.iter().min().copied().unwrap_or(u32::MAX);
+        assert!(max0 <= min1 && max1 <= min2, "{name}: linear ordering");
+        assert!(max2 <= min3, "{name}: residue dominates folds");
+        // A fold's cost grows with its term count.
+        let narrow = d.component_cost(&BitPlan::XorFold {
+            terms: vec![0],
+            invert: false,
+        });
+        let wide = d.component_cost(&BitPlan::XorFold {
+            terms: vec![0, 1, 2],
+            invert: false,
+        });
+        assert!(narrow < wide, "{name}: fold cost is monotone in terms");
+    }
+}
+
+#[test]
+fn priced_plan_is_jobs_invariant_on_paper_streams() {
+    // One lane per §5 workload at the 4x4 smoke size (keeps the
+    // monolithic FSM synthesis small), priced serially and in
+    // parallel: the plan is a pure function of the streams.
+    let shape = ArrayShape::new(4, 4);
+    let lanes: Vec<Vec<u32>> = vec![
+        workloads::raster(shape).as_slice().to_vec(),
+        workloads::transpose_scan(shape).as_slice().to_vec(),
+        workloads::fifo(shape).as_slice().to_vec(),
+    ];
+    let lib = Library::vcl018();
+    let serial = plan_banks(&lanes, &lib, 1).unwrap();
+    for jobs in [0, 2, 3] {
+        assert_eq!(
+            plan_banks(&lanes, &lib, jobs).unwrap(),
+            serial,
+            "jobs = {jobs}"
+        );
+    }
+    assert!(serial.banks.len() == 3 && serial.monolithic_area > 0.0);
+}

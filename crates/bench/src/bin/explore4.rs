@@ -24,11 +24,11 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
+use adgen_bench::Fig7Recipe;
 
-use adgen_cntag::CntAgSpec;
 use adgen_explorer::{compare_four_way, verify_affine_bit_exact, FourWayComparison};
 use adgen_netlist::Library;
-use adgen_seq::{workloads, AddressSequence, ArrayShape};
+use adgen_seq::ArrayShape;
 
 /// One workload's comparison plus the bit-exactness gate result.
 struct WorkloadResult {
@@ -65,29 +65,14 @@ fn main() -> ExitCode {
         }
     }
 
-    let shape = if smoke {
-        ArrayShape::new(4, 4)
-    } else {
-        ArrayShape::new(8, 8)
-    };
-    let seu_samples = if smoke { 12 } else { 32 };
+    let recipe = Fig7Recipe::new(smoke);
+    let shape = recipe.shape;
+    let seu_samples = recipe.explore_seu_samples();
     let lib = Library::vcl018();
 
     // Fig. 7's motion-estimation kernel plus the two scan patterns
     // the paper prices in Figs. 8–10.
-    let cases: Vec<(&'static str, AddressSequence, CntAgSpec)> = vec![
-        (
-            "motion_est",
-            workloads::motion_est_read(shape, 2, 2, 0),
-            CntAgSpec::motion_est(shape, 2, 2, 0),
-        ),
-        ("raster", workloads::raster(shape), CntAgSpec::raster(shape)),
-        (
-            "transpose",
-            workloads::transpose_scan(shape),
-            CntAgSpec::transpose(shape),
-        ),
-    ];
+    let cases = recipe.explore_cases();
 
     println!(
         "explore4: {}x{} workloads, {} SEU samples, seed {}",

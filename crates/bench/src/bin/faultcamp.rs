@@ -41,18 +41,22 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
+use adgen_bench::Fig7Recipe;
 
 use adgen_affine::{fit_sequence, AffineAgNetlist};
+use adgen_bank::netlist::{reset_inputs, tick_inputs};
+use adgen_bank::{window_schedule, BankMap, Decomposition, FoldAgNetlist, Interleaver};
 use adgen_cntag::netlist::SELECT_LINE_LOAD_FF;
-use adgen_cntag::{CntAgNetlist, CntAgSpec};
+use adgen_cntag::CntAgNetlist;
 use adgen_core::composite::Srag2d;
+use adgen_exec::Prng;
 use adgen_explorer::{agu_fault_universe, compare_resilience};
 use adgen_fault::{
     classify, flip_flop_ids, replay, repro_line, run_campaign, sample_seus, CampaignReport,
     CampaignSpec, Classification, Fault,
 };
-use adgen_netlist::{AreaReport, Library, NetId, Netlist, TimingAnalysis};
-use adgen_seq::{workloads, ArrayShape, Layout};
+use adgen_netlist::{AreaReport, Library, NetId, Netlist, Simulator, TimingAnalysis};
+use adgen_seq::{ArrayShape, Layout};
 
 /// One row of the JSON report.
 struct VariantResult {
@@ -60,6 +64,20 @@ struct VariantResult {
     report: CampaignReport,
     area: f64,
     delay_ps: f64,
+}
+
+/// Single-bank SEU containment tally over the banked generator fleet.
+struct BankedContainment {
+    n: u32,
+    banks: u32,
+    window: u32,
+    trials: usize,
+    /// Trials where the upset bank's address stream diverged.
+    disturbed: usize,
+    /// Trials where every *other* bank stayed bit-exact to golden.
+    contained: usize,
+    /// Trials where a non-upset bank diverged — the gate failure.
+    breached: usize,
 }
 
 /// Everything `BENCH_fault.json` reports, accumulated per variant so
@@ -71,6 +89,7 @@ struct FaultState {
     seu_samples: usize,
     variants: Vec<VariantResult>,
     row: Option<adgen_explorer::ResilienceRow>,
+    banked: Option<BankedContainment>,
 }
 
 fn main() -> ExitCode {
@@ -105,14 +124,11 @@ fn main() -> ExitCode {
     // Fig. 7 configuration: block-matching motion estimation, 2x2
     // macroblocks. The smoke size keeps the full select-line
     // stuck-at list but on the 4x4 array.
-    let shape = if smoke {
-        ArrayShape::new(4, 4)
-    } else {
-        ArrayShape::new(8, 8)
-    };
-    let seq = workloads::motion_est_read(shape, 2, 2, 0);
-    let cycles = seq.len() as u32;
-    let seu_samples = if smoke { 16 } else { 48 };
+    let recipe = Fig7Recipe::new(smoke);
+    let shape = recipe.shape;
+    let seq = recipe.sequence();
+    let cycles = recipe.cycles();
+    let seu_samples = recipe.seu_samples;
     let lib = Library::vcl018();
 
     if let Some(token) = fault_token {
@@ -140,6 +156,7 @@ fn main() -> ExitCode {
             seu_samples,
             variants: Vec::new(),
             row: None,
+            banked: None,
         },
         render_fault_json,
     );
@@ -161,7 +178,7 @@ fn main() -> ExitCode {
     });
     sink.state().row = Some(row.clone());
 
-    let cntag = CntAgNetlist::elaborate(&CntAgSpec::motion_est(shape, 2, 2, 0))
+    let cntag = CntAgNetlist::elaborate(&recipe.cntag_program())
         .expect("paper workload elaborates as CntAG");
     let cnt_lines: Vec<NetId> = cntag
         .row_lines
@@ -213,6 +230,25 @@ fn main() -> ExitCode {
         delay_ps: aff_timing.critical_path_ps(),
     });
 
+    // The banked fleet: one decomposed generator per bank of the
+    // contention-free QPP configuration. Each trial upsets one
+    // flip-flop of bank 0 mid-replay; the other banks' generators
+    // must stay bit-exact — a single-bank SEU is contained by
+    // construction, and this campaign pins that down at gate level.
+    let banked = banked_containment(recipe.smoke, seu_samples, seed);
+    println!(
+        "\n  banked ({} banks x window {}): {} single-bank SEU trials, \
+         {} disturbed bank 0, {} contained, {} breached",
+        banked.banks,
+        banked.window,
+        banked.trials,
+        banked.disturbed,
+        banked.contained,
+        banked.breached
+    );
+    let banked_breached = banked.breached;
+    sink.state().banked = Some(banked);
+
     println!();
     for v in &sink.state().variants {
         println!("  {:<14} {}", v.name, v.report.summary());
@@ -238,8 +274,92 @@ fn main() -> ExitCode {
         eprintln!("FAIL: hardened SRAG self-detection incomplete: {summary}");
         return ExitCode::FAILURE;
     }
+    if banked_breached > 0 {
+        eprintln!("FAIL: {banked_breached} single-bank SEU trials leaked into another bank");
+        return ExitCode::FAILURE;
+    }
     println!("  hardened self-detection: complete");
+    println!("  banked SEU containment: complete");
     ExitCode::SUCCESS
+}
+
+/// Runs the single-bank SEU containment campaign on the
+/// contention-free QPP fleet (sized to match `bankcamp`): elaborates
+/// one decomposed fold generator per bank, replays all banks in
+/// lockstep, and for each trial upsets one sampled flip-flop of
+/// bank 0 at one sampled cycle.
+fn banked_containment(smoke: bool, trials: usize, seed: u64) -> BankedContainment {
+    let (n, banks) = if smoke { (64, 4) } else { (256, 8) };
+    let window = n / banks;
+    let map = BankMap::HighBits { banks, window };
+    let qpp = Interleaver::qpp_contention_free(n, banks).expect("bankcamp-sized QPP is valid");
+    let perm = qpp.permutation().expect("QPP permutes");
+    let schedule = window_schedule(&perm, &map, banks).expect("QPP schedules");
+    let streams = schedule
+        .bank_streams()
+        .expect("contention-free QPP is conflict-free");
+    let folds: Vec<FoldAgNetlist> = streams
+        .iter()
+        .map(|s| {
+            let d = Decomposition::of(s).expect("QPP local stream decomposes");
+            FoldAgNetlist::elaborate(&d).expect("QPP local stream is fully linear")
+        })
+        .collect();
+
+    // Golden replay, one stream per bank.
+    let golden: Vec<Vec<u32>> = folds
+        .iter()
+        .map(|f| {
+            let mut sim = Simulator::new(&f.netlist).expect("fold netlist simulates");
+            f.collect(&mut sim, window as usize).expect("golden replay")
+        })
+        .collect();
+
+    let ffs = flip_flop_ids(&folds[0].netlist);
+    let mut rng = Prng::for_stream(seed, 0xbac0);
+    let mut disturbed = 0usize;
+    let mut contained = 0usize;
+    let mut breached = 0usize;
+    for _ in 0..trials {
+        let ff = ffs[rng.next_range(ffs.len() as u64) as usize];
+        let upset_cycle = rng.next_range(u64::from(window)) as usize;
+        let mut bank0_diverged = false;
+        let mut others_diverged = false;
+        for (b, fold) in folds.iter().enumerate() {
+            let mut sim = Simulator::new(&fold.netlist).expect("fold netlist simulates");
+            sim.step_bools(&reset_inputs()).expect("reset");
+            for (cycle, want) in golden[b].iter().enumerate() {
+                if b == 0 && cycle == upset_cycle {
+                    sim.upset_flip_flop(ff);
+                }
+                sim.step_bools(&tick_inputs()).expect("tick");
+                if fold.read_addr(&sim.output_values()) != *want {
+                    if b == 0 {
+                        bank0_diverged = true;
+                    } else {
+                        others_diverged = true;
+                    }
+                }
+            }
+        }
+        if bank0_diverged {
+            disturbed += 1;
+        }
+        if others_diverged {
+            breached += 1;
+        } else {
+            contained += 1;
+        }
+    }
+    BankedContainment {
+        n,
+        banks,
+        window,
+        trials,
+        disturbed,
+        contained,
+        breached,
+    }
 }
 
 /// The CntAG side of the comparison, under the analogous universe:
@@ -348,6 +468,7 @@ fn render_fault_json(state: &FaultState, meta: &RunMeta) -> String {
         seu_samples,
         variants,
         row,
+        banked,
     } = state;
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -385,6 +506,20 @@ fn render_fault_json(state: &FaultState, meta: &RunMeta) -> String {
         );
     }
     let _ = writeln!(s, "  ],");
+    match banked {
+        Some(b) => {
+            let _ = writeln!(
+                s,
+                "  \"banked\": {{\"n\": {}, \"banks\": {}, \"window\": {}, \"trials\": {}, \
+                 \"disturbed\": {}, \"contained\": {}, \"breached\": {}}},",
+                b.n, b.banks, b.window, b.trials, b.disturbed, b.contained, b.breached
+            );
+        }
+        // Truncated before the banked campaign finished.
+        None => {
+            let _ = writeln!(s, "  \"banked\": null,");
+        }
+    }
     match row {
         Some(row) => {
             let _ = writeln!(

@@ -31,6 +31,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use adgen_bench::obs_cli::{take_obs_args, ObsJsonSink, RunMeta};
+use adgen_bench::Fig7Recipe;
 
 use adgen_core::composite::Srag2d;
 use adgen_explorer::ring_fault_universe;
@@ -38,7 +39,7 @@ use adgen_fault::{
     run_campaign, run_campaign_scalar, CampaignReport, CampaignSpec, SLICED_FAULT_LANES,
 };
 use adgen_netlist::NetId;
-use adgen_seq::{workloads, ArrayShape, Layout};
+use adgen_seq::{ArrayShape, Layout};
 
 /// Measured comparison for one design variant.
 struct VariantResult {
@@ -88,22 +89,18 @@ fn main() -> ExitCode {
             }
         }
     }
-    // The smoke run exists to gate classification agreement in CI, so
-    // one timed iteration is enough; the full run times best-of-3.
-    if iters == 0 {
-        iters = if smoke { 1 } else { 3 };
-    }
-
     // Fig. 7 configuration, matching `faultcamp`: block-matching
-    // motion estimation with 2x2 macroblocks.
-    let shape = if smoke {
-        ArrayShape::new(4, 4)
-    } else {
-        ArrayShape::new(8, 8)
-    };
-    let seq = workloads::motion_est_read(shape, 2, 2, 0);
-    let cycles = seq.len() as u32;
-    let seu_samples = if smoke { 16 } else { 48 };
+    // motion estimation with 2x2 macroblocks. The smoke run exists to
+    // gate classification agreement in CI, so one timed iteration is
+    // enough; the full run times best-of-3.
+    let recipe = Fig7Recipe::new(smoke);
+    if iters == 0 {
+        iters = recipe.simbench_iters();
+    }
+    let shape = recipe.shape;
+    let seq = recipe.sequence();
+    let cycles = recipe.cycles();
+    let seu_samples = recipe.seu_samples;
 
     println!(
         "simbench: motion_est {}x{} mb=2, {} cycles, {} SEU samples, seed {}, best of {}",

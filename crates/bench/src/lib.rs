@@ -5,8 +5,11 @@
 
 pub mod experiments;
 pub mod obs_cli;
+pub mod recipe;
 pub mod report;
 pub mod stopwatch;
+
+pub use recipe::Fig7Recipe;
 
 pub use experiments::{
     ablation, fig3_4, fig8_9_10, interconnect, power_study, sharing, synth_time, table3,

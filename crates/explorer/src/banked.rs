@@ -1,0 +1,138 @@
+//! The banked exploration axis: schedule an interleaver workload
+//! across B parallel banks, gate on conflict-freedom, and — only when
+//! the gate passes — price each bank's decomposed generator against a
+//! monolithic per-bank FSM.
+//!
+//! The conflict-free-schedule gate is structural, not advisory: a
+//! conflicted schedule has no well-defined per-bank stream (two lanes
+//! demand the same bank in one cycle), so [`BankedComparison::plan`]
+//! is `None` and only the conflict/stall accounting is reported.
+
+use adgen_bank::{
+    plan_banks, run_interleaved, window_schedule, BankError, BankMap, BankPlan, InterleavedRun,
+    Interleaver, Schedule,
+};
+use adgen_netlist::Library;
+
+/// Outcome of exploring one interleaver on one bank configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankedComparison {
+    /// The workload explored.
+    pub interleaver: Interleaver,
+    /// The bank-mapping function used.
+    pub map: BankMap,
+    /// Parallel consumers (one per bank in the standard setup).
+    pub lanes: u32,
+    /// Window schedule with conflict/stall accounting.
+    pub schedule: Schedule,
+    /// Cycle-level cosim over the banked ADDM (write linear, read
+    /// permuted, identity payload verified).
+    pub cosim: InterleavedRun,
+    /// Per-bank priced factorizations — `Some` iff the schedule is
+    /// conflict-free.
+    pub plan: Option<BankPlan>,
+}
+
+impl BankedComparison {
+    /// Whether the conflict-free gate passed.
+    pub fn conflict_free(&self) -> bool {
+        self.schedule.conflict_free()
+    }
+}
+
+/// Explores `interleaver` over `map` with `lanes` parallel consumers:
+/// schedules, cosims, and (conflict-free only) decomposes and prices
+/// every bank's local stream on `jobs` workers.
+///
+/// # Errors
+///
+/// Invalid workload/map parameters, capacity mismatches, or a
+/// per-bank decompose/pricing failure.
+pub fn compare_banked(
+    interleaver: &Interleaver,
+    map: &BankMap,
+    lanes: u32,
+    library: &Library,
+    jobs: usize,
+) -> Result<BankedComparison, BankError> {
+    let perm = interleaver.permutation()?;
+    let schedule = window_schedule(&perm, map, lanes)?;
+    let cosim = run_interleaved(interleaver, map, lanes)?;
+    let plan = match schedule.bank_streams {
+        Some(ref streams) => Some(plan_banks(streams, library, jobs)?),
+        None => None,
+    };
+    Ok(BankedComparison {
+        interleaver: *interleaver,
+        map: *map,
+        lanes,
+        schedule,
+        cosim,
+        plan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adgen_bank::GeneratorChoice;
+
+    #[test]
+    fn contention_free_qpp_passes_the_gate_and_decompose_wins() {
+        let lib = Library::vcl018();
+        let qpp = Interleaver::qpp_contention_free(64, 4).unwrap();
+        let map = BankMap::HighBits {
+            banks: 4,
+            window: 16,
+        };
+        let cmp = compare_banked(&qpp, &map, 4, &lib, 1).unwrap();
+        assert!(cmp.conflict_free());
+        assert_eq!(cmp.cosim.verified, 64);
+        let plan = cmp.plan.expect("conflict-free schedule must be priced");
+        assert_eq!(plan.banks.len(), 4);
+        for bank in &plan.banks {
+            assert_eq!(bank.residue_bits, 0, "bank {}: {bank:?}", bank.bank);
+            assert_eq!(bank.choice, GeneratorChoice::Decomposed);
+            assert!(
+                bank.decomposed.area < bank.monolithic.area,
+                "bank {}: decomposed {} !< monolithic {}",
+                bank.bank,
+                bank.decomposed.area,
+                bank.monolithic.area
+            );
+        }
+        assert!(plan.win_pct() > 0.0);
+    }
+
+    #[test]
+    fn conflicted_schedule_reports_but_does_not_price() {
+        let lib = Library::vcl018();
+        let qpp = Interleaver::qpp_contention_free(64, 4).unwrap();
+        let map = BankMap::LowBits {
+            banks: 4,
+            window: 16,
+        };
+        let cmp = compare_banked(&qpp, &map, 4, &lib, 1).unwrap();
+        assert!(!cmp.conflict_free());
+        assert!(cmp.plan.is_none());
+        assert!(cmp.schedule.stall_cycles > 0);
+    }
+
+    #[test]
+    fn banked_comparison_is_jobs_invariant() {
+        let lib = Library::vcl018();
+        let qpp = Interleaver::qpp_contention_free(64, 4).unwrap();
+        let map = BankMap::HighBits {
+            banks: 4,
+            window: 16,
+        };
+        let serial = compare_banked(&qpp, &map, 4, &lib, 1).unwrap();
+        for jobs in [0, 2, 5] {
+            assert_eq!(
+                compare_banked(&qpp, &map, 4, &lib, jobs).unwrap(),
+                serial,
+                "jobs = {jobs}"
+            );
+        }
+    }
+}

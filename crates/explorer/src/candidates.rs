@@ -1,6 +1,7 @@
 //! Candidate enumeration and evaluation for one address sequence.
 
 use adgen_affine::{fit_sequence, AffineAgNetlist};
+use adgen_bank::{price_decomposed, Decomposition};
 use adgen_cntag::netlist::decoder_delay_ps;
 use adgen_cntag::{
     component_delays, ArithAgNetlist, ArithAgSpec, CntAgNetlist, CntAgSpec, RomAgNetlist, RomAgSpec,
@@ -34,6 +35,10 @@ pub enum Architecture {
     /// programming-register premium and an FSM for any non-affine
     /// residual, but needs no resynthesis per sequence.
     Affine,
+    /// Decomposed generator from the bank-layer address-map
+    /// factorization: a cycle counter feeding constant/counter-bit/
+    /// XOR-fold components plus a binary FSM for the residue bits.
+    Decomposed,
 }
 
 impl std::fmt::Display for Architecture {
@@ -46,6 +51,7 @@ impl std::fmt::Display for Architecture {
             Architecture::RomAg => write!(f, "RomAG"),
             Architecture::SymbolicFsm(e) => write!(f, "FSM({e:?})"),
             Architecture::Affine => write!(f, "Affine"),
+            Architecture::Decomposed => write!(f, "Decomposed"),
         }
     }
 }
@@ -122,8 +128,8 @@ pub fn evaluate(
 /// worker threads (`0` means all available cores). The result is
 /// identical to the serial evaluation: candidates and rejections both
 /// come back in the fixed family order (SRAG, MC-SRAG, CntAG,
-/// ArithAG, RomAG, each requested FSM encoding, then Affine)
-/// regardless of which thread finished first.
+/// ArithAG, RomAG, each requested FSM encoding, Affine, then
+/// Decomposed) regardless of which thread finished first.
 pub fn evaluate_jobs(
     sequence: &AddressSequence,
     shape: ArrayShape,
@@ -146,6 +152,7 @@ pub fn evaluate_jobs(
             .map(|&e| Architecture::SymbolicFsm(e)),
     );
     families.push(Architecture::Affine);
+    families.push(Architecture::Decomposed);
 
     // One span (and one counter tick) per candidate architecture
     // enumerated — not per comparison — so a trace of an exploration
@@ -356,6 +363,36 @@ fn evaluate_family(
                 flip_flops,
             })
         }
+
+        // Decomposed generator (bank-layer factorization): like the
+        // affine AGU it presents a binary address, so it pays the
+        // same standalone row/column decoders.
+        Architecture::Decomposed => {
+            if !(shape.width().is_power_of_two() && shape.height().is_power_of_two()) {
+                return Err("array dimensions are not powers of two".to_string());
+            }
+            let d = Decomposition::of(sequence.as_slice()).map_err(|e| e.to_string())?;
+            if d.residue_states() > options.fsm_state_limit {
+                return Err(format!(
+                    "decompose residue of {} states exceeds FSM synthesis limit {}",
+                    d.residue_states(),
+                    options.fsm_state_limit
+                ));
+            }
+            let price = price_decomposed(&d, library).map_err(|e| e.to_string())?;
+            let row_bits = shape.height().trailing_zeros() as usize;
+            let col_bits = shape.width().trailing_zeros() as usize;
+            let row_dec = decoder_delay_ps(row_bits, shape.height() as usize, library)
+                .map_err(|e| e.to_string())?;
+            let col_dec = decoder_delay_ps(col_bits, shape.width() as usize, library)
+                .map_err(|e| e.to_string())?;
+            Ok(Candidate {
+                architecture: Architecture::Decomposed,
+                delay_ps: price.delay_ps + row_dec.max(col_dec),
+                area: price.area,
+                flip_flops: price.flip_flops,
+            })
+        }
     }
 }
 
@@ -383,6 +420,7 @@ mod tests {
             .candidate(Architecture::SymbolicFsm(Encoding::Binary))
             .is_some());
         assert!(eval.candidate(Architecture::Affine).is_some());
+        assert!(eval.candidate(Architecture::Decomposed).is_some());
         assert!(eval.rejected.is_empty());
     }
 

@@ -14,6 +14,7 @@
 //! ([`compare`]) that the benchmark suite uses to regenerate the
 //! paper's Figures 8–10 and Table 3.
 
+pub mod banked;
 pub mod candidates;
 pub mod compare;
 pub mod four_way;
@@ -21,6 +22,7 @@ pub mod pareto;
 pub mod report;
 pub mod resilience;
 
+pub use banked::{compare_banked, BankedComparison};
 pub use candidates::{
     evaluate, evaluate_jobs, Architecture, Candidate, EvaluateOptions, Evaluation,
 };

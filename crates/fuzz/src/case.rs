@@ -173,6 +173,22 @@ pub enum FuzzCase {
         /// word seams).
         lanes: u32,
     },
+    /// Raw 1-D address stream sliced across B banks → the bank map
+    /// must round-trip every address (`split`/`join`), and each
+    /// lane's decomposed factorization must reconstruct its local
+    /// stream bit-exactly, so the whole stream reassembles across
+    /// all B lanes.
+    BankVsReference {
+        /// The raw address stream under test.
+        stream: Vec<u32>,
+        /// Bank count (`1..=16`, seam-biased toward powers of two
+        /// and their neighbours; rounded down to a power of two for
+        /// the XOR-fold map).
+        banks: u32,
+        /// Bank-map selector: 0 = low-bits, 1 = high-bits,
+        /// 2 = xor-fold.
+        map: u8,
+    },
     /// Single injected fault on a hardened SRAG select ring → the
     /// one-hot checker must raise `alarm` within one ring period of
     /// the fault activating, or the fault must be proven benign by
@@ -207,6 +223,7 @@ impl FuzzCase {
             FuzzCase::SlicedVsScalar { .. } => "sliced-vs-scalar",
             FuzzCase::FrameFuzz { .. } => "frame-fuzz",
             FuzzCase::AffineVsReference { .. } => "affine-vs-reference",
+            FuzzCase::BankVsReference { .. } => "bank-vs-reference",
             FuzzCase::FaultAlarm { .. } => "fault-alarm",
         }
     }
@@ -290,6 +307,14 @@ impl FuzzCase {
             }
             FuzzCase::AffineVsReference { seq, lanes } => {
                 format!("sequence {seq:?} lanes={lanes}")
+            }
+            FuzzCase::BankVsReference { stream, banks, map } => {
+                let map = match map % 3 {
+                    0 => "low-bits",
+                    1 => "high-bits",
+                    _ => "xor-fold",
+                };
+                format!("stream {stream:?} banks={banks} map={map}")
             }
             FuzzCase::FaultAlarm {
                 n,

@@ -13,12 +13,14 @@
 //! | `sliced-vs-scalar` | bit-sliced simulator (per-lane stimulus, forces, SEUs) | one scalar `Simulator` twin per lane + event-driven sim on the golden lane |
 //! | `fault-alarm` | hardened SRAG under an injected ring fault | one-period alarm deadline or bounded golden equivalence, levelized vs event-driven replay |
 //! | `affine-vs-reference` | `fit_sequence` + gate-level affine AGU (default-baked and chain-programmed) | closed-form `emitted_stream`, behavioural `AffineSimulator`, reconstruction invariant, lane-uniform sliced replay |
+//! | `bank-vs-reference` | `BankMap` split/join + per-lane `Decomposition` | bijective map round-trip, bit-exact `reconstruct()` per lane, whole-stream reassembly across all B banks, decompose determinism |
 //! | `frame-fuzz` | a live `adgen_serve` reactor fed adversarial framing | typed-error/clean-close contract, follow-up client liveness, `conn_malformed` / `conn_timed_out` counters |
 //!
 //! A check returns `Err(detail)` on the first divergence; the runner
 //! turns that into a shrunk counterexample and a reproduction line.
 
 use adgen_affine::{fit_sequence, AffineAgNetlist, AffineSimulator, AffineSpec, MAX_MAP_LEN};
+use adgen_bank::{BankMap, Decomposition};
 use adgen_cntag::{CntAgSimulator, CntAgSpec};
 use adgen_core::arch::{ControlStyle, ShiftRegisterSpec, SragSpec};
 use adgen_core::composite::{GateLevelGenerator, Srag2d};
@@ -94,6 +96,9 @@ pub fn check_case(case: &FuzzCase, break_mode: BreakMode) -> CheckResult {
             garbage,
         } => check_frame_fuzz(*backend, *attack, garbage),
         FuzzCase::AffineVsReference { seq, lanes } => check_affine_vs_reference(seq, *lanes),
+        FuzzCase::BankVsReference { stream, banks, map } => {
+            check_bank_vs_reference(stream, *banks, *map)
+        }
         FuzzCase::FaultAlarm {
             n,
             dc,
@@ -1111,6 +1116,101 @@ fn check_affine_vs_reference(seq: &[u32], lanes: u32) -> CheckResult {
         return Err(format!(
             "sliced gate replay diverges from the covered prefix: {got:?} vs {want:?}"
         ));
+    }
+    Ok(())
+}
+
+// -------------------------------------------------- bank vs reference
+
+/// Walls off the banked decompose round-trip: the bank map must
+/// split/join every address bijectively, each lane's
+/// [`Decomposition`] must reconstruct its local stream bit-exactly
+/// and deterministically, and the reconstructed lanes must reassemble
+/// into the original stream across all B banks.
+fn check_bank_vs_reference(stream: &[u32], banks: u32, map_code: u8) -> CheckResult {
+    if stream.is_empty() || banks == 0 {
+        return Ok(()); // nothing to wall
+    }
+    // The xor-fold map only accepts power-of-two bank counts; the
+    // shrinker may propose any count, so normalize downward rather
+    // than reporting a false divergence.
+    let banks = if map_code % 3 == 2 && !banks.is_power_of_two() {
+        1 << (31 - banks.leading_zeros())
+    } else {
+        banks
+    };
+    let max = *stream.iter().max().expect("stream is non-empty");
+    let window = max / banks + 1;
+    let map = match map_code % 3 {
+        0 => BankMap::LowBits { banks, window },
+        1 => BankMap::HighBits { banks, window },
+        _ => BankMap::XorFold { banks, window },
+    };
+    if let Err(e) = map.validate() {
+        return Err(format!("derived map {map:?} rejected: {e}"));
+    }
+
+    // 1. Every address splits in range and joins back to itself.
+    let mut lanes: Vec<Vec<u32>> = vec![Vec::new(); banks as usize];
+    for (t, &a) in stream.iter().enumerate() {
+        let (b, l) = map
+            .split(a)
+            .map_err(|e| format!("split({a}) failed at t={t} under {map:?}: {e}"))?;
+        if b >= banks || l >= window {
+            return Err(format!(
+                "split({a}) left range at t={t}: bank {b}/{banks}, local {l}/{window}"
+            ));
+        }
+        let back = map
+            .join(b, l)
+            .map_err(|e| format!("join({b}, {l}) failed at t={t}: {e}"))?;
+        if back != a {
+            return Err(format!(
+                "map round-trip diverges at t={t}: {a} -> ({b}, {l}) -> {back}"
+            ));
+        }
+        lanes[b as usize].push(l);
+    }
+
+    // 2. Every non-empty lane decomposes and reconstructs exactly.
+    let mut rebuilt: Vec<std::vec::IntoIter<u32>> = Vec::with_capacity(lanes.len());
+    for (b, lane) in lanes.iter().enumerate() {
+        if lane.is_empty() {
+            rebuilt.push(Vec::new().into_iter());
+            continue;
+        }
+        let d = Decomposition::of(lane)
+            .map_err(|e| format!("bank {b}: decompose rejected {} locals: {e}", lane.len()))?;
+        let r = d.reconstruct();
+        if &r != lane {
+            return Err(format!(
+                "bank {b}: decompose round-trip diverges: lane {lane:?} reconstructs as {r:?} \
+                 ({} linear + {} residue bits)",
+                d.linear_bits(),
+                d.residue_bits()
+            ));
+        }
+        let again = Decomposition::of(lane).map_err(|e| format!("bank {b}: re-run failed: {e}"))?;
+        if again != d {
+            return Err(format!("bank {b}: decomposition is nondeterministic"));
+        }
+        rebuilt.push(r.into_iter());
+    }
+
+    // 3. The reconstructed lanes reassemble into the original stream.
+    for (t, &a) in stream.iter().enumerate() {
+        let (b, _) = map.split(a).expect("split succeeded in pass 1");
+        let l = rebuilt[b as usize]
+            .next()
+            .ok_or_else(|| format!("bank {b} ran out of reconstructed locals at t={t}"))?;
+        let back = map
+            .join(b, l)
+            .map_err(|e| format!("reassembly join({b}, {l}) failed at t={t}: {e}"))?;
+        if back != a {
+            return Err(format!(
+                "reassembly diverges at t={t}: expected {a}, rebuilt {back}"
+            ));
+        }
     }
     Ok(())
 }

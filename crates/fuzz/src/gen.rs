@@ -23,7 +23,8 @@ use crate::case::{FuzzCase, LitCode, WorkloadKind};
 pub fn generate_case(case_seed: u64) -> FuzzCase {
     let mut rng = Prng::new(case_seed);
     match rng.next_range(100) {
-        0..=21 => gen_mapper(&mut rng),
+        0..=17 => gen_mapper(&mut rng),
+        18..=21 => gen_bank(&mut rng),
         22..=27 => gen_affine(&mut rng),
         // Each frame-fuzz case boots a real server, so the family is
         // deliberately rare: ~2% of draws keeps a default run fast
@@ -129,6 +130,69 @@ fn mutate_sequence(rng: &mut Prng, seq: &mut Vec<u32>) {
             seq.swap(at, b);
         }
     }
+}
+
+// ----------------------------------------------------------------- bank
+
+/// Bank counts the bank-vs-reference family favours: both sides of
+/// every power-of-two seam in `1..=16`, where the low-bits modulus
+/// and the xor-fold normalization change shape.
+const BANK_SEAMS: [u32; 10] = [1, 2, 3, 4, 5, 7, 8, 9, 15, 16];
+
+/// A raw address stream sliced across a seam-biased bank count: the
+/// decompose pass must round-trip every lane. Streams mix strided
+/// affine ramps (fully linear lanes), real interleaver permutations
+/// (the workload family the banked explorer prices), SRAG-realizable
+/// sequences, boundaries and raw noise (residue-heavy lanes).
+fn gen_bank(rng: &mut Prng) -> FuzzCase {
+    let stream = match rng.next_range(10) {
+        0..=2 => strided_stream(rng),
+        3..=4 => interleaver_stream(rng),
+        5..=6 => srag_realizable_sequence(rng),
+        7 => boundary_sequence(rng),
+        _ => noise_sequence(rng),
+    };
+    // Three quarters of the draws sit on a bank seam.
+    let banks = if rng.next_range(4) < 3 {
+        BANK_SEAMS[rng.next_range(BANK_SEAMS.len() as u64) as usize]
+    } else {
+        rng.next_in(1, 17) as u32
+    };
+    let map = rng.next_range(3) as u8;
+    FuzzCase::BankVsReference { stream, banks, map }
+}
+
+/// A masked affine ramp `(base + stride * t) & mask` — its per-bank
+/// lanes are usually fully linear, exercising the fold-netlist side
+/// of the decomposition.
+fn strided_stream(rng: &mut Prng) -> Vec<u32> {
+    let len = rng.next_in(2, 129) as usize;
+    let mask = (1u32 << rng.next_in(3, 11)) - 1;
+    let base = rng.next_range(u64::from(mask) + 1) as u32;
+    let stride = rng.next_in(1, 17) as u32;
+    (0..len as u32)
+        .map(|t| base.wrapping_add(stride.wrapping_mul(t)) & mask)
+        .collect()
+}
+
+/// A real interleaver permutation — block or contention-free QPP —
+/// so the fuzz wall covers the exact streams `bankcamp` prices.
+fn interleaver_stream(rng: &mut Prng) -> Vec<u32> {
+    let il = if rng.one_in(2) {
+        let n = pow2(rng, 4, 8);
+        let b = pow2(rng, 1, 2).min(n / 4);
+        adgen_bank::Interleaver::qpp_contention_free(n, b)
+            .expect("pow2 n with window >= 4 is always accepted")
+    } else {
+        adgen_bank::Interleaver::Block {
+            rows: rng.next_in(1, 9) as u32,
+            cols: rng.next_in(1, 17) as u32,
+        }
+    };
+    il.permutation()
+        .expect("valid interleaver parameters by construction")
+        .as_slice()
+        .to_vec()
 }
 
 // ---------------------------------------------------------------- affine

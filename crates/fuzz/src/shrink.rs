@@ -384,6 +384,35 @@ fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
             }
             out
         }
+        FuzzCase::BankVsReference { stream, banks, map } => {
+            let mut out: Vec<FuzzCase> = sequence_candidates(stream)
+                .into_iter()
+                .map(|stream| FuzzCase::BankVsReference {
+                    stream,
+                    banks: *banks,
+                    map: *map,
+                })
+                .collect();
+            // Fewer banks (halving, then the seam neighbour).
+            if *banks > 1 {
+                for b in [1, banks / 2, banks - 1] {
+                    out.push(FuzzCase::BankVsReference {
+                        stream: stream.clone(),
+                        banks: b,
+                        map: *map,
+                    });
+                }
+            }
+            // The low-bits map is the simplest split.
+            if *map % 3 != 0 {
+                out.push(FuzzCase::BankVsReference {
+                    stream: stream.clone(),
+                    banks: *banks,
+                    map: 0,
+                });
+            }
+            out
+        }
         FuzzCase::FaultAlarm {
             n,
             dc,

@@ -43,17 +43,39 @@
 #                         bit-exactness gate must pass on every
 #                         workload; then a BENCH_explore.json schema
 #                         check)
+#  14. bank stage        (adgen-bank unit tests, a bank-vs-reference
+#                         differential fuzz smoke, and bankcamp
+#                         --smoke: the QPP interleaver must schedule
+#                         conflict-free across 4 banks with the
+#                         decompose-picked generators strictly
+#                         cheaper than monolithic per-bank FSMs; then
+#                         a BENCH_bank.json schema check)
 #
 # Set CI_SLOW=1 to additionally run the #[ignore]d large
 # configurations (512x512 / 256x256 scale tests), the full-size
-# simbench run with its 8x speedup contract, and a 1000-connection
-# overload run against the reactor.
+# simbench run with its 8x speedup contract, a 1000-connection
+# overload run against the reactor, and the full-size 8-bank
+# interleaver campaign.
 #
 # The workspace has zero external dependencies, so every step works
 # without network access. Run from anywhere inside the repo.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# check_schema FILE FIELD... — every per-stage BENCH_*.json record
+# must carry the fields its consumers key on.
+check_schema() {
+  local file="$1"
+  shift
+  local field
+  for field in "$@"; do
+    grep -q "\"$field\"" "$file" || {
+      echo "FAIL: $file is missing \"$field\"" >&2
+      exit 1
+    }
+  done
+}
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -135,12 +157,7 @@ for backend in epoll threaded; do
 done
 # Schema check: the bench record carries the new latency/overload
 # fields consumers key on.
-for field in p999_ms shed overload conns; do
-  grep -q "\"$field\"" BENCH_serve.json || {
-    echo "FAIL: BENCH_serve.json is missing \"$field\"" >&2
-    exit 1
-  }
-done
+check_schema BENCH_serve.json p999_ms shed overload conns
 
 echo "==> chaos smoke (kill-point crashes + offline corruption, both backends)"
 # chaoscamp spawns its own adgen-serve per scenario, kills it at
@@ -151,12 +168,7 @@ for backend in epoll threaded; do
   echo "    --reactor $backend"
   target/release/chaoscamp --smoke --reactor "$backend"
 done
-for field in scenarios classification corrupt_quarantined recovered failures; do
-  grep -q "\"$field\"" BENCH_chaos.json || {
-    echo "FAIL: BENCH_chaos.json is missing \"$field\"" >&2
-    exit 1
-  }
-done
+check_schema BENCH_chaos.json scenarios classification corrupt_quarantined recovered failures
 
 echo "==> affine: mapper property tests"
 cargo test --release -q -p adgen-affine
@@ -168,12 +180,22 @@ cargo run --release -p adgen-fuzz -- --iters 400 --seed 11
 
 echo "==> affine: four-way comparison smoke (bit-exactness gate)"
 target/release/explore4 --smoke --seed 2026
-for field in affine_fit bit_exact_three_engines program_flip_flops fault_coverage_pct; do
-  grep -q "\"$field\"" BENCH_explore.json || {
-    echo "FAIL: BENCH_explore.json is missing \"$field\"" >&2
-    exit 1
-  }
-done
+check_schema BENCH_explore.json affine_fit bit_exact_three_engines program_flip_flops \
+  fault_coverage_pct
+
+echo "==> bank: multi-bank ADDM + decompose unit tests"
+cargo test --release -q -p adgen-bank
+
+echo "==> bank: bank-vs-reference differential fuzz smoke"
+# Seed 17 draws 12 bank-vs-reference cases in 400 (plus the rest of
+# the matrix); the family's deterministic anchors also run in the
+# adgen-bank unit tests.
+cargo run --release -p adgen-fuzz -- --iters 400 --seed 17
+
+echo "==> bank: banked interleaver campaign smoke (conflict-free + decompose-win gates)"
+target/release/bankcamp --smoke --seed 2026
+check_schema BENCH_bank.json banks window conflict_free conflict_rate stall_cycles \
+  decomposed_area monolithic_area decompose_win_pct choice
 
 if [[ "${CI_SLOW:-0}" == "1" ]]; then
   echo "==> slow tier: ignored scale tests"
@@ -184,6 +206,8 @@ if [[ "${CI_SLOW:-0}" == "1" ]]; then
   target/release/loadgen --conns 1000 --overload
   echo "==> slow tier: full chaos campaign (every kill site, every mutation)"
   target/release/chaoscamp
+  echo "==> slow tier: full-size banked interleaver campaign (256 addresses, 8 banks)"
+  target/release/bankcamp --seed 2026
 fi
 
 echo "==> CI OK"

@@ -52,6 +52,7 @@
 //! | [`core`] | `adgen-core` | SRAG: mapper, simulator, elaboration, control styles, chaining, time-sharing |
 //! | [`cntag`] | `adgen-cntag` | counter/arithmetic/ROM baselines, loop-nest compiler |
 //! | [`memory`] | `adgen-memory` | ADDM / RAM models, behavioural & gate-level co-simulation |
+//! | [`bank`] | `adgen-bank` | multi-bank ADDM, interleaver workloads, conflict-aware window scheduling, address-map decomposition + per-bank pricing |
 //! | [`explorer`] | `adgen-explorer` | candidates, Pareto, selection, reports, power & resilience comparisons |
 //! | [`fault`] | `adgen-fault` | stuck-at / SEU fault models, deterministic injection campaigns, coverage classification |
 //! | [`exec`] | `adgen-exec` | scoped thread pool with deterministic ordering, seedable PRNG |
@@ -59,6 +60,7 @@
 //! | [`serve`] | `adgen-serve` | batch compilation service: binary wire protocol, admission queue with deadlines, two-tier content-addressed result cache |
 
 pub use adgen_affine as affine;
+pub use adgen_bank as bank;
 pub use adgen_cntag as cntag;
 pub use adgen_core as core;
 pub use adgen_exec as exec;
@@ -74,6 +76,7 @@ pub use adgen_synth as synth;
 /// The types most programs need, in one import.
 pub mod prelude {
     pub use adgen_affine::{fit_sequence, AffineAgNetlist, AffineFit, AffineSimulator, AffineSpec};
+    pub use adgen_bank::{BankMap, BankedAddm, Decomposition, Interleaver};
     pub use adgen_cntag::{
         compile_loop_nest, ArithAgNetlist, ArithAgSimulator, ArithAgSpec, CntAgNetlist,
         CntAgSimulator, CntAgSpec,
